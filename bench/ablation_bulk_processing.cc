@@ -1,0 +1,95 @@
+// Ablation A3 — bulk buffered processing vs. per-report evaluation.
+//
+// "Since a typical location-aware server receives a massive amount of
+// updates ... it becomes a huge overhead to handle each update
+// individually. Thus, we buffer a set of updates ... for bulk
+// processing."
+//
+// Both modes process the same stream of object reports against the same
+// query population; bulk mode evaluates once per batch, individual mode
+// evaluates after every single report. Reported metric: reports/second.
+// Expected shape: bulk throughput grows with batch size (per-tick
+// overheads amortize and per-id coalescing kicks in); individual stays
+// flat and far lower.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_common.h"
+#include "stq/common/random.h"
+
+namespace {
+
+constexpr size_t kNumObjects = 5000;
+constexpr size_t kNumQueries = 2000;
+
+std::unique_ptr<stq::QueryProcessor> MakeProcessor(stq::Xorshift128Plus* rng) {
+  stq::QueryProcessorOptions options;
+  options.grid_cells_per_side = 48;
+  auto qp = std::make_unique<stq::QueryProcessor>(options);
+  for (stq::ObjectId id = 1; id <= kNumObjects; ++id) {
+    qp->UpsertObject(id, {rng->NextDouble(), rng->NextDouble()}, 0.0);
+  }
+  for (stq::QueryId qid = 1; qid <= kNumQueries; ++qid) {
+    qp->RegisterRangeQuery(
+        qid, stq::Rect::CenteredSquare(
+                 {rng->NextDouble(), rng->NextDouble()}, 0.03));
+  }
+  qp->EvaluateTick(0.0);
+  return qp;
+}
+
+// One evaluation per batch of `batch_size` reports (the framework's mode).
+void BM_BulkProcessing(benchmark::State& state) {
+  const size_t batch_size = static_cast<size_t>(state.range(0));
+  stq::Xorshift128Plus rng(1);
+  std::unique_ptr<stq::QueryProcessor> qp = MakeProcessor(&rng);
+  double now = 0.0;
+  size_t reports = 0;
+  for (auto _ : state) {
+    now += 5.0;
+    for (size_t i = 0; i < batch_size; ++i) {
+      const stq::ObjectId id = 1 + rng.NextUint64(kNumObjects);
+      qp->UpsertObject(id, {rng.NextDouble(), rng.NextDouble()}, now);
+    }
+    benchmark::DoNotOptimize(qp->EvaluateTick(now));
+    reports += batch_size;
+  }
+  state.counters["reports_per_s"] = benchmark::Counter(
+      static_cast<double>(reports), benchmark::Counter::kIsRate);
+}
+
+// One evaluation per report (the naive mode the paper argues against).
+void BM_IndividualProcessing(benchmark::State& state) {
+  const size_t batch_size = static_cast<size_t>(state.range(0));
+  stq::Xorshift128Plus rng(1);
+  std::unique_ptr<stq::QueryProcessor> qp = MakeProcessor(&rng);
+  double now = 0.0;
+  size_t reports = 0;
+  for (auto _ : state) {
+    for (size_t i = 0; i < batch_size; ++i) {
+      now += 5.0 / static_cast<double>(batch_size);
+      const stq::ObjectId id = 1 + rng.NextUint64(kNumObjects);
+      qp->UpsertObject(id, {rng.NextDouble(), rng.NextDouble()}, now);
+      benchmark::DoNotOptimize(qp->EvaluateTick(now));
+    }
+    reports += batch_size;
+  }
+  state.counters["reports_per_s"] = benchmark::Counter(
+      static_cast<double>(reports), benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+BENCHMARK(BM_BulkProcessing)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IndividualProcessing)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

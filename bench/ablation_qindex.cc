@@ -1,0 +1,103 @@
+// Ablation A6 — Q-index baseline (R-tree on queries, objects probe).
+//
+// "The Q-index is limited in two aspects: (1) It performs reevaluation of
+// all the queries every T time units. (2) It is applicable only for
+// stationary queries." This bench quantifies both the wall-clock and the
+// wire cost of that model next to the shared incremental grid, on the
+// only workload Q-index supports (stationary range queries). Sweep:
+// object population. Expected shape: Q-index latency tracks
+// #objects x log(#queries) per period regardless of how little changed,
+// and its wire cost is the full answer set every period.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "stq/baseline/qindex_processor.h"
+#include "stq/baseline/vci_processor.h"
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+}  // namespace
+
+int main() {
+  const size_t num_queries = stq_bench::EnvSize("STQ_BENCH_QUERIES", 10000);
+  const size_t max_objects = stq_bench::EnvSize("STQ_BENCH_OBJECTS", 80000);
+  constexpr int kTicks = 3;
+
+  std::printf("Ablation A6: Q-index and VCI vs. shared incremental grid "
+              "(stationary queries)\n");
+  std::printf("queries=%zu side=0.02, 30%% objects report/period, mean "
+              "per period over %d periods\n\n",
+              num_queries, kTicks);
+  std::printf("%-10s %12s %12s %12s %14s %14s\n", "objects", "incr_ms",
+              "qindex_ms", "vci_ms", "incr_KB", "qindex_KB");
+
+  for (size_t num_objects = max_objects / 16; num_objects <= max_objects;
+       num_objects *= 4) {
+    stq_bench::BenchScale scale;
+    scale.num_objects = num_objects;
+    scale.num_queries = num_queries;
+    scale.num_ticks = kTicks;
+    stq::NetworkWorkloadOptions workload_options =
+        stq_bench::PaperWorkloadOptions(scale, 0.02, 0.3, /*seed=*/77);
+    workload_options.moving_query_fraction = 0.0;
+    const stq::Workload workload =
+        stq::Workload::GenerateNetwork(workload_options);
+
+    stq::QueryProcessorOptions options;
+    options.grid_cells_per_side = 64;
+    stq::QueryProcessor incremental(options);
+    stq::QIndexProcessor qindex;
+    stq::VciProcessor::Options vci_options;
+    vci_options.max_speed = 0.001;       // bound of the road-network speeds
+    vci_options.refresh_interval = 60.0;  // rebuild every ~12 periods
+    stq::VciProcessor vci(vci_options);
+    workload.ApplyInitial(&incremental);
+    for (const stq::ObjectReport& r : workload.initial_objects()) {
+      qindex.UpsertObject(r.id, r.loc, r.t);
+      vci.UpsertObject(r.id, r.loc, r.t);
+    }
+    for (const stq::QueryRegionReport& q : workload.initial_queries()) {
+      qindex.RegisterRangeQuery(q.id, q.region);
+      vci.RegisterRangeQuery(q.id, q.region);
+    }
+    incremental.EvaluateTick(0.0);
+
+    double incr_ms = 0.0, qindex_ms = 0.0, vci_ms = 0.0;
+    size_t incr_bytes = 0, qindex_bytes = 0;
+    for (size_t i = 0; i < workload.ticks().size(); ++i) {
+      const double now = workload.ticks()[i].time;
+      workload.ApplyTick(&incremental, i);
+      for (const stq::ObjectReport& r : workload.ticks()[i].object_reports) {
+        qindex.UpsertObject(r.id, r.loc, r.t);
+        vci.UpsertObject(r.id, r.loc, r.t);
+      }
+
+      Clock::time_point start = Clock::now();
+      const stq::TickResult tick = incremental.EvaluateTick(now);
+      incr_ms += MillisSince(start);
+      incr_bytes += tick.WireBytes(options.wire_cost);
+
+      start = Clock::now();
+      const stq::SnapshotResult full = qindex.EvaluateTick(now);
+      qindex_ms += MillisSince(start);
+      qindex_bytes += full.WireBytes(options.wire_cost);
+
+      start = Clock::now();
+      const stq::SnapshotResult vci_full = vci.EvaluateTick(now);
+      vci_ms += MillisSince(start);
+      (void)vci_full;
+    }
+    std::printf("%-10zu %12.2f %12.2f %12.2f %14.1f %14.1f\n", num_objects,
+                incr_ms / kTicks, qindex_ms / kTicks, vci_ms / kTicks,
+                stq_bench::ToKb(incr_bytes / kTicks),
+                stq_bench::ToKb(qindex_bytes / kTicks));
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Ablation A5 — out-of-sync recovery cost: committed-diff vs. full resend.
+//
+// A client disconnects for D evaluation periods and then wakes up. The
+// paper's recovery ships diff(committed answer, current answer); the
+// naive baseline empties the client and resends the complete answers.
+// Sweep: disconnect duration. Expected shape: the diff starts near zero
+// and grows with the disconnect duration (more missed churn), while the
+// full resend is flat at the total answer size — so the diff wins for
+// short outages, which is the common case the mechanism targets.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "stq/core/server.h"
+#include "stq/gen/network_generator.h"
+#include "stq/gen/query_generator.h"
+#include "stq/gen/road_network.h"
+
+int main() {
+  const size_t num_objects = stq_bench::EnvSize("STQ_BENCH_OBJECTS", 20000);
+  const size_t num_queries = stq_bench::EnvSize("STQ_BENCH_QUERIES", 500);
+
+  std::printf("Ablation A5: recovery bytes vs. disconnect duration\n");
+  std::printf("objects=%zu queries=%zu side=0.03, one client owns all "
+              "queries\n\n",
+              num_objects, num_queries);
+  std::printf("%-16s %14s %14s %10s\n", "outage_periods", "diff_KB",
+              "full_KB", "saving");
+
+  for (int outage = 1; outage <= 10; ++outage) {
+    stq::RoadNetwork::GridCityOptions city_options;
+    city_options.rows = 30;
+    city_options.cols = 30;
+    const stq::RoadNetwork city =
+        stq::RoadNetwork::MakeGridCity(city_options);
+    stq::NetworkGenerator::Options object_options;
+    object_options.num_objects = num_objects;
+    object_options.seed = 31;
+    object_options.route = stq::NetworkGenerator::RouteStrategy::kRandomWalk;
+    stq::NetworkGenerator objects(&city, object_options);
+    stq::QueryGenerator::Options query_options;
+    query_options.num_queries = num_queries;
+    query_options.side_length = 0.03;
+    query_options.seed = 32;
+    query_options.route = stq::NetworkGenerator::RouteStrategy::kRandomWalk;
+    stq::QueryGenerator queries(&city, query_options);
+
+    auto run = [&](stq::RecoveryPolicy policy) -> size_t {
+      stq::Server::Options server_options;
+      server_options.processor.grid_cells_per_side = 64;
+      server_options.recovery = policy;
+      stq::Server server(server_options);
+      server.AttachClient(1);
+      // Fresh copies of the deterministic generators per run.
+      stq::NetworkGenerator objs(&city, object_options);
+      stq::QueryGenerator qrys(&city, query_options);
+      for (const stq::ObjectReport& r : objs.InitialReports(0.0)) {
+        server.ReportObject(r.id, r.loc, r.t);
+      }
+      for (const stq::QueryRegionReport& q : qrys.InitialRegions(0.0)) {
+        server.RegisterRangeQuery(q.id, 1, q.region);
+      }
+      server.Tick(0.0);
+      for (stq::QueryId qid = 1; qid <= num_queries; ++qid) {
+        server.CommitQuery(qid);
+      }
+      server.DisconnectClient(1);
+      for (int tick = 1; tick <= outage; ++tick) {
+        const double now = tick * 5.0;
+        for (const stq::ObjectReport& r : objs.Step(now, 5.0, 0.5)) {
+          server.ReportObject(r.id, r.loc, r.t);
+        }
+        for (const stq::QueryRegionReport& q : qrys.Step(now, 5.0, 0.5)) {
+          server.MoveRangeQuery(q.id, q.region);
+        }
+        server.Tick(now);
+      }
+      stq::Result<stq::Server::Delivery> recovery = server.ReconnectClient(1);
+      return recovery.ok() ? recovery->bytes : 0;
+    };
+
+    const size_t diff_bytes = run(stq::RecoveryPolicy::kCommittedDiff);
+    const size_t full_bytes = run(stq::RecoveryPolicy::kFullAnswer);
+    std::printf("%-16d %14.1f %14.1f %9.1fx\n", outage,
+                stq_bench::ToKb(diff_bytes), stq_bench::ToKb(full_bytes),
+                diff_bytes > 0 ? static_cast<double>(full_bytes) /
+                                     static_cast<double>(diff_bytes)
+                               : 0.0);
+  }
+  return 0;
+}

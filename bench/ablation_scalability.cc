@@ -1,0 +1,100 @@
+// Ablation A1 — shared execution vs. per-query evaluation.
+//
+// The paper's first scalability claim: treating all concurrent queries as
+// data in one shared grid and bulk-evaluating only the *changes* scales to
+// large numbers of outstanding continuous queries, while re-evaluating
+// every query as an individual snapshot query (SnapshotProcessor) or
+// probing a query index with every object every period (Q-index) pays the
+// full evaluation cost per period regardless of change.
+//
+// Sweep: number of concurrent stationary queries; fixed object population
+// with 30% reporting per period. Reported: mean wall-clock per evaluation
+// period. Expected shape: the incremental engine's cost tracks the number
+// of *changes* (flat-ish in #queries); both baselines grow with #queries
+// or #objects x index size.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "stq/baseline/qindex_processor.h"
+#include "stq/baseline/snapshot_processor.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  stq_bench::BenchScale scale = stq_bench::BenchScale::FromEnv();
+  const size_t num_objects =
+      stq_bench::EnvSize("STQ_BENCH_OBJECTS", 20000);
+  const size_t max_queries =
+      stq_bench::EnvSize("STQ_BENCH_QUERIES", 64000);
+  scale.num_objects = num_objects;
+  scale.num_ticks = 3;
+
+  std::printf("Ablation A1: shared incremental vs. per-query evaluation\n");
+  std::printf("objects=%zu (30%% report/period), stationary queries, "
+              "side=0.02, mean ms per period over %zu periods\n\n",
+              num_objects, scale.num_ticks);
+  std::printf("%-10s %16s %16s %16s\n", "queries", "incremental_ms",
+              "snapshot_ms", "qindex_ms");
+
+  for (size_t num_queries = 1000; num_queries <= max_queries;
+       num_queries *= 4) {
+    scale.num_queries = num_queries;
+    stq::NetworkWorkloadOptions workload_options =
+        stq_bench::PaperWorkloadOptions(scale, 0.02, 0.3, /*seed=*/17);
+    workload_options.moving_query_fraction = 0.0;  // Q-index needs stationary
+    const stq::Workload workload =
+        stq::Workload::GenerateNetwork(workload_options);
+
+    stq::QueryProcessorOptions options;
+    options.grid_cells_per_side = 64;
+    stq::QueryProcessor incremental(options);
+    stq::SnapshotProcessor snapshot(options);
+    stq::QIndexProcessor qindex;
+    workload.ApplyInitial(&incremental);
+    workload.ApplyInitial(&snapshot);
+    for (const stq::ObjectReport& r : workload.initial_objects()) {
+      qindex.UpsertObject(r.id, r.loc, r.t);
+    }
+    for (const stq::QueryRegionReport& q : workload.initial_queries()) {
+      qindex.RegisterRangeQuery(q.id, q.region);
+    }
+    incremental.EvaluateTick(0.0);
+
+    double incremental_ms = 0.0, snapshot_ms = 0.0, qindex_ms = 0.0;
+    for (size_t i = 0; i < workload.ticks().size(); ++i) {
+      const double now = workload.ticks()[i].time;
+      workload.ApplyTick(&incremental, i);
+      workload.ApplyTick(&snapshot, i);
+      for (const stq::ObjectReport& r : workload.ticks()[i].object_reports) {
+        qindex.UpsertObject(r.id, r.loc, r.t);
+      }
+
+      Clock::time_point start = Clock::now();
+      incremental.EvaluateTick(now);
+      incremental_ms += MillisSince(start);
+
+      start = Clock::now();
+      snapshot.EvaluateTick(now);
+      snapshot_ms += MillisSince(start);
+
+      start = Clock::now();
+      qindex.EvaluateTick(now);
+      qindex_ms += MillisSince(start);
+    }
+    const double n = static_cast<double>(workload.ticks().size());
+    std::printf("%-10zu %16.2f %16.2f %16.2f\n", num_queries,
+                incremental_ms / n, snapshot_ms / n, qindex_ms / n);
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Ablation A7 — join strategy for bulk processing.
+//
+// The paper reduces bulk evaluation to a spatial join between the object
+// set and the query set and picks a grid-partition join (PBSM-style).
+// This bench compares that choice against the nested-loop join across
+// population sizes and partition resolutions.
+//
+// Expected shape: nested-loop grows with |objects| x |queries|; the
+// partition join grows near-linearly in input + output, with a broad
+// optimum in partition resolution.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "stq/common/random.h"
+#include "stq/grid/spatial_join.h"
+
+namespace {
+
+const stq::Rect kUnit{0.0, 0.0, 1.0, 1.0};
+
+struct JoinInput {
+  std::vector<stq::JoinPoint> points;
+  std::vector<stq::JoinRect> rects;
+};
+
+JoinInput MakeInput(size_t num_points, size_t num_rects, double side) {
+  stq::Xorshift128Plus rng(17);
+  JoinInput input;
+  input.points.reserve(num_points);
+  for (size_t i = 0; i < num_points; ++i) {
+    input.points.push_back(
+        {i + 1, stq::Point{rng.NextDouble(), rng.NextDouble()}});
+  }
+  input.rects.reserve(num_rects);
+  for (size_t i = 0; i < num_rects; ++i) {
+    input.rects.push_back(
+        {i + 1, stq::Rect::CenteredSquare(
+                    stq::Point{rng.NextDouble(), rng.NextDouble()}, side)});
+  }
+  return input;
+}
+
+void BM_GridPartitionJoin(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const int cells = static_cast<int>(state.range(1));
+  const JoinInput input = MakeInput(n, n / 10, 0.02);
+  size_t pairs = 0;
+  for (auto _ : state) {
+    const auto out =
+        stq::GridPartitionJoin(input.points, input.rects, kUnit, cells);
+    pairs = out.size();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["pairs"] = static_cast<double>(pairs);
+}
+
+void BM_NestedLoopJoin(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const JoinInput input = MakeInput(n, n / 10, 0.02);
+  size_t pairs = 0;
+  for (auto _ : state) {
+    const auto out = stq::NestedLoopJoin(input.points, input.rects);
+    pairs = out.size();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["pairs"] = static_cast<double>(pairs);
+}
+
+}  // namespace
+
+BENCHMARK(BM_GridPartitionJoin)
+    ->Args({10000, 8})
+    ->Args({10000, 32})
+    ->Args({10000, 64})
+    ->Args({10000, 128})
+    ->Args({40000, 64})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_NestedLoopJoin)
+    ->Arg(2000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

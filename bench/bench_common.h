@@ -1,0 +1,86 @@
+// Shared plumbing for the benchmark binaries: scale selection via
+// environment variables, workload construction, and table formatting.
+//
+// Every figure-reproduction binary prints the series the paper reports.
+// Default scale matches the paper (100K moving objects, 100K moving
+// queries, T = 5 s); set STQ_BENCH_OBJECTS / STQ_BENCH_QUERIES /
+// STQ_BENCH_TICKS to shrink for quick runs.
+
+#ifndef STQ_BENCH_BENCH_COMMON_H_
+#define STQ_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "stq/core/query_processor.h"
+#include "stq/gen/workload.h"
+
+namespace stq_bench {
+
+inline size_t EnvSize(const char* name, size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  const long long parsed = std::atoll(value);
+  return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
+}
+
+struct BenchScale {
+  size_t num_objects = 100000;
+  size_t num_queries = 100000;
+  size_t num_ticks = 4;
+
+  static BenchScale FromEnv() {
+    BenchScale scale;
+    scale.num_objects = EnvSize("STQ_BENCH_OBJECTS", scale.num_objects);
+    scale.num_queries = EnvSize("STQ_BENCH_QUERIES", scale.num_queries);
+    scale.num_ticks = EnvSize("STQ_BENCH_TICKS", scale.num_ticks);
+    return scale;
+  }
+};
+
+// The paper's evaluation setup: network-based moving objects and moving
+// square queries, evaluated every 5 seconds. Random-walk routing keeps
+// workload generation cheap at 100K scale without changing the movement
+// statistics that matter (road-constrained, skewed, slow relative to the
+// city).
+inline stq::NetworkWorkloadOptions PaperWorkloadOptions(
+    const BenchScale& scale, double query_side, double object_update_fraction,
+    uint64_t seed) {
+  stq::NetworkWorkloadOptions options;
+  // A dense city: road spacing (~0.02) below the query sizes swept in
+  // Figure 5(b), so answer cardinality scales with query area as in the
+  // paper's Oldenburg workload.
+  options.city.rows = 50;
+  options.city.cols = 50;
+  options.city.seed = seed;
+  options.num_objects = scale.num_objects;
+  options.num_queries = scale.num_queries;
+  options.query_side_length = query_side;
+  options.moving_query_fraction = 1.0;
+  options.tick_seconds = 5.0;
+  options.num_ticks = scale.num_ticks;
+  options.object_update_fraction = object_update_fraction;
+  options.query_update_fraction = 0.1;
+  options.seed = seed;
+  options.route = stq::NetworkGenerator::RouteStrategy::kRandomWalk;
+  return options;
+}
+
+// Bytes a complete-answer server would ship this period: every query's
+// full current answer. Computed from the (verified-correct) incremental
+// engine state so size comparisons use identical answers.
+inline size_t CompleteAnswerBytes(const stq::QueryProcessor& qp) {
+  size_t total = 0;
+  const stq::WireCostModel& cost = qp.options().wire_cost;
+  qp.query_store().ForEach([&](const stq::QueryRecord& q) {
+    total += cost.CompleteAnswerBytes(q.answer.size());
+  });
+  return total;
+}
+
+inline double ToKb(size_t bytes) { return static_cast<double>(bytes) / 1024.0; }
+
+}  // namespace stq_bench
+
+#endif  // STQ_BENCH_BENCH_COMMON_H_

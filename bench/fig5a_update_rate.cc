@@ -1,0 +1,56 @@
+// Figure 5(a): answer size vs. object update rate.
+//
+// "Figure 5a gives the effect of the number of moving objects that
+// reported a change of location within the last 5 seconds. The size of
+// the complete answer is constant and is orders of magnitude of the size
+// of the worst-case incremental answer."
+//
+// Setup per the paper: network-based generator, 100K moving objects, 100K
+// moving square queries, evaluation every 5 seconds. The x-axis sweeps
+// the fraction of objects that report per period; y is KBytes shipped per
+// period — the incremental update stream vs. the complete answers.
+//
+// Expected shape: complete is flat; incremental grows with the update
+// rate and stays far below complete.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  const stq_bench::BenchScale scale = stq_bench::BenchScale::FromEnv();
+  constexpr double kQuerySide = 0.02;
+
+  std::printf("Figure 5(a): answer size vs. object update rate\n");
+  std::printf("objects=%zu queries=%zu side=%.3f T=5s ticks=%zu\n\n",
+              scale.num_objects, scale.num_queries, kQuerySide,
+              scale.num_ticks);
+  std::printf("%-12s %18s %18s %10s\n", "update_rate", "incremental_KB",
+              "complete_KB", "ratio");
+
+  for (int rate_pct = 10; rate_pct <= 100; rate_pct += 10) {
+    const stq::Workload workload = stq::Workload::GenerateNetwork(
+        stq_bench::PaperWorkloadOptions(scale, kQuerySide, rate_pct / 100.0,
+                                        /*seed=*/5150));
+    stq::QueryProcessorOptions options;
+    options.grid_cells_per_side = 64;
+    stq::QueryProcessor qp(options);
+    workload.ApplyInitial(&qp);
+    qp.EvaluateTick(0.0);
+
+    double incremental_kb = 0.0;
+    double complete_kb = 0.0;
+    for (size_t i = 0; i < workload.ticks().size(); ++i) {
+      workload.ApplyTick(&qp, i);
+      const stq::TickResult tick = qp.EvaluateTick(workload.ticks()[i].time);
+      incremental_kb += stq_bench::ToKb(tick.WireBytes(options.wire_cost));
+      complete_kb += stq_bench::ToKb(stq_bench::CompleteAnswerBytes(qp));
+    }
+    incremental_kb /= static_cast<double>(workload.ticks().size());
+    complete_kb /= static_cast<double>(workload.ticks().size());
+    std::printf("%-11d%% %18.1f %18.1f %9.1fx\n", rate_pct, incremental_kb,
+                complete_kb,
+                incremental_kb > 0 ? complete_kb / incremental_kb : 0.0);
+  }
+  return 0;
+}

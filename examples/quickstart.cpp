@@ -1,0 +1,56 @@
+// Quickstart: the smallest end-to-end use of the stq public API.
+//
+// Registers one continuous range query and one continuous k-NN query,
+// streams a few location reports, and prints the incremental update
+// stream the server would ship after each evaluation period.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "stq/core/query_processor.h"
+
+int main() {
+  // A query processor over the unit square with a 32x32 grid.
+  stq::QueryProcessorOptions options;
+  options.grid_cells_per_side = 32;
+  stq::QueryProcessor qp(options);
+
+  // Two taxis and a pedestrian report their first positions at t = 0.
+  qp.UpsertObject(/*id=*/1, {0.20, 0.30}, /*t=*/0.0);
+  qp.UpsertObject(/*id=*/2, {0.25, 0.35}, /*t=*/0.0);
+  qp.UpsertObject(/*id=*/3, {0.80, 0.80}, /*t=*/0.0);
+
+  // Continuous queries: "objects in my neighborhood" and "my 2 nearest
+  // objects".
+  qp.RegisterRangeQuery(/*id=*/1, stq::Rect{0.15, 0.25, 0.35, 0.45});
+  qp.RegisterKnnQuery(/*id=*/2, {0.25, 0.35}, /*k=*/2);
+
+  // First evaluation period: initial answers arrive as positive updates.
+  stq::TickResult tick = qp.EvaluateTick(/*now=*/0.0);
+  std::printf("t=0s:");
+  for (const stq::Update& u : tick.updates) {
+    std::printf(" %s", u.DebugString().c_str());
+  }
+  std::printf("\n");
+
+  // Five seconds later only object 1 has moved — out of the range query,
+  // away from the k-NN focal point.
+  qp.UpsertObject(1, {0.70, 0.70}, 5.0);
+  tick = qp.EvaluateTick(5.0);
+  std::printf("t=5s:");
+  for (const stq::Update& u : tick.updates) {
+    std::printf(" %s", u.DebugString().c_str());
+  }
+  std::printf("\n");
+
+  // The maintained answers can also be read directly.
+  stq::Result<std::vector<stq::ObjectId>> answer = qp.CurrentAnswer(2);
+  if (answer.ok()) {
+    std::printf("k-NN answer now:");
+    for (stq::ObjectId id : *answer) std::printf(" p%llu",
+                                                 (unsigned long long)id);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,17 @@
+#include "stq/baseline/naive_recovery.h"
+
+namespace stq {
+
+size_t FullAnswerResendBytes(const QueryProcessor& processor,
+                             const std::vector<QueryId>& queries,
+                             const WireCostModel& model) {
+  size_t total = 0;
+  for (QueryId qid : queries) {
+    const QueryRecord* q = processor.query_store().Find(qid);
+    if (q == nullptr) continue;
+    total += model.CompleteAnswerBytes(q->answer.size());
+  }
+  return total;
+}
+
+}  // namespace stq

@@ -1,0 +1,30 @@
+// Naive out-of-sync recovery baseline: "once the client wakes up, it
+// empties its previous result and sends a wakeup message to the server.
+// The server replies by the query answer stored at the server side."
+// (paper, Section 3.3)
+//
+// Server implements this directly via RecoveryPolicy::kFullAnswer; the
+// helpers here compute what such a recovery would cost without running
+// one, for side-by-side accounting in tests and benches.
+
+#ifndef STQ_BASELINE_NAIVE_RECOVERY_H_
+#define STQ_BASELINE_NAIVE_RECOVERY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "stq/common/bytes.h"
+#include "stq/common/ids.h"
+#include "stq/core/query_processor.h"
+
+namespace stq {
+
+// Bytes a full-answer resend of the given queries would ship right now.
+// Unknown query ids contribute nothing.
+size_t FullAnswerResendBytes(const QueryProcessor& processor,
+                             const std::vector<QueryId>& queries,
+                             const WireCostModel& model);
+
+}  // namespace stq
+
+#endif  // STQ_BASELINE_NAIVE_RECOVERY_H_

@@ -1,0 +1,71 @@
+#include "stq/baseline/qindex_processor.h"
+
+#include <algorithm>
+
+namespace stq {
+
+QIndexProcessor::QIndexProcessor(const Rect& bounds) : bounds_(bounds) {}
+
+Status QIndexProcessor::UpsertObject(ObjectId id, const Point& loc,
+                                     Timestamp t) {
+  auto it = objects_.find(id);
+  if (it != objects_.end() && t < it->second.t) {
+    return Status::InvalidArgument("stale object report");
+  }
+  objects_[id] = StoredObject{loc, t};
+  return Status::OK();
+}
+
+Status QIndexProcessor::RemoveObject(ObjectId id) {
+  if (objects_.erase(id) == 0) return Status::NotFound("object unknown");
+  return Status::OK();
+}
+
+Status QIndexProcessor::RegisterRangeQuery(QueryId id, const Rect& region) {
+  const Rect clamped = region.Intersection(bounds_);
+  if (clamped.IsEmpty()) return Status::InvalidArgument("empty region");
+  if (query_regions_.contains(id)) {
+    return Status::AlreadyExists("query exists");
+  }
+  query_regions_.emplace(id, clamped);
+  rtree_.Insert(id, clamped);
+  return Status::OK();
+}
+
+Status QIndexProcessor::UnregisterQuery(QueryId id) {
+  auto it = query_regions_.find(id);
+  if (it == query_regions_.end()) return Status::NotFound("query unknown");
+  rtree_.Remove(id, it->second);
+  query_regions_.erase(it);
+  return Status::OK();
+}
+
+SnapshotResult QIndexProcessor::EvaluateTick(Timestamp now) {
+  SnapshotResult result;
+  result.time = now;
+
+  std::unordered_map<QueryId, std::vector<ObjectId>> answers;
+  answers.reserve(query_regions_.size());
+  for (const auto& [qid, region] : query_regions_) answers[qid];
+
+  // Every object probes the query index — the Q-index evaluation model.
+  for (const auto& [oid, obj] : objects_) {
+    rtree_.SearchPoint(obj.loc, [&, object_id = oid](uint64_t qid,
+                                                     const Rect& region) {
+      if (region.Contains(obj.loc)) {
+        answers[qid].push_back(object_id);
+      }
+    });
+  }
+
+  result.answers.reserve(answers.size());
+  for (auto& [qid, answer] : answers) {
+    std::sort(answer.begin(), answer.end());
+    result.answers.emplace_back(qid, std::move(answer));
+  }
+  std::sort(result.answers.begin(), result.answers.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return result;
+}
+
+}  // namespace stq

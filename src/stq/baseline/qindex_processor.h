@@ -1,0 +1,62 @@
+// QIndexProcessor: the Q-index baseline (Prabhakar et al., IEEE ToC 2002).
+//
+// "The main idea of the Q-index is to build an R-tree-like index structure
+// on the queries instead of the objects. Then, at each time interval T,
+// moving objects probe the Q-index to find the queries they belong to.
+// The Q-index is limited in two aspects: (1) It performs reevaluation of
+// all the queries every T time units. (2) It is applicable only for
+// stationary queries." (paper, Section 2)
+//
+// Both limitations are reproduced deliberately: only stationary range
+// queries are accepted, and every tick probes every object.
+
+#ifndef STQ_BASELINE_QINDEX_PROCESSOR_H_
+#define STQ_BASELINE_QINDEX_PROCESSOR_H_
+
+#include <unordered_map>
+
+#include "stq/baseline/snapshot_processor.h"
+#include "stq/common/status.h"
+#include "stq/geo/point.h"
+#include "stq/geo/rect.h"
+#include "stq/rtree/rtree.h"
+
+namespace stq {
+
+class QIndexProcessor {
+ public:
+  explicit QIndexProcessor(const Rect& bounds = Rect{0.0, 0.0, 1.0, 1.0});
+
+  QIndexProcessor(const QIndexProcessor&) = delete;
+  QIndexProcessor& operator=(const QIndexProcessor&) = delete;
+
+  Status UpsertObject(ObjectId id, const Point& loc, Timestamp t);
+  Status RemoveObject(ObjectId id);
+
+  // Stationary rectangular range queries only (the Q-index limitation).
+  Status RegisterRangeQuery(QueryId id, const Rect& region);
+  Status UnregisterQuery(QueryId id);
+
+  // Probes every object against the query R-tree and returns complete
+  // answers for all queries.
+  SnapshotResult EvaluateTick(Timestamp now);
+
+  size_t num_objects() const { return objects_.size(); }
+  size_t num_queries() const { return query_regions_.size(); }
+  const RTree& rtree() const { return rtree_; }
+
+ private:
+  struct StoredObject {
+    Point loc;
+    Timestamp t = 0.0;
+  };
+
+  Rect bounds_;
+  RTree rtree_;  // indexes query regions by query id
+  std::unordered_map<QueryId, Rect> query_regions_;
+  std::unordered_map<ObjectId, StoredObject> objects_;
+};
+
+}  // namespace stq
+
+#endif  // STQ_BASELINE_QINDEX_PROCESSOR_H_

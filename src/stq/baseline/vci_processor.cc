@@ -1,0 +1,109 @@
+#include "stq/baseline/vci_processor.h"
+
+#include <algorithm>
+
+#include "stq/common/logging.h"
+
+namespace stq {
+
+VciProcessor::VciProcessor(const Options& options) : options_(options) {
+  STQ_CHECK(options_.max_speed >= 0.0);
+}
+
+Status VciProcessor::UpsertObject(ObjectId id, const Point& loc,
+                                  Timestamp t) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    StoredObject o;
+    o.current = loc;
+    o.t = t;
+    o.indexed = loc;
+    o.indexed_at = t;
+    objects_.emplace(id, o);
+    rtree_.Insert(id, PointRect(loc));
+    if (index_empty_ || t < oldest_index_time_) oldest_index_time_ = t;
+    index_empty_ = false;
+    return Status::OK();
+  }
+  if (t < it->second.t) return Status::InvalidArgument("stale object report");
+  // Only the current-position table moves; the index entry stays put and
+  // the staleness slack covers the drift.
+  it->second.current = loc;
+  it->second.t = t;
+  return Status::OK();
+}
+
+Status VciProcessor::RemoveObject(ObjectId id) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return Status::NotFound("object unknown");
+  const bool removed = rtree_.Remove(id, PointRect(it->second.indexed));
+  STQ_CHECK(removed) << "index entry missing for object " << id;
+  objects_.erase(it);
+  if (objects_.empty()) index_empty_ = true;
+  return Status::OK();
+}
+
+Status VciProcessor::RegisterRangeQuery(QueryId id, const Rect& region) {
+  const Rect clamped = region.Intersection(options_.bounds);
+  if (clamped.IsEmpty()) return Status::InvalidArgument("empty region");
+  if (query_regions_.contains(id)) {
+    return Status::AlreadyExists("query exists");
+  }
+  query_regions_.emplace(id, clamped);
+  return Status::OK();
+}
+
+Status VciProcessor::UnregisterQuery(QueryId id) {
+  if (query_regions_.erase(id) == 0) return Status::NotFound("query unknown");
+  return Status::OK();
+}
+
+void VciProcessor::RebuildIndex(Timestamp now) {
+  // Rebuild from scratch: cheaper than per-entry relocation at high churn
+  // and keeps the structure tight.
+  rtree_.Clear();
+  oldest_index_time_ = now;
+  index_empty_ = objects_.empty();
+  for (auto& [id, o] : objects_) {
+    o.indexed = o.current;
+    o.indexed_at = now;
+    rtree_.Insert(id, PointRect(o.current));
+  }
+  ++rebuilds_;
+}
+
+double VciProcessor::SlackAt(Timestamp now) const {
+  if (index_empty_) return 0.0;
+  return options_.max_speed * std::max(0.0, now - oldest_index_time_);
+}
+
+SnapshotResult VciProcessor::EvaluateTick(Timestamp now) {
+  if (options_.refresh_interval <= 0.0 ||
+      (!index_empty_ && now - oldest_index_time_ > options_.refresh_interval)) {
+    RebuildIndex(now);
+  }
+
+  SnapshotResult result;
+  result.time = now;
+  const double slack = SlackAt(now);
+
+  result.answers.reserve(query_regions_.size());
+  for (const auto& [qid, region] : query_regions_) {
+    std::vector<ObjectId> answer;
+    // Expanded search over stale index positions, exact filter against
+    // current positions.
+    rtree_.Search(region.Expanded(slack), [&](uint64_t oid, const Rect&) {
+      const auto it = objects_.find(oid);
+      STQ_DCHECK(it != objects_.end());
+      if (region.Contains(it->second.current)) answer.push_back(oid);
+    });
+    std::sort(answer.begin(), answer.end());
+    answer.erase(std::unique(answer.begin(), answer.end()), answer.end());
+    result.answers.emplace_back(qid, std::move(answer));
+  }
+  std::sort(result.answers.begin(), result.answers.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return result;
+}
+
+}  // namespace stq

@@ -1,0 +1,90 @@
+// VciProcessor: the Velocity-Constrained Indexing baseline (Prabhakar et
+// al., IEEE ToC 2002 — the same paper the Q-index comes from).
+//
+// Idea: build an R-tree over the *objects* and let it go stale. Every
+// object's speed is bounded by `max_speed`, so at evaluation time an
+// object indexed at time t0 lies within max_speed * (now - t0) of its
+// indexed position. A range query therefore searches its region expanded
+// by the worst-case staleness slack and filters the candidates against
+// current positions. The index is only rebuilt periodically.
+//
+// Like the paper's other baselines this processor re-evaluates every
+// query each period and ships complete answers; it trades index
+// maintenance for searches that degrade as the index ages.
+
+#ifndef STQ_BASELINE_VCI_PROCESSOR_H_
+#define STQ_BASELINE_VCI_PROCESSOR_H_
+
+#include <unordered_map>
+
+#include "stq/baseline/snapshot_processor.h"  // SnapshotResult
+#include "stq/common/status.h"
+#include "stq/rtree/rtree.h"
+
+namespace stq {
+
+class VciProcessor {
+ public:
+  struct Options {
+    Rect bounds = Rect{0.0, 0.0, 1.0, 1.0};
+    // The system-wide speed bound objects are known to respect
+    // (space units / second). Violations cause false negatives.
+    double max_speed = 0.001;
+    // Rebuild the object index when its age exceeds this (seconds);
+    // <= 0 rebuilds every evaluation.
+    double refresh_interval = 60.0;
+  };
+
+  explicit VciProcessor(const Options& options);
+
+  VciProcessor(const VciProcessor&) = delete;
+  VciProcessor& operator=(const VciProcessor&) = delete;
+
+  // New objects enter the index immediately (at their reported location);
+  // subsequent reports only update the current-position table, leaving
+  // the index stale until the next rebuild.
+  Status UpsertObject(ObjectId id, const Point& loc, Timestamp t);
+  Status RemoveObject(ObjectId id);
+
+  // Stationary rectangular range queries.
+  Status RegisterRangeQuery(QueryId id, const Rect& region);
+  Status UnregisterQuery(QueryId id);
+
+  // Evaluates every query (expanded search + exact filter) and returns
+  // complete answers. Rebuilds the index first when it is too old.
+  SnapshotResult EvaluateTick(Timestamp now);
+
+  // Forces an index rebuild from current positions.
+  void RebuildIndex(Timestamp now);
+
+  // Current worst-case staleness slack at time `now`.
+  double SlackAt(Timestamp now) const;
+
+  size_t num_objects() const { return objects_.size(); }
+  size_t num_queries() const { return query_regions_.size(); }
+  size_t rebuilds() const { return rebuilds_; }
+
+ private:
+  struct StoredObject {
+    Point current;        // latest reported location
+    Timestamp t = 0.0;    // latest report time
+    Point indexed;        // location the R-tree knows
+    Timestamp indexed_at = 0.0;
+  };
+
+  static Rect PointRect(const Point& p) { return Rect{p.x, p.y, p.x, p.y}; }
+
+  Options options_;
+  RTree rtree_;  // object positions as degenerate rectangles
+  std::unordered_map<ObjectId, StoredObject> objects_;
+  std::unordered_map<QueryId, Rect> query_regions_;
+  // Oldest indexed_at among live objects' index entries (the staleness
+  // anchor); refreshed on rebuild.
+  Timestamp oldest_index_time_ = 0.0;
+  bool index_empty_ = true;
+  size_t rebuilds_ = 0;
+};
+
+}  // namespace stq
+
+#endif  // STQ_BASELINE_VCI_PROCESSOR_H_

@@ -1,0 +1,36 @@
+// Network-cost model: how many bytes the location-aware server ships to a
+// client for each kind of message. The paper's evaluation (Figure 5)
+// compares answer sizes in KBytes; this header pins down the accounting
+// used by both the incremental processor and the complete-answer
+// baselines so the comparison is apples-to-apples.
+
+#ifndef STQ_COMMON_BYTES_H_
+#define STQ_COMMON_BYTES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace stq {
+
+struct WireCostModel {
+  // One incremental update tuple (Q, +/-A): query id + object id + sign.
+  size_t bytes_per_update = 8 + 8 + 1;
+  // One entry of a complete answer: object id only (the query id is in the
+  // per-answer header).
+  size_t bytes_per_answer_entry = 8;
+  // Fixed header per complete-answer message: query id + entry count.
+  size_t bytes_per_answer_header = 8 + 4;
+
+  size_t UpdateBytes(size_t num_updates) const {
+    return num_updates * bytes_per_update;
+  }
+  size_t CompleteAnswerBytes(size_t answer_size) const {
+    return bytes_per_answer_header + answer_size * bytes_per_answer_entry;
+  }
+};
+
+inline double BytesToKb(size_t bytes) { return static_cast<double>(bytes) / 1024.0; }
+
+}  // namespace stq
+
+#endif  // STQ_COMMON_BYTES_H_

@@ -1,0 +1,33 @@
+// Simulation time. The paper's server buffers updates and evaluates them
+// every T seconds (T = 5 s in the evaluation); all timestamps in stq are
+// doubles in seconds on a simulated timeline driven by the caller.
+
+#ifndef STQ_COMMON_CLOCK_H_
+#define STQ_COMMON_CLOCK_H_
+
+namespace stq {
+
+using Timestamp = double;  // seconds since simulation start
+
+// A manually-advanced clock shared by a simulation's components.
+class SimClock {
+ public:
+  SimClock() = default;
+  explicit SimClock(Timestamp start) : now_(start) {}
+
+  Timestamp now() const { return now_; }
+
+  // Advances time by `dt` seconds and returns the new time. `dt` must be
+  // non-negative; time never flows backwards.
+  Timestamp Advance(double dt) {
+    if (dt > 0) now_ += dt;
+    return now_;
+  }
+
+ private:
+  Timestamp now_ = 0.0;
+};
+
+}  // namespace stq
+
+#endif  // STQ_COMMON_CLOCK_H_

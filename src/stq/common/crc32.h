@@ -1,0 +1,22 @@
+// CRC-32C (Castagnoli) checksum, used to frame WAL records.
+
+#ifndef STQ_COMMON_CRC32_H_
+#define STQ_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace stq {
+
+// Computes CRC-32C of `data[0, n)`, continuing from `crc` (pass 0 to
+// start a fresh checksum).
+uint32_t Crc32c(uint32_t crc, const void* data, size_t n);
+
+// One-shot convenience overload.
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32c(0, data, n);
+}
+
+}  // namespace stq
+
+#endif  // STQ_COMMON_CRC32_H_

@@ -1,0 +1,17 @@
+// Identifier types shared across the library. Objects and queries live in
+// separate id spaces; both are opaque 64-bit values chosen by the caller.
+
+#ifndef STQ_COMMON_IDS_H_
+#define STQ_COMMON_IDS_H_
+
+#include <cstdint>
+
+namespace stq {
+
+using ObjectId = uint64_t;
+using QueryId = uint64_t;
+using ClientId = uint64_t;
+
+}  // namespace stq
+
+#endif  // STQ_COMMON_IDS_H_

@@ -1,0 +1,84 @@
+// Minimal streaming logger used throughout stq.
+//
+//   STQ_LOG(INFO) << "processed " << n << " updates";
+//   STQ_CHECK(cond) << "explanation";
+//
+// Severity kFatal aborts the process after flushing, which is the
+// library's policy for programming errors (broken invariants); recoverable
+// conditions are reported through Status instead.
+
+#ifndef STQ_COMMON_LOGGING_H_
+#define STQ_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string_view>
+
+namespace stq {
+
+enum class LogSeverity { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+// Log lines at or above this severity are emitted to stderr. Defaults to
+// kInfo. Thread-compatible: set it once at startup.
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+namespace internal_logging {
+
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when a log statement is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+// Turns a LogMessage chain into void so it can sit in a ternary branch.
+// operator& binds looser than operator<<, so trailing streams attach to
+// the LogMessage first.
+struct Voidify {
+  void operator&(LogMessage&) {}
+  void operator&(LogMessage&&) {}
+};
+
+}  // namespace internal_logging
+
+#define STQ_LOG(severity)                                      \
+  ::stq::internal_logging::LogMessage(                         \
+      ::stq::LogSeverity::k##severity, __FILE__, __LINE__)
+
+// Fatal assertion with streaming context. Always enabled (the checks in
+// this library guard data-structure invariants that must hold in release
+// builds too).
+#define STQ_CHECK(cond)                                        \
+  (cond) ? (void)0                                             \
+         : ::stq::internal_logging::Voidify() &                \
+               (::stq::internal_logging::LogMessage(           \
+                    ::stq::LogSeverity::kFatal, __FILE__,      \
+                    __LINE__)                                  \
+                << "Check failed: " #cond " ")
+
+#define STQ_DCHECK(cond) STQ_CHECK(cond)
+
+}  // namespace stq
+
+#endif  // STQ_COMMON_LOGGING_H_

@@ -1,0 +1,52 @@
+// Deterministic pseudo-random number generation for workload generators,
+// simulations, and property tests.
+//
+// All randomness in stq flows through Xorshift128Plus so that a (seed,
+// parameter) pair fully determines a workload — benchmarks and tests are
+// reproducible bit-for-bit across runs and platforms.
+
+#ifndef STQ_COMMON_RANDOM_H_
+#define STQ_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace stq {
+
+// xorshift128+ (Vigna, 2014): fast, decent-quality 64-bit generator.
+// Not cryptographic. Copyable; copies diverge independently.
+class Xorshift128Plus {
+ public:
+  // A zero seed is remapped internally (the all-zero state is absorbing).
+  explicit Xorshift128Plus(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  // Uniform over [0, 2^64).
+  uint64_t NextUint64();
+
+  // Uniform over [0, n). Precondition: n > 0.
+  uint64_t NextUint64(uint64_t n);
+
+  // Uniform over [0, 1).
+  double NextDouble();
+
+  // Uniform over [lo, hi). Precondition: lo <= hi.
+  double NextDouble(double lo, double hi);
+
+  // Uniform over {lo, ..., hi} inclusive. Precondition: lo <= hi.
+  int NextInt(int lo, int hi);
+
+  // True with probability p (clamped to [0, 1]).
+  bool NextBool(double p);
+
+  // Standard normal via Box-Muller.
+  double NextGaussian();
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace stq
+
+#endif  // STQ_COMMON_RANDOM_H_

@@ -1,0 +1,69 @@
+// Result<T>: a value-or-Status union, the return type of fallible
+// operations that produce a value. Modeled after absl::StatusOr.
+//
+// Example:
+//   stq::Result<Workload> w = Workload::Load(path);
+//   if (!w.ok()) return w.status();
+//   Use(w.value());
+
+#ifndef STQ_COMMON_RESULT_H_
+#define STQ_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "stq/common/status.h"
+
+namespace stq {
+
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or from an error Status keeps call
+  // sites readable: `return value;` / `return Status::NotFound(...)`.
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  // Returns OK when a value is held.
+  const Status& status() const { return status_; }
+
+  // Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the held value or `fallback` when in the error state.
+  T value_or(T fallback) const& { return ok() ? *value_ : fallback; }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace stq
+
+#endif  // STQ_COMMON_RESULT_H_

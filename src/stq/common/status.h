@@ -1,0 +1,116 @@
+// Status: the error-reporting vocabulary type of the stq library.
+//
+// stq does not use C++ exceptions. Every fallible operation returns a
+// Status (or a Result<T>, see result.h). A Status is cheap to copy in the
+// OK case (a single tagged code) and carries a human-readable message in
+// the error case.
+//
+// Example:
+//   stq::Status s = wal.Append(record);
+//   if (!s.ok()) {
+//     STQ_LOG(ERROR) << "append failed: " << s.ToString();
+//   }
+
+#ifndef STQ_COMMON_STATUS_H_
+#define STQ_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace stq {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kCorruption = 5,
+  kIOError = 6,
+  kFailedPrecondition = 7,
+  kUnimplemented = 8,
+  kInternal = 9,
+};
+
+// Returns a stable, human-readable name for `code` (e.g. "NotFound").
+std::string_view StatusCodeToString(StatusCode code);
+
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  // Factory helpers, one per error code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Propagates a non-OK status to the caller. Usable only in functions that
+// themselves return Status.
+#define STQ_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::stq::Status _stq_status = (expr);            \
+    if (!_stq_status.ok()) return _stq_status;     \
+  } while (0)
+
+}  // namespace stq
+
+#endif  // STQ_COMMON_STATUS_H_

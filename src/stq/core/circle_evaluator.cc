@@ -1,0 +1,37 @@
+#include "stq/core/circle_evaluator.h"
+
+#include <vector>
+
+#include "stq/common/logging.h"
+
+namespace stq {
+
+Rect CircleEvaluator::FootprintOf(const QueryRecord& q, const Rect& bounds) {
+  return q.circle.BoundingBox().Intersection(bounds);
+}
+
+void CircleEvaluator::OnCircleMoved(QueryRecord* q, std::vector<Update>* out) {
+  // Negatives: members that fell outside the new disk.
+  std::vector<ObjectId> leavers;
+  for (ObjectId oid : q->answer) {
+    const ObjectRecord* o = state_.objects->Find(oid);
+    STQ_DCHECK(o != nullptr);
+    if (!Satisfies(*o, *q)) leavers.push_back(oid);
+  }
+  for (ObjectId oid : leavers) {
+    SetMembership(state_.objects->FindMutable(oid), q, false, out);
+  }
+
+  // Positives: scan the new bounding box. SetMembership suppresses
+  // re-reports of objects already in the answer.
+  state_.grid->ForEachObjectCandidate(
+      q->circle.BoundingBox(), [&](ObjectId oid) {
+        ObjectRecord* o = state_.objects->FindMutable(oid);
+        STQ_DCHECK(o != nullptr);
+        if (Satisfies(*o, *q)) {
+          SetMembership(o, q, true, out);
+        }
+      });
+}
+
+}  // namespace stq

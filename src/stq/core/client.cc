@@ -1,0 +1,60 @@
+#include "stq/core/client.h"
+
+#include <algorithm>
+
+namespace stq {
+
+namespace {
+const std::unordered_set<ObjectId>& EmptySet() {
+  static const auto* kEmpty = new std::unordered_set<ObjectId>();
+  return *kEmpty;
+}
+}  // namespace
+
+void Client::ApplyUpdates(const std::vector<Update>& updates) {
+  for (const Update& u : updates) {
+    auto& answer = answers_[u.query];
+    if (u.sign == UpdateSign::kPositive) {
+      answer.insert(u.object);
+    } else {
+      answer.erase(u.object);
+    }
+    ++updates_applied_;
+  }
+}
+
+void Client::DropQuery(QueryId qid) {
+  answers_.erase(qid);
+  committed_.erase(qid);
+}
+
+void Client::Commit(QueryId qid) { committed_[qid] = AnswerOf(qid); }
+
+void Client::CommitAll() {
+  for (const auto& [qid, answer] : answers_) committed_[qid] = answer;
+}
+
+void Client::RollbackToCommitted() {
+  for (auto& [qid, answer] : answers_) {
+    auto it = committed_.find(qid);
+    if (it == committed_.end()) {
+      answer.clear();
+    } else {
+      answer = it->second;
+    }
+  }
+}
+
+const std::unordered_set<ObjectId>& Client::AnswerOf(QueryId qid) const {
+  auto it = answers_.find(qid);
+  return it == answers_.end() ? EmptySet() : it->second;
+}
+
+std::vector<ObjectId> Client::SortedAnswerOf(QueryId qid) const {
+  const auto& answer = AnswerOf(qid);
+  std::vector<ObjectId> out(answer.begin(), answer.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace stq

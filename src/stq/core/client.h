@@ -1,0 +1,71 @@
+// Client: the client-side mirror of a set of continuous query answers.
+//
+// Clients in the paper are thin — "cheap, low battery, passive devices" —
+// so all a client does is apply the positive/negative update stream to its
+// local answer sets. Application is idempotent (set semantics): a negative
+// for an absent object or a positive for a present one is a no-op, which
+// is exactly what makes the recovery protocol's replayed deltas safe.
+//
+// Commit protocol, client side: commits originate at the client (an
+// explicit commit message, or any uplink message from a moving query), so
+// the client always knows its own committed answer and snapshots it
+// (Commit / CommitAll). A wakeup response from the server is the
+// difference between the *committed* and the current answer; updates the
+// client received after its last commit are not covered by that diff, so
+// on reconnect the client first rolls back to its committed snapshot
+// (RollbackToCommitted) and then applies the server's recovery delta,
+// which provably converges to the server's current answer.
+
+#ifndef STQ_CORE_CLIENT_H_
+#define STQ_CORE_CLIENT_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "stq/common/ids.h"
+#include "stq/core/types.h"
+
+namespace stq {
+
+class Client {
+ public:
+  explicit Client(ClientId id) : id_(id) {}
+
+  ClientId id() const { return id_; }
+
+  // Applies a batch of updates to the local answer sets.
+  void ApplyUpdates(const std::vector<Update>& updates);
+
+  // Forgets a query's answer (the client cancelled it).
+  void DropQuery(QueryId qid);
+
+  // Snapshots the current answer of `qid` (resp. of every tracked query)
+  // as committed. Call at each client-initiated commit point.
+  void Commit(QueryId qid);
+  void CommitAll();
+
+  // Reverts every answer to its committed snapshot (empty if never
+  // committed). Call on reconnect, before applying the wakeup delta.
+  void RollbackToCommitted();
+
+  // Local answer for `qid`, empty when no update ever mentioned it.
+  const std::unordered_set<ObjectId>& AnswerOf(QueryId qid) const;
+
+  // Sorted copy for deterministic assertions.
+  std::vector<ObjectId> SortedAnswerOf(QueryId qid) const;
+
+  size_t num_tracked_queries() const { return answers_.size(); }
+  size_t updates_applied() const { return updates_applied_; }
+
+ private:
+  ClientId id_;
+  std::unordered_map<QueryId, std::unordered_set<ObjectId>> answers_;
+  std::unordered_map<QueryId, std::unordered_set<ObjectId>> committed_;
+  size_t updates_applied_ = 0;
+};
+
+}  // namespace stq
+
+#endif  // STQ_CORE_CLIENT_H_

@@ -1,0 +1,60 @@
+// CommittedStore: the repository of committed query answers used by the
+// out-of-sync recovery protocol (paper, Section 3.3).
+//
+// "An answer is considered committed if it is guaranteed that the client
+// has received it. Once the client wakes up from the disconnected mode,
+// ... the server compares the latest answer for the query with the
+// committed answer, and sends the difference of the answer in the form of
+// positive and negative updates."
+
+#ifndef STQ_CORE_COMMITTED_STORE_H_
+#define STQ_CORE_COMMITTED_STORE_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "stq/common/ids.h"
+#include "stq/core/types.h"
+
+namespace stq {
+
+class CommittedStore {
+ public:
+  CommittedStore() = default;
+  CommittedStore(const CommittedStore&) = delete;
+  CommittedStore& operator=(const CommittedStore&) = delete;
+
+  // Records `answer` as the committed answer of `qid`, replacing any
+  // previous commit.
+  void Commit(QueryId qid, const std::unordered_set<ObjectId>& answer);
+
+  // Forgets the query entirely (on unregistration).
+  void Erase(QueryId qid);
+
+  bool HasCommit(QueryId qid) const { return map_.contains(qid); }
+
+  // The committed answer; empty when never committed.
+  const std::unordered_set<ObjectId>& Committed(QueryId qid) const;
+
+  // The recovery delta: the updates that transform the committed answer
+  // into `current` — negatives for committed-only objects, positives for
+  // current-only objects. Canonically ordered.
+  std::vector<Update> DiffAgainstCommitted(
+      QueryId qid, const std::unordered_set<ObjectId>& current) const;
+
+  size_t size() const { return map_.size(); }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [qid, answer] : map_) fn(qid, answer);
+  }
+
+ private:
+  std::unordered_map<QueryId, std::unordered_set<ObjectId>> map_;
+};
+
+}  // namespace stq
+
+#endif  // STQ_CORE_COMMITTED_STORE_H_

@@ -1,0 +1,47 @@
+#include "stq/core/density_monitor.h"
+
+#include "stq/common/logging.h"
+
+namespace stq {
+
+DensityMonitor::DensityMonitor(const GridIndex* grid, size_t threshold)
+    : grid_(grid), threshold_(threshold) {
+  STQ_CHECK(grid_ != nullptr);
+  STQ_CHECK(threshold_ >= 1) << "a zero threshold makes every cell dense";
+}
+
+std::vector<DenseCellUpdate> DensityMonitor::Tick() {
+  std::vector<DenseCellUpdate> updates;
+  const int n = grid_->cells_per_side();
+  std::set<std::pair<int, int>> fresh;
+  for (int cy = 0; cy < n; ++cy) {
+    for (int cx = 0; cx < n; ++cx) {
+      const CellCoord cell{cx, cy};
+      const size_t count = grid_->ObjectCountInCell(cell);
+      if (count < threshold_) continue;
+      fresh.insert(Key(cell));
+      if (!dense_.contains(Key(cell))) {
+        updates.push_back(
+            DenseCellUpdate{cell, UpdateSign::kPositive, count});
+      }
+    }
+  }
+  for (const auto& [cy, cx] : dense_) {
+    if (!fresh.contains({cy, cx})) {
+      const CellCoord cell{cx, cy};
+      updates.push_back(DenseCellUpdate{cell, UpdateSign::kNegative,
+                                        grid_->ObjectCountInCell(cell)});
+    }
+  }
+  dense_ = std::move(fresh);
+  return updates;
+}
+
+std::vector<CellCoord> DensityMonitor::DenseCells() const {
+  std::vector<CellCoord> cells;
+  cells.reserve(dense_.size());
+  for (const auto& [cy, cx] : dense_) cells.push_back(CellCoord{cx, cy});
+  return cells;
+}
+
+}  // namespace stq

@@ -1,0 +1,45 @@
+// Shared mutable state threaded through the evaluation passes: the grid,
+// the two stores, and the options. Owned by QueryProcessor; evaluators
+// borrow it.
+
+#ifndef STQ_CORE_ENGINE_STATE_H_
+#define STQ_CORE_ENGINE_STATE_H_
+
+#include <vector>
+
+#include "stq/core/object_store.h"
+#include "stq/core/options.h"
+#include "stq/core/query_store.h"
+#include "stq/core/types.h"
+#include "stq/grid/grid_index.h"
+
+namespace stq {
+
+struct EngineState {
+  GridIndex* grid = nullptr;
+  ObjectStore* objects = nullptr;
+  QueryStore* queries = nullptr;
+  const QueryProcessorOptions* options = nullptr;
+};
+
+// Sets object `o`'s membership in `q`'s answer to `in`, emitting the
+// corresponding positive/negative update iff the membership actually
+// changed. Keeps the answer set and the object's QList in lockstep.
+inline void SetMembership(ObjectRecord* o, QueryRecord* q, bool in,
+                          std::vector<Update>* out) {
+  if (in) {
+    if (q->answer.insert(o->id).second) {
+      ObjectStore::AddQuery(o, q->id);
+      out->push_back(Update::Positive(q->id, o->id));
+    }
+  } else {
+    if (q->answer.erase(o->id) > 0) {
+      ObjectStore::RemoveQuery(o, q->id);
+      out->push_back(Update::Negative(q->id, o->id));
+    }
+  }
+}
+
+}  // namespace stq
+
+#endif  // STQ_CORE_ENGINE_STATE_H_

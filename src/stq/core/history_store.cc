@@ -1,0 +1,92 @@
+#include "stq/core/history_store.h"
+
+#include <algorithm>
+
+namespace stq {
+
+void HistoryStore::RecordReport(ObjectId id, const Point& loc, Timestamp t) {
+  std::vector<Sample>& timeline = timelines_[id];
+  if (!timeline.empty()) {
+    // An id reused after a removal may carry an older device clock; the
+    // history keeps its own order by clamping such reports forward.
+    if (t < timeline.back().t) t = timeline.back().t;
+    if (timeline.back().t == t) {
+      timeline.back() = Sample{t, loc, false};
+      return;
+    }
+  }
+  timeline.push_back(Sample{t, loc, false});
+}
+
+void HistoryStore::RecordRemoval(ObjectId id, Timestamp t) {
+  std::vector<Sample>& timeline = timelines_[id];
+  if (!timeline.empty()) {
+    if (t < timeline.back().t) t = timeline.back().t;
+    if (timeline.back().t == t) {
+      timeline.back().removed = true;
+      return;
+    }
+  }
+  timeline.push_back(Sample{t, Point{}, true});
+}
+
+std::optional<Point> HistoryStore::LocationAt(ObjectId id, Timestamp t,
+                                              Interpolation mode) const {
+  auto it = timelines_.find(id);
+  if (it == timelines_.end()) return std::nullopt;
+  const std::vector<Sample>& timeline = it->second;
+  // First sample with sample.t > t; its predecessor is the holder.
+  auto next = std::upper_bound(
+      timeline.begin(), timeline.end(), t,
+      [](Timestamp value, const Sample& s) { return value < s.t; });
+  if (next == timeline.begin()) return std::nullopt;  // not yet reported
+  const Sample& sample = *(next - 1);
+  if (sample.removed) return std::nullopt;
+  if (mode == Interpolation::kLinear && next != timeline.end() &&
+      !next->removed && next->t > sample.t) {
+    const double f = (t - sample.t) / (next->t - sample.t);
+    return Point{sample.loc.x + (next->loc.x - sample.loc.x) * f,
+                 sample.loc.y + (next->loc.y - sample.loc.y) * f};
+  }
+  return sample.loc;
+}
+
+std::vector<ObjectId> HistoryStore::RangeAt(const Rect& region, Timestamp t,
+                                            Interpolation mode) const {
+  std::vector<ObjectId> out;
+  for (const auto& [id, timeline] : timelines_) {
+    (void)timeline;
+    const std::optional<Point> loc = LocationAt(id, t, mode);
+    if (loc.has_value() && region.Contains(*loc)) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void HistoryStore::PruneBefore(Timestamp horizon) {
+  for (auto it = timelines_.begin(); it != timelines_.end();) {
+    std::vector<Sample>& timeline = it->second;
+    // Keep the latest sample at or before the horizon (sample-and-hold
+    // needs it) plus everything after.
+    auto keep_from = std::upper_bound(
+        timeline.begin(), timeline.end(), horizon,
+        [](Timestamp value, const Sample& s) { return value < s.t; });
+    if (keep_from != timeline.begin()) --keep_from;
+    timeline.erase(timeline.begin(), keep_from);
+    // A timeline reduced to a single tombstone is dead weight.
+    if (timeline.size() == 1 && timeline[0].removed &&
+        timeline[0].t <= horizon) {
+      it = timelines_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t HistoryStore::num_samples() const {
+  size_t total = 0;
+  for (const auto& [id, timeline] : timelines_) total += timeline.size();
+  return total;
+}
+
+}  // namespace stq

@@ -1,0 +1,84 @@
+// HistoryStore: the repository of past object locations.
+//
+// "A range query may ask about the past, present, or the future." (paper,
+// Section 1) and "once a moving object or query sends new information,
+// the old information becomes persistent and is stored in a repository
+// server" (Section 1.3). The continuous engine covers present (range,
+// k-NN) and future (predictive) queries; the HistoryStore adds the past:
+// it retains every accepted report in time order and answers snapshot
+// range queries as of any historical instant under sample-and-hold
+// semantics (an object is where it last reported before t).
+//
+// Enabled via QueryProcessorOptions::record_history.
+
+#ifndef STQ_CORE_HISTORY_STORE_H_
+#define STQ_CORE_HISTORY_STORE_H_
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "stq/common/clock.h"
+#include "stq/common/ids.h"
+#include "stq/geo/point.h"
+#include "stq/geo/rect.h"
+
+namespace stq {
+
+class HistoryStore {
+ public:
+  HistoryStore() = default;
+  HistoryStore(const HistoryStore&) = delete;
+  HistoryStore& operator=(const HistoryStore&) = delete;
+
+  // Records a location report. Reports per object must arrive in
+  // non-decreasing time order (the query processor guarantees this); a
+  // report at the same timestamp as the previous one supersedes it.
+  void RecordReport(ObjectId id, const Point& loc, Timestamp t);
+
+  // Records that the object left the system at `t`.
+  void RecordRemoval(ObjectId id, Timestamp t);
+
+  // How the location between two samples is reconstructed.
+  enum class Interpolation {
+    kSampleAndHold,  // the object is where it last reported
+    kLinear,         // straight line between consecutive reports
+  };
+
+  // Where was the object at time `t`? nullopt when the object had not yet
+  // reported, or had been removed, as of `t`. With kLinear the position
+  // is interpolated toward the next report when one exists (and falls
+  // back to sample-and-hold at the end of the timeline).
+  std::optional<Point> LocationAt(
+      ObjectId id, Timestamp t,
+      Interpolation mode = Interpolation::kSampleAndHold) const;
+
+  // Snapshot range query in the past: ids of all objects inside `region`
+  // at time `t`, sorted.
+  std::vector<ObjectId> RangeAt(
+      const Rect& region, Timestamp t,
+      Interpolation mode = Interpolation::kSampleAndHold) const;
+
+  // Drops samples that can no longer influence any query at or after
+  // `horizon` (every object keeps the latest sample at or before the
+  // horizon so sample-and-hold still works).
+  void PruneBefore(Timestamp horizon);
+
+  size_t num_objects_tracked() const { return timelines_.size(); }
+  size_t num_samples() const;
+
+ private:
+  struct Sample {
+    Timestamp t = 0.0;
+    Point loc;
+    bool removed = false;  // tombstone: object absent from `t` onward
+  };
+
+  // Time-ordered per-object samples.
+  std::unordered_map<ObjectId, std::vector<Sample>> timelines_;
+};
+
+}  // namespace stq
+
+#endif  // STQ_CORE_HISTORY_STORE_H_

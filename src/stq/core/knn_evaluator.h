@@ -1,0 +1,65 @@
+// Incremental maintenance of continuous k-nearest-neighbor queries.
+//
+// "k-nearest-neighbor queries are stored in the grid structure by
+// considering the query region as the smallest circular region that
+// contains the k nearest objects." (paper, Section 3.1)
+//
+// A k-NN query becomes *dirty* when its focal point moves, when an answer
+// member moves or disappears, or when some object moves inside the answer
+// circle. Only dirty queries are re-evaluated; the re-evaluation performs
+// an expanding-ring search over the grid and the answer delta is shipped
+// as +/- updates (paper, Example II).
+
+#ifndef STQ_CORE_KNN_EVALUATOR_H_
+#define STQ_CORE_KNN_EVALUATOR_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "stq/core/engine_state.h"
+
+namespace stq {
+
+class KnnEvaluator {
+ public:
+  explicit KnnEvaluator(EngineState state) : state_(state) {}
+
+  // Schedules `qid` for re-evaluation at the end of the current tick.
+  void MarkDirty(QueryId qid) { dirty_.insert(qid); }
+  void ClearDirty() { dirty_.clear(); }
+  size_t num_dirty() const { return dirty_.size(); }
+
+  // Re-evaluates every dirty query that still exists: recomputes the k
+  // nearest objects, emits the answer delta, updates the circle and
+  // re-clips the query's grid footprint. Returns the number of queries
+  // re-evaluated.
+  size_t ReevaluateDirty(std::vector<Update>* out);
+
+  // Exact k-NN search over the grid: the k objects nearest to `center`,
+  // ties broken by object id, returned sorted by (distance^2, id).
+  // Exposed for tests and for the processor's from-scratch evaluation.
+  struct Neighbor {
+    double dist2 = 0.0;
+    ObjectId id = 0;
+
+    friend bool operator<(const Neighbor& a, const Neighbor& b) {
+      if (a.dist2 != b.dist2) return a.dist2 < b.dist2;
+      return a.id < b.id;
+    }
+  };
+  std::vector<Neighbor> Search(const Point& center, int k) const;
+
+ private:
+  // Applies a freshly computed answer to `q`: emits delta updates,
+  // updates the circle radius, re-clips the grid footprint.
+  void ApplyAnswer(QueryRecord* q, const std::vector<Neighbor>& neighbors,
+                   std::vector<Update>* out);
+
+  EngineState state_;
+  std::unordered_set<QueryId> dirty_;
+};
+
+}  // namespace stq
+
+#endif  // STQ_CORE_KNN_EVALUATOR_H_

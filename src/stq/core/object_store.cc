@@ -1,0 +1,48 @@
+#include "stq/core/object_store.h"
+
+#include <algorithm>
+
+#include "stq/common/logging.h"
+
+namespace stq {
+
+const ObjectRecord* ObjectStore::Find(ObjectId id) const {
+  auto it = map_.find(id);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+ObjectRecord* ObjectStore::FindMutable(ObjectId id) {
+  auto it = map_.find(id);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+ObjectRecord* ObjectStore::Insert(ObjectRecord record) {
+  auto [it, inserted] = map_.emplace(record.id, std::move(record));
+  STQ_CHECK(inserted) << "object " << it->first << " already present";
+  return &it->second;
+}
+
+void ObjectStore::Erase(ObjectId id) {
+  const size_t n = map_.erase(id);
+  STQ_CHECK(n == 1) << "object " << id << " not present";
+}
+
+bool ObjectStore::AddQuery(ObjectRecord* rec, QueryId q) {
+  auto it = std::lower_bound(rec->queries.begin(), rec->queries.end(), q);
+  if (it != rec->queries.end() && *it == q) return false;
+  rec->queries.insert(it, q);
+  return true;
+}
+
+bool ObjectStore::RemoveQuery(ObjectRecord* rec, QueryId q) {
+  auto it = std::lower_bound(rec->queries.begin(), rec->queries.end(), q);
+  if (it == rec->queries.end() || *it != q) return false;
+  rec->queries.erase(it);
+  return true;
+}
+
+bool ObjectStore::HasQuery(const ObjectRecord& rec, QueryId q) {
+  return std::binary_search(rec.queries.begin(), rec.queries.end(), q);
+}
+
+}  // namespace stq

@@ -1,0 +1,82 @@
+// ObjectStore: the object index of the framework.
+//
+// "An object entry O has the form (OID, loc, t, QList), where ... QList is
+// the list of the queries that O is satisfying." (paper, Section 3.1)
+//
+// The store is the auxiliary structure that lets the processor find an
+// object's *old* location (and current query memberships) given its id —
+// the role the paper assigns to LUR-tree / FUR-tree style memos.
+
+#ifndef STQ_CORE_OBJECT_STORE_H_
+#define STQ_CORE_OBJECT_STORE_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "stq/common/clock.h"
+#include "stq/common/ids.h"
+#include "stq/geo/geometry.h"
+#include "stq/geo/point.h"
+#include "stq/geo/segment.h"
+
+namespace stq {
+
+struct ObjectRecord {
+  ObjectId id = 0;
+  Point loc;           // last reported location
+  Velocity vel;        // zero unless predictive
+  Timestamp t = 0.0;   // timestamp of the last report
+  bool predictive = false;
+
+  // The trajectory footprint currently clipped into the grid (predictive
+  // objects only; meaningless when !predictive). Kept here so removal
+  // clips exactly the same cells insertion did.
+  Segment footprint;
+
+  // QList: ids of the queries whose answer currently contains this
+  // object. Kept sorted; small (answers overlap few queries per object).
+  std::vector<QueryId> queries;
+
+  Trajectory trajectory() const { return Trajectory{loc, vel, t}; }
+};
+
+class ObjectStore {
+ public:
+  ObjectStore() = default;
+  ObjectStore(const ObjectStore&) = delete;
+  ObjectStore& operator=(const ObjectStore&) = delete;
+
+  // Returns nullptr when absent.
+  const ObjectRecord* Find(ObjectId id) const;
+  ObjectRecord* FindMutable(ObjectId id);
+
+  bool Contains(ObjectId id) const { return map_.contains(id); }
+
+  // Inserts a fresh record; precondition: id not present.
+  ObjectRecord* Insert(ObjectRecord record);
+
+  // Removes the record; precondition: id present.
+  void Erase(ObjectId id);
+
+  size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [id, rec] : map_) fn(rec);
+  }
+
+  // QList maintenance. AddQuery is a no-op if already present (returns
+  // false); RemoveQuery returns false if absent.
+  static bool AddQuery(ObjectRecord* rec, QueryId q);
+  static bool RemoveQuery(ObjectRecord* rec, QueryId q);
+  static bool HasQuery(const ObjectRecord& rec, QueryId q);
+
+ private:
+  std::unordered_map<ObjectId, ObjectRecord> map_;
+};
+
+}  // namespace stq
+
+#endif  // STQ_CORE_OBJECT_STORE_H_

@@ -1,0 +1,43 @@
+// Configuration for the continuous query processor.
+
+#ifndef STQ_CORE_OPTIONS_H_
+#define STQ_CORE_OPTIONS_H_
+
+#include "stq/common/bytes.h"
+#include "stq/geo/rect.h"
+
+namespace stq {
+
+struct QueryProcessorOptions {
+  // The bounded space all objects and queries live in. Locations outside
+  // are accepted but indexed in the nearest border cell.
+  Rect bounds = Rect{0.0, 0.0, 1.0, 1.0};
+
+  // Grid resolution: the space is divided into N x N equal cells.
+  int grid_cells_per_side = 64;
+
+  // How far (seconds) past an object's last report the engine predicts
+  // its trajectory. Predictive objects are clipped into the grid along
+  // their footprint over [t_report, t_report + prediction_horizon], and a
+  // predictive query's effective window for an object is intersected with
+  // that interval: the engine never claims knowledge beyond the horizon.
+  double prediction_horizon = 60.0;
+
+  // When true, the processor retains every accepted report in a
+  // HistoryStore, enabling snapshot queries about the past
+  // (QueryProcessor::EvaluatePastRangeQuery). Memory grows with the
+  // report volume until HistoryStore::PruneBefore is called.
+  bool record_history = false;
+
+  // Byte accounting used in TickResult::WireBytes and by Server.
+  WireCostModel wire_cost;
+
+  bool Validate() const {
+    return !bounds.IsEmpty() && grid_cells_per_side >= 1 &&
+           prediction_horizon > 0.0;
+  }
+};
+
+}  // namespace stq
+
+#endif  // STQ_CORE_OPTIONS_H_

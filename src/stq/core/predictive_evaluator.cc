@@ -1,0 +1,54 @@
+#include "stq/core/predictive_evaluator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "stq/common/logging.h"
+#include "stq/geo/geometry.h"
+
+namespace stq {
+
+bool PredictiveEvaluator::Satisfies(const ObjectRecord& o,
+                                    const QueryRecord& q,
+                                    const QueryProcessorOptions& options) {
+  const double window_from = std::max(q.t_from, o.t);
+  const double window_to = std::min(q.t_to, o.t + options.prediction_horizon);
+  if (window_to < window_from) return false;
+  return TrajectoryIntersectsRect(o.trajectory(), q.region, window_from,
+                                  window_to, /*t_hit=*/nullptr);
+}
+
+void PredictiveEvaluator::OnQueryRegionChanged(QueryRecord* q,
+                                               const Rect& old_region,
+                                               std::vector<Update>* out) {
+  // Negatives: members whose trajectory no longer satisfies the new
+  // region within the window.
+  std::vector<ObjectId> leavers;
+  for (ObjectId oid : q->answer) {
+    const ObjectRecord* o = state_.objects->Find(oid);
+    STQ_DCHECK(o != nullptr);
+    if (!Satisfies(*o, *q, *state_.options)) leavers.push_back(oid);
+  }
+  for (ObjectId oid : leavers) {
+    SetMembership(state_.objects->FindMutable(oid), q, false, out);
+  }
+
+  // Positives: a trajectory that satisfies the new region but not the old
+  // one must pass through A_new - A_old during the window, so its grid
+  // footprint crosses a cell overlapping the difference — candidates from
+  // those cells suffice. The admission test runs against the full new
+  // region (the hit instant may lie inside A_new ∩ A_old).
+  std::unordered_set<ObjectId> tested;
+  for (const Rect& piece : RectDifference(q->region, old_region)) {
+    state_.grid->ForEachObjectCandidate(piece, [&](ObjectId oid) {
+      if (!tested.insert(oid).second) return;
+      ObjectRecord* o = state_.objects->FindMutable(oid);
+      STQ_DCHECK(o != nullptr);
+      if (Satisfies(*o, *q, *state_.options)) {
+        SetMembership(o, q, true, out);
+      }
+    });
+  }
+}
+
+}  // namespace stq

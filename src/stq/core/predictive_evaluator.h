@@ -1,0 +1,42 @@
+// Incremental evaluation of predictive range queries (paper, Example III).
+//
+// Predictive objects report a velocity vector; their future location is a
+// linear trajectory. A predictive range query asks for the objects whose
+// trajectory passes through a rectangle during a future time window. The
+// query is re-evaluated only when *information* changes (an object reports
+// a new location/velocity, or the query moves) — the passage of time alone
+// produces no tuples, exactly as in the paper's example where no tuple is
+// produced for an object that did not change its information.
+
+#ifndef STQ_CORE_PREDICTIVE_EVALUATOR_H_
+#define STQ_CORE_PREDICTIVE_EVALUATOR_H_
+
+#include <vector>
+
+#include "stq/core/engine_state.h"
+
+namespace stq {
+
+class PredictiveEvaluator {
+ public:
+  explicit PredictiveEvaluator(EngineState state) : state_(state) {}
+
+  // Membership predicate: does `o`'s trajectory enter q.region during
+  // [q.t_from, q.t_to], restricted to what the engine can claim to know —
+  // at most `prediction_horizon` seconds past the object's last report?
+  static bool Satisfies(const ObjectRecord& o, const QueryRecord& q,
+                        const QueryProcessorOptions& options);
+
+  // Handles a region change (old_region empty for a new registration);
+  // q->region must already hold the new rectangle. Emits +/- updates.
+  // Grid stubs are re-clipped by the processor.
+  void OnQueryRegionChanged(QueryRecord* q, const Rect& old_region,
+                            std::vector<Update>* out);
+
+ private:
+  EngineState state_;
+};
+
+}  // namespace stq
+
+#endif  // STQ_CORE_PREDICTIVE_EVALUATOR_H_

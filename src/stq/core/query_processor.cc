@@ -1,0 +1,752 @@
+#include "stq/core/query_processor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "stq/common/logging.h"
+
+namespace stq {
+
+QueryProcessor::QueryProcessor(const QueryProcessorOptions& options)
+    : options_(options),
+      history_(options.record_history ? std::make_unique<HistoryStore>()
+                                      : nullptr),
+      grid_(std::make_unique<GridIndex>(options_.bounds,
+                                        options_.grid_cells_per_side)),
+      range_(EngineState{grid_.get(), &objects_, &queries_, &options_}),
+      knn_(EngineState{grid_.get(), &objects_, &queries_, &options_}),
+      predictive_(EngineState{grid_.get(), &objects_, &queries_, &options_}),
+      circle_(EngineState{grid_.get(), &objects_, &queries_, &options_}) {
+  STQ_CHECK(options_.Validate()) << "invalid QueryProcessorOptions";
+}
+
+EngineState QueryProcessor::state() {
+  return EngineState{grid_.get(), &objects_, &queries_, &options_};
+}
+
+// ---------------------------------------------------------------------------
+// Report ingestion
+// ---------------------------------------------------------------------------
+
+double QueryProcessor::LatestKnownReportTime(ObjectId id) const {
+  double latest = -std::numeric_limits<double>::infinity();
+  if (const ObjectRecord* o = objects_.Find(id); o != nullptr) {
+    latest = o->t;
+  }
+  // A pending upsert supersedes the store for staleness purposes, unless a
+  // pending removal wipes the history.
+  if (buffer_.HasPendingRemove(id)) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  return latest;
+}
+
+Point QueryProcessor::ClampLocation(const Point& loc) const {
+  return Point{std::clamp(loc.x, options_.bounds.min_x, options_.bounds.max_x),
+               std::clamp(loc.y, options_.bounds.min_y,
+                          options_.bounds.max_y)};
+}
+
+Status QueryProcessor::UpsertObject(ObjectId id, const Point& loc,
+                                    Timestamp t) {
+  if (t < LatestKnownReportTime(id)) {
+    return Status::InvalidArgument("stale object report");
+  }
+  buffer_.AddObjectUpsert(PendingObjectUpsert{id, ClampLocation(loc),
+                                              Velocity{}, t,
+                                              /*predictive=*/false});
+  return Status::OK();
+}
+
+Status QueryProcessor::UpsertPredictiveObject(ObjectId id, const Point& loc,
+                                              const Velocity& vel,
+                                              Timestamp t) {
+  if (t < LatestKnownReportTime(id)) {
+    return Status::InvalidArgument("stale object report");
+  }
+  buffer_.AddObjectUpsert(PendingObjectUpsert{id, ClampLocation(loc), vel, t,
+                                              /*predictive=*/true});
+  return Status::OK();
+}
+
+Status QueryProcessor::RemoveObject(ObjectId id) {
+  const bool exists_in_store = objects_.Contains(id);
+  if (!exists_in_store && !buffer_.HasPendingUpsert(id)) {
+    std::ostringstream os;
+    os << "object " << id << " unknown";
+    return Status::NotFound(os.str());
+  }
+  buffer_.AddObjectRemove(id, exists_in_store);
+  return Status::OK();
+}
+
+Status QueryProcessor::ValidateQueryRegistration(QueryId id) const {
+  const bool live_in_store =
+      queries_.Contains(id) && !buffer_.HasPendingQueryUnregister(id);
+  if (live_in_store || buffer_.HasPendingQueryRegister(id)) {
+    std::ostringstream os;
+    os << "query " << id << " already registered";
+    return Status::AlreadyExists(os.str());
+  }
+  return Status::OK();
+}
+
+Result<QueryKind> QueryProcessor::EffectiveQueryKind(QueryId id) const {
+  if (const PendingQueryChange* pending = buffer_.FindPendingQueryChange(id);
+      pending != nullptr) {
+    switch (pending->kind) {
+      case QueryChangeKind::kRegisterRange:
+        return QueryKind::kRange;
+      case QueryChangeKind::kRegisterKnn:
+        return QueryKind::kKnn;
+      case QueryChangeKind::kRegisterPredictive:
+        return QueryKind::kPredictiveRange;
+      case QueryChangeKind::kRegisterCircle:
+        return QueryKind::kCircleRange;
+      case QueryChangeKind::kUnregister: {
+        std::ostringstream os;
+        os << "query " << id << " pending unregistration";
+        return Status::NotFound(os.str());
+      }
+      case QueryChangeKind::kMove:
+        break;  // fall through to the store's kind
+    }
+  }
+  if (const QueryRecord* q = queries_.Find(id); q != nullptr) {
+    return q->kind;
+  }
+  std::ostringstream os;
+  os << "query " << id << " unknown";
+  return Status::NotFound(os.str());
+}
+
+Rect QueryProcessor::ClampRegion(const Rect& region) const {
+  return region.Intersection(options_.bounds);
+}
+
+Status QueryProcessor::RegisterRangeQuery(QueryId id, const Rect& region) {
+  const Rect clamped = ClampRegion(region);
+  if (clamped.IsEmpty()) {
+    return Status::InvalidArgument(
+        "range query region must overlap the space bounds");
+  }
+  STQ_RETURN_IF_ERROR(ValidateQueryRegistration(id));
+  PendingQueryChange c;
+  c.kind = QueryChangeKind::kRegisterRange;
+  c.id = id;
+  c.region = clamped;
+  buffer_.AddQueryChange(c, queries_.Contains(id));
+  return Status::OK();
+}
+
+Status QueryProcessor::MoveRangeQuery(QueryId id, const Rect& region) {
+  const Rect clamped = ClampRegion(region);
+  if (clamped.IsEmpty()) {
+    return Status::InvalidArgument(
+        "range query region must overlap the space bounds");
+  }
+  Result<QueryKind> kind = EffectiveQueryKind(id);
+  if (!kind.ok()) return kind.status();
+  if (*kind != QueryKind::kRange) {
+    return Status::InvalidArgument("query is not a range query");
+  }
+  PendingQueryChange c;
+  c.kind = QueryChangeKind::kMove;
+  c.id = id;
+  c.region = clamped;
+  buffer_.AddQueryChange(c, queries_.Contains(id));
+  return Status::OK();
+}
+
+Status QueryProcessor::RegisterKnnQuery(QueryId id, const Point& center,
+                                        int k) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  STQ_RETURN_IF_ERROR(ValidateQueryRegistration(id));
+  PendingQueryChange c;
+  c.kind = QueryChangeKind::kRegisterKnn;
+  c.id = id;
+  c.center = center;
+  c.k = k;
+  buffer_.AddQueryChange(c, queries_.Contains(id));
+  return Status::OK();
+}
+
+Status QueryProcessor::MoveKnnQuery(QueryId id, const Point& center) {
+  Result<QueryKind> kind = EffectiveQueryKind(id);
+  if (!kind.ok()) return kind.status();
+  if (*kind != QueryKind::kKnn) {
+    return Status::InvalidArgument("query is not a k-NN query");
+  }
+  PendingQueryChange c;
+  c.kind = QueryChangeKind::kMove;
+  c.id = id;
+  c.center = center;
+  buffer_.AddQueryChange(c, queries_.Contains(id));
+  return Status::OK();
+}
+
+Status QueryProcessor::RegisterCircleQuery(QueryId id, const Point& center,
+                                           double radius) {
+  if (radius <= 0.0) {
+    return Status::InvalidArgument("circle radius must be positive");
+  }
+  if (ClampRegion(Circle{center, radius}.BoundingBox()).IsEmpty()) {
+    return Status::InvalidArgument(
+        "circle query must overlap the space bounds");
+  }
+  STQ_RETURN_IF_ERROR(ValidateQueryRegistration(id));
+  PendingQueryChange c;
+  c.kind = QueryChangeKind::kRegisterCircle;
+  c.id = id;
+  c.center = center;
+  c.radius = radius;
+  buffer_.AddQueryChange(c, queries_.Contains(id));
+  return Status::OK();
+}
+
+Status QueryProcessor::MoveCircleQuery(QueryId id, const Point& center) {
+  Result<QueryKind> kind = EffectiveQueryKind(id);
+  if (!kind.ok()) return kind.status();
+  if (*kind != QueryKind::kCircleRange) {
+    return Status::InvalidArgument("query is not a circular range query");
+  }
+  // The disk must keep overlapping the space; its radius is stored either
+  // in the record or the pending registration.
+  double radius = 0.0;
+  if (const PendingQueryChange* pending = buffer_.FindPendingQueryChange(id);
+      pending != nullptr &&
+      pending->kind == QueryChangeKind::kRegisterCircle) {
+    radius = pending->radius;
+  } else if (const QueryRecord* q = queries_.Find(id); q != nullptr) {
+    radius = q->circle.radius;
+  }
+  if (ClampRegion(Circle{center, radius}.BoundingBox()).IsEmpty()) {
+    return Status::InvalidArgument(
+        "circle query must overlap the space bounds");
+  }
+  PendingQueryChange c;
+  c.kind = QueryChangeKind::kMove;
+  c.id = id;
+  c.center = center;
+  buffer_.AddQueryChange(c, queries_.Contains(id));
+  return Status::OK();
+}
+
+Status QueryProcessor::RegisterPredictiveQuery(QueryId id, const Rect& region,
+                                               double t_from, double t_to) {
+  const Rect clamped = ClampRegion(region);
+  if (clamped.IsEmpty()) {
+    return Status::InvalidArgument(
+        "predictive query region must overlap the space bounds");
+  }
+  if (t_to < t_from) {
+    return Status::InvalidArgument("predictive window must have t_from <= t_to");
+  }
+  STQ_RETURN_IF_ERROR(ValidateQueryRegistration(id));
+  PendingQueryChange c;
+  c.kind = QueryChangeKind::kRegisterPredictive;
+  c.id = id;
+  c.region = clamped;
+  c.t_from = t_from;
+  c.t_to = t_to;
+  buffer_.AddQueryChange(c, queries_.Contains(id));
+  return Status::OK();
+}
+
+Status QueryProcessor::MovePredictiveQuery(QueryId id, const Rect& region) {
+  const Rect clamped = ClampRegion(region);
+  if (clamped.IsEmpty()) {
+    return Status::InvalidArgument(
+        "predictive query region must overlap the space bounds");
+  }
+  Result<QueryKind> kind = EffectiveQueryKind(id);
+  if (!kind.ok()) return kind.status();
+  if (*kind != QueryKind::kPredictiveRange) {
+    return Status::InvalidArgument("query is not a predictive query");
+  }
+  PendingQueryChange c;
+  c.kind = QueryChangeKind::kMove;
+  c.id = id;
+  c.region = clamped;
+  buffer_.AddQueryChange(c, queries_.Contains(id));
+  return Status::OK();
+}
+
+Status QueryProcessor::UnregisterQuery(QueryId id) {
+  const bool live_in_store =
+      queries_.Contains(id) && !buffer_.HasPendingQueryUnregister(id);
+  if (!live_in_store && !buffer_.HasPendingQueryRegister(id)) {
+    std::ostringstream os;
+    os << "query " << id << " unknown";
+    return Status::NotFound(os.str());
+  }
+  PendingQueryChange c;
+  c.kind = QueryChangeKind::kUnregister;
+  c.id = id;
+  buffer_.AddQueryChange(c, queries_.Contains(id));
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Tick phases
+// ---------------------------------------------------------------------------
+
+void QueryProcessor::ApplyObjectRemovals(const std::vector<ObjectId>& removals,
+                                         Timestamp now,
+                                         std::vector<Update>* out,
+                                         TickStats* stats) {
+  for (ObjectId id : removals) {
+    if (history_ != nullptr) history_->RecordRemoval(id, now);
+    ObjectRecord* o = objects_.FindMutable(id);
+    STQ_CHECK(o != nullptr) << "buffered removal of unknown object " << id;
+    // Ship negatives for every answer the object participated in; a k-NN
+    // query losing a member must refill from the grid.
+    const std::vector<QueryId> memberships = o->queries;
+    for (QueryId qid : memberships) {
+      QueryRecord* q = queries_.FindMutable(qid);
+      STQ_DCHECK(q != nullptr);
+      SetMembership(o, q, false, out);
+      if (q->kind == QueryKind::kKnn) knn_.MarkDirty(qid);
+    }
+    if (o->predictive) {
+      grid_->RemoveObjectFootprint(id, o->footprint);
+    } else {
+      grid_->RemoveObject(id, o->loc);
+    }
+    objects_.Erase(id);
+    ++stats->object_removals_applied;
+  }
+}
+
+void QueryProcessor::ApplyObjectUpserts(
+    const std::vector<PendingObjectUpsert>& upserts,
+    std::vector<ObjectId>* moved, TickStats* stats) {
+  for (const PendingObjectUpsert& u : upserts) {
+    if (history_ != nullptr) history_->RecordReport(u.id, u.loc, u.t);
+    ObjectRecord* o = objects_.FindMutable(u.id);
+    if (o == nullptr) {
+      ObjectRecord rec;
+      rec.id = u.id;
+      rec.loc = u.loc;
+      rec.vel = u.predictive ? u.vel : Velocity{};
+      rec.t = u.t;
+      rec.predictive = u.predictive;
+      if (rec.predictive) {
+        rec.footprint = rec.trajectory().FootprintBetween(
+            rec.t, rec.t + options_.prediction_horizon);
+        grid_->InsertObjectFootprint(rec.id, rec.footprint);
+      } else {
+        grid_->InsertObject(rec.id, rec.loc);
+      }
+      objects_.Insert(std::move(rec));
+    } else {
+      if (o->predictive) {
+        grid_->RemoveObjectFootprint(o->id, o->footprint);
+      } else {
+        grid_->RemoveObject(o->id, o->loc);
+      }
+      o->loc = u.loc;
+      o->vel = u.predictive ? u.vel : Velocity{};
+      o->t = u.t;
+      o->predictive = u.predictive;
+      if (o->predictive) {
+        o->footprint = o->trajectory().FootprintBetween(
+            o->t, o->t + options_.prediction_horizon);
+        grid_->InsertObjectFootprint(o->id, o->footprint);
+      } else {
+        grid_->InsertObject(o->id, o->loc);
+      }
+    }
+    moved->push_back(u.id);
+    ++stats->object_updates_applied;
+  }
+}
+
+void QueryProcessor::DropQueryRecord(QueryId id, TickStats* stats) {
+  QueryRecord* q = queries_.FindMutable(id);
+  STQ_CHECK(q != nullptr) << "dropping unknown query " << id;
+  for (ObjectId oid : q->answer) {
+    ObjectRecord* o = objects_.FindMutable(oid);
+    STQ_DCHECK(o != nullptr);
+    ObjectStore::RemoveQuery(o, id);
+  }
+  if (!q->grid_footprint.IsEmpty()) {
+    grid_->RemoveQuery(id, q->grid_footprint);
+  }
+  queries_.Erase(id);
+  ++stats->queries_unregistered;
+}
+
+void QueryProcessor::ApplyQueryChanges(
+    const std::vector<PendingQueryChange>& changes, Timestamp now,
+    std::vector<std::pair<QueryId, Rect>>* changed_rects,
+    std::vector<QueryId>* moved_circles, TickStats* stats) {
+  for (const PendingQueryChange& c : changes) {
+    // A Register for an id still present in the store means the client
+    // unregistered and re-registered within one period: drop the old
+    // incarnation first.
+    if (c.kind != QueryChangeKind::kMove &&
+        c.kind != QueryChangeKind::kUnregister && queries_.Contains(c.id)) {
+      DropQueryRecord(c.id, stats);
+    }
+    switch (c.kind) {
+      case QueryChangeKind::kUnregister: {
+        DropQueryRecord(c.id, stats);
+        break;
+      }
+      case QueryChangeKind::kRegisterRange: {
+        QueryRecord rec;
+        rec.id = c.id;
+        rec.kind = QueryKind::kRange;
+        rec.region = c.region;
+        rec.t = now;
+        rec.grid_footprint = c.region;
+        grid_->InsertQuery(c.id, c.region);
+        queries_.Insert(std::move(rec));
+        changed_rects->emplace_back(c.id, Rect::Empty());
+        ++stats->query_changes_applied;
+        break;
+      }
+      case QueryChangeKind::kRegisterPredictive: {
+        QueryRecord rec;
+        rec.id = c.id;
+        rec.kind = QueryKind::kPredictiveRange;
+        rec.region = c.region;
+        rec.t_from = c.t_from;
+        rec.t_to = c.t_to;
+        rec.t = now;
+        rec.grid_footprint = c.region;
+        grid_->InsertQuery(c.id, c.region);
+        queries_.Insert(std::move(rec));
+        changed_rects->emplace_back(c.id, Rect::Empty());
+        ++stats->query_changes_applied;
+        break;
+      }
+      case QueryChangeKind::kRegisterKnn: {
+        QueryRecord rec;
+        rec.id = c.id;
+        rec.kind = QueryKind::kKnn;
+        rec.circle = Circle{c.center, 0.0};
+        rec.k = c.k;
+        rec.t = now;
+        // The grid footprint is installed by the k-NN evaluator once the
+        // first answer (and hence the circle radius) is known.
+        queries_.Insert(std::move(rec));
+        knn_.MarkDirty(c.id);
+        ++stats->query_changes_applied;
+        break;
+      }
+      case QueryChangeKind::kRegisterCircle: {
+        QueryRecord rec;
+        rec.id = c.id;
+        rec.kind = QueryKind::kCircleRange;
+        rec.circle = Circle{c.center, c.radius};
+        rec.t = now;
+        rec.grid_footprint =
+            CircleEvaluator::FootprintOf(rec, options_.bounds);
+        grid_->InsertQuery(c.id, rec.grid_footprint);
+        queries_.Insert(std::move(rec));
+        moved_circles->push_back(c.id);  // first evaluation
+        ++stats->query_changes_applied;
+        break;
+      }
+      case QueryChangeKind::kMove: {
+        QueryRecord* q = queries_.FindMutable(c.id);
+        STQ_CHECK(q != nullptr) << "buffered move of unknown query";
+        q->t = now;
+        if (q->kind == QueryKind::kKnn) {
+          q->circle.center = c.center;
+          knn_.MarkDirty(c.id);
+        } else if (q->kind == QueryKind::kCircleRange) {
+          q->circle.center = c.center;
+          const Rect footprint =
+              CircleEvaluator::FootprintOf(*q, options_.bounds);
+          if (!(footprint == q->grid_footprint)) {
+            if (!q->grid_footprint.IsEmpty()) {
+              grid_->RemoveQuery(c.id, q->grid_footprint);
+            }
+            if (!footprint.IsEmpty()) grid_->InsertQuery(c.id, footprint);
+            q->grid_footprint = footprint;
+          }
+          moved_circles->push_back(c.id);
+        } else {
+          const Rect old_region = q->region;
+          q->region = c.region;
+          grid_->RemoveQuery(c.id, q->grid_footprint);
+          grid_->InsertQuery(c.id, c.region);
+          q->grid_footprint = c.region;
+          changed_rects->emplace_back(c.id, old_region);
+        }
+        ++stats->query_changes_applied;
+        break;
+      }
+    }
+  }
+}
+
+void QueryProcessor::RunQueryPass(
+    const std::vector<std::pair<QueryId, Rect>>& changed,
+    const std::vector<QueryId>& moved_circles, std::vector<Update>* out) {
+  for (const auto& [qid, old_region] : changed) {
+    QueryRecord* q = queries_.FindMutable(qid);
+    STQ_DCHECK(q != nullptr);
+    if (q->kind == QueryKind::kRange) {
+      range_.OnQueryRegionChanged(q, old_region, out);
+    } else {
+      STQ_DCHECK(q->kind == QueryKind::kPredictiveRange);
+      predictive_.OnQueryRegionChanged(q, old_region, out);
+    }
+  }
+  for (QueryId qid : moved_circles) {
+    QueryRecord* q = queries_.FindMutable(qid);
+    STQ_DCHECK(q != nullptr && q->kind == QueryKind::kCircleRange);
+    circle_.OnCircleMoved(q, out);
+  }
+}
+
+void QueryProcessor::RunObjectPass(const std::vector<ObjectId>& moved,
+                                   std::vector<Update>* out) {
+  std::vector<QueryId> candidates;
+  for (ObjectId oid : moved) {
+    ObjectRecord* o = objects_.FindMutable(oid);
+    if (o == nullptr) continue;  // upserted then removed within the tick
+
+    // Negative side: re-test every membership under the new report.
+    const std::vector<QueryId> memberships = o->queries;
+    for (QueryId qid : memberships) {
+      QueryRecord* q = queries_.FindMutable(qid);
+      STQ_DCHECK(q != nullptr) << "QList references missing query " << qid;
+      switch (q->kind) {
+        case QueryKind::kRange:
+          if (!RangeEvaluator::Satisfies(*o, *q)) {
+            SetMembership(o, q, false, out);
+          }
+          break;
+        case QueryKind::kPredictiveRange:
+          if (!PredictiveEvaluator::Satisfies(*o, *q, options_)) {
+            SetMembership(o, q, false, out);
+          }
+          break;
+        case QueryKind::kCircleRange:
+          if (!CircleEvaluator::Satisfies(*o, *q)) {
+            SetMembership(o, q, false, out);
+          }
+          break;
+        case QueryKind::kKnn:
+          knn_.MarkDirty(qid);
+          break;
+      }
+    }
+
+    // Positive side: candidate queries are those stubbed into the cells
+    // the object's (new) footprint touches.
+    const Rect probe = o->predictive
+                           ? o->footprint.BoundingBox()
+                           : Rect{o->loc.x, o->loc.y, o->loc.x, o->loc.y};
+    grid_->CollectQueriesInRect(probe, &candidates);
+    for (QueryId qid : candidates) {
+      QueryRecord* q = queries_.FindMutable(qid);
+      STQ_DCHECK(q != nullptr) << "grid stub references missing query " << qid;
+      switch (q->kind) {
+        case QueryKind::kRange:
+          if (RangeEvaluator::Satisfies(*o, *q)) {
+            SetMembership(o, q, true, out);
+          }
+          break;
+        case QueryKind::kPredictiveRange:
+          if (PredictiveEvaluator::Satisfies(*o, *q, options_)) {
+            SetMembership(o, q, true, out);
+          }
+          break;
+        case QueryKind::kCircleRange:
+          if (CircleEvaluator::Satisfies(*o, *q)) {
+            SetMembership(o, q, true, out);
+          }
+          break;
+        case QueryKind::kKnn:
+          // Entering the answer circle can displace the current k-th
+          // neighbor; refill lazily at the k-NN phase. The comparison
+          // uses the exact squared threshold (not the rounded radius) so
+          // exact distance ties dirty the query too.
+          if (SquaredDistance(q->circle.center, o->loc) <= q->knn_dist2) {
+            knn_.MarkDirty(qid);
+          }
+          break;
+      }
+    }
+  }
+}
+
+TickResult QueryProcessor::EvaluateTick(Timestamp now) {
+  if (now < last_tick_time_) {
+    STQ_LOG(Warning) << "EvaluateTick time went backwards (" << now << " < "
+                     << last_tick_time_ << ")";
+  }
+  last_tick_time_ = now;
+
+  TickResult result;
+  result.time = now;
+
+  std::vector<PendingObjectUpsert> upserts;
+  std::vector<ObjectId> removals;
+  std::vector<PendingQueryChange> query_changes;
+  buffer_.Drain(&upserts, &removals, &query_changes);
+
+  // Deterministic processing order independent of hash-map iteration.
+  std::sort(upserts.begin(), upserts.end(),
+            [](const PendingObjectUpsert& a, const PendingObjectUpsert& b) {
+              return a.id < b.id;
+            });
+  std::sort(removals.begin(), removals.end());
+  std::sort(query_changes.begin(), query_changes.end(),
+            [](const PendingQueryChange& a, const PendingQueryChange& b) {
+              return a.id < b.id;
+            });
+
+  std::vector<Update>* out = &result.updates;
+  std::vector<ObjectId> moved;
+  std::vector<std::pair<QueryId, Rect>> changed_rects;
+  std::vector<QueryId> moved_circles;
+
+  // Phase 1: removals leave the engine (negatives for their memberships).
+  ApplyObjectRemovals(removals, now, out, &result.stats);
+  // Phase 2: bring every object's state (store + grid) up to date.
+  ApplyObjectUpserts(upserts, &moved, &result.stats);
+  // Phase 3: bring every query's state up to date.
+  ApplyQueryChanges(query_changes, now, &changed_rects, &moved_circles,
+                    &result.stats);
+  // Phase 4: incremental evaluation of changed range/predictive/circle
+  // regions.
+  RunQueryPass(changed_rects, moved_circles, out);
+  // Phase 5: incremental evaluation of moved/new objects.
+  RunObjectPass(moved, out);
+  // Phase 6: re-evaluate the k-NN queries dirtied by phases 1-5.
+  result.stats.knn_reevaluations = knn_.ReevaluateDirty(out);
+
+  CanonicalizeUpdates(out);
+  for (const Update& u : *out) {
+    if (u.sign == UpdateSign::kPositive) {
+      ++result.stats.positive_updates;
+    } else {
+      ++result.stats.negative_updates;
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+Result<std::vector<ObjectId>> QueryProcessor::CurrentAnswer(
+    QueryId id) const {
+  const QueryRecord* q = queries_.Find(id);
+  if (q == nullptr) {
+    std::ostringstream os;
+    os << "query " << id << " unknown";
+    return Status::NotFound(os.str());
+  }
+  return q->SortedAnswer();
+}
+
+Result<std::vector<ObjectId>> QueryProcessor::EvaluateFromScratch(
+    QueryId id) const {
+  const QueryRecord* q = queries_.Find(id);
+  if (q == nullptr) {
+    std::ostringstream os;
+    os << "query " << id << " unknown";
+    return Status::NotFound(os.str());
+  }
+  std::vector<ObjectId> answer;
+  switch (q->kind) {
+    case QueryKind::kRange:
+      objects_.ForEach([&](const ObjectRecord& o) {
+        if (RangeEvaluator::Satisfies(o, *q)) answer.push_back(o.id);
+      });
+      break;
+    case QueryKind::kPredictiveRange:
+      objects_.ForEach([&](const ObjectRecord& o) {
+        if (PredictiveEvaluator::Satisfies(o, *q, options_)) {
+          answer.push_back(o.id);
+        }
+      });
+      break;
+    case QueryKind::kCircleRange:
+      objects_.ForEach([&](const ObjectRecord& o) {
+        if (CircleEvaluator::Satisfies(o, *q)) answer.push_back(o.id);
+      });
+      break;
+    case QueryKind::kKnn: {
+      std::vector<KnnEvaluator::Neighbor> all;
+      all.reserve(objects_.size());
+      objects_.ForEach([&](const ObjectRecord& o) {
+        all.push_back(KnnEvaluator::Neighbor{
+            SquaredDistance(q->circle.center, o.loc), o.id});
+      });
+      const size_t keep = std::min(all.size(), static_cast<size_t>(q->k));
+      std::partial_sort(all.begin(), all.begin() + keep, all.end());
+      for (size_t i = 0; i < keep; ++i) answer.push_back(all[i].id);
+      break;
+    }
+  }
+  std::sort(answer.begin(), answer.end());
+  return answer;
+}
+
+Result<std::vector<ObjectId>> QueryProcessor::EvaluatePastRangeQuery(
+    const Rect& region, Timestamp t) const {
+  if (history_ == nullptr) {
+    return Status::FailedPrecondition(
+        "past queries require QueryProcessorOptions::record_history");
+  }
+  return history_->RangeAt(ClampRegion(region), t);
+}
+
+Status QueryProcessor::CheckInvariants() const {
+  // QList -> answer symmetry.
+  Status failure = Status::OK();
+  objects_.ForEach([&](const ObjectRecord& o) {
+    for (QueryId qid : o.queries) {
+      const QueryRecord* q = queries_.Find(qid);
+      if (q == nullptr || !q->answer.contains(o.id)) {
+        std::ostringstream os;
+        os << "object " << o.id << " lists query " << qid
+           << " but the answer does not contain it";
+        failure = Status::Internal(os.str());
+      }
+    }
+  });
+  if (!failure.ok()) return failure;
+
+  // answer -> QList symmetry and answer correctness.
+  std::vector<QueryId> qids;
+  queries_.ForEach([&](const QueryRecord& q) { qids.push_back(q.id); });
+  std::sort(qids.begin(), qids.end());
+  for (QueryId qid : qids) {
+    const QueryRecord* q = queries_.Find(qid);
+    for (ObjectId oid : q->answer) {
+      const ObjectRecord* o = objects_.Find(oid);
+      if (o == nullptr || !ObjectStore::HasQuery(*o, qid)) {
+        std::ostringstream os;
+        os << "query " << qid << " answer contains object " << oid
+           << " whose QList disagrees";
+        return Status::Internal(os.str());
+      }
+    }
+    Result<std::vector<ObjectId>> truth = EvaluateFromScratch(qid);
+    if (!truth.ok()) return truth.status();
+    if (q->SortedAnswer() != *truth) {
+      std::ostringstream os;
+      os << "query " << qid << " incremental answer (" << q->answer.size()
+         << " objects) diverges from from-scratch evaluation ("
+         << truth->size() << " objects)";
+      return Status::Internal(os.str());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace stq

@@ -1,0 +1,195 @@
+// QueryProcessor: the public API of the scalable, incremental continuous
+// spatio-temporal query processing framework (the paper's contribution).
+//
+// Usage:
+//   stq::QueryProcessorOptions opts;             // grid size, bounds, ...
+//   stq::QueryProcessor qp(opts);
+//   qp.UpsertObject(7, {0.3, 0.4}, /*t=*/0.0);   // sampled moving object
+//   qp.RegisterRangeQuery(1, stq::Rect{0.2, 0.2, 0.5, 0.5});
+//   stq::TickResult r = qp.EvaluateTick(/*now=*/5.0);
+//   // r.updates == {(Q1, +p7)}
+//
+// Reports from objects and queries are *buffered* (UpdateBuffer) and
+// evaluated in bulk at each EvaluateTick, which returns only the positive
+// and negative deltas against the previously reported answers. Between
+// ticks, per-id reports coalesce (last-wins).
+//
+// Supported query classes (all continuous, stationary or moving):
+//   - rectangular range queries over present positions,
+//   - k-nearest-neighbor queries of a focal point,
+//   - predictive range queries over a future time window, matched against
+//     linear trajectories of velocity-reporting objects.
+//
+// Thread-compatible; callers serialize access.
+
+#ifndef STQ_CORE_QUERY_PROCESSOR_H_
+#define STQ_CORE_QUERY_PROCESSOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "stq/common/result.h"
+#include "stq/common/status.h"
+#include "stq/core/circle_evaluator.h"
+#include "stq/core/engine_state.h"
+#include "stq/core/history_store.h"
+#include "stq/core/knn_evaluator.h"
+#include "stq/core/options.h"
+#include "stq/core/predictive_evaluator.h"
+#include "stq/core/range_evaluator.h"
+#include "stq/core/update_buffer.h"
+
+namespace stq {
+
+class QueryProcessor {
+ public:
+  explicit QueryProcessor(const QueryProcessorOptions& options = {});
+
+  QueryProcessor(const QueryProcessor&) = delete;
+  QueryProcessor& operator=(const QueryProcessor&) = delete;
+
+  // --- Object reports (buffered until the next EvaluateTick) --------------
+
+  // Upserts a sampled (non-predictive) object at `loc`, reported at time
+  // `t`. Rejects reports older than the object's latest known report.
+  // The bounded space is the universe: locations outside options().bounds
+  // are clamped onto its border (a device outside the service area is
+  // snapped to the fence).
+  Status UpsertObject(ObjectId id, const Point& loc, Timestamp t);
+
+  // Upserts a predictive object: at time `t` it was at `loc` moving with
+  // constant velocity `vel`.
+  Status UpsertPredictiveObject(ObjectId id, const Point& loc,
+                                const Velocity& vel, Timestamp t);
+
+  // Removes an object; its memberships are shipped as negative updates at
+  // the next tick.
+  Status RemoveObject(ObjectId id);
+
+  // --- Query registration and movement (buffered) -------------------------
+
+  // A new query's initial answer arrives as positive updates in the next
+  // TickResult (continuous-query semantics: the answer stream starts
+  // empty). Regions are clamped to options().bounds — the bounded space
+  // is the universe, so the part of a region hanging outside it can never
+  // match; a region entirely outside is rejected.
+  Status RegisterRangeQuery(QueryId id, const Rect& region);
+  Status MoveRangeQuery(QueryId id, const Rect& region);
+
+  Status RegisterKnnQuery(QueryId id, const Point& center, int k);
+  Status MoveKnnQuery(QueryId id, const Point& center);
+
+  // Circular range query: all objects within `radius` of `center` (a
+  // closed disk). The radius is fixed at registration; moves change the
+  // center. The disk's bounding box must overlap the space bounds.
+  Status RegisterCircleQuery(QueryId id, const Point& center, double radius);
+  Status MoveCircleQuery(QueryId id, const Point& center);
+
+  // `t_from` <= `t_to` are absolute times. The engine matches trajectories
+  // only up to options().prediction_horizon seconds past each object's
+  // last report.
+  Status RegisterPredictiveQuery(QueryId id, const Rect& region,
+                                 double t_from, double t_to);
+  Status MovePredictiveQuery(QueryId id, const Rect& region);
+
+  // Drops the query silently (no negative updates; the client abandoned
+  // the answer).
+  Status UnregisterQuery(QueryId id);
+
+  // --- Evaluation ----------------------------------------------------------
+
+  // Applies all buffered reports and returns the incremental update
+  // stream, canonically ordered. `now` should be non-decreasing across
+  // calls.
+  TickResult EvaluateTick(Timestamp now);
+
+  // --- Introspection --------------------------------------------------------
+
+  const QueryProcessorOptions& options() const { return options_; }
+  size_t num_objects() const { return objects_.size(); }
+  size_t num_queries() const { return queries_.size(); }
+  size_t pending_reports() const {
+    return buffer_.pending_object_ops() + buffer_.pending_query_ops();
+  }
+  const ObjectStore& object_store() const { return objects_; }
+  const QueryStore& query_store() const { return queries_; }
+  const GridIndex& grid() const { return *grid_; }
+
+  // The answer currently reported for `id` (sorted by object id).
+  Result<std::vector<ObjectId>> CurrentAnswer(QueryId id) const;
+
+  // Recomputes the answer of `id` from first principles, bypassing all
+  // incremental state (linear scan / brute-force k-NN). Ground truth for
+  // tests and baselines.
+  Result<std::vector<ObjectId>> EvaluateFromScratch(QueryId id) const;
+
+  // Verifies every engine invariant (answer/QList symmetry; every stored
+  // answer equals its from-scratch recomputation). Intended for tests;
+  // call only when no reports are pending. O(objects x queries).
+  Status CheckInvariants() const;
+
+  // --- Querying the past (requires options().record_history) ---------------
+
+  // The retained report history, or nullptr when history recording is
+  // off.
+  const HistoryStore* history() const { return history_.get(); }
+
+  // Snapshot range query as of past instant `t` (sample-and-hold over the
+  // recorded reports). Only reports already applied by a tick are
+  // visible. FailedPrecondition when history recording is off.
+  Result<std::vector<ObjectId>> EvaluatePastRangeQuery(const Rect& region,
+                                                       Timestamp t) const;
+
+ private:
+  EngineState state();
+
+  // Tick phases. Each appends to `out` and updates `stats`.
+  void ApplyObjectRemovals(const std::vector<ObjectId>& removals,
+                           Timestamp now, std::vector<Update>* out,
+                           TickStats* stats);
+  void ApplyObjectUpserts(const std::vector<PendingObjectUpsert>& upserts,
+                          std::vector<ObjectId>* moved, TickStats* stats);
+  // Fully removes a query record: scrubs member QLists, drops grid stubs,
+  // erases the record.
+  void DropQueryRecord(QueryId id, TickStats* stats);
+  void ApplyQueryChanges(const std::vector<PendingQueryChange>& changes,
+                         Timestamp now,
+                         std::vector<std::pair<QueryId, Rect>>* changed_rects,
+                         std::vector<QueryId>* moved_circles,
+                         TickStats* stats);
+  void RunQueryPass(const std::vector<std::pair<QueryId, Rect>>& changed,
+                    const std::vector<QueryId>& moved_circles,
+                    std::vector<Update>* out);
+  void RunObjectPass(const std::vector<ObjectId>& moved,
+                     std::vector<Update>* out);
+
+  // Highest report timestamp known (stored or pending) for the object, or
+  // -infinity when unknown.
+  double LatestKnownReportTime(ObjectId id) const;
+
+  // Query regions are clamped to the space bounds (see RegisterRangeQuery).
+  Rect ClampRegion(const Rect& region) const;
+  // Object locations are clamped into the space (see UpsertObject).
+  Point ClampLocation(const Point& loc) const;
+
+  Status ValidateQueryRegistration(QueryId id) const;
+  // Returns the kind the query will have once the buffer drains, or an
+  // error when the query does not (and will not) exist.
+  Result<QueryKind> EffectiveQueryKind(QueryId id) const;
+
+  QueryProcessorOptions options_;
+  std::unique_ptr<HistoryStore> history_;  // null unless record_history
+  std::unique_ptr<GridIndex> grid_;
+  ObjectStore objects_;
+  QueryStore queries_;
+  UpdateBuffer buffer_;
+  RangeEvaluator range_;
+  KnnEvaluator knn_;
+  PredictiveEvaluator predictive_;
+  CircleEvaluator circle_;
+  Timestamp last_tick_time_ = 0.0;
+};
+
+}  // namespace stq
+
+#endif  // STQ_CORE_QUERY_PROCESSOR_H_

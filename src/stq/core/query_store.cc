@@ -1,0 +1,36 @@
+#include "stq/core/query_store.h"
+
+#include <algorithm>
+
+#include "stq/common/logging.h"
+
+namespace stq {
+
+std::vector<ObjectId> QueryRecord::SortedAnswer() const {
+  std::vector<ObjectId> out(answer.begin(), answer.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const QueryRecord* QueryStore::Find(QueryId id) const {
+  auto it = map_.find(id);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+QueryRecord* QueryStore::FindMutable(QueryId id) {
+  auto it = map_.find(id);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+QueryRecord* QueryStore::Insert(QueryRecord record) {
+  auto [it, inserted] = map_.emplace(record.id, std::move(record));
+  STQ_CHECK(inserted) << "query " << it->first << " already present";
+  return &it->second;
+}
+
+void QueryStore::Erase(QueryId id) {
+  const size_t n = map_.erase(id);
+  STQ_CHECK(n == 1) << "query " << id << " not present";
+}
+
+}  // namespace stq

@@ -1,0 +1,102 @@
+// QueryStore: the query index of the framework.
+//
+// "For any grid cell C, a query entry has the form (QID, region, t,
+// OList), where ... OList is the list of objects in C that satisfy
+// Q.region." (paper, Section 3.1)
+//
+// We keep one record per query holding its full answer set (the union of
+// the paper's per-cell OLists); the grid holds the per-cell stubs. The
+// store doubles as the auxiliary index that maps a QID to the query's old
+// region.
+
+#ifndef STQ_CORE_QUERY_STORE_H_
+#define STQ_CORE_QUERY_STORE_H_
+
+#include <cstddef>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "stq/common/clock.h"
+#include "stq/common/ids.h"
+#include "stq/geo/circle.h"
+#include "stq/geo/point.h"
+#include "stq/geo/rect.h"
+
+namespace stq {
+
+enum class QueryKind {
+  kRange,            // rectangular region, evaluated at present time
+  kKnn,              // k nearest neighbors of a (possibly moving) point
+  kPredictiveRange,  // rectangular region over a future time window
+  kCircleRange,      // fixed-radius disk around a (possibly moving) point
+};
+
+struct QueryRecord {
+  QueryId id = 0;
+  QueryKind kind = QueryKind::kRange;
+  Timestamp t = 0.0;  // timestamp of the last report from the query
+
+  // kRange / kPredictiveRange: the query rectangle.
+  // kKnn: unused (see `circle`).
+  Rect region;
+
+  // kKnn: the query point and the current answer circle; the radius is
+  // the distance to the k-th nearest neighbor (infinity while the
+  // database holds fewer than k objects).
+  // kCircleRange: the query disk itself (client-chosen, fixed radius).
+  Circle circle;
+  int k = 0;  // kKnn only
+  // kKnn only: the exact squared distance to the k-th nearest neighbor
+  // (the circle radius is its rounded square root; membership/dirtiness
+  // tests must use this exact value to keep ties stable).
+  double knn_dist2 = std::numeric_limits<double>::infinity();
+
+  // kPredictiveRange only: absolute time window of interest.
+  double t_from = 0.0;
+  double t_to = 0.0;
+
+  // The rectangle currently clipped into the grid for this query (the
+  // region for range kinds, the circle's bounding box for k-NN). Empty
+  // when the query has no grid stubs yet.
+  Rect grid_footprint;
+
+  // The answer currently reported to the client.
+  std::unordered_set<ObjectId> answer;
+
+  // Answer as a sorted vector (for deterministic output and tests).
+  std::vector<ObjectId> SortedAnswer() const;
+};
+
+class QueryStore {
+ public:
+  QueryStore() = default;
+  QueryStore(const QueryStore&) = delete;
+  QueryStore& operator=(const QueryStore&) = delete;
+
+  const QueryRecord* Find(QueryId id) const;
+  QueryRecord* FindMutable(QueryId id);
+  bool Contains(QueryId id) const { return map_.contains(id); }
+
+  // Inserts a fresh record; precondition: id not present.
+  QueryRecord* Insert(QueryRecord record);
+
+  // Removes the record; precondition: id present.
+  void Erase(QueryId id);
+
+  size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [id, rec] : map_) fn(rec);
+  }
+
+ private:
+  std::unordered_map<QueryId, QueryRecord> map_;
+};
+
+}  // namespace stq
+
+#endif  // STQ_CORE_QUERY_STORE_H_

@@ -1,0 +1,39 @@
+#include "stq/core/range_evaluator.h"
+
+#include <vector>
+
+#include "stq/common/logging.h"
+
+namespace stq {
+
+void RangeEvaluator::OnQueryRegionChanged(QueryRecord* q,
+                                          const Rect& old_region,
+                                          std::vector<Update>* out) {
+  // Negative updates: answer members that fell out of the new region
+  // (i.e., lie in A_old - A_new; membership implies they were in A_old).
+  std::vector<ObjectId> leavers;
+  for (ObjectId oid : q->answer) {
+    const ObjectRecord* o = state_.objects->Find(oid);
+    STQ_DCHECK(o != nullptr) << "answer references missing object " << oid;
+    if (!q->region.Contains(o->loc)) leavers.push_back(oid);
+  }
+  for (ObjectId oid : leavers) {
+    SetMembership(state_.objects->FindMutable(oid), q, false, out);
+  }
+
+  // Positive updates: only A_new - A_old must be evaluated against the
+  // grid; anything inside A_new ∩ A_old was already reported.
+  for (const Rect& piece : RectDifference(q->region, old_region)) {
+    state_.grid->ForEachObjectCandidate(piece, [&](ObjectId oid) {
+      ObjectRecord* o = state_.objects->FindMutable(oid);
+      STQ_DCHECK(o != nullptr);
+      // Candidates are cell-granular; re-test against the exact piece to
+      // stay inside A_new - A_old, then admit.
+      if (piece.Contains(o->loc)) {
+        SetMembership(o, q, true, out);
+      }
+    });
+  }
+}
+
+}  // namespace stq

@@ -1,0 +1,42 @@
+// Incremental evaluation of (present-time) rectangular range queries.
+//
+// "For each moving query, we keep track of the old (A_old) and new (A_new)
+// query regions. A set of negative updates are produced for all objects
+// that are in Q.OList and lie in the area A_old - A_new. Then, we need
+// only to evaluate the area A_new - A_old to produce a set of positive
+// updates. The area A_new ∩ A_old does not need to be reevaluated."
+// (paper, Section 3.1)
+
+#ifndef STQ_CORE_RANGE_EVALUATOR_H_
+#define STQ_CORE_RANGE_EVALUATOR_H_
+
+#include <vector>
+
+#include "stq/core/engine_state.h"
+
+namespace stq {
+
+class RangeEvaluator {
+ public:
+  explicit RangeEvaluator(EngineState state) : state_(state) {}
+
+  // Exact membership predicate: the object's last reported location lies
+  // in the query rectangle.
+  static bool Satisfies(const ObjectRecord& o, const QueryRecord& q) {
+    return q.region.Contains(o.loc);
+  }
+
+  // Handles a query whose region changed from `old_region` (empty for a
+  // newly registered query) to q->region, which must already be the new
+  // value. Emits the resulting +/- updates and maintains answer/QLists.
+  // Does NOT touch the grid stubs (the processor re-clips).
+  void OnQueryRegionChanged(QueryRecord* q, const Rect& old_region,
+                            std::vector<Update>* out);
+
+ private:
+  EngineState state_;
+};
+
+}  // namespace stq
+
+#endif  // STQ_CORE_RANGE_EVALUATOR_H_

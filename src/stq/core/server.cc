@@ -1,0 +1,250 @@
+#include "stq/core/server.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "stq/common/logging.h"
+
+namespace stq {
+
+Server::Server(const Options& options)
+    : options_(options), processor_(options.processor) {}
+
+Status Server::AttachClient(ClientId cid, bool connected) {
+  auto [it, inserted] = clients_.emplace(cid, ClientChannel{});
+  if (!inserted) {
+    std::ostringstream os;
+    os << "client " << cid << " already attached";
+    return Status::AlreadyExists(os.str());
+  }
+  it->second.connected = connected;
+  return Status::OK();
+}
+
+Status Server::DisconnectClient(ClientId cid) {
+  auto it = clients_.find(cid);
+  if (it == clients_.end()) {
+    std::ostringstream os;
+    os << "client " << cid << " unknown";
+    return Status::NotFound(os.str());
+  }
+  it->second.connected = false;
+  return Status::OK();
+}
+
+bool Server::IsConnected(ClientId cid) const {
+  auto it = clients_.find(cid);
+  return it != clients_.end() && it->second.connected;
+}
+
+Result<Server::Delivery> Server::ReconnectClient(ClientId cid) {
+  auto it = clients_.find(cid);
+  if (it == clients_.end()) {
+    std::ostringstream os;
+    os << "client " << cid << " unknown";
+    return Status::NotFound(os.str());
+  }
+  it->second.connected = true;
+
+  Delivery delivery;
+  delivery.client = cid;
+  delivery.delivered = true;
+
+  std::vector<QueryId> qids = it->second.queries;
+  std::sort(qids.begin(), qids.end());
+  const WireCostModel& cost = options_.processor.wire_cost;
+  for (QueryId qid : qids) {
+    const QueryRecord* q = processor_.query_store().Find(qid);
+    if (q == nullptr) continue;
+    switch (options_.recovery) {
+      case RecoveryPolicy::kCommittedDiff: {
+        std::vector<Update> diff =
+            committed_.DiffAgainstCommitted(qid, q->answer);
+        delivery.bytes += cost.UpdateBytes(diff.size());
+        delivery.updates.insert(delivery.updates.end(), diff.begin(),
+                                diff.end());
+        break;
+      }
+      case RecoveryPolicy::kFullAnswer: {
+        std::vector<ObjectId> answer = q->SortedAnswer();
+        delivery.bytes += cost.CompleteAnswerBytes(answer.size());
+        delivery.full_answers.emplace_back(qid, std::move(answer));
+        break;
+      }
+    }
+    // The wakeup response is delivered by contract, so the recovered
+    // answer is now guaranteed at the client.
+    committed_.Commit(qid, q->answer);
+  }
+  total_bytes_shipped_ += delivery.bytes;
+  total_recovery_bytes_ += delivery.bytes;
+  return delivery;
+}
+
+Status Server::RegisterRangeQuery(QueryId qid, ClientId cid,
+                                  const Rect& region) {
+  if (!clients_.contains(cid)) {
+    return Status::FailedPrecondition("client not attached");
+  }
+  STQ_RETURN_IF_ERROR(processor_.RegisterRangeQuery(qid, region));
+  query_owner_[qid] = cid;
+  clients_[cid].queries.push_back(qid);
+  return Status::OK();
+}
+
+Status Server::RegisterKnnQuery(QueryId qid, ClientId cid, const Point& center,
+                                int k) {
+  if (!clients_.contains(cid)) {
+    return Status::FailedPrecondition("client not attached");
+  }
+  STQ_RETURN_IF_ERROR(processor_.RegisterKnnQuery(qid, center, k));
+  query_owner_[qid] = cid;
+  clients_[cid].queries.push_back(qid);
+  return Status::OK();
+}
+
+Status Server::RegisterCircleQuery(QueryId qid, ClientId cid,
+                                   const Point& center, double radius) {
+  if (!clients_.contains(cid)) {
+    return Status::FailedPrecondition("client not attached");
+  }
+  STQ_RETURN_IF_ERROR(processor_.RegisterCircleQuery(qid, center, radius));
+  query_owner_[qid] = cid;
+  clients_[cid].queries.push_back(qid);
+  return Status::OK();
+}
+
+Status Server::RegisterPredictiveQuery(QueryId qid, ClientId cid,
+                                       const Rect& region, double t_from,
+                                       double t_to) {
+  if (!clients_.contains(cid)) {
+    return Status::FailedPrecondition("client not attached");
+  }
+  STQ_RETURN_IF_ERROR(
+      processor_.RegisterPredictiveQuery(qid, region, t_from, t_to));
+  query_owner_[qid] = cid;
+  clients_[cid].queries.push_back(qid);
+  return Status::OK();
+}
+
+void Server::CommitCurrent(QueryId qid) {
+  const QueryRecord* q = processor_.query_store().Find(qid);
+  if (q != nullptr) committed_.Commit(qid, q->answer);
+}
+
+void Server::OnHeardFromQuery(QueryId qid) {
+  // "Once the server receives any information from a moving query, it
+  // considers its latest answer as a committed one." We additionally
+  // require the result channel to be up: a lone uplink message from a
+  // client whose downlink has been dead since before the last tick proves
+  // nothing about what the client received.
+  auto owner = query_owner_.find(qid);
+  if (owner == query_owner_.end()) return;
+  if (IsConnected(owner->second)) CommitCurrent(qid);
+}
+
+Status Server::MoveRangeQuery(QueryId qid, const Rect& region) {
+  STQ_RETURN_IF_ERROR(processor_.MoveRangeQuery(qid, region));
+  OnHeardFromQuery(qid);
+  return Status::OK();
+}
+
+Status Server::MoveKnnQuery(QueryId qid, const Point& center) {
+  STQ_RETURN_IF_ERROR(processor_.MoveKnnQuery(qid, center));
+  OnHeardFromQuery(qid);
+  return Status::OK();
+}
+
+Status Server::MoveCircleQuery(QueryId qid, const Point& center) {
+  STQ_RETURN_IF_ERROR(processor_.MoveCircleQuery(qid, center));
+  OnHeardFromQuery(qid);
+  return Status::OK();
+}
+
+Status Server::MovePredictiveQuery(QueryId qid, const Rect& region) {
+  STQ_RETURN_IF_ERROR(processor_.MovePredictiveQuery(qid, region));
+  OnHeardFromQuery(qid);
+  return Status::OK();
+}
+
+Status Server::CommitQuery(QueryId qid) {
+  if (!query_owner_.contains(qid)) {
+    std::ostringstream os;
+    os << "query " << qid << " unknown";
+    return Status::NotFound(os.str());
+  }
+  CommitCurrent(qid);
+  return Status::OK();
+}
+
+Status Server::UnregisterQuery(QueryId qid) {
+  STQ_RETURN_IF_ERROR(processor_.UnregisterQuery(qid));
+  committed_.Erase(qid);
+  auto owner = query_owner_.find(qid);
+  if (owner != query_owner_.end()) {
+    auto& list = clients_[owner->second].queries;
+    list.erase(std::remove(list.begin(), list.end(), qid), list.end());
+    query_owner_.erase(owner);
+  }
+  return Status::OK();
+}
+
+Status Server::AdoptQuery(QueryId qid, ClientId cid) {
+  if (!clients_.contains(cid)) {
+    return Status::FailedPrecondition("client not attached");
+  }
+  if (!processor_.query_store().Contains(qid)) {
+    return Status::NotFound("query not registered");
+  }
+  if (query_owner_.contains(qid)) {
+    return Status::AlreadyExists("query already bound");
+  }
+  query_owner_[qid] = cid;
+  clients_[cid].queries.push_back(qid);
+  return Status::OK();
+}
+
+void Server::RestoreCommitted(QueryId qid,
+                              const std::vector<ObjectId>& answer) {
+  committed_.Commit(qid,
+                    std::unordered_set<ObjectId>(answer.begin(), answer.end()));
+}
+
+std::optional<ClientId> Server::OwnerOf(QueryId qid) const {
+  auto it = query_owner_.find(qid);
+  if (it == query_owner_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<Server::Delivery> Server::Tick(Timestamp now) {
+  last_tick_ = processor_.EvaluateTick(now);
+
+  // Route the canonical update stream per owning client.
+  std::unordered_map<ClientId, Delivery> by_client;
+  for (const Update& u : last_tick_.updates) {
+    auto owner = query_owner_.find(u.query);
+    if (owner == query_owner_.end()) continue;  // unbound query: no channel
+    Delivery& d = by_client[owner->second];
+    d.client = owner->second;
+    d.updates.push_back(u);
+  }
+
+  std::vector<Delivery> deliveries;
+  deliveries.reserve(by_client.size());
+  const WireCostModel& cost = options_.processor.wire_cost;
+  for (auto& [cid, d] : by_client) {
+    d.delivered = IsConnected(cid);
+    if (d.delivered) {
+      d.bytes = cost.UpdateBytes(d.updates.size());
+      total_bytes_shipped_ += d.bytes;
+    }
+    deliveries.push_back(std::move(d));
+  }
+  std::sort(deliveries.begin(), deliveries.end(),
+            [](const Delivery& a, const Delivery& b) {
+              return a.client < b.client;
+            });
+  return deliveries;
+}
+
+}  // namespace stq

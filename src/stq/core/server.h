@@ -1,0 +1,161 @@
+// Server: the location-aware server facade.
+//
+// Wraps a QueryProcessor with the pieces the paper's PLACE server adds
+// around the query engine: per-client result channels with
+// connect/disconnect state, the committed-answer repository, the commit
+// protocol (moving queries auto-commit whenever the server hears from
+// them; stationary queries send explicit commit messages), out-of-sync
+// recovery on wakeup, and byte accounting of everything shipped.
+//
+// The simulation contract: updates produced by Tick() are delivered
+// synchronously to connected clients and silently lost for disconnected
+// ones; a wakeup response (ReconnectClient) is always delivered. Under
+// this contract a connected client's local answers always equal the
+// server's current answers, which is what makes auto-commit sound.
+
+#ifndef STQ_CORE_SERVER_H_
+#define STQ_CORE_SERVER_H_
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "stq/common/result.h"
+#include "stq/common/status.h"
+#include "stq/core/committed_store.h"
+#include "stq/core/query_processor.h"
+
+namespace stq {
+
+// How the server answers a wakeup message.
+enum class RecoveryPolicy {
+  kCommittedDiff,  // the paper's protocol: ship diff(committed, current)
+  kFullAnswer,     // naive baseline: ship the complete current answer
+};
+
+class Server {
+ public:
+  struct Options {
+    QueryProcessorOptions processor;
+    RecoveryPolicy recovery = RecoveryPolicy::kCommittedDiff;
+  };
+
+  // One client's share of a tick or wakeup response.
+  struct Delivery {
+    ClientId client = 0;
+    std::vector<Update> updates;
+    // Complete answers shipped instead of updates (kFullAnswer recovery);
+    // pairs of (query, answer).
+    std::vector<std::pair<QueryId, std::vector<ObjectId>>> full_answers;
+    size_t bytes = 0;
+    bool delivered = false;  // false when the client was disconnected
+  };
+
+  explicit Server(const Options& options);
+
+  QueryProcessor& processor() { return processor_; }
+  const QueryProcessor& processor() const { return processor_; }
+
+  // --- Clients -------------------------------------------------------------
+
+  // Registers a client channel; starts connected unless `connected` is
+  // false (recovery attaches channels down until the client reappears).
+  Status AttachClient(ClientId cid, bool connected = true);
+  Status DisconnectClient(ClientId cid);
+  bool IsConnected(ClientId cid) const;
+
+  // Wakeup: reconnects the client and returns the recovery delivery that
+  // brings it back in sync (per the configured RecoveryPolicy). The
+  // recovered answers are committed.
+  Result<Delivery> ReconnectClient(ClientId cid);
+
+  // --- Object reports --------------------------------------------------------
+
+  Status ReportObject(ObjectId id, const Point& loc, Timestamp t) {
+    return processor_.UpsertObject(id, loc, t);
+  }
+  Status ReportPredictiveObject(ObjectId id, const Point& loc,
+                                const Velocity& vel, Timestamp t) {
+    return processor_.UpsertPredictiveObject(id, loc, vel, t);
+  }
+  Status RemoveObject(ObjectId id) { return processor_.RemoveObject(id); }
+
+  // --- Queries ---------------------------------------------------------------
+
+  // Registration binds the query's result stream to `cid`.
+  Status RegisterRangeQuery(QueryId qid, ClientId cid, const Rect& region);
+  Status RegisterKnnQuery(QueryId qid, ClientId cid, const Point& center,
+                          int k);
+  Status RegisterCircleQuery(QueryId qid, ClientId cid, const Point& center,
+                             double radius);
+  Status RegisterPredictiveQuery(QueryId qid, ClientId cid, const Rect& region,
+                                 double t_from, double t_to);
+
+  // Movement reports. Hearing from a moving query commits its latest
+  // answer (when its client is connected; see class comment).
+  Status MoveRangeQuery(QueryId qid, const Rect& region);
+  Status MoveKnnQuery(QueryId qid, const Point& center);
+  Status MoveCircleQuery(QueryId qid, const Point& center);
+  Status MovePredictiveQuery(QueryId qid, const Rect& region);
+
+  // Explicit commit message from a (typically stationary) query's client.
+  Status CommitQuery(QueryId qid);
+
+  Status UnregisterQuery(QueryId qid);
+
+  // --- Evaluation --------------------------------------------------------------
+
+  // Runs one evaluation period and routes the update stream to the bound
+  // clients. Updates for disconnected clients are dropped (that is the
+  // out-of-sync hazard the recovery protocol exists for). The TickResult
+  // is retained and can be read via last_tick().
+  std::vector<Delivery> Tick(Timestamp now);
+
+  const TickResult& last_tick() const { return last_tick_; }
+
+  // --- Accounting ----------------------------------------------------------------
+
+  size_t total_bytes_shipped() const { return total_bytes_shipped_; }
+  size_t total_recovery_bytes() const { return total_recovery_bytes_; }
+  size_t num_clients() const { return clients_.size(); }
+
+  // --- Recovery support (used by storage::PersistentServer) ------------------
+
+  // Binds an already-registered (recovered) query to an attached client
+  // without re-registering it.
+  Status AdoptQuery(QueryId qid, ClientId cid);
+
+  // Installs a recovered committed answer.
+  void RestoreCommitted(QueryId qid, const std::vector<ObjectId>& answer);
+
+  const CommittedStore& committed() const { return committed_; }
+
+  // The client a query's results are bound to, or nullopt.
+  std::optional<ClientId> OwnerOf(QueryId qid) const;
+
+ private:
+  struct ClientChannel {
+    bool connected = true;
+    std::vector<QueryId> queries;  // queries bound to this client
+  };
+
+  // Commits the current answer of `qid` (no-op if the query vanished).
+  void CommitCurrent(QueryId qid);
+
+  // Auto-commit hook for movement reports.
+  void OnHeardFromQuery(QueryId qid);
+
+  Options options_;
+  QueryProcessor processor_;
+  CommittedStore committed_;
+  std::unordered_map<ClientId, ClientChannel> clients_;
+  std::unordered_map<QueryId, ClientId> query_owner_;
+  TickResult last_tick_;
+  size_t total_bytes_shipped_ = 0;
+  size_t total_recovery_bytes_ = 0;
+};
+
+}  // namespace stq
+
+#endif  // STQ_CORE_SERVER_H_

@@ -1,0 +1,46 @@
+// Engine-wide statistics: population breakdowns, answer-set volume, grid
+// shape, and a rough memory model. Useful for capacity planning and for
+// the benchmarks' reporting.
+
+#ifndef STQ_CORE_STATS_H_
+#define STQ_CORE_STATS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "stq/grid/grid_index.h"
+
+namespace stq {
+
+class QueryProcessor;
+
+struct EngineStats {
+  size_t num_objects = 0;
+  size_t num_predictive_objects = 0;
+  size_t num_queries = 0;
+  size_t num_range_queries = 0;
+  size_t num_knn_queries = 0;
+  size_t num_predictive_queries = 0;
+  size_t num_circle_queries = 0;
+
+  // Total answer-set entries across all queries (== total QList entries
+  // across all objects when the engine is consistent).
+  size_t total_answer_entries = 0;
+  size_t total_qlist_entries = 0;
+  double mean_answer_size = 0.0;
+  size_t max_answer_size = 0;
+
+  GridStats grid;
+
+  // Rough resident-memory model of the engine's data structures.
+  size_t approx_memory_bytes = 0;
+
+  std::string DebugString() const;
+};
+
+// Computes stats from a consistent engine (no reports pending).
+EngineStats ComputeEngineStats(const QueryProcessor& processor);
+
+}  // namespace stq
+
+#endif  // STQ_CORE_STATS_H_

@@ -1,0 +1,40 @@
+#include "stq/core/types.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace stq {
+
+std::string Update::DebugString() const {
+  std::ostringstream os;
+  os << "(Q" << query << ", " << static_cast<char>(sign) << "p" << object
+     << ")";
+  return os.str();
+}
+
+void CanonicalizeUpdates(std::vector<Update>* updates) {
+  std::sort(updates->begin(), updates->end(),
+            [](const Update& a, const Update& b) {
+              if (a.query != b.query) return a.query < b.query;
+              if (a.object != b.object) return a.object < b.object;
+              return a.sign < b.sign;  // '-' < '+'
+            });
+  // Drop cancelling (-,+) pairs for the same (query, object). After the
+  // sort above, such a pair is adjacent with the negative first.
+  std::vector<Update> out;
+  out.reserve(updates->size());
+  for (size_t i = 0; i < updates->size(); ++i) {
+    const Update& u = (*updates)[i];
+    if (i + 1 < updates->size()) {
+      const Update& v = (*updates)[i + 1];
+      if (u.query == v.query && u.object == v.object && u.sign != v.sign) {
+        ++i;  // skip both
+        continue;
+      }
+    }
+    out.push_back(u);
+  }
+  *updates = std::move(out);
+}
+
+}  // namespace stq

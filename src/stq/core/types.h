@@ -1,0 +1,75 @@
+// Core vocabulary types of the continuous query processor: the positive /
+// negative update tuples that form a query's incremental answer stream,
+// and the per-tick result envelope.
+
+#ifndef STQ_CORE_TYPES_H_
+#define STQ_CORE_TYPES_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "stq/common/bytes.h"
+#include "stq/common/clock.h"
+#include "stq/common/ids.h"
+
+namespace stq {
+
+// "We distinguish between two types of updates; positive updates and
+// negative updates. Positive or negative updates indicate that a certain
+// object should be added to or removed from the previously reported
+// answer, respectively." (paper, Section 1)
+enum class UpdateSign : char { kNegative = '-', kPositive = '+' };
+
+struct Update {
+  QueryId query = 0;
+  ObjectId object = 0;
+  UpdateSign sign = UpdateSign::kPositive;
+
+  static Update Positive(QueryId q, ObjectId o) {
+    return Update{q, o, UpdateSign::kPositive};
+  }
+  static Update Negative(QueryId q, ObjectId o) {
+    return Update{q, o, UpdateSign::kNegative};
+  }
+
+  // "(Q1, +p2)" — the notation used in the paper's examples.
+  std::string DebugString() const;
+
+  friend bool operator==(const Update& a, const Update& b) {
+    return a.query == b.query && a.object == b.object && a.sign == b.sign;
+  }
+};
+
+// Removes (+,-) pairs that cancel out within one tick and orders the
+// stream deterministically by (query, object), negatives before
+// positives. The evaluation passes never produce cancelling pairs for a
+// consistent engine state, but callers composing streams may.
+void CanonicalizeUpdates(std::vector<Update>* updates);
+
+struct TickStats {
+  size_t object_updates_applied = 0;
+  size_t object_removals_applied = 0;
+  size_t query_changes_applied = 0;
+  size_t queries_unregistered = 0;
+  size_t positive_updates = 0;
+  size_t negative_updates = 0;
+  size_t knn_reevaluations = 0;
+};
+
+// The output of one evaluation period: the full stream of incremental
+// updates across all registered queries.
+struct TickResult {
+  Timestamp time = 0.0;
+  std::vector<Update> updates;
+  TickStats stats;
+
+  // Bytes this tick would put on the wire under `model`.
+  size_t WireBytes(const WireCostModel& model) const {
+    return model.UpdateBytes(updates.size());
+  }
+};
+
+}  // namespace stq
+
+#endif  // STQ_CORE_TYPES_H_

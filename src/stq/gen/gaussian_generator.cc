@@ -1,0 +1,93 @@
+#include "stq/gen/gaussian_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stq/common/logging.h"
+
+namespace stq {
+
+GaussianGenerator::GaussianGenerator(const Options& options)
+    : options_(options), rng_(options.seed) {
+  STQ_CHECK(!options_.bounds.IsEmpty());
+  STQ_CHECK(options_.num_hotspots >= 1);
+
+  const double sigma =
+      options_.hotspot_sigma *
+      std::min(options_.bounds.Width(), options_.bounds.Height());
+
+  hotspots_.reserve(options_.num_hotspots);
+  for (size_t h = 0; h < options_.num_hotspots; ++h) {
+    // Keep hotspots away from the border so their clusters fit.
+    hotspots_.push_back(Point{
+        options_.bounds.min_x +
+            options_.bounds.Width() * rng_.NextDouble(0.2, 0.8),
+        options_.bounds.min_y +
+            options_.bounds.Height() * rng_.NextDouble(0.2, 0.8)});
+  }
+
+  locs_.reserve(options_.num_objects);
+  home_.reserve(options_.num_objects);
+  for (size_t i = 0; i < options_.num_objects; ++i) {
+    const size_t h = rng_.NextUint64(options_.num_hotspots);
+    home_.push_back(h);
+    locs_.push_back(ClampToBounds(
+        Point{hotspots_[h].x + rng_.NextGaussian() * sigma,
+              hotspots_[h].y + rng_.NextGaussian() * sigma}));
+  }
+}
+
+Point GaussianGenerator::ClampToBounds(Point p) const {
+  p.x = std::clamp(p.x, options_.bounds.min_x, options_.bounds.max_x);
+  p.y = std::clamp(p.y, options_.bounds.min_y, options_.bounds.max_y);
+  return p;
+}
+
+size_t GaussianGenerator::IndexOf(ObjectId id) const {
+  STQ_CHECK(id >= options_.first_id && id < options_.first_id + locs_.size())
+      << "object id out of generator range";
+  return static_cast<size_t>(id - options_.first_id);
+}
+
+std::vector<ObjectReport> GaussianGenerator::InitialReports(
+    Timestamp t) const {
+  std::vector<ObjectReport> reports;
+  reports.reserve(locs_.size());
+  for (size_t i = 0; i < locs_.size(); ++i) {
+    reports.push_back(
+        ObjectReport{options_.first_id + i, locs_[i], Velocity{}, t});
+  }
+  return reports;
+}
+
+std::vector<ObjectReport> GaussianGenerator::Step(Timestamp now, double dt,
+                                                  double update_fraction) {
+  std::vector<ObjectReport> reports;
+  const double step = options_.speed * dt;
+  for (size_t i = 0; i < locs_.size(); ++i) {
+    if (!rng_.NextBool(update_fraction)) continue;
+    Point& p = locs_[i];
+    const Point& home = hotspots_[home_[i]];
+    // Blend a random step with a pull toward home.
+    const double rx = rng_.NextDouble(-1.0, 1.0);
+    const double ry = rng_.NextDouble(-1.0, 1.0);
+    double hx = home.x - p.x;
+    double hy = home.y - p.y;
+    const double hd = std::sqrt(hx * hx + hy * hy);
+    if (hd > 1e-12) {
+      hx /= hd;
+      hy /= hd;
+    }
+    p = ClampToBounds(Point{
+        p.x + step * ((1.0 - options_.homing) * rx + options_.homing * hx),
+        p.y + step * ((1.0 - options_.homing) * ry + options_.homing * hy)});
+    reports.push_back(ObjectReport{options_.first_id + i, p, Velocity{}, now});
+  }
+  return reports;
+}
+
+Point GaussianGenerator::LocationOf(ObjectId id) const {
+  return locs_[IndexOf(id)];
+}
+
+}  // namespace stq

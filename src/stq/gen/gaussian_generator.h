@@ -1,0 +1,67 @@
+// GaussianGenerator: skewed free-space movers.
+//
+// Objects cluster around a set of Gaussian hotspots (city centers) and
+// perform bounded random steps with a pull back toward their home
+// hotspot. Complements UniformGenerator with the skew that makes shared
+// grids earn their keep: some cells carry most of the load.
+
+#ifndef STQ_GEN_GAUSSIAN_GENERATOR_H_
+#define STQ_GEN_GAUSSIAN_GENERATOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "stq/common/clock.h"
+#include "stq/common/ids.h"
+#include "stq/common/random.h"
+#include "stq/gen/network_generator.h"  // for ObjectReport
+#include "stq/geo/rect.h"
+
+namespace stq {
+
+class GaussianGenerator {
+ public:
+  struct Options {
+    size_t num_objects = 1000;
+    ObjectId first_id = 1;
+    uint64_t seed = 1;
+    Rect bounds = Rect{0.0, 0.0, 1.0, 1.0};
+    size_t num_hotspots = 4;
+    // Standard deviation of object placement around a hotspot, as a
+    // fraction of the bounds' smaller side.
+    double hotspot_sigma = 0.05;
+    // Per-second random-step speed.
+    double speed = 0.005;
+    // Fraction of each step directed back toward the home hotspot (0 =
+    // pure random walk, 1 = beeline home).
+    double homing = 0.3;
+  };
+
+  explicit GaussianGenerator(const Options& options);
+
+  size_t num_objects() const { return locs_.size(); }
+  const std::vector<Point>& hotspots() const { return hotspots_; }
+
+  std::vector<ObjectReport> InitialReports(Timestamp t) const;
+
+  // Moves ~update_fraction of the objects by `dt` seconds and returns
+  // their reports.
+  std::vector<ObjectReport> Step(Timestamp now, double dt,
+                                 double update_fraction);
+
+  Point LocationOf(ObjectId id) const;
+
+ private:
+  size_t IndexOf(ObjectId id) const;
+  Point ClampToBounds(Point p) const;
+
+  Options options_;
+  Xorshift128Plus rng_;
+  std::vector<Point> hotspots_;
+  std::vector<Point> locs_;
+  std::vector<size_t> home_;  // hotspot index per object
+};
+
+}  // namespace stq
+
+#endif  // STQ_GEN_GAUSSIAN_GENERATOR_H_

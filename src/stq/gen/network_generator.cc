@@ -1,0 +1,150 @@
+#include "stq/gen/network_generator.h"
+
+#include <algorithm>
+
+#include "stq/common/logging.h"
+
+namespace stq {
+
+NetworkGenerator::NetworkGenerator(const RoadNetwork* network,
+                                   const Options& options)
+    : network_(network), options_(options), rng_(options.seed) {
+  STQ_CHECK(network_ != nullptr);
+  STQ_CHECK(network_->num_nodes() >= 2);
+  movers_.resize(options_.num_objects);
+  for (Mover& m : movers_) {
+    m.from = network_->RandomNode(&rng_);
+    m.progress = 0.0;
+    NewTrip(&m);
+  }
+}
+
+size_t NetworkGenerator::IndexOf(ObjectId id) const {
+  STQ_CHECK(id >= options_.first_id &&
+            id < options_.first_id + movers_.size())
+      << "object id out of generator range";
+  return static_cast<size_t>(id - options_.first_id);
+}
+
+Point NetworkGenerator::MoverLocation(const Mover& m) const {
+  const Point& a = network_->NodePos(m.from);
+  const Point& b = network_->NodePos(m.to);
+  return Point{a.x + (b.x - a.x) * m.progress, a.y + (b.y - a.y) * m.progress};
+}
+
+void NetworkGenerator::NewTrip(Mover* m) {
+  switch (options_.route) {
+    case RouteStrategy::kShortestPath: {
+      NodeId dest = network_->RandomNode(&rng_);
+      while (dest == m->from) dest = network_->RandomNode(&rng_);
+      std::vector<NodeId> path = network_->ShortestPath(m->from, dest);
+      STQ_CHECK(path.size() >= 2) << "city must be connected";
+      // Keep the route reversed so the next hop pops off the back;
+      // path[0] == m->from is dropped.
+      m->route.assign(path.rbegin(), path.rend() - 1);
+      break;
+    }
+    case RouteStrategy::kRandomWalk: {
+      m->route.clear();
+      break;
+    }
+  }
+  PickNextLeg(m);
+}
+
+void NetworkGenerator::PickNextLeg(Mover* m) {
+  if (m->route.empty() && options_.route == RouteStrategy::kRandomWalk) {
+    const auto& neighbors = network_->Neighbors(m->from);
+    STQ_CHECK(!neighbors.empty());
+    const auto& pick =
+        neighbors[rng_.NextUint64(neighbors.size())];
+    m->to = pick.neighbor;
+    m->edge = pick.edge;
+    m->progress = 0.0;
+    return;
+  }
+  STQ_DCHECK(!m->route.empty());
+  m->to = m->route.back();
+  m->route.pop_back();
+  // Find the edge (from, to). Lattice cities have small degree, so a
+  // linear scan is fine.
+  for (const RoadNetwork::Adjacency& adj : network_->Neighbors(m->from)) {
+    if (adj.neighbor == m->to) {
+      m->edge = adj.edge;
+      m->progress = 0.0;
+      return;
+    }
+  }
+  STQ_LOG(Fatal) << "route uses a non-existent edge";
+}
+
+void NetworkGenerator::AdvanceMover(Mover* m, double dt) {
+  double budget = dt;
+  // Guard against degenerate zero-length edges.
+  for (int hops = 0; budget > 0.0 && hops < 10000; ++hops) {
+    const RoadEdge& e = network_->Edge(m->edge);
+    const double speed = e.speed * options_.speed_factor;
+    const double remaining_len = e.length * (1.0 - m->progress);
+    const double remaining_time = speed > 0.0 ? remaining_len / speed : 0.0;
+    if (remaining_time > budget && e.length > 0.0) {
+      m->progress += budget * speed / e.length;
+      return;
+    }
+    budget -= remaining_time;
+    m->from = m->to;
+    m->progress = 0.0;
+    if (m->route.empty()) {
+      if (options_.route == RouteStrategy::kRandomWalk) {
+        PickNextLeg(m);
+      } else {
+        NewTrip(m);  // destination reached: start a new trip
+      }
+    } else {
+      PickNextLeg(m);
+    }
+  }
+}
+
+std::vector<ObjectReport> NetworkGenerator::InitialReports(
+    Timestamp t) const {
+  std::vector<ObjectReport> reports;
+  reports.reserve(movers_.size());
+  for (size_t i = 0; i < movers_.size(); ++i) {
+    reports.push_back(ObjectReport{options_.first_id + i,
+                                   MoverLocation(movers_[i]),
+                                   VelocityOf(options_.first_id + i), t});
+  }
+  return reports;
+}
+
+std::vector<ObjectReport> NetworkGenerator::Step(Timestamp now, double dt,
+                                                 double update_fraction) {
+  std::vector<ObjectReport> reports;
+  reports.reserve(static_cast<size_t>(
+      static_cast<double>(movers_.size()) * update_fraction) + 1);
+  for (size_t i = 0; i < movers_.size(); ++i) {
+    if (!rng_.NextBool(update_fraction)) continue;
+    AdvanceMover(&movers_[i], dt);
+    reports.push_back(ObjectReport{options_.first_id + i,
+                                   MoverLocation(movers_[i]),
+                                   VelocityOf(options_.first_id + i), now});
+  }
+  return reports;
+}
+
+Point NetworkGenerator::LocationOf(ObjectId id) const {
+  return MoverLocation(movers_[IndexOf(id)]);
+}
+
+Velocity NetworkGenerator::VelocityOf(ObjectId id) const {
+  const Mover& m = movers_[IndexOf(id)];
+  const RoadEdge& e = network_->Edge(m.edge);
+  const Point& a = network_->NodePos(m.from);
+  const Point& b = network_->NodePos(m.to);
+  if (e.length <= 0.0) return Velocity{};
+  const double speed = e.speed * options_.speed_factor;
+  return Velocity{(b.x - a.x) / e.length * speed,
+                  (b.y - a.y) / e.length * speed};
+}
+
+}  // namespace stq

@@ -1,0 +1,95 @@
+// NetworkGenerator: Brinkhoff-style moving objects on a road network.
+//
+// Each object drives along the network: it picks a random destination,
+// follows the travel-time shortest path (or a random walk, configurable)
+// at the speed of the road it is on, and picks a new destination on
+// arrival. Each simulation step, a caller-chosen fraction of objects move
+// and report — matching the paper's Figure 5(a) x-axis, "the number of
+// moving objects that reported a change of location within the last T
+// seconds".
+//
+// Fully deterministic given (network, options.seed).
+
+#ifndef STQ_GEN_NETWORK_GENERATOR_H_
+#define STQ_GEN_NETWORK_GENERATOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "stq/common/clock.h"
+#include "stq/common/ids.h"
+#include "stq/common/random.h"
+#include "stq/gen/road_network.h"
+#include "stq/geo/point.h"
+
+namespace stq {
+
+struct ObjectReport {
+  ObjectId id = 0;
+  Point loc;
+  Velocity vel;  // instantaneous velocity (for predictive feeds)
+  Timestamp t = 0.0;
+};
+
+class NetworkGenerator {
+ public:
+  enum class RouteStrategy {
+    kShortestPath,  // Brinkhoff-style routed trips
+    kRandomWalk,    // cheap alternative: random turn at every intersection
+  };
+
+  struct Options {
+    size_t num_objects = 1000;
+    // Object ids are first_id .. first_id + num_objects - 1.
+    ObjectId first_id = 1;
+    uint64_t seed = 1;
+    double speed_factor = 1.0;  // multiplies road speeds
+    RouteStrategy route = RouteStrategy::kShortestPath;
+  };
+
+  // `network` must outlive the generator.
+  NetworkGenerator(const RoadNetwork* network, const Options& options);
+
+  size_t num_objects() const { return movers_.size(); }
+
+  // Reports placing every object at its starting location at time `t`.
+  std::vector<ObjectReport> InitialReports(Timestamp t) const;
+
+  // Advances a deterministic pseudo-random subset of roughly
+  // `update_fraction` of the objects by `dt` seconds and returns their
+  // reports stamped `now`. Objects not selected stay put (their device
+  // did not report within this period).
+  std::vector<ObjectReport> Step(Timestamp now, double dt,
+                                 double update_fraction);
+
+  // Ground-truth location (regardless of what has been reported).
+  Point LocationOf(ObjectId id) const;
+
+  // Current direction of travel scaled by road speed.
+  Velocity VelocityOf(ObjectId id) const;
+
+ private:
+  struct Mover {
+    NodeId from = 0;
+    NodeId to = 0;
+    EdgeId edge = 0;
+    double progress = 0.0;  // 0..1 along (from -> to)
+    // Remaining route after `to` (reversed: next hop at the back).
+    std::vector<NodeId> route;
+  };
+
+  size_t IndexOf(ObjectId id) const;
+  Point MoverLocation(const Mover& m) const;
+  void AdvanceMover(Mover* m, double dt);
+  void PickNextLeg(Mover* m);
+  void NewTrip(Mover* m);
+
+  const RoadNetwork* network_;
+  Options options_;
+  Xorshift128Plus rng_;
+  std::vector<Mover> movers_;
+};
+
+}  // namespace stq
+
+#endif  // STQ_GEN_NETWORK_GENERATOR_H_

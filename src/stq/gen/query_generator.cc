@@ -1,0 +1,76 @@
+#include "stq/gen/query_generator.h"
+
+#include <algorithm>
+
+#include "stq/common/logging.h"
+
+namespace stq {
+
+QueryGenerator::QueryGenerator(const RoadNetwork* network,
+                               const Options& options)
+    : options_(options) {
+  STQ_CHECK(network != nullptr);
+  STQ_CHECK(options_.side_length > 0.0);
+  num_moving_ = static_cast<size_t>(
+      static_cast<double>(options_.num_queries) * options_.moving_fraction);
+  num_moving_ = std::min(num_moving_, options_.num_queries);
+
+  if (num_moving_ > 0) {
+    NetworkGenerator::Options mover_options;
+    mover_options.num_objects = num_moving_;
+    mover_options.first_id = 1;  // internal id space
+    mover_options.seed = options_.seed;
+    mover_options.route = options_.route;
+    centers_ = std::make_unique<NetworkGenerator>(network, mover_options);
+  }
+
+  Xorshift128Plus rng(options_.seed ^ 0xA5A5A5A5A5A5A5A5ull);
+  const size_t num_stationary = options_.num_queries - num_moving_;
+  stationary_centers_.reserve(num_stationary);
+  for (size_t i = 0; i < num_stationary; ++i) {
+    stationary_centers_.push_back(network->NodePos(network->RandomNode(&rng)));
+  }
+}
+
+bool QueryGenerator::IsMoving(QueryId id) const {
+  STQ_CHECK(id >= options_.first_id &&
+            id < options_.first_id + options_.num_queries)
+      << "query id out of generator range";
+  return id - options_.first_id < num_moving_;
+}
+
+Rect QueryGenerator::RegionOf(QueryId id, Timestamp) const {
+  const size_t idx = static_cast<size_t>(id - options_.first_id);
+  const Point center =
+      idx < num_moving_ ? centers_->LocationOf(1 + idx)
+                        : stationary_centers_[idx - num_moving_];
+  return Rect::CenteredSquare(center, options_.side_length);
+}
+
+std::vector<QueryRegionReport> QueryGenerator::InitialRegions(
+    Timestamp t) const {
+  std::vector<QueryRegionReport> regions;
+  regions.reserve(options_.num_queries);
+  for (size_t i = 0; i < options_.num_queries; ++i) {
+    const QueryId qid = options_.first_id + i;
+    regions.push_back(QueryRegionReport{qid, RegionOf(qid, t), t});
+  }
+  return regions;
+}
+
+std::vector<QueryRegionReport> QueryGenerator::Step(Timestamp now, double dt,
+                                                    double update_fraction) {
+  std::vector<QueryRegionReport> regions;
+  if (centers_ == nullptr) return regions;
+  const std::vector<ObjectReport> moved =
+      centers_->Step(now, dt, update_fraction);
+  regions.reserve(moved.size());
+  for (const ObjectReport& r : moved) {
+    const QueryId qid = options_.first_id + (r.id - 1);
+    regions.push_back(QueryRegionReport{
+        qid, Rect::CenteredSquare(r.loc, options_.side_length), now});
+  }
+  return regions;
+}
+
+}  // namespace stq

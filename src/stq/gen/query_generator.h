@@ -1,0 +1,75 @@
+// QueryGenerator: continuous square range queries over a city.
+//
+// "We choose some points randomly and consider them as centers of square
+// queries." (paper, Section 4) A configurable fraction of the queries is
+// moving: their centers drive along the road network exactly like moving
+// objects (a moving query is, e.g., "all vehicles within half a mile of my
+// car").
+
+#ifndef STQ_GEN_QUERY_GENERATOR_H_
+#define STQ_GEN_QUERY_GENERATOR_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "stq/common/clock.h"
+#include "stq/common/ids.h"
+#include "stq/common/random.h"
+#include "stq/gen/network_generator.h"
+#include "stq/gen/road_network.h"
+#include "stq/geo/rect.h"
+
+namespace stq {
+
+struct QueryRegionReport {
+  QueryId id = 0;
+  Rect region;
+  Timestamp t = 0.0;
+};
+
+class QueryGenerator {
+ public:
+  struct Options {
+    size_t num_queries = 100;
+    QueryId first_id = 1;
+    // Side length of the square query regions.
+    double side_length = 0.01;
+    // Fraction of queries whose center moves along the network.
+    double moving_fraction = 1.0;
+    uint64_t seed = 7;
+    NetworkGenerator::RouteStrategy route =
+        NetworkGenerator::RouteStrategy::kShortestPath;
+  };
+
+  // `network` must outlive the generator. Moving query centers ride the
+  // network; stationary centers sit at random intersections.
+  QueryGenerator(const RoadNetwork* network, const Options& options);
+
+  size_t num_queries() const { return options_.num_queries; }
+  size_t num_moving() const { return num_moving_; }
+
+  // Every query's initial region (sorted by query id).
+  std::vector<QueryRegionReport> InitialRegions(Timestamp t) const;
+
+  // Advances ~update_fraction of the *moving* queries by dt and returns
+  // their new regions.
+  std::vector<QueryRegionReport> Step(Timestamp now, double dt,
+                                      double update_fraction);
+
+  Rect RegionOf(QueryId id, Timestamp t) const;
+  bool IsMoving(QueryId id) const;
+
+ private:
+  Options options_;
+  size_t num_moving_ = 0;
+  // Moving centers: one network mover per moving query; movers' object id
+  // space maps 1:1 onto the first num_moving_ query ids.
+  std::unique_ptr<NetworkGenerator> centers_;
+  // Stationary centers for the remaining queries.
+  std::vector<Point> stationary_centers_;
+};
+
+}  // namespace stq
+
+#endif  // STQ_GEN_QUERY_GENERATOR_H_

@@ -1,0 +1,264 @@
+#include "stq/gen/road_network.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "stq/common/logging.h"
+
+namespace stq {
+
+namespace {
+
+// Union-find used to keep the city connected while dropping edges.
+class DisjointSets {
+ public:
+  explicit DisjointSets(size_t n) : parent_(n), rank_(n, 0) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool Union(size_t a, size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    if (rank_[a] < rank_[b]) std::swap(a, b);
+    parent_[b] = a;
+    if (rank_[a] == rank_[b]) ++rank_[a];
+    return true;
+  }
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<int> rank_;
+};
+
+}  // namespace
+
+void RoadNetwork::AddEdge(NodeId a, NodeId b, double speed, int road_class) {
+  RoadEdge edge;
+  edge.a = a;
+  edge.b = b;
+  edge.length = Distance(nodes_[a], nodes_[b]);
+  edge.speed = speed;
+  edge.road_class = road_class;
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(edge);
+  adjacency_[a].push_back(Adjacency{b, id});
+  adjacency_[b].push_back(Adjacency{a, id});
+}
+
+RoadNetwork RoadNetwork::MakeGridCity(const GridCityOptions& options) {
+  STQ_CHECK(options.rows >= 2 && options.cols >= 2)
+      << "a city needs at least a 2x2 lattice";
+  STQ_CHECK(!options.bounds.IsEmpty());
+
+  RoadNetwork net;
+  Xorshift128Plus rng(options.seed);
+
+  const int rows = options.rows;
+  const int cols = options.cols;
+  const double pitch_x = options.bounds.Width() / (cols - 1);
+  const double pitch_y = options.bounds.Height() / (rows - 1);
+
+  // Intersections on a jittered lattice. Border nodes stay on the border
+  // so the city fills its bounds.
+  net.nodes_.reserve(static_cast<size_t>(rows) * cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      double x = options.bounds.min_x + c * pitch_x;
+      double y = options.bounds.min_y + r * pitch_y;
+      if (r > 0 && r < rows - 1) {
+        y += rng.NextDouble(-options.jitter, options.jitter) * pitch_y;
+      }
+      if (c > 0 && c < cols - 1) {
+        x += rng.NextDouble(-options.jitter, options.jitter) * pitch_x;
+      }
+      net.nodes_.push_back(Point{x, y});
+    }
+  }
+  net.adjacency_.resize(net.nodes_.size());
+
+  auto node_at = [cols](int r, int c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  auto class_of_row = [&](int r) {
+    if (options.highway_stride > 0 && r % options.highway_stride == 0) {
+      return 0;
+    }
+    if (options.highway_stride > 0 &&
+        (r % options.highway_stride == 1 ||
+         r % options.highway_stride == options.highway_stride - 1)) {
+      return 1;
+    }
+    return 2;
+  };
+  auto speed_of_class = [&](int road_class) {
+    switch (road_class) {
+      case 0:
+        return options.highway_speed;
+      case 1:
+        return options.main_speed;
+      default:
+        return options.side_speed;
+    }
+  };
+
+  // Candidate lattice edges, each marked kept/dropped at random; dropped
+  // edges whose absence would disconnect the network are re-added.
+  struct Candidate {
+    NodeId a;
+    NodeId b;
+    int road_class;
+    bool kept;
+  };
+  std::vector<Candidate> candidates;
+  for (int r = 0; r < rows; ++r) {
+    const int row_class = class_of_row(r);
+    for (int c = 0; c + 1 < cols; ++c) {
+      candidates.push_back(Candidate{node_at(r, c), node_at(r, c + 1),
+                                     row_class,
+                                     !rng.NextBool(options.drop_fraction)});
+    }
+  }
+  for (int c = 0; c < cols; ++c) {
+    const int col_class = class_of_row(c);
+    for (int r = 0; r + 1 < rows; ++r) {
+      candidates.push_back(Candidate{node_at(r, c), node_at(r + 1, c),
+                                     col_class,
+                                     !rng.NextBool(options.drop_fraction)});
+    }
+  }
+
+  DisjointSets components(net.nodes_.size());
+  for (const Candidate& cand : candidates) {
+    if (cand.kept) {
+      components.Union(cand.a, cand.b);
+      net.AddEdge(cand.a, cand.b, speed_of_class(cand.road_class),
+                  cand.road_class);
+    }
+  }
+  for (const Candidate& cand : candidates) {
+    if (!cand.kept && components.Union(cand.a, cand.b)) {
+      net.AddEdge(cand.a, cand.b, speed_of_class(cand.road_class),
+                  cand.road_class);
+    }
+  }
+
+  STQ_CHECK(net.IsConnected()) << "generated city must be connected";
+  return net;
+}
+
+RoadNetwork RoadNetwork::MakeRadialCity(const RadialCityOptions& options) {
+  STQ_CHECK(options.rings >= 1 && options.spokes >= 3)
+      << "a radial city needs >= 1 ring and >= 3 spokes";
+  STQ_CHECK(!options.bounds.IsEmpty());
+
+  RoadNetwork net;
+  Xorshift128Plus rng(options.seed);
+
+  const Point center = options.bounds.Center();
+  const double max_radius =
+      std::min(options.bounds.Width(), options.bounds.Height()) / 2.0;
+  const double spoke_angle = 2.0 * M_PI / options.spokes;
+
+  // Node 0 is the city center; node 1 + r*spokes + s sits on ring r at
+  // spoke s.
+  net.nodes_.push_back(center);
+  for (int r = 1; r <= options.rings; ++r) {
+    const double radius = max_radius * r / options.rings;
+    for (int s = 0; s < options.spokes; ++s) {
+      const double angle =
+          spoke_angle * (s + rng.NextDouble(-options.jitter, options.jitter));
+      net.nodes_.push_back(Point{center.x + radius * std::cos(angle),
+                                 center.y + radius * std::sin(angle)});
+    }
+  }
+  net.adjacency_.resize(net.nodes_.size());
+
+  auto node_at = [&](int ring, int spoke) {
+    return static_cast<NodeId>(1 + (ring - 1) * options.spokes + spoke);
+  };
+
+  // Spokes: center -> ring1 -> ... -> ringR, per spoke.
+  for (int s = 0; s < options.spokes; ++s) {
+    net.AddEdge(0, node_at(1, s), options.spoke_speed, /*road_class=*/0);
+    for (int r = 1; r < options.rings; ++r) {
+      net.AddEdge(node_at(r, s), node_at(r + 1, s), options.spoke_speed, 0);
+    }
+  }
+  // Rings: angular neighbors on each ring; the outermost is the beltway.
+  for (int r = 1; r <= options.rings; ++r) {
+    const bool beltway = r == options.rings;
+    for (int s = 0; s < options.spokes; ++s) {
+      net.AddEdge(node_at(r, s), node_at(r, (s + 1) % options.spokes),
+                  beltway ? options.beltway_speed : options.ring_speed,
+                  beltway ? 0 : 1);
+    }
+  }
+
+  STQ_CHECK(net.IsConnected());
+  return net;
+}
+
+std::vector<NodeId> RoadNetwork::ShortestPath(NodeId from, NodeId to) const {
+  if (from == to) return {from};
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(nodes_.size(), kInf);
+  std::vector<NodeId> prev(nodes_.size(), from);
+  using QueueEntry = std::pair<double, NodeId>;  // (travel time, node)
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      frontier;
+  dist[from] = 0.0;
+  frontier.emplace(0.0, from);
+  while (!frontier.empty()) {
+    const auto [d, n] = frontier.top();
+    frontier.pop();
+    if (d > dist[n]) continue;
+    if (n == to) break;
+    for (const Adjacency& adj : adjacency_[n]) {
+      const RoadEdge& e = edges_[adj.edge];
+      const double travel = e.length / e.speed;
+      const double nd = d + travel;
+      if (nd < dist[adj.neighbor]) {
+        dist[adj.neighbor] = nd;
+        prev[adj.neighbor] = n;
+        frontier.emplace(nd, adj.neighbor);
+      }
+    }
+  }
+  if (dist[to] == kInf) return {};
+  std::vector<NodeId> path;
+  for (NodeId n = to; n != from; n = prev[n]) path.push_back(n);
+  path.push_back(from);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+bool RoadNetwork::IsConnected() const {
+  if (nodes_.empty()) return true;
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<NodeId> stack = {0};
+  seen[0] = true;
+  size_t visited = 0;
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    ++visited;
+    for (const Adjacency& adj : adjacency_[n]) {
+      if (!seen[adj.neighbor]) {
+        seen[adj.neighbor] = true;
+        stack.push_back(adj.neighbor);
+      }
+    }
+  }
+  return visited == nodes_.size();
+}
+
+}  // namespace stq

@@ -1,0 +1,116 @@
+// RoadNetwork: a synthetic city road network.
+//
+// Stands in for the real city maps consumed by the Network-based Generator
+// of Moving Objects (Brinkhoff, GeoInformatica 2002) that the paper's
+// evaluation uses. The synthetic city is a jittered lattice of
+// intersections with three road classes (highway / main / side street) of
+// different speeds, a fraction of edges removed for irregularity, and
+// connectivity guaranteed.
+
+#ifndef STQ_GEN_ROAD_NETWORK_H_
+#define STQ_GEN_ROAD_NETWORK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stq/common/random.h"
+#include "stq/geo/point.h"
+#include "stq/geo/rect.h"
+
+namespace stq {
+
+using NodeId = uint32_t;
+using EdgeId = uint32_t;
+
+struct RoadEdge {
+  NodeId a = 0;
+  NodeId b = 0;
+  double length = 0.0;     // Euclidean length in space units
+  double speed = 0.0;      // free-flow speed in space units / second
+  int road_class = 2;      // 0 = highway, 1 = main road, 2 = side street
+};
+
+class RoadNetwork {
+ public:
+  struct GridCityOptions {
+    int rows = 20;
+    int cols = 20;
+    Rect bounds = Rect{0.0, 0.0, 1.0, 1.0};
+    // Intersections are perturbed by up to `jitter` of the lattice pitch.
+    double jitter = 0.25;
+    // Fraction of lattice edges removed (those whose removal would
+    // disconnect the network are kept).
+    double drop_fraction = 0.15;
+    // Every `highway_stride`-th row/column is a highway; roads adjacent to
+    // highways are main roads, the rest side streets.
+    int highway_stride = 5;
+    // Free-flow speeds per class, space units / second. The unit square
+    // models a ~30 km city, so 0.0008 units/s corresponds to a ~90 km/h
+    // highway — vehicles cross a 0.04-wide query region in ~50 s, giving
+    // the modest per-period answer churn a real road network exhibits.
+    double highway_speed = 0.0008;
+    double main_speed = 0.0004;
+    double side_speed = 0.0002;
+    uint64_t seed = 42;
+  };
+
+  // Builds a synthetic city. Options must satisfy rows, cols >= 2.
+  static RoadNetwork MakeGridCity(const GridCityOptions& options);
+
+  struct RadialCityOptions {
+    int rings = 6;    // concentric ring roads (>= 1)
+    int spokes = 12;  // radial arterials (>= 3)
+    Rect bounds = Rect{0.0, 0.0, 1.0, 1.0};
+    // Angular jitter of intersections, as a fraction of the spoke angle.
+    double jitter = 0.1;
+    // Spokes are arterials (fast), rings are distributors, the outermost
+    // ring is a beltway (fast again).
+    double spoke_speed = 0.0008;
+    double ring_speed = 0.0004;
+    double beltway_speed = 0.0008;
+    uint64_t seed = 42;
+  };
+
+  // Builds a radial (ring-and-spoke) city: a center node, `rings`
+  // concentric rings of `spokes` intersections each, spoke edges walking
+  // outward and ring edges connecting angular neighbors. Connected by
+  // construction.
+  static RoadNetwork MakeRadialCity(const RadialCityOptions& options);
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+
+  const Point& NodePos(NodeId n) const { return nodes_[n]; }
+  const RoadEdge& Edge(EdgeId e) const { return edges_[e]; }
+
+  struct Adjacency {
+    NodeId neighbor = 0;
+    EdgeId edge = 0;
+  };
+  const std::vector<Adjacency>& Neighbors(NodeId n) const {
+    return adjacency_[n];
+  }
+
+  NodeId RandomNode(Xorshift128Plus* rng) const {
+    return static_cast<NodeId>(rng->NextUint64(nodes_.size()));
+  }
+
+  // Travel-time shortest path (Dijkstra); includes both endpoints.
+  // Returns an empty vector when `to` is unreachable (cannot happen for
+  // MakeGridCity networks) or from == to (a single-node path of one).
+  std::vector<NodeId> ShortestPath(NodeId from, NodeId to) const;
+
+  bool IsConnected() const;
+
+ private:
+  RoadNetwork() = default;
+  void AddEdge(NodeId a, NodeId b, double speed, int road_class);
+
+  std::vector<Point> nodes_;
+  std::vector<RoadEdge> edges_;
+  std::vector<std::vector<Adjacency>> adjacency_;
+};
+
+}  // namespace stq
+
+#endif  // STQ_GEN_ROAD_NETWORK_H_

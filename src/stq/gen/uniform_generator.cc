@@ -1,0 +1,68 @@
+#include "stq/gen/uniform_generator.h"
+
+#include <algorithm>
+
+#include "stq/common/logging.h"
+
+namespace stq {
+
+namespace {
+// Reflects `x` into [lo, hi].
+double Reflect(double x, double lo, double hi) {
+  if (hi <= lo) return lo;
+  while (x < lo || x > hi) {
+    if (x < lo) x = lo + (lo - x);
+    if (x > hi) x = hi - (x - hi);
+  }
+  return x;
+}
+}  // namespace
+
+UniformGenerator::UniformGenerator(const Options& options)
+    : options_(options), rng_(options.seed) {
+  STQ_CHECK(!options_.bounds.IsEmpty());
+  locs_.reserve(options_.num_objects);
+  for (size_t i = 0; i < options_.num_objects; ++i) {
+    locs_.push_back(
+        Point{rng_.NextDouble(options_.bounds.min_x, options_.bounds.max_x),
+              rng_.NextDouble(options_.bounds.min_y, options_.bounds.max_y)});
+  }
+}
+
+size_t UniformGenerator::IndexOf(ObjectId id) const {
+  STQ_CHECK(id >= options_.first_id && id < options_.first_id + locs_.size())
+      << "object id out of generator range";
+  return static_cast<size_t>(id - options_.first_id);
+}
+
+std::vector<ObjectReport> UniformGenerator::InitialReports(Timestamp t) const {
+  std::vector<ObjectReport> reports;
+  reports.reserve(locs_.size());
+  for (size_t i = 0; i < locs_.size(); ++i) {
+    reports.push_back(
+        ObjectReport{options_.first_id + i, locs_[i], Velocity{}, t});
+  }
+  return reports;
+}
+
+std::vector<ObjectReport> UniformGenerator::Step(Timestamp now, double dt,
+                                                 double update_fraction) {
+  std::vector<ObjectReport> reports;
+  const double max_step = options_.speed * dt;
+  for (size_t i = 0; i < locs_.size(); ++i) {
+    if (!rng_.NextBool(update_fraction)) continue;
+    Point& p = locs_[i];
+    p.x = Reflect(p.x + rng_.NextDouble(-max_step, max_step),
+                  options_.bounds.min_x, options_.bounds.max_x);
+    p.y = Reflect(p.y + rng_.NextDouble(-max_step, max_step),
+                  options_.bounds.min_y, options_.bounds.max_y);
+    reports.push_back(ObjectReport{options_.first_id + i, p, Velocity{}, now});
+  }
+  return reports;
+}
+
+Point UniformGenerator::LocationOf(ObjectId id) const {
+  return locs_[IndexOf(id)];
+}
+
+}  // namespace stq

@@ -1,0 +1,55 @@
+// UniformGenerator: free-space moving objects (uniform initial placement,
+// bounded random-step movement). The unstructured counterpart of
+// NetworkGenerator, used to check that results are not artifacts of
+// road-constrained skew.
+
+#ifndef STQ_GEN_UNIFORM_GENERATOR_H_
+#define STQ_GEN_UNIFORM_GENERATOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "stq/common/clock.h"
+#include "stq/common/ids.h"
+#include "stq/common/random.h"
+#include "stq/gen/network_generator.h"  // for ObjectReport
+#include "stq/geo/rect.h"
+
+namespace stq {
+
+class UniformGenerator {
+ public:
+  struct Options {
+    size_t num_objects = 1000;
+    ObjectId first_id = 1;
+    uint64_t seed = 1;
+    Rect bounds = Rect{0.0, 0.0, 1.0, 1.0};
+    // Per-second speed; a step of `dt` moves each coordinate by up to
+    // speed * dt, reflected at the bounds.
+    double speed = 0.01;
+  };
+
+  explicit UniformGenerator(const Options& options);
+
+  size_t num_objects() const { return locs_.size(); }
+
+  std::vector<ObjectReport> InitialReports(Timestamp t) const;
+
+  // Moves ~update_fraction of the objects by `dt` seconds and returns
+  // their reports.
+  std::vector<ObjectReport> Step(Timestamp now, double dt,
+                                 double update_fraction);
+
+  Point LocationOf(ObjectId id) const;
+
+ private:
+  size_t IndexOf(ObjectId id) const;
+
+  Options options_;
+  Xorshift128Plus rng_;
+  std::vector<Point> locs_;
+};
+
+}  // namespace stq
+
+#endif  // STQ_GEN_UNIFORM_GENERATOR_H_

@@ -1,0 +1,55 @@
+#include "stq/gen/workload.h"
+
+namespace stq {
+
+Workload Workload::FromParts(std::vector<ObjectReport> initial_objects,
+                             std::vector<QueryRegionReport> initial_queries,
+                             std::vector<WorkloadTick> ticks,
+                             double tick_seconds) {
+  Workload w;
+  w.initial_objects_ = std::move(initial_objects);
+  w.initial_queries_ = std::move(initial_queries);
+  w.ticks_ = std::move(ticks);
+  w.tick_seconds_ = tick_seconds;
+  return w;
+}
+
+Workload Workload::GenerateNetwork(const NetworkWorkloadOptions& options) {
+  Workload w;
+  w.tick_seconds_ = options.tick_seconds;
+
+  const RoadNetwork city = RoadNetwork::MakeGridCity(options.city);
+
+  NetworkGenerator::Options object_options;
+  object_options.num_objects = options.num_objects;
+  object_options.first_id = 1;
+  object_options.seed = options.seed;
+  object_options.route = options.route;
+  NetworkGenerator objects(&city, object_options);
+
+  QueryGenerator::Options query_options;
+  query_options.num_queries = options.num_queries;
+  query_options.first_id = 1;
+  query_options.side_length = options.query_side_length;
+  query_options.moving_fraction = options.moving_query_fraction;
+  query_options.seed = options.seed ^ 0xC0FFEEull;
+  query_options.route = options.route;
+  QueryGenerator queries(&city, query_options);
+
+  w.initial_objects_ = objects.InitialReports(0.0);
+  w.initial_queries_ = queries.InitialRegions(0.0);
+
+  w.ticks_.reserve(options.num_ticks);
+  for (size_t i = 0; i < options.num_ticks; ++i) {
+    WorkloadTick tick;
+    tick.time = (static_cast<double>(i) + 1.0) * options.tick_seconds;
+    tick.object_reports = objects.Step(tick.time, options.tick_seconds,
+                                       options.object_update_fraction);
+    tick.query_moves = queries.Step(tick.time, options.tick_seconds,
+                                    options.query_update_fraction);
+    w.ticks_.push_back(std::move(tick));
+  }
+  return w;
+}
+
+}  // namespace stq

@@ -1,0 +1,100 @@
+// Workload: a fully pre-rolled, reproducible simulation script — the
+// initial object placements and query registrations plus, per evaluation
+// period, the object reports and query movements that arrive in it.
+//
+// A Workload decouples generation from evaluation so the incremental
+// engine and the baselines consume byte-identical input streams; all
+// Figure 5 benchmarks are driven through this type.
+
+#ifndef STQ_GEN_WORKLOAD_H_
+#define STQ_GEN_WORKLOAD_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "stq/common/clock.h"
+#include "stq/gen/network_generator.h"
+#include "stq/gen/query_generator.h"
+#include "stq/gen/road_network.h"
+
+namespace stq {
+
+struct WorkloadTick {
+  Timestamp time = 0.0;
+  std::vector<ObjectReport> object_reports;
+  std::vector<QueryRegionReport> query_moves;
+};
+
+struct NetworkWorkloadOptions {
+  RoadNetwork::GridCityOptions city;
+  size_t num_objects = 10000;
+  size_t num_queries = 1000;
+  double query_side_length = 0.01;
+  double moving_query_fraction = 1.0;
+  double tick_seconds = 5.0;
+  size_t num_ticks = 10;
+  // Fractions of objects / moving queries that report per period.
+  double object_update_fraction = 1.0;
+  double query_update_fraction = 1.0;
+  uint64_t seed = 1;
+  NetworkGenerator::RouteStrategy route =
+      NetworkGenerator::RouteStrategy::kShortestPath;
+};
+
+class Workload {
+ public:
+  // Rolls a complete network-based workload (city, drivers, queries, all
+  // ticks). Deterministic in `options`.
+  static Workload GenerateNetwork(const NetworkWorkloadOptions& options);
+
+  // Assembles a workload from explicit parts (used by deserialization and
+  // by custom drivers).
+  static Workload FromParts(std::vector<ObjectReport> initial_objects,
+                            std::vector<QueryRegionReport> initial_queries,
+                            std::vector<WorkloadTick> ticks,
+                            double tick_seconds);
+
+  const std::vector<ObjectReport>& initial_objects() const {
+    return initial_objects_;
+  }
+  const std::vector<QueryRegionReport>& initial_queries() const {
+    return initial_queries_;
+  }
+  const std::vector<WorkloadTick>& ticks() const { return ticks_; }
+  double tick_seconds() const { return tick_seconds_; }
+
+  // Feeds the initial state into any processor exposing UpsertObject and
+  // RegisterRangeQuery (QueryProcessor, SnapshotProcessor, ...). All
+  // queries are registered as range queries.
+  template <typename Processor>
+  void ApplyInitial(Processor* p) const {
+    for (const ObjectReport& r : initial_objects_) {
+      p->UpsertObject(r.id, r.loc, r.t);
+    }
+    for (const QueryRegionReport& q : initial_queries_) {
+      p->RegisterRangeQuery(q.id, q.region);
+    }
+  }
+
+  // Feeds tick `i`'s reports (object upserts + range-query moves).
+  template <typename Processor>
+  void ApplyTick(Processor* p, size_t i) const {
+    const WorkloadTick& tick = ticks_[i];
+    for (const ObjectReport& r : tick.object_reports) {
+      p->UpsertObject(r.id, r.loc, r.t);
+    }
+    for (const QueryRegionReport& q : tick.query_moves) {
+      p->MoveRangeQuery(q.id, q.region);
+    }
+  }
+
+ private:
+  std::vector<ObjectReport> initial_objects_;
+  std::vector<QueryRegionReport> initial_queries_;
+  std::vector<WorkloadTick> ticks_;
+  double tick_seconds_ = 5.0;
+};
+
+}  // namespace stq
+
+#endif  // STQ_GEN_WORKLOAD_H_

@@ -1,0 +1,35 @@
+// Circle region. k-NN queries are represented in the grid as "the smallest
+// circular region that contains the k nearest objects" (paper, Section 3.1);
+// the circle's center is the query point and its radius the distance to the
+// k-th nearest neighbor.
+
+#ifndef STQ_GEO_CIRCLE_H_
+#define STQ_GEO_CIRCLE_H_
+
+#include "stq/geo/point.h"
+#include "stq/geo/rect.h"
+
+namespace stq {
+
+struct Circle {
+  Point center;
+  double radius = 0.0;
+
+  bool Contains(const Point& p) const {
+    return SquaredDistance(center, p) <= radius * radius;
+  }
+
+  // Axis-aligned bounding box; used to clip the circle to grid cells.
+  Rect BoundingBox() const {
+    return Rect{center.x - radius, center.y - radius, center.x + radius,
+                center.y + radius};
+  }
+
+  friend bool operator==(const Circle& a, const Circle& b) {
+    return a.center == b.center && a.radius == b.radius;
+  }
+};
+
+}  // namespace stq
+
+#endif  // STQ_GEO_CIRCLE_H_

@@ -1,0 +1,44 @@
+#include "stq/geo/geometry.h"
+
+#include <algorithm>
+
+namespace stq {
+
+Segment Trajectory::FootprintBetween(double t_from, double t_to) const {
+  const double start = std::max(t_from, t0);
+  const double end = std::max(t_to, start);
+  return Segment{PositionAt(start), PositionAt(end)};
+}
+
+bool TrajectoryIntersectsRect(const Trajectory& traj, const Rect& region,
+                              double t_from, double t_to, double* t_hit) {
+  if (region.IsEmpty() || t_to < t_from) return false;
+  const double start = std::max(t_from, traj.t0);
+  if (t_to < start) return false;
+
+  if (traj.vel.IsZero()) {
+    if (region.Contains(traj.origin)) {
+      if (t_hit != nullptr) *t_hit = start;
+      return true;
+    }
+    return false;
+  }
+
+  const Segment footprint{traj.PositionAt(start), traj.PositionAt(t_to)};
+  double t_enter = 0.0;
+  if (!ClipSegmentToRect(footprint, region, &t_enter, nullptr)) return false;
+  if (t_hit != nullptr) *t_hit = start + t_enter * (t_to - start);
+  return true;
+}
+
+double PointSegmentDistance(const Point& p, const Segment& s) {
+  const double dx = s.b.x - s.a.x;
+  const double dy = s.b.y - s.a.y;
+  const double len2 = dx * dx + dy * dy;
+  if (len2 == 0.0) return Distance(p, s.a);
+  double t = ((p.x - s.a.x) * dx + (p.y - s.a.y) * dy) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  return Distance(p, s.At(t));
+}
+
+}  // namespace stq

@@ -1,0 +1,39 @@
+// Spatio-temporal predicates combining the linear motion model with the
+// region types. These are the leaf predicates evaluated by the predictive
+// query evaluator.
+
+#ifndef STQ_GEO_GEOMETRY_H_
+#define STQ_GEO_GEOMETRY_H_
+
+#include "stq/geo/circle.h"
+#include "stq/geo/point.h"
+#include "stq/geo/rect.h"
+#include "stq/geo/segment.h"
+
+namespace stq {
+
+// Linear trajectory: position `origin + vel * (t - t0)` for t >= t0.
+struct Trajectory {
+  Point origin;
+  Velocity vel;
+  double t0 = 0.0;  // timestamp at which the object was at `origin`
+
+  Point PositionAt(double t) const { return Advance(origin, vel, t - t0); }
+
+  // Spatial footprint between `t_from` and `t_to` (clamped to t >= t0).
+  Segment FootprintBetween(double t_from, double t_to) const;
+};
+
+// Does the trajectory pass through `region` at any instant of the closed
+// window [t_from, t_to]? Instants before the trajectory's own start time
+// t0 are excluded (the object's past is unknown). When true and
+// `t_hit` != nullptr, *t_hit receives the earliest hit time.
+bool TrajectoryIntersectsRect(const Trajectory& traj, const Rect& region,
+                              double t_from, double t_to, double* t_hit);
+
+// Minimum distance from point `p` to segment `s`.
+double PointSegmentDistance(const Point& p, const Segment& s);
+
+}  // namespace stq
+
+#endif  // STQ_GEO_GEOMETRY_H_

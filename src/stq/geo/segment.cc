@@ -1,0 +1,41 @@
+#include "stq/geo/segment.h"
+
+namespace stq {
+
+namespace {
+// One Liang-Barsky clip test against a single boundary: p is the dot
+// product of the direction with the inward normal (negated), q the signed
+// distance to the boundary. Shrinks [t0, t1]; returns false when the
+// segment is fully outside.
+bool ClipEdge(double p, double q, double* t0, double* t1) {
+  if (p == 0.0) return q >= 0.0;  // parallel: inside iff on the inner side
+  const double r = q / p;
+  if (p < 0.0) {
+    if (r > *t1) return false;
+    if (r > *t0) *t0 = r;
+  } else {
+    if (r < *t0) return false;
+    if (r < *t1) *t1 = r;
+  }
+  return true;
+}
+}  // namespace
+
+bool ClipSegmentToRect(const Segment& seg, const Rect& rect, double* t_enter,
+                       double* t_exit) {
+  if (rect.IsEmpty()) return false;
+  const double dx = seg.b.x - seg.a.x;
+  const double dy = seg.b.y - seg.a.y;
+  double t0 = 0.0;
+  double t1 = 1.0;
+  if (!ClipEdge(-dx, seg.a.x - rect.min_x, &t0, &t1)) return false;
+  if (!ClipEdge(dx, rect.max_x - seg.a.x, &t0, &t1)) return false;
+  if (!ClipEdge(-dy, seg.a.y - rect.min_y, &t0, &t1)) return false;
+  if (!ClipEdge(dy, rect.max_y - seg.a.y, &t0, &t1)) return false;
+  if (t0 > t1) return false;
+  if (t_enter != nullptr) *t_enter = t0;
+  if (t_exit != nullptr) *t_exit = t1;
+  return true;
+}
+
+}  // namespace stq

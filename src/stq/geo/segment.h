@@ -1,0 +1,40 @@
+// Directed line segment, the spatial footprint of a predictive object's
+// trajectory over a time window.
+
+#ifndef STQ_GEO_SEGMENT_H_
+#define STQ_GEO_SEGMENT_H_
+
+#include "stq/geo/point.h"
+#include "stq/geo/rect.h"
+
+namespace stq {
+
+struct Segment {
+  Point a;
+  Point b;
+
+  Rect BoundingBox() const { return Rect::FromCorners(a, b); }
+
+  // Point at parameter t in [0, 1] along the segment.
+  Point At(double t) const {
+    return Point{a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t};
+  }
+
+  double Length() const { return Distance(a, b); }
+};
+
+// Liang-Barsky clipping of `seg` against `rect`. Returns true when any part
+// of the segment lies inside the rectangle; on success `*t_enter` and
+// `*t_exit` (both in [0, 1], t_enter <= t_exit) bound the inside portion.
+// Either output pointer may be null.
+bool ClipSegmentToRect(const Segment& seg, const Rect& rect, double* t_enter,
+                       double* t_exit);
+
+// Convenience: does any part of `seg` intersect `rect`?
+inline bool SegmentIntersectsRect(const Segment& seg, const Rect& rect) {
+  return ClipSegmentToRect(seg, rect, nullptr, nullptr);
+}
+
+}  // namespace stq
+
+#endif  // STQ_GEO_SEGMENT_H_

@@ -1,0 +1,240 @@
+#include "stq/grid/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "stq/common/logging.h"
+
+namespace stq {
+
+namespace {
+
+// Removes one occurrence of `v` from `vec` (swap-with-back). Returns true
+// when found.
+template <typename T>
+bool EraseOne(std::vector<T>* vec, T v) {
+  for (size_t i = 0; i < vec->size(); ++i) {
+    if ((*vec)[i] == v) {
+      (*vec)[i] = vec->back();
+      vec->pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+GridIndex::GridIndex(const Rect& bounds, int cells_per_side)
+    : bounds_(bounds), n_(cells_per_side) {
+  STQ_CHECK(!bounds.IsEmpty()) << "grid bounds must be non-empty";
+  STQ_CHECK(cells_per_side >= 1) << "cells_per_side must be >= 1";
+  cell_w_ = bounds_.Width() / n_;
+  cell_h_ = bounds_.Height() / n_;
+  cells_.resize(static_cast<size_t>(n_) * static_cast<size_t>(n_));
+}
+
+CellCoord GridIndex::CellOf(const Point& p) const {
+  int cx = static_cast<int>(std::floor((p.x - bounds_.min_x) / cell_w_));
+  int cy = static_cast<int>(std::floor((p.y - bounds_.min_y) / cell_h_));
+  cx = std::clamp(cx, 0, n_ - 1);
+  cy = std::clamp(cy, 0, n_ - 1);
+  return CellCoord{cx, cy};
+}
+
+Rect GridIndex::CellBounds(const CellCoord& c) const {
+  return Rect{bounds_.min_x + c.x * cell_w_, bounds_.min_y + c.y * cell_h_,
+              bounds_.min_x + (c.x + 1) * cell_w_,
+              bounds_.min_y + (c.y + 1) * cell_h_};
+}
+
+bool GridIndex::CellRange(const Rect& r, int* x0, int* y0, int* x1,
+                          int* y1) const {
+  if (r.IsEmpty() || !r.Intersects(bounds_)) return false;
+  const CellCoord lo = CellOf(Point{r.min_x, r.min_y});
+  const CellCoord hi = CellOf(Point{r.max_x, r.max_y});
+  *x0 = lo.x;
+  *y0 = lo.y;
+  *x1 = hi.x;
+  *y1 = hi.y;
+  return true;
+}
+
+void GridIndex::InsertObject(ObjectId id, const Point& p) {
+  CellAt(CellOf(p)).objects.push_back(id);
+}
+
+void GridIndex::RemoveObject(ObjectId id, const Point& p) {
+  const bool found = EraseOne(&CellAt(CellOf(p)).objects, id);
+  STQ_CHECK(found) << "object " << id << " not present in its cell";
+}
+
+void GridIndex::MoveObject(ObjectId id, const Point& from, const Point& to) {
+  const CellCoord cf = CellOf(from);
+  const CellCoord ct = CellOf(to);
+  if (cf == ct) return;
+  RemoveObject(id, from);
+  InsertObject(id, to);
+}
+
+void GridIndex::ForEachCellOnSegment(
+    const Segment& s, const std::function<void(const CellCoord&)>& fn) const {
+  // Conservative traversal: walk the cells of the segment's bounding box
+  // and keep those the segment actually passes through. Footprints are
+  // short (one evaluation period of movement), so the box is small; this
+  // trades a little work for simplicity and robustness over an
+  // error-prone DDA walk.
+  int x0, y0, x1, y1;
+  if (!CellRange(s.BoundingBox(), &x0, &y0, &x1, &y1)) {
+    // Segment fully outside: clamp both endpoints into the border cell(s).
+    const CellCoord ca = CellOf(s.a);
+    const CellCoord cb = CellOf(s.b);
+    fn(ca);
+    if (!(ca == cb)) fn(cb);
+    return;
+  }
+  for (int cy = y0; cy <= y1; ++cy) {
+    for (int cx = x0; cx <= x1; ++cx) {
+      const CellCoord c{cx, cy};
+      if (x0 == x1 && y0 == y1) {
+        fn(c);
+      } else if (SegmentIntersectsRect(s, CellBounds(c))) {
+        fn(c);
+      }
+    }
+  }
+}
+
+void GridIndex::InsertObjectFootprint(ObjectId id, const Segment& s) {
+  ForEachCellOnSegment(
+      s, [&](const CellCoord& c) { CellAt(c).objects.push_back(id); });
+}
+
+void GridIndex::RemoveObjectFootprint(ObjectId id, const Segment& s) {
+  ForEachCellOnSegment(s, [&](const CellCoord& c) {
+    const bool found = EraseOne(&CellAt(c).objects, id);
+    STQ_CHECK(found) << "footprint of object " << id
+                     << " missing from a cell it was clipped to";
+  });
+}
+
+void GridIndex::InsertQuery(QueryId id, const Rect& region) {
+  int x0, y0, x1, y1;
+  if (!CellRange(region, &x0, &y0, &x1, &y1)) return;
+  for (int cy = y0; cy <= y1; ++cy) {
+    for (int cx = x0; cx <= x1; ++cx) {
+      cells_[CellIndex(cx, cy)].queries.push_back(id);
+    }
+  }
+}
+
+void GridIndex::RemoveQuery(QueryId id, const Rect& region) {
+  int x0, y0, x1, y1;
+  if (!CellRange(region, &x0, &y0, &x1, &y1)) return;
+  for (int cy = y0; cy <= y1; ++cy) {
+    for (int cx = x0; cx <= x1; ++cx) {
+      const bool found = EraseOne(&cells_[CellIndex(cx, cy)].queries, id);
+      STQ_CHECK(found) << "query " << id
+                       << " missing from a cell it was clipped to";
+    }
+  }
+}
+
+void GridIndex::ForEachObjectCandidate(
+    const Rect& r, const std::function<void(ObjectId)>& fn) const {
+  int x0, y0, x1, y1;
+  if (!CellRange(r, &x0, &y0, &x1, &y1)) return;
+  for (int cy = y0; cy <= y1; ++cy) {
+    for (int cx = x0; cx <= x1; ++cx) {
+      for (ObjectId id : cells_[CellIndex(cx, cy)].objects) fn(id);
+    }
+  }
+}
+
+void GridIndex::ForEachQueryAt(const Point& p,
+                               const std::function<void(QueryId)>& fn) const {
+  for (QueryId id : CellAt(CellOf(p)).queries) fn(id);
+}
+
+void GridIndex::ForEachQueryCandidate(
+    const Rect& r, const std::function<void(QueryId)>& fn) const {
+  int x0, y0, x1, y1;
+  if (!CellRange(r, &x0, &y0, &x1, &y1)) return;
+  for (int cy = y0; cy <= y1; ++cy) {
+    for (int cx = x0; cx <= x1; ++cx) {
+      for (QueryId id : cells_[CellIndex(cx, cy)].queries) fn(id);
+    }
+  }
+}
+
+void GridIndex::CollectObjectsInRect(const Rect& r,
+                                     std::vector<ObjectId>* out) const {
+  out->clear();
+  ForEachObjectCandidate(r, [&](ObjectId id) { out->push_back(id); });
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+void GridIndex::CollectQueriesInRect(const Rect& r,
+                                     std::vector<QueryId>* out) const {
+  out->clear();
+  ForEachQueryCandidate(r, [&](QueryId id) { out->push_back(id); });
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+bool GridIndex::ForEachCellInRing(
+    const CellCoord& center, int ring,
+    const std::function<void(const CellCoord&)>& fn) const {
+  STQ_DCHECK(ring >= 0);
+  bool any = false;
+  auto visit = [&](int cx, int cy) {
+    if (cx < 0 || cy < 0 || cx >= n_ || cy >= n_) return;
+    any = true;
+    fn(CellCoord{cx, cy});
+  };
+  if (ring == 0) {
+    visit(center.x, center.y);
+    return any;
+  }
+  const int x0 = center.x - ring;
+  const int x1 = center.x + ring;
+  const int y0 = center.y - ring;
+  const int y1 = center.y + ring;
+  for (int cx = x0; cx <= x1; ++cx) {
+    visit(cx, y0);
+    visit(cx, y1);
+  }
+  for (int cy = y0 + 1; cy <= y1 - 1; ++cy) {
+    visit(x0, cy);
+    visit(x1, cy);
+  }
+  return any;
+}
+
+void GridIndex::ForEachObjectInCell(
+    const CellCoord& c, const std::function<void(ObjectId)>& fn) const {
+  STQ_DCHECK(c.x >= 0 && c.x < n_ && c.y >= 0 && c.y < n_);
+  for (ObjectId id : CellAt(c).objects) fn(id);
+}
+
+size_t GridIndex::ObjectCountInCell(const CellCoord& c) const {
+  STQ_DCHECK(c.x >= 0 && c.x < n_ && c.y >= 0 && c.y < n_);
+  return CellAt(c).objects.size();
+}
+
+GridStats GridIndex::ComputeStats() const {
+  GridStats stats;
+  for (const Cell& cell : cells_) {
+    stats.num_object_entries += cell.objects.size();
+    stats.num_query_entries += cell.queries.size();
+    stats.max_objects_in_cell =
+        std::max(stats.max_objects_in_cell, cell.objects.size());
+    stats.max_queries_in_cell =
+        std::max(stats.max_queries_in_cell, cell.queries.size());
+  }
+  return stats;
+}
+
+}  // namespace stq

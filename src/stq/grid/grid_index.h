@@ -1,0 +1,159 @@
+// GridIndex: the shared access structure at the heart of the framework.
+//
+// "We use a simple grid structure that divides the space evenly into N x N
+// equal sized grid cells. We utilize one grid structure that holds both
+// objects and queries." (paper, Section 3.1)
+//
+// - Stationary and moving objects are mapped to the single cell containing
+//   their location.
+// - Predictive objects are clipped to every cell their trajectory footprint
+//   passes through.
+// - Queries (all kinds) are clipped to every cell overlapping their region
+//   (for k-NN queries, the bounding box of the answer circle).
+//
+// The grid stores only ids; object/query payloads live in ObjectStore /
+// QueryStore. Visitation over a rectangle enumerates *candidates* (cell
+// granularity); exact containment is the caller's job.
+//
+// Thread-compatible: external synchronization required for concurrent
+// mutation.
+
+#ifndef STQ_GRID_GRID_INDEX_H_
+#define STQ_GRID_GRID_INDEX_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "stq/common/ids.h"
+#include "stq/geo/rect.h"
+#include "stq/geo/segment.h"
+
+namespace stq {
+
+// Integer cell coordinates, 0 <= x, y < cells_per_side.
+struct CellCoord {
+  int x = 0;
+  int y = 0;
+
+  friend bool operator==(const CellCoord& a, const CellCoord& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+struct GridStats {
+  size_t num_object_entries = 0;  // object-in-cell entries (incl. clones)
+  size_t num_query_entries = 0;   // query stubs across all cells
+  size_t max_objects_in_cell = 0;
+  size_t max_queries_in_cell = 0;
+};
+
+class GridIndex {
+ public:
+  // `bounds` must be non-empty and `cells_per_side` >= 1. Locations
+  // outside `bounds` are clamped into the nearest border cell.
+  GridIndex(const Rect& bounds, int cells_per_side);
+
+  GridIndex(const GridIndex&) = delete;
+  GridIndex& operator=(const GridIndex&) = delete;
+
+  int cells_per_side() const { return n_; }
+  const Rect& bounds() const { return bounds_; }
+
+  // --- Point objects -----------------------------------------------------
+
+  void InsertObject(ObjectId id, const Point& p);
+  void RemoveObject(ObjectId id, const Point& p);
+  void MoveObject(ObjectId id, const Point& from, const Point& to);
+
+  // --- Predictive-object footprints --------------------------------------
+  // The footprint segment is clipped to every overlapping cell; the same id
+  // appears in each such cell.
+
+  void InsertObjectFootprint(ObjectId id, const Segment& s);
+  void RemoveObjectFootprint(ObjectId id, const Segment& s);
+
+  // --- Query stubs --------------------------------------------------------
+
+  void InsertQuery(QueryId id, const Rect& region);
+  void RemoveQuery(QueryId id, const Rect& region);
+
+  // --- Visitation ---------------------------------------------------------
+
+  // Visits every object id stored in a cell overlapping `r`. Ids of
+  // footprint objects clipped into several overlapping cells are visited
+  // once per such cell; callers needing set semantics deduplicate (see
+  // CollectObjectsInRect).
+  void ForEachObjectCandidate(const Rect& r,
+                              const std::function<void(ObjectId)>& fn) const;
+
+  // Visits every query id stubbed into the cell containing `p`.
+  void ForEachQueryAt(const Point& p,
+                      const std::function<void(QueryId)>& fn) const;
+
+  // Visits every query id stubbed into a cell overlapping `r` (with
+  // per-cell duplicates, as above).
+  void ForEachQueryCandidate(const Rect& r,
+                             const std::function<void(QueryId)>& fn) const;
+
+  // Deduplicated candidate collection. Output vectors are cleared first
+  // and returned sorted.
+  void CollectObjectsInRect(const Rect& r, std::vector<ObjectId>* out) const;
+  void CollectQueriesInRect(const Rect& r, std::vector<QueryId>* out) const;
+
+  // --- Cell geometry (used by the k-NN ring search) -----------------------
+
+  CellCoord CellOf(const Point& p) const;
+  Rect CellBounds(const CellCoord& c) const;
+  double cell_width() const { return cell_w_; }
+  double cell_height() const { return cell_h_; }
+
+  // Visits the cells at Chebyshev distance exactly `ring` from `center`
+  // (ring 0 = the center cell itself), skipping cells outside the grid.
+  // Returns false when the entire ring was out of bounds.
+  bool ForEachCellInRing(const CellCoord& center, int ring,
+                         const std::function<void(const CellCoord&)>& fn) const;
+
+  // Objects stored in one specific cell.
+  void ForEachObjectInCell(const CellCoord& c,
+                           const std::function<void(ObjectId)>& fn) const;
+
+  // Number of object entries in one cell (predictive footprints count
+  // once per cell they are clipped into).
+  size_t ObjectCountInCell(const CellCoord& c) const;
+
+  GridStats ComputeStats() const;
+
+ private:
+  struct Cell {
+    std::vector<ObjectId> objects;
+    std::vector<QueryId> queries;
+  };
+
+  size_t CellIndex(int cx, int cy) const {
+    return static_cast<size_t>(cy) * static_cast<size_t>(n_) +
+           static_cast<size_t>(cx);
+  }
+  Cell& CellAt(const CellCoord& c) { return cells_[CellIndex(c.x, c.y)]; }
+  const Cell& CellAt(const CellCoord& c) const {
+    return cells_[CellIndex(c.x, c.y)];
+  }
+
+  // Half-open integer ranges of cells overlapping `r`, clamped to the
+  // grid. Returns false when `r` misses the grid entirely.
+  bool CellRange(const Rect& r, int* x0, int* y0, int* x1, int* y1) const;
+
+  // Visits each cell the clipped segment passes through.
+  void ForEachCellOnSegment(const Segment& s,
+                            const std::function<void(const CellCoord&)>& fn) const;
+
+  Rect bounds_;
+  int n_;
+  double cell_w_;
+  double cell_h_;
+  std::vector<Cell> cells_;
+};
+
+}  // namespace stq
+
+#endif  // STQ_GRID_GRID_INDEX_H_

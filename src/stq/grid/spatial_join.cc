@@ -1,0 +1,73 @@
+#include "stq/grid/spatial_join.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stq/common/logging.h"
+
+namespace stq {
+
+std::vector<JoinPair> GridPartitionJoin(const std::vector<JoinPoint>& points,
+                                        const std::vector<JoinRect>& rects,
+                                        const Rect& bounds,
+                                        int cells_per_side) {
+  STQ_CHECK(!bounds.IsEmpty());
+  STQ_CHECK(cells_per_side >= 1);
+  const int n = cells_per_side;
+  const double cell_w = bounds.Width() / n;
+  const double cell_h = bounds.Height() / n;
+
+  // Partition phase: bucket point indices per cell.
+  std::vector<std::vector<size_t>> buckets(static_cast<size_t>(n) * n);
+  for (size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i].loc;
+    if (!bounds.Contains(p)) continue;  // outside the universe
+    int cx = static_cast<int>(std::floor((p.x - bounds.min_x) / cell_w));
+    int cy = static_cast<int>(std::floor((p.y - bounds.min_y) / cell_h));
+    cx = std::clamp(cx, 0, n - 1);
+    cy = std::clamp(cy, 0, n - 1);
+    buckets[static_cast<size_t>(cy) * n + cx].push_back(i);
+  }
+
+  // Merge phase: clip each rectangle to its partitions and test only the
+  // points bucketed there. A point lies in exactly one bucket, so no
+  // output deduplication is needed.
+  std::vector<JoinPair> out;
+  for (const JoinRect& r : rects) {
+    const Rect region = r.region.Intersection(bounds);
+    if (region.IsEmpty()) continue;
+    int x0 = static_cast<int>(std::floor((region.min_x - bounds.min_x) / cell_w));
+    int y0 = static_cast<int>(std::floor((region.min_y - bounds.min_y) / cell_h));
+    int x1 = static_cast<int>(std::floor((region.max_x - bounds.min_x) / cell_w));
+    int y1 = static_cast<int>(std::floor((region.max_y - bounds.min_y) / cell_h));
+    x0 = std::clamp(x0, 0, n - 1);
+    y0 = std::clamp(y0, 0, n - 1);
+    x1 = std::clamp(x1, 0, n - 1);
+    y1 = std::clamp(y1, 0, n - 1);
+    for (int cy = y0; cy <= y1; ++cy) {
+      for (int cx = x0; cx <= x1; ++cx) {
+        for (size_t i : buckets[static_cast<size_t>(cy) * n + cx]) {
+          if (region.Contains(points[i].loc)) {
+            out.push_back(JoinPair{r.id, points[i].id});
+          }
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<JoinPair> NestedLoopJoin(const std::vector<JoinPoint>& points,
+                                     const std::vector<JoinRect>& rects) {
+  std::vector<JoinPair> out;
+  for (const JoinRect& r : rects) {
+    for (const JoinPoint& p : points) {
+      if (r.region.Contains(p.loc)) out.push_back(JoinPair{r.id, p.id});
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace stq

@@ -1,0 +1,331 @@
+#include "stq/rtree/rtree.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "stq/common/logging.h"
+
+namespace stq {
+
+namespace {
+// Enlargement of `mbr`'s area needed to cover `rect`.
+double Enlargement(const Rect& mbr, const Rect& rect) {
+  return mbr.Union(rect).Area() - mbr.Area();
+}
+}  // namespace
+
+RTree::RTree() : RTree(Options()) {}
+
+RTree::RTree(const Options& options) : options_(options) {
+  STQ_CHECK(options_.max_entries >= 4) << "max_entries must be >= 4";
+  root_ = std::make_unique<Node>();
+}
+
+RTree::~RTree() = default;
+
+int RTree::min_entries() const { return std::max(2, options_.max_entries / 2); }
+
+Rect RTree::Node::ComputeMbr() const {
+  Rect mbr = Rect::Empty();
+  for (const Entry& e : entries) mbr = mbr.Union(e.rect);
+  return mbr;
+}
+
+// ---------------------------------------------------------------------------
+// Insertion
+// ---------------------------------------------------------------------------
+
+RTree::Node* RTree::ChooseLeaf(const Rect& rect,
+                               std::vector<Node*>* path) const {
+  Node* node = root_.get();
+  path->push_back(node);
+  while (!node->leaf) {
+    // Guttman's ChooseLeaf: least enlargement, ties by smallest area.
+    Entry* best = nullptr;
+    double best_enlargement = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    for (Entry& e : const_cast<Node*>(node)->entries) {
+      const double enlargement = Enlargement(e.rect, rect);
+      const double area = e.rect.Area();
+      if (enlargement < best_enlargement ||
+          (enlargement == best_enlargement && area < best_area)) {
+        best = &e;
+        best_enlargement = enlargement;
+        best_area = area;
+      }
+    }
+    STQ_DCHECK(best != nullptr);
+    node = best->child.get();
+    path->push_back(node);
+  }
+  return node;
+}
+
+std::unique_ptr<RTree::Node> RTree::SplitNode(Node* node) {
+  // Quadratic split (Guttman): pick the pair of entries that would waste
+  // the most area together as seeds, then distribute greedily by
+  // enlargement preference.
+  std::vector<Entry> pool = std::move(node->entries);
+  node->entries.clear();
+
+  size_t seed_a = 0, seed_b = 1;
+  double worst_waste = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < pool.size(); ++i) {
+    for (size_t j = i + 1; j < pool.size(); ++j) {
+      const double waste = pool[i].rect.Union(pool[j].rect).Area() -
+                           pool[i].rect.Area() - pool[j].rect.Area();
+      if (waste > worst_waste) {
+        worst_waste = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  auto sibling = std::make_unique<Node>();
+  sibling->leaf = node->leaf;
+
+  Rect mbr_a = pool[seed_a].rect;
+  Rect mbr_b = pool[seed_b].rect;
+  node->entries.push_back(std::move(pool[seed_a]));
+  sibling->entries.push_back(std::move(pool[seed_b]));
+
+  std::vector<Entry> rest;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    if (i != seed_a && i != seed_b) rest.push_back(std::move(pool[i]));
+  }
+
+  const size_t min_fill = static_cast<size_t>(min_entries());
+  for (size_t next = 0; next < rest.size(); ++next) {
+    Entry& e = rest[next];
+    const size_t remaining = rest.size() - next;
+    // Force assignment when a group must take all remaining entries to
+    // reach the minimum fill.
+    if (node->entries.size() + remaining <= min_fill) {
+      mbr_a = mbr_a.Union(e.rect);
+      node->entries.push_back(std::move(e));
+      continue;
+    }
+    if (sibling->entries.size() + remaining <= min_fill) {
+      mbr_b = mbr_b.Union(e.rect);
+      sibling->entries.push_back(std::move(e));
+      continue;
+    }
+    const double grow_a = Enlargement(mbr_a, e.rect);
+    const double grow_b = Enlargement(mbr_b, e.rect);
+    const bool to_a =
+        grow_a < grow_b ||
+        (grow_a == grow_b && (mbr_a.Area() < mbr_b.Area() ||
+                              (mbr_a.Area() == mbr_b.Area() &&
+                               node->entries.size() <=
+                                   sibling->entries.size())));
+    if (to_a) {
+      mbr_a = mbr_a.Union(e.rect);
+      node->entries.push_back(std::move(e));
+    } else {
+      mbr_b = mbr_b.Union(e.rect);
+      sibling->entries.push_back(std::move(e));
+    }
+  }
+  return sibling;
+}
+
+void RTree::GrowRoot(std::unique_ptr<Node> sibling) {
+  auto new_root = std::make_unique<Node>();
+  new_root->leaf = false;
+  Entry left;
+  left.rect = root_->ComputeMbr();
+  left.child = std::move(root_);
+  Entry right;
+  right.rect = sibling->ComputeMbr();
+  right.child = std::move(sibling);
+  new_root->entries.push_back(std::move(left));
+  new_root->entries.push_back(std::move(right));
+  root_ = std::move(new_root);
+}
+
+void RTree::AdjustTree(std::vector<Node*>& path, std::unique_ptr<Node> split) {
+  // Walk from the leaf back to the root, refreshing MBRs and propagating
+  // splits upward.
+  for (size_t level = path.size(); level-- > 0;) {
+    Node* node = path[level];
+    if (level == 0) {
+      if (split != nullptr) GrowRoot(std::move(split));
+      return;
+    }
+    Node* parent = path[level - 1];
+    // Refresh this child's MBR in the parent.
+    for (Entry& e : parent->entries) {
+      if (e.child.get() == node) {
+        e.rect = node->ComputeMbr();
+        break;
+      }
+    }
+    if (split != nullptr) {
+      Entry e;
+      e.rect = split->ComputeMbr();
+      e.child = std::move(split);
+      parent->entries.push_back(std::move(e));
+      if (parent->entries.size() >
+          static_cast<size_t>(options_.max_entries)) {
+        split = SplitNode(parent);
+      } else {
+        split = nullptr;
+      }
+    }
+  }
+}
+
+void RTree::InsertImpl(uint64_t id, const Rect& rect) {
+  std::vector<Node*> path;
+  Node* leaf = ChooseLeaf(rect, &path);
+  Entry e;
+  e.rect = rect;
+  e.id = id;
+  leaf->entries.push_back(std::move(e));
+
+  std::unique_ptr<Node> split;
+  if (leaf->entries.size() > static_cast<size_t>(options_.max_entries)) {
+    split = SplitNode(leaf);
+  }
+  AdjustTree(path, std::move(split));
+}
+
+void RTree::Insert(uint64_t id, const Rect& rect) {
+  InsertImpl(id, rect);
+  ++size_;
+}
+
+// ---------------------------------------------------------------------------
+// Deletion
+// ---------------------------------------------------------------------------
+
+void RTree::CollectLeafEntries(Node* node, std::vector<Entry>* out) {
+  if (node->leaf) {
+    for (Entry& e : node->entries) out->push_back(std::move(e));
+    return;
+  }
+  for (Entry& e : node->entries) CollectLeafEntries(e.child.get(), out);
+}
+
+bool RTree::RemoveRecursive(Node* node, uint64_t id, const Rect& rect,
+                            std::vector<Entry>* orphans) {
+  if (node->leaf) {
+    for (size_t i = 0; i < node->entries.size(); ++i) {
+      if (node->entries[i].id == id && node->entries[i].rect == rect) {
+        node->entries.erase(node->entries.begin() + i);
+        return true;
+      }
+    }
+    return false;
+  }
+  for (size_t i = 0; i < node->entries.size(); ++i) {
+    Entry& e = node->entries[i];
+    if (!e.rect.Intersects(rect) && !(rect.IsEmpty() && e.rect.IsEmpty())) {
+      continue;
+    }
+    if (RemoveRecursive(e.child.get(), id, rect, orphans)) {
+      if (e.child->entries.size() < static_cast<size_t>(min_entries())) {
+        // Condense: detach the underfull subtree; its remaining leaf
+        // entries are re-inserted by the caller.
+        CollectLeafEntries(e.child.get(), orphans);
+        node->entries.erase(node->entries.begin() + i);
+      } else {
+        e.rect = e.child->ComputeMbr();
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool RTree::Remove(uint64_t id, const Rect& rect) {
+  std::vector<Entry> orphans;
+  if (!RemoveRecursive(root_.get(), id, rect, &orphans)) return false;
+  --size_;
+
+  // Shrink the root while it is an internal node with a single child.
+  while (!root_->leaf && root_->entries.size() == 1) {
+    root_ = std::move(root_->entries[0].child);
+  }
+  if (!root_->leaf && root_->entries.empty()) {
+    root_ = std::make_unique<Node>();
+  }
+  for (Entry& e : orphans) {
+    InsertImpl(e.id, e.rect);
+  }
+  return true;
+}
+
+void RTree::Clear() {
+  root_ = std::make_unique<Node>();
+  size_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Search
+// ---------------------------------------------------------------------------
+
+void RTree::SearchRecursive(
+    const Node* node, const Rect& window,
+    const std::function<void(uint64_t, const Rect&)>& fn) const {
+  for (const Entry& e : node->entries) {
+    if (!e.rect.Intersects(window)) continue;
+    if (node->leaf) {
+      fn(e.id, e.rect);
+    } else {
+      SearchRecursive(e.child.get(), window, fn);
+    }
+  }
+}
+
+void RTree::Search(const Rect& window,
+                   const std::function<void(uint64_t, const Rect&)>& fn) const {
+  if (window.IsEmpty()) return;
+  SearchRecursive(root_.get(), window, fn);
+}
+
+void RTree::SearchPoint(
+    const Point& p, const std::function<void(uint64_t, const Rect&)>& fn) const {
+  SearchRecursive(root_.get(), Rect{p.x, p.y, p.x, p.y}, fn);
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+int RTree::height() const {
+  int h = 1;
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    ++h;
+    node = node->entries.front().child.get();
+  }
+  return h;
+}
+
+bool RTree::CheckNode(const Node* node, int depth, int leaf_depth,
+                      bool is_root) const {
+  const size_t count = node->entries.size();
+  if (!is_root) {
+    if (count < static_cast<size_t>(min_entries()) ||
+        count > static_cast<size_t>(options_.max_entries)) {
+      return false;
+    }
+  } else if (count > static_cast<size_t>(options_.max_entries)) {
+    return false;
+  }
+  if (node->leaf) return depth == leaf_depth;
+  for (const Entry& e : node->entries) {
+    if (!(e.rect == e.child->ComputeMbr())) return false;
+    if (!CheckNode(e.child.get(), depth + 1, leaf_depth, false)) return false;
+  }
+  return true;
+}
+
+bool RTree::CheckStructure() const {
+  return CheckNode(root_.get(), 1, height(), true);
+}
+
+}  // namespace stq

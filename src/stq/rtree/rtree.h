@@ -1,0 +1,105 @@
+// RTree: a Guttman R-tree (quadratic split) over (id, rectangle) entries.
+//
+// Substrate for the Q-index baseline (Prabhakar et al.), which builds an
+// R-tree-like index over the *queries* and has every object probe it each
+// evaluation period. Also usable as a general rectangle index.
+//
+// Supports insert, delete (with node condensation and re-insertion of
+// orphaned entries), point and window search. Not thread-safe.
+
+#ifndef STQ_RTREE_RTREE_H_
+#define STQ_RTREE_RTREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "stq/geo/point.h"
+#include "stq/geo/rect.h"
+
+namespace stq {
+
+class RTree {
+ public:
+  struct Options {
+    // Maximum entries per node (M); the minimum fill is M/2, but at
+    // least 2.
+    int max_entries = 8;
+  };
+
+  RTree();  // default Options
+  explicit RTree(const Options& options);
+  ~RTree();
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+
+  // Inserts an entry. Duplicate (id, rect) pairs are allowed and act as
+  // independent entries.
+  void Insert(uint64_t id, const Rect& rect);
+
+  // Removes one entry matching (id, rect) exactly. Returns false when no
+  // such entry exists.
+  bool Remove(uint64_t id, const Rect& rect);
+
+  // Removes every entry.
+  void Clear();
+
+  // Visits every entry whose rectangle intersects `window`.
+  void Search(const Rect& window,
+              const std::function<void(uint64_t, const Rect&)>& fn) const;
+
+  // Visits every entry whose rectangle contains `p`.
+  void SearchPoint(const Point& p,
+                   const std::function<void(uint64_t, const Rect&)>& fn) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  int height() const;  // 1 for a tree that is a single leaf
+
+  // Validation hook for tests: checks MBR containment, fanout bounds, and
+  // uniform leaf depth. Returns false on violation.
+  bool CheckStructure() const;
+
+ private:
+  struct Node;
+  struct Entry {
+    Rect rect;
+    uint64_t id = 0;              // leaf entries
+    std::unique_ptr<Node> child;  // internal entries
+  };
+  struct Node {
+    bool leaf = true;
+    std::vector<Entry> entries;
+    Rect ComputeMbr() const;
+  };
+
+  int min_entries() const;
+
+  // Insertion without size bookkeeping (shared by Insert and orphan
+  // re-insertion during Remove).
+  void InsertImpl(uint64_t id, const Rect& rect);
+  Node* ChooseLeaf(const Rect& rect, std::vector<Node*>* path) const;
+  std::unique_ptr<Node> SplitNode(Node* node);
+  void AdjustTree(std::vector<Node*>& path, std::unique_ptr<Node> split);
+  void GrowRoot(std::unique_ptr<Node> sibling);
+
+  bool RemoveRecursive(Node* node, uint64_t id, const Rect& rect,
+                       std::vector<Entry>* orphans);
+  static void CollectLeafEntries(Node* node, std::vector<Entry>* out);
+  void SearchRecursive(const Node* node, const Rect& window,
+                       const std::function<void(uint64_t, const Rect&)>& fn)
+      const;
+  bool CheckNode(const Node* node, int depth, int leaf_depth,
+                 bool is_root) const;
+
+  Options options_;
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace stq
+
+#endif  // STQ_RTREE_RTREE_H_

@@ -1,0 +1,72 @@
+// Little-endian fixed-width encoding helpers for the storage layer.
+
+#ifndef STQ_STORAGE_CODING_H_
+#define STQ_STORAGE_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace stq {
+
+inline void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  buf[0] = static_cast<char>(v);
+  buf[1] = static_cast<char>(v >> 8);
+  buf[2] = static_cast<char>(v >> 16);
+  buf[3] = static_cast<char>(v >> 24);
+  dst->append(buf, 4);
+}
+
+inline void PutFixed64(std::string* dst, uint64_t v) {
+  PutFixed32(dst, static_cast<uint32_t>(v));
+  PutFixed32(dst, static_cast<uint32_t>(v >> 32));
+}
+
+inline void PutDouble(std::string* dst, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutFixed64(dst, bits);
+}
+
+inline void PutByte(std::string* dst, uint8_t v) {
+  dst->push_back(static_cast<char>(v));
+}
+
+// Cursor-style decoding. Each Get advances *offset and returns false on
+// underflow (leaving outputs unspecified).
+inline bool GetFixed32(const std::string& src, size_t* offset, uint32_t* v) {
+  if (*offset + 4 > src.size()) return false;
+  const auto* p = reinterpret_cast<const unsigned char*>(src.data() + *offset);
+  *v = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+       (static_cast<uint32_t>(p[2]) << 16) |
+       (static_cast<uint32_t>(p[3]) << 24);
+  *offset += 4;
+  return true;
+}
+
+inline bool GetFixed64(const std::string& src, size_t* offset, uint64_t* v) {
+  uint32_t lo, hi;
+  if (!GetFixed32(src, offset, &lo)) return false;
+  if (!GetFixed32(src, offset, &hi)) return false;
+  *v = static_cast<uint64_t>(lo) | (static_cast<uint64_t>(hi) << 32);
+  return true;
+}
+
+inline bool GetDouble(const std::string& src, size_t* offset, double* v) {
+  uint64_t bits;
+  if (!GetFixed64(src, offset, &bits)) return false;
+  std::memcpy(v, &bits, sizeof(*v));
+  return true;
+}
+
+inline bool GetByte(const std::string& src, size_t* offset, uint8_t* v) {
+  if (*offset + 1 > src.size()) return false;
+  *v = static_cast<uint8_t>(src[*offset]);
+  *offset += 1;
+  return true;
+}
+
+}  // namespace stq
+
+#endif  // STQ_STORAGE_CODING_H_

@@ -1,0 +1,259 @@
+#include "stq/storage/persistent_server.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "stq/common/logging.h"
+
+namespace stq {
+
+PersistentServer::PersistentServer(const Options& options)
+    : options_(options), repository_(options.dir) {}
+
+Status PersistentServer::Open() {
+  if (open_) return Status::FailedPrecondition("already open");
+  STQ_RETURN_IF_ERROR(repository_.Open());
+  const PersistedState& state = repository_.recovered();
+
+  server_ = std::make_unique<Server>(options_.server);
+  Result<TickResult> restore =
+      RestoreProcessor(state, &server_->processor());
+  if (!restore.ok()) return restore.status();
+
+  // Re-attach every known client channel in the disconnected state and
+  // rebind their queries; clients resynchronize via ReconnectClient.
+  std::unordered_set<ClientId> seen;
+  for (const PersistedQuery& q : state.queries) {
+    if (q.owner == 0) continue;
+    if (seen.insert(q.owner).second) {
+      STQ_RETURN_IF_ERROR(
+          server_->AttachClient(q.owner, /*connected=*/false));
+    }
+    STQ_RETURN_IF_ERROR(server_->AdoptQuery(q.id, q.owner));
+  }
+  for (const PersistedCommit& c : state.commits) {
+    server_->RestoreCommitted(c.id, c.answer);
+  }
+  open_ = true;
+  return Status::OK();
+}
+
+Status PersistentServer::ReportObject(ObjectId id, const Point& loc,
+                                      Timestamp t) {
+  STQ_RETURN_IF_ERROR(server_->ReportObject(id, loc, t));
+  PersistedObject o;
+  o.id = id;
+  o.loc = loc;
+  o.t = t;
+  return repository_.LogObjectUpsert(o);
+}
+
+Status PersistentServer::ReportPredictiveObject(ObjectId id, const Point& loc,
+                                                const Velocity& vel,
+                                                Timestamp t) {
+  STQ_RETURN_IF_ERROR(server_->ReportPredictiveObject(id, loc, vel, t));
+  PersistedObject o;
+  o.id = id;
+  o.loc = loc;
+  o.vel = vel;
+  o.t = t;
+  o.predictive = true;
+  return repository_.LogObjectUpsert(o);
+}
+
+Status PersistentServer::RemoveObject(ObjectId id) {
+  STQ_RETURN_IF_ERROR(server_->RemoveObject(id));
+  return repository_.LogObjectRemove(id);
+}
+
+Result<Server::Delivery> PersistentServer::ReconnectClient(ClientId cid) {
+  Result<Server::Delivery> delivery = server_->ReconnectClient(cid);
+  if (!delivery.ok()) return delivery;
+  // The wakeup response commits the recovered answers server-side; mirror
+  // those commits in the log.
+  std::vector<QueryId> owned;
+  server_->processor().query_store().ForEach([&](const QueryRecord& q) {
+    if (server_->OwnerOf(q.id) == cid) owned.push_back(q.id);
+  });
+  std::sort(owned.begin(), owned.end());
+  for (QueryId qid : owned) {
+    Status s = LogCommitOf(qid);
+    if (!s.ok()) return s;
+  }
+  return delivery;
+}
+
+Status PersistentServer::LogCommitOf(QueryId qid) {
+  const QueryRecord* q = server_->processor().query_store().Find(qid);
+  if (q == nullptr) return Status::OK();
+  return repository_.LogCommit(qid, q->SortedAnswer());
+}
+
+Status PersistentServer::RegisterRangeQuery(QueryId qid, ClientId cid,
+                                            const Rect& region) {
+  STQ_RETURN_IF_ERROR(server_->RegisterRangeQuery(qid, cid, region));
+  PersistedQuery q;
+  q.id = qid;
+  q.kind = QueryKind::kRange;
+  q.region = region;
+  q.owner = cid;
+  return repository_.LogQueryRegister(q);
+}
+
+Status PersistentServer::RegisterKnnQuery(QueryId qid, ClientId cid,
+                                          const Point& center, int k) {
+  STQ_RETURN_IF_ERROR(server_->RegisterKnnQuery(qid, cid, center, k));
+  PersistedQuery q;
+  q.id = qid;
+  q.kind = QueryKind::kKnn;
+  q.center = center;
+  q.k = k;
+  q.owner = cid;
+  return repository_.LogQueryRegister(q);
+}
+
+Status PersistentServer::RegisterCircleQuery(QueryId qid, ClientId cid,
+                                             const Point& center,
+                                             double radius) {
+  STQ_RETURN_IF_ERROR(server_->RegisterCircleQuery(qid, cid, center, radius));
+  PersistedQuery q;
+  q.id = qid;
+  q.kind = QueryKind::kCircleRange;
+  q.center = center;
+  q.radius = radius;
+  q.owner = cid;
+  return repository_.LogQueryRegister(q);
+}
+
+Status PersistentServer::RegisterPredictiveQuery(QueryId qid, ClientId cid,
+                                                 const Rect& region,
+                                                 double t_from, double t_to) {
+  STQ_RETURN_IF_ERROR(
+      server_->RegisterPredictiveQuery(qid, cid, region, t_from, t_to));
+  PersistedQuery q;
+  q.id = qid;
+  q.kind = QueryKind::kPredictiveRange;
+  q.region = region;
+  q.t_from = t_from;
+  q.t_to = t_to;
+  q.owner = cid;
+  return repository_.LogQueryRegister(q);
+}
+
+Status PersistentServer::MoveRangeQuery(QueryId qid, const Rect& region) {
+  STQ_RETURN_IF_ERROR(server_->MoveRangeQuery(qid, region));
+  STQ_RETURN_IF_ERROR(repository_.LogQueryMoveRect(qid, region));
+  // Hearing from a moving query commits its latest answer (when the
+  // channel is up); mirror the server's auto-commit in the log.
+  std::optional<ClientId> owner = server_->OwnerOf(qid);
+  if (owner.has_value() && server_->IsConnected(*owner)) {
+    return LogCommitOf(qid);
+  }
+  return Status::OK();
+}
+
+Status PersistentServer::MoveKnnQuery(QueryId qid, const Point& center) {
+  STQ_RETURN_IF_ERROR(server_->MoveKnnQuery(qid, center));
+  STQ_RETURN_IF_ERROR(repository_.LogQueryMoveCenter(qid, center));
+  std::optional<ClientId> owner = server_->OwnerOf(qid);
+  if (owner.has_value() && server_->IsConnected(*owner)) {
+    return LogCommitOf(qid);
+  }
+  return Status::OK();
+}
+
+Status PersistentServer::MoveCircleQuery(QueryId qid, const Point& center) {
+  STQ_RETURN_IF_ERROR(server_->MoveCircleQuery(qid, center));
+  STQ_RETURN_IF_ERROR(repository_.LogQueryMoveCenter(qid, center));
+  std::optional<ClientId> owner = server_->OwnerOf(qid);
+  if (owner.has_value() && server_->IsConnected(*owner)) {
+    return LogCommitOf(qid);
+  }
+  return Status::OK();
+}
+
+Status PersistentServer::MovePredictiveQuery(QueryId qid, const Rect& region) {
+  STQ_RETURN_IF_ERROR(server_->MovePredictiveQuery(qid, region));
+  STQ_RETURN_IF_ERROR(repository_.LogQueryMoveRect(qid, region));
+  std::optional<ClientId> owner = server_->OwnerOf(qid);
+  if (owner.has_value() && server_->IsConnected(*owner)) {
+    return LogCommitOf(qid);
+  }
+  return Status::OK();
+}
+
+Status PersistentServer::CommitQuery(QueryId qid) {
+  STQ_RETURN_IF_ERROR(server_->CommitQuery(qid));
+  return LogCommitOf(qid);
+}
+
+Status PersistentServer::UnregisterQuery(QueryId qid) {
+  STQ_RETURN_IF_ERROR(server_->UnregisterQuery(qid));
+  return repository_.LogQueryUnregister(qid);
+}
+
+std::vector<Server::Delivery> PersistentServer::Tick(Timestamp now) {
+  std::vector<Server::Delivery> deliveries = server_->Tick(now);
+  Status s = repository_.LogTick(now);
+  if (s.ok() && options_.sync_every_tick) s = repository_.Sync();
+  if (!s.ok()) {
+    STQ_LOG(Error) << "failed to persist tick: " << s.ToString();
+  }
+  return deliveries;
+}
+
+PersistedState PersistentServer::CaptureState() const {
+  PersistedState state;
+  const QueryProcessor& qp = server_->processor();
+  qp.object_store().ForEach([&](const ObjectRecord& o) {
+    PersistedObject po;
+    po.id = o.id;
+    po.loc = o.loc;
+    po.vel = o.vel;
+    po.t = o.t;
+    po.predictive = o.predictive;
+    state.objects.push_back(po);
+  });
+  qp.query_store().ForEach([&](const QueryRecord& q) {
+    PersistedQuery pq;
+    pq.id = q.id;
+    pq.kind = q.kind;
+    pq.region = q.region;
+    pq.center = q.circle.center;
+    pq.k = q.k;
+    // For k-NN the circle radius is derived state (distance to the k-th
+    // neighbor), not a query parameter; persist it only for circles.
+    pq.radius = q.kind == QueryKind::kCircleRange ? q.circle.radius : 0.0;
+    pq.t_from = q.t_from;
+    pq.t_to = q.t_to;
+    pq.owner = server_->OwnerOf(q.id).value_or(0);
+    state.queries.push_back(pq);
+  });
+  server_->committed().ForEach(
+      [&](QueryId qid, const std::unordered_set<ObjectId>& answer) {
+        PersistedCommit pc;
+        pc.id = qid;
+        pc.answer.assign(answer.begin(), answer.end());
+        std::sort(pc.answer.begin(), pc.answer.end());
+        state.commits.push_back(pc);
+      });
+  auto by_id = [](const auto& a, const auto& b) { return a.id < b.id; };
+  std::sort(state.objects.begin(), state.objects.end(), by_id);
+  std::sort(state.queries.begin(), state.queries.end(), by_id);
+  std::sort(state.commits.begin(), state.commits.end(), by_id);
+  state.last_tick = server_->last_tick().time;
+  return state;
+}
+
+Status PersistentServer::Checkpoint() {
+  if (!open_) return Status::FailedPrecondition("not open");
+  return repository_.Checkpoint(CaptureState());
+}
+
+Status PersistentServer::Close() {
+  if (!open_) return Status::OK();
+  open_ = false;
+  return repository_.Close();
+}
+
+}  // namespace stq

@@ -1,0 +1,96 @@
+// PersistentServer: a location-aware server with a durable repository.
+//
+// Combines stq::Server with stq::Repository to play the full role the
+// paper assigns to its Shore-based storage manager: every accepted report
+// is logged before it is acknowledged, committed answers are persisted,
+// and after a crash Open() rebuilds the server — objects, queries, query
+// -> client bindings, committed answers, and the last evaluation time —
+// so that reconnecting clients recover through the usual committed-diff
+// protocol as if the outage had been theirs.
+//
+// Client channels are transient: after recovery every known client is
+// attached in the disconnected state and resynchronizes via
+// ReconnectClient.
+
+#ifndef STQ_STORAGE_PERSISTENT_SERVER_H_
+#define STQ_STORAGE_PERSISTENT_SERVER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stq/core/server.h"
+#include "stq/storage/repository.h"
+
+namespace stq {
+
+class PersistentServer {
+ public:
+  struct Options {
+    Server::Options server;
+    std::string dir;  // repository directory (must exist)
+    // fsync the WAL at the end of every Tick().
+    bool sync_every_tick = true;
+  };
+
+  explicit PersistentServer(const Options& options);
+
+  // Recovers state from the repository (fresh start when empty) and
+  // replays it into the server. Must be called exactly once before use.
+  Status Open();
+
+  Server& server() { return *server_; }
+  const Server& server() const { return *server_; }
+  QueryProcessor& processor() { return server_->processor(); }
+
+  // --- Logged mutations (mirror Server's API) -------------------------------
+
+  Status ReportObject(ObjectId id, const Point& loc, Timestamp t);
+  Status ReportPredictiveObject(ObjectId id, const Point& loc,
+                                const Velocity& vel, Timestamp t);
+  Status RemoveObject(ObjectId id);
+
+  Status AttachClient(ClientId cid) { return server_->AttachClient(cid); }
+  Status DisconnectClient(ClientId cid) {
+    return server_->DisconnectClient(cid);
+  }
+  Result<Server::Delivery> ReconnectClient(ClientId cid);
+
+  Status RegisterRangeQuery(QueryId qid, ClientId cid, const Rect& region);
+  Status RegisterKnnQuery(QueryId qid, ClientId cid, const Point& center,
+                          int k);
+  Status RegisterCircleQuery(QueryId qid, ClientId cid, const Point& center,
+                             double radius);
+  Status RegisterPredictiveQuery(QueryId qid, ClientId cid, const Rect& region,
+                                 double t_from, double t_to);
+  Status MoveRangeQuery(QueryId qid, const Rect& region);
+  Status MoveKnnQuery(QueryId qid, const Point& center);
+  Status MoveCircleQuery(QueryId qid, const Point& center);
+  Status MovePredictiveQuery(QueryId qid, const Rect& region);
+  Status CommitQuery(QueryId qid);
+  Status UnregisterQuery(QueryId qid);
+
+  // Evaluates one period, logs the tick time, and (by default) syncs the
+  // WAL.
+  std::vector<Server::Delivery> Tick(Timestamp now);
+
+  // Writes a snapshot of the full current state and truncates the WAL.
+  Status Checkpoint();
+
+  Status Close();
+
+ private:
+  // Logs the current answer of `qid` as committed, mirroring the
+  // server-side commit that just happened.
+  Status LogCommitOf(QueryId qid);
+  PersistedState CaptureState() const;
+
+  Options options_;
+  Repository repository_;
+  std::unique_ptr<Server> server_;
+  bool open_ = false;
+};
+
+}  // namespace stq
+
+#endif  // STQ_STORAGE_PERSISTENT_SERVER_H_

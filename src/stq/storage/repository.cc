@@ -1,0 +1,218 @@
+#include "stq/storage/repository.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+namespace stq {
+
+Repository::Repository(std::string dir)
+    : dir_(std::move(dir)),
+      snapshot_path_(dir_ + "/SNAPSHOT"),
+      wal_path_(dir_ + "/WAL") {}
+
+Status Repository::Open() {
+  if (open_) return Status::FailedPrecondition("repository already open");
+  STQ_RETURN_IF_ERROR(ReadSnapshot(snapshot_path_, &recovered_));
+  STQ_RETURN_IF_ERROR(ReplayWal());
+  STQ_RETURN_IF_ERROR(wal_.Open(wal_path_, /*truncate=*/false));
+  open_ = true;
+  return Status::OK();
+}
+
+Status Repository::ReplayWal() {
+  LogReader reader;
+  if (!reader.Open(wal_path_).ok()) {
+    return Status::OK();  // no WAL yet: fresh start
+  }
+
+  // Replay onto id-keyed maps so later records supersede earlier ones.
+  std::map<ObjectId, PersistedObject> objects;
+  std::map<QueryId, PersistedQuery> queries;
+  std::map<QueryId, PersistedCommit> commits;
+  for (const PersistedObject& o : recovered_.objects) objects[o.id] = o;
+  for (const PersistedQuery& q : recovered_.queries) queries[q.id] = q;
+  for (const PersistedCommit& c : recovered_.commits) commits[c.id] = c;
+
+  for (;;) {
+    uint8_t type = 0;
+    std::string payload;
+    bool eof = false;
+    STQ_RETURN_IF_ERROR(reader.ReadRecord(&type, &payload, &eof));
+    if (eof) break;
+    switch (static_cast<RecordType>(type)) {
+      case RecordType::kObjectUpsert: {
+        PersistedObject o;
+        STQ_RETURN_IF_ERROR(DecodeObjectUpsert(payload, &o));
+        objects[o.id] = o;
+        break;
+      }
+      case RecordType::kObjectRemove: {
+        ObjectId id = 0;
+        STQ_RETURN_IF_ERROR(DecodeObjectRemove(payload, &id));
+        objects.erase(id);
+        break;
+      }
+      case RecordType::kQueryRegister: {
+        PersistedQuery q;
+        STQ_RETURN_IF_ERROR(DecodeQueryRegister(payload, &q));
+        queries[q.id] = q;
+        break;
+      }
+      case RecordType::kQueryMoveRect: {
+        QueryId id = 0;
+        Rect region;
+        STQ_RETURN_IF_ERROR(DecodeQueryMoveRect(payload, &id, &region));
+        auto it = queries.find(id);
+        if (it != queries.end()) it->second.region = region;
+        break;
+      }
+      case RecordType::kQueryMoveCenter: {
+        QueryId id = 0;
+        Point center;
+        STQ_RETURN_IF_ERROR(DecodeQueryMoveCenter(payload, &id, &center));
+        auto it = queries.find(id);
+        if (it != queries.end()) it->second.center = center;
+        break;
+      }
+      case RecordType::kQueryUnregister: {
+        QueryId id = 0;
+        STQ_RETURN_IF_ERROR(DecodeQueryUnregister(payload, &id));
+        queries.erase(id);
+        commits.erase(id);
+        break;
+      }
+      case RecordType::kCommit: {
+        PersistedCommit c;
+        STQ_RETURN_IF_ERROR(DecodeCommit(payload, &c));
+        commits[c.id] = std::move(c);
+        break;
+      }
+      case RecordType::kTick: {
+        STQ_RETURN_IF_ERROR(DecodeTick(payload, &recovered_.last_tick));
+        break;
+      }
+      default:
+        return Status::Corruption("unexpected record type in WAL");
+    }
+  }
+  STQ_RETURN_IF_ERROR(reader.Close());
+
+  recovered_.objects.clear();
+  recovered_.queries.clear();
+  recovered_.commits.clear();
+  for (auto& [id, o] : objects) recovered_.objects.push_back(o);
+  for (auto& [id, q] : queries) recovered_.queries.push_back(q);
+  for (auto& [id, c] : commits) recovered_.commits.push_back(std::move(c));
+  return Status::OK();
+}
+
+Status Repository::AppendRecord(RecordType type, const std::string& payload) {
+  if (!open_) return Status::FailedPrecondition("repository not open");
+  return wal_.Append(static_cast<uint8_t>(type), payload);
+}
+
+Status Repository::LogObjectUpsert(const PersistedObject& o) {
+  std::string payload;
+  EncodeObjectUpsert(o, &payload);
+  return AppendRecord(RecordType::kObjectUpsert, payload);
+}
+
+Status Repository::LogObjectRemove(ObjectId id) {
+  std::string payload;
+  EncodeObjectRemove(id, &payload);
+  return AppendRecord(RecordType::kObjectRemove, payload);
+}
+
+Status Repository::LogQueryRegister(const PersistedQuery& q) {
+  std::string payload;
+  EncodeQueryRegister(q, &payload);
+  return AppendRecord(RecordType::kQueryRegister, payload);
+}
+
+Status Repository::LogQueryMoveRect(QueryId id, const Rect& region) {
+  std::string payload;
+  EncodeQueryMoveRect(id, region, &payload);
+  return AppendRecord(RecordType::kQueryMoveRect, payload);
+}
+
+Status Repository::LogQueryMoveCenter(QueryId id, const Point& center) {
+  std::string payload;
+  EncodeQueryMoveCenter(id, center, &payload);
+  return AppendRecord(RecordType::kQueryMoveCenter, payload);
+}
+
+Status Repository::LogQueryUnregister(QueryId id) {
+  std::string payload;
+  EncodeQueryUnregister(id, &payload);
+  return AppendRecord(RecordType::kQueryUnregister, payload);
+}
+
+Status Repository::LogCommit(QueryId id, const std::vector<ObjectId>& answer) {
+  PersistedCommit c;
+  c.id = id;
+  c.answer = answer;
+  std::sort(c.answer.begin(), c.answer.end());
+  std::string payload;
+  EncodeCommit(c, &payload);
+  return AppendRecord(RecordType::kCommit, payload);
+}
+
+Status Repository::LogTick(Timestamp t) {
+  std::string payload;
+  EncodeTick(t, &payload);
+  return AppendRecord(RecordType::kTick, payload);
+}
+
+Status Repository::Sync() {
+  if (!open_) return Status::FailedPrecondition("repository not open");
+  return wal_.Sync();
+}
+
+Status Repository::Checkpoint(const PersistedState& state) {
+  if (!open_) return Status::FailedPrecondition("repository not open");
+  STQ_RETURN_IF_ERROR(WriteSnapshot(snapshot_path_, state));
+  STQ_RETURN_IF_ERROR(wal_.Close());
+  STQ_RETURN_IF_ERROR(wal_.Open(wal_path_, /*truncate=*/true));
+  recovered_ = state;
+  return Status::OK();
+}
+
+Status Repository::Close() {
+  if (!open_) return Status::OK();
+  open_ = false;
+  return wal_.Close();
+}
+
+Result<TickResult> RestoreProcessor(const PersistedState& state,
+                                    QueryProcessor* processor) {
+  for (const PersistedObject& o : state.objects) {
+    Status s = o.predictive
+                   ? processor->UpsertPredictiveObject(o.id, o.loc, o.vel, o.t)
+                   : processor->UpsertObject(o.id, o.loc, o.t);
+    if (!s.ok()) return s;
+  }
+  for (const PersistedQuery& q : state.queries) {
+    Status s;
+    switch (q.kind) {
+      case QueryKind::kRange:
+        s = processor->RegisterRangeQuery(q.id, q.region);
+        break;
+      case QueryKind::kKnn:
+        s = processor->RegisterKnnQuery(q.id, q.center, q.k);
+        break;
+      case QueryKind::kPredictiveRange:
+        s = processor->RegisterPredictiveQuery(q.id, q.region, q.t_from,
+                                               q.t_to);
+        break;
+      case QueryKind::kCircleRange:
+        s = processor->RegisterCircleQuery(q.id, q.center, q.radius);
+        break;
+    }
+    if (!s.ok()) return s;
+  }
+  return processor->EvaluateTick(state.last_tick);
+}
+
+}  // namespace stq

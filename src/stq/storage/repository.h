@@ -1,0 +1,79 @@
+// Repository: durable storage for the location-aware server.
+//
+// Plays the role the paper assigns to its Shore-based storage manager:
+// every accepted report is logged, committed answers are persisted, and
+// on restart the server recovers the objects, queries, committed answers,
+// and last evaluation time. Layout inside the directory:
+//
+//   <dir>/SNAPSHOT   last checkpoint (WAL-framed records)
+//   <dir>/WAL        records accepted since the checkpoint
+//
+// Recovery = load SNAPSHOT, replay WAL on top. A torn WAL tail (crash
+// mid-append) is tolerated; corruption in the middle is surfaced.
+
+#ifndef STQ_STORAGE_REPOSITORY_H_
+#define STQ_STORAGE_REPOSITORY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stq/common/status.h"
+#include "stq/core/query_processor.h"
+#include "stq/storage/snapshot.h"
+#include "stq/storage/wal.h"
+
+namespace stq {
+
+class Repository {
+ public:
+  explicit Repository(std::string dir);
+
+  Repository(const Repository&) = delete;
+  Repository& operator=(const Repository&) = delete;
+
+  // Loads SNAPSHOT + WAL; after Open() the recovered state is available
+  // and the WAL accepts new records.
+  Status Open();
+
+  const PersistedState& recovered() const { return recovered_; }
+
+  // --- Logging (call as the server accepts each report) ---------------------
+
+  Status LogObjectUpsert(const PersistedObject& o);
+  Status LogObjectRemove(ObjectId id);
+  Status LogQueryRegister(const PersistedQuery& q);
+  Status LogQueryMoveRect(QueryId id, const Rect& region);
+  Status LogQueryMoveCenter(QueryId id, const Point& center);
+  Status LogQueryUnregister(QueryId id);
+  Status LogCommit(QueryId id, const std::vector<ObjectId>& answer);
+  Status LogTick(Timestamp t);
+  Status Sync();
+
+  // Writes a fresh SNAPSHOT of `state` and truncates the WAL.
+  Status Checkpoint(const PersistedState& state);
+
+  Status Close();
+
+ private:
+  Status AppendRecord(RecordType type, const std::string& payload);
+  Status ReplayWal();
+
+  std::string dir_;
+  std::string snapshot_path_;
+  std::string wal_path_;
+  LogWriter wal_;
+  PersistedState recovered_;
+  bool open_ = false;
+};
+
+// Applies a recovered state onto a fresh QueryProcessor: objects are
+// upserted and queries re-registered, then one EvaluateTick at
+// state.last_tick rebuilds the current answers. Returns the tick result
+// (the rebuilt answers as positive updates).
+Result<TickResult> RestoreProcessor(const PersistedState& state,
+                                    QueryProcessor* processor);
+
+}  // namespace stq
+
+#endif  // STQ_STORAGE_REPOSITORY_H_

@@ -1,0 +1,99 @@
+#include "stq/storage/snapshot.h"
+
+#include <cstdio>
+
+#include "stq/storage/wal.h"
+
+namespace stq {
+
+bool operator==(const PersistedState& a, const PersistedState& b) {
+  return a.objects == b.objects && a.queries == b.queries &&
+         a.commits == b.commits && a.last_tick == b.last_tick;
+}
+
+Status WriteSnapshot(const std::string& path, const PersistedState& state) {
+  // Write to a temp file and rename for atomicity against crashes during
+  // checkpointing.
+  const std::string tmp = path + ".tmp";
+  LogWriter writer;
+  STQ_RETURN_IF_ERROR(writer.Open(tmp, /*truncate=*/true));
+
+  std::string payload;
+  for (const PersistedObject& o : state.objects) {
+    payload.clear();
+    EncodeObjectUpsert(o, &payload);
+    STQ_RETURN_IF_ERROR(
+        writer.Append(static_cast<uint8_t>(RecordType::kObjectUpsert),
+                      payload));
+  }
+  for (const PersistedQuery& q : state.queries) {
+    payload.clear();
+    EncodeQueryRegister(q, &payload);
+    STQ_RETURN_IF_ERROR(
+        writer.Append(static_cast<uint8_t>(RecordType::kQueryRegister),
+                      payload));
+  }
+  for (const PersistedCommit& c : state.commits) {
+    payload.clear();
+    EncodeCommit(c, &payload);
+    STQ_RETURN_IF_ERROR(
+        writer.Append(static_cast<uint8_t>(RecordType::kCommit), payload));
+  }
+  payload.clear();
+  EncodeTick(state.last_tick, &payload);
+  STQ_RETURN_IF_ERROR(
+      writer.Append(static_cast<uint8_t>(RecordType::kTick), payload));
+  STQ_RETURN_IF_ERROR(writer.Sync());
+  STQ_RETURN_IF_ERROR(writer.Close());
+
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IOError("rename failed: " + path);
+  }
+  return Status::OK();
+}
+
+Status ReadSnapshot(const std::string& path, PersistedState* state) {
+  *state = PersistedState{};
+  LogReader reader;
+  Status open = reader.Open(path);
+  if (!open.ok()) {
+    // A missing snapshot is a fresh start, not an error.
+    return Status::OK();
+  }
+  for (;;) {
+    uint8_t type = 0;
+    std::string payload;
+    bool eof = false;
+    STQ_RETURN_IF_ERROR(reader.ReadRecord(&type, &payload, &eof));
+    if (eof) break;
+    switch (static_cast<RecordType>(type)) {
+      case RecordType::kObjectUpsert: {
+        PersistedObject o;
+        STQ_RETURN_IF_ERROR(DecodeObjectUpsert(payload, &o));
+        state->objects.push_back(o);
+        break;
+      }
+      case RecordType::kQueryRegister: {
+        PersistedQuery q;
+        STQ_RETURN_IF_ERROR(DecodeQueryRegister(payload, &q));
+        state->queries.push_back(q);
+        break;
+      }
+      case RecordType::kCommit: {
+        PersistedCommit c;
+        STQ_RETURN_IF_ERROR(DecodeCommit(payload, &c));
+        state->commits.push_back(c);
+        break;
+      }
+      case RecordType::kTick: {
+        STQ_RETURN_IF_ERROR(DecodeTick(payload, &state->last_tick));
+        break;
+      }
+      default:
+        return Status::Corruption("unexpected record type in snapshot");
+    }
+  }
+  return reader.Close();
+}
+
+}  // namespace stq

@@ -1,0 +1,39 @@
+// Snapshot: a point-in-time image of the persistent server state (the
+// paper's repository server: "once a moving object or query sends new
+// information, the old information becomes persistent and is stored in a
+// repository server").
+//
+// The snapshot file reuses the WAL frame format: a sequence of records
+// describing every live object, query, committed answer, and the last
+// tick time.
+
+#ifndef STQ_STORAGE_SNAPSHOT_H_
+#define STQ_STORAGE_SNAPSHOT_H_
+
+#include <string>
+#include <vector>
+
+#include "stq/common/status.h"
+#include "stq/storage/records.h"
+
+namespace stq {
+
+// The state reconstructed from a snapshot plus a WAL replay.
+struct PersistedState {
+  std::vector<PersistedObject> objects;    // sorted by id
+  std::vector<PersistedQuery> queries;     // sorted by id
+  std::vector<PersistedCommit> commits;    // sorted by id
+  Timestamp last_tick = 0.0;
+
+  friend bool operator==(const PersistedState&, const PersistedState&);
+};
+
+// Writes `state` to `path`, replacing any existing file.
+Status WriteSnapshot(const std::string& path, const PersistedState& state);
+
+// Loads a snapshot. A missing file yields an empty state (fresh start).
+Status ReadSnapshot(const std::string& path, PersistedState* state);
+
+}  // namespace stq
+
+#endif  // STQ_STORAGE_SNAPSHOT_H_

@@ -1,0 +1,135 @@
+#include "stq/storage/wal.h"
+
+#include <unistd.h>
+
+#include <limits>
+
+#include "stq/common/crc32.h"
+#include "stq/storage/coding.h"
+
+namespace stq {
+
+namespace {
+// Sanity cap: no single record in this system approaches this size; a
+// larger length field means a corrupt frame, not a huge record.
+constexpr uint32_t kMaxPayload = 64u << 20;  // 64 MiB
+}  // namespace
+
+LogWriter::~LogWriter() {
+  if (file_ != nullptr) Close();
+}
+
+Status LogWriter::Open(const std::string& path, bool truncate) {
+  if (file_ != nullptr) return Status::FailedPrecondition("already open");
+  file_ = std::fopen(path.c_str(), truncate ? "wb" : "ab");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot open log for writing: " + path);
+  }
+  path_ = path;
+  return Status::OK();
+}
+
+Status LogWriter::Append(uint8_t type, const std::string& payload) {
+  if (file_ == nullptr) return Status::FailedPrecondition("log not open");
+  if (payload.size() > kMaxPayload) {
+    return Status::InvalidArgument("record payload too large");
+  }
+  std::string body;
+  body.reserve(1 + payload.size());
+  PutByte(&body, type);
+  body.append(payload);
+
+  std::string frame;
+  frame.reserve(8 + body.size());
+  PutFixed32(&frame, Crc32c(body.data(), body.size()));
+  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+  frame.append(body);
+
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+    return Status::IOError("short write to log: " + path_);
+  }
+  return Status::OK();
+}
+
+Status LogWriter::Sync() {
+  if (file_ == nullptr) return Status::FailedPrecondition("log not open");
+  if (std::fflush(file_) != 0) {
+    return Status::IOError("fflush failed: " + path_);
+  }
+  if (fsync(fileno(file_)) != 0) {
+    return Status::IOError("fsync failed: " + path_);
+  }
+  return Status::OK();
+}
+
+Status LogWriter::Close() {
+  if (file_ == nullptr) return Status::OK();
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return Status::IOError("fclose failed: " + path_);
+  return Status::OK();
+}
+
+LogReader::~LogReader() {
+  if (file_ != nullptr) Close();
+}
+
+Status LogReader::Open(const std::string& path) {
+  if (file_ != nullptr) return Status::FailedPrecondition("already open");
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot open log for reading: " + path);
+  }
+  path_ = path;
+  return Status::OK();
+}
+
+Status LogReader::ReadRecord(uint8_t* type, std::string* payload, bool* eof) {
+  *eof = false;
+  if (file_ == nullptr) return Status::FailedPrecondition("log not open");
+
+  unsigned char header[8];
+  const size_t got = std::fread(header, 1, sizeof(header), file_);
+  if (got == 0) {
+    *eof = true;
+    return Status::OK();
+  }
+  if (got < sizeof(header)) {
+    // Torn header from a crash mid-append: clean end of log.
+    *eof = true;
+    return Status::OK();
+  }
+  const uint32_t crc = static_cast<uint32_t>(header[0]) |
+                       (static_cast<uint32_t>(header[1]) << 8) |
+                       (static_cast<uint32_t>(header[2]) << 16) |
+                       (static_cast<uint32_t>(header[3]) << 24);
+  const uint32_t len = static_cast<uint32_t>(header[4]) |
+                       (static_cast<uint32_t>(header[5]) << 8) |
+                       (static_cast<uint32_t>(header[6]) << 16) |
+                       (static_cast<uint32_t>(header[7]) << 24);
+  if (len > kMaxPayload) {
+    return Status::Corruption("implausible record length in " + path_);
+  }
+  std::string body(static_cast<size_t>(len) + 1, '\0');
+  if (std::fread(body.data(), 1, body.size(), file_) != body.size()) {
+    // Torn body: clean end of log.
+    *eof = true;
+    return Status::OK();
+  }
+  if (Crc32c(body.data(), body.size()) != crc) {
+    return Status::Corruption("checksum mismatch in " + path_);
+  }
+  *type = static_cast<uint8_t>(body[0]);
+  payload->assign(body, 1, len);
+  return Status::OK();
+}
+
+Status LogReader::Close() {
+  if (file_ == nullptr) return Status::OK();
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return Status::IOError("fclose failed: " + path_);
+  return Status::OK();
+}
+
+}  // namespace stq

@@ -1,0 +1,69 @@
+// Append-only log with CRC-framed records.
+//
+// Frame layout: [crc32c: u32] [payload_len: u32] [type: u8] [payload].
+// The CRC covers type + payload. A reader treats a truncated final frame
+// as a clean end of log (the crash happened mid-append) but a CRC mismatch
+// on a complete frame as corruption.
+
+#ifndef STQ_STORAGE_WAL_H_
+#define STQ_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "stq/common/status.h"
+
+namespace stq {
+
+class LogWriter {
+ public:
+  LogWriter() = default;
+  ~LogWriter();
+
+  LogWriter(const LogWriter&) = delete;
+  LogWriter& operator=(const LogWriter&) = delete;
+
+  // Opens `path` for appending (created if missing). `truncate` starts a
+  // fresh log.
+  Status Open(const std::string& path, bool truncate);
+
+  Status Append(uint8_t type, const std::string& payload);
+
+  // Flushes user-space buffers and fsyncs.
+  Status Sync();
+
+  Status Close();
+  bool is_open() const { return file_ != nullptr; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+class LogReader {
+ public:
+  LogReader() = default;
+  ~LogReader();
+
+  LogReader(const LogReader&) = delete;
+  LogReader& operator=(const LogReader&) = delete;
+
+  Status Open(const std::string& path);
+
+  // Reads the next record. Returns:
+  //  - OK with *eof == false: a record was read,
+  //  - OK with *eof == true: clean end of log (including a truncated tail),
+  //  - Corruption: CRC mismatch or impossible frame.
+  Status ReadRecord(uint8_t* type, std::string* payload, bool* eof);
+
+  Status Close();
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+}  // namespace stq
+
+#endif  // STQ_STORAGE_WAL_H_

@@ -1,0 +1,202 @@
+#include "stq/storage/workload_io.h"
+
+#include <cstdio>
+
+#include "stq/storage/coding.h"
+#include "stq/storage/wal.h"
+
+namespace stq {
+
+namespace {
+
+enum class WorkloadRecord : uint8_t {
+  kHeader = 1,       // tick_seconds, #initial objects, #initial queries, #ticks
+  kInitialObject = 2,
+  kInitialQuery = 3,
+  kTickStart = 4,    // tick time
+  kTickObject = 5,
+  kTickQuery = 6,
+};
+
+void EncodeObjectReport(const ObjectReport& r, std::string* out) {
+  PutFixed64(out, r.id);
+  PutDouble(out, r.loc.x);
+  PutDouble(out, r.loc.y);
+  PutDouble(out, r.vel.vx);
+  PutDouble(out, r.vel.vy);
+  PutDouble(out, r.t);
+}
+
+bool DecodeObjectReport(const std::string& payload, ObjectReport* r) {
+  size_t offset = 0;
+  return GetFixed64(payload, &offset, &r->id) &&
+         GetDouble(payload, &offset, &r->loc.x) &&
+         GetDouble(payload, &offset, &r->loc.y) &&
+         GetDouble(payload, &offset, &r->vel.vx) &&
+         GetDouble(payload, &offset, &r->vel.vy) &&
+         GetDouble(payload, &offset, &r->t);
+}
+
+void EncodeQueryReport(const QueryRegionReport& q, std::string* out) {
+  PutFixed64(out, q.id);
+  PutDouble(out, q.region.min_x);
+  PutDouble(out, q.region.min_y);
+  PutDouble(out, q.region.max_x);
+  PutDouble(out, q.region.max_y);
+  PutDouble(out, q.t);
+}
+
+bool DecodeQueryReport(const std::string& payload, QueryRegionReport* q) {
+  size_t offset = 0;
+  return GetFixed64(payload, &offset, &q->id) &&
+         GetDouble(payload, &offset, &q->region.min_x) &&
+         GetDouble(payload, &offset, &q->region.min_y) &&
+         GetDouble(payload, &offset, &q->region.max_x) &&
+         GetDouble(payload, &offset, &q->region.max_y) &&
+         GetDouble(payload, &offset, &q->t);
+}
+
+}  // namespace
+
+Status SaveWorkload(const std::string& path, const Workload& workload) {
+  const std::string tmp = path + ".tmp";
+  LogWriter writer;
+  STQ_RETURN_IF_ERROR(writer.Open(tmp, /*truncate=*/true));
+
+  std::string payload;
+  PutDouble(&payload, workload.tick_seconds());
+  PutFixed64(&payload, workload.initial_objects().size());
+  PutFixed64(&payload, workload.initial_queries().size());
+  PutFixed64(&payload, workload.ticks().size());
+  STQ_RETURN_IF_ERROR(writer.Append(
+      static_cast<uint8_t>(WorkloadRecord::kHeader), payload));
+
+  for (const ObjectReport& r : workload.initial_objects()) {
+    payload.clear();
+    EncodeObjectReport(r, &payload);
+    STQ_RETURN_IF_ERROR(writer.Append(
+        static_cast<uint8_t>(WorkloadRecord::kInitialObject), payload));
+  }
+  for (const QueryRegionReport& q : workload.initial_queries()) {
+    payload.clear();
+    EncodeQueryReport(q, &payload);
+    STQ_RETURN_IF_ERROR(writer.Append(
+        static_cast<uint8_t>(WorkloadRecord::kInitialQuery), payload));
+  }
+  for (const WorkloadTick& tick : workload.ticks()) {
+    payload.clear();
+    PutDouble(&payload, tick.time);
+    STQ_RETURN_IF_ERROR(writer.Append(
+        static_cast<uint8_t>(WorkloadRecord::kTickStart), payload));
+    for (const ObjectReport& r : tick.object_reports) {
+      payload.clear();
+      EncodeObjectReport(r, &payload);
+      STQ_RETURN_IF_ERROR(writer.Append(
+          static_cast<uint8_t>(WorkloadRecord::kTickObject), payload));
+    }
+    for (const QueryRegionReport& q : tick.query_moves) {
+      payload.clear();
+      EncodeQueryReport(q, &payload);
+      STQ_RETURN_IF_ERROR(writer.Append(
+          static_cast<uint8_t>(WorkloadRecord::kTickQuery), payload));
+    }
+  }
+  STQ_RETURN_IF_ERROR(writer.Sync());
+  STQ_RETURN_IF_ERROR(writer.Close());
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IOError("rename failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<Workload> LoadWorkload(const std::string& path) {
+  LogReader reader;
+  STQ_RETURN_IF_ERROR(reader.Open(path));
+
+  double tick_seconds = 0.0;
+  uint64_t expect_objects = 0, expect_queries = 0, expect_ticks = 0;
+  bool saw_header = false;
+
+  std::vector<ObjectReport> initial_objects;
+  std::vector<QueryRegionReport> initial_queries;
+  std::vector<WorkloadTick> ticks;
+
+  for (;;) {
+    uint8_t type = 0;
+    std::string payload;
+    bool eof = false;
+    STQ_RETURN_IF_ERROR(reader.ReadRecord(&type, &payload, &eof));
+    if (eof) break;
+    switch (static_cast<WorkloadRecord>(type)) {
+      case WorkloadRecord::kHeader: {
+        size_t offset = 0;
+        if (!GetDouble(payload, &offset, &tick_seconds) ||
+            !GetFixed64(payload, &offset, &expect_objects) ||
+            !GetFixed64(payload, &offset, &expect_queries) ||
+            !GetFixed64(payload, &offset, &expect_ticks)) {
+          return Status::Corruption("malformed workload header");
+        }
+        saw_header = true;
+        break;
+      }
+      case WorkloadRecord::kInitialObject: {
+        ObjectReport r;
+        if (!DecodeObjectReport(payload, &r)) {
+          return Status::Corruption("malformed initial object record");
+        }
+        initial_objects.push_back(r);
+        break;
+      }
+      case WorkloadRecord::kInitialQuery: {
+        QueryRegionReport q;
+        if (!DecodeQueryReport(payload, &q)) {
+          return Status::Corruption("malformed initial query record");
+        }
+        initial_queries.push_back(q);
+        break;
+      }
+      case WorkloadRecord::kTickStart: {
+        WorkloadTick tick;
+        size_t offset = 0;
+        if (!GetDouble(payload, &offset, &tick.time)) {
+          return Status::Corruption("malformed tick record");
+        }
+        ticks.push_back(std::move(tick));
+        break;
+      }
+      case WorkloadRecord::kTickObject: {
+        if (ticks.empty()) return Status::Corruption("tick record before tick");
+        ObjectReport r;
+        if (!DecodeObjectReport(payload, &r)) {
+          return Status::Corruption("malformed tick object record");
+        }
+        ticks.back().object_reports.push_back(r);
+        break;
+      }
+      case WorkloadRecord::kTickQuery: {
+        if (ticks.empty()) return Status::Corruption("tick record before tick");
+        QueryRegionReport q;
+        if (!DecodeQueryReport(payload, &q)) {
+          return Status::Corruption("malformed tick query record");
+        }
+        ticks.back().query_moves.push_back(q);
+        break;
+      }
+      default:
+        return Status::Corruption("unknown workload record type");
+    }
+  }
+  STQ_RETURN_IF_ERROR(reader.Close());
+
+  if (!saw_header) return Status::Corruption("workload file has no header");
+  if (initial_objects.size() != expect_objects ||
+      initial_queries.size() != expect_queries ||
+      ticks.size() != expect_ticks) {
+    return Status::Corruption("workload file is truncated");
+  }
+  return Workload::FromParts(std::move(initial_objects),
+                             std::move(initial_queries), std::move(ticks),
+                             tick_seconds);
+}
+
+}  // namespace stq

@@ -1,0 +1,30 @@
+// Workload (de)serialization: save a pre-rolled workload to a file and
+// load it back bit-exactly. Lets expensive workloads be generated once
+// and replayed across engines, benchmark runs, and machines — the moral
+// equivalent of shipping a Brinkhoff generator trace.
+//
+// The file reuses the WAL frame format (CRC-framed records), so torn or
+// corrupted files are detected on load.
+
+#ifndef STQ_STORAGE_WORKLOAD_IO_H_
+#define STQ_STORAGE_WORKLOAD_IO_H_
+
+#include <string>
+
+#include "stq/common/result.h"
+#include "stq/common/status.h"
+#include "stq/gen/workload.h"
+
+namespace stq {
+
+// Writes `workload` to `path`, replacing any existing file.
+Status SaveWorkload(const std::string& path, const Workload& workload);
+
+// Loads a workload previously written by SaveWorkload. Corruption and
+// truncation are reported, not silently tolerated (a benchmark input must
+// be exact).
+Result<Workload> LoadWorkload(const std::string& path);
+
+}  // namespace stq
+
+#endif  // STQ_STORAGE_WORKLOAD_IO_H_

@@ -1,0 +1,217 @@
+// Baseline equivalence tests: the snapshot processor and the Q-index must
+// produce the same answers as the incremental engine on identical input
+// streams — only the evaluation strategy and wire format differ.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stq/baseline/qindex_processor.h"
+#include "stq/baseline/snapshot_processor.h"
+#include "stq/common/random.h"
+#include "stq/core/query_processor.h"
+#include "stq/gen/workload.h"
+
+namespace stq {
+namespace {
+
+NetworkWorkloadOptions SmallWorkload(uint64_t seed) {
+  NetworkWorkloadOptions options;
+  options.city.rows = 8;
+  options.city.cols = 8;
+  options.city.seed = seed;
+  options.num_objects = 150;
+  options.num_queries = 30;
+  options.query_side_length = 0.08;
+  options.num_ticks = 6;
+  options.object_update_fraction = 0.6;
+  options.query_update_fraction = 0.6;
+  options.seed = seed;
+  return options;
+}
+
+TEST(SnapshotProcessorTest, MatchesIncrementalOnNetworkWorkload) {
+  const Workload workload = Workload::GenerateNetwork(SmallWorkload(3));
+
+  QueryProcessorOptions options;
+  options.grid_cells_per_side = 16;
+  QueryProcessor incremental(options);
+  SnapshotProcessor snapshot(options);
+
+  workload.ApplyInitial(&incremental);
+  workload.ApplyInitial(&snapshot);
+  incremental.EvaluateTick(0.0);
+
+  for (size_t i = 0; i < workload.ticks().size(); ++i) {
+    workload.ApplyTick(&incremental, i);
+    workload.ApplyTick(&snapshot, i);
+    incremental.EvaluateTick(workload.ticks()[i].time);
+    const SnapshotResult full = snapshot.EvaluateTick(workload.ticks()[i].time);
+
+    ASSERT_EQ(full.answers.size(), incremental.num_queries());
+    for (const auto& [qid, answer] : full.answers) {
+      Result<std::vector<ObjectId>> current = incremental.CurrentAnswer(qid);
+      ASSERT_TRUE(current.ok());
+      EXPECT_EQ(answer, *current) << "query " << qid << " tick " << i;
+    }
+  }
+}
+
+TEST(SnapshotProcessorTest, KnnAndPredictiveMatchIncremental) {
+  QueryProcessorOptions options;
+  options.grid_cells_per_side = 12;
+  options.prediction_horizon = 25.0;
+  QueryProcessor incremental(options);
+  SnapshotProcessor snapshot(options);
+  Xorshift128Plus rng(77);
+
+  for (ObjectId id = 1; id <= 100; ++id) {
+    const Point loc{rng.NextDouble(), rng.NextDouble()};
+    if (id % 2 == 0) {
+      const Velocity vel{rng.NextDouble(-0.02, 0.02),
+                         rng.NextDouble(-0.02, 0.02)};
+      ASSERT_TRUE(incremental.UpsertPredictiveObject(id, loc, vel, 0.0).ok());
+      ASSERT_TRUE(snapshot.UpsertPredictiveObject(id, loc, vel, 0.0).ok());
+    } else {
+      ASSERT_TRUE(incremental.UpsertObject(id, loc, 0.0).ok());
+      ASSERT_TRUE(snapshot.UpsertObject(id, loc, 0.0).ok());
+    }
+  }
+  for (QueryId qid = 1; qid <= 20; ++qid) {
+    if (qid % 2 == 0) {
+      const Point center{rng.NextDouble(), rng.NextDouble()};
+      const int k = rng.NextInt(1, 6);
+      ASSERT_TRUE(incremental.RegisterKnnQuery(qid, center, k).ok());
+      ASSERT_TRUE(snapshot.RegisterKnnQuery(qid, center, k).ok());
+    } else {
+      const Rect region = Rect::CenteredSquare(
+          Point{rng.NextDouble(), rng.NextDouble()}, 0.2);
+      const double from = rng.NextDouble(0.0, 10.0);
+      const double to = from + 8.0;
+      ASSERT_TRUE(
+          incremental.RegisterPredictiveQuery(qid, region, from, to).ok());
+      ASSERT_TRUE(snapshot.RegisterPredictiveQuery(qid, region, from, to).ok());
+    }
+  }
+
+  incremental.EvaluateTick(0.0);
+  const SnapshotResult full = snapshot.EvaluateTick(0.0);
+  for (const auto& [qid, answer] : full.answers) {
+    EXPECT_EQ(answer, *incremental.CurrentAnswer(qid)) << "query " << qid;
+  }
+}
+
+TEST(SnapshotResultTest, ByteAccounting) {
+  SnapshotResult result;
+  result.answers.emplace_back(1, std::vector<ObjectId>{1, 2, 3});
+  result.answers.emplace_back(2, std::vector<ObjectId>{});
+  EXPECT_EQ(result.TotalAnswerEntries(), 3u);
+  WireCostModel model;
+  EXPECT_EQ(result.WireBytes(model),
+            model.CompleteAnswerBytes(3) + model.CompleteAnswerBytes(0));
+}
+
+TEST(SnapshotProcessorTest, ErrorHandlingParity) {
+  SnapshotProcessor snapshot;
+  EXPECT_TRUE(snapshot.RemoveObject(1).IsNotFound());
+  EXPECT_TRUE(snapshot.RegisterRangeQuery(1, Rect::Empty()).IsInvalidArgument());
+  ASSERT_TRUE(snapshot.RegisterRangeQuery(1, Rect{0, 0, 0.5, 0.5}).ok());
+  EXPECT_TRUE(snapshot.RegisterRangeQuery(1, Rect{0, 0, 0.5, 0.5})
+                  .IsAlreadyExists());
+  EXPECT_TRUE(snapshot.MoveKnnQuery(1, Point{0.5, 0.5}).IsNotFound());
+  EXPECT_TRUE(snapshot.UnregisterQuery(9).IsNotFound());
+  ASSERT_TRUE(snapshot.UnregisterQuery(1).ok());
+  EXPECT_EQ(snapshot.num_queries(), 0u);
+}
+
+TEST(QIndexProcessorTest, MatchesSnapshotOnStationaryQueries) {
+  QueryProcessorOptions options;
+  options.grid_cells_per_side = 16;
+  SnapshotProcessor snapshot(options);
+  QIndexProcessor qindex;
+  Xorshift128Plus rng(55);
+
+  for (QueryId qid = 1; qid <= 40; ++qid) {
+    const Rect region =
+        Rect::CenteredSquare(Point{rng.NextDouble(), rng.NextDouble()}, 0.1);
+    ASSERT_TRUE(snapshot.RegisterRangeQuery(qid, region).ok());
+    ASSERT_TRUE(qindex.RegisterRangeQuery(qid, region).ok());
+  }
+  for (ObjectId id = 1; id <= 200; ++id) {
+    const Point loc{rng.NextDouble(), rng.NextDouble()};
+    ASSERT_TRUE(snapshot.UpsertObject(id, loc, 0.0).ok());
+    ASSERT_TRUE(qindex.UpsertObject(id, loc, 0.0).ok());
+  }
+
+  for (int tick = 1; tick <= 5; ++tick) {
+    for (ObjectId id = 1; id <= 200; ++id) {
+      if (!rng.NextBool(0.5)) continue;
+      const Point loc{rng.NextDouble(), rng.NextDouble()};
+      const double now = static_cast<double>(tick);
+      ASSERT_TRUE(snapshot.UpsertObject(id, loc, now).ok());
+      ASSERT_TRUE(qindex.UpsertObject(id, loc, now).ok());
+    }
+    const SnapshotResult expected =
+        snapshot.EvaluateTick(static_cast<double>(tick));
+    const SnapshotResult actual =
+        qindex.EvaluateTick(static_cast<double>(tick));
+    ASSERT_EQ(actual.answers.size(), expected.answers.size());
+    for (size_t i = 0; i < expected.answers.size(); ++i) {
+      EXPECT_EQ(actual.answers[i].first, expected.answers[i].first);
+      EXPECT_EQ(actual.answers[i].second, expected.answers[i].second)
+          << "query " << expected.answers[i].first << " tick " << tick;
+    }
+  }
+  EXPECT_TRUE(qindex.rtree().CheckStructure());
+}
+
+TEST(QIndexProcessorTest, ObjectAndQueryLifecycle) {
+  QIndexProcessor qindex;
+  EXPECT_TRUE(qindex.RemoveObject(1).IsNotFound());
+  ASSERT_TRUE(qindex.UpsertObject(1, Point{0.5, 0.5}, 0.0).ok());
+  EXPECT_TRUE(qindex.UpsertObject(1, Point{0.6, 0.6}, /*t=*/-1.0)
+                  .IsInvalidArgument());
+  ASSERT_TRUE(qindex.RegisterRangeQuery(1, Rect{0.4, 0.4, 0.6, 0.6}).ok());
+  EXPECT_TRUE(
+      qindex.RegisterRangeQuery(1, Rect{0, 0, 1, 1}).IsAlreadyExists());
+
+  SnapshotResult r = qindex.EvaluateTick(1.0);
+  ASSERT_EQ(r.answers.size(), 1u);
+  EXPECT_EQ(r.answers[0].second, std::vector<ObjectId>{1});
+
+  ASSERT_TRUE(qindex.RemoveObject(1).ok());
+  ASSERT_TRUE(qindex.UnregisterQuery(1).ok());
+  EXPECT_TRUE(qindex.UnregisterQuery(1).IsNotFound());
+  EXPECT_EQ(qindex.num_objects(), 0u);
+  EXPECT_EQ(qindex.num_queries(), 0u);
+}
+
+// The headline claim behind Figure 5: on a realistic workload the
+// incremental update stream is a small fraction of the complete answers.
+TEST(BaselineComparisonTest, IncrementalStreamIsMuchSmallerThanComplete) {
+  const Workload workload = Workload::GenerateNetwork(SmallWorkload(9));
+
+  QueryProcessorOptions options;
+  options.grid_cells_per_side = 16;
+  QueryProcessor incremental(options);
+  SnapshotProcessor snapshot(options);
+  workload.ApplyInitial(&incremental);
+  workload.ApplyInitial(&snapshot);
+  incremental.EvaluateTick(0.0);
+
+  size_t incremental_bytes = 0;
+  size_t complete_bytes = 0;
+  for (size_t i = 0; i < workload.ticks().size(); ++i) {
+    workload.ApplyTick(&incremental, i);
+    workload.ApplyTick(&snapshot, i);
+    const TickResult tick = incremental.EvaluateTick(workload.ticks()[i].time);
+    const SnapshotResult full = snapshot.EvaluateTick(workload.ticks()[i].time);
+    incremental_bytes += tick.WireBytes(options.wire_cost);
+    complete_bytes += full.WireBytes(options.wire_cost);
+  }
+  EXPECT_LT(incremental_bytes, complete_bytes / 2)
+      << "incremental stream should be well below the complete answers";
+}
+
+}  // namespace
+}  // namespace stq

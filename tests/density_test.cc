@@ -1,0 +1,119 @@
+// Tests for the DensityMonitor: incremental dense-cell discovery over the
+// shared grid.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stq/core/density_monitor.h"
+#include "stq/core/query_processor.h"
+
+namespace stq {
+namespace {
+
+const Rect kUnit{0.0, 0.0, 1.0, 1.0};
+
+TEST(DensityMonitorTest, EmptyGridHasNoDenseCells) {
+  GridIndex grid(kUnit, 4);
+  DensityMonitor monitor(&grid, 2);
+  EXPECT_TRUE(monitor.Tick().empty());
+  EXPECT_EQ(monitor.num_dense_cells(), 0u);
+}
+
+TEST(DensityMonitorTest, CellCrossesThreshold) {
+  GridIndex grid(kUnit, 4);
+  DensityMonitor monitor(&grid, 3);
+  grid.InsertObject(1, Point{0.1, 0.1});
+  grid.InsertObject(2, Point{0.12, 0.1});
+  EXPECT_TRUE(monitor.Tick().empty());  // 2 < 3
+
+  grid.InsertObject(3, Point{0.14, 0.1});
+  std::vector<DenseCellUpdate> updates = monitor.Tick();
+  ASSERT_EQ(updates.size(), 1u);
+  EXPECT_EQ(updates[0].cell, (CellCoord{0, 0}));
+  EXPECT_EQ(updates[0].sign, UpdateSign::kPositive);
+  EXPECT_EQ(updates[0].count, 3u);
+  EXPECT_EQ(monitor.num_dense_cells(), 1u);
+
+  // No change -> no updates (the incremental paradigm).
+  EXPECT_TRUE(monitor.Tick().empty());
+
+  // Dropping below the threshold emits the negative.
+  grid.RemoveObject(3, Point{0.14, 0.1});
+  updates = monitor.Tick();
+  ASSERT_EQ(updates.size(), 1u);
+  EXPECT_EQ(updates[0].sign, UpdateSign::kNegative);
+  EXPECT_EQ(monitor.num_dense_cells(), 0u);
+}
+
+TEST(DensityMonitorTest, TracksMovingCluster) {
+  GridIndex grid(kUnit, 4);
+  DensityMonitor monitor(&grid, 3);
+  for (ObjectId id = 1; id <= 3; ++id) {
+    grid.InsertObject(id, Point{0.1, 0.1});
+  }
+  monitor.Tick();
+
+  // The cluster moves two cells to the right.
+  for (ObjectId id = 1; id <= 3; ++id) {
+    grid.MoveObject(id, Point{0.1, 0.1}, Point{0.6, 0.1});
+  }
+  const std::vector<DenseCellUpdate> updates = monitor.Tick();
+  ASSERT_EQ(updates.size(), 2u);
+  EXPECT_EQ(updates[0].cell, (CellCoord{2, 0}));
+  EXPECT_EQ(updates[0].sign, UpdateSign::kPositive);
+  EXPECT_EQ(updates[1].cell, (CellCoord{0, 0}));
+  EXPECT_EQ(updates[1].sign, UpdateSign::kNegative);
+
+  const std::vector<CellCoord> dense = monitor.DenseCells();
+  ASSERT_EQ(dense.size(), 1u);
+  EXPECT_EQ(dense[0], (CellCoord{2, 0}));
+}
+
+TEST(DensityMonitorTest, WorksOnTopOfQueryProcessorGrid) {
+  QueryProcessorOptions options;
+  options.grid_cells_per_side = 8;
+  QueryProcessor qp(options);
+  DensityMonitor monitor(&qp.grid(), 5);
+
+  // A hotspot forms at the city center.
+  for (ObjectId id = 1; id <= 6; ++id) {
+    ASSERT_TRUE(qp.UpsertObject(id, Point{0.51, 0.51}, 0.0).ok());
+  }
+  qp.EvaluateTick(0.0);
+  std::vector<DenseCellUpdate> updates = monitor.Tick();
+  ASSERT_EQ(updates.size(), 1u);
+  EXPECT_EQ(updates[0].count, 6u);
+
+  // The hotspot disperses.
+  for (ObjectId id = 1; id <= 4; ++id) {
+    ASSERT_TRUE(qp.UpsertObject(
+                      id, Point{0.1 * static_cast<double>(id), 0.9}, 1.0)
+                    .ok());
+  }
+  qp.EvaluateTick(1.0);
+  updates = monitor.Tick();
+  ASSERT_EQ(updates.size(), 1u);
+  EXPECT_EQ(updates[0].sign, UpdateSign::kNegative);
+}
+
+TEST(DensityMonitorTest, MultipleDenseCellsOrdered) {
+  GridIndex grid(kUnit, 4);
+  DensityMonitor monitor(&grid, 2);
+  // Three dense cells appearing at once.
+  grid.InsertObject(1, Point{0.1, 0.1});
+  grid.InsertObject(2, Point{0.1, 0.1});
+  grid.InsertObject(3, Point{0.6, 0.1});
+  grid.InsertObject(4, Point{0.6, 0.1});
+  grid.InsertObject(5, Point{0.1, 0.6});
+  grid.InsertObject(6, Point{0.1, 0.6});
+  const std::vector<DenseCellUpdate> updates = monitor.Tick();
+  ASSERT_EQ(updates.size(), 3u);
+  // Positives in (y, x) scan order.
+  EXPECT_EQ(updates[0].cell, (CellCoord{0, 0}));
+  EXPECT_EQ(updates[1].cell, (CellCoord{2, 0}));
+  EXPECT_EQ(updates[2].cell, (CellCoord{0, 2}));
+}
+
+}  // namespace
+}  // namespace stq

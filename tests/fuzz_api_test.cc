@@ -1,0 +1,155 @@
+// API robustness fuzzing: long random sequences of valid AND invalid
+// calls against the query processor and the server. Nothing here asserts
+// specific answers — the properties are (a) no crash, (b) every call
+// returns a Status rather than corrupting state, and (c) the engine's
+// invariants hold after every evaluation.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stq/common/random.h"
+#include "stq/core/query_processor.h"
+#include "stq/core/server.h"
+
+namespace stq {
+namespace {
+
+class ApiFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ApiFuzz, ProcessorSurvivesRandomCallSequences) {
+  Xorshift128Plus rng(GetParam());
+  QueryProcessorOptions options;
+  options.grid_cells_per_side = rng.NextInt(1, 24);
+  options.prediction_horizon = rng.NextDouble(1.0, 50.0);
+  options.record_history = rng.NextBool(0.5);
+  QueryProcessor qp(options);
+
+  // Small id spaces so that valid and invalid ids collide often.
+  const ObjectId max_object = 30;
+  const QueryId max_query = 15;
+  double now = 0.0;
+
+  for (int step = 0; step < 3000; ++step) {
+    const ObjectId oid = 1 + rng.NextUint64(max_object);
+    const QueryId qid = 1 + rng.NextUint64(max_query);
+    // Points sometimes outside the space; timestamps sometimes stale.
+    const Point p{rng.NextDouble(-0.5, 1.5), rng.NextDouble(-0.5, 1.5)};
+    const double t = rng.NextBool(0.1) ? now - rng.NextDouble(0.0, 5.0)
+                                       : now + rng.NextDouble(0.0, 1.0);
+    switch (rng.NextUint64(12)) {
+      case 0:
+        (void)qp.UpsertObject(oid, p, t);
+        break;
+      case 1:
+        (void)qp.UpsertPredictiveObject(
+            oid, p, Velocity{rng.NextDouble(-0.1, 0.1),
+                             rng.NextDouble(-0.1, 0.1)}, t);
+        break;
+      case 2:
+        (void)qp.RemoveObject(oid);
+        break;
+      case 3:
+        (void)qp.RegisterRangeQuery(
+            qid, Rect::CenteredSquare(p, rng.NextDouble(-0.1, 0.4)));
+        break;
+      case 4:
+        (void)qp.MoveRangeQuery(
+            qid, Rect::CenteredSquare(p, rng.NextDouble(0.01, 0.4)));
+        break;
+      case 5:
+        (void)qp.RegisterKnnQuery(qid, p, rng.NextInt(-2, 8));
+        break;
+      case 6:
+        (void)qp.MoveKnnQuery(qid, p);
+        break;
+      case 7:
+        (void)qp.RegisterPredictiveQuery(
+            qid, Rect::CenteredSquare(p, rng.NextDouble(0.01, 0.4)),
+            rng.NextDouble(0.0, 30.0), rng.NextDouble(-5.0, 40.0));
+        break;
+      case 8:
+        (void)qp.RegisterCircleQuery(qid, p, rng.NextDouble(-0.05, 0.3));
+        break;
+      case 9:
+        (void)qp.MoveCircleQuery(qid, p);
+        break;
+      case 10:
+        (void)qp.UnregisterQuery(qid);
+        break;
+      case 11: {
+        now += rng.NextDouble(0.0, 2.0);
+        qp.EvaluateTick(now);
+        break;
+      }
+    }
+    if (step % 500 == 499) {
+      now += 1.0;
+      qp.EvaluateTick(now);
+      ASSERT_TRUE(qp.CheckInvariants().ok()) << "step " << step;
+    }
+  }
+  now += 1.0;
+  qp.EvaluateTick(now);
+  EXPECT_TRUE(qp.CheckInvariants().ok());
+}
+
+TEST_P(ApiFuzz, ServerSurvivesRandomCallSequences) {
+  Xorshift128Plus rng(GetParam() * 31 + 7);
+  Server::Options options;
+  options.processor.grid_cells_per_side = 8;
+  Server server(options);
+  double now = 0.0;
+
+  for (int step = 0; step < 1500; ++step) {
+    const ClientId cid = 1 + rng.NextUint64(4);
+    const QueryId qid = 1 + rng.NextUint64(10);
+    const ObjectId oid = 1 + rng.NextUint64(20);
+    const Point p{rng.NextDouble(), rng.NextDouble()};
+    switch (rng.NextUint64(10)) {
+      case 0:
+        (void)server.AttachClient(cid);
+        break;
+      case 1:
+        (void)server.DisconnectClient(cid);
+        break;
+      case 2:
+        (void)server.ReconnectClient(cid);
+        break;
+      case 3:
+        (void)server.ReportObject(oid, p, now + rng.NextDouble(0.0, 1.0));
+        break;
+      case 4:
+        (void)server.RegisterRangeQuery(qid, cid,
+                                        Rect::CenteredSquare(p, 0.2));
+        break;
+      case 5:
+        (void)server.MoveRangeQuery(qid, Rect::CenteredSquare(p, 0.2));
+        break;
+      case 6:
+        (void)server.CommitQuery(qid);
+        break;
+      case 7:
+        (void)server.UnregisterQuery(qid);
+        break;
+      case 8:
+        (void)server.RegisterCircleQuery(qid, cid, p, 0.1);
+        break;
+      case 9: {
+        now += rng.NextDouble(0.1, 2.0);
+        server.Tick(now);
+        break;
+      }
+    }
+  }
+  now += 1.0;
+  server.Tick(now);
+  EXPECT_TRUE(server.processor().CheckInvariants().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApiFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace stq

@@ -1,0 +1,256 @@
+// Tests for the second-wave generation substrate: radial cities, Gaussian
+// hotspot movers, and workload serialization.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stq/core/query_processor.h"
+#include "stq/gen/gaussian_generator.h"
+#include "stq/gen/network_generator.h"
+#include "stq/gen/road_network.h"
+#include "stq/gen/workload.h"
+#include "stq/grid/grid_index.h"
+#include "stq/storage/workload_io.h"
+
+namespace stq {
+namespace {
+
+// --- Radial city ----------------------------------------------------------------
+
+TEST(RadialCityTest, StructureAndConnectivity) {
+  RoadNetwork::RadialCityOptions options;
+  options.rings = 5;
+  options.spokes = 10;
+  const RoadNetwork city = RoadNetwork::MakeRadialCity(options);
+  EXPECT_EQ(city.num_nodes(), 1u + 5u * 10u);
+  // spokes*rings spoke edges + rings*spokes ring edges.
+  EXPECT_EQ(city.num_edges(), 50u + 50u);
+  EXPECT_TRUE(city.IsConnected());
+}
+
+TEST(RadialCityTest, NodesLieOnTheirRings) {
+  RoadNetwork::RadialCityOptions options;
+  options.rings = 4;
+  options.spokes = 8;
+  options.jitter = 0.0;
+  const RoadNetwork city = RoadNetwork::MakeRadialCity(options);
+  const Point center = options.bounds.Center();
+  const double max_radius = 0.5;
+  for (int r = 1; r <= options.rings; ++r) {
+    const double expected = max_radius * r / options.rings;
+    for (int s = 0; s < options.spokes; ++s) {
+      const NodeId n = 1 + (r - 1) * options.spokes + s;
+      EXPECT_NEAR(Distance(center, city.NodePos(n)), expected, 1e-9);
+    }
+  }
+}
+
+TEST(RadialCityTest, ShortestPathsRouteThroughTheNetwork) {
+  RoadNetwork::RadialCityOptions options;
+  const RoadNetwork city = RoadNetwork::MakeRadialCity(options);
+  // Opposite sides of the outer ring: a path must exist and alternate
+  // along edges.
+  const NodeId a = 1 + (options.rings - 1) * options.spokes;
+  const NodeId b = a + options.spokes / 2;
+  const std::vector<NodeId> path = city.ShortestPath(a, b);
+  ASSERT_GE(path.size(), 2u);
+  EXPECT_EQ(path.front(), a);
+  EXPECT_EQ(path.back(), b);
+}
+
+TEST(RadialCityTest, DriversStayOnTheRadialNetwork) {
+  RoadNetwork::RadialCityOptions options;
+  options.seed = 9;
+  const RoadNetwork city = RoadNetwork::MakeRadialCity(options);
+  NetworkGenerator::Options mover_options;
+  mover_options.num_objects = 25;
+  mover_options.seed = 4;
+  NetworkGenerator gen(&city, mover_options);
+  for (int step = 1; step <= 15; ++step) gen.Step(step * 10.0, 10.0, 1.0);
+  // Every driver sits within the outermost ring radius of the center.
+  const Point center = options.bounds.Center();
+  for (ObjectId id = 1; id <= 25; ++id) {
+    EXPECT_LE(Distance(center, gen.LocationOf(id)), 0.5 + 1e-9);
+  }
+}
+
+TEST(RadialCityTest, InvalidOptionsCrash) {
+  RoadNetwork::RadialCityOptions options;
+  options.spokes = 2;
+  EXPECT_DEATH(RoadNetwork::MakeRadialCity(options), "spokes");
+}
+
+// --- GaussianGenerator ----------------------------------------------------------
+
+TEST(GaussianGeneratorTest, ObjectsClusterAroundHotspots) {
+  GaussianGenerator::Options options;
+  options.num_objects = 2000;
+  options.num_hotspots = 3;
+  options.hotspot_sigma = 0.03;
+  options.seed = 5;
+  GaussianGenerator gen(options);
+  ASSERT_EQ(gen.hotspots().size(), 3u);
+
+  // Most objects sit within 3 sigma of some hotspot.
+  size_t near = 0;
+  for (const ObjectReport& r : gen.InitialReports(0.0)) {
+    for (const Point& h : gen.hotspots()) {
+      if (Distance(r.loc, h) < 0.09) {
+        ++near;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(near, 1900u);
+}
+
+TEST(GaussianGeneratorTest, SkewShowsUpInTheGrid) {
+  GaussianGenerator::Options options;
+  options.num_objects = 2000;
+  options.num_hotspots = 2;
+  options.seed = 6;
+  GaussianGenerator gen(options);
+  GridIndex grid(Rect{0, 0, 1, 1}, 16);
+  for (const ObjectReport& r : gen.InitialReports(0.0)) {
+    grid.InsertObject(r.id, r.loc);
+  }
+  const GridStats stats = grid.ComputeStats();
+  // A uniform distribution would put ~8 objects per cell; hotspot cells
+  // must be far above that.
+  EXPECT_GT(stats.max_objects_in_cell, 100u);
+}
+
+TEST(GaussianGeneratorTest, StepKeepsObjectsInBoundsAndDeterministic) {
+  GaussianGenerator::Options options;
+  options.num_objects = 300;
+  options.seed = 7;
+  GaussianGenerator a(options);
+  GaussianGenerator b(options);
+  for (int step = 1; step <= 10; ++step) {
+    const auto ra = a.Step(step, 5.0, 0.8);
+    const auto rb = b.Step(step, 5.0, 0.8);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (size_t i = 0; i < ra.size(); ++i) {
+      EXPECT_EQ(ra[i].loc, rb[i].loc);
+      EXPECT_TRUE(options.bounds.Contains(ra[i].loc));
+    }
+  }
+}
+
+TEST(GaussianGeneratorTest, HomingPullsBackTowardHotspot) {
+  GaussianGenerator::Options options;
+  options.num_objects = 500;
+  options.homing = 0.8;
+  options.speed = 0.02;
+  options.seed = 8;
+  GaussianGenerator gen(options);
+  // After many steps with strong homing, objects remain near hotspots.
+  for (int step = 1; step <= 50; ++step) gen.Step(step, 5.0, 1.0);
+  size_t near = 0;
+  for (ObjectId id = 1; id <= 500; ++id) {
+    for (const Point& h : gen.hotspots()) {
+      if (Distance(gen.LocationOf(id), h) < 0.15) {
+        ++near;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(near, 350u);
+}
+
+// --- Workload serialization ----------------------------------------------------------
+
+class WorkloadIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "stq_workload_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".bin";
+    std::remove(path_.c_str());
+  }
+  std::string path_;
+};
+
+NetworkWorkloadOptions SmallWorkloadOptions() {
+  NetworkWorkloadOptions options;
+  options.city.rows = 6;
+  options.city.cols = 6;
+  options.num_objects = 40;
+  options.num_queries = 10;
+  options.num_ticks = 3;
+  options.seed = 11;
+  return options;
+}
+
+TEST_F(WorkloadIoTest, RoundTripIsBitExact) {
+  const Workload original =
+      Workload::GenerateNetwork(SmallWorkloadOptions());
+  ASSERT_TRUE(SaveWorkload(path_, original).ok());
+  Result<Workload> loaded = LoadWorkload(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->tick_seconds(), original.tick_seconds());
+  ASSERT_EQ(loaded->initial_objects().size(),
+            original.initial_objects().size());
+  for (size_t i = 0; i < original.initial_objects().size(); ++i) {
+    EXPECT_EQ(loaded->initial_objects()[i].id,
+              original.initial_objects()[i].id);
+    EXPECT_EQ(loaded->initial_objects()[i].loc,
+              original.initial_objects()[i].loc);
+  }
+  ASSERT_EQ(loaded->ticks().size(), original.ticks().size());
+  for (size_t i = 0; i < original.ticks().size(); ++i) {
+    EXPECT_EQ(loaded->ticks()[i].time, original.ticks()[i].time);
+    ASSERT_EQ(loaded->ticks()[i].object_reports.size(),
+              original.ticks()[i].object_reports.size());
+    ASSERT_EQ(loaded->ticks()[i].query_moves.size(),
+              original.ticks()[i].query_moves.size());
+    for (size_t j = 0; j < original.ticks()[i].query_moves.size(); ++j) {
+      EXPECT_EQ(loaded->ticks()[i].query_moves[j].region,
+                original.ticks()[i].query_moves[j].region);
+    }
+  }
+}
+
+TEST_F(WorkloadIoTest, ReplayedWorkloadDrivesIdenticalEngineRuns) {
+  const Workload original =
+      Workload::GenerateNetwork(SmallWorkloadOptions());
+  ASSERT_TRUE(SaveWorkload(path_, original).ok());
+  Result<Workload> loaded = LoadWorkload(path_);
+  ASSERT_TRUE(loaded.ok());
+
+  QueryProcessor a, b;
+  original.ApplyInitial(&a);
+  loaded->ApplyInitial(&b);
+  EXPECT_EQ(a.EvaluateTick(0.0).updates, b.EvaluateTick(0.0).updates);
+  for (size_t i = 0; i < original.ticks().size(); ++i) {
+    original.ApplyTick(&a, i);
+    loaded->ApplyTick(&b, i);
+    EXPECT_EQ(a.EvaluateTick(original.ticks()[i].time).updates,
+              b.EvaluateTick(loaded->ticks()[i].time).updates);
+  }
+}
+
+TEST_F(WorkloadIoTest, MissingFileIsIoError) {
+  EXPECT_TRUE(LoadWorkload(path_).status().IsIOError());
+}
+
+TEST_F(WorkloadIoTest, TruncationIsDetected) {
+  const Workload original =
+      Workload::GenerateNetwork(SmallWorkloadOptions());
+  ASSERT_TRUE(SaveWorkload(path_, original).ok());
+  // Chop off the tail: the header's counts no longer match.
+  FILE* f = std::fopen(path_.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  ASSERT_EQ(std::fclose(f), 0);
+  ASSERT_EQ(truncate(path_.c_str(), size / 2), 0);
+  EXPECT_TRUE(LoadWorkload(path_).status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace stq

@@ -1,0 +1,198 @@
+// Tests for PersistentServer: durable operation logging, crash recovery
+// of objects/queries/bindings/committed answers, checkpointing, and the
+// recovery protocol working across a server restart.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stq/core/client.h"
+#include "stq/storage/persistent_server.h"
+
+namespace stq {
+namespace {
+
+class PersistentServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "stq_pserver_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    const std::string cmd = "rm -rf '" + dir_ + "' && mkdir -p '" + dir_ + "'";
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+  }
+
+  PersistentServer::Options MakeOptions() const {
+    PersistentServer::Options options;
+    options.server.processor.grid_cells_per_side = 8;
+    options.dir = dir_;
+    return options;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(PersistentServerTest, FreshStartWorksLikePlainServer) {
+  PersistentServer server(MakeOptions());
+  ASSERT_TRUE(server.Open().ok());
+  ASSERT_TRUE(server.AttachClient(1).ok());
+  ASSERT_TRUE(server.RegisterRangeQuery(1, 1, Rect{0.4, 0.4, 0.6, 0.6}).ok());
+  ASSERT_TRUE(server.ReportObject(1, Point{0.5, 0.5}, 0.0).ok());
+  const std::vector<Server::Delivery> deliveries = server.Tick(1.0);
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(deliveries[0].updates,
+            std::vector<Update>{Update::Positive(1, 1)});
+  ASSERT_TRUE(server.Close().ok());
+}
+
+TEST_F(PersistentServerTest, RecoversFullStateAfterCrash) {
+  {
+    PersistentServer server(MakeOptions());
+    ASSERT_TRUE(server.Open().ok());
+    ASSERT_TRUE(server.AttachClient(7).ok());
+    ASSERT_TRUE(
+        server.RegisterRangeQuery(1, 7, Rect{0.4, 0.4, 0.6, 0.6}).ok());
+    ASSERT_TRUE(server.RegisterKnnQuery(2, 7, Point{0.2, 0.2}, 2).ok());
+    ASSERT_TRUE(server.ReportObject(1, Point{0.5, 0.5}, 0.0).ok());
+    ASSERT_TRUE(server.ReportObject(2, Point{0.21, 0.2}, 0.0).ok());
+    ASSERT_TRUE(server.ReportObject(3, Point{0.9, 0.9}, 0.0).ok());
+    ASSERT_TRUE(server.ReportPredictiveObject(4, Point{0.1, 0.8},
+                                              Velocity{0.01, 0.0}, 0.0)
+                    .ok());
+    server.Tick(1.0);
+    ASSERT_TRUE(server.CommitQuery(1).ok());
+    // Crash: destructor without Close/Checkpoint (Tick already synced).
+  }
+
+  PersistentServer recovered(MakeOptions());
+  ASSERT_TRUE(recovered.Open().ok());
+  const QueryProcessor& qp = recovered.processor();
+  EXPECT_EQ(qp.num_objects(), 4u);
+  EXPECT_EQ(qp.num_queries(), 2u);
+  EXPECT_EQ(*qp.CurrentAnswer(1), std::vector<ObjectId>{1});
+  EXPECT_TRUE(qp.CheckInvariants().ok());
+
+  // Bindings survive; channels come back disconnected.
+  EXPECT_EQ(recovered.server().OwnerOf(1), std::optional<ClientId>(7));
+  EXPECT_EQ(recovered.server().OwnerOf(2), std::optional<ClientId>(7));
+  EXPECT_FALSE(recovered.server().IsConnected(7));
+
+  // The committed answer survives too.
+  EXPECT_TRUE(recovered.server().committed().HasCommit(1));
+  ASSERT_TRUE(recovered.Close().ok());
+}
+
+TEST_F(PersistentServerTest, RecoveryProtocolWorksAcrossRestart) {
+  Client client(7);
+  {
+    PersistentServer server(MakeOptions());
+    ASSERT_TRUE(server.Open().ok());
+    ASSERT_TRUE(server.AttachClient(7).ok());
+    ASSERT_TRUE(
+        server.RegisterRangeQuery(1, 7, Rect{0.4, 0.4, 0.6, 0.6}).ok());
+    ASSERT_TRUE(server.ReportObject(1, Point{0.5, 0.5}, 0.0).ok());
+    ASSERT_TRUE(server.ReportObject(2, Point{0.55, 0.5}, 0.0).ok());
+    for (const auto& d : server.Tick(1.0)) client.ApplyUpdates(d.updates);
+    ASSERT_TRUE(server.CommitQuery(1).ok());
+    client.Commit(1);
+    // The world keeps changing; the updates reach the client.
+    ASSERT_TRUE(server.ReportObject(2, Point{0.9, 0.9}, 2.0).ok());
+    for (const auto& d : server.Tick(2.0)) client.ApplyUpdates(d.updates);
+    EXPECT_EQ(client.SortedAnswerOf(1), std::vector<ObjectId>{1});
+    // Crash before any further commit.
+  }
+
+  PersistentServer recovered(MakeOptions());
+  ASSERT_TRUE(recovered.Open().ok());
+  // More changes while the client is still away.
+  ASSERT_TRUE(recovered.ReportObject(3, Point{0.45, 0.45}, 3.0).ok());
+  recovered.Tick(3.0);
+
+  // The client reconnects to the restarted server and runs the standard
+  // out-of-sync protocol: rollback to its committed snapshot, apply the
+  // committed-diff.
+  Result<Server::Delivery> recovery = recovered.ReconnectClient(7);
+  ASSERT_TRUE(recovery.ok());
+  client.RollbackToCommitted();
+  client.ApplyUpdates(recovery->updates);
+  client.CommitAll();
+  EXPECT_EQ(client.SortedAnswerOf(1),
+            *recovered.processor().CurrentAnswer(1));
+  ASSERT_TRUE(recovered.Close().ok());
+}
+
+TEST_F(PersistentServerTest, CheckpointCompactsAndRecovers) {
+  {
+    PersistentServer server(MakeOptions());
+    ASSERT_TRUE(server.Open().ok());
+    ASSERT_TRUE(server.AttachClient(1).ok());
+    ASSERT_TRUE(
+        server.RegisterRangeQuery(1, 1, Rect{0.0, 0.0, 1.0, 1.0}).ok());
+    for (ObjectId id = 1; id <= 20; ++id) {
+      ASSERT_TRUE(server.ReportObject(
+                        id, Point{static_cast<double>(id) / 21.0, 0.5}, 0.0)
+                      .ok());
+    }
+    server.Tick(1.0);
+    ASSERT_TRUE(server.Checkpoint().ok());
+    // Post-checkpoint deltas land in the fresh WAL.
+    ASSERT_TRUE(server.RemoveObject(20).ok());
+    server.Tick(2.0);
+    ASSERT_TRUE(server.Close().ok());
+  }
+
+  PersistentServer recovered(MakeOptions());
+  ASSERT_TRUE(recovered.Open().ok());
+  EXPECT_EQ(recovered.processor().num_objects(), 19u);
+  EXPECT_EQ(recovered.processor().CurrentAnswer(1)->size(), 19u);
+  ASSERT_TRUE(recovered.Close().ok());
+}
+
+TEST_F(PersistentServerTest, UnregisteredQueryStaysGoneAfterRestart) {
+  {
+    PersistentServer server(MakeOptions());
+    ASSERT_TRUE(server.Open().ok());
+    ASSERT_TRUE(server.AttachClient(1).ok());
+    ASSERT_TRUE(
+        server.RegisterRangeQuery(1, 1, Rect{0.0, 0.0, 1.0, 1.0}).ok());
+    server.Tick(1.0);
+    ASSERT_TRUE(server.UnregisterQuery(1).ok());
+    server.Tick(2.0);
+    ASSERT_TRUE(server.Close().ok());
+  }
+  PersistentServer recovered(MakeOptions());
+  ASSERT_TRUE(recovered.Open().ok());
+  EXPECT_EQ(recovered.processor().num_queries(), 0u);
+  ASSERT_TRUE(recovered.Close().ok());
+}
+
+TEST_F(PersistentServerTest, MovingQueryAutoCommitIsDurable) {
+  {
+    PersistentServer server(MakeOptions());
+    ASSERT_TRUE(server.Open().ok());
+    ASSERT_TRUE(server.AttachClient(1).ok());
+    ASSERT_TRUE(
+        server.RegisterRangeQuery(1, 1, Rect{0.4, 0.4, 0.6, 0.6}).ok());
+    ASSERT_TRUE(server.ReportObject(1, Point{0.5, 0.5}, 0.0).ok());
+    server.Tick(1.0);
+    // Hearing from the moving query commits {p1} — durably.
+    ASSERT_TRUE(server.MoveRangeQuery(1, Rect{0.42, 0.42, 0.62, 0.62}).ok());
+    server.Tick(2.0);
+    ASSERT_TRUE(server.Close().ok());
+  }
+  PersistentServer recovered(MakeOptions());
+  ASSERT_TRUE(recovered.Open().ok());
+  EXPECT_TRUE(recovered.server().committed().HasCommit(1));
+  EXPECT_TRUE(recovered.server().committed().Committed(1).contains(1));
+  ASSERT_TRUE(recovered.Close().ok());
+}
+
+TEST_F(PersistentServerTest, OpenTwiceRejected) {
+  PersistentServer server(MakeOptions());
+  ASSERT_TRUE(server.Open().ok());
+  EXPECT_EQ(server.Open().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(server.Close().ok());
+}
+
+}  // namespace
+}  // namespace stq

@@ -1,0 +1,441 @@
+// API-level tests of QueryProcessor: registration rules, buffering
+// semantics, tick mechanics, answers, removals, and error handling.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stq/core/query_processor.h"
+
+namespace stq {
+namespace {
+
+QueryProcessorOptions TestOptions(int grid = 16) {
+  QueryProcessorOptions options;
+  options.grid_cells_per_side = grid;
+  return options;
+}
+
+TEST(QueryProcessorTest, EmptyTickProducesNothing) {
+  QueryProcessor qp(TestOptions());
+  const TickResult r = qp.EvaluateTick(0.0);
+  EXPECT_TRUE(r.updates.empty());
+  EXPECT_EQ(r.stats.positive_updates, 0u);
+  EXPECT_EQ(qp.num_objects(), 0u);
+}
+
+TEST(QueryProcessorTest, ReportsAreBufferedUntilTick) {
+  QueryProcessor qp(TestOptions());
+  ASSERT_TRUE(qp.UpsertObject(1, Point{0.5, 0.5}, 0.0).ok());
+  EXPECT_EQ(qp.num_objects(), 0u);  // not yet applied
+  EXPECT_EQ(qp.pending_reports(), 1u);
+  qp.EvaluateTick(0.0);
+  EXPECT_EQ(qp.num_objects(), 1u);
+  EXPECT_EQ(qp.pending_reports(), 0u);
+}
+
+TEST(QueryProcessorTest, LastReportWinsWithinOneTick) {
+  QueryProcessor qp(TestOptions());
+  ASSERT_TRUE(qp.RegisterRangeQuery(1, Rect{0.0, 0.0, 0.1, 0.1}).ok());
+  ASSERT_TRUE(qp.UpsertObject(1, Point{0.05, 0.05}, 0.0).ok());
+  ASSERT_TRUE(qp.UpsertObject(1, Point{0.9, 0.9}, 0.5).ok());
+  const TickResult r = qp.EvaluateTick(1.0);
+  // Only the final location matters: the object never enters the answer.
+  EXPECT_TRUE(r.updates.empty());
+  EXPECT_EQ(r.stats.object_updates_applied, 1u);
+}
+
+TEST(QueryProcessorTest, StaleObjectReportRejected) {
+  QueryProcessor qp(TestOptions());
+  ASSERT_TRUE(qp.UpsertObject(1, Point{0.5, 0.5}, 10.0).ok());
+  qp.EvaluateTick(10.0);
+  EXPECT_TRUE(qp.UpsertObject(1, Point{0.6, 0.6}, 5.0).IsInvalidArgument());
+  EXPECT_TRUE(qp.UpsertObject(1, Point{0.6, 0.6}, 10.0).ok());  // equal ok
+}
+
+TEST(QueryProcessorTest, StaleCheckAgainstPendingRemoval) {
+  QueryProcessor qp(TestOptions());
+  ASSERT_TRUE(qp.UpsertObject(1, Point{0.5, 0.5}, 10.0).ok());
+  qp.EvaluateTick(10.0);
+  ASSERT_TRUE(qp.RemoveObject(1).ok());
+  // After a pending removal the id may be reused with any timestamp.
+  EXPECT_TRUE(qp.UpsertObject(1, Point{0.1, 0.1}, 0.0).ok());
+}
+
+TEST(QueryProcessorTest, RemoveUnknownObjectFails) {
+  QueryProcessor qp(TestOptions());
+  EXPECT_TRUE(qp.RemoveObject(42).IsNotFound());
+}
+
+TEST(QueryProcessorTest, RemoveBufferedObjectIsANoOp) {
+  QueryProcessor qp(TestOptions());
+  ASSERT_TRUE(qp.UpsertObject(1, Point{0.5, 0.5}, 0.0).ok());
+  ASSERT_TRUE(qp.RemoveObject(1).ok());  // cancels the pending upsert
+  qp.EvaluateTick(0.0);
+  EXPECT_EQ(qp.num_objects(), 0u);
+}
+
+TEST(QueryProcessorTest, RemovalEmitsNegativesForMemberships) {
+  QueryProcessor qp(TestOptions());
+  ASSERT_TRUE(qp.RegisterRangeQuery(1, Rect{0.4, 0.4, 0.6, 0.6}).ok());
+  ASSERT_TRUE(qp.UpsertObject(7, Point{0.5, 0.5}, 0.0).ok());
+  qp.EvaluateTick(0.0);
+  ASSERT_TRUE(qp.RemoveObject(7).ok());
+  const TickResult r = qp.EvaluateTick(1.0);
+  EXPECT_EQ(r.updates, std::vector<Update>{Update::Negative(1, 7)});
+  EXPECT_EQ(qp.num_objects(), 0u);
+  EXPECT_TRUE(qp.CheckInvariants().ok());
+}
+
+TEST(QueryProcessorTest, DuplicateQueryRegistrationRejected) {
+  QueryProcessor qp(TestOptions());
+  ASSERT_TRUE(qp.RegisterRangeQuery(1, Rect{0.0, 0.0, 0.1, 0.1}).ok());
+  EXPECT_TRUE(
+      qp.RegisterRangeQuery(1, Rect{0.2, 0.2, 0.3, 0.3}).IsAlreadyExists());
+  qp.EvaluateTick(0.0);
+  EXPECT_TRUE(
+      qp.RegisterKnnQuery(1, Point{0.5, 0.5}, 2).IsAlreadyExists());
+}
+
+TEST(QueryProcessorTest, EmptyRegionRejected) {
+  QueryProcessor qp(TestOptions());
+  EXPECT_TRUE(qp.RegisterRangeQuery(1, Rect::Empty()).IsInvalidArgument());
+  EXPECT_TRUE(qp.RegisterPredictiveQuery(2, Rect::Empty(), 0.0, 1.0)
+                  .IsInvalidArgument());
+}
+
+TEST(QueryProcessorTest, BadKnnParametersRejected) {
+  QueryProcessor qp(TestOptions());
+  EXPECT_TRUE(qp.RegisterKnnQuery(1, Point{0.5, 0.5}, 0).IsInvalidArgument());
+  EXPECT_TRUE(qp.RegisterKnnQuery(1, Point{0.5, 0.5}, -3).IsInvalidArgument());
+}
+
+TEST(QueryProcessorTest, BadPredictiveWindowRejected) {
+  QueryProcessor qp(TestOptions());
+  EXPECT_TRUE(qp.RegisterPredictiveQuery(1, Rect{0, 0, 1, 1}, 5.0, 3.0)
+                  .IsInvalidArgument());
+}
+
+TEST(QueryProcessorTest, MoveUnknownQueryFails) {
+  QueryProcessor qp(TestOptions());
+  EXPECT_TRUE(qp.MoveRangeQuery(9, Rect{0, 0, 1, 1}).IsNotFound());
+  EXPECT_TRUE(qp.MoveKnnQuery(9, Point{0.5, 0.5}).IsNotFound());
+  EXPECT_TRUE(qp.MovePredictiveQuery(9, Rect{0, 0, 1, 1}).IsNotFound());
+}
+
+TEST(QueryProcessorTest, MoveWrongKindFails) {
+  QueryProcessor qp(TestOptions());
+  ASSERT_TRUE(qp.RegisterRangeQuery(1, Rect{0, 0, 0.1, 0.1}).ok());
+  qp.EvaluateTick(0.0);
+  EXPECT_TRUE(qp.MoveKnnQuery(1, Point{0.5, 0.5}).IsInvalidArgument());
+  EXPECT_TRUE(
+      qp.MovePredictiveQuery(1, Rect{0, 0, 1, 1}).IsInvalidArgument());
+}
+
+TEST(QueryProcessorTest, MoveOnPendingRegistrationFoldsIn) {
+  QueryProcessor qp(TestOptions());
+  ASSERT_TRUE(qp.UpsertObject(1, Point{0.85, 0.85}, 0.0).ok());
+  ASSERT_TRUE(qp.RegisterRangeQuery(1, Rect{0.0, 0.0, 0.1, 0.1}).ok());
+  // Move before the registration ever ticked: the query is born at the
+  // final region.
+  ASSERT_TRUE(qp.MoveRangeQuery(1, Rect{0.8, 0.8, 0.9, 0.9}).ok());
+  const TickResult r = qp.EvaluateTick(0.0);
+  EXPECT_EQ(r.updates, std::vector<Update>{Update::Positive(1, 1)});
+}
+
+TEST(QueryProcessorTest, UnregisterDropsSilently) {
+  QueryProcessor qp(TestOptions());
+  ASSERT_TRUE(qp.RegisterRangeQuery(1, Rect{0.4, 0.4, 0.6, 0.6}).ok());
+  ASSERT_TRUE(qp.UpsertObject(1, Point{0.5, 0.5}, 0.0).ok());
+  qp.EvaluateTick(0.0);
+  ASSERT_TRUE(qp.UnregisterQuery(1).ok());
+  const TickResult r = qp.EvaluateTick(1.0);
+  EXPECT_TRUE(r.updates.empty());  // the client dropped the answer itself
+  EXPECT_EQ(qp.num_queries(), 0u);
+  // The object's QList must have been scrubbed.
+  EXPECT_TRUE(qp.object_store().Find(1)->queries.empty());
+  EXPECT_TRUE(qp.CheckInvariants().ok());
+}
+
+TEST(QueryProcessorTest, UnregisterUnknownFails) {
+  QueryProcessor qp(TestOptions());
+  EXPECT_TRUE(qp.UnregisterQuery(1).IsNotFound());
+}
+
+TEST(QueryProcessorTest, RegisterUnregisterWithinOneTickIsANoOp) {
+  QueryProcessor qp(TestOptions());
+  ASSERT_TRUE(qp.RegisterRangeQuery(1, Rect{0, 0, 1, 1}).ok());
+  ASSERT_TRUE(qp.UnregisterQuery(1).ok());
+  const TickResult r = qp.EvaluateTick(0.0);
+  EXPECT_TRUE(r.updates.empty());
+  EXPECT_EQ(qp.num_queries(), 0u);
+}
+
+TEST(QueryProcessorTest, ReRegistrationAfterUnregisterInSameTick) {
+  QueryProcessor qp(TestOptions());
+  ASSERT_TRUE(qp.UpsertObject(1, Point{0.5, 0.5}, 0.0).ok());
+  ASSERT_TRUE(qp.RegisterRangeQuery(1, Rect{0, 0, 0.1, 0.1}).ok());
+  qp.EvaluateTick(0.0);
+  ASSERT_TRUE(qp.UnregisterQuery(1).ok());
+  ASSERT_TRUE(qp.RegisterRangeQuery(1, Rect{0.4, 0.4, 0.6, 0.6}).ok());
+  const TickResult r = qp.EvaluateTick(1.0);
+  EXPECT_EQ(r.updates, std::vector<Update>{Update::Positive(1, 1)});
+}
+
+TEST(QueryProcessorTest, CurrentAnswerMatchesUpdates) {
+  QueryProcessor qp(TestOptions());
+  ASSERT_TRUE(qp.RegisterRangeQuery(1, Rect{0.0, 0.0, 0.5, 0.5}).ok());
+  ASSERT_TRUE(qp.UpsertObject(1, Point{0.1, 0.1}, 0.0).ok());
+  ASSERT_TRUE(qp.UpsertObject(2, Point{0.2, 0.2}, 0.0).ok());
+  ASSERT_TRUE(qp.UpsertObject(3, Point{0.9, 0.9}, 0.0).ok());
+  qp.EvaluateTick(0.0);
+  Result<std::vector<ObjectId>> answer = qp.CurrentAnswer(1);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(*answer, (std::vector<ObjectId>{1, 2}));
+  EXPECT_TRUE(qp.CurrentAnswer(9).status().IsNotFound());
+}
+
+TEST(QueryProcessorTest, MovingObjectAcrossQueriesInOneTick) {
+  QueryProcessor qp(TestOptions());
+  ASSERT_TRUE(qp.RegisterRangeQuery(1, Rect{0.0, 0.0, 0.2, 0.2}).ok());
+  ASSERT_TRUE(qp.RegisterRangeQuery(2, Rect{0.8, 0.8, 1.0, 1.0}).ok());
+  ASSERT_TRUE(qp.UpsertObject(1, Point{0.1, 0.1}, 0.0).ok());
+  qp.EvaluateTick(0.0);
+  ASSERT_TRUE(qp.UpsertObject(1, Point{0.9, 0.9}, 1.0).ok());
+  const TickResult r = qp.EvaluateTick(1.0);
+  const std::vector<Update> expected = {Update::Negative(1, 1),
+                                        Update::Positive(2, 1)};
+  EXPECT_EQ(r.updates, expected);
+}
+
+TEST(QueryProcessorTest, ObjectAndQueryMoveTogether) {
+  // The query moves onto the object's new location while the object moves
+  // too: exactly one positive, no duplicates.
+  QueryProcessor qp(TestOptions());
+  ASSERT_TRUE(qp.RegisterRangeQuery(1, Rect{0.0, 0.0, 0.1, 0.1}).ok());
+  ASSERT_TRUE(qp.UpsertObject(1, Point{0.5, 0.5}, 0.0).ok());
+  qp.EvaluateTick(0.0);
+  ASSERT_TRUE(qp.MoveRangeQuery(1, Rect{0.7, 0.7, 0.9, 0.9}).ok());
+  ASSERT_TRUE(qp.UpsertObject(1, Point{0.8, 0.8}, 1.0).ok());
+  const TickResult r = qp.EvaluateTick(1.0);
+  EXPECT_EQ(r.updates, std::vector<Update>{Update::Positive(1, 1)});
+  EXPECT_TRUE(qp.CheckInvariants().ok());
+}
+
+TEST(QueryProcessorTest, OverlappingQueriesEachGetUpdates) {
+  QueryProcessor qp(TestOptions());
+  ASSERT_TRUE(qp.RegisterRangeQuery(1, Rect{0.0, 0.0, 0.5, 0.5}).ok());
+  ASSERT_TRUE(qp.RegisterRangeQuery(2, Rect{0.2, 0.2, 0.7, 0.7}).ok());
+  ASSERT_TRUE(qp.UpsertObject(1, Point{0.3, 0.3}, 0.0).ok());
+  const TickResult r = qp.EvaluateTick(0.0);
+  const std::vector<Update> expected = {Update::Positive(1, 1),
+                                        Update::Positive(2, 1)};
+  EXPECT_EQ(r.updates, expected);
+}
+
+TEST(QueryProcessorTest, QueryShrinkAndGrowIncrementally) {
+  QueryProcessor qp(TestOptions());
+  ASSERT_TRUE(qp.UpsertObject(1, Point{0.1, 0.1}, 0.0).ok());
+  ASSERT_TRUE(qp.UpsertObject(2, Point{0.3, 0.3}, 0.0).ok());
+  ASSERT_TRUE(qp.RegisterRangeQuery(1, Rect{0.0, 0.0, 0.4, 0.4}).ok());
+  qp.EvaluateTick(0.0);
+
+  // Shrink: p2 falls out, p1 stays (no re-report of p1).
+  ASSERT_TRUE(qp.MoveRangeQuery(1, Rect{0.0, 0.0, 0.2, 0.2}).ok());
+  TickResult r = qp.EvaluateTick(1.0);
+  EXPECT_EQ(r.updates, std::vector<Update>{Update::Negative(1, 2)});
+
+  // Grow back: only p2 re-enters.
+  ASSERT_TRUE(qp.MoveRangeQuery(1, Rect{0.0, 0.0, 0.4, 0.4}).ok());
+  r = qp.EvaluateTick(2.0);
+  EXPECT_EQ(r.updates, std::vector<Update>{Update::Positive(1, 2)});
+}
+
+TEST(QueryProcessorTest, KnnWithFewerObjectsThanK) {
+  QueryProcessor qp(TestOptions());
+  ASSERT_TRUE(qp.RegisterKnnQuery(1, Point{0.5, 0.5}, 5).ok());
+  ASSERT_TRUE(qp.UpsertObject(1, Point{0.1, 0.1}, 0.0).ok());
+  ASSERT_TRUE(qp.UpsertObject(2, Point{0.9, 0.9}, 0.0).ok());
+  TickResult r = qp.EvaluateTick(0.0);
+  EXPECT_EQ(r.updates.size(), 2u);  // everything is an answer
+
+  // A third object anywhere must join immediately (k not yet filled).
+  ASSERT_TRUE(qp.UpsertObject(3, Point{0.05, 0.95}, 1.0).ok());
+  r = qp.EvaluateTick(1.0);
+  EXPECT_EQ(r.updates, std::vector<Update>{Update::Positive(1, 3)});
+  EXPECT_TRUE(qp.CheckInvariants().ok());
+}
+
+TEST(QueryProcessorTest, KnnFocalPointMove) {
+  QueryProcessor qp(TestOptions());
+  for (ObjectId id = 1; id <= 4; ++id) {
+    ASSERT_TRUE(
+        qp.UpsertObject(id, Point{0.1 * static_cast<double>(id), 0.1}, 0.0)
+            .ok());
+  }
+  ASSERT_TRUE(qp.RegisterKnnQuery(1, Point{0.1, 0.1}, 2).ok());
+  qp.EvaluateTick(0.0);
+  EXPECT_EQ(*qp.CurrentAnswer(1), (std::vector<ObjectId>{1, 2}));
+
+  ASSERT_TRUE(qp.MoveKnnQuery(1, Point{0.4, 0.1}).ok());
+  const TickResult r = qp.EvaluateTick(1.0);
+  const std::vector<Update> expected = {
+      Update::Negative(1, 1), Update::Negative(1, 2), Update::Positive(1, 3),
+      Update::Positive(1, 4)};
+  EXPECT_EQ(r.updates, expected);
+  EXPECT_EQ(*qp.CurrentAnswer(1), (std::vector<ObjectId>{3, 4}));
+  EXPECT_TRUE(qp.CheckInvariants().ok());
+}
+
+TEST(QueryProcessorTest, KnnDistanceTiesBreakByLowerId) {
+  QueryProcessor qp(TestOptions());
+  // Four objects at identical distance from the focal point.
+  ASSERT_TRUE(qp.UpsertObject(4, Point{0.6, 0.5}, 0.0).ok());
+  ASSERT_TRUE(qp.UpsertObject(3, Point{0.4, 0.5}, 0.0).ok());
+  ASSERT_TRUE(qp.UpsertObject(2, Point{0.5, 0.6}, 0.0).ok());
+  ASSERT_TRUE(qp.UpsertObject(1, Point{0.5, 0.4}, 0.0).ok());
+  ASSERT_TRUE(qp.RegisterKnnQuery(1, Point{0.5, 0.5}, 2).ok());
+  qp.EvaluateTick(0.0);
+  EXPECT_EQ(*qp.CurrentAnswer(1), (std::vector<ObjectId>{1, 2}));
+  EXPECT_TRUE(qp.CheckInvariants().ok());
+}
+
+TEST(QueryProcessorTest, PredictiveQueryMoveProducesDeltas) {
+  QueryProcessorOptions options = TestOptions();
+  options.prediction_horizon = 100.0;
+  QueryProcessor qp(options);
+  ASSERT_TRUE(qp.UpsertPredictiveObject(1, Point{0.0, 0.2},
+                                        Velocity{0.05, 0.0}, 0.0).ok());
+  ASSERT_TRUE(qp.UpsertPredictiveObject(2, Point{0.0, 0.8},
+                                        Velocity{0.05, 0.0}, 0.0).ok());
+  ASSERT_TRUE(
+      qp.RegisterPredictiveQuery(1, Rect{0.4, 0.1, 0.6, 0.3}, 8.0, 12.0)
+          .ok());
+  qp.EvaluateTick(0.0);
+  EXPECT_EQ(*qp.CurrentAnswer(1), std::vector<ObjectId>{1});
+
+  // Slide the region to the upper corridor: p2 in, p1 out.
+  ASSERT_TRUE(qp.MovePredictiveQuery(1, Rect{0.4, 0.7, 0.6, 0.9}).ok());
+  const TickResult r = qp.EvaluateTick(1.0);
+  const std::vector<Update> expected = {Update::Negative(1, 1),
+                                        Update::Positive(1, 2)};
+  EXPECT_EQ(r.updates, expected);
+  EXPECT_TRUE(qp.CheckInvariants().ok());
+}
+
+TEST(QueryProcessorTest, PredictionHorizonLimitsMatches) {
+  QueryProcessorOptions options = TestOptions();
+  options.prediction_horizon = 5.0;
+  QueryProcessor qp(options);
+  // Would reach the region at t=10, but the engine only predicts 5 s past
+  // the report.
+  ASSERT_TRUE(qp.UpsertPredictiveObject(1, Point{0.0, 0.5},
+                                        Velocity{0.05, 0.0}, 0.0).ok());
+  ASSERT_TRUE(
+      qp.RegisterPredictiveQuery(1, Rect{0.45, 0.45, 0.55, 0.55}, 9.0, 11.0)
+          .ok());
+  TickResult r = qp.EvaluateTick(0.0);
+  EXPECT_TRUE(r.updates.empty());
+
+  // A fresh report at t=6 extends the knowable window to t=11: match.
+  ASSERT_TRUE(qp.UpsertPredictiveObject(1, Point{0.30, 0.5},
+                                        Velocity{0.05, 0.0}, 6.0).ok());
+  r = qp.EvaluateTick(6.0);
+  EXPECT_EQ(r.updates, std::vector<Update>{Update::Positive(1, 1)});
+}
+
+TEST(QueryProcessorTest, SampledObjectMatchesPredictiveQueryWhenInside) {
+  QueryProcessor qp(TestOptions());
+  ASSERT_TRUE(qp.UpsertObject(1, Point{0.5, 0.5}, 0.0).ok());
+  ASSERT_TRUE(
+      qp.RegisterPredictiveQuery(1, Rect{0.4, 0.4, 0.6, 0.6}, 2.0, 4.0).ok());
+  const TickResult r = qp.EvaluateTick(0.0);
+  // A sampled object is a zero-velocity trajectory: it sits in the region
+  // for the whole window.
+  EXPECT_EQ(r.updates, std::vector<Update>{Update::Positive(1, 1)});
+}
+
+TEST(QueryProcessorTest, MixedQueryKindsCoexist) {
+  QueryProcessor qp(TestOptions());
+  ASSERT_TRUE(qp.RegisterRangeQuery(1, Rect{0.0, 0.0, 0.3, 0.3}).ok());
+  ASSERT_TRUE(qp.RegisterKnnQuery(2, Point{0.9, 0.9}, 1).ok());
+  ASSERT_TRUE(
+      qp.RegisterPredictiveQuery(3, Rect{0.4, 0.4, 0.6, 0.6}, 0.0, 100.0)
+          .ok());
+  ASSERT_TRUE(qp.UpsertObject(1, Point{0.1, 0.1}, 0.0).ok());
+  ASSERT_TRUE(qp.UpsertObject(2, Point{0.95, 0.95}, 0.0).ok());
+  ASSERT_TRUE(qp.UpsertPredictiveObject(3, Point{0.35, 0.5},
+                                        Velocity{0.01, 0.0}, 0.0).ok());
+  const TickResult r = qp.EvaluateTick(0.0);
+  const std::vector<Update> expected = {Update::Positive(1, 1),
+                                        Update::Positive(2, 2),
+                                        Update::Positive(3, 3)};
+  EXPECT_EQ(r.updates, expected);
+  EXPECT_TRUE(qp.CheckInvariants().ok());
+}
+
+TEST(QueryProcessorTest, StatsCountSignsAndPhases) {
+  QueryProcessor qp(TestOptions());
+  ASSERT_TRUE(qp.RegisterRangeQuery(1, Rect{0.0, 0.0, 0.5, 0.5}).ok());
+  ASSERT_TRUE(qp.UpsertObject(1, Point{0.1, 0.1}, 0.0).ok());
+  ASSERT_TRUE(qp.UpsertObject(2, Point{0.9, 0.9}, 0.0).ok());
+  TickResult r = qp.EvaluateTick(0.0);
+  EXPECT_EQ(r.stats.object_updates_applied, 2u);
+  EXPECT_EQ(r.stats.query_changes_applied, 1u);
+  EXPECT_EQ(r.stats.positive_updates, 1u);
+  EXPECT_EQ(r.stats.negative_updates, 0u);
+
+  ASSERT_TRUE(qp.UpsertObject(1, Point{0.95, 0.95}, 1.0).ok());
+  r = qp.EvaluateTick(1.0);
+  EXPECT_EQ(r.stats.positive_updates, 0u);
+  EXPECT_EQ(r.stats.negative_updates, 1u);
+}
+
+TEST(QueryProcessorTest, WireBytesFollowCostModel) {
+  QueryProcessor qp(TestOptions());
+  ASSERT_TRUE(qp.RegisterRangeQuery(1, Rect{0.0, 0.0, 1.0, 1.0}).ok());
+  for (ObjectId id = 1; id <= 10; ++id) {
+    ASSERT_TRUE(qp.UpsertObject(id, Point{0.5, 0.5}, 0.0).ok());
+  }
+  const TickResult r = qp.EvaluateTick(0.0);
+  EXPECT_EQ(r.WireBytes(qp.options().wire_cost),
+            qp.options().wire_cost.UpdateBytes(10));
+}
+
+TEST(QueryProcessorTest, ObjectSwitchesBetweenSampledAndPredictive) {
+  QueryProcessor qp(TestOptions());
+  ASSERT_TRUE(qp.RegisterRangeQuery(1, Rect{0.4, 0.4, 0.6, 0.6}).ok());
+  ASSERT_TRUE(qp.UpsertObject(1, Point{0.5, 0.5}, 0.0).ok());
+  qp.EvaluateTick(0.0);
+  // Becomes predictive (footprint indexing) while staying in the region.
+  ASSERT_TRUE(qp.UpsertPredictiveObject(1, Point{0.5, 0.5},
+                                        Velocity{0.001, 0.0}, 1.0).ok());
+  TickResult r = qp.EvaluateTick(1.0);
+  EXPECT_TRUE(r.updates.empty());  // membership unchanged
+  // And back to sampled, now outside.
+  ASSERT_TRUE(qp.UpsertObject(1, Point{0.9, 0.9}, 2.0).ok());
+  r = qp.EvaluateTick(2.0);
+  EXPECT_EQ(r.updates, std::vector<Update>{Update::Negative(1, 1)});
+  EXPECT_TRUE(qp.CheckInvariants().ok());
+}
+
+TEST(QueryProcessorTest, ManyTicksKeepInvariants) {
+  QueryProcessor qp(TestOptions(8));
+  ASSERT_TRUE(qp.RegisterRangeQuery(1, Rect{0.2, 0.2, 0.6, 0.6}).ok());
+  ASSERT_TRUE(qp.RegisterKnnQuery(2, Point{0.5, 0.5}, 3).ok());
+  double x = 0.05;
+  for (int tick = 0; tick < 20; ++tick) {
+    for (ObjectId id = 1; id <= 5; ++id) {
+      const double phase = static_cast<double>(id) / 10.0;
+      ASSERT_TRUE(qp.UpsertObject(id, Point{x + phase, 0.4},
+                                  static_cast<double>(tick)).ok());
+    }
+    qp.EvaluateTick(static_cast<double>(tick));
+    ASSERT_TRUE(qp.CheckInvariants().ok()) << "tick " << tick;
+    x += 0.03;
+    if (x > 0.5) x = 0.05;
+  }
+}
+
+}  // namespace
+}  // namespace stq

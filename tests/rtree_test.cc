@@ -1,0 +1,177 @@
+// Tests for the Guttman R-tree substrate: structural invariants across
+// insert/delete workloads and search equivalence against a linear scan.
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stq/common/random.h"
+#include "stq/rtree/rtree.h"
+
+namespace stq {
+namespace {
+
+Rect RandomRect(Xorshift128Plus* rng, double max_side) {
+  const double x = rng->NextDouble();
+  const double y = rng->NextDouble();
+  return Rect{x, y, x + rng->NextDouble() * max_side,
+              y + rng->NextDouble() * max_side};
+}
+
+std::vector<uint64_t> SearchIds(const RTree& tree, const Rect& window) {
+  std::vector<uint64_t> ids;
+  tree.Search(window, [&](uint64_t id, const Rect&) { ids.push_back(id); });
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(RTreeTest, EmptyTree) {
+  RTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_TRUE(SearchIds(tree, Rect{0, 0, 1, 1}).empty());
+  EXPECT_TRUE(tree.CheckStructure());
+}
+
+TEST(RTreeTest, SingleEntry) {
+  RTree tree;
+  tree.Insert(1, Rect{0.2, 0.2, 0.4, 0.4});
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(SearchIds(tree, Rect{0.3, 0.3, 0.5, 0.5}),
+            std::vector<uint64_t>{1});
+  EXPECT_TRUE(SearchIds(tree, Rect{0.5, 0.5, 0.6, 0.6}).empty());
+}
+
+TEST(RTreeTest, SearchPointHitsContainingRects) {
+  RTree tree;
+  tree.Insert(1, Rect{0.0, 0.0, 0.5, 0.5});
+  tree.Insert(2, Rect{0.4, 0.4, 1.0, 1.0});
+  std::vector<uint64_t> ids;
+  tree.SearchPoint(Point{0.45, 0.45},
+                   [&](uint64_t id, const Rect&) { ids.push_back(id); });
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<uint64_t>{1, 2}));
+}
+
+TEST(RTreeTest, SplitsKeepStructureValid) {
+  RTree tree;
+  // Enough entries to force several levels with M = 8.
+  for (uint64_t id = 0; id < 200; ++id) {
+    const double x = static_cast<double>(id % 20) / 20.0;
+    const double y = static_cast<double>(id / 20) / 10.0;
+    tree.Insert(id, Rect{x, y, x + 0.01, y + 0.01});
+  }
+  EXPECT_EQ(tree.size(), 200u);
+  EXPECT_GT(tree.height(), 1);
+  EXPECT_TRUE(tree.CheckStructure());
+}
+
+TEST(RTreeTest, RemoveExistingAndMissing) {
+  RTree tree;
+  const Rect r{0.1, 0.1, 0.2, 0.2};
+  tree.Insert(1, r);
+  EXPECT_FALSE(tree.Remove(1, Rect{0.1, 0.1, 0.3, 0.3}));  // wrong rect
+  EXPECT_FALSE(tree.Remove(2, r));                          // wrong id
+  EXPECT_TRUE(tree.Remove(1, r));
+  EXPECT_TRUE(tree.empty());
+  EXPECT_FALSE(tree.Remove(1, r));  // already gone
+}
+
+TEST(RTreeTest, DuplicateEntriesActIndependently) {
+  RTree tree;
+  const Rect r{0.1, 0.1, 0.2, 0.2};
+  tree.Insert(1, r);
+  tree.Insert(1, r);
+  EXPECT_EQ(tree.size(), 2u);
+  EXPECT_TRUE(tree.Remove(1, r));
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(SearchIds(tree, r), std::vector<uint64_t>{1});
+}
+
+TEST(RTreeTest, CondensationAfterMassDeletion) {
+  RTree tree;
+  std::vector<Rect> rects;
+  Xorshift128Plus rng(5);
+  for (uint64_t id = 0; id < 300; ++id) {
+    rects.push_back(RandomRect(&rng, 0.05));
+    tree.Insert(id, rects.back());
+  }
+  // Delete most entries; the tree must shrink and stay valid.
+  for (uint64_t id = 0; id < 280; ++id) {
+    ASSERT_TRUE(tree.Remove(id, rects[id])) << "id " << id;
+    if (id % 50 == 0) {
+      EXPECT_TRUE(tree.CheckStructure());
+    }
+  }
+  EXPECT_EQ(tree.size(), 20u);
+  EXPECT_TRUE(tree.CheckStructure());
+  for (uint64_t id = 280; id < 300; ++id) {
+    EXPECT_EQ(SearchIds(tree, rects[id]).empty(), false);
+  }
+}
+
+TEST(RTreeTest, LargerFanoutOption) {
+  RTree::Options options;
+  options.max_entries = 16;
+  RTree tree(options);
+  Xorshift128Plus rng(6);
+  for (uint64_t id = 0; id < 500; ++id) {
+    tree.Insert(id, RandomRect(&rng, 0.02));
+  }
+  EXPECT_TRUE(tree.CheckStructure());
+}
+
+// Property: search results always equal a linear scan, across a random
+// interleaving of inserts and deletes.
+TEST(RTreeTest, RandomizedEquivalenceWithLinearScan) {
+  RTree tree;
+  Xorshift128Plus rng(12345);
+  std::vector<std::pair<uint64_t, Rect>> reference;
+  uint64_t next_id = 0;
+
+  for (int step = 0; step < 1500; ++step) {
+    const double action = rng.NextDouble();
+    if (action < 0.6 || reference.empty()) {
+      const Rect r = RandomRect(&rng, 0.1);
+      tree.Insert(next_id, r);
+      reference.emplace_back(next_id, r);
+      ++next_id;
+    } else {
+      const size_t victim = rng.NextUint64(reference.size());
+      ASSERT_TRUE(
+          tree.Remove(reference[victim].first, reference[victim].second));
+      reference[victim] = reference.back();
+      reference.pop_back();
+    }
+
+    if (step % 100 == 0) {
+      ASSERT_TRUE(tree.CheckStructure()) << "step " << step;
+    }
+    if (step % 20 == 0) {
+      const Rect window = RandomRect(&rng, 0.4);
+      std::vector<uint64_t> expected;
+      for (const auto& [id, r] : reference) {
+        if (r.Intersects(window)) expected.push_back(id);
+      }
+      std::sort(expected.begin(), expected.end());
+      EXPECT_EQ(SearchIds(tree, window), expected) << "step " << step;
+    }
+  }
+  EXPECT_EQ(tree.size(), reference.size());
+}
+
+TEST(RTreeTest, HeightGrowsLogarithmically) {
+  RTree tree;
+  Xorshift128Plus rng(9);
+  for (uint64_t id = 0; id < 2000; ++id) {
+    tree.Insert(id, RandomRect(&rng, 0.01));
+  }
+  // With M = 8 and 2000 entries the height stays small.
+  EXPECT_LE(tree.height(), 6);
+  EXPECT_TRUE(tree.CheckStructure());
+}
+
+}  // namespace
+}  // namespace stq

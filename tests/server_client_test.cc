@@ -1,0 +1,305 @@
+// Tests for the location-aware server facade: client channels, commit
+// protocol (explicit + auto-commit on hearing from a moving query),
+// out-of-sync recovery under both policies, and byte accounting.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stq/baseline/naive_recovery.h"
+#include "stq/common/random.h"
+#include "stq/core/client.h"
+#include "stq/core/server.h"
+
+namespace stq {
+namespace {
+
+Server::Options DefaultOptions() {
+  Server::Options options;
+  options.processor.grid_cells_per_side = 8;
+  return options;
+}
+
+TEST(ClientTest, AppliesUpdatesIdempotently) {
+  Client client(1);
+  client.ApplyUpdates({Update::Positive(1, 5), Update::Positive(1, 5)});
+  EXPECT_EQ(client.SortedAnswerOf(1), std::vector<ObjectId>{5});
+  client.ApplyUpdates({Update::Negative(1, 5), Update::Negative(1, 7)});
+  EXPECT_TRUE(client.SortedAnswerOf(1).empty());
+  EXPECT_EQ(client.updates_applied(), 4u);
+}
+
+TEST(ClientTest, TracksQueriesIndependently) {
+  Client client(1);
+  client.ApplyUpdates({Update::Positive(1, 5), Update::Positive(2, 6)});
+  EXPECT_EQ(client.num_tracked_queries(), 2u);
+  client.DropQuery(1);
+  EXPECT_EQ(client.num_tracked_queries(), 1u);
+  EXPECT_TRUE(client.AnswerOf(1).empty());
+  EXPECT_EQ(client.SortedAnswerOf(2), std::vector<ObjectId>{6});
+}
+
+TEST(ClientTest, CommitAndRollback) {
+  Client client(1);
+  client.ApplyUpdates({Update::Positive(1, 5), Update::Positive(2, 6)});
+  client.Commit(1);  // query 2 never committed
+  client.ApplyUpdates({Update::Positive(1, 7), Update::Negative(1, 5),
+                       Update::Positive(2, 8)});
+  EXPECT_EQ(client.SortedAnswerOf(1), std::vector<ObjectId>{7});
+  client.RollbackToCommitted();
+  EXPECT_EQ(client.SortedAnswerOf(1), std::vector<ObjectId>{5});
+  EXPECT_TRUE(client.SortedAnswerOf(2).empty());  // uncommitted -> empty
+}
+
+TEST(ClientTest, CommitAllSnapshotsEverything) {
+  Client client(1);
+  client.ApplyUpdates({Update::Positive(1, 5), Update::Positive(2, 6)});
+  client.CommitAll();
+  client.ApplyUpdates({Update::Negative(1, 5), Update::Negative(2, 6)});
+  client.RollbackToCommitted();
+  EXPECT_EQ(client.SortedAnswerOf(1), std::vector<ObjectId>{5});
+  EXPECT_EQ(client.SortedAnswerOf(2), std::vector<ObjectId>{6});
+}
+
+TEST(ServerTest, AttachAndConnectionState) {
+  Server server(DefaultOptions());
+  EXPECT_FALSE(server.IsConnected(1));
+  ASSERT_TRUE(server.AttachClient(1).ok());
+  EXPECT_TRUE(server.IsConnected(1));
+  EXPECT_TRUE(server.AttachClient(1).IsAlreadyExists());
+  ASSERT_TRUE(server.DisconnectClient(1).ok());
+  EXPECT_FALSE(server.IsConnected(1));
+  EXPECT_TRUE(server.DisconnectClient(9).IsNotFound());
+  EXPECT_FALSE(server.ReconnectClient(9).ok());
+}
+
+TEST(ServerTest, RegistrationRequiresAttachedClient) {
+  Server server(DefaultOptions());
+  EXPECT_EQ(server.RegisterRangeQuery(1, 99, Rect{0, 0, 1, 1}).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ServerTest, TickRoutesUpdatesPerClient) {
+  Server server(DefaultOptions());
+  ASSERT_TRUE(server.AttachClient(1).ok());
+  ASSERT_TRUE(server.AttachClient(2).ok());
+  ASSERT_TRUE(server.RegisterRangeQuery(1, 1, Rect{0.0, 0.0, 0.3, 0.3}).ok());
+  ASSERT_TRUE(server.RegisterRangeQuery(2, 2, Rect{0.7, 0.7, 1.0, 1.0}).ok());
+  ASSERT_TRUE(server.ReportObject(1, Point{0.1, 0.1}, 0.0).ok());
+  ASSERT_TRUE(server.ReportObject(2, Point{0.9, 0.9}, 0.0).ok());
+
+  const std::vector<Server::Delivery> deliveries = server.Tick(1.0);
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0].client, 1u);
+  EXPECT_EQ(deliveries[0].updates, std::vector<Update>{Update::Positive(1, 1)});
+  EXPECT_EQ(deliveries[1].client, 2u);
+  EXPECT_EQ(deliveries[1].updates, std::vector<Update>{Update::Positive(2, 2)});
+  EXPECT_EQ(server.total_bytes_shipped(),
+            DefaultOptions().processor.wire_cost.UpdateBytes(2));
+}
+
+TEST(ServerTest, UnboundQueryUpdatesHaveNoChannel) {
+  Server server(DefaultOptions());
+  // Register the query directly on the processor, bypassing binding.
+  ASSERT_TRUE(
+      server.processor().RegisterRangeQuery(1, Rect{0, 0, 1, 1}).ok());
+  ASSERT_TRUE(server.ReportObject(1, Point{0.5, 0.5}, 0.0).ok());
+  const std::vector<Server::Delivery> deliveries = server.Tick(1.0);
+  EXPECT_TRUE(deliveries.empty());
+  EXPECT_EQ(server.last_tick().updates.size(), 1u);
+}
+
+TEST(ServerTest, AutoCommitOnHearingFromMovingQuery) {
+  Server server(DefaultOptions());
+  Client client(1);
+  ASSERT_TRUE(server.AttachClient(1).ok());
+  ASSERT_TRUE(server.RegisterRangeQuery(1, 1, Rect{0.0, 0.0, 0.3, 0.3}).ok());
+  ASSERT_TRUE(server.ReportObject(1, Point{0.1, 0.1}, 0.0).ok());
+  for (const auto& d : server.Tick(1.0)) client.ApplyUpdates(d.updates);
+
+  // The moving query reports a new region: its latest answer commits on
+  // both sides (the uplink message originates at the client).
+  ASSERT_TRUE(server.MoveRangeQuery(1, Rect{0.05, 0.05, 0.35, 0.35}).ok());
+  client.Commit(1);
+
+  // Disconnect before the move is even evaluated; the tick's updates are
+  // lost, but recovery starts from the committed {p1}.
+  ASSERT_TRUE(server.DisconnectClient(1).ok());
+  ASSERT_TRUE(server.ReportObject(2, Point{0.2, 0.2}, 2.0).ok());
+  server.Tick(2.0);
+
+  Result<Server::Delivery> recovery = server.ReconnectClient(1);
+  ASSERT_TRUE(recovery.ok());
+  EXPECT_EQ(recovery->updates, std::vector<Update>{Update::Positive(1, 2)});
+  client.RollbackToCommitted();
+  client.ApplyUpdates(recovery->updates);
+  EXPECT_EQ(client.SortedAnswerOf(1), (std::vector<ObjectId>{1, 2}));
+}
+
+TEST(ServerTest, NoAutoCommitWhileDisconnected) {
+  Server server(DefaultOptions());
+  ASSERT_TRUE(server.AttachClient(1).ok());
+  ASSERT_TRUE(server.RegisterRangeQuery(1, 1, Rect{0.0, 0.0, 0.3, 0.3}).ok());
+  ASSERT_TRUE(server.ReportObject(1, Point{0.1, 0.1}, 0.0).ok());
+  server.Tick(1.0);  // answer {p1} delivered but never committed
+
+  ASSERT_TRUE(server.DisconnectClient(1).ok());
+  // The query's uplink still works while its downlink is dead; this must
+  // NOT commit (the client may have missed earlier deliveries).
+  ASSERT_TRUE(server.MoveRangeQuery(1, Rect{0.0, 0.0, 0.3, 0.3}).ok());
+  server.Tick(2.0);
+
+  // Recovery baseline is the empty set: the full answer is replayed.
+  Result<Server::Delivery> recovery = server.ReconnectClient(1);
+  ASSERT_TRUE(recovery.ok());
+  EXPECT_EQ(recovery->updates, std::vector<Update>{Update::Positive(1, 1)});
+}
+
+TEST(ServerTest, ExplicitCommitForStationaryQueries) {
+  Server server(DefaultOptions());
+  ASSERT_TRUE(server.AttachClient(1).ok());
+  ASSERT_TRUE(server.RegisterRangeQuery(1, 1, Rect{0.4, 0.4, 0.6, 0.6}).ok());
+  ASSERT_TRUE(server.ReportObject(1, Point{0.5, 0.5}, 0.0).ok());
+  server.Tick(1.0);
+  ASSERT_TRUE(server.CommitQuery(1).ok());
+  EXPECT_TRUE(server.CommitQuery(99).IsNotFound());
+
+  ASSERT_TRUE(server.DisconnectClient(1).ok());
+  server.Tick(2.0);  // nothing changed
+  Result<Server::Delivery> recovery = server.ReconnectClient(1);
+  ASSERT_TRUE(recovery.ok());
+  EXPECT_TRUE(recovery->updates.empty());  // committed == current
+  EXPECT_EQ(recovery->bytes, 0u);
+}
+
+TEST(ServerTest, RecoveryCommitsRecoveredAnswer) {
+  Server server(DefaultOptions());
+  ASSERT_TRUE(server.AttachClient(1).ok());
+  ASSERT_TRUE(server.RegisterRangeQuery(1, 1, Rect{0.4, 0.4, 0.6, 0.6}).ok());
+  ASSERT_TRUE(server.ReportObject(1, Point{0.5, 0.5}, 0.0).ok());
+  server.Tick(1.0);
+  ASSERT_TRUE(server.DisconnectClient(1).ok());
+  ASSERT_TRUE(server.ReconnectClient(1).ok());
+  // A second immediate reconnect finds committed == current.
+  ASSERT_TRUE(server.DisconnectClient(1).ok());
+  Result<Server::Delivery> second = server.ReconnectClient(1);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->updates.empty());
+}
+
+TEST(ServerTest, UnregisterScrubsBindingAndCommit) {
+  Server server(DefaultOptions());
+  ASSERT_TRUE(server.AttachClient(1).ok());
+  ASSERT_TRUE(server.RegisterRangeQuery(1, 1, Rect{0.4, 0.4, 0.6, 0.6}).ok());
+  ASSERT_TRUE(server.ReportObject(1, Point{0.5, 0.5}, 0.0).ok());
+  server.Tick(1.0);
+  ASSERT_TRUE(server.CommitQuery(1).ok());
+  ASSERT_TRUE(server.UnregisterQuery(1).ok());
+  server.Tick(2.0);
+  // Recovery after unregistration mentions nothing about the dead query.
+  ASSERT_TRUE(server.DisconnectClient(1).ok());
+  Result<Server::Delivery> recovery = server.ReconnectClient(1);
+  ASSERT_TRUE(recovery.ok());
+  EXPECT_TRUE(recovery->updates.empty());
+  EXPECT_TRUE(recovery->full_answers.empty());
+}
+
+// Randomized out-of-sync property: under arbitrary disconnect /
+// reconnect / commit interleavings, a client that applies everything it
+// receives (ticks while connected + recovery deltas) always converges to
+// the server's answer at reconnect time.
+TEST(ServerTest, RandomizedRecoveryConvergence) {
+  Server server(DefaultOptions());
+  Client client(1);
+  Xorshift128Plus rng(2024);
+
+  ASSERT_TRUE(server.AttachClient(1).ok());
+  for (QueryId qid = 1; qid <= 6; ++qid) {
+    ASSERT_TRUE(server.RegisterRangeQuery(
+                      qid, 1,
+                      Rect::CenteredSquare(
+                          Point{rng.NextDouble(), rng.NextDouble()}, 0.3))
+                    .ok());
+  }
+  for (ObjectId id = 1; id <= 60; ++id) {
+    ASSERT_TRUE(server.ReportObject(
+                      id, Point{rng.NextDouble(), rng.NextDouble()}, 0.0)
+                    .ok());
+  }
+
+  bool connected = true;
+  for (int tick = 1; tick <= 40; ++tick) {
+    const double now = static_cast<double>(tick);
+    for (ObjectId id = 1; id <= 60; ++id) {
+      if (rng.NextBool(0.3)) {
+        ASSERT_TRUE(server.ReportObject(
+                          id, Point{rng.NextDouble(), rng.NextDouble()}, now)
+                        .ok());
+      }
+    }
+    for (QueryId qid = 1; qid <= 6; ++qid) {
+      if (rng.NextBool(0.3)) {
+        ASSERT_TRUE(server.MoveRangeQuery(
+                          qid, Rect::CenteredSquare(
+                                   Point{rng.NextDouble(), rng.NextDouble()},
+                                   0.3))
+                        .ok());
+        // Hearing from a moving query auto-commits its latest answer on
+        // the server (when the channel is up); the query's device commits
+        // the same snapshot on its side.
+        if (connected) client.Commit(qid);
+      }
+    }
+    for (const Server::Delivery& d : server.Tick(now)) {
+      EXPECT_EQ(d.delivered, connected);
+      if (d.delivered) client.ApplyUpdates(d.updates);
+    }
+    if (connected && rng.NextBool(0.3)) {
+      ASSERT_TRUE(server.DisconnectClient(1).ok());
+      connected = false;
+    } else if (!connected && rng.NextBool(0.4)) {
+      Result<Server::Delivery> recovery = server.ReconnectClient(1);
+      ASSERT_TRUE(recovery.ok());
+      // Protocol: roll back to the committed snapshot, apply the wakeup
+      // delta, and treat the recovered answers as committed on both sides.
+      client.RollbackToCommitted();
+      client.ApplyUpdates(recovery->updates);
+      client.CommitAll();
+      connected = true;
+    }
+    if (connected && rng.NextBool(0.2)) {
+      // An explicit commit message is client-initiated: both sides
+      // snapshot the same answer (the client is in sync while connected).
+      const QueryId qid = 1 + rng.NextUint64(6);
+      ASSERT_TRUE(server.CommitQuery(qid).ok());
+      client.Commit(qid);
+    }
+
+    if (connected) {
+      for (QueryId qid = 1; qid <= 6; ++qid) {
+        Result<std::vector<ObjectId>> truth =
+            server.processor().CurrentAnswer(qid);
+        ASSERT_TRUE(truth.ok());
+        EXPECT_EQ(client.SortedAnswerOf(qid), *truth)
+            << "query " << qid << " tick " << tick;
+      }
+    }
+  }
+}
+
+TEST(NaiveRecoveryTest, FullResendBytesMatchAnswerSizes) {
+  QueryProcessor qp;
+  ASSERT_TRUE(qp.RegisterRangeQuery(1, Rect{0.0, 0.0, 1.0, 1.0}).ok());
+  ASSERT_TRUE(qp.RegisterRangeQuery(2, Rect{0.0, 0.0, 0.0001, 0.0001}).ok());
+  for (ObjectId id = 1; id <= 25; ++id) {
+    ASSERT_TRUE(qp.UpsertObject(id, Point{0.5, 0.5}, 0.0).ok());
+  }
+  qp.EvaluateTick(0.0);
+  WireCostModel model;
+  EXPECT_EQ(FullAnswerResendBytes(qp, {1, 2}, model),
+            model.CompleteAnswerBytes(25) + model.CompleteAnswerBytes(0));
+  EXPECT_EQ(FullAnswerResendBytes(qp, {42}, model), 0u);  // unknown query
+}
+
+}  // namespace
+}  // namespace stq

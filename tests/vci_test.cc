@@ -1,0 +1,137 @@
+// Tests for the Velocity-Constrained Indexing baseline: staleness slack,
+// rebuild policy, and answer equivalence with the snapshot ground truth
+// whenever objects respect the speed bound.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stq/baseline/snapshot_processor.h"
+#include "stq/baseline/vci_processor.h"
+#include "stq/common/random.h"
+
+namespace stq {
+namespace {
+
+VciProcessor::Options TestOptions(double max_speed = 0.01,
+                                  double refresh = 1000.0) {
+  VciProcessor::Options options;
+  options.max_speed = max_speed;
+  options.refresh_interval = refresh;
+  return options;
+}
+
+TEST(VciProcessorTest, BasicLifecycle) {
+  VciProcessor vci(TestOptions());
+  EXPECT_TRUE(vci.RemoveObject(1).IsNotFound());
+  ASSERT_TRUE(vci.UpsertObject(1, Point{0.5, 0.5}, 0.0).ok());
+  EXPECT_TRUE(vci.UpsertObject(1, Point{0.6, 0.6}, -1.0).IsInvalidArgument());
+  ASSERT_TRUE(vci.RegisterRangeQuery(1, Rect{0.4, 0.4, 0.6, 0.6}).ok());
+  EXPECT_TRUE(vci.RegisterRangeQuery(1, Rect{0, 0, 1, 1}).IsAlreadyExists());
+  EXPECT_TRUE(vci.RegisterRangeQuery(2, Rect::Empty()).IsInvalidArgument());
+
+  SnapshotResult r = vci.EvaluateTick(0.0);
+  ASSERT_EQ(r.answers.size(), 1u);
+  EXPECT_EQ(r.answers[0].second, std::vector<ObjectId>{1});
+
+  ASSERT_TRUE(vci.RemoveObject(1).ok());
+  ASSERT_TRUE(vci.UnregisterQuery(1).ok());
+  EXPECT_TRUE(vci.UnregisterQuery(1).IsNotFound());
+}
+
+TEST(VciProcessorTest, StaleIndexStillFindsMovedObjects) {
+  // The object drifts away from its indexed position; the expanded search
+  // must keep finding it as long as it respects the speed bound.
+  VciProcessor vci(TestOptions(/*max_speed=*/0.01, /*refresh=*/1000.0));
+  ASSERT_TRUE(vci.UpsertObject(1, Point{0.10, 0.5}, 0.0).ok());
+  ASSERT_TRUE(vci.RegisterRangeQuery(1, Rect{0.28, 0.4, 0.40, 0.6}).ok());
+
+  // Move in bound-respecting steps toward the query region; the index
+  // entry stays at x=0.10 the whole time.
+  double x = 0.10;
+  for (int tick = 1; tick <= 25; ++tick) {
+    x += 0.009;  // < max_speed * 1s per tick
+    ASSERT_TRUE(
+        vci.UpsertObject(1, Point{x, 0.5}, static_cast<double>(tick)).ok());
+    const SnapshotResult r = vci.EvaluateTick(static_cast<double>(tick));
+    const bool inside = x >= 0.28 && x <= 0.40;
+    EXPECT_EQ(r.answers[0].second,
+              inside ? std::vector<ObjectId>{1} : std::vector<ObjectId>{})
+        << "tick " << tick << " x=" << x;
+  }
+  EXPECT_EQ(vci.rebuilds(), 0u);
+  EXPECT_GT(vci.SlackAt(25.0), 0.2);
+}
+
+TEST(VciProcessorTest, RefreshIntervalTriggersRebuild) {
+  VciProcessor vci(TestOptions(0.01, /*refresh=*/10.0));
+  ASSERT_TRUE(vci.UpsertObject(1, Point{0.5, 0.5}, 0.0).ok());
+  ASSERT_TRUE(vci.RegisterRangeQuery(1, Rect{0.0, 0.0, 1.0, 1.0}).ok());
+  vci.EvaluateTick(5.0);
+  EXPECT_EQ(vci.rebuilds(), 0u);
+  vci.EvaluateTick(15.0);  // older than the interval
+  EXPECT_EQ(vci.rebuilds(), 1u);
+  EXPECT_LT(vci.SlackAt(15.0), 1e-12);  // fresh index, no slack
+}
+
+TEST(VciProcessorTest, RebuildEveryTickWhenIntervalNonPositive) {
+  VciProcessor vci(TestOptions(0.01, /*refresh=*/0.0));
+  ASSERT_TRUE(vci.UpsertObject(1, Point{0.5, 0.5}, 0.0).ok());
+  vci.EvaluateTick(1.0);
+  vci.EvaluateTick(2.0);
+  EXPECT_EQ(vci.rebuilds(), 2u);
+}
+
+// Property: with the speed bound respected, VCI's answers equal the
+// snapshot ground truth across random workloads and rare rebuilds.
+TEST(VciProcessorTest, RandomizedEquivalenceWithSnapshot) {
+  const double kMaxSpeed = 0.02;
+  VciProcessor vci(TestOptions(kMaxSpeed, /*refresh=*/37.0));
+  QueryProcessorOptions snapshot_options;
+  snapshot_options.grid_cells_per_side = 16;
+  SnapshotProcessor snapshot(snapshot_options);
+  Xorshift128Plus rng(1234);
+
+  std::vector<Point> locs(150);
+  for (ObjectId id = 1; id <= 150; ++id) {
+    locs[id - 1] = Point{rng.NextDouble(), rng.NextDouble()};
+    ASSERT_TRUE(vci.UpsertObject(id, locs[id - 1], 0.0).ok());
+    ASSERT_TRUE(snapshot.UpsertObject(id, locs[id - 1], 0.0).ok());
+  }
+  for (QueryId qid = 1; qid <= 30; ++qid) {
+    const Rect region = Rect::CenteredSquare(
+        Point{rng.NextDouble(), rng.NextDouble()}, 0.2);
+    ASSERT_TRUE(vci.RegisterRangeQuery(qid, region).ok());
+    ASSERT_TRUE(snapshot.RegisterRangeQuery(qid, region).ok());
+  }
+
+  for (int tick = 1; tick <= 30; ++tick) {
+    const double now = tick * 5.0;
+    for (ObjectId id = 1; id <= 150; ++id) {
+      if (!rng.NextBool(0.5)) continue;
+      // Bounded step (respects kMaxSpeed over the 5 s period).
+      Point& p = locs[id - 1];
+      const double step = kMaxSpeed * 5.0;
+      p.x = std::clamp(p.x + rng.NextDouble(-step, step), 0.0, 1.0);
+      p.y = std::clamp(p.y + rng.NextDouble(-step, step), 0.0, 1.0);
+      ASSERT_TRUE(vci.UpsertObject(id, p, now).ok());
+      ASSERT_TRUE(snapshot.UpsertObject(id, p, now).ok());
+    }
+    const SnapshotResult actual = vci.EvaluateTick(now);
+    const SnapshotResult expected = snapshot.EvaluateTick(now);
+    ASSERT_EQ(actual.answers.size(), expected.answers.size());
+    for (size_t i = 0; i < expected.answers.size(); ++i) {
+      EXPECT_EQ(actual.answers[i], expected.answers[i])
+          << "query " << expected.answers[i].first << " tick " << tick;
+    }
+  }
+  EXPECT_GT(vci.rebuilds(), 1u);  // the interval fired along the way
+}
+
+TEST(VciProcessorTest, SlackZeroWhenEmpty) {
+  VciProcessor vci(TestOptions());
+  EXPECT_DOUBLE_EQ(vci.SlackAt(100.0), 0.0);
+}
+
+}  // namespace
+}  // namespace stq
