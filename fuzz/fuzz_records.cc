@@ -1,0 +1,195 @@
+// Fuzzes the record payload decoders in stq/storage/records.cc.
+//
+// Input layout: [selector: 1 byte][payload: rest]. The selector picks the
+// decoder. Every decoder must return a Status — ok or Corruption — and
+// never crash, leak, over-read (ASan), or attempt an absurd allocation
+// (the DecodeCommit count hazard). When a decode succeeds, re-encoding
+// the decoded value and decoding it again must also succeed (the decoders
+// accept everything the encoders emit).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz_harness.h"
+#include "stq/common/check.h"
+#include "stq/storage/records.h"
+
+namespace {
+
+void CheckDecodesAfterReencode(const std::string& reencoded, int selector) {
+  using namespace stq;
+  Status s;
+  switch (selector) {
+    case 0: {
+      PersistedObject o;
+      s = DecodeObjectUpsert(reencoded, &o);
+      break;
+    }
+    case 1: {
+      ObjectId id = 0;
+      s = DecodeObjectRemove(reencoded, &id);
+      break;
+    }
+    case 2: {
+      PersistedQuery q;
+      s = DecodeQueryRegister(reencoded, &q);
+      break;
+    }
+    case 3: {
+      QueryId id = 0;
+      Rect r;
+      s = DecodeQueryMoveRect(reencoded, &id, &r);
+      break;
+    }
+    case 4: {
+      QueryId id = 0;
+      Point p;
+      s = DecodeQueryMoveCenter(reencoded, &id, &p);
+      break;
+    }
+    case 5: {
+      QueryId id = 0;
+      s = DecodeQueryUnregister(reencoded, &id);
+      break;
+    }
+    case 6: {
+      PersistedCommit c;
+      s = DecodeCommit(reencoded, &c);
+      break;
+    }
+    default: {
+      Timestamp t = 0.0;
+      s = DecodeTick(reencoded, &t);
+      break;
+    }
+  }
+  STQ_CHECK(s.ok()) << "re-encoded payload failed to decode: " << s.ToString();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace stq;
+  if (size == 0) return 0;
+  const int selector = data[0] % 8;
+  const std::string payload(reinterpret_cast<const char*>(data + 1), size - 1);
+
+  std::string reencoded;
+  Status s;
+  switch (selector) {
+    case 0: {
+      PersistedObject o;
+      s = DecodeObjectUpsert(payload, &o);
+      if (s.ok()) EncodeObjectUpsert(o, &reencoded);
+      break;
+    }
+    case 1: {
+      ObjectId id = 0;
+      s = DecodeObjectRemove(payload, &id);
+      if (s.ok()) EncodeObjectRemove(id, &reencoded);
+      break;
+    }
+    case 2: {
+      PersistedQuery q;
+      s = DecodeQueryRegister(payload, &q);
+      if (s.ok()) EncodeQueryRegister(q, &reencoded);
+      break;
+    }
+    case 3: {
+      QueryId id = 0;
+      Rect r;
+      s = DecodeQueryMoveRect(payload, &id, &r);
+      if (s.ok()) EncodeQueryMoveRect(id, r, &reencoded);
+      break;
+    }
+    case 4: {
+      QueryId id = 0;
+      Point p;
+      s = DecodeQueryMoveCenter(payload, &id, &p);
+      if (s.ok()) EncodeQueryMoveCenter(id, p, &reencoded);
+      break;
+    }
+    case 5: {
+      QueryId id = 0;
+      s = DecodeQueryUnregister(payload, &id);
+      if (s.ok()) EncodeQueryUnregister(id, &reencoded);
+      break;
+    }
+    case 6: {
+      PersistedCommit c;
+      s = DecodeCommit(payload, &c);
+      if (s.ok()) EncodeCommit(c, &reencoded);
+      break;
+    }
+    default: {
+      Timestamp t = 0.0;
+      s = DecodeTick(payload, &t);
+      if (s.ok()) EncodeTick(t, &reencoded);
+      break;
+    }
+  }
+  STQ_CHECK(s.ok() || s.IsCorruption())
+      << "decoder returned unexpected status: " << s.ToString();
+  if (s.ok()) CheckDecodesAfterReencode(reencoded, selector);
+  return 0;
+}
+
+void StqFuzzSeedCorpus(std::vector<std::string>* seeds) {
+  using namespace stq;
+  {
+    PersistedObject o;
+    o.id = 42;
+    o.loc = Point{0.25, 0.5};
+    o.vel = Velocity{0.01, -0.01};
+    o.t = 7.0;
+    o.predictive = true;
+    std::string s(1, '\0');  // selector 0
+    EncodeObjectUpsert(o, &s);
+    seeds->push_back(s);
+  }
+  {
+    std::string s(1, '\1');
+    EncodeObjectRemove(42, &s);
+    seeds->push_back(s);
+  }
+  {
+    PersistedQuery q;
+    q.id = 7;
+    q.kind = QueryKind::kKnn;
+    q.center = Point{0.5, 0.5};
+    q.k = 3;
+    q.owner = 1;
+    std::string s(1, '\2');
+    EncodeQueryRegister(q, &s);
+    seeds->push_back(s);
+  }
+  {
+    std::string s(1, '\3');
+    EncodeQueryMoveRect(7, Rect{0.1, 0.1, 0.4, 0.4}, &s);
+    seeds->push_back(s);
+  }
+  {
+    std::string s(1, '\4');
+    EncodeQueryMoveCenter(7, Point{0.9, 0.2}, &s);
+    seeds->push_back(s);
+  }
+  {
+    std::string s(1, '\5');
+    EncodeQueryUnregister(7, &s);
+    seeds->push_back(s);
+  }
+  {
+    PersistedCommit c;
+    c.id = 7;
+    c.answer = {1, 2, 3, 42};
+    std::string s(1, '\6');
+    EncodeCommit(c, &s);
+    seeds->push_back(s);
+  }
+  {
+    std::string s(1, '\7');
+    EncodeTick(12.5, &s);
+    seeds->push_back(s);
+  }
+}

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
-#include "stq/common/logging.h"
+#include "stq/common/check.h"
 #include "stq/core/circle_evaluator.h"
 #include "stq/core/predictive_evaluator.h"
 #include "stq/core/range_evaluator.h"

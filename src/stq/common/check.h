@@ -1,0 +1,100 @@
+// Assertion subsystem of the stq library.
+//
+//   STQ_CHECK(n > 0) << "need at least one cell, got " << n;
+//   STQ_CHECK_EQ(got, want) << "while replaying the WAL";
+//   STQ_DCHECK(IsSorted(qlist));   // audit builds only
+//
+// STQ_CHECK and its comparison forms are always on: they guard
+// data-structure invariants that must hold in release builds too, and a
+// failure aborts the process after flushing the streamed message
+// (recoverable conditions are reported through Status instead).
+//
+// STQ_DCHECK and its comparison forms are the expensive-audit tier. They
+// compile to nothing unless the build defines STQ_ENABLE_INVARIANT_CHECKS
+// (cmake -DSTQ_ENABLE_INVARIANT_CHECKS=ON) or is an unoptimized build
+// (NDEBUG undefined). When compiled out, neither the condition nor the
+// streamed operands are evaluated, but both still type-check.
+//
+// The comparison forms re-evaluate their operands when building the
+// failure message; do not pass side-effecting expressions.
+
+#ifndef STQ_COMMON_CHECK_H_
+#define STQ_COMMON_CHECK_H_
+
+#include "stq/common/logging.h"
+#include "stq/common/status.h"
+
+#if defined(STQ_ENABLE_INVARIANT_CHECKS) || !defined(NDEBUG)
+#define STQ_DCHECK_IS_ON 1
+#else
+#define STQ_DCHECK_IS_ON 0
+#endif
+
+// Fatal assertion with streaming context.
+#define STQ_CHECK(cond)                                        \
+  (cond) ? (void)0                                             \
+         : ::stq::internal_logging::Voidify() &                \
+               (::stq::internal_logging::LogMessage(           \
+                    ::stq::LogSeverity::kFatal, __FILE__,      \
+                    __LINE__)                                  \
+                << "Check failed: " #cond " ")
+
+// Comparison forms; the failure message shows both operand values. The
+// `op` parameter is an operator token and cannot be parenthesized.
+// NOLINTNEXTLINE(bugprone-macro-parentheses)
+#define STQ_CHECK_OP_(op, a, b)                                \
+  ((a)op(b)) ? (void)0                                         \
+             : ::stq::internal_logging::Voidify() &            \
+                   (::stq::internal_logging::LogMessage(       \
+                        ::stq::LogSeverity::kFatal, __FILE__,  \
+                        __LINE__)                              \
+                    << "Check failed: " #a " " #op " " #b      \
+                    << " (" << (a) << " vs. " << (b) << ") ")
+
+#define STQ_CHECK_EQ(a, b) STQ_CHECK_OP_(==, a, b)
+#define STQ_CHECK_NE(a, b) STQ_CHECK_OP_(!=, a, b)
+#define STQ_CHECK_LT(a, b) STQ_CHECK_OP_(<, a, b)
+#define STQ_CHECK_LE(a, b) STQ_CHECK_OP_(<=, a, b)
+#define STQ_CHECK_GT(a, b) STQ_CHECK_OP_(>, a, b)
+#define STQ_CHECK_GE(a, b) STQ_CHECK_OP_(>=, a, b)
+
+// Asserts that a Status-returning expression succeeded. (A statement, not
+// an expression: no extra context can be streamed onto it.)
+#define STQ_CHECK_OK(expr)                                     \
+  do {                                                         \
+    const ::stq::Status _stq_check_ok_status = (expr);         \
+    STQ_CHECK(_stq_check_ok_status.ok())                       \
+        << _stq_check_ok_status.ToString() << " ";             \
+  } while (0)
+
+#if STQ_DCHECK_IS_ON
+
+#define STQ_DCHECK(cond) STQ_CHECK(cond)
+#define STQ_DCHECK_EQ(a, b) STQ_CHECK_EQ(a, b)
+#define STQ_DCHECK_NE(a, b) STQ_CHECK_NE(a, b)
+#define STQ_DCHECK_LT(a, b) STQ_CHECK_LT(a, b)
+#define STQ_DCHECK_LE(a, b) STQ_CHECK_LE(a, b)
+#define STQ_DCHECK_GT(a, b) STQ_CHECK_GT(a, b)
+#define STQ_DCHECK_GE(a, b) STQ_CHECK_GE(a, b)
+
+#else  // !STQ_DCHECK_IS_ON
+
+// Compiled out: the condition and streamed operands still type-check but
+// are never evaluated ((true || x) short-circuits; the dead branch
+// swallows the stream).
+#define STQ_DCHECK_EAT_(cond)                                  \
+  (true || (cond)) ? (void)0                                   \
+                   : ::stq::internal_logging::Voidify() &      \
+                         ::stq::internal_logging::NullStream()
+
+#define STQ_DCHECK(cond) STQ_DCHECK_EAT_(cond)
+#define STQ_DCHECK_EQ(a, b) STQ_DCHECK_EAT_((a) == (b))
+#define STQ_DCHECK_NE(a, b) STQ_DCHECK_EAT_((a) != (b))
+#define STQ_DCHECK_LT(a, b) STQ_DCHECK_EAT_((a) < (b))
+#define STQ_DCHECK_LE(a, b) STQ_DCHECK_EAT_((a) <= (b))
+#define STQ_DCHECK_GT(a, b) STQ_DCHECK_EAT_((a) > (b))
+#define STQ_DCHECK_GE(a, b) STQ_DCHECK_EAT_((a) >= (b))
+
+#endif  // STQ_DCHECK_IS_ON
+
+#endif  // STQ_COMMON_CHECK_H_

@@ -1,11 +1,11 @@
 // Minimal streaming logger used throughout stq.
 //
 //   STQ_LOG(INFO) << "processed " << n << " updates";
-//   STQ_CHECK(cond) << "explanation";
 //
 // Severity kFatal aborts the process after flushing, which is the
 // library's policy for programming errors (broken invariants); recoverable
-// conditions are reported through Status instead.
+// conditions are reported through Status instead. The assertion macros
+// (STQ_CHECK, STQ_DCHECK, and friends) live in stq/common/check.h.
 
 #ifndef STQ_COMMON_LOGGING_H_
 #define STQ_COMMON_LOGGING_H_
@@ -58,6 +58,8 @@ class NullStream {
 struct Voidify {
   void operator&(LogMessage&) {}
   void operator&(LogMessage&&) {}
+  void operator&(NullStream&) {}
+  void operator&(NullStream&&) {}
 };
 
 }  // namespace internal_logging
@@ -65,19 +67,6 @@ struct Voidify {
 #define STQ_LOG(severity)                                      \
   ::stq::internal_logging::LogMessage(                         \
       ::stq::LogSeverity::k##severity, __FILE__, __LINE__)
-
-// Fatal assertion with streaming context. Always enabled (the checks in
-// this library guard data-structure invariants that must hold in release
-// builds too).
-#define STQ_CHECK(cond)                                        \
-  (cond) ? (void)0                                             \
-         : ::stq::internal_logging::Voidify() &                \
-               (::stq::internal_logging::LogMessage(           \
-                    ::stq::LogSeverity::kFatal, __FILE__,      \
-                    __LINE__)                                  \
-                << "Check failed: " #cond " ")
-
-#define STQ_DCHECK(cond) STQ_CHECK(cond)
 
 }  // namespace stq
 

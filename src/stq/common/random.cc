@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "stq/common/logging.h"
+#include "stq/common/check.h"
 
 namespace stq {
 

@@ -2,7 +2,7 @@
 
 #include <vector>
 
-#include "stq/common/logging.h"
+#include "stq/common/check.h"
 
 namespace stq {
 

@@ -1,6 +1,6 @@
 #include "stq/core/density_monitor.h"
 
-#include "stq/common/logging.h"
+#include "stq/common/check.h"
 
 namespace stq {
 

@@ -1,0 +1,238 @@
+#include "stq/core/invariant_auditor.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "stq/core/query_processor.h"
+#include "stq/core/server.h"
+
+namespace stq {
+
+namespace {
+
+// (cell, id) -> number of grid entries. Ordered so diffs report in a
+// deterministic order.
+using CellKey = std::pair<int, int>;
+using EntryCounts = std::map<std::pair<CellKey, uint64_t>, int>;
+
+class ViolationSink {
+ public:
+  ViolationSink(size_t cap, AuditReport* report) : cap_(cap), report_(report) {}
+
+  bool full() const { return report_->violations.size() >= cap_; }
+
+  void Add(const std::string& violation) {
+    if (!full()) report_->violations.push_back(violation);
+  }
+
+ private:
+  size_t cap_;
+  AuditReport* report_;
+};
+
+// Merge-compares two (cell, id) -> count maps and reports every
+// disagreement.
+void DiffEntryCounts(const EntryCounts& expected, const EntryCounts& actual,
+                     const char* what, ViolationSink* sink) {
+  auto describe = [&](const std::pair<CellKey, uint64_t>& key, int want,
+                      int got) {
+    std::ostringstream os;
+    os << "grid cell (" << key.first.first << "," << key.first.second
+       << ") holds " << got << " entr" << (got == 1 ? "y" : "ies") << " for "
+       << what << " " << key.second << " but the stores imply " << want;
+    sink->Add(os.str());
+  };
+  auto e = expected.begin();
+  auto a = actual.begin();
+  while ((e != expected.end() || a != actual.end()) && !sink->full()) {
+    if (a == actual.end() || (e != expected.end() && e->first < a->first)) {
+      describe(e->first, e->second, 0);
+      ++e;
+    } else if (e == expected.end() || a->first < e->first) {
+      describe(a->first, 0, a->second);
+      ++a;
+    } else {
+      if (e->second != a->second) describe(e->first, e->second, a->second);
+      ++e;
+      ++a;
+    }
+  }
+}
+
+void AuditAnswerSymmetry(const QueryProcessor& qp, ViolationSink* sink) {
+  // QList -> answer direction, in deterministic object order.
+  std::vector<ObjectId> oids;
+  qp.object_store().ForEach(
+      [&](const ObjectRecord& o) { oids.push_back(o.id); });
+  std::sort(oids.begin(), oids.end());
+  for (ObjectId oid : oids) {
+    const ObjectRecord* o = qp.object_store().Find(oid);
+    for (QueryId qid : o->queries) {
+      const QueryRecord* q = qp.query_store().Find(qid);
+      if (q == nullptr || !q->answer.contains(oid)) {
+        std::ostringstream os;
+        os << "object " << oid << " lists query " << qid
+           << " in its QList but the query's answer does not contain it";
+        sink->Add(os.str());
+        if (sink->full()) return;
+      }
+    }
+  }
+
+  // answer -> QList direction, in deterministic query order.
+  std::vector<QueryId> qids;
+  qp.query_store().ForEach([&](const QueryRecord& q) { qids.push_back(q.id); });
+  std::sort(qids.begin(), qids.end());
+  for (QueryId qid : qids) {
+    const QueryRecord* q = qp.query_store().Find(qid);
+    std::vector<ObjectId> answer = q->SortedAnswer();
+    for (ObjectId oid : answer) {
+      const ObjectRecord* o = qp.object_store().Find(oid);
+      if (o == nullptr || !ObjectStore::HasQuery(*o, qid)) {
+        std::ostringstream os;
+        os << "query " << qid << " answer contains object " << oid
+           << " whose QList disagrees";
+        sink->Add(os.str());
+        if (sink->full()) return;
+      }
+    }
+    if (q->kind == QueryKind::kKnn &&
+        answer.size() > static_cast<size_t>(q->k)) {
+      std::ostringstream os;
+      os << "k-NN query " << qid << " stores " << answer.size()
+         << " answer objects but k = " << q->k;
+      sink->Add(os.str());
+      if (sink->full()) return;
+    }
+  }
+}
+
+void AuditGridAgreement(const QueryProcessor& qp, ViolationSink* sink) {
+  const GridIndex& grid = qp.grid();
+  const int n = grid.cells_per_side();
+
+  EntryCounts actual_objects;
+  EntryCounts actual_queries;
+  for (int cy = 0; cy < n; ++cy) {
+    for (int cx = 0; cx < n; ++cx) {
+      const CellCoord c{cx, cy};
+      grid.ForEachObjectInCell(
+          c, [&](ObjectId id) { ++actual_objects[{{cx, cy}, id}]; });
+      grid.ForEachQueryInCell(
+          c, [&](QueryId id) { ++actual_queries[{{cx, cy}, id}]; });
+    }
+  }
+
+  EntryCounts expected_objects;
+  qp.object_store().ForEach([&](const ObjectRecord& o) {
+    if (o.predictive) {
+      grid.ForEachCellOnSegment(o.footprint, [&](const CellCoord& c) {
+        ++expected_objects[{{c.x, c.y}, o.id}];
+      });
+    } else {
+      const CellCoord c = grid.CellOf(o.loc);
+      ++expected_objects[{{c.x, c.y}, o.id}];
+    }
+  });
+
+  EntryCounts expected_queries;
+  qp.query_store().ForEach([&](const QueryRecord& q) {
+    CellCoord lo, hi;
+    if (!grid.CellRangeOf(q.grid_footprint, &lo, &hi)) return;
+    for (int cy = lo.y; cy <= hi.y; ++cy) {
+      for (int cx = lo.x; cx <= hi.x; ++cx) {
+        ++expected_queries[{{cx, cy}, q.id}];
+      }
+    }
+  });
+
+  DiffEntryCounts(expected_objects, actual_objects, "object", sink);
+  DiffEntryCounts(expected_queries, actual_queries, "query", sink);
+}
+
+void AuditAnswerCorrectness(const QueryProcessor& qp, ViolationSink* sink) {
+  std::vector<QueryId> qids;
+  qp.query_store().ForEach([&](const QueryRecord& q) { qids.push_back(q.id); });
+  std::sort(qids.begin(), qids.end());
+  for (QueryId qid : qids) {
+    if (sink->full()) return;
+    const QueryRecord* q = qp.query_store().Find(qid);
+    Result<std::vector<ObjectId>> truth = qp.EvaluateFromScratch(qid);
+    if (!truth.ok()) {
+      sink->Add(truth.status().ToString());
+      continue;
+    }
+    if (q->SortedAnswer() != *truth) {
+      std::ostringstream os;
+      os << "query " << qid << " incremental answer (" << q->answer.size()
+         << " objects) diverges from its from-scratch evaluation ("
+         << truth->size() << " objects)";
+      sink->Add(os.str());
+    }
+  }
+}
+
+}  // namespace
+
+std::string AuditReport::ToString() const {
+  if (violations.empty()) return "ok";
+  std::ostringstream os;
+  for (size_t i = 0; i < violations.size(); ++i) {
+    if (i > 0) os << "; ";
+    os << violations[i];
+  }
+  return os.str();
+}
+
+Status AuditReport::ToStatus() const {
+  if (ok()) return Status::OK();
+  return Status::Internal(ToString());
+}
+
+InvariantAuditor::InvariantAuditor(const Options& options)
+    : options_(options) {}
+
+AuditReport InvariantAuditor::AuditProcessor(const QueryProcessor& qp) const {
+  AuditReport report;
+  ViolationSink sink(options_.max_violations, &report);
+  if (qp.pending_reports() != 0) {
+    std::ostringstream os;
+    os << "audit requires a drained report buffer (" << qp.pending_reports()
+       << " reports pending; run EvaluateTick first)";
+    sink.Add(os.str());
+    return report;
+  }
+  AuditAnswerSymmetry(qp, &sink);
+  AuditGridAgreement(qp, &sink);
+  if (options_.verify_answers_from_scratch && !sink.full()) {
+    AuditAnswerCorrectness(qp, &sink);
+  }
+  return report;
+}
+
+AuditReport InvariantAuditor::AuditServer(const Server& server) const {
+  AuditReport report = AuditProcessor(server.processor());
+  ViolationSink sink(options_.max_violations, &report);
+
+  // The committed-answer repository only references registered queries
+  // (unregistration erases the commit).
+  std::vector<QueryId> committed_qids;
+  server.committed().ForEach(
+      [&](QueryId qid, const std::unordered_set<ObjectId>&) {
+        committed_qids.push_back(qid);
+      });
+  std::sort(committed_qids.begin(), committed_qids.end());
+  for (QueryId qid : committed_qids) {
+    if (!server.processor().query_store().Contains(qid)) {
+      std::ostringstream os;
+      os << "committed store holds an answer for unregistered query " << qid;
+      sink.Add(os.str());
+      if (sink.full()) break;
+    }
+  }
+  return report;
+}
+
+}  // namespace stq

@@ -5,7 +5,7 @@
 #include <limits>
 #include <queue>
 
-#include "stq/common/logging.h"
+#include "stq/common/check.h"
 
 namespace stq {
 

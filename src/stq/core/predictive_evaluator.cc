@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
-#include "stq/common/logging.h"
+#include "stq/common/check.h"
 #include "stq/geo/geometry.h"
 
 namespace stq {

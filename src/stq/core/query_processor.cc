@@ -6,7 +6,8 @@
 #include <sstream>
 #include <utility>
 
-#include "stq/common/logging.h"
+#include "stq/common/check.h"
+#include "stq/core/invariant_auditor.h"
 
 namespace stq {
 
@@ -706,47 +707,7 @@ Result<std::vector<ObjectId>> QueryProcessor::EvaluatePastRangeQuery(
 }
 
 Status QueryProcessor::CheckInvariants() const {
-  // QList -> answer symmetry.
-  Status failure = Status::OK();
-  objects_.ForEach([&](const ObjectRecord& o) {
-    for (QueryId qid : o.queries) {
-      const QueryRecord* q = queries_.Find(qid);
-      if (q == nullptr || !q->answer.contains(o.id)) {
-        std::ostringstream os;
-        os << "object " << o.id << " lists query " << qid
-           << " but the answer does not contain it";
-        failure = Status::Internal(os.str());
-      }
-    }
-  });
-  if (!failure.ok()) return failure;
-
-  // answer -> QList symmetry and answer correctness.
-  std::vector<QueryId> qids;
-  queries_.ForEach([&](const QueryRecord& q) { qids.push_back(q.id); });
-  std::sort(qids.begin(), qids.end());
-  for (QueryId qid : qids) {
-    const QueryRecord* q = queries_.Find(qid);
-    for (ObjectId oid : q->answer) {
-      const ObjectRecord* o = objects_.Find(oid);
-      if (o == nullptr || !ObjectStore::HasQuery(*o, qid)) {
-        std::ostringstream os;
-        os << "query " << qid << " answer contains object " << oid
-           << " whose QList disagrees";
-        return Status::Internal(os.str());
-      }
-    }
-    Result<std::vector<ObjectId>> truth = EvaluateFromScratch(qid);
-    if (!truth.ok()) return truth.status();
-    if (q->SortedAnswer() != *truth) {
-      std::ostringstream os;
-      os << "query " << qid << " incremental answer (" << q->answer.size()
-         << " objects) diverges from from-scratch evaluation ("
-         << truth->size() << " objects)";
-      return Status::Internal(os.str());
-    }
-  }
-  return Status::OK();
+  return InvariantAuditor().AuditProcessor(*this).ToStatus();
 }
 
 }  // namespace stq

@@ -123,10 +123,19 @@ class QueryProcessor {
   // tests and baselines.
   Result<std::vector<ObjectId>> EvaluateFromScratch(QueryId id) const;
 
-  // Verifies every engine invariant (answer/QList symmetry; every stored
+  // Verifies every engine invariant by running a full InvariantAuditor
+  // pass (answer/QList symmetry, grid/store agreement, every stored
   // answer equals its from-scratch recomputation). Intended for tests;
   // call only when no reports are pending. O(objects x queries).
   Status CheckInvariants() const;
+
+  // --- Test support ---------------------------------------------------------
+  // Mutable access to the engine's internal structures, for
+  // corruption-injection tests that verify the InvariantAuditor catches
+  // seeded divergences. Never used by the engine itself.
+  ObjectStore& object_store_for_testing() { return objects_; }
+  QueryStore& query_store_for_testing() { return queries_; }
+  GridIndex& grid_for_testing() { return *grid_; }
 
   // --- Querying the past (requires options().record_history) ---------------
 

@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
-#include "stq/common/logging.h"
+#include "stq/common/check.h"
+#include "stq/core/invariant_auditor.h"
 
 namespace stq {
 
@@ -244,6 +245,12 @@ std::vector<Server::Delivery> Server::Tick(Timestamp now) {
             [](const Delivery& a, const Delivery& b) {
               return a.client < b.client;
             });
+
+  if (options_.audit_after_tick) {
+    const AuditReport report = InvariantAuditor().AuditServer(*this);
+    STQ_CHECK(report.ok())
+        << "post-tick invariant audit failed: " << report.ToString();
+  }
   return deliveries;
 }
 

@@ -39,6 +39,10 @@ class Server {
   struct Options {
     QueryProcessorOptions processor;
     RecoveryPolicy recovery = RecoveryPolicy::kCommittedDiff;
+    // Opt-in correctness hook: run a full InvariantAuditor pass after
+    // every Tick and abort (STQ_CHECK) on any violation. O(objects x
+    // queries) per tick — for tests, drills, and canary deployments.
+    bool audit_after_tick = false;
   };
 
   // One client's share of a tick or wakeup response.

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "stq/common/logging.h"
+#include "stq/common/check.h"
 
 namespace stq {
 

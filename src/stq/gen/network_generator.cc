@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "stq/common/logging.h"
+#include "stq/common/check.h"
 
 namespace stq {
 

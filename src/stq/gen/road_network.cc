@@ -4,7 +4,7 @@
 #include <limits>
 #include <queue>
 
-#include "stq/common/logging.h"
+#include "stq/common/check.h"
 
 namespace stq {
 

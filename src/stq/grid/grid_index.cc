@@ -4,7 +4,7 @@
 #include <cmath>
 #include <unordered_set>
 
-#include "stq/common/logging.h"
+#include "stq/common/check.h"
 
 namespace stq {
 
@@ -97,9 +97,7 @@ void GridIndex::ForEachCellOnSegment(
   for (int cy = y0; cy <= y1; ++cy) {
     for (int cx = x0; cx <= x1; ++cx) {
       const CellCoord c{cx, cy};
-      if (x0 == x1 && y0 == y1) {
-        fn(c);
-      } else if (SegmentIntersectsRect(s, CellBounds(c))) {
+      if ((x0 == x1 && y0 == y1) || SegmentIntersectsRect(s, CellBounds(c))) {
         fn(c);
       }
     }
@@ -219,9 +217,28 @@ void GridIndex::ForEachObjectInCell(
   for (ObjectId id : CellAt(c).objects) fn(id);
 }
 
+void GridIndex::ForEachQueryInCell(
+    const CellCoord& c, const std::function<void(QueryId)>& fn) const {
+  STQ_DCHECK(c.x >= 0 && c.x < n_ && c.y >= 0 && c.y < n_);
+  for (QueryId id : CellAt(c).queries) fn(id);
+}
+
 size_t GridIndex::ObjectCountInCell(const CellCoord& c) const {
   STQ_DCHECK(c.x >= 0 && c.x < n_ && c.y >= 0 && c.y < n_);
   return CellAt(c).objects.size();
+}
+
+size_t GridIndex::QueryCountInCell(const CellCoord& c) const {
+  STQ_DCHECK(c.x >= 0 && c.x < n_ && c.y >= 0 && c.y < n_);
+  return CellAt(c).queries.size();
+}
+
+bool GridIndex::CellRangeOf(const Rect& r, CellCoord* lo, CellCoord* hi) const {
+  int x0, y0, x1, y1;
+  if (!CellRange(r, &x0, &y0, &x1, &y1)) return false;
+  *lo = CellCoord{x0, y0};
+  *hi = CellCoord{x1, y1};
+  return true;
 }
 
 GridStats GridIndex::ComputeStats() const {

@@ -118,9 +118,25 @@ class GridIndex {
   void ForEachObjectInCell(const CellCoord& c,
                            const std::function<void(ObjectId)>& fn) const;
 
+  // Query stubs in one specific cell (used by the InvariantAuditor to
+  // compare the grid's per-cell state against the stores).
+  void ForEachQueryInCell(const CellCoord& c,
+                          const std::function<void(QueryId)>& fn) const;
+
   // Number of object entries in one cell (predictive footprints count
   // once per cell they are clipped into).
   size_t ObjectCountInCell(const CellCoord& c) const;
+  size_t QueryCountInCell(const CellCoord& c) const;
+
+  // The inclusive range of cells a rectangle is clipped into (exactly the
+  // cells InsertQuery stubs a region into). Returns false when `r` misses
+  // the grid entirely (no cells).
+  bool CellRangeOf(const Rect& r, CellCoord* lo, CellCoord* hi) const;
+
+  // Visits each cell the clipped segment passes through (exactly the
+  // cells InsertObjectFootprint clips a footprint into).
+  void ForEachCellOnSegment(const Segment& s,
+                            const std::function<void(const CellCoord&)>& fn) const;
 
   GridStats ComputeStats() const;
 
@@ -139,13 +155,9 @@ class GridIndex {
     return cells_[CellIndex(c.x, c.y)];
   }
 
-  // Half-open integer ranges of cells overlapping `r`, clamped to the
+  // Inclusive integer ranges of cells overlapping `r`, clamped to the
   // grid. Returns false when `r` misses the grid entirely.
   bool CellRange(const Rect& r, int* x0, int* y0, int* x1, int* y1) const;
-
-  // Visits each cell the clipped segment passes through.
-  void ForEachCellOnSegment(const Segment& s,
-                            const std::function<void(const CellCoord&)>& fn) const;
 
   Rect bounds_;
   int n_;

@@ -4,7 +4,7 @@
 #include <limits>
 #include <utility>
 
-#include "stq/common/logging.h"
+#include "stq/common/check.h"
 
 namespace stq {
 

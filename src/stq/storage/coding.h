@@ -3,6 +3,7 @@
 #ifndef STQ_STORAGE_CODING_H_
 #define STQ_STORAGE_CODING_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -35,8 +36,19 @@ inline void PutByte(std::string* dst, uint8_t v) {
 
 // Cursor-style decoding. Each Get advances *offset and returns false on
 // underflow (leaving outputs unspecified).
+//
+// Bounds checks are phrased as `src.size() - *offset < n` guarded by
+// `*offset <= src.size()` rather than `*offset + n > src.size()`: the
+// latter wraps around for offsets near SIZE_MAX and would spuriously
+// accept an out-of-bounds read.
+
+// True when `n` more bytes can be read at *offset.
+inline bool DecodeRemaining(const std::string& src, size_t offset, size_t n) {
+  return offset <= src.size() && src.size() - offset >= n;
+}
+
 inline bool GetFixed32(const std::string& src, size_t* offset, uint32_t* v) {
-  if (*offset + 4 > src.size()) return false;
+  if (!DecodeRemaining(src, *offset, 4)) return false;
   const auto* p = reinterpret_cast<const unsigned char*>(src.data() + *offset);
   *v = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
        (static_cast<uint32_t>(p[2]) << 16) |
@@ -61,7 +73,7 @@ inline bool GetDouble(const std::string& src, size_t* offset, double* v) {
 }
 
 inline bool GetByte(const std::string& src, size_t* offset, uint8_t* v) {
-  if (*offset + 1 > src.size()) return false;
+  if (!DecodeRemaining(src, *offset, 1)) return false;
   *v = static_cast<uint8_t>(src[*offset]);
   *offset += 1;
   return true;

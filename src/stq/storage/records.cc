@@ -152,6 +152,12 @@ Status DecodeCommit(const std::string& payload, PersistedCommit* c) {
       !GetFixed32(payload, &offset, &count)) {
     return Malformed("commit");
   }
+  // Validate the advertised count against the bytes actually present
+  // before reserving: a corrupt count of ~2^32 would otherwise attempt a
+  // 32 GiB allocation.
+  if (!DecodeRemaining(payload, offset, static_cast<size_t>(count) * 8)) {
+    return Malformed("commit count");
+  }
   c->answer.clear();
   c->answer.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {

@@ -1,0 +1,73 @@
+// Tests for the assertion subsystem (stq/common/check.h): message
+// formatting, operand reporting, the Status form, and the STQ_DCHECK
+// compile-out contract.
+
+#include "stq/common/check.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace stq {
+namespace {
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  STQ_CHECK(true) << "never shown";
+  STQ_CHECK_EQ(1, 1);
+  STQ_CHECK_NE(1, 2);
+  STQ_CHECK_LT(1, 2);
+  STQ_CHECK_LE(2, 2);
+  STQ_CHECK_GT(2, 1);
+  STQ_CHECK_GE(2, 2);
+  STQ_CHECK_OK(Status::OK());
+}
+
+TEST(CheckDeathTest, FailureAbortsWithStreamedContext) {
+  EXPECT_DEATH(STQ_CHECK(false) << "while doing thing " << 42,
+               "Check failed: false.*while doing thing 42");
+}
+
+TEST(CheckDeathTest, ComparisonFailureShowsBothOperands) {
+  const int got = 3;
+  const int want = 4;
+  EXPECT_DEATH(STQ_CHECK_EQ(got, want),
+               "Check failed: got == want.*\\(3 vs\\. 4\\)");
+  EXPECT_DEATH(STQ_CHECK_LT(want, got),
+               "Check failed: want < got.*\\(4 vs\\. 3\\)");
+}
+
+TEST(CheckDeathTest, CheckOkReportsTheStatus) {
+  EXPECT_DEATH(STQ_CHECK_OK(Status::Corruption("bad frame")),
+               "Corruption: bad frame");
+}
+
+TEST(CheckTest, DcheckEvaluationMatchesBuildMode) {
+  int evaluations = 0;
+  auto touch = [&evaluations] {
+    ++evaluations;
+    return true;
+  };
+  STQ_DCHECK(touch());
+#if STQ_DCHECK_IS_ON
+  EXPECT_EQ(evaluations, 1);
+#else
+  // Compiled out: the condition must not be evaluated at all.
+  EXPECT_EQ(evaluations, 0);
+#endif
+}
+
+#if STQ_DCHECK_IS_ON
+TEST(CheckDeathTest, DcheckFailsLikeCheckWhenEnabled) {
+  EXPECT_DEATH(STQ_DCHECK(false) << "audit context", "Check failed: false");
+  EXPECT_DEATH(STQ_DCHECK_EQ(1, 2), "\\(1 vs\\. 2\\)");
+}
+#else
+TEST(CheckTest, DcheckIsANoOpWhenDisabled) {
+  STQ_DCHECK(false) << "never evaluated, never fatal";
+  STQ_DCHECK_EQ(1, 2);
+  STQ_DCHECK_LT(5, 1);
+}
+#endif
+
+}  // namespace
+}  // namespace stq

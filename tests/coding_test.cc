@@ -1,0 +1,150 @@
+// Regression tests for the storage-layer cursor decoders, focused on the
+// hostile inputs the fuzz harnesses throw at them: offsets near SIZE_MAX
+// (the historical `*offset + n > size` wrap-around hazard), truncation at
+// every prefix length, and implausible length fields.
+
+#include "stq/storage/coding.h"
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "stq/storage/records.h"
+
+namespace stq {
+namespace {
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0);
+  PutFixed32(&buf, 1);
+  PutFixed32(&buf, 0xDEADBEEF);
+  PutFixed32(&buf, std::numeric_limits<uint32_t>::max());
+  size_t offset = 0;
+  uint32_t v = 0;
+  ASSERT_TRUE(GetFixed32(buf, &offset, &v));
+  EXPECT_EQ(v, 0u);
+  ASSERT_TRUE(GetFixed32(buf, &offset, &v));
+  EXPECT_EQ(v, 1u);
+  ASSERT_TRUE(GetFixed32(buf, &offset, &v));
+  EXPECT_EQ(v, 0xDEADBEEFu);
+  ASSERT_TRUE(GetFixed32(buf, &offset, &v));
+  EXPECT_EQ(v, std::numeric_limits<uint32_t>::max());
+  EXPECT_FALSE(GetFixed32(buf, &offset, &v));
+  EXPECT_EQ(offset, buf.size());
+}
+
+TEST(CodingTest, Fixed64AndDoubleRoundTrip) {
+  std::string buf;
+  PutFixed64(&buf, 0x0123456789ABCDEFull);
+  PutDouble(&buf, -1234.5678);
+  PutDouble(&buf, std::numeric_limits<double>::infinity());
+  size_t offset = 0;
+  uint64_t u = 0;
+  double d = 0.0;
+  ASSERT_TRUE(GetFixed64(buf, &offset, &u));
+  EXPECT_EQ(u, 0x0123456789ABCDEFull);
+  ASSERT_TRUE(GetDouble(buf, &offset, &d));
+  EXPECT_EQ(d, -1234.5678);
+  ASSERT_TRUE(GetDouble(buf, &offset, &d));
+  EXPECT_EQ(d, std::numeric_limits<double>::infinity());
+}
+
+// The historical hazard: `*offset + 4 > src.size()` wraps for offsets
+// near SIZE_MAX and accepted the read. The decoders must reject any
+// offset past the end without advancing it.
+TEST(CodingTest, HugeOffsetDoesNotWrapAround) {
+  std::string buf(16, '\x7f');
+  for (size_t offset :
+       {std::numeric_limits<size_t>::max(),
+        std::numeric_limits<size_t>::max() - 3,
+        std::numeric_limits<size_t>::max() - 7, buf.size() + 1}) {
+    size_t cursor = offset;
+    uint32_t v32 = 0;
+    EXPECT_FALSE(GetFixed32(buf, &cursor, &v32)) << offset;
+    EXPECT_EQ(cursor, offset);
+    cursor = offset;
+    uint64_t v64 = 0;
+    EXPECT_FALSE(GetFixed64(buf, &cursor, &v64)) << offset;
+    EXPECT_EQ(cursor, offset);
+    cursor = offset;
+    double d = 0.0;
+    EXPECT_FALSE(GetDouble(buf, &cursor, &d)) << offset;
+    EXPECT_EQ(cursor, offset);
+    cursor = offset;
+    uint8_t b = 0;
+    EXPECT_FALSE(GetByte(buf, &cursor, &b)) << offset;
+    EXPECT_EQ(cursor, offset);
+  }
+}
+
+TEST(CodingTest, OffsetAtEndIsCleanUnderflow) {
+  std::string buf;
+  PutFixed32(&buf, 42);
+  size_t offset = buf.size();
+  uint8_t b = 0;
+  EXPECT_FALSE(GetByte(buf, &offset, &b));
+  EXPECT_EQ(offset, buf.size());
+}
+
+TEST(CodingTest, DecodeRemainingRejectsWrap) {
+  std::string buf(4, '\0');
+  EXPECT_TRUE(DecodeRemaining(buf, 0, 4));
+  EXPECT_FALSE(DecodeRemaining(buf, 0, 5));
+  EXPECT_FALSE(DecodeRemaining(buf, 5, 0));
+  EXPECT_FALSE(
+      DecodeRemaining(buf, std::numeric_limits<size_t>::max(), 1));
+  EXPECT_TRUE(DecodeRemaining(buf, 4, 0));
+}
+
+// Every strict prefix of a valid record payload must decode to an error,
+// not a crash or a bogus success.
+TEST(CodingTest, TruncatedRecordPayloadsFailCleanly) {
+  PersistedObject obj;
+  obj.id = 77;
+  obj.loc = Point{0.25, 0.75};
+  obj.vel = Velocity{1.0, -1.0};
+  obj.t = 9.5;
+  obj.predictive = true;
+  std::string payload;
+  EncodeObjectUpsert(obj, &payload);
+  for (size_t len = 0; len < payload.size(); ++len) {
+    PersistedObject out;
+    EXPECT_FALSE(DecodeObjectUpsert(payload.substr(0, len), &out).ok()) << len;
+  }
+  PersistedObject out;
+  EXPECT_TRUE(DecodeObjectUpsert(payload, &out).ok());
+  EXPECT_EQ(out, obj);
+}
+
+TEST(CodingTest, CommitCountIsValidatedAgainstPayloadSize) {
+  // A commit record advertising ~2^32 answer ids with an empty body must
+  // fail fast (no multi-GiB reserve).
+  std::string payload;
+  PutFixed64(&payload, 5);                                    // query id
+  PutFixed32(&payload, std::numeric_limits<uint32_t>::max()); // count
+  PersistedCommit c;
+  Status s = DecodeCommit(payload, &c);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+
+  // Count larger than the bytes present, but small: still corruption.
+  payload.clear();
+  PutFixed64(&payload, 5);
+  PutFixed32(&payload, 3);
+  PutFixed64(&payload, 1);  // only one of the three advertised ids
+  EXPECT_TRUE(DecodeCommit(payload, &c).IsCorruption());
+
+  // And the happy path still works.
+  PersistedCommit in;
+  in.id = 5;
+  in.answer = {1, 2, 3};
+  payload.clear();
+  EncodeCommit(in, &payload);
+  ASSERT_TRUE(DecodeCommit(payload, &c).ok());
+  EXPECT_EQ(c, in);
+}
+
+}  // namespace
+}  // namespace stq
