@@ -1,0 +1,107 @@
+// Ablation: parallel shared-execution tick — worker-thread scaling.
+//
+// The tick's matching phase (object pass) and k-NN searches shard across
+// a ThreadPool; the membership/answer mutations replay serially in
+// canonical order, so the update stream is byte-identical for every
+// worker count. This binary sweeps worker counts over the paper's
+// network workload and reports ticks/sec, speedup over the serial tick,
+// the per-phase wall-time split from TickStats, and a CRC32 of the
+// canonical update stream (which must agree across all rows).
+//
+// Expected shape on a multi-core host: wall time of the parallel phases
+// (match + knn-search) drops roughly linearly until memory bandwidth or
+// the serial apply phases dominate (Amdahl); the stream CRC is constant.
+// On a single-core host all rows degenerate to the serial tick.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "stq/common/crc32.h"
+
+namespace {
+
+struct RunResult {
+  double seconds = 0.0;            // total EvaluateTick wall time
+  double parallel_seconds = 0.0;   // match + knn-search (shardable work)
+  double apply_seconds = 0.0;      // object-apply + knn-apply (serial)
+  uint32_t stream_crc = 0;         // CRC32 of all canonical update streams
+  size_t ticks = 0;
+};
+
+RunResult RunWorkload(const stq::Workload& workload, int workers) {
+  stq::QueryProcessorOptions options;
+  options.grid_cells_per_side = 64;
+  options.worker_threads = workers;
+  stq::QueryProcessor qp(options);
+  workload.ApplyInitial(&qp);
+  qp.EvaluateTick(0.0);  // drain the initial load outside the timed region
+
+  RunResult result;
+  std::string stream;
+  for (size_t i = 0; i < workload.ticks().size(); ++i) {
+    workload.ApplyTick(&qp, i);
+    const auto start = std::chrono::steady_clock::now();
+    const stq::TickResult tick = qp.EvaluateTick(workload.ticks()[i].time);
+    result.seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    result.parallel_seconds += tick.stats.ParallelSeconds();
+    result.apply_seconds +=
+        tick.stats.object_apply_seconds + tick.stats.knn_apply_seconds;
+    stream.clear();
+    for (const stq::Update& u : tick.updates) {
+      stream += u.DebugString();
+      stream += '\n';
+    }
+    result.stream_crc = stq::Crc32c(stream.data(), stream.size()) ^
+                        (result.stream_crc * 31);
+    ++result.ticks;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  stq_bench::BenchScale scale = stq_bench::BenchScale::FromEnv();
+  scale.num_queries = stq_bench::EnvSize("STQ_BENCH_QUERIES", 10000);
+
+  std::printf("Ablation: worker-thread scaling of the shared-execution tick\n");
+  std::printf("objects=%zu queries=%zu T=5s ticks=%zu\n\n", scale.num_objects,
+              scale.num_queries, scale.num_ticks);
+
+  const stq::Workload workload = stq::Workload::GenerateNetwork(
+      stq_bench::PaperWorkloadOptions(scale, /*query_side=*/0.02,
+                                      /*object_update_fraction=*/0.5,
+                                      /*seed=*/5150));
+
+  std::printf("%-8s %12s %10s %12s %12s %12s\n", "workers", "ticks/sec",
+              "speedup", "parallel_s", "apply_s", "stream_crc");
+
+  double serial_seconds = 0.0;
+  uint32_t serial_crc = 0;
+  bool crc_mismatch = false;
+  for (int workers : {1, 2, 4, 8}) {
+    const RunResult r = RunWorkload(workload, workers);
+    if (workers == 1) {
+      serial_seconds = r.seconds;
+      serial_crc = r.stream_crc;
+    } else if (r.stream_crc != serial_crc) {
+      crc_mismatch = true;
+    }
+    std::printf("%-8d %12.2f %9.2fx %12.4f %12.4f   0x%08x\n", workers,
+                r.seconds > 0 ? static_cast<double>(r.ticks) / r.seconds : 0.0,
+                r.seconds > 0 ? serial_seconds / r.seconds : 0.0,
+                r.parallel_seconds, r.apply_seconds, r.stream_crc);
+  }
+
+  if (crc_mismatch) {
+    std::printf("\nFAIL: update streams diverged across worker counts\n");
+    return 1;
+  }
+  std::printf("\nupdate streams byte-identical across all worker counts\n");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Fuzzes GridPartitionJoin against the bounds-clipped nested-loop oracle.
+//
+// Properties enforced (via STQ_CHECK — a violation aborts the harness):
+//   - the grid join never crashes or trips UB for ANY decoded universe,
+//     including zero-width/zero-height bounds, NaN/inf extents, and
+//     points far outside the space (the historical NaN-cell-index bug),
+//   - its output always equals the oracle: rects clipped to the bounds,
+//     points outside the universe never matched, pairs sorted.
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fuzz_harness.h"
+#include "stq/common/check.h"
+#include "stq/geo/rect.h"
+#include "stq/grid/spatial_join.h"
+#include "stq/storage/coding.h"
+
+namespace {
+
+// Oracle with the same contract as the grid path: rectangles clipped to
+// the universe, so out-of-bounds points never match.
+std::vector<stq::JoinPair> Oracle(const std::vector<stq::JoinPoint>& points,
+                                  const std::vector<stq::JoinRect>& rects,
+                                  const stq::Rect& bounds) {
+  std::vector<stq::JoinPair> out;
+  for (const stq::JoinRect& r : rects) {
+    const stq::Rect region = r.region.Intersection(bounds);
+    if (region.IsEmpty()) continue;
+    for (const stq::JoinPoint& p : points) {
+      if (region.Contains(p.loc)) out.push_back(stq::JoinPair{r.id, p.id});
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string src(reinterpret_cast<const char*>(data), size);
+  size_t offset = 0;
+
+  // Universe: four raw doubles — any bit pattern, including NaN/inf.
+  double bx0 = 0, by0 = 0, bx1 = 0, by1 = 0;
+  if (!stq::GetDouble(src, &offset, &bx0)) return 0;
+  if (!stq::GetDouble(src, &offset, &by0)) return 0;
+  if (!stq::GetDouble(src, &offset, &bx1)) return 0;
+  if (!stq::GetDouble(src, &offset, &by1)) return 0;
+  const stq::Rect bounds{bx0, by0, bx1, by1};
+  // GridPartitionJoin's precondition; everything else is fair game.
+  if (bounds.IsEmpty()) return 0;
+
+  uint8_t cells = 0;
+  if (!stq::GetByte(src, &offset, &cells)) return 0;
+  const int cells_per_side = 1 + (cells & 31);
+
+  uint8_t num_points = 0, num_rects = 0;
+  if (!stq::GetByte(src, &offset, &num_points)) return 0;
+  if (!stq::GetByte(src, &offset, &num_rects)) return 0;
+  num_points &= 63;
+  num_rects &= 31;
+
+  std::vector<stq::JoinPoint> points;
+  for (uint8_t i = 0; i < num_points; ++i) {
+    double x = 0, y = 0;
+    if (!stq::GetDouble(src, &offset, &x)) break;
+    if (!stq::GetDouble(src, &offset, &y)) break;
+    points.push_back(
+        stq::JoinPoint{static_cast<stq::ObjectId>(i) + 1, stq::Point{x, y}});
+  }
+  std::vector<stq::JoinRect> rects;
+  for (uint8_t i = 0; i < num_rects; ++i) {
+    double x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+    if (!stq::GetDouble(src, &offset, &x0)) break;
+    if (!stq::GetDouble(src, &offset, &y0)) break;
+    if (!stq::GetDouble(src, &offset, &x1)) break;
+    if (!stq::GetDouble(src, &offset, &y1)) break;
+    rects.push_back(stq::JoinRect{static_cast<stq::QueryId>(i) + 1,
+                                  stq::Rect{x0, y0, x1, y1}});
+  }
+
+  const std::vector<stq::JoinPair> got =
+      stq::GridPartitionJoin(points, rects, bounds, cells_per_side);
+  const std::vector<stq::JoinPair> want = Oracle(points, rects, bounds);
+  STQ_CHECK(got == want);
+  return 0;
+}
+
+void StqFuzzSeedCorpus(std::vector<std::string>* seeds) {
+  const auto encode = [](double bx0, double by0, double bx1, double by1,
+                         uint8_t cells,
+                         const std::vector<std::pair<double, double>>& pts,
+                         const std::vector<std::array<double, 4>>& rcts) {
+    std::string s;
+    stq::PutDouble(&s, bx0);
+    stq::PutDouble(&s, by0);
+    stq::PutDouble(&s, bx1);
+    stq::PutDouble(&s, by1);
+    stq::PutByte(&s, cells);
+    stq::PutByte(&s, static_cast<uint8_t>(pts.size()));
+    stq::PutByte(&s, static_cast<uint8_t>(rcts.size()));
+    for (const auto& p : pts) {
+      stq::PutDouble(&s, p.first);
+      stq::PutDouble(&s, p.second);
+    }
+    for (const auto& r : rcts) {
+      stq::PutDouble(&s, r[0]);
+      stq::PutDouble(&s, r[1]);
+      stq::PutDouble(&s, r[2]);
+      stq::PutDouble(&s, r[3]);
+    }
+    return s;
+  };
+
+  // A healthy unit universe with a few points and rects.
+  seeds->push_back(encode(0, 0, 1, 1, 8,
+                          {{0.25, 0.25}, {0.75, 0.75}, {1.5, 0.5}},
+                          {{0.0, 0.0, 0.5, 0.5}, {0.4, 0.4, 1.0, 1.0}}));
+  // The historical bug: a zero-width (vertical line) universe.
+  seeds->push_back(encode(0.5, 0.0, 0.5, 1.0, 8,
+                          {{0.5, 0.5}, {0.4, 0.5}},
+                          {{0.0, 0.0, 1.0, 1.0}}));
+  // Zero-height and point universes.
+  seeds->push_back(encode(0.0, 0.5, 1.0, 0.5, 4, {{0.5, 0.5}},
+                          {{0.0, 0.0, 1.0, 1.0}}));
+  seeds->push_back(encode(0.5, 0.5, 0.5, 0.5, 16, {{0.5, 0.5}},
+                          {{0.0, 0.0, 1.0, 1.0}}));
+  // Infinite extent — the index arithmetic must bail to the fallback.
+  const double inf = std::numeric_limits<double>::infinity();
+  seeds->push_back(encode(-inf, 0.0, inf, 1.0, 8, {{0.5, 0.5}},
+                          {{0.0, 0.0, 1.0, 1.0}}));
+  seeds->push_back(std::string());
+}

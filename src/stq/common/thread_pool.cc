@@ -1,0 +1,94 @@
+#include "stq/common/thread_pool.h"
+
+#include <algorithm>
+
+#include "stq/common/check.h"
+
+namespace stq {
+
+ThreadPool::ThreadPool(int num_workers) : num_workers_(num_workers) {
+  STQ_CHECK(num_workers >= 1) << "ThreadPool needs at least one worker";
+  threads_.reserve(static_cast<size_t>(num_workers_ - 1));
+  for (int i = 1; i < num_workers_; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+int ThreadPool::ResolveWorkers(int requested) {
+  if (requested >= 1) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ThreadPool::ShardBounds(size_t n, int shard, size_t* begin,
+                             size_t* end) const {
+  const size_t w = static_cast<size_t>(num_workers_);
+  const size_t s = static_cast<size_t>(shard);
+  const size_t chunk = n / w;
+  const size_t remainder = n % w;
+  // The first `remainder` shards take one extra item.
+  *begin = s * chunk + std::min(s, remainder);
+  *end = *begin + chunk + (s < remainder ? 1 : 0);
+}
+
+void ThreadPool::RunShards(
+    size_t n, const std::function<void(int, size_t, size_t)>& fn) {
+  if (n == 0) return;
+  if (num_workers_ == 1) {
+    fn(0, 0, n);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    STQ_CHECK(shards_outstanding_ == 0) << "RunShards is not reentrant";
+    job_ = &fn;
+    job_n_ = n;
+    shards_outstanding_ = num_workers_ - 1;
+    ++generation_;
+  }
+  work_ready_.notify_all();
+
+  size_t begin = 0, end = 0;
+  ShardBounds(n, /*shard=*/0, &begin, &end);
+  if (begin < end) fn(0, begin, end);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  work_done_.wait(lock, [this] { return shards_outstanding_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(int worker_index) {
+  uint64_t last_generation = 0;
+  for (;;) {
+    const std::function<void(int, size_t, size_t)>* job = nullptr;
+    size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [&] {
+        return shutting_down_ || generation_ != last_generation;
+      });
+      if (shutting_down_) return;
+      last_generation = generation_;
+      job = job_;
+      n = job_n_;
+    }
+    size_t begin = 0, end = 0;
+    ShardBounds(n, worker_index, &begin, &end);
+    if (begin < end) (*job)(worker_index, begin, end);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--shards_outstanding_ == 0) work_done_.notify_one();
+    }
+  }
+}
+
+}  // namespace stq

@@ -1,0 +1,80 @@
+// ThreadPool: the engine's data-parallel fork/join primitive.
+//
+// The pool owns `num_workers - 1` persistent threads; the calling thread
+// always executes shard 0, so a pool of 1 worker never spawns a thread
+// and runs everything inline. RunShards splits an index range [0, n)
+// into `num_workers` contiguous shards and blocks until every shard has
+// finished — a structured fork/join, never fire-and-forget.
+//
+// Contract for deterministic use (see DESIGN.md, "Threading model"):
+// shard functions must only READ state shared with other shards and
+// write exclusively to per-shard outputs; any merge of those outputs
+// happens on the calling thread after RunShards returns, in shard
+// order. Under that contract the merged result is byte-identical for
+// every worker count, including 1.
+//
+// One RunShards call may be in flight per pool at a time (the engine's
+// tick is itself serial); RunShards is not reentrant.
+
+#ifndef STQ_COMMON_THREAD_POOL_H_
+#define STQ_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace stq {
+
+class ThreadPool {
+ public:
+  // `num_workers` >= 1 (1 = fully inline). Capped only by the caller;
+  // ResolveWorkers maps a 0/negative request to the hardware width.
+  explicit ThreadPool(int num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return num_workers_; }
+
+  // Runs fn(shard, begin, end) for every non-empty contiguous shard of
+  // [0, n), shard 0 on the calling thread, and returns once all shards
+  // completed. Shard boundaries depend only on (n, num_workers).
+  void RunShards(size_t n,
+                 const std::function<void(int shard, size_t begin,
+                                          size_t end)>& fn);
+
+  // The shard [begin, end) that `shard` receives for a range of n items.
+  // Exposed so callers can pre-size per-shard outputs.
+  void ShardBounds(size_t n, int shard, size_t* begin, size_t* end) const;
+
+  // Maps a configuration knob to a concrete worker count: values >= 1
+  // pass through; 0 and negatives resolve to the hardware concurrency
+  // (at least 1).
+  static int ResolveWorkers(int requested);
+
+ private:
+  void WorkerLoop(int worker_index);
+
+  const int num_workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  // Generation counter: bumped once per RunShards call; workers run the
+  // current job exactly once per generation.
+  uint64_t generation_ = 0;
+  const std::function<void(int, size_t, size_t)>* job_ = nullptr;
+  size_t job_n_ = 0;
+  int shards_outstanding_ = 0;
+  bool shutting_down_ = false;
+
+  std::vector<std::thread> threads_;  // num_workers_ - 1 entries
+};
+
+}  // namespace stq
+
+#endif  // STQ_COMMON_THREAD_POOL_H_

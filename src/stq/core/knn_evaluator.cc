@@ -136,19 +136,54 @@ void KnnEvaluator::ApplyAnswer(QueryRecord* q,
   }
 }
 
-size_t KnnEvaluator::ReevaluateDirty(std::vector<Update>* out) {
-  size_t count = 0;
+size_t KnnEvaluator::ReevaluateDirty(std::vector<Update>* out,
+                                     ThreadPool* pool) {
+  return ApplyDirty(SearchDirty(pool), out);
+}
+
+std::vector<KnnEvaluator::DirtyAnswer> KnnEvaluator::SearchDirty(
+    ThreadPool* pool) {
   // Deterministic processing order regardless of hash iteration.
   std::vector<QueryId> ids(dirty_.begin(), dirty_.end());
   std::sort(ids.begin(), ids.end());
-  for (QueryId qid : ids) {
-    QueryRecord* q = state_.queries->FindMutable(qid);
-    if (q == nullptr || q->kind != QueryKind::kKnn) continue;
-    ApplyAnswer(q, Search(q->circle.center, q->k), out);
-    ++count;
-  }
   dirty_.clear();
-  return count;
+
+  std::vector<DirtyAnswer> answers;
+  answers.reserve(ids.size());
+  for (QueryId qid : ids) {
+    const QueryRecord* q = state_.queries->Find(qid);
+    if (q == nullptr || q->kind != QueryKind::kKnn) continue;
+    answers.push_back(DirtyAnswer{qid, {}});
+  }
+
+  // The searches touch only const state (grid cells, object locations),
+  // never the answer sets or footprints ApplyDirty rewrites, so sharding
+  // them is race-free and the per-slot results match a serial run.
+  auto search_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const QueryRecord* q = state_.queries->Find(answers[i].qid);
+      answers[i].neighbors = Search(q->circle.center, q->k);
+    }
+  };
+  if (pool != nullptr && pool->num_workers() > 1 && answers.size() > 1) {
+    pool->RunShards(answers.size(), [&](int /*shard*/, size_t begin,
+                                        size_t end) {
+      search_range(begin, end);
+    });
+  } else {
+    search_range(0, answers.size());
+  }
+  return answers;
+}
+
+size_t KnnEvaluator::ApplyDirty(const std::vector<DirtyAnswer>& answers,
+                                std::vector<Update>* out) {
+  for (const DirtyAnswer& a : answers) {
+    QueryRecord* q = state_.queries->FindMutable(a.qid);
+    STQ_DCHECK(q != nullptr);
+    ApplyAnswer(q, a.neighbors, out);
+  }
+  return answers.size();
 }
 
 }  // namespace stq

@@ -17,6 +17,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "stq/common/thread_pool.h"
 #include "stq/core/engine_state.h"
 
 namespace stq {
@@ -29,12 +30,6 @@ class KnnEvaluator {
   void MarkDirty(QueryId qid) { dirty_.insert(qid); }
   void ClearDirty() { dirty_.clear(); }
   size_t num_dirty() const { return dirty_.size(); }
-
-  // Re-evaluates every dirty query that still exists: recomputes the k
-  // nearest objects, emits the answer delta, updates the circle and
-  // re-clips the query's grid footprint. Returns the number of queries
-  // re-evaluated.
-  size_t ReevaluateDirty(std::vector<Update>* out);
 
   // Exact k-NN search over the grid: the k objects nearest to `center`,
   // ties broken by object id, returned sorted by (distance^2, id).
@@ -49,6 +44,34 @@ class KnnEvaluator {
     }
   };
   std::vector<Neighbor> Search(const Point& center, int k) const;
+
+  // Re-evaluates every dirty query that still exists: recomputes the k
+  // nearest objects, emits the answer delta, updates the circle and
+  // re-clips the query's grid footprint. Returns the number of queries
+  // re-evaluated. Equivalent to ApplyDirty(SearchDirty(pool), out); the
+  // update stream is byte-identical for every worker count.
+  size_t ReevaluateDirty(std::vector<Update>* out,
+                         ThreadPool* pool = nullptr);
+
+  // The two halves of ReevaluateDirty, split so the processor can time
+  // (and parallelize) them independently.
+  //
+  // SearchDirty consumes the dirty set and runs one grid search per
+  // still-live k-NN query, in ascending query id. Searches only READ the
+  // grid and the stores, so they run concurrently when `pool` has more
+  // than one worker; the returned order is worker-count-invariant.
+  struct DirtyAnswer {
+    QueryId qid = 0;
+    std::vector<Neighbor> neighbors;
+  };
+  std::vector<DirtyAnswer> SearchDirty(ThreadPool* pool = nullptr);
+
+  // ApplyDirty replays the freshly computed answers serially, in the
+  // order SearchDirty returned them: emits delta updates, refreshes each
+  // answer circle, re-clips grid footprints. ApplyAnswer mutates nothing
+  // a concurrent Search reads, which is what makes the split sound.
+  size_t ApplyDirty(const std::vector<DirtyAnswer>& answers,
+                    std::vector<Update>* out);
 
  private:
   // Applies a freshly computed answer to `q`: emits delta updates,

@@ -32,9 +32,16 @@ struct QueryProcessorOptions {
   // Byte accounting used in TickResult::WireBytes and by Server.
   WireCostModel wire_cost;
 
+  // Workers for the data-parallel tick phases (object matching, k-NN
+  // searches). 1 (the default) keeps evaluation fully serial; 0 resolves
+  // to the hardware concurrency at construction. The tick's update
+  // stream is byte-identical for every worker count — see DESIGN.md,
+  // "Threading model".
+  int worker_threads = 1;
+
   bool Validate() const {
     return !bounds.IsEmpty() && grid_cells_per_side >= 1 &&
-           prediction_horizon > 0.0;
+           prediction_horizon > 0.0 && worker_threads >= 0;
   }
 };
 

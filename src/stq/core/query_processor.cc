@@ -1,6 +1,7 @@
 #include "stq/core/query_processor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <sstream>
@@ -11,10 +12,36 @@
 
 namespace stq {
 
+namespace {
+
+// Accumulates the enclosing scope's wall time into a TickStats field.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(double* sink)
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  ~PhaseTimer() {
+    *sink_ += std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - start_)
+                  .count();
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  double* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
 QueryProcessor::QueryProcessor(const QueryProcessorOptions& options)
     : options_(options),
       history_(options.record_history ? std::make_unique<HistoryStore>()
                                       : nullptr),
+      pool_(ThreadPool::ResolveWorkers(options.worker_threads) > 1
+                ? std::make_unique<ThreadPool>(
+                      ThreadPool::ResolveWorkers(options.worker_threads))
+                : nullptr),
       grid_(std::make_unique<GridIndex>(options_.bounds,
                                         options_.grid_cells_per_side)),
       range_(EngineState{grid_.get(), &objects_, &queries_, &options_}),
@@ -33,16 +60,21 @@ EngineState QueryProcessor::state() {
 // ---------------------------------------------------------------------------
 
 double QueryProcessor::LatestKnownReportTime(ObjectId id) const {
-  double latest = -std::numeric_limits<double>::infinity();
-  if (const ObjectRecord* o = objects_.Find(id); o != nullptr) {
-    latest = o->t;
-  }
-  // A pending upsert supersedes the store for staleness purposes, unless a
-  // pending removal wipes the history.
+  // A pending removal wipes the history; a pending upsert supersedes the
+  // store (its timestamp is what the store will hold after the next
+  // tick, and it may be older than the store's when it follows a
+  // removal). The buffer holds at most one of the two per id.
   if (buffer_.HasPendingRemove(id)) {
     return -std::numeric_limits<double>::infinity();
   }
-  return latest;
+  if (const PendingObjectUpsert* u = buffer_.FindPendingUpsert(id);
+      u != nullptr) {
+    return u->t;
+  }
+  if (const ObjectRecord* o = objects_.Find(id); o != nullptr) {
+    return o->t;
+  }
+  return -std::numeric_limits<double>::infinity();
 }
 
 Point QueryProcessor::ClampLocation(const Point& loc) const {
@@ -508,36 +540,40 @@ void QueryProcessor::RunQueryPass(
   }
 }
 
-void QueryProcessor::RunObjectPass(const std::vector<ObjectId>& moved,
-                                   std::vector<Update>* out) {
+void QueryProcessor::MatchObjectShard(const std::vector<ObjectId>& moved,
+                                      size_t begin, size_t end,
+                                      MatchOutput* out) const {
+  // Read-only over the grid and both stores: every decision is recorded
+  // as a delta intent and replayed later by ApplyMatchDeltas. Other
+  // shards run this concurrently against the same state.
   std::vector<QueryId> candidates;
-  for (ObjectId oid : moved) {
-    ObjectRecord* o = objects_.FindMutable(oid);
+  for (size_t i = begin; i < end; ++i) {
+    const ObjectId oid = moved[i];
+    const ObjectRecord* o = objects_.Find(oid);
     if (o == nullptr) continue;  // upserted then removed within the tick
 
     // Negative side: re-test every membership under the new report.
-    const std::vector<QueryId> memberships = o->queries;
-    for (QueryId qid : memberships) {
-      QueryRecord* q = queries_.FindMutable(qid);
+    for (QueryId qid : o->queries) {
+      const QueryRecord* q = queries_.Find(qid);
       STQ_DCHECK(q != nullptr) << "QList references missing query " << qid;
       switch (q->kind) {
         case QueryKind::kRange:
           if (!RangeEvaluator::Satisfies(*o, *q)) {
-            SetMembership(o, q, false, out);
+            out->deltas.push_back(MatchDelta{qid, oid, false});
           }
           break;
         case QueryKind::kPredictiveRange:
           if (!PredictiveEvaluator::Satisfies(*o, *q, options_)) {
-            SetMembership(o, q, false, out);
+            out->deltas.push_back(MatchDelta{qid, oid, false});
           }
           break;
         case QueryKind::kCircleRange:
           if (!CircleEvaluator::Satisfies(*o, *q)) {
-            SetMembership(o, q, false, out);
+            out->deltas.push_back(MatchDelta{qid, oid, false});
           }
           break;
         case QueryKind::kKnn:
-          knn_.MarkDirty(qid);
+          out->knn_dirty.push_back(qid);
           break;
       }
     }
@@ -549,22 +585,22 @@ void QueryProcessor::RunObjectPass(const std::vector<ObjectId>& moved,
                            : Rect{o->loc.x, o->loc.y, o->loc.x, o->loc.y};
     grid_->CollectQueriesInRect(probe, &candidates);
     for (QueryId qid : candidates) {
-      QueryRecord* q = queries_.FindMutable(qid);
+      const QueryRecord* q = queries_.Find(qid);
       STQ_DCHECK(q != nullptr) << "grid stub references missing query " << qid;
       switch (q->kind) {
         case QueryKind::kRange:
           if (RangeEvaluator::Satisfies(*o, *q)) {
-            SetMembership(o, q, true, out);
+            out->deltas.push_back(MatchDelta{qid, oid, true});
           }
           break;
         case QueryKind::kPredictiveRange:
           if (PredictiveEvaluator::Satisfies(*o, *q, options_)) {
-            SetMembership(o, q, true, out);
+            out->deltas.push_back(MatchDelta{qid, oid, true});
           }
           break;
         case QueryKind::kCircleRange:
           if (CircleEvaluator::Satisfies(*o, *q)) {
-            SetMembership(o, q, true, out);
+            out->deltas.push_back(MatchDelta{qid, oid, true});
           }
           break;
         case QueryKind::kKnn:
@@ -573,12 +609,49 @@ void QueryProcessor::RunObjectPass(const std::vector<ObjectId>& moved,
           // uses the exact squared threshold (not the rounded radius) so
           // exact distance ties dirty the query too.
           if (SquaredDistance(q->circle.center, o->loc) <= q->knn_dist2) {
-            knn_.MarkDirty(qid);
+            out->knn_dirty.push_back(qid);
           }
           break;
       }
     }
   }
+}
+
+void QueryProcessor::ApplyMatchDeltas(const std::vector<MatchOutput>& outputs,
+                                      std::vector<Update>* out) {
+  // Shard order equals `moved` order, so this replay emits the same
+  // update sequence the serial pass would have; SetMembership makes
+  // duplicate decisions for one (query, object) pair no-ops.
+  for (const MatchOutput& m : outputs) {
+    for (const MatchDelta& d : m.deltas) {
+      ObjectRecord* o = objects_.FindMutable(d.oid);
+      QueryRecord* q = queries_.FindMutable(d.qid);
+      STQ_DCHECK(o != nullptr && q != nullptr);
+      SetMembership(o, q, d.add, out);
+    }
+    for (QueryId qid : m.knn_dirty) knn_.MarkDirty(qid);
+  }
+}
+
+void QueryProcessor::RunObjectPass(const std::vector<ObjectId>& moved,
+                                   std::vector<Update>* out,
+                                   TickStats* stats) {
+  const int shards = pool_ == nullptr ? 1 : pool_->num_workers();
+  std::vector<MatchOutput> outputs(static_cast<size_t>(shards));
+  {
+    PhaseTimer timer(&stats->object_match_seconds);
+    if (pool_ != nullptr) {
+      pool_->RunShards(moved.size(),
+                       [&](int shard, size_t begin, size_t end) {
+                         MatchObjectShard(moved, begin, end,
+                                          &outputs[static_cast<size_t>(shard)]);
+                       });
+    } else {
+      MatchObjectShard(moved, 0, moved.size(), &outputs[0]);
+    }
+  }
+  PhaseTimer timer(&stats->object_apply_seconds);
+  ApplyMatchDeltas(outputs, out);
 }
 
 TickResult QueryProcessor::EvaluateTick(Timestamp now) {
@@ -613,19 +686,41 @@ TickResult QueryProcessor::EvaluateTick(Timestamp now) {
   std::vector<QueryId> moved_circles;
 
   // Phase 1: removals leave the engine (negatives for their memberships).
-  ApplyObjectRemovals(removals, now, out, &result.stats);
+  {
+    PhaseTimer timer(&result.stats.removals_seconds);
+    ApplyObjectRemovals(removals, now, out, &result.stats);
+  }
   // Phase 2: bring every object's state (store + grid) up to date.
-  ApplyObjectUpserts(upserts, &moved, &result.stats);
+  {
+    PhaseTimer timer(&result.stats.upserts_seconds);
+    ApplyObjectUpserts(upserts, &moved, &result.stats);
+  }
   // Phase 3: bring every query's state up to date.
-  ApplyQueryChanges(query_changes, now, &changed_rects, &moved_circles,
-                    &result.stats);
+  {
+    PhaseTimer timer(&result.stats.query_changes_seconds);
+    ApplyQueryChanges(query_changes, now, &changed_rects, &moved_circles,
+                      &result.stats);
+  }
   // Phase 4: incremental evaluation of changed range/predictive/circle
   // regions.
-  RunQueryPass(changed_rects, moved_circles, out);
-  // Phase 5: incremental evaluation of moved/new objects.
-  RunObjectPass(moved, out);
-  // Phase 6: re-evaluate the k-NN queries dirtied by phases 1-5.
-  result.stats.knn_reevaluations = knn_.ReevaluateDirty(out);
+  {
+    PhaseTimer timer(&result.stats.query_pass_seconds);
+    RunQueryPass(changed_rects, moved_circles, out);
+  }
+  // Phase 5: incremental evaluation of moved/new objects (parallel match,
+  // serial apply; times the halves into object_match/apply_seconds).
+  RunObjectPass(moved, out, &result.stats);
+  // Phase 6: re-evaluate the k-NN queries dirtied by phases 1-5
+  // (parallel searches, serial answer application).
+  {
+    std::vector<KnnEvaluator::DirtyAnswer> knn_answers;
+    {
+      PhaseTimer timer(&result.stats.knn_search_seconds);
+      knn_answers = knn_.SearchDirty(pool_.get());
+    }
+    PhaseTimer timer(&result.stats.knn_apply_seconds);
+    result.stats.knn_reevaluations = knn_.ApplyDirty(knn_answers, out);
+  }
 
   CanonicalizeUpdates(out);
   for (const Update& u : *out) {

@@ -20,7 +20,11 @@
 //   - predictive range queries over a future time window, matched against
 //     linear trajectories of velocity-reporting objects.
 //
-// Thread-compatible; callers serialize access.
+// Thread-compatible; callers serialize access. Internally, EvaluateTick
+// fans its read-only matching and k-NN search work out across
+// options.worker_threads workers and replays the resulting deltas
+// serially, so the update stream is byte-identical for every worker
+// count (see DESIGN.md, "Threading model").
 
 #ifndef STQ_CORE_QUERY_PROCESSOR_H_
 #define STQ_CORE_QUERY_PROCESSOR_H_
@@ -30,6 +34,7 @@
 
 #include "stq/common/result.h"
 #include "stq/common/status.h"
+#include "stq/common/thread_pool.h"
 #include "stq/core/circle_evaluator.h"
 #include "stq/core/engine_state.h"
 #include "stq/core/history_store.h"
@@ -106,6 +111,11 @@ class QueryProcessor {
   // --- Introspection --------------------------------------------------------
 
   const QueryProcessorOptions& options() const { return options_; }
+  // Resolved worker count for the parallel tick phases (>= 1; equals
+  // options().worker_threads unless that was 0 = auto).
+  int worker_threads() const {
+    return pool_ == nullptr ? 1 : pool_->num_workers();
+  }
   size_t num_objects() const { return objects_.size(); }
   size_t num_queries() const { return queries_.size(); }
   size_t pending_reports() const {
@@ -170,7 +180,34 @@ class QueryProcessor {
                     const std::vector<QueryId>& moved_circles,
                     std::vector<Update>* out);
   void RunObjectPass(const std::vector<ObjectId>& moved,
-                     std::vector<Update>* out);
+                     std::vector<Update>* out, TickStats* stats);
+
+  // The object pass, split for shared-nothing parallelism:
+  //
+  //   match  (parallel)  each shard scans its slice of `moved` against
+  //                      the grid and the stores — strictly read-only —
+  //                      and records membership deltas and k-NN dirty
+  //                      marks in its own MatchOutput;
+  //   apply  (serial)    the deltas replay through SetMembership in
+  //                      shard order, which is exactly the order the
+  //                      serial pass would have produced.
+  //
+  // A delta's sign is decided purely by geometry (Satisfies) against the
+  // pre-pass state, so the replay is idempotent per (query, object) and
+  // the resulting update stream is byte-identical for any worker count.
+  struct MatchDelta {
+    QueryId qid = 0;
+    ObjectId oid = 0;
+    bool add = false;
+  };
+  struct MatchOutput {
+    std::vector<MatchDelta> deltas;
+    std::vector<QueryId> knn_dirty;
+  };
+  void MatchObjectShard(const std::vector<ObjectId>& moved, size_t begin,
+                        size_t end, MatchOutput* out) const;
+  void ApplyMatchDeltas(const std::vector<MatchOutput>& outputs,
+                        std::vector<Update>* out);
 
   // Highest report timestamp known (stored or pending) for the object, or
   // -infinity when unknown.
@@ -188,6 +225,9 @@ class QueryProcessor {
 
   QueryProcessorOptions options_;
   std::unique_ptr<HistoryStore> history_;  // null unless record_history
+  // Fork/join pool for the matching and k-NN search phases; null when
+  // the resolved worker count is 1 (fully serial tick).
+  std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<GridIndex> grid_;
   ObjectStore objects_;
   QueryStore queries_;

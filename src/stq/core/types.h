@@ -55,6 +55,28 @@ struct TickStats {
   size_t positive_updates = 0;
   size_t negative_updates = 0;
   size_t knn_reevaluations = 0;
+
+  // Wall-clock seconds spent in each tick phase (steady-clock). The
+  // object pass is split into its parallel matching half and its serial
+  // delta-replay half so the ablation bench can attribute speedup.
+  double removals_seconds = 0.0;
+  double upserts_seconds = 0.0;
+  double query_changes_seconds = 0.0;
+  double query_pass_seconds = 0.0;
+  double object_match_seconds = 0.0;
+  double object_apply_seconds = 0.0;
+  double knn_search_seconds = 0.0;
+  double knn_apply_seconds = 0.0;
+
+  // The parallelizable share of this tick (match + k-NN search time).
+  double ParallelSeconds() const {
+    return object_match_seconds + knn_search_seconds;
+  }
+  double TotalPhaseSeconds() const {
+    return removals_seconds + upserts_seconds + query_changes_seconds +
+           query_pass_seconds + object_match_seconds + object_apply_seconds +
+           knn_search_seconds + knn_apply_seconds;
+  }
 };
 
 // The output of one evaluation period: the full stream of incremental

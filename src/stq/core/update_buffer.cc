@@ -28,9 +28,11 @@ void UpdateBuffer::AddQueryChange(const PendingQueryChange& change,
   PendingQueryChange& pending = it->second;
   switch (change.kind) {
     case QueryChangeKind::kMove:
-      if (pending.kind == QueryChangeKind::kMove ||
-          pending.kind == QueryChangeKind::kUnregister) {
-        pending.kind = QueryChangeKind::kMove;
+      if (pending.kind == QueryChangeKind::kUnregister) {
+        // A Move cannot resurrect a query pending unregistration — the
+        // unregister wins. (The processor rejects such Moves upstream,
+        // but the buffer must not rely on that.)
+      } else if (pending.kind == QueryChangeKind::kMove) {
         pending.region = change.region;
         pending.center = change.center;
       } else {

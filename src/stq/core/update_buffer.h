@@ -73,6 +73,11 @@ class UpdateBuffer {
   bool HasPendingUpsert(ObjectId id) const {
     return object_upserts_.contains(id);
   }
+  // Pending upsert for `id`, or nullptr. Invalidated by further mutation.
+  const PendingObjectUpsert* FindPendingUpsert(ObjectId id) const {
+    auto it = object_upserts_.find(id);
+    return it == object_upserts_.end() ? nullptr : &it->second;
+  }
   bool HasPendingRemove(ObjectId id) const {
     return object_removes_.contains(id);
   }
@@ -81,7 +86,8 @@ class UpdateBuffer {
 
   // Merge rules: a Move over a pending Register folds the new geometry
   // into the Register; an Unregister over a pending Register of a query
-  // that never reached the store cancels both.
+  // that never reached the store cancels both; a Move over a pending
+  // Unregister is dropped (moving a dead query must not resurrect it).
   void AddQueryChange(const PendingQueryChange& change, bool existed_before);
 
   bool HasPendingQueryRegister(QueryId id) const;

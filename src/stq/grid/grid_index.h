@@ -16,7 +16,11 @@
 // granularity); exact containment is the caller's job.
 //
 // Thread-compatible: external synchronization required for concurrent
-// mutation.
+// mutation. All const member functions are pure reads — no lazy caches,
+// no mutable members — so any number of threads may call them
+// concurrently as long as no thread mutates (audited for the parallel
+// tick's matching phase and the k-NN searches, which shard const reads
+// of one grid across a ThreadPool; see DESIGN.md, "Threading model").
 
 #ifndef STQ_GRID_GRID_INDEX_H_
 #define STQ_GRID_GRID_INDEX_H_

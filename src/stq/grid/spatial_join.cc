@@ -2,57 +2,125 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "stq/common/check.h"
 
 namespace stq {
 
-std::vector<JoinPair> GridPartitionJoin(const std::vector<JoinPoint>& points,
-                                        const std::vector<JoinRect>& rects,
-                                        const Rect& bounds,
-                                        int cells_per_side) {
-  STQ_CHECK(!bounds.IsEmpty());
-  STQ_CHECK(cells_per_side >= 1);
-  const int n = cells_per_side;
-  const double cell_w = bounds.Width() / n;
-  const double cell_h = bounds.Height() / n;
+namespace {
 
-  // Partition phase: bucket point indices per cell.
-  std::vector<std::vector<size_t>> buckets(static_cast<size_t>(n) * n);
-  for (size_t i = 0; i < points.size(); ++i) {
-    const Point& p = points[i].loc;
-    if (!bounds.Contains(p)) continue;  // outside the universe
-    int cx = static_cast<int>(std::floor((p.x - bounds.min_x) / cell_w));
-    int cy = static_cast<int>(std::floor((p.y - bounds.min_y) / cell_h));
-    cx = std::clamp(cx, 0, n - 1);
-    cy = std::clamp(cy, 0, n - 1);
-    buckets[static_cast<size_t>(cy) * n + cx].push_back(i);
-  }
-
-  // Merge phase: clip each rectangle to its partitions and test only the
-  // points bucketed there. A point lies in exactly one bucket, so no
-  // output deduplication is needed.
+// Fallback for universes the grid math cannot hash into cells: a
+// zero-width/zero-height (yet non-empty) bounds rectangle would yield
+// cell_w == 0 and NaN cell indices, and non-finite extents would poison
+// the index arithmetic before the int casts. Semantics match the grid
+// path exactly: rectangles are clipped to `bounds`, so points outside
+// the universe never match.
+std::vector<JoinPair> BoundedNestedLoopJoin(
+    const std::vector<JoinPoint>& points, const std::vector<JoinRect>& rects,
+    const Rect& bounds) {
   std::vector<JoinPair> out;
   for (const JoinRect& r : rects) {
     const Rect region = r.region.Intersection(bounds);
     if (region.IsEmpty()) continue;
-    int x0 = static_cast<int>(std::floor((region.min_x - bounds.min_x) / cell_w));
-    int y0 = static_cast<int>(std::floor((region.min_y - bounds.min_y) / cell_h));
-    int x1 = static_cast<int>(std::floor((region.max_x - bounds.min_x) / cell_w));
-    int y1 = static_cast<int>(std::floor((region.max_y - bounds.min_y) / cell_h));
-    x0 = std::clamp(x0, 0, n - 1);
-    y0 = std::clamp(y0, 0, n - 1);
-    x1 = std::clamp(x1, 0, n - 1);
-    y1 = std::clamp(y1, 0, n - 1);
-    for (int cy = y0; cy <= y1; ++cy) {
-      for (int cx = x0; cx <= x1; ++cx) {
-        for (size_t i : buckets[static_cast<size_t>(cy) * n + cx]) {
-          if (region.Contains(points[i].loc)) {
-            out.push_back(JoinPair{r.id, points[i].id});
+    for (const JoinPoint& p : points) {
+      if (region.Contains(p.loc)) out.push_back(JoinPair{r.id, p.id});
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<JoinPair> GridPartitionJoin(const std::vector<JoinPoint>& points,
+                                        const std::vector<JoinRect>& rects,
+                                        const Rect& bounds,
+                                        int cells_per_side,
+                                        ThreadPool* pool) {
+  STQ_CHECK(!bounds.IsEmpty());
+  STQ_CHECK(cells_per_side >= 1);
+  if (!(bounds.Width() > 0.0) || !(bounds.Height() > 0.0) ||
+      !std::isfinite(bounds.Width()) || !std::isfinite(bounds.Height())) {
+    return BoundedNestedLoopJoin(points, rects, bounds);
+  }
+  const int n = cells_per_side;
+  const double cell_w = bounds.Width() / n;
+  const double cell_h = bounds.Height() / n;
+  const size_t num_cells = static_cast<size_t>(n) * n;
+  const bool parallel = pool != nullptr && pool->num_workers() > 1;
+
+  // Partition phase: compute each point's cell (data-parallel — the
+  // slot writes are disjoint), then bucket indices serially in input
+  // order, which keeps per-bucket order identical to a serial run.
+  constexpr size_t kOutside = std::numeric_limits<size_t>::max();
+  std::vector<size_t> cell_of(points.size(), kOutside);
+  auto hash_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const Point& p = points[i].loc;
+      if (!bounds.Contains(p)) continue;  // outside the universe
+      int cx = static_cast<int>(std::floor((p.x - bounds.min_x) / cell_w));
+      int cy = static_cast<int>(std::floor((p.y - bounds.min_y) / cell_h));
+      cx = std::clamp(cx, 0, n - 1);
+      cy = std::clamp(cy, 0, n - 1);
+      cell_of[i] = static_cast<size_t>(cy) * n + cx;
+    }
+  };
+  if (parallel) {
+    pool->RunShards(points.size(), [&](int /*shard*/, size_t begin,
+                                       size_t end) {
+      hash_range(begin, end);
+    });
+  } else {
+    hash_range(0, points.size());
+  }
+  std::vector<std::vector<size_t>> buckets(num_cells);
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (cell_of[i] != kOutside) buckets[cell_of[i]].push_back(i);
+  }
+
+  // Probe phase: clip each rectangle to its partitions and test only the
+  // points bucketed there. A point lies in exactly one bucket, so no
+  // output deduplication is needed. Rect shards emit into private
+  // vectors; the final sort makes the merged output order canonical.
+  auto probe_range = [&](size_t begin, size_t end,
+                         std::vector<JoinPair>* out) {
+    for (size_t ri = begin; ri < end; ++ri) {
+      const JoinRect& r = rects[ri];
+      const Rect region = r.region.Intersection(bounds);
+      if (region.IsEmpty()) continue;
+      int x0 = static_cast<int>(std::floor((region.min_x - bounds.min_x) / cell_w));
+      int y0 = static_cast<int>(std::floor((region.min_y - bounds.min_y) / cell_h));
+      int x1 = static_cast<int>(std::floor((region.max_x - bounds.min_x) / cell_w));
+      int y1 = static_cast<int>(std::floor((region.max_y - bounds.min_y) / cell_h));
+      x0 = std::clamp(x0, 0, n - 1);
+      y0 = std::clamp(y0, 0, n - 1);
+      x1 = std::clamp(x1, 0, n - 1);
+      y1 = std::clamp(y1, 0, n - 1);
+      for (int cy = y0; cy <= y1; ++cy) {
+        for (int cx = x0; cx <= x1; ++cx) {
+          for (size_t i : buckets[static_cast<size_t>(cy) * n + cx]) {
+            if (region.Contains(points[i].loc)) {
+              out->push_back(JoinPair{r.id, points[i].id});
+            }
           }
         }
       }
     }
+  };
+  std::vector<JoinPair> out;
+  if (parallel) {
+    std::vector<std::vector<JoinPair>> shard_out(
+        static_cast<size_t>(pool->num_workers()));
+    pool->RunShards(rects.size(), [&](int shard, size_t begin, size_t end) {
+      probe_range(begin, end, &shard_out[static_cast<size_t>(shard)]);
+    });
+    size_t total = 0;
+    for (const auto& s : shard_out) total += s.size();
+    out.reserve(total);
+    for (const auto& s : shard_out) out.insert(out.end(), s.begin(), s.end());
+  } else {
+    probe_range(0, rects.size(), &out);
   }
   std::sort(out.begin(), out.end());
   return out;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "stq/common/ids.h"
+#include "stq/common/thread_pool.h"
 #include "stq/geo/point.h"
 #include "stq/geo/rect.h"
 
@@ -52,11 +53,17 @@ struct JoinPair {
 // over `bounds`, clips each rectangle to its overlapping partitions, and
 // tests containment only within partitions. Output is sorted and
 // duplicate-free. Points outside `bounds` never match (the bounded space
-// is the universe). `cells_per_side` >= 1.
+// is the universe). `cells_per_side` >= 1. `bounds` must be non-empty
+// but may be degenerate (zero width/height or non-finite extents), in
+// which case the join falls back to a bounds-clipped nested loop with
+// identical semantics. When `pool` has more than one worker, the
+// partition and probe phases shard across it; the output is identical
+// for every worker count.
 std::vector<JoinPair> GridPartitionJoin(const std::vector<JoinPoint>& points,
                                         const std::vector<JoinRect>& rects,
                                         const Rect& bounds,
-                                        int cells_per_side);
+                                        int cells_per_side,
+                                        ThreadPool* pool = nullptr);
 
 // Reference nested-loop join (exact, O(|points| x |rects|)). Oracle for
 // tests and the baseline in the join-strategy bench.

@@ -1,0 +1,184 @@
+// Determinism contract of the parallel shared-execution tick: for any
+// workload, the update stream after CanonicalizeUpdates is byte-identical
+// for 1 and N workers, and the engine's invariants hold after every tick
+// regardless of worker count.
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stq/common/random.h"
+#include "stq/core/query_processor.h"
+#include "stq/gen/workload.h"
+
+namespace stq {
+namespace {
+
+QueryProcessorOptions WorkerOptions(int workers, int grid = 16) {
+  QueryProcessorOptions options;
+  options.grid_cells_per_side = grid;
+  options.worker_threads = workers;
+  return options;
+}
+
+// The literal bytes a tick's update stream puts on the wire.
+std::string StreamBytes(const TickResult& r) {
+  std::ostringstream os;
+  for (const Update& u : r.updates) os << u.DebugString() << '\n';
+  return os.str();
+}
+
+// Drives one fixed pseudo-random mixed workload — range, k-NN, circle,
+// and predictive queries; sampled and predictive objects; removals and
+// unregistrations — against `qp`. The call sequence depends only on the
+// seed, never on the processor's responses.
+void DriveMixedWorkload(QueryProcessor* qp, uint64_t seed, size_t num_ticks,
+                        std::vector<std::string>* tick_streams) {
+  Xorshift128Plus rng(seed);
+  const ObjectId max_object = 50;
+  const QueryId max_query = 24;
+  double now = 0.0;
+  for (size_t tick = 0; tick < num_ticks; ++tick) {
+    for (int op = 0; op < 80; ++op) {
+      const ObjectId oid = 1 + rng.NextUint64(max_object);
+      const QueryId qid = 1 + rng.NextUint64(max_query);
+      const Point p{rng.NextDouble(), rng.NextDouble()};
+      const double t = now + rng.NextDouble(0.0, 1.0);
+      switch (rng.NextUint64(11)) {
+        case 0:
+        case 1:
+        case 2:
+          (void)qp->UpsertObject(oid, p, t);
+          break;
+        case 3:
+          (void)qp->UpsertPredictiveObject(
+              oid, p,
+              Velocity{rng.NextDouble(-0.05, 0.05),
+                       rng.NextDouble(-0.05, 0.05)},
+              t);
+          break;
+        case 4:
+          (void)qp->RemoveObject(oid);
+          break;
+        case 5:
+          (void)qp->RegisterRangeQuery(
+              qid, Rect::CenteredSquare(p, rng.NextDouble(0.05, 0.3)));
+          break;
+        case 6:
+          (void)qp->RegisterKnnQuery(qid, p, rng.NextInt(1, 5));
+          break;
+        case 7:
+          (void)qp->RegisterCircleQuery(qid, p, rng.NextDouble(0.05, 0.2));
+          break;
+        case 8:
+          (void)qp->RegisterPredictiveQuery(
+              qid, Rect::CenteredSquare(p, rng.NextDouble(0.05, 0.3)),
+              now, now + rng.NextDouble(1.0, 20.0));
+          break;
+        case 9:
+          // Move whatever kind the query currently is; at most one of
+          // these succeeds, and all are deterministic in (state, rng).
+          (void)qp->MoveRangeQuery(
+              qid, Rect::CenteredSquare(p, rng.NextDouble(0.05, 0.3)));
+          (void)qp->MoveKnnQuery(qid, p);
+          (void)qp->MoveCircleQuery(qid, p);
+          break;
+        case 10:
+          (void)qp->UnregisterQuery(qid);
+          break;
+      }
+    }
+    now += 1.0;
+    const TickResult r = qp->EvaluateTick(now);
+    tick_streams->push_back(StreamBytes(r));
+    ASSERT_TRUE(qp->CheckInvariants().ok())
+        << "invariants violated after tick " << tick << " with "
+        << qp->worker_threads() << " workers";
+  }
+}
+
+TEST(ParallelTickTest, MixedWorkloadStreamsAreWorkerCountInvariant) {
+  constexpr size_t kTicks = 10;
+  std::vector<std::string> serial_streams;
+  {
+    QueryProcessor qp(WorkerOptions(1));
+    DriveMixedWorkload(&qp, /*seed=*/424242, kTicks, &serial_streams);
+  }
+  for (int workers : {2, 4}) {
+    std::vector<std::string> parallel_streams;
+    QueryProcessor qp(WorkerOptions(workers));
+    EXPECT_EQ(qp.worker_threads(), workers);
+    DriveMixedWorkload(&qp, /*seed=*/424242, kTicks, &parallel_streams);
+    ASSERT_EQ(parallel_streams.size(), serial_streams.size());
+    for (size_t i = 0; i < serial_streams.size(); ++i) {
+      EXPECT_EQ(parallel_streams[i], serial_streams[i])
+          << "tick " << i << " diverged at " << workers << " workers";
+    }
+  }
+}
+
+TEST(ParallelTickTest, NetworkWorkloadStreamsAreWorkerCountInvariant) {
+  NetworkWorkloadOptions options;
+  options.city.rows = 6;
+  options.city.cols = 6;
+  options.city.seed = 7;
+  options.num_objects = 400;
+  options.num_queries = 80;
+  options.query_side_length = 0.08;
+  options.num_ticks = 4;
+  options.object_update_fraction = 0.6;
+  options.query_update_fraction = 0.3;
+  options.seed = 7;
+  options.route = NetworkGenerator::RouteStrategy::kRandomWalk;
+  const Workload workload = Workload::GenerateNetwork(options);
+
+  auto run = [&](int workers) {
+    QueryProcessor qp(WorkerOptions(workers, /*grid=*/32));
+    workload.ApplyInitial(&qp);
+    std::vector<std::string> streams;
+    streams.push_back(StreamBytes(qp.EvaluateTick(0.0)));
+    for (size_t i = 0; i < workload.ticks().size(); ++i) {
+      workload.ApplyTick(&qp, i);
+      streams.push_back(StreamBytes(qp.EvaluateTick(workload.ticks()[i].time)));
+      EXPECT_TRUE(qp.CheckInvariants().ok());
+    }
+    return streams;
+  };
+
+  const std::vector<std::string> serial = run(1);
+  const std::vector<std::string> parallel = run(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "tick " << i;
+  }
+  // The workload actually produced traffic — the test is not vacuous.
+  size_t total_bytes = 0;
+  for (const std::string& s : serial) total_bytes += s.size();
+  EXPECT_GT(total_bytes, 0u);
+}
+
+TEST(ParallelTickTest, PhaseTimersAccumulate) {
+  QueryProcessor qp(WorkerOptions(2));
+  for (ObjectId id = 1; id <= 200; ++id) {
+    ASSERT_TRUE(
+        qp.UpsertObject(id, Point{(id % 20) / 20.0, (id / 20) / 10.0}, 0.0)
+            .ok());
+  }
+  ASSERT_TRUE(qp.RegisterRangeQuery(1, Rect{0.1, 0.1, 0.7, 0.7}).ok());
+  ASSERT_TRUE(qp.RegisterKnnQuery(2, Point{0.5, 0.5}, 5).ok());
+  const TickResult r = qp.EvaluateTick(1.0);
+  EXPECT_GT(r.stats.object_match_seconds, 0.0);
+  EXPECT_GT(r.stats.upserts_seconds, 0.0);
+  EXPECT_GE(r.stats.knn_search_seconds, 0.0);
+  EXPECT_GE(r.stats.TotalPhaseSeconds(), r.stats.ParallelSeconds());
+}
+
+TEST(ParallelTickTest, AutoWorkerCountResolvesToHardware) {
+  QueryProcessor qp(WorkerOptions(0));
+  EXPECT_GE(qp.worker_threads(), 1);
+}
+
+}  // namespace
+}  // namespace stq

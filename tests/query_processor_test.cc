@@ -62,6 +62,35 @@ TEST(QueryProcessorTest, StaleCheckAgainstPendingRemoval) {
   EXPECT_TRUE(qp.UpsertObject(1, Point{0.1, 0.1}, 0.0).ok());
 }
 
+TEST(QueryProcessorTest, StaleReportAgainstPendingUpsertRejected) {
+  // Regression: a second report for the same object within one tick with
+  // an *older* timestamp must not overwrite the newer pending report.
+  QueryProcessor qp(TestOptions());
+  ASSERT_TRUE(qp.RegisterRangeQuery(1, Rect{0.4, 0.4, 0.6, 0.6}).ok());
+  qp.EvaluateTick(0.0);
+  ASSERT_TRUE(qp.UpsertObject(1, Point{0.5, 0.5}, 5.0).ok());
+  EXPECT_TRUE(qp.UpsertObject(1, Point{0.9, 0.9}, 3.0).IsInvalidArgument());
+  EXPECT_TRUE(qp.UpsertObject(1, Point{0.5, 0.5}, 5.0).ok());  // equal ok
+  const TickResult r = qp.EvaluateTick(6.0);
+  // The t=5 report survived: the object is inside the query.
+  EXPECT_EQ(r.updates, std::vector<Update>{Update::Positive(1, 1)});
+  EXPECT_EQ(qp.object_store().Find(1)->t, 5.0);
+}
+
+TEST(QueryProcessorTest, StaleCheckAfterRemoveThenUpsertUsesPendingTime) {
+  // After remove + re-upsert within one tick, the pending upsert's
+  // timestamp (not the doomed store record's) is the staleness baseline.
+  QueryProcessor qp(TestOptions());
+  ASSERT_TRUE(qp.UpsertObject(1, Point{0.5, 0.5}, 10.0).ok());
+  qp.EvaluateTick(10.0);
+  ASSERT_TRUE(qp.RemoveObject(1).ok());
+  ASSERT_TRUE(qp.UpsertObject(1, Point{0.1, 0.1}, 3.0).ok());  // id reuse
+  EXPECT_TRUE(qp.UpsertObject(1, Point{0.2, 0.2}, 2.0).IsInvalidArgument());
+  EXPECT_TRUE(qp.UpsertObject(1, Point{0.2, 0.2}, 4.0).ok());
+  qp.EvaluateTick(11.0);
+  EXPECT_EQ(qp.object_store().Find(1)->t, 4.0);
+}
+
 TEST(QueryProcessorTest, RemoveUnknownObjectFails) {
   QueryProcessor qp(TestOptions());
   EXPECT_TRUE(qp.RemoveObject(42).IsNotFound());
@@ -169,6 +198,23 @@ TEST(QueryProcessorTest, RegisterUnregisterWithinOneTickIsANoOp) {
   const TickResult r = qp.EvaluateTick(0.0);
   EXPECT_TRUE(r.updates.empty());
   EXPECT_EQ(qp.num_queries(), 0u);
+}
+
+TEST(QueryProcessorTest, MoveAfterUnregisterDoesNotResurrect) {
+  // Regression: register → unregister → move within one tick. The move is
+  // rejected, and even if one reached the buffer it must not fold into the
+  // pending unregister and resurrect the query (see UpdateBuffer tests for
+  // the buffer-layer half of this contract).
+  QueryProcessor qp(TestOptions());
+  ASSERT_TRUE(qp.UpsertObject(1, Point{0.5, 0.5}, 0.0).ok());
+  ASSERT_TRUE(qp.RegisterRangeQuery(1, Rect{0.4, 0.4, 0.6, 0.6}).ok());
+  qp.EvaluateTick(0.0);
+  ASSERT_TRUE(qp.UnregisterQuery(1).ok());
+  EXPECT_TRUE(qp.MoveRangeQuery(1, Rect{0.4, 0.4, 0.6, 0.6}).IsNotFound());
+  const TickResult r = qp.EvaluateTick(1.0);
+  EXPECT_TRUE(r.updates.empty());
+  EXPECT_EQ(qp.num_queries(), 0u);
+  EXPECT_TRUE(qp.CheckInvariants().ok());
 }
 
 TEST(QueryProcessorTest, ReRegistrationAfterUnregisterInSameTick) {

@@ -1,11 +1,13 @@
 // Tests for the standalone grid-partition spatial join (the paper's bulk
 // processing primitive) against the nested-loop oracle.
 
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "stq/common/random.h"
+#include "stq/common/thread_pool.h"
 #include "stq/grid/spatial_join.h"
 
 namespace stq {
@@ -96,6 +98,86 @@ TEST(SpatialJoinTest, DuplicateIdsActIndependently) {
   const std::vector<JoinPair> pairs =
       GridPartitionJoin(points, rects, kUnit, 4);
   ASSERT_EQ(pairs.size(), 2u);  // both instances matched
+}
+
+TEST(SpatialJoinTest, DegenerateZeroAreaBoundsFallBackSafely) {
+  // Regression: zero-width / zero-height bounds used to divide by a zero
+  // cell extent, producing NaN cell indices and UB in the int cast. The
+  // join now falls back to a bounds-clipped nested loop.
+  const std::vector<JoinPoint> points = {{1, Point{0.5, 0.5}},
+                                         {2, Point{0.5, 0.7}},
+                                         {3, Point{0.6, 0.5}}};
+  const std::vector<JoinRect> rects = {{10, Rect{0.0, 0.0, 1.0, 1.0}}};
+
+  // Vertical-line universe: only points with x == 0.5 are inside it.
+  const Rect vline{0.5, 0.0, 0.5, 1.0};
+  const std::vector<JoinPair> expect_vline = {{10, 1}, {10, 2}};
+  EXPECT_EQ(GridPartitionJoin(points, rects, vline, 8), expect_vline);
+
+  // Horizontal-line universe.
+  const Rect hline{0.0, 0.5, 1.0, 0.5};
+  const std::vector<JoinPair> expect_hline = {{10, 1}, {10, 3}};
+  EXPECT_EQ(GridPartitionJoin(points, rects, hline, 8), expect_hline);
+
+  // Point universe: exactly one location is in-bounds.
+  const Rect dot{0.5, 0.5, 0.5, 0.5};
+  const std::vector<JoinPair> expect_dot = {{10, 1}};
+  EXPECT_EQ(GridPartitionJoin(points, rects, dot, 8), expect_dot);
+}
+
+TEST(SpatialJoinTest, DegenerateBoundsStillEnforceUniverseRule) {
+  // A rect reaching outside the degenerate universe must not match
+  // points that lie outside it.
+  const std::vector<JoinPoint> points = {{1, Point{0.5, 0.2}},
+                                         {2, Point{0.4, 0.2}}};
+  const std::vector<JoinRect> rects = {{10, Rect{0.0, 0.0, 1.0, 1.0}}};
+  const Rect vline{0.5, 0.0, 0.5, 1.0};
+  const std::vector<JoinPair> expected = {{10, 1}};  // p2 is off the line
+  EXPECT_EQ(GridPartitionJoin(points, rects, vline, 4), expected);
+}
+
+TEST(SpatialJoinTest, NonFiniteBoundsFallBackWithoutUb) {
+  const std::vector<JoinPoint> points = {{1, Point{0.5, 0.5}}};
+  const std::vector<JoinRect> rects = {{10, Rect{0.0, 0.0, 1.0, 1.0}}};
+  const double inf = std::numeric_limits<double>::infinity();
+  // Infinite-extent universe: cell width would be inf; must not crash.
+  const Rect unbounded{-inf, 0.0, inf, 1.0};
+  const std::vector<JoinPair> expected = {{10, 1}};
+  EXPECT_EQ(GridPartitionJoin(points, rects, unbounded, 8), expected);
+}
+
+TEST(SpatialJoinTest, ParallelJoinMatchesSerialAcrossWorkerCounts) {
+  Xorshift128Plus rng(1234);
+  std::vector<JoinPoint> points;
+  std::vector<JoinRect> rects;
+  for (ObjectId id = 1; id <= 400; ++id) {
+    points.push_back({id, Point{rng.NextDouble(), rng.NextDouble()}});
+  }
+  for (QueryId qid = 1; qid <= 120; ++qid) {
+    rects.push_back(
+        {qid, Rect::CenteredSquare(Point{rng.NextDouble(), rng.NextDouble()},
+                                   rng.NextDouble(0.01, 0.4))
+                  .Intersection(kUnit)});
+  }
+  const std::vector<JoinPair> serial =
+      GridPartitionJoin(points, rects, kUnit, 16);
+  EXPECT_EQ(serial, NestedLoopJoin(points, rects));
+  for (int workers : {2, 4}) {
+    ThreadPool pool(workers);
+    EXPECT_EQ(GridPartitionJoin(points, rects, kUnit, 16, &pool), serial)
+        << workers << " workers";
+  }
+}
+
+TEST(SpatialJoinTest, ParallelDegenerateBoundsMatchSerial) {
+  // The fallback path must also be pool-agnostic.
+  const std::vector<JoinPoint> points = {{1, Point{0.5, 0.5}},
+                                         {2, Point{0.5, 0.9}}};
+  const std::vector<JoinRect> rects = {{10, Rect{0.0, 0.0, 1.0, 1.0}}};
+  const Rect vline{0.5, 0.0, 0.5, 1.0};
+  ThreadPool pool(4);
+  EXPECT_EQ(GridPartitionJoin(points, rects, vline, 8, &pool),
+            GridPartitionJoin(points, rects, vline, 8));
 }
 
 }  // namespace

@@ -136,6 +136,42 @@ TEST(UpdateBufferTest, MoveFoldsIntoPendingRegister) {
   EXPECT_EQ(pending->region, (Rect{0.5, 0.5, 0.6, 0.6}));
 }
 
+TEST(UpdateBufferTest, MoveDoesNotResurrectPendingUnregister) {
+  // Regression: a Move arriving after an Unregister of a stored query
+  // must not replace the pending unregister — the query would otherwise
+  // come back from the dead at the next tick.
+  UpdateBuffer buffer;
+  PendingQueryChange unreg;
+  unreg.kind = QueryChangeKind::kUnregister;
+  unreg.id = 1;
+  buffer.AddQueryChange(unreg, /*exists_in_store=*/true);
+
+  PendingQueryChange move;
+  move.kind = QueryChangeKind::kMove;
+  move.id = 1;
+  move.region = Rect{0.5, 0.5, 0.6, 0.6};
+  buffer.AddQueryChange(move, /*exists_in_store=*/true);
+
+  EXPECT_TRUE(buffer.HasPendingQueryUnregister(1));
+  const PendingQueryChange* pending = buffer.FindPendingQueryChange(1);
+  ASSERT_NE(pending, nullptr);
+  EXPECT_EQ(pending->kind, QueryChangeKind::kUnregister);
+}
+
+TEST(UpdateBufferTest, FindPendingUpsertSeesLatestCoalescedReport) {
+  UpdateBuffer buffer;
+  EXPECT_EQ(buffer.FindPendingUpsert(1), nullptr);
+  buffer.AddObjectUpsert(
+      PendingObjectUpsert{1, Point{0.1, 0.1}, {}, 4.0, false});
+  buffer.AddObjectUpsert(
+      PendingObjectUpsert{1, Point{0.2, 0.2}, {}, 5.0, false});
+  const PendingObjectUpsert* pending = buffer.FindPendingUpsert(1);
+  ASSERT_NE(pending, nullptr);
+  EXPECT_EQ(pending->t, 5.0);
+  buffer.AddObjectRemove(1, /*existed_before=*/true);
+  EXPECT_EQ(buffer.FindPendingUpsert(1), nullptr);
+}
+
 TEST(UpdateBufferTest, UnregisterCancelsNeverStoredRegister) {
   UpdateBuffer buffer;
   PendingQueryChange reg;

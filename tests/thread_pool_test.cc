@@ -1,0 +1,117 @@
+// Tests for the fork/join ThreadPool: shard partitioning, inline
+// single-worker execution, reuse across jobs, and actual concurrency.
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stq/common/thread_pool.h"
+
+namespace stq {
+namespace {
+
+TEST(ThreadPoolTest, ShardBoundsPartitionTheRange) {
+  for (int workers : {1, 2, 3, 4, 7}) {
+    ThreadPool pool(workers);
+    for (size_t n : {size_t{0}, size_t{1}, size_t{3}, size_t{7}, size_t{64},
+                     size_t{1000}}) {
+      size_t expected_begin = 0;
+      for (int shard = 0; shard < workers; ++shard) {
+        size_t begin = 0, end = 0;
+        pool.ShardBounds(n, shard, &begin, &end);
+        EXPECT_EQ(begin, expected_begin) << "workers " << workers << " n " << n;
+        EXPECT_LE(begin, end);
+        expected_begin = end;
+      }
+      EXPECT_EQ(expected_begin, n);  // shards cover [0, n) exactly
+    }
+  }
+}
+
+TEST(ThreadPoolTest, SingleWorkerRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_workers(), 1);
+  const std::thread::id caller = std::this_thread::get_id();
+  bool ran = false;
+  pool.RunShards(10, [&](int shard, size_t begin, size_t end) {
+    EXPECT_EQ(shard, 0);
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 10u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ran = true;
+  });
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPoolTest, EmptyRangeRunsNothing) {
+  ThreadPool pool(4);
+  pool.RunShards(0, [&](int, size_t, size_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, EveryIndexVisitedExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> visits(kN);
+  pool.RunShards(kN, [&](int, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) visits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
+  ThreadPool pool(3);
+  std::atomic<size_t> total{0};
+  for (int job = 0; job < 200; ++job) {
+    pool.RunShards(17, [&](int, size_t begin, size_t end) {
+      total.fetch_add(end - begin);
+    });
+  }
+  EXPECT_EQ(total.load(), 200u * 17u);
+}
+
+TEST(ThreadPoolTest, FewerItemsThanWorkers) {
+  ThreadPool pool(8);
+  std::atomic<int> calls{0};
+  pool.RunShards(3, [&](int, size_t begin, size_t end) {
+    EXPECT_EQ(end - begin, 1u);  // 3 items over 8 workers: 3 unit shards
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(ThreadPoolTest, PerShardOutputsMergeDeterministically) {
+  // The engine's usage pattern: per-shard private outputs, merged in
+  // shard order, must equal the serial result.
+  constexpr size_t kN = 5000;
+  std::vector<int> serial;
+  serial.reserve(kN);
+  for (size_t i = 0; i < kN; ++i) serial.push_back(static_cast<int>(i * 3));
+
+  for (int workers : {2, 4, 5}) {
+    ThreadPool pool(workers);
+    std::vector<std::vector<int>> shard_out(static_cast<size_t>(workers));
+    pool.RunShards(kN, [&](int shard, size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        shard_out[static_cast<size_t>(shard)].push_back(
+            static_cast<int>(i * 3));
+      }
+    });
+    std::vector<int> merged;
+    for (const auto& s : shard_out) {
+      merged.insert(merged.end(), s.begin(), s.end());
+    }
+    EXPECT_EQ(merged, serial) << "workers " << workers;
+  }
+}
+
+TEST(ThreadPoolTest, ResolveWorkersMapsAutoToHardware) {
+  EXPECT_EQ(ThreadPool::ResolveWorkers(1), 1);
+  EXPECT_EQ(ThreadPool::ResolveWorkers(6), 6);
+  EXPECT_GE(ThreadPool::ResolveWorkers(0), 1);
+  EXPECT_GE(ThreadPool::ResolveWorkers(-3), 1);
+}
+
+}  // namespace
+}  // namespace stq
