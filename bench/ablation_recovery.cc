@@ -7,7 +7,16 @@
 // and grows with the disconnect duration (more missed churn), while the
 // full resend is flat at the total answer size — so the diff wins for
 // short outages, which is the common case the mechanism targets.
+//
+// Section 2 — durable recovery cost: WAL replay vs. checkpoint interval.
+// The same workload is driven through the PersistentServer on an
+// in-memory FaultInjectionEnv, crashed (all unsynced state dropped), and
+// reopened. Sweep: how often Checkpoint() runs. Expected shape: without
+// checkpoints the WAL and the reopen replay grow with history; tighter
+// checkpoint intervals bound both at the cost of rewriting the snapshot.
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 
 #include "bench_common.h"
@@ -15,6 +24,85 @@
 #include "stq/gen/network_generator.h"
 #include "stq/gen/query_generator.h"
 #include "stq/gen/road_network.h"
+#include "stq/storage/fault_env.h"
+#include "stq/storage/persistent_server.h"
+
+namespace {
+
+uint64_t SizeOrZero(stq::Env* env, const std::string& path) {
+  uint64_t size = 0;
+  return env->GetFileSize(path, &size).ok() ? size : 0;
+}
+
+// Drives `ticks` evaluation periods of the grid-city workload through a
+// persistent server, checkpointing every `checkpoint_every` ticks (0 =
+// never), then crashes it and times the recovery Open().
+void RunDurableRecovery(const stq::RoadNetwork& city,
+                        const stq::NetworkGenerator::Options& object_options,
+                        const stq::QueryGenerator::Options& query_options,
+                        size_t num_queries, int ticks, int checkpoint_every) {
+  stq::FaultInjectionEnv env;
+  {
+    stq::PersistentServer::Options options;
+    options.dir = "/db";
+    options.env = &env;
+    options.server.processor.grid_cells_per_side = 64;
+    stq::PersistentServer server(options);
+    if (!server.Open().ok()) return;
+    server.AttachClient(1);
+    stq::NetworkGenerator objs(&city, object_options);
+    stq::QueryGenerator qrys(&city, query_options);
+    for (const stq::ObjectReport& r : objs.InitialReports(0.0)) {
+      server.ReportObject(r.id, r.loc, r.t);
+    }
+    for (const stq::QueryRegionReport& q : qrys.InitialRegions(0.0)) {
+      server.RegisterRangeQuery(q.id, 1, q.region);
+    }
+    server.Tick(0.0);
+    for (stq::QueryId qid = 1; qid <= num_queries; ++qid) {
+      server.CommitQuery(qid);
+    }
+    for (int tick = 1; tick <= ticks; ++tick) {
+      const double now = tick * 5.0;
+      for (const stq::ObjectReport& r : objs.Step(now, 5.0, 0.5)) {
+        server.ReportObject(r.id, r.loc, r.t);
+      }
+      for (const stq::QueryRegionReport& q : qrys.Step(now, 5.0, 0.5)) {
+        server.MoveRangeQuery(q.id, q.region);
+      }
+      server.Tick(now);
+      if (checkpoint_every > 0 && tick % checkpoint_every == 0) {
+        server.Checkpoint();
+      }
+    }
+    // Crash: the server is destroyed without Close().
+  }
+  env.SimulateCrash(stq::FaultInjectionEnv::UnsyncedLoss::kDropAll);
+
+  const uint64_t wal_bytes = SizeOrZero(&env, "/db/WAL");
+  const uint64_t snapshot_bytes = SizeOrZero(&env, "/db/SNAPSHOT");
+  stq::PersistentServer::Options options;
+  options.dir = "/db";
+  options.env = &env;
+  options.server.processor.grid_cells_per_side = 64;
+  stq::PersistentServer recovered(options);
+  const auto start = std::chrono::steady_clock::now();
+  const stq::Status open = recovered.Open();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const double open_ms =
+      std::chrono::duration<double, std::milli>(elapsed).count();
+  if (!open.ok()) {
+    std::printf("%-16d %14s %14s %10s  (%s)\n",
+                checkpoint_every, "-", "-", "-", open.ToString().c_str());
+    return;
+  }
+  std::printf("%-16d %14.1f %14.1f %9.1f\n", checkpoint_every,
+              stq_bench::ToKb(wal_bytes), stq_bench::ToKb(snapshot_bytes),
+              open_ms);
+  recovered.Close();
+}
+
+}  // namespace
 
 int main() {
   const size_t num_objects = stq_bench::EnvSize("STQ_BENCH_OBJECTS", 20000);
@@ -86,6 +174,40 @@ int main() {
                 diff_bytes > 0 ? static_cast<double>(full_bytes) /
                                      static_cast<double>(diff_bytes)
                                : 0.0);
+  }
+
+  // --- Section 2: durable recovery (crash + WAL replay) --------------------
+  const size_t durable_objects =
+      stq_bench::EnvSize("STQ_BENCH_DURABLE_OBJECTS", 5000);
+  const size_t durable_queries =
+      stq_bench::EnvSize("STQ_BENCH_DURABLE_QUERIES", 200);
+  const int durable_ticks = static_cast<int>(
+      stq_bench::EnvSize("STQ_BENCH_DURABLE_TICKS", 12));
+
+  std::printf("\nDurable recovery: WAL replay cost vs. checkpoint interval\n");
+  std::printf("objects=%zu queries=%zu ticks=%d, crash drops unsynced "
+              "state, then reopen\n\n",
+              durable_objects, durable_queries, durable_ticks);
+  std::printf("%-16s %14s %14s %10s\n", "ckpt_every", "wal_KB",
+              "snapshot_KB", "open_ms");
+
+  stq::RoadNetwork::GridCityOptions city_options;
+  city_options.rows = 30;
+  city_options.cols = 30;
+  const stq::RoadNetwork city = stq::RoadNetwork::MakeGridCity(city_options);
+  stq::NetworkGenerator::Options object_options;
+  object_options.num_objects = durable_objects;
+  object_options.seed = 41;
+  object_options.route = stq::NetworkGenerator::RouteStrategy::kRandomWalk;
+  stq::QueryGenerator::Options query_options;
+  query_options.num_queries = durable_queries;
+  query_options.side_length = 0.03;
+  query_options.seed = 42;
+  query_options.route = stq::NetworkGenerator::RouteStrategy::kRandomWalk;
+
+  for (int checkpoint_every : {0, 8, 4, 2, 1}) {
+    RunDurableRecovery(city, object_options, query_options, durable_queries,
+                       durable_ticks, checkpoint_every);
   }
   return 0;
 }

@@ -133,6 +133,10 @@ class Server {
   // Installs a recovered committed answer.
   void RestoreCommitted(QueryId qid, const std::vector<ObjectId>& answer);
 
+  // Installs the evaluation result of a recovery replay as the last tick,
+  // restoring the server's clock. Nothing is delivered.
+  void RestoreLastTick(TickResult result) { last_tick_ = std::move(result); }
+
   const CommittedStore& committed() const { return committed_; }
 
   // The client a query's results are bound to, or nullopt.

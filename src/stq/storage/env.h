@@ -1,0 +1,116 @@
+// Env: the I/O abstraction every storage-layer byte passes through.
+//
+// All file access in stq/storage (WAL, snapshots, repository, workload
+// traces) goes through an Env so that tests can substitute a
+// FaultInjectionEnv (fault_env.h) and exercise the failure paths —
+// failed or torn writes, lost unsynced data, crashes between a rename
+// and the directory sync — that a real filesystem only produces when
+// the machine dies. The production implementation is PosixEnv
+// (posix_env.cc), the only file in the library allowed to call raw
+// fopen/fsync/rename/truncate (CI greps for violations).
+//
+// Durability contract of the interface (what PosixEnv guarantees and
+// FaultInjectionEnv simulates):
+//   - WritableFile::Append buffers; bytes are not durable until Sync.
+//   - WritableFile::Sync returns only after the file's data is durable.
+//   - Creating, renaming, or removing a file makes the *name* change
+//     durable only after SyncDir on the parent directory.
+
+#ifndef STQ_STORAGE_ENV_H_
+#define STQ_STORAGE_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stq/common/status.h"
+
+namespace stq {
+
+// An append-only file handle. Not thread-safe.
+class WritableFile {
+ public:
+  WritableFile() = default;
+  virtual ~WritableFile() = default;
+
+  WritableFile(const WritableFile&) = delete;
+  WritableFile& operator=(const WritableFile&) = delete;
+
+  virtual Status Append(const char* data, size_t n) = 0;
+  Status Append(const std::string& data) {
+    return Append(data.data(), data.size());
+  }
+
+  // Pushes user-space buffers to the OS (no durability guarantee).
+  virtual Status Flush() = 0;
+
+  // Flush + fsync: all appended bytes are durable on OK return.
+  virtual Status Sync() = 0;
+
+  virtual Status Close() = 0;
+};
+
+// A read-once-front-to-back file handle. Not thread-safe.
+class SequentialFile {
+ public:
+  SequentialFile() = default;
+  virtual ~SequentialFile() = default;
+
+  SequentialFile(const SequentialFile&) = delete;
+  SequentialFile& operator=(const SequentialFile&) = delete;
+
+  // Reads up to `n` bytes into *out (replaced, not appended). Fewer than
+  // `n` bytes — including zero — means end of file was reached.
+  virtual Status Read(size_t n, std::string* out) = 0;
+};
+
+class Env {
+ public:
+  Env() = default;
+  virtual ~Env() = default;
+
+  Env(const Env&) = delete;
+  Env& operator=(const Env&) = delete;
+
+  // The process-wide POSIX environment (never null, never destroyed).
+  static Env* Default();
+
+  // Opens `path` for appending; `truncate` discards existing contents.
+  // The file is created if missing (name durable after SyncDir).
+  virtual Status NewWritableFile(const std::string& path, bool truncate,
+                                 std::unique_ptr<WritableFile>* file) = 0;
+
+  virtual Status NewSequentialFile(const std::string& path,
+                                   std::unique_ptr<SequentialFile>* file) = 0;
+
+  // Atomically replaces `to` with `from` (durable after SyncDir).
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  // Truncates `path` to `size` bytes (must be <= current size).
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+
+  // fsync of the directory itself: makes prior create/rename/remove of
+  // entries in `dir` durable.
+  virtual Status SyncDir(const std::string& dir) = 0;
+
+  // Creates `dir`; succeeds if it already exists.
+  virtual Status CreateDir(const std::string& dir) = 0;
+
+  // Entry names (not paths) in `dir`, excluding "." and "..", sorted.
+  virtual Status ListDir(const std::string& dir,
+                         std::vector<std::string>* names) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+
+  virtual Status GetFileSize(const std::string& path, uint64_t* size) = 0;
+};
+
+// "/a/b/c" -> "/a/b", "c" -> "." (the parent directory of `path`).
+std::string DirName(const std::string& path);
+
+}  // namespace stq
+
+#endif  // STQ_STORAGE_ENV_H_

@@ -1,0 +1,394 @@
+#include "stq/storage/fault_env.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "stq/common/random.h"
+
+namespace stq {
+
+// A handle into the live view. Handles hold a shared_ptr to their node;
+// after SimulateCrash the live view is rebuilt, the node becomes
+// unreachable, and the handle is "stale" — its operations fail without
+// touching durable state (the process that owned it is dead).
+class FaultWritableFile final : public WritableFile {
+ public:
+  FaultWritableFile(FaultInjectionEnv* env, std::string path,
+                    std::shared_ptr<FaultInjectionEnv::FileNode> node)
+      : env_(env), path_(std::move(path)), node_(std::move(node)) {}
+
+  Status Append(const char* data, size_t n) override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    if (closed_) return Status::FailedPrecondition("file closed: " + path_);
+    int64_t tear = -1;
+    Status s = env_->Charge("append", path_, &tear);
+    if (!s.ok()) {
+      // A torn write: a prefix of the failing append still lands in the
+      // buffer, like a partial page reaching the OS before the error.
+      if (tear >= 0 && env_->IsLive(path_, node_)) {
+        node_->data.append(data, std::min(static_cast<size_t>(tear), n));
+      }
+      return s;
+    }
+    if (!env_->IsLive(path_, node_)) {
+      return Status::IOError("stale file handle: " + path_);
+    }
+    node_->data.append(data, n);
+    return Status::OK();
+  }
+
+  Status Flush() override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    if (closed_) return Status::FailedPrecondition("file closed: " + path_);
+    return env_->Charge("flush", path_);
+  }
+
+  Status Sync() override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    if (closed_) return Status::FailedPrecondition("file closed: " + path_);
+    STQ_RETURN_IF_ERROR(env_->Charge("sync", path_));
+    if (!env_->IsLive(path_, node_)) {
+      return Status::IOError("stale file handle: " + path_);
+    }
+    node_->synced = node_->data.size();
+    // If the name is already durable, the synced data is durable now; a
+    // pending create/rename becomes durable only at SyncDir.
+    auto it = env_->durable_.find(path_);
+    if (it != env_->durable_.end()) it->second = node_->data;
+    return Status::OK();
+  }
+
+  Status Close() override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    if (closed_) return Status::OK();
+    closed_ = true;
+    return env_->Charge("close", path_);
+  }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::string path_;
+  std::shared_ptr<FaultInjectionEnv::FileNode> node_;
+  bool closed_ = false;
+};
+
+// Readers snapshot the live contents at open; concurrent appends through
+// other handles do not bleed into an in-progress scan.
+class FaultSequentialFile final : public SequentialFile {
+ public:
+  FaultSequentialFile(FaultInjectionEnv* env, std::string path,
+                      std::string contents)
+      : env_(env), path_(std::move(path)), contents_(std::move(contents)) {}
+
+  Status Read(size_t n, std::string* out) override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    STQ_RETURN_IF_ERROR(env_->Charge("read", path_));
+    const size_t got = std::min(n, contents_.size() - pos_);
+    out->assign(contents_, pos_, got);
+    pos_ += got;
+    return Status::OK();
+  }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::string path_;
+  std::string contents_;
+  size_t pos_ = 0;
+};
+
+void FaultInjectionEnv::SetFailpoint(const std::string& op, Failpoint fp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  failpoints_[op] = FailpointState{std::move(fp), 0, 0};
+}
+
+void FaultInjectionEnv::ClearFailpoint(const std::string& op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  failpoints_.erase(op);
+}
+
+void FaultInjectionEnv::ClearFailpoints() {
+  std::lock_guard<std::mutex> lock(mu_);
+  failpoints_.clear();
+}
+
+void FaultInjectionEnv::CrashAfterOps(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_after_ = ops_ + n + 1;
+  crashed_ = false;
+}
+
+bool FaultInjectionEnv::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+uint64_t FaultInjectionEnv::op_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_;
+}
+
+Status FaultInjectionEnv::Charge(const std::string& op,
+                                 const std::string& path,
+                                 int64_t* tear_bytes) {
+  if (tear_bytes != nullptr) *tear_bytes = -1;
+  ++ops_;
+  if (crashed_ || (crash_after_ != 0 && ops_ >= crash_after_)) {
+    crashed_ = true;
+    return Status::IOError("simulated crash at I/O op #" +
+                           std::to_string(ops_));
+  }
+  auto it = failpoints_.find(op);
+  if (it == failpoints_.end()) return Status::OK();
+  FailpointState& state = it->second;
+  const Failpoint& fp = state.spec;
+  if (!fp.path_substring.empty() &&
+      path.find(fp.path_substring) == std::string::npos) {
+    return Status::OK();
+  }
+  ++state.calls;
+  if (fp.delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(fp.delay_ms));
+  }
+  if (state.calls <= fp.fail_after) return Status::OK();
+  if (fp.fail_count >= 0 && state.failures >= fp.fail_count) {
+    return Status::OK();
+  }
+  ++state.failures;
+  if (tear_bytes != nullptr) *tear_bytes = fp.tear_bytes;
+  return fp.error;
+}
+
+bool FaultInjectionEnv::IsLive(
+    const std::string& path, const std::shared_ptr<FileNode>& node) const {
+  auto it = live_.find(path);
+  return it != live_.end() && it->second == node;
+}
+
+void FaultInjectionEnv::RecordMetaOp(MetaOp op) {
+  const std::string dir = DirName(op.kind == MetaOp::kRename ? op.b : op.a);
+  pending_meta_[dir].push_back(std::move(op));
+}
+
+Status FaultInjectionEnv::NewWritableFile(
+    const std::string& path, bool truncate,
+    std::unique_ptr<WritableFile>* file) {
+  std::lock_guard<std::mutex> lock(mu_);
+  STQ_RETURN_IF_ERROR(Charge("new_writable", path));
+  if (!dirs_.contains(DirName(path))) {
+    return Status::IOError("cannot open for writing (no such directory): " +
+                           path);
+  }
+  auto it = live_.find(path);
+  std::shared_ptr<FileNode> node;
+  if (it != live_.end()) {
+    node = it->second;
+    if (truncate) {
+      // Truncation of an existing name is a data operation: the old
+      // durable content survives a crash until the new data is synced.
+      node->data.clear();
+      node->synced = 0;
+    }
+  } else {
+    node = std::make_shared<FileNode>();
+    live_[path] = node;
+    RecordMetaOp(MetaOp{MetaOp::kCreate, path, {}});
+  }
+  *file = std::make_unique<FaultWritableFile>(this, path, node);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::NewSequentialFile(
+    const std::string& path, std::unique_ptr<SequentialFile>* file) {
+  std::lock_guard<std::mutex> lock(mu_);
+  STQ_RETURN_IF_ERROR(Charge("new_sequential", path));
+  auto it = live_.find(path);
+  if (it == live_.end()) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  *file = std::make_unique<FaultSequentialFile>(this, path, it->second->data);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  STQ_RETURN_IF_ERROR(Charge("rename", to));
+  auto it = live_.find(from);
+  if (it == live_.end()) return Status::IOError("rename: no such file: " + from);
+  live_[to] = it->second;
+  live_.erase(it);
+  RecordMetaOp(MetaOp{MetaOp::kRename, from, to});
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  STQ_RETURN_IF_ERROR(Charge("remove", path));
+  if (live_.erase(path) == 0) {
+    return Status::IOError("remove: no such file: " + path);
+  }
+  RecordMetaOp(MetaOp{MetaOp::kRemove, path, {}});
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::TruncateFile(const std::string& path,
+                                       uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  STQ_RETURN_IF_ERROR(Charge("truncate", path));
+  auto it = live_.find(path);
+  if (it == live_.end()) {
+    return Status::IOError("truncate: no such file: " + path);
+  }
+  FileNode& node = *it->second;
+  if (size > node.data.size()) {
+    return Status::IOError("truncate past end: " + path);
+  }
+  node.data.resize(size);
+  node.synced = std::min(node.synced, node.data.size());
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::SyncDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  STQ_RETURN_IF_ERROR(Charge("syncdir", dir));
+  if (!dirs_.contains(dir)) {
+    return Status::IOError("cannot open dir: " + dir);
+  }
+  auto journal = pending_meta_.find(dir);
+  if (journal == pending_meta_.end()) return Status::OK();
+  for (const MetaOp& op : journal->second) {
+    switch (op.kind) {
+      case MetaOp::kCreate: {
+        auto node = live_.find(op.a);
+        if (node != live_.end()) {
+          durable_[op.a] = node->second->data.substr(0, node->second->synced);
+        }
+        break;
+      }
+      case MetaOp::kRename: {
+        durable_.erase(op.a);
+        auto node = live_.find(op.b);
+        if (node != live_.end()) {
+          durable_[op.b] = node->second->data.substr(0, node->second->synced);
+        }
+        break;
+      }
+      case MetaOp::kRemove:
+        durable_.erase(op.a);
+        break;
+    }
+  }
+  pending_meta_.erase(journal);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::CreateDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  STQ_RETURN_IF_ERROR(Charge("mkdir", dir));
+  dirs_.emplace(dir, true);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::ListDir(const std::string& dir,
+                                  std::vector<std::string>* names) {
+  std::lock_guard<std::mutex> lock(mu_);
+  STQ_RETURN_IF_ERROR(Charge("listdir", dir));
+  if (!dirs_.contains(dir)) {
+    return Status::IOError("cannot list dir: " + dir);
+  }
+  names->clear();
+  for (const auto& [path, node] : live_) {
+    if (DirName(path) == dir) {
+      names->push_back(path.substr(path.find_last_of('/') + 1));
+    }
+  }
+  return Status::OK();
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_.contains(path);
+}
+
+Status FaultInjectionEnv::GetFileSize(const std::string& path,
+                                      uint64_t* size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  STQ_RETURN_IF_ERROR(Charge("filesize", path));
+  auto it = live_.find(path);
+  if (it == live_.end()) return Status::IOError("stat: no such file: " + path);
+  *size = it->second->data.size();
+  return Status::OK();
+}
+
+void FaultInjectionEnv::SimulateCrash(UnsyncedLoss loss, uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Xorshift128Plus rng(seed);
+
+  if (loss == UnsyncedLoss::kKeepAll) {
+    durable_.clear();
+    for (const auto& [path, node] : live_) durable_[path] = node->data;
+  } else if (loss == UnsyncedLoss::kKeepPrefix) {
+    // A seeded random prefix of each directory's metadata journal made it
+    // to disk (journals are ordered: op i+1 never survives without op i).
+    for (auto& [dir, journal] : pending_meta_) {
+      const uint64_t keep = rng.NextUint64(journal.size() + 1);
+      for (uint64_t i = 0; i < keep; ++i) {
+        const MetaOp& op = journal[i];
+        const std::string* target = op.kind == MetaOp::kRename ? &op.b : &op.a;
+        if (op.kind == MetaOp::kRemove) {
+          durable_.erase(op.a);
+          continue;
+        }
+        if (op.kind == MetaOp::kRename) durable_.erase(op.a);
+        auto node = live_.find(*target);
+        if (node != live_.end()) {
+          durable_[*target] =
+              node->second->data.substr(0, node->second->synced);
+        }
+      }
+    }
+    // Each surviving file additionally keeps a seeded random prefix of
+    // its unsynced suffix — how torn WAL tails arise in reality.
+    for (auto& [path, content] : durable_) {
+      auto node = live_.find(path);
+      if (node == live_.end()) continue;
+      const std::string& data = node->second->data;
+      if (data.size() <= content.size() ||
+          data.compare(0, content.size(), content) != 0) {
+        continue;
+      }
+      const uint64_t extra = rng.NextUint64(data.size() - content.size() + 1);
+      content.append(data, content.size(), extra);
+    }
+  }
+
+  live_.clear();
+  for (const auto& [path, content] : durable_) {
+    auto node = std::make_shared<FileNode>();
+    node->data = content;
+    node->synced = content.size();
+    live_[path] = node;
+  }
+  pending_meta_.clear();
+  failpoints_.clear();
+  crash_after_ = 0;
+  crashed_ = false;
+}
+
+std::string FaultInjectionEnv::FileContentsForTest(
+    const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_.find(path);
+  return it == live_.end() ? std::string() : it->second->data;
+}
+
+uint64_t FaultInjectionEnv::DurableBytesForTest(
+    const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = durable_.find(path);
+  return it == durable_.end() ? 0 : it->second.size();
+}
+
+}  // namespace stq

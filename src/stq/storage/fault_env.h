@@ -1,0 +1,165 @@
+// FaultInjectionEnv: an in-memory Env with scriptable failures, modelled
+// after the injectable-Env pattern LevelDB-style storage engines use to
+// test recovery code.
+//
+// The filesystem is held entirely in memory as two views:
+//   - the *live* view: what the running process observes (its own
+//     buffered writes included), and
+//   - the *durable* view: what would survive a machine crash — per file,
+//     only bytes written before the last WritableFile::Sync, and only
+//     names whose create/rename/remove was followed by SyncDir on the
+//     parent directory (metadata ops are journalled per directory, in
+//     order).
+//
+// On top of the two views the env can:
+//   - fail (or delay) any call by failpoint name and call count, with an
+//     arbitrary error (e.g. an ENOSPC-style "no space left on device"),
+//   - tear an append at a byte offset (a prefix of the failing write
+//     still reaches the buffer),
+//   - die at the K-th I/O call (CrashAfterOps): the call and every later
+//     one fail with "simulated crash" until SimulateCrash() is invoked,
+//   - SimulateCrash(): reset the live view to the durable view, dropping
+//     unsynced data — or, in kKeepPrefix mode, keeping a seeded
+//     random-length prefix of each file's unsynced suffix and a seeded
+//     random prefix of each directory's pending metadata journal, which
+//     is how torn WAL tails and half-applied renames happen in reality.
+//
+// All methods are thread-safe. Failpoint op names are the
+// CONTRIBUTING.md "Failpoints" vocabulary: new_writable, new_sequential,
+// append, flush, sync, close, read, rename, remove, truncate, syncdir,
+// mkdir, listdir, filesize. (FileExists returns a bare bool and has no
+// failpoint.)
+
+#ifndef STQ_STORAGE_FAULT_ENV_H_
+#define STQ_STORAGE_FAULT_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "stq/storage/env.h"
+
+namespace stq {
+
+class FaultInjectionEnv final : public Env {
+ public:
+  struct Failpoint {
+    // Matching calls let through before the failpoint triggers.
+    uint64_t fail_after = 0;
+    // Calls that fail once triggered; -1 fails forever.
+    int fail_count = 1;
+    Status error = Status::IOError("injected fault");
+    // For `append` failpoints: bytes of the failing write that still
+    // reach the buffer (a torn write). -1 buffers nothing.
+    int64_t tear_bytes = -1;
+    // Only calls whose path contains this substring match (empty = all).
+    std::string path_substring;
+    // Sleep applied to matching calls before they run or fail.
+    int delay_ms = 0;
+  };
+
+  // What happens to buffered-but-unsynced bytes at SimulateCrash().
+  enum class UnsyncedLoss {
+    kDropAll,     // only synced data and dir-synced names survive
+    kKeepPrefix,  // seeded random prefixes of unsynced data/metadata survive
+    kKeepAll,     // everything survives (clean power-loss-free stop)
+  };
+
+  FaultInjectionEnv() = default;
+
+  // --- Fault scripting -------------------------------------------------------
+
+  // Installs (replaces) the failpoint for `op`. See the class comment for
+  // the op vocabulary.
+  void SetFailpoint(const std::string& op, Failpoint fp);
+  void ClearFailpoint(const std::string& op);
+  void ClearFailpoints();
+
+  // Every I/O call past the next `n` fails with "simulated crash" until
+  // SimulateCrash() is called. Counting starts now.
+  void CrashAfterOps(uint64_t n);
+  bool crashed() const;
+
+  // Total I/O calls observed (for sizing deterministic crash sweeps).
+  uint64_t op_count() const;
+
+  // The machine dies and reboots: the live view is reset to the durable
+  // view (see class comment for `loss`), open handles are disconnected,
+  // pending faults and the crash trigger are cleared.
+  void SimulateCrash(UnsyncedLoss loss = UnsyncedLoss::kDropAll,
+                     uint64_t seed = 0);
+
+  // Test helpers: live-view file contents (empty if missing) and the
+  // number of bytes of `path` that would survive a kDropAll crash.
+  std::string FileContentsForTest(const std::string& path) const;
+  uint64_t DurableBytesForTest(const std::string& path) const;
+
+  // --- Env interface ---------------------------------------------------------
+
+  Status NewWritableFile(const std::string& path, bool truncate,
+                         std::unique_ptr<WritableFile>* file) override;
+  Status NewSequentialFile(const std::string& path,
+                           std::unique_ptr<SequentialFile>* file) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+  Status SyncDir(const std::string& dir) override;
+  Status CreateDir(const std::string& dir) override;
+  Status ListDir(const std::string& dir,
+                 std::vector<std::string>* names) override;
+  bool FileExists(const std::string& path) override;
+  Status GetFileSize(const std::string& path, uint64_t* size) override;
+
+ private:
+  friend class FaultWritableFile;
+  friend class FaultSequentialFile;
+
+  struct FileNode {
+    std::string data;
+    size_t synced = 0;  // data[0, synced) is fsync'ed
+  };
+
+  struct MetaOp {
+    enum Kind { kCreate, kRename, kRemove } kind;
+    std::string a;  // path (create/remove) or source (rename)
+    std::string b;  // destination (rename)
+  };
+
+  struct FailpointState {
+    Failpoint spec;
+    uint64_t calls = 0;  // matching calls seen so far
+    int failures = 0;    // failures dealt so far
+  };
+
+  // Charges one I/O call against the crash budget and the `op` failpoint.
+  // Returns non-OK if the call must fail; *tear_bytes (may be null)
+  // receives the torn-write allowance for append ops.
+  Status Charge(const std::string& op, const std::string& path,
+                int64_t* tear_bytes = nullptr)
+      /* requires mu_ */;
+
+  // True while `node` is still reachable in the live view (handles to
+  // pre-crash nodes go stale and must not touch durable state).
+  bool IsLive(const std::string& path,
+              const std::shared_ptr<FileNode>& node) const
+      /* requires mu_ */;
+
+  void RecordMetaOp(MetaOp op) /* requires mu_ */;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<FileNode>> live_;
+  std::map<std::string, std::string> durable_;  // name-durable path -> content
+  std::map<std::string, std::vector<MetaOp>> pending_meta_;  // per parent dir
+  std::map<std::string, bool> dirs_;  // live dirs (value: durably exists)
+  std::map<std::string, FailpointState> failpoints_;
+  uint64_t ops_ = 0;
+  uint64_t crash_after_ = 0;  // 0 = disarmed
+  bool crashed_ = false;
+};
+
+}  // namespace stq
+
+#endif  // STQ_STORAGE_FAULT_ENV_H_

@@ -7,8 +7,51 @@
 
 namespace stq {
 
+PersistedState CapturePersistedState(const Server& server) {
+  PersistedState state;
+  const QueryProcessor& qp = server.processor();
+  qp.object_store().ForEach([&](const ObjectRecord& o) {
+    PersistedObject po;
+    po.id = o.id;
+    po.loc = o.loc;
+    po.vel = o.vel;
+    po.t = o.t;
+    po.predictive = o.predictive;
+    state.objects.push_back(po);
+  });
+  qp.query_store().ForEach([&](const QueryRecord& q) {
+    PersistedQuery pq;
+    pq.id = q.id;
+    pq.kind = q.kind;
+    pq.region = q.region;
+    pq.center = q.circle.center;
+    pq.k = q.k;
+    // For k-NN the circle radius is derived state (distance to the k-th
+    // neighbor), not a query parameter; persist it only for circles.
+    pq.radius = q.kind == QueryKind::kCircleRange ? q.circle.radius : 0.0;
+    pq.t_from = q.t_from;
+    pq.t_to = q.t_to;
+    pq.owner = server.OwnerOf(q.id).value_or(0);
+    state.queries.push_back(pq);
+  });
+  server.committed().ForEach(
+      [&](QueryId qid, const std::unordered_set<ObjectId>& answer) {
+        PersistedCommit pc;
+        pc.id = qid;
+        pc.answer.assign(answer.begin(), answer.end());
+        std::sort(pc.answer.begin(), pc.answer.end());
+        state.commits.push_back(pc);
+      });
+  auto by_id = [](const auto& a, const auto& b) { return a.id < b.id; };
+  std::sort(state.objects.begin(), state.objects.end(), by_id);
+  std::sort(state.queries.begin(), state.queries.end(), by_id);
+  std::sort(state.commits.begin(), state.commits.end(), by_id);
+  state.last_tick = server.last_tick().time;
+  return state;
+}
+
 PersistentServer::PersistentServer(const Options& options)
-    : options_(options), repository_(options.dir) {}
+    : options_(options), repository_(options.dir, options.env) {}
 
 Status PersistentServer::Open() {
   if (open_) return Status::FailedPrecondition("already open");
@@ -19,6 +62,7 @@ Status PersistentServer::Open() {
   Result<TickResult> restore =
       RestoreProcessor(state, &server_->processor());
   if (!restore.ok()) return restore.status();
+  server_->RestoreLastTick(*restore);
 
   // Re-attach every known client channel in the disconnected state and
   // rebind their queries; clients resynchronize via ReconnectClient.
@@ -38,8 +82,18 @@ Status PersistentServer::Open() {
   return Status::OK();
 }
 
+Status PersistentServer::GuardWritable() const {
+  if (!open_) return Status::FailedPrecondition("not open");
+  if (!repository_.healthy()) {
+    return Status::FailedPrecondition("server degraded: " +
+                                      repository_.error().ToString());
+  }
+  return Status::OK();
+}
+
 Status PersistentServer::ReportObject(ObjectId id, const Point& loc,
                                       Timestamp t) {
+  STQ_RETURN_IF_ERROR(GuardWritable());
   STQ_RETURN_IF_ERROR(server_->ReportObject(id, loc, t));
   PersistedObject o;
   o.id = id;
@@ -51,6 +105,7 @@ Status PersistentServer::ReportObject(ObjectId id, const Point& loc,
 Status PersistentServer::ReportPredictiveObject(ObjectId id, const Point& loc,
                                                 const Velocity& vel,
                                                 Timestamp t) {
+  STQ_RETURN_IF_ERROR(GuardWritable());
   STQ_RETURN_IF_ERROR(server_->ReportPredictiveObject(id, loc, vel, t));
   PersistedObject o;
   o.id = id;
@@ -62,11 +117,13 @@ Status PersistentServer::ReportPredictiveObject(ObjectId id, const Point& loc,
 }
 
 Status PersistentServer::RemoveObject(ObjectId id) {
+  STQ_RETURN_IF_ERROR(GuardWritable());
   STQ_RETURN_IF_ERROR(server_->RemoveObject(id));
   return repository_.LogObjectRemove(id);
 }
 
 Result<Server::Delivery> PersistentServer::ReconnectClient(ClientId cid) {
+  STQ_RETURN_IF_ERROR(GuardWritable());
   Result<Server::Delivery> delivery = server_->ReconnectClient(cid);
   if (!delivery.ok()) return delivery;
   // The wakeup response commits the recovered answers server-side; mirror
@@ -91,6 +148,7 @@ Status PersistentServer::LogCommitOf(QueryId qid) {
 
 Status PersistentServer::RegisterRangeQuery(QueryId qid, ClientId cid,
                                             const Rect& region) {
+  STQ_RETURN_IF_ERROR(GuardWritable());
   STQ_RETURN_IF_ERROR(server_->RegisterRangeQuery(qid, cid, region));
   PersistedQuery q;
   q.id = qid;
@@ -102,6 +160,7 @@ Status PersistentServer::RegisterRangeQuery(QueryId qid, ClientId cid,
 
 Status PersistentServer::RegisterKnnQuery(QueryId qid, ClientId cid,
                                           const Point& center, int k) {
+  STQ_RETURN_IF_ERROR(GuardWritable());
   STQ_RETURN_IF_ERROR(server_->RegisterKnnQuery(qid, cid, center, k));
   PersistedQuery q;
   q.id = qid;
@@ -115,6 +174,7 @@ Status PersistentServer::RegisterKnnQuery(QueryId qid, ClientId cid,
 Status PersistentServer::RegisterCircleQuery(QueryId qid, ClientId cid,
                                              const Point& center,
                                              double radius) {
+  STQ_RETURN_IF_ERROR(GuardWritable());
   STQ_RETURN_IF_ERROR(server_->RegisterCircleQuery(qid, cid, center, radius));
   PersistedQuery q;
   q.id = qid;
@@ -128,6 +188,7 @@ Status PersistentServer::RegisterCircleQuery(QueryId qid, ClientId cid,
 Status PersistentServer::RegisterPredictiveQuery(QueryId qid, ClientId cid,
                                                  const Rect& region,
                                                  double t_from, double t_to) {
+  STQ_RETURN_IF_ERROR(GuardWritable());
   STQ_RETURN_IF_ERROR(
       server_->RegisterPredictiveQuery(qid, cid, region, t_from, t_to));
   PersistedQuery q;
@@ -141,6 +202,7 @@ Status PersistentServer::RegisterPredictiveQuery(QueryId qid, ClientId cid,
 }
 
 Status PersistentServer::MoveRangeQuery(QueryId qid, const Rect& region) {
+  STQ_RETURN_IF_ERROR(GuardWritable());
   STQ_RETURN_IF_ERROR(server_->MoveRangeQuery(qid, region));
   STQ_RETURN_IF_ERROR(repository_.LogQueryMoveRect(qid, region));
   // Hearing from a moving query commits its latest answer (when the
@@ -153,6 +215,7 @@ Status PersistentServer::MoveRangeQuery(QueryId qid, const Rect& region) {
 }
 
 Status PersistentServer::MoveKnnQuery(QueryId qid, const Point& center) {
+  STQ_RETURN_IF_ERROR(GuardWritable());
   STQ_RETURN_IF_ERROR(server_->MoveKnnQuery(qid, center));
   STQ_RETURN_IF_ERROR(repository_.LogQueryMoveCenter(qid, center));
   std::optional<ClientId> owner = server_->OwnerOf(qid);
@@ -163,6 +226,7 @@ Status PersistentServer::MoveKnnQuery(QueryId qid, const Point& center) {
 }
 
 Status PersistentServer::MoveCircleQuery(QueryId qid, const Point& center) {
+  STQ_RETURN_IF_ERROR(GuardWritable());
   STQ_RETURN_IF_ERROR(server_->MoveCircleQuery(qid, center));
   STQ_RETURN_IF_ERROR(repository_.LogQueryMoveCenter(qid, center));
   std::optional<ClientId> owner = server_->OwnerOf(qid);
@@ -173,6 +237,7 @@ Status PersistentServer::MoveCircleQuery(QueryId qid, const Point& center) {
 }
 
 Status PersistentServer::MovePredictiveQuery(QueryId qid, const Rect& region) {
+  STQ_RETURN_IF_ERROR(GuardWritable());
   STQ_RETURN_IF_ERROR(server_->MovePredictiveQuery(qid, region));
   STQ_RETURN_IF_ERROR(repository_.LogQueryMoveRect(qid, region));
   std::optional<ClientId> owner = server_->OwnerOf(qid);
@@ -183,66 +248,34 @@ Status PersistentServer::MovePredictiveQuery(QueryId qid, const Rect& region) {
 }
 
 Status PersistentServer::CommitQuery(QueryId qid) {
+  STQ_RETURN_IF_ERROR(GuardWritable());
   STQ_RETURN_IF_ERROR(server_->CommitQuery(qid));
   return LogCommitOf(qid);
 }
 
 Status PersistentServer::UnregisterQuery(QueryId qid) {
+  STQ_RETURN_IF_ERROR(GuardWritable());
   STQ_RETURN_IF_ERROR(server_->UnregisterQuery(qid));
   return repository_.LogQueryUnregister(qid);
 }
 
 std::vector<Server::Delivery> PersistentServer::Tick(Timestamp now) {
+  if (!GuardWritable().ok()) return {};
   std::vector<Server::Delivery> deliveries = server_->Tick(now);
   Status s = repository_.LogTick(now);
   if (s.ok() && options_.sync_every_tick) s = repository_.Sync();
   if (!s.ok()) {
+    // The answers of this tick may not survive a crash: do not hand them
+    // to clients. The failed append/sync has already poisoned the
+    // repository, so the server is degraded from here on.
     STQ_LOG(Error) << "failed to persist tick: " << s.ToString();
+    return {};
   }
   return deliveries;
 }
 
 PersistedState PersistentServer::CaptureState() const {
-  PersistedState state;
-  const QueryProcessor& qp = server_->processor();
-  qp.object_store().ForEach([&](const ObjectRecord& o) {
-    PersistedObject po;
-    po.id = o.id;
-    po.loc = o.loc;
-    po.vel = o.vel;
-    po.t = o.t;
-    po.predictive = o.predictive;
-    state.objects.push_back(po);
-  });
-  qp.query_store().ForEach([&](const QueryRecord& q) {
-    PersistedQuery pq;
-    pq.id = q.id;
-    pq.kind = q.kind;
-    pq.region = q.region;
-    pq.center = q.circle.center;
-    pq.k = q.k;
-    // For k-NN the circle radius is derived state (distance to the k-th
-    // neighbor), not a query parameter; persist it only for circles.
-    pq.radius = q.kind == QueryKind::kCircleRange ? q.circle.radius : 0.0;
-    pq.t_from = q.t_from;
-    pq.t_to = q.t_to;
-    pq.owner = server_->OwnerOf(q.id).value_or(0);
-    state.queries.push_back(pq);
-  });
-  server_->committed().ForEach(
-      [&](QueryId qid, const std::unordered_set<ObjectId>& answer) {
-        PersistedCommit pc;
-        pc.id = qid;
-        pc.answer.assign(answer.begin(), answer.end());
-        std::sort(pc.answer.begin(), pc.answer.end());
-        state.commits.push_back(pc);
-      });
-  auto by_id = [](const auto& a, const auto& b) { return a.id < b.id; };
-  std::sort(state.objects.begin(), state.objects.end(), by_id);
-  std::sort(state.queries.begin(), state.queries.end(), by_id);
-  std::sort(state.commits.begin(), state.commits.end(), by_id);
-  state.last_tick = server_->last_tick().time;
-  return state;
+  return CapturePersistedState(*server_);
 }
 
 Status PersistentServer::Checkpoint() {

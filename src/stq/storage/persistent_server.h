@@ -11,6 +11,13 @@
 // Client channels are transient: after recovery every known client is
 // attached in the disconnected state and resynchronizes via
 // ReconnectClient.
+//
+// Failure model: when the log cannot accept a record (disk full, torn
+// write, failed sync) the mutation is refused and the server enters the
+// degraded() state — it will not acknowledge reports it cannot make
+// durable, and Tick() stops delivering answers. The owner decides
+// whether to crash, alert, or fail over; the one thing a degraded server
+// never does is lie.
 
 #ifndef STQ_STORAGE_PERSISTENT_SERVER_H_
 #define STQ_STORAGE_PERSISTENT_SERVER_H_
@@ -20,17 +27,24 @@
 #include <vector>
 
 #include "stq/core/server.h"
+#include "stq/storage/env.h"
 #include "stq/storage/repository.h"
 
 namespace stq {
+
+// The full durable state of `server`, sorted by id — what a checkpoint
+// writes, and what crash tests compare against an oracle.
+PersistedState CapturePersistedState(const Server& server);
 
 class PersistentServer {
  public:
   struct Options {
     Server::Options server;
-    std::string dir;  // repository directory (must exist)
+    std::string dir;  // repository directory (created if missing)
     // fsync the WAL at the end of every Tick().
     bool sync_every_tick = true;
+    // I/O environment; nullptr means Env::Default().
+    Env* env = nullptr;
   };
 
   explicit PersistentServer(const Options& options);
@@ -42,6 +56,12 @@ class PersistentServer {
   Server& server() { return *server_; }
   const Server& server() const { return *server_; }
   QueryProcessor& processor() { return server_->processor(); }
+
+  // True once an I/O failure has made further logging unsafe. A degraded
+  // server refuses all logged mutations with FailedPrecondition and
+  // returns empty deliveries from Tick(); `error()` is the root cause.
+  bool degraded() const { return !repository_.healthy(); }
+  Status error() const { return repository_.error(); }
 
   // --- Logged mutations (mirror Server's API) -------------------------------
 
@@ -71,19 +91,26 @@ class PersistentServer {
   Status UnregisterQuery(QueryId qid);
 
   // Evaluates one period, logs the tick time, and (by default) syncs the
-  // WAL.
+  // WAL. If persisting the tick fails the deliveries are suppressed
+  // (clients must not see answers the log cannot back) and the server
+  // goes degraded.
   std::vector<Server::Delivery> Tick(Timestamp now);
 
   // Writes a snapshot of the full current state and truncates the WAL.
   Status Checkpoint();
 
+  // The state a checkpoint would persist right now.
+  PersistedState CaptureState() const;
+
   Status Close();
 
  private:
+  // Refuses mutations before the in-memory server is touched when the
+  // repository can no longer make them durable.
+  Status GuardWritable() const;
   // Logs the current answer of `qid` as committed, mirroring the
   // server-side commit that just happened.
   Status LogCommitOf(QueryId qid);
-  PersistedState CaptureState() const;
 
   Options options_;
   Repository repository_;

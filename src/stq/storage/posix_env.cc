@@ -1,0 +1,197 @@
+// PosixEnv: the production Env. This is the only translation unit in the
+// library allowed to touch the raw POSIX file API (fopen/fsync/rename/
+// truncate/...); everything else goes through the Env interface so that
+// fault injection covers every I/O call site.
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "stq/storage/env.h"
+
+namespace stq {
+
+namespace {
+
+Status PosixError(const std::string& context, int err) {
+  return Status::IOError(context + ": " + std::strerror(err));
+}
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(std::FILE* file, std::string path)
+      : file_(file), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override {
+    // The owning layer (LogWriter) enforces close-before-destroy; this is
+    // a leak guard only.
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Append(const char* data, size_t n) override {
+    if (std::fwrite(data, 1, n, file_) != n) {
+      return PosixError("write failed: " + path_, errno);
+    }
+    return Status::OK();
+  }
+
+  Status Flush() override {
+    if (std::fflush(file_) != 0) {
+      return PosixError("fflush failed: " + path_, errno);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    STQ_RETURN_IF_ERROR(Flush());
+    if (fsync(fileno(file_)) != 0) {
+      return PosixError("fsync failed: " + path_, errno);
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (file_ == nullptr) return Status::OK();
+    const int rc = std::fclose(file_);
+    file_ = nullptr;
+    if (rc != 0) return PosixError("fclose failed: " + path_, errno);
+    return Status::OK();
+  }
+
+ private:
+  std::FILE* file_;
+  std::string path_;
+};
+
+class PosixSequentialFile final : public SequentialFile {
+ public:
+  PosixSequentialFile(std::FILE* file, std::string path)
+      : file_(file), path_(std::move(path)) {}
+
+  ~PosixSequentialFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Read(size_t n, std::string* out) override {
+    out->resize(n);
+    const size_t got = std::fread(out->data(), 1, n, file_);
+    out->resize(got);
+    if (got < n && std::ferror(file_) != 0) {
+      return PosixError("read failed: " + path_, errno);
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::FILE* file_;
+  std::string path_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  Status NewWritableFile(const std::string& path, bool truncate,
+                         std::unique_ptr<WritableFile>* file) override {
+    std::FILE* f = std::fopen(path.c_str(), truncate ? "wb" : "ab");
+    if (f == nullptr) {
+      return PosixError("cannot open for writing: " + path, errno);
+    }
+    *file = std::make_unique<PosixWritableFile>(f, path);
+    return Status::OK();
+  }
+
+  Status NewSequentialFile(const std::string& path,
+                           std::unique_ptr<SequentialFile>* file) override {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      return PosixError("cannot open for reading: " + path, errno);
+    }
+    *file = std::make_unique<PosixSequentialFile>(f, path);
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+      return PosixError("rename " + from + " -> " + to + " failed", errno);
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (unlink(path.c_str()) != 0) {
+      return PosixError("unlink failed: " + path, errno);
+    }
+    return Status::OK();
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    if (truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return PosixError("truncate failed: " + path, errno);
+    }
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& dir) override {
+    const int fd = open(dir.c_str(), O_RDONLY);
+    if (fd < 0) return PosixError("cannot open dir: " + dir, errno);
+    Status s;
+    if (fsync(fd) != 0) s = PosixError("fsync dir failed: " + dir, errno);
+    close(fd);
+    return s;
+  }
+
+  Status CreateDir(const std::string& dir) override {
+    if (mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      return PosixError("mkdir failed: " + dir, errno);
+    }
+    return Status::OK();
+  }
+
+  Status ListDir(const std::string& dir,
+                 std::vector<std::string>* names) override {
+    names->clear();
+    DIR* d = opendir(dir.c_str());
+    if (d == nullptr) return PosixError("cannot list dir: " + dir, errno);
+    while (struct dirent* entry = readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name != "." && name != "..") names->push_back(name);
+    }
+    closedir(d);
+    std::sort(names->begin(), names->end());
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) override {
+    return access(path.c_str(), F_OK) == 0;
+  }
+
+  Status GetFileSize(const std::string& path, uint64_t* size) override {
+    struct stat st {};
+    if (stat(path.c_str(), &st) != 0) {
+      return PosixError("stat failed: " + path, errno);
+    }
+    *size = static_cast<uint64_t>(st.st_size);
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();  // intentionally leaked singleton
+  return env;
+}
+
+std::string DirName(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace stq

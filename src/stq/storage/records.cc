@@ -176,4 +176,12 @@ Status DecodeTick(const std::string& payload, Timestamp* t) {
   return Status::OK();
 }
 
+void EncodeEpoch(uint64_t epoch, std::string* out) { PutFixed64(out, epoch); }
+
+Status DecodeEpoch(const std::string& payload, uint64_t* epoch) {
+  size_t offset = 0;
+  if (!GetFixed64(payload, &offset, epoch)) return Malformed("epoch");
+  return Status::OK();
+}
+
 }  // namespace stq

@@ -26,6 +26,11 @@ enum class RecordType : uint8_t {
   kQueryUnregister = 6,
   kCommit = 7,
   kTick = 8,
+  // File-header record carrying the checkpoint epoch. Written first in
+  // both the snapshot and the WAL; a WAL whose epoch differs from the
+  // snapshot's is a stale leftover from before a checkpoint and is
+  // ignored on recovery. Files without it (legacy) are epoch 0.
+  kEpoch = 9,
 };
 
 struct PersistedObject {
@@ -78,6 +83,7 @@ void EncodeQueryMoveCenter(QueryId id, const Point& center, std::string* out);
 void EncodeQueryUnregister(QueryId id, std::string* out);
 void EncodeCommit(const PersistedCommit& c, std::string* out);
 void EncodeTick(Timestamp t, std::string* out);
+void EncodeEpoch(uint64_t epoch, std::string* out);
 
 // Payload decoders. Return Corruption on malformed payloads.
 Status DecodeObjectUpsert(const std::string& payload, PersistedObject* o);
@@ -90,6 +96,7 @@ Status DecodeQueryMoveCenter(const std::string& payload, QueryId* id,
 Status DecodeQueryUnregister(const std::string& payload, QueryId* id);
 Status DecodeCommit(const std::string& payload, PersistedCommit* c);
 Status DecodeTick(const std::string& payload, Timestamp* t);
+Status DecodeEpoch(const std::string& payload, uint64_t* epoch);
 
 }  // namespace stq
 

@@ -1,31 +1,77 @@
 #include "stq/storage/repository.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <map>
 #include <utility>
 
 namespace stq {
 
-Repository::Repository(std::string dir)
+Repository::Repository(std::string dir, Env* env)
     : dir_(std::move(dir)),
       snapshot_path_(dir_ + "/SNAPSHOT"),
-      wal_path_(dir_ + "/WAL") {}
+      wal_path_(dir_ + "/WAL"),
+      env_(env != nullptr ? env : Env::Default()) {}
+
+Repository::~Repository() {
+  // Destruction without Close() models a crash: drop the handle without
+  // surfacing errors. Only synced data is owed to anyone.
+  wal_.Abandon();
+}
 
 Status Repository::Open() {
   if (open_) return Status::FailedPrecondition("repository already open");
-  STQ_RETURN_IF_ERROR(ReadSnapshot(snapshot_path_, &recovered_));
-  STQ_RETURN_IF_ERROR(ReplayWal());
-  STQ_RETURN_IF_ERROR(wal_.Open(wal_path_, /*truncate=*/false));
+  STQ_RETURN_IF_ERROR(env_->CreateDir(dir_));
+  // A SNAPSHOT.tmp is debris from a checkpoint that crashed before its
+  // rename; the real SNAPSHOT is still authoritative.
+  const std::string tmp = snapshot_path_ + ".tmp";
+  if (env_->FileExists(tmp)) (void)env_->RemoveFile(tmp);
+
+  STQ_RETURN_IF_ERROR(ReadSnapshot(env_, snapshot_path_, &recovered_, &epoch_));
+  bool reuse_wal = false;
+  STQ_RETURN_IF_ERROR(ReplayWal(&reuse_wal));
+  if (reuse_wal) {
+    STQ_RETURN_IF_ERROR(wal_.Open(env_, wal_path_, /*truncate=*/false));
+  } else {
+    Status s = CreateWal();
+    if (!s.ok()) {
+      wal_.Abandon();
+      return s;
+    }
+  }
+  poisoned_ = Status::OK();
   open_ = true;
   return Status::OK();
 }
 
-Status Repository::ReplayWal() {
+Status Repository::CreateWal() {
+  STQ_RETURN_IF_ERROR(wal_.Open(env_, wal_path_, /*truncate=*/true));
+  std::string payload;
+  EncodeEpoch(epoch_, &payload);
+  STQ_RETURN_IF_ERROR(
+      wal_.Append(static_cast<uint8_t>(RecordType::kEpoch), payload));
+  STQ_RETURN_IF_ERROR(wal_.Sync());
+  // Make the WAL's existence durable: a snapshot whose WAL vanished in a
+  // crash recovers fine, but a durable WAL must not point at a name that
+  // was never dir-synced.
+  return env_->SyncDir(dir_);
+}
+
+Status Repository::WalCorruption(const LogReader& reader,
+                                 const std::string& what) {
+  return Status::Corruption(
+      "WAL corruption in " + wal_path_ + " at record #" +
+      std::to_string(reader.records_read() == 0 ? 0
+                                                : reader.records_read() - 1) +
+      " (offset " + std::to_string(reader.last_record_offset()) + "): " +
+      what);
+}
+
+Status Repository::ReplayWal(bool* reuse_wal) {
+  *reuse_wal = false;
+  if (!env_->FileExists(wal_path_)) return Status::OK();  // fresh start
+
   LogReader reader;
-  if (!reader.Open(wal_path_).ok()) {
-    return Status::OK();  // no WAL yet: fresh start
-  }
+  STQ_RETURN_IF_ERROR(reader.Open(env_, wal_path_));
 
   // Replay onto id-keyed maps so later records supersede earlier ones.
   std::map<ObjectId, PersistedObject> objects;
@@ -34,36 +80,63 @@ Status Repository::ReplayWal() {
   for (const PersistedObject& o : recovered_.objects) objects[o.id] = o;
   for (const PersistedQuery& q : recovered_.queries) queries[q.id] = q;
   for (const PersistedCommit& c : recovered_.commits) commits[c.id] = c;
+  Timestamp last_tick = recovered_.last_tick;
 
+  bool first = true;
   for (;;) {
     uint8_t type = 0;
     std::string payload;
     bool eof = false;
     STQ_RETURN_IF_ERROR(reader.ReadRecord(&type, &payload, &eof));
     if (eof) break;
+    if (first) {
+      first = false;
+      if (static_cast<RecordType>(type) == RecordType::kEpoch) {
+        uint64_t wal_epoch = 0;
+        Status s = DecodeEpoch(payload, &wal_epoch);
+        if (!s.ok()) return WalCorruption(reader, s.message());
+        if (wal_epoch != epoch_) {
+          // A leftover from before the last durable checkpoint (crash
+          // between the snapshot rename and the WAL reset). Everything
+          // in it is already reflected in the snapshot: ignore it.
+          return reader.Close();
+        }
+        continue;
+      }
+      if (epoch_ != 0) {
+        // Headerless (legacy) WAL against an epoch'd snapshot: stale.
+        return reader.Close();
+      }
+    } else if (static_cast<RecordType>(type) == RecordType::kEpoch) {
+      return WalCorruption(reader, "epoch record not at start of log");
+    }
     switch (static_cast<RecordType>(type)) {
       case RecordType::kObjectUpsert: {
         PersistedObject o;
-        STQ_RETURN_IF_ERROR(DecodeObjectUpsert(payload, &o));
+        Status s = DecodeObjectUpsert(payload, &o);
+        if (!s.ok()) return WalCorruption(reader, s.message());
         objects[o.id] = o;
         break;
       }
       case RecordType::kObjectRemove: {
         ObjectId id = 0;
-        STQ_RETURN_IF_ERROR(DecodeObjectRemove(payload, &id));
+        Status s = DecodeObjectRemove(payload, &id);
+        if (!s.ok()) return WalCorruption(reader, s.message());
         objects.erase(id);
         break;
       }
       case RecordType::kQueryRegister: {
         PersistedQuery q;
-        STQ_RETURN_IF_ERROR(DecodeQueryRegister(payload, &q));
+        Status s = DecodeQueryRegister(payload, &q);
+        if (!s.ok()) return WalCorruption(reader, s.message());
         queries[q.id] = q;
         break;
       }
       case RecordType::kQueryMoveRect: {
         QueryId id = 0;
         Rect region;
-        STQ_RETURN_IF_ERROR(DecodeQueryMoveRect(payload, &id, &region));
+        Status s = DecodeQueryMoveRect(payload, &id, &region);
+        if (!s.ok()) return WalCorruption(reader, s.message());
         auto it = queries.find(id);
         if (it != queries.end()) it->second.region = region;
         break;
@@ -71,33 +144,49 @@ Status Repository::ReplayWal() {
       case RecordType::kQueryMoveCenter: {
         QueryId id = 0;
         Point center;
-        STQ_RETURN_IF_ERROR(DecodeQueryMoveCenter(payload, &id, &center));
+        Status s = DecodeQueryMoveCenter(payload, &id, &center);
+        if (!s.ok()) return WalCorruption(reader, s.message());
         auto it = queries.find(id);
         if (it != queries.end()) it->second.center = center;
         break;
       }
       case RecordType::kQueryUnregister: {
         QueryId id = 0;
-        STQ_RETURN_IF_ERROR(DecodeQueryUnregister(payload, &id));
+        Status s = DecodeQueryUnregister(payload, &id);
+        if (!s.ok()) return WalCorruption(reader, s.message());
         queries.erase(id);
         commits.erase(id);
         break;
       }
       case RecordType::kCommit: {
         PersistedCommit c;
-        STQ_RETURN_IF_ERROR(DecodeCommit(payload, &c));
+        Status s = DecodeCommit(payload, &c);
+        if (!s.ok()) return WalCorruption(reader, s.message());
         commits[c.id] = std::move(c);
         break;
       }
       case RecordType::kTick: {
-        STQ_RETURN_IF_ERROR(DecodeTick(payload, &recovered_.last_tick));
+        Status s = DecodeTick(payload, &last_tick);
+        if (!s.ok()) return WalCorruption(reader, s.message());
         break;
       }
       default:
-        return Status::Corruption("unexpected record type in WAL");
+        return WalCorruption(reader, "unexpected record type " +
+                                         std::to_string(type));
     }
   }
+  const uint64_t valid = reader.valid_offset();
+  const uint64_t records = reader.records_read();
   STQ_RETURN_IF_ERROR(reader.Close());
+
+  // Trim a torn tail (crash mid-append) so the next append cannot land
+  // on top of a persisted partial frame and corrupt the log for the
+  // *next* recovery.
+  uint64_t size = 0;
+  STQ_RETURN_IF_ERROR(env_->GetFileSize(wal_path_, &size));
+  if (size > valid) {
+    STQ_RETURN_IF_ERROR(env_->TruncateFile(wal_path_, valid));
+  }
 
   recovered_.objects.clear();
   recovered_.queries.clear();
@@ -105,11 +194,17 @@ Status Repository::ReplayWal() {
   for (auto& [id, o] : objects) recovered_.objects.push_back(o);
   for (auto& [id, q] : queries) recovered_.queries.push_back(q);
   for (auto& [id, c] : commits) recovered_.commits.push_back(std::move(c));
+  recovered_.last_tick = last_tick;
+
+  // An empty (or fully torn) WAL is recreated with a synced epoch
+  // header; one with at least one valid record is appended to.
+  *reuse_wal = records > 0;
   return Status::OK();
 }
 
 Status Repository::AppendRecord(RecordType type, const std::string& payload) {
   if (!open_) return Status::FailedPrecondition("repository not open");
+  if (!poisoned_.ok()) return poisoned_;
   return wal_.Append(static_cast<uint8_t>(type), payload);
 }
 
@@ -167,14 +262,51 @@ Status Repository::LogTick(Timestamp t) {
 
 Status Repository::Sync() {
   if (!open_) return Status::FailedPrecondition("repository not open");
+  if (!poisoned_.ok()) return poisoned_;
   return wal_.Sync();
+}
+
+Status Repository::Poison(const Status& s) {
+  poisoned_ = s;
+  wal_.Abandon();
+  return s;
 }
 
 Status Repository::Checkpoint(const PersistedState& state) {
   if (!open_) return Status::FailedPrecondition("repository not open");
-  STQ_RETURN_IF_ERROR(WriteSnapshot(snapshot_path_, state));
-  STQ_RETURN_IF_ERROR(wal_.Close());
-  STQ_RETURN_IF_ERROR(wal_.Open(wal_path_, /*truncate=*/true));
+  if (!poisoned_.ok()) return poisoned_;
+  if (!wal_.healthy()) return wal_.error();
+
+  const uint64_t next_epoch = epoch_ + 1;
+  const std::string tmp = snapshot_path_ + ".tmp";
+
+  // (1) Write the new snapshot beside the old one. Abortable: on failure
+  // the old SNAPSHOT+WAL pair is untouched and logging can continue.
+  STQ_RETURN_IF_ERROR(WriteSnapshotFile(env_, tmp, state, next_epoch));
+
+  // (2) Atomically swap it in. Still abortable: a failed rename leaves
+  // the old snapshot in place.
+  Status s = env_->RenameFile(tmp, snapshot_path_);
+  if (!s.ok()) {
+    (void)env_->RemoveFile(tmp);
+    return s;
+  }
+
+  // (3) Point of no return. The new snapshot is now visible (and after
+  // this sync, durable). If we cannot complete the switch we must stop
+  // accepting writes: continuing to ack onto the old-epoch WAL would
+  // lose them at the next recovery, which will prefer the new snapshot
+  // and discard the stale WAL.
+  s = env_->SyncDir(dir_);
+  if (!s.ok()) return Poison(s);
+
+  s = wal_.Close();
+  if (!s.ok()) return Poison(s);
+
+  epoch_ = next_epoch;
+  s = CreateWal();
+  if (!s.ok()) return Poison(s);
+
   recovered_ = state;
   return Status::OK();
 }
@@ -182,6 +314,10 @@ Status Repository::Checkpoint(const PersistedState& state) {
 Status Repository::Close() {
   if (!open_) return Status::OK();
   open_ = false;
+  if (!poisoned_.ok()) {
+    wal_.Abandon();
+    return poisoned_;
+  }
   return wal_.Close();
 }
 

@@ -5,21 +5,35 @@
 // on restart the server recovers the objects, queries, committed answers,
 // and last evaluation time. Layout inside the directory:
 //
-//   <dir>/SNAPSHOT   last checkpoint (WAL-framed records)
-//   <dir>/WAL        records accepted since the checkpoint
+//   <dir>/SNAPSHOT   last checkpoint (WAL-framed records, epoch header)
+//   <dir>/WAL        records accepted since the checkpoint (same epoch)
 //
 // Recovery = load SNAPSHOT, replay WAL on top. A torn WAL tail (crash
-// mid-append) is tolerated; corruption in the middle is surfaced.
+// mid-append) is tolerated and trimmed; corruption in the middle is
+// surfaced with the byte offset and record index.
+//
+// Epochs make the SNAPSHOT/WAL pair crash-consistent: every checkpoint
+// bumps the epoch, the new snapshot and the fresh WAL both start with a
+// kEpoch record, and recovery ignores a WAL whose epoch differs from the
+// snapshot's (a stale leftover from a crash mid-checkpoint). Legacy
+// files without epoch records are epoch 0.
+//
+// Error model: the first I/O failure that can lose acknowledged data
+// poisons the repository — healthy() turns false, every later mutation
+// returns the original error, and the owner (PersistentServer) surfaces
+// it as degraded() instead of silently acking onto a broken log.
 
 #ifndef STQ_STORAGE_REPOSITORY_H_
 #define STQ_STORAGE_REPOSITORY_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "stq/common/status.h"
 #include "stq/core/query_processor.h"
+#include "stq/storage/env.h"
 #include "stq/storage/snapshot.h"
 #include "stq/storage/wal.h"
 
@@ -27,16 +41,34 @@ namespace stq {
 
 class Repository {
  public:
-  explicit Repository(std::string dir);
+  // `env == nullptr` means Env::Default().
+  explicit Repository(std::string dir, Env* env = nullptr);
+
+  // Destroying an open repository models a crash: the WAL handle is
+  // dropped without flushing (only synced data is owed to clients).
+  ~Repository();
 
   Repository(const Repository&) = delete;
   Repository& operator=(const Repository&) = delete;
 
   // Loads SNAPSHOT + WAL; after Open() the recovered state is available
-  // and the WAL accepts new records.
+  // and the WAL accepts new records. Creates the directory if missing,
+  // removes a leftover SNAPSHOT.tmp from a crashed checkpoint, trims a
+  // torn WAL tail, and discards a stale-epoch WAL.
   Status Open();
 
   const PersistedState& recovered() const { return recovered_; }
+
+  // Current checkpoint epoch (0 until the first checkpoint).
+  uint64_t epoch() const { return epoch_; }
+
+  // False once an I/O failure has made further logging unsafe; `error()`
+  // is the first such failure.
+  bool healthy() const { return open_ && poisoned_.ok() && wal_.healthy(); }
+  Status error() const {
+    if (!poisoned_.ok()) return poisoned_;
+    return wal_.error();
+  }
 
   // --- Logging (call as the server accepts each report) ---------------------
 
@@ -50,20 +82,32 @@ class Repository {
   Status LogTick(Timestamp t);
   Status Sync();
 
-  // Writes a fresh SNAPSHOT of `state` and truncates the WAL.
+  // Writes a fresh SNAPSHOT of `state` under the next epoch and starts a
+  // fresh WAL. Crash-safe ordering: until the new snapshot is durably
+  // renamed into place, the old SNAPSHOT+WAL pair remains recoverable;
+  // past that point any failure poisons the repository (continuing to
+  // ack on the old epoch could lose data).
   Status Checkpoint(const PersistedState& state);
 
   Status Close();
 
  private:
   Status AppendRecord(RecordType type, const std::string& payload);
-  Status ReplayWal();
+  Status ReplayWal(bool* reuse_wal);
+  // Truncate-creates the WAL with a synced kEpoch header and syncs the
+  // directory so the file's existence is durable.
+  Status CreateWal();
+  Status Poison(const Status& s);
+  Status WalCorruption(const LogReader& reader, const std::string& what);
 
   std::string dir_;
   std::string snapshot_path_;
   std::string wal_path_;
+  Env* env_;
   LogWriter wal_;
   PersistedState recovered_;
+  uint64_t epoch_ = 0;
+  Status poisoned_;
   bool open_ = false;
 };
 

@@ -1,7 +1,5 @@
 #include "stq/storage/snapshot.h"
 
-#include <cstdio>
-
 #include "stq/storage/wal.h"
 
 namespace stq {
@@ -11,62 +9,99 @@ bool operator==(const PersistedState& a, const PersistedState& b) {
          a.commits == b.commits && a.last_tick == b.last_tick;
 }
 
-Status WriteSnapshot(const std::string& path, const PersistedState& state) {
-  // Write to a temp file and rename for atomicity against crashes during
-  // checkpointing.
-  const std::string tmp = path + ".tmp";
+Status WriteSnapshotFile(Env* env, const std::string& path,
+                         const PersistedState& state, uint64_t epoch) {
+  if (env == nullptr) env = Env::Default();
   LogWriter writer;
-  STQ_RETURN_IF_ERROR(writer.Open(tmp, /*truncate=*/true));
+
+  // On any failure: drop the half-written file so the next checkpoint
+  // (or recovery) doesn't trip over it.
+  auto fail = [&](const Status& s) {
+    writer.Abandon();
+    (void)env->RemoveFile(path);
+    return s;
+  };
+
+  Status s = writer.Open(env, path, /*truncate=*/true);
+  if (!s.ok()) return s;
 
   std::string payload;
+  EncodeEpoch(epoch, &payload);
+  s = writer.Append(static_cast<uint8_t>(RecordType::kEpoch), payload);
+  if (!s.ok()) return fail(s);
   for (const PersistedObject& o : state.objects) {
     payload.clear();
     EncodeObjectUpsert(o, &payload);
-    STQ_RETURN_IF_ERROR(
-        writer.Append(static_cast<uint8_t>(RecordType::kObjectUpsert),
-                      payload));
+    s = writer.Append(static_cast<uint8_t>(RecordType::kObjectUpsert),
+                      payload);
+    if (!s.ok()) return fail(s);
   }
   for (const PersistedQuery& q : state.queries) {
     payload.clear();
     EncodeQueryRegister(q, &payload);
-    STQ_RETURN_IF_ERROR(
-        writer.Append(static_cast<uint8_t>(RecordType::kQueryRegister),
-                      payload));
+    s = writer.Append(static_cast<uint8_t>(RecordType::kQueryRegister),
+                      payload);
+    if (!s.ok()) return fail(s);
   }
   for (const PersistedCommit& c : state.commits) {
     payload.clear();
     EncodeCommit(c, &payload);
-    STQ_RETURN_IF_ERROR(
-        writer.Append(static_cast<uint8_t>(RecordType::kCommit), payload));
+    s = writer.Append(static_cast<uint8_t>(RecordType::kCommit), payload);
+    if (!s.ok()) return fail(s);
   }
+  // Terminal record: its presence marks the snapshot as complete.
   payload.clear();
   EncodeTick(state.last_tick, &payload);
-  STQ_RETURN_IF_ERROR(
-      writer.Append(static_cast<uint8_t>(RecordType::kTick), payload));
-  STQ_RETURN_IF_ERROR(writer.Sync());
-  STQ_RETURN_IF_ERROR(writer.Close());
-
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Status::IOError("rename failed: " + path);
-  }
+  s = writer.Append(static_cast<uint8_t>(RecordType::kTick), payload);
+  if (!s.ok()) return fail(s);
+  s = writer.Sync();
+  if (!s.ok()) return fail(s);
+  s = writer.Close();
+  if (!s.ok()) return fail(s);
   return Status::OK();
 }
 
-Status ReadSnapshot(const std::string& path, PersistedState* state) {
+Status WriteSnapshot(Env* env, const std::string& path,
+                     const PersistedState& state, uint64_t epoch) {
+  if (env == nullptr) env = Env::Default();
+  // Write to a temp file and rename for atomicity against crashes during
+  // checkpointing; sync the directory so the rename itself is durable.
+  const std::string tmp = path + ".tmp";
+  STQ_RETURN_IF_ERROR(WriteSnapshotFile(env, tmp, state, epoch));
+  Status s = env->RenameFile(tmp, path);
+  if (!s.ok()) {
+    (void)env->RemoveFile(tmp);
+    return s;
+  }
+  return env->SyncDir(DirName(path));
+}
+
+Status ReadSnapshot(Env* env, const std::string& path, PersistedState* state,
+                    uint64_t* epoch) {
+  if (env == nullptr) env = Env::Default();
   *state = PersistedState{};
-  LogReader reader;
-  Status open = reader.Open(path);
-  if (!open.ok()) {
+  if (epoch != nullptr) *epoch = 0;
+  if (!env->FileExists(path)) {
     // A missing snapshot is a fresh start, not an error.
     return Status::OK();
   }
+  LogReader reader;
+  STQ_RETURN_IF_ERROR(reader.Open(env, path));
+  bool complete = false;  // saw the terminal kTick record
   for (;;) {
     uint8_t type = 0;
     std::string payload;
     bool eof = false;
     STQ_RETURN_IF_ERROR(reader.ReadRecord(&type, &payload, &eof));
     if (eof) break;
+    complete = false;
     switch (static_cast<RecordType>(type)) {
+      case RecordType::kEpoch: {
+        uint64_t e = 0;
+        STQ_RETURN_IF_ERROR(DecodeEpoch(payload, &e));
+        if (epoch != nullptr) *epoch = e;
+        break;
+      }
       case RecordType::kObjectUpsert: {
         PersistedObject o;
         STQ_RETURN_IF_ERROR(DecodeObjectUpsert(payload, &o));
@@ -87,11 +122,19 @@ Status ReadSnapshot(const std::string& path, PersistedState* state) {
       }
       case RecordType::kTick: {
         STQ_RETURN_IF_ERROR(DecodeTick(payload, &state->last_tick));
+        complete = true;
         break;
       }
       default:
         return Status::Corruption("unexpected record type in snapshot");
     }
+  }
+  if (!complete) {
+    // The WAL framing treats a torn tail as clean EOF, which is right for
+    // a log but wrong for a snapshot: a snapshot missing its terminal
+    // tick record lost data and must not be loaded as if it were whole.
+    return Status::Corruption("torn snapshot (no terminal tick record): " +
+                              path);
   }
   return reader.Close();
 }

@@ -3,17 +3,22 @@
 // information, the old information becomes persistent and is stored in a
 // repository server").
 //
-// The snapshot file reuses the WAL frame format: a sequence of records
-// describing every live object, query, committed answer, and the last
-// tick time.
+// The snapshot file reuses the WAL frame format: a kEpoch header record,
+// then a sequence of records describing every live object, query, and
+// committed answer, terminated by a kTick record carrying the last tick
+// time. The terminal kTick doubles as an end-of-file marker: a snapshot
+// without one was torn mid-write and is rejected as Corruption rather
+// than silently read short.
 
 #ifndef STQ_STORAGE_SNAPSHOT_H_
 #define STQ_STORAGE_SNAPSHOT_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "stq/common/status.h"
+#include "stq/storage/env.h"
 #include "stq/storage/records.h"
 
 namespace stq {
@@ -28,11 +33,34 @@ struct PersistedState {
   friend bool operator==(const PersistedState&, const PersistedState&);
 };
 
-// Writes `state` to `path`, replacing any existing file.
-Status WriteSnapshot(const std::string& path, const PersistedState& state);
+// Writes a complete snapshot file at exactly `path` (no rename): epoch
+// header, state records, terminal tick — synced and closed. On failure
+// the half-written file is removed (best-effort). Building block for
+// WriteSnapshot and Repository::Checkpoint, which add the atomic
+// rename + directory sync around it.
+Status WriteSnapshotFile(Env* env, const std::string& path,
+                         const PersistedState& state, uint64_t epoch);
 
-// Loads a snapshot. A missing file yields an empty state (fresh start).
-Status ReadSnapshot(const std::string& path, PersistedState* state);
+// Writes `state` to `path`, replacing any existing file. The write is
+// crash-safe: a temp file is written, synced, and renamed over `path`,
+// then the parent directory is synced so the rename itself is durable.
+// On failure the temp file is removed (best-effort) and any existing
+// snapshot at `path` is untouched. `env == nullptr` means Env::Default().
+Status WriteSnapshot(Env* env, const std::string& path,
+                     const PersistedState& state, uint64_t epoch);
+inline Status WriteSnapshot(const std::string& path,
+                            const PersistedState& state) {
+  return WriteSnapshot(nullptr, path, state, /*epoch=*/0);
+}
+
+// Loads a snapshot. A missing file yields an empty state (fresh start)
+// with *epoch == 0. A file without a terminal kTick record is Corruption
+// (torn snapshot). `epoch` may be null.
+Status ReadSnapshot(Env* env, const std::string& path, PersistedState* state,
+                    uint64_t* epoch);
+inline Status ReadSnapshot(const std::string& path, PersistedState* state) {
+  return ReadSnapshot(nullptr, path, state, nullptr);
+}
 
 }  // namespace stq
 

@@ -1,9 +1,8 @@
 #include "stq/storage/wal.h"
 
-#include <unistd.h>
-
 #include <limits>
 
+#include "stq/common/check.h"
 #include "stq/common/crc32.h"
 #include "stq/storage/coding.h"
 
@@ -16,20 +15,25 @@ constexpr uint32_t kMaxPayload = 64u << 20;  // 64 MiB
 }  // namespace
 
 LogWriter::~LogWriter() {
-  if (file_ != nullptr) Close();
+  // Silently dropping buffered data on destruction is how acknowledged
+  // writes get lost: require an explicit Close() (whose error the caller
+  // saw) or Abandon() (a deliberate crash-path drop) first.
+  STQ_DCHECK(file_ == nullptr || !status_.ok())
+      << "LogWriter destroyed while open and healthy: " << path_;
+  file_.reset();
 }
 
-Status LogWriter::Open(const std::string& path, bool truncate) {
+Status LogWriter::Open(Env* env, const std::string& path, bool truncate) {
   if (file_ != nullptr) return Status::FailedPrecondition("already open");
-  file_ = std::fopen(path.c_str(), truncate ? "wb" : "ab");
-  if (file_ == nullptr) {
-    return Status::IOError("cannot open log for writing: " + path);
-  }
+  if (env == nullptr) env = Env::Default();
+  STQ_RETURN_IF_ERROR(env->NewWritableFile(path, truncate, &file_));
   path_ = path;
+  status_ = Status::OK();
   return Status::OK();
 }
 
 Status LogWriter::Append(uint8_t type, const std::string& payload) {
+  if (!status_.ok()) return status_;
   if (file_ == nullptr) return Status::FailedPrecondition("log not open");
   if (payload.size() > kMaxPayload) {
     return Status::InvalidArgument("record payload too large");
@@ -45,42 +49,44 @@ Status LogWriter::Append(uint8_t type, const std::string& payload) {
   PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
   frame.append(body);
 
-  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
-    return Status::IOError("short write to log: " + path_);
-  }
-  return Status::OK();
+  Status s = file_->Append(frame);
+  if (!s.ok()) status_ = s;  // a partial frame may be in the file: poison
+  return s;
 }
 
 Status LogWriter::Sync() {
+  if (!status_.ok()) return status_;
   if (file_ == nullptr) return Status::FailedPrecondition("log not open");
-  if (std::fflush(file_) != 0) {
-    return Status::IOError("fflush failed: " + path_);
-  }
-  if (fsync(fileno(file_)) != 0) {
-    return Status::IOError("fsync failed: " + path_);
-  }
-  return Status::OK();
+  Status s = file_->Sync();
+  if (!s.ok()) status_ = s;
+  return s;
 }
 
 Status LogWriter::Close() {
-  if (file_ == nullptr) return Status::OK();
-  const int rc = std::fclose(file_);
-  file_ = nullptr;
-  if (rc != 0) return Status::IOError("fclose failed: " + path_);
-  return Status::OK();
+  if (file_ == nullptr) return status_;
+  Status s = file_->Close();
+  file_.reset();
+  if (!s.ok() && status_.ok()) status_ = s;
+  return status_;
 }
 
-LogReader::~LogReader() {
-  if (file_ != nullptr) Close();
-}
-
-Status LogReader::Open(const std::string& path) {
-  if (file_ != nullptr) return Status::FailedPrecondition("already open");
-  file_ = std::fopen(path.c_str(), "rb");
-  if (file_ == nullptr) {
-    return Status::IOError("cannot open log for reading: " + path);
+void LogWriter::Abandon() {
+  if (file_ != nullptr) {
+    (void)file_->Close();  // best-effort: errors deliberately dropped
+    file_.reset();
   }
+  if (status_.ok()) status_ = Status::FailedPrecondition("log writer abandoned");
+}
+
+LogReader::~LogReader() { file_.reset(); }
+
+Status LogReader::Open(Env* env, const std::string& path) {
+  if (file_ != nullptr) return Status::FailedPrecondition("already open");
+  if (env == nullptr) env = Env::Default();
+  STQ_RETURN_IF_ERROR(env->NewSequentialFile(path, &file_));
   path_ = path;
+  offset_ = valid_offset_ = last_record_offset_ = 0;
+  records_ = 0;
   return Status::OK();
 }
 
@@ -88,47 +94,53 @@ Status LogReader::ReadRecord(uint8_t* type, std::string* payload, bool* eof) {
   *eof = false;
   if (file_ == nullptr) return Status::FailedPrecondition("log not open");
 
-  unsigned char header[8];
-  const size_t got = std::fread(header, 1, sizeof(header), file_);
-  if (got == 0) {
+  last_record_offset_ = offset_;
+  std::string header;
+  STQ_RETURN_IF_ERROR(file_->Read(8, &header));
+  if (header.empty()) {
     *eof = true;
     return Status::OK();
   }
-  if (got < sizeof(header)) {
+  offset_ += header.size();
+  if (header.size() < 8) {
     // Torn header from a crash mid-append: clean end of log.
     *eof = true;
     return Status::OK();
   }
-  const uint32_t crc = static_cast<uint32_t>(header[0]) |
-                       (static_cast<uint32_t>(header[1]) << 8) |
-                       (static_cast<uint32_t>(header[2]) << 16) |
-                       (static_cast<uint32_t>(header[3]) << 24);
-  const uint32_t len = static_cast<uint32_t>(header[4]) |
-                       (static_cast<uint32_t>(header[5]) << 8) |
-                       (static_cast<uint32_t>(header[6]) << 16) |
-                       (static_cast<uint32_t>(header[7]) << 24);
+  size_t pos = 0;
+  uint32_t crc = 0;
+  uint32_t len = 0;
+  GetFixed32(header, &pos, &crc);
+  GetFixed32(header, &pos, &len);
   if (len > kMaxPayload) {
-    return Status::Corruption("implausible record length in " + path_);
+    return Status::Corruption(
+        "implausible record length in " + path_ + " at record #" +
+        std::to_string(records_) + " (offset " +
+        std::to_string(last_record_offset_) + ")");
   }
-  std::string body(static_cast<size_t>(len) + 1, '\0');
-  if (std::fread(body.data(), 1, body.size(), file_) != body.size()) {
+  std::string body;
+  STQ_RETURN_IF_ERROR(file_->Read(static_cast<size_t>(len) + 1, &body));
+  offset_ += body.size();
+  if (body.size() < static_cast<size_t>(len) + 1) {
     // Torn body: clean end of log.
     *eof = true;
     return Status::OK();
   }
   if (Crc32c(body.data(), body.size()) != crc) {
-    return Status::Corruption("checksum mismatch in " + path_);
+    return Status::Corruption(
+        "checksum mismatch in " + path_ + " at record #" +
+        std::to_string(records_) + " (offset " +
+        std::to_string(last_record_offset_) + ")");
   }
   *type = static_cast<uint8_t>(body[0]);
   payload->assign(body, 1, len);
+  valid_offset_ = offset_;
+  ++records_;
   return Status::OK();
 }
 
 Status LogReader::Close() {
-  if (file_ == nullptr) return Status::OK();
-  const int rc = std::fclose(file_);
-  file_ = nullptr;
-  if (rc != 0) return Status::IOError("fclose failed: " + path_);
+  file_.reset();
   return Status::OK();
 }
 

@@ -4,29 +4,44 @@
 // The CRC covers type + payload. A reader treats a truncated final frame
 // as a clean end of log (the crash happened mid-append) but a CRC mismatch
 // on a complete frame as corruption.
+//
+// All I/O goes through an stq::Env so fault-injection tests can exercise
+// failed appends, torn writes, and lost syncs (see fault_env.h).
+//
+// Error stickiness: the first failed Append/Sync poisons the writer. A
+// partial frame may already be in the file, so a later Append would land
+// on top of it and corrupt everything after; instead, every call after a
+// failure returns the original error until the writer is discarded.
 
 #ifndef STQ_STORAGE_WAL_H_
 #define STQ_STORAGE_WAL_H_
 
 #include <cstdint>
-#include <cstdio>
+#include <memory>
 #include <string>
 
 #include "stq/common/status.h"
+#include "stq/storage/env.h"
 
 namespace stq {
 
 class LogWriter {
  public:
   LogWriter() = default;
+  // A writer must be Close()d (surfacing the error) or Abandon()ed
+  // before destruction; destroying one with buffered data would silently
+  // drop it. Enforced by STQ_DCHECK in debug/invariant builds.
   ~LogWriter();
 
   LogWriter(const LogWriter&) = delete;
   LogWriter& operator=(const LogWriter&) = delete;
 
   // Opens `path` for appending (created if missing). `truncate` starts a
-  // fresh log.
-  Status Open(const std::string& path, bool truncate);
+  // fresh log. `env == nullptr` means Env::Default().
+  Status Open(Env* env, const std::string& path, bool truncate);
+  Status Open(const std::string& path, bool truncate) {
+    return Open(nullptr, path, truncate);
+  }
 
   Status Append(uint8_t type, const std::string& payload);
 
@@ -34,11 +49,23 @@ class LogWriter {
   Status Sync();
 
   Status Close();
+
+  // Drops the file handle without surfacing Close errors, for paths that
+  // model a crash (Repository teardown, tests). Marks the writer
+  // poisoned so the destructor check passes.
+  void Abandon();
+
   bool is_open() const { return file_ != nullptr; }
 
+  // False once an Append/Sync/Close has failed; `error()` is the first
+  // failure.
+  bool healthy() const { return status_.ok(); }
+  const Status& error() const { return status_; }
+
  private:
-  std::FILE* file_ = nullptr;
+  std::unique_ptr<WritableFile> file_;
   std::string path_;
+  Status status_;  // sticky: first I/O failure
 };
 
 class LogReader {
@@ -49,19 +76,36 @@ class LogReader {
   LogReader(const LogReader&) = delete;
   LogReader& operator=(const LogReader&) = delete;
 
-  Status Open(const std::string& path);
+  Status Open(Env* env, const std::string& path);
+  Status Open(const std::string& path) { return Open(nullptr, path); }
 
   // Reads the next record. Returns:
   //  - OK with *eof == false: a record was read,
   //  - OK with *eof == true: clean end of log (including a truncated tail),
-  //  - Corruption: CRC mismatch or impossible frame.
+  //  - Corruption: CRC mismatch or impossible frame. The message carries
+  //    the byte offset and record index of the bad frame.
   Status ReadRecord(uint8_t* type, std::string* payload, bool* eof);
 
   Status Close();
 
+  // Byte offset just past the last successfully read record — on a torn
+  // tail or corruption, the length the file should be truncated to so a
+  // fresh append cannot land on top of garbage.
+  uint64_t valid_offset() const { return valid_offset_; }
+
+  // Byte offset at which the most recent ReadRecord started.
+  uint64_t last_record_offset() const { return last_record_offset_; }
+
+  // Complete records read so far.
+  uint64_t records_read() const { return records_; }
+
  private:
-  std::FILE* file_ = nullptr;
+  std::unique_ptr<SequentialFile> file_;
   std::string path_;
+  uint64_t offset_ = 0;             // current read position
+  uint64_t valid_offset_ = 0;       // end of last good record
+  uint64_t last_record_offset_ = 0; // start of the record being read
+  uint64_t records_ = 0;
 };
 
 }  // namespace stq

@@ -1,7 +1,5 @@
 #include "stq/storage/workload_io.h"
 
-#include <cstdio>
-
 #include "stq/storage/coding.h"
 #include "stq/storage/wal.h"
 
@@ -58,10 +56,12 @@ bool DecodeQueryReport(const std::string& payload, QueryRegionReport* q) {
 
 }  // namespace
 
-Status SaveWorkload(const std::string& path, const Workload& workload) {
+Status SaveWorkload(const std::string& path, const Workload& workload,
+                    Env* env) {
+  if (env == nullptr) env = Env::Default();
   const std::string tmp = path + ".tmp";
   LogWriter writer;
-  STQ_RETURN_IF_ERROR(writer.Open(tmp, /*truncate=*/true));
+  STQ_RETURN_IF_ERROR(writer.Open(env, tmp, /*truncate=*/true));
 
   std::string payload;
   PutDouble(&payload, workload.tick_seconds());
@@ -103,15 +103,17 @@ Status SaveWorkload(const std::string& path, const Workload& workload) {
   }
   STQ_RETURN_IF_ERROR(writer.Sync());
   STQ_RETURN_IF_ERROR(writer.Close());
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Status::IOError("rename failed: " + path);
+  Status s = env->RenameFile(tmp, path);
+  if (!s.ok()) {
+    (void)env->RemoveFile(tmp);
+    return s;
   }
-  return Status::OK();
+  return env->SyncDir(DirName(path));
 }
 
-Result<Workload> LoadWorkload(const std::string& path) {
+Result<Workload> LoadWorkload(const std::string& path, Env* env) {
   LogReader reader;
-  STQ_RETURN_IF_ERROR(reader.Open(path));
+  STQ_RETURN_IF_ERROR(reader.Open(env, path));
 
   double tick_seconds = 0.0;
   uint64_t expect_objects = 0, expect_queries = 0, expect_ticks = 0;

@@ -14,16 +14,20 @@
 #include "stq/common/result.h"
 #include "stq/common/status.h"
 #include "stq/gen/workload.h"
+#include "stq/storage/env.h"
 
 namespace stq {
 
-// Writes `workload` to `path`, replacing any existing file.
-Status SaveWorkload(const std::string& path, const Workload& workload);
+// Writes `workload` to `path`, replacing any existing file (atomically:
+// temp file + rename + directory sync). `env == nullptr` means
+// Env::Default().
+Status SaveWorkload(const std::string& path, const Workload& workload,
+                    Env* env = nullptr);
 
 // Loads a workload previously written by SaveWorkload. Corruption and
 // truncation are reported, not silently tolerated (a benchmark input must
 // be exact).
-Result<Workload> LoadWorkload(const std::string& path);
+Result<Workload> LoadWorkload(const std::string& path, Env* env = nullptr);
 
 }  // namespace stq
 

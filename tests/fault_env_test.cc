@@ -1,0 +1,250 @@
+// Tests for FaultInjectionEnv: the two-view (live vs durable) filesystem
+// model, failpoint scripting, torn writes, crash-op budgets, and the
+// stale-handle semantics recovery tests depend on. Also covers the two
+// consumers whose hardening rides on the env: the sticky-error LogWriter
+// and the PersistentServer degraded state.
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "stq/storage/fault_env.h"
+#include "stq/storage/persistent_server.h"
+#include "stq/storage/wal.h"
+
+namespace stq {
+namespace {
+
+using UnsyncedLoss = FaultInjectionEnv::UnsyncedLoss;
+
+// Creates /d/<name>, appends `synced` + `unsynced`, syncing (and
+// dir-syncing) only the first part. Returns the still-open handle.
+std::unique_ptr<WritableFile> WriteSplit(FaultInjectionEnv* env,
+                                         const std::string& path,
+                                         const std::string& synced,
+                                         const std::string& unsynced) {
+  std::unique_ptr<WritableFile> file;
+  EXPECT_TRUE(env->CreateDir(DirName(path)).ok());
+  EXPECT_TRUE(env->NewWritableFile(path, /*truncate=*/true, &file).ok());
+  EXPECT_TRUE(file->Append(synced).ok());
+  EXPECT_TRUE(file->Sync().ok());
+  EXPECT_TRUE(env->SyncDir(DirName(path)).ok());
+  EXPECT_TRUE(file->Append(unsynced).ok());
+  return file;
+}
+
+TEST(FaultEnvTest, CrashDropsUnsyncedBytes) {
+  FaultInjectionEnv env;
+  auto file = WriteSplit(&env, "/d/f", "abc", "def");
+  EXPECT_EQ(env.FileContentsForTest("/d/f"), "abcdef");
+  EXPECT_EQ(env.DurableBytesForTest("/d/f"), 3u);
+
+  env.SimulateCrash(UnsyncedLoss::kDropAll);
+  EXPECT_EQ(env.FileContentsForTest("/d/f"), "abc");
+}
+
+TEST(FaultEnvTest, SyncedFileVanishesWithoutDirSync) {
+  FaultInjectionEnv env;
+  ASSERT_TRUE(env.CreateDir("/d").ok());
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env.NewWritableFile("/d/f", true, &file).ok());
+  ASSERT_TRUE(file->Append("abc").ok());
+  ASSERT_TRUE(file->Sync().ok());
+  // The data was fsync'ed but the directory entry never was: after a
+  // crash the name itself is gone.
+  env.SimulateCrash(UnsyncedLoss::kDropAll);
+  EXPECT_FALSE(env.FileExists("/d/f"));
+}
+
+TEST(FaultEnvTest, RenameIsDurableOnlyAfterDirSync) {
+  FaultInjectionEnv env;
+  auto file = WriteSplit(&env, "/d/a", "old", "");
+  ASSERT_TRUE(file->Close().ok());
+
+  ASSERT_TRUE(env.RenameFile("/d/a", "/d/b").ok());
+  // Live view sees the rename immediately...
+  EXPECT_FALSE(env.FileExists("/d/a"));
+  EXPECT_TRUE(env.FileExists("/d/b"));
+  // ...but without SyncDir a crash reverts it.
+  env.SimulateCrash(UnsyncedLoss::kDropAll);
+  EXPECT_TRUE(env.FileExists("/d/a"));
+  EXPECT_FALSE(env.FileExists("/d/b"));
+  EXPECT_EQ(env.FileContentsForTest("/d/a"), "old");
+}
+
+TEST(FaultEnvTest, RenameSurvivesCrashAfterDirSync) {
+  FaultInjectionEnv env;
+  auto file = WriteSplit(&env, "/d/a", "old", "");
+  ASSERT_TRUE(file->Close().ok());
+  ASSERT_TRUE(env.RenameFile("/d/a", "/d/b").ok());
+  ASSERT_TRUE(env.SyncDir("/d").ok());
+  env.SimulateCrash(UnsyncedLoss::kDropAll);
+  EXPECT_FALSE(env.FileExists("/d/a"));
+  EXPECT_EQ(env.FileContentsForTest("/d/b"), "old");
+}
+
+TEST(FaultEnvTest, FailpointFailsTheScriptedCall) {
+  FaultInjectionEnv env;
+  ASSERT_TRUE(env.CreateDir("/d").ok());
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env.NewWritableFile("/d/f", true, &file).ok());
+
+  FaultInjectionEnv::Failpoint fp;
+  fp.fail_after = 1;  // let one append through
+  fp.fail_count = 1;
+  fp.error = Status::IOError("no space left on device");
+  env.SetFailpoint("append", fp);
+
+  EXPECT_TRUE(file->Append("one").ok());
+  Status s = file->Append("two");
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("no space left on device"), std::string::npos);
+  EXPECT_TRUE(file->Append("three").ok());  // fail_count exhausted
+  EXPECT_EQ(env.FileContentsForTest("/d/f"), "onethree");
+}
+
+TEST(FaultEnvTest, FailpointPathSubstringFilters) {
+  FaultInjectionEnv env;
+  ASSERT_TRUE(env.CreateDir("/d").ok());
+  std::unique_ptr<WritableFile> wal, other;
+  ASSERT_TRUE(env.NewWritableFile("/d/WAL", true, &wal).ok());
+  ASSERT_TRUE(env.NewWritableFile("/d/other", true, &other).ok());
+
+  FaultInjectionEnv::Failpoint fp;
+  fp.fail_count = -1;
+  fp.path_substring = "WAL";
+  env.SetFailpoint("append", fp);
+
+  EXPECT_FALSE(wal->Append("x").ok());
+  EXPECT_TRUE(other->Append("x").ok());
+  ASSERT_TRUE(other->Close().ok());
+  ASSERT_TRUE(wal->Close().ok());
+}
+
+TEST(FaultEnvTest, TornAppendKeepsAPrefix) {
+  FaultInjectionEnv env;
+  ASSERT_TRUE(env.CreateDir("/d").ok());
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env.NewWritableFile("/d/f", true, &file).ok());
+
+  FaultInjectionEnv::Failpoint fp;
+  fp.tear_bytes = 4;
+  env.SetFailpoint("append", fp);
+
+  EXPECT_FALSE(file->Append("abcdefgh").ok());
+  // The first four bytes of the failing write still reached the buffer.
+  EXPECT_EQ(env.FileContentsForTest("/d/f"), "abcd");
+}
+
+TEST(FaultEnvTest, CrashAfterOpsBudget) {
+  FaultInjectionEnv env;
+  ASSERT_TRUE(env.CreateDir("/d").ok());
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env.NewWritableFile("/d/f", true, &file).ok());
+
+  env.CrashAfterOps(2);
+  EXPECT_TRUE(file->Append("a").ok());
+  EXPECT_TRUE(file->Append("b").ok());
+  Status s = file->Append("c");
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("simulated crash"), std::string::npos);
+  EXPECT_TRUE(env.crashed());
+  // Everything keeps failing until the machine "reboots".
+  EXPECT_FALSE(file->Sync().ok());
+  env.SimulateCrash(UnsyncedLoss::kDropAll);
+  EXPECT_FALSE(env.crashed());
+}
+
+TEST(FaultEnvTest, PreCrashHandlesGoStale) {
+  FaultInjectionEnv env;
+  auto file = WriteSplit(&env, "/d/f", "abc", "");
+  env.SimulateCrash(UnsyncedLoss::kDropAll);
+
+  // The old process's handle must not touch the rebooted filesystem.
+  Status s = file->Append("zzz");
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("stale file handle"), std::string::npos);
+  EXPECT_EQ(env.FileContentsForTest("/d/f"), "abc");
+}
+
+TEST(FaultEnvTest, KeepPrefixKeepsAtMostTheUnsyncedSuffix) {
+  for (uint64_t seed = 1; seed <= 16; ++seed) {
+    FaultInjectionEnv env;
+    auto file = WriteSplit(&env, "/d/f", "abc", "defgh");
+    env.SimulateCrash(UnsyncedLoss::kKeepPrefix, seed);
+    const std::string got = env.FileContentsForTest("/d/f");
+    // Synced bytes always survive; what follows is a prefix of the
+    // unsynced suffix (a torn tail), never reordered or invented bytes.
+    ASSERT_GE(got.size(), 3u) << "seed " << seed;
+    ASSERT_LE(got.size(), 8u) << "seed " << seed;
+    EXPECT_EQ(got, std::string("abcdefgh").substr(0, got.size()))
+        << "seed " << seed;
+  }
+}
+
+TEST(FaultEnvTest, LogWriterGoesStickyAfterInjectedFailure) {
+  FaultInjectionEnv env;
+  ASSERT_TRUE(env.CreateDir("/d").ok());
+  LogWriter writer;
+  ASSERT_TRUE(writer.Open(&env, "/d/log", /*truncate=*/true).ok());
+  ASSERT_TRUE(writer.Append(1, "first").ok());
+
+  FaultInjectionEnv::Failpoint fp;
+  fp.error = Status::IOError("no space left on device");
+  env.SetFailpoint("append", fp);
+  Status s = writer.Append(1, "second");
+  ASSERT_FALSE(s.ok());
+  EXPECT_FALSE(writer.healthy());
+
+  // The error is sticky: later appends are refused without touching the
+  // environment at all.
+  env.ClearFailpoints();
+  const uint64_t ops_before = env.op_count();
+  EXPECT_FALSE(writer.Append(1, "third").ok());
+  EXPECT_FALSE(writer.Sync().ok());
+  EXPECT_EQ(env.op_count(), ops_before);
+  writer.Abandon();
+}
+
+TEST(FaultEnvTest, PersistentServerGoesDegradedOnEnospc) {
+  FaultInjectionEnv env;
+  PersistentServer::Options options;
+  options.server.processor.grid_cells_per_side = 8;
+  options.dir = "/db";
+  options.env = &env;
+  PersistentServer server(options);
+  ASSERT_TRUE(server.Open().ok());
+  ASSERT_TRUE(server.AttachClient(1).ok());
+  ASSERT_TRUE(server.RegisterRangeQuery(1, 1, Rect{0.0, 0.0, 1.0, 1.0}).ok());
+  ASSERT_TRUE(server.ReportObject(1, Point{0.5, 0.5}, 0.0).ok());
+  ASSERT_EQ(server.Tick(1.0).size(), 1u);
+
+  // The disk fills up: the next logged mutation is refused with the real
+  // error and the server degrades.
+  FaultInjectionEnv::Failpoint fp;
+  fp.fail_count = -1;
+  fp.error = Status::IOError("no space left on device");
+  env.SetFailpoint("append", fp);
+  Status s = server.ReportObject(2, Point{0.6, 0.5}, 2.0);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("no space left on device"), std::string::npos);
+  EXPECT_TRUE(server.degraded());
+
+  // Once degraded, mutations are refused *before* the in-memory server
+  // is touched — even after the disk frees up (the WAL writer is
+  // poisoned for good).
+  env.ClearFailpoints();
+  const size_t objects_after_failure = server.server().processor().num_objects();
+  EXPECT_EQ(server.ReportObject(3, Point{0.7, 0.5}, 3.0).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(server.server().processor().num_objects(), objects_after_failure);
+  EXPECT_EQ(server.RegisterRangeQuery(2, 1, Rect{0.0, 0.0, 0.5, 0.5}).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(server.Tick(2.0).empty());
+  EXPECT_FALSE(server.error().ok());
+  EXPECT_FALSE(server.Close().ok());
+}
+
+}  // namespace
+}  // namespace stq

@@ -2,6 +2,7 @@
 // of objects/queries/bindings/committed answers, checkpointing, and the
 // recovery protocol working across a server restart.
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -119,6 +120,95 @@ TEST_F(PersistentServerTest, RecoveryProtocolWorksAcrossRestart) {
   EXPECT_EQ(client.SortedAnswerOf(1),
             *recovered.processor().CurrentAnswer(1));
   ASSERT_TRUE(recovered.Close().ok());
+}
+
+// After a *server* crash and recovery, ReconnectClient must deliver
+// exactly diff(committed, current): the rolled-back client that applies
+// the diff ends up with the same answers a kFullAnswer-policy server
+// (recovered from an identical copy of the crashed directory) ships as
+// complete answer sets, and the diff carries no redundant updates.
+TEST_F(PersistentServerTest, ReconnectAfterServerCrashMatchesFullAnswerOracle) {
+  Client client(7);
+  {
+    PersistentServer server(MakeOptions());
+    ASSERT_TRUE(server.Open().ok());
+    ASSERT_TRUE(server.AttachClient(7).ok());
+    ASSERT_TRUE(
+        server.RegisterRangeQuery(1, 7, Rect{0.4, 0.4, 0.6, 0.6}).ok());
+    ASSERT_TRUE(server.RegisterKnnQuery(2, 7, Point{0.2, 0.2}, 2).ok());
+    ASSERT_TRUE(server.ReportObject(1, Point{0.5, 0.5}, 0.0).ok());
+    ASSERT_TRUE(server.ReportObject(2, Point{0.55, 0.5}, 0.0).ok());
+    ASSERT_TRUE(server.ReportObject(3, Point{0.21, 0.2}, 0.0).ok());
+    ASSERT_TRUE(server.ReportObject(4, Point{0.25, 0.2}, 0.0).ok());
+    for (const auto& d : server.Tick(1.0)) client.ApplyUpdates(d.updates);
+    ASSERT_TRUE(server.CommitQuery(1).ok());
+    ASSERT_TRUE(server.CommitQuery(2).ok());
+    client.Commit(1);
+    client.Commit(2);
+    // Changes after the commit point reach the client but are never
+    // committed; they are what the diff must re-deliver after the crash.
+    ASSERT_TRUE(server.ReportObject(2, Point{0.9, 0.9}, 2.0).ok());
+    ASSERT_TRUE(server.ReportObject(5, Point{0.45, 0.45}, 2.0).ok());
+    for (const auto& d : server.Tick(2.0)) client.ApplyUpdates(d.updates);
+    // Crash: destructor without Close (Tick already synced the WAL).
+  }
+
+  // The oracle recovers from a byte-identical copy of the crashed
+  // directory, but ships complete answers instead of diffs.
+  const std::string oracle_dir = dir_ + "_oracle";
+  const std::string cp = "rm -rf '" + oracle_dir + "' && cp -r '" + dir_ +
+                         "' '" + oracle_dir + "'";
+  ASSERT_EQ(std::system(cp.c_str()), 0);
+
+  PersistentServer recovered(MakeOptions());
+  PersistentServer::Options oracle_options = MakeOptions();
+  oracle_options.dir = oracle_dir;
+  oracle_options.server.recovery = RecoveryPolicy::kFullAnswer;
+  PersistentServer oracle(oracle_options);
+  ASSERT_TRUE(recovered.Open().ok());
+  ASSERT_TRUE(oracle.Open().ok());
+
+  // The world keeps changing, identically on both, while the client is
+  // still away.
+  for (PersistentServer* s : {&recovered, &oracle}) {
+    ASSERT_TRUE(s->ReportObject(6, Point{0.41, 0.41}, 3.0).ok());
+    ASSERT_TRUE(s->RemoveObject(1).ok());
+    s->Tick(3.0);
+  }
+
+  // Expected diff size: the symmetric difference between the recovered
+  // committed snapshots and the current answers of the client's queries.
+  size_t expect_updates = 0;
+  for (QueryId qid : {QueryId{1}, QueryId{2}}) {
+    const auto& committed = recovered.server().committed().Committed(qid);
+    std::vector<ObjectId> current = *recovered.processor().CurrentAnswer(qid);
+    for (ObjectId id : current) expect_updates += committed.contains(id) ? 0 : 1;
+    for (ObjectId id : committed) {
+      if (std::find(current.begin(), current.end(), id) == current.end()) {
+        ++expect_updates;
+      }
+    }
+  }
+
+  Result<Server::Delivery> diff = recovered.ReconnectClient(7);
+  Result<Server::Delivery> full = oracle.ReconnectClient(7);
+  ASSERT_TRUE(diff.ok());
+  ASSERT_TRUE(full.ok());
+  EXPECT_TRUE(diff->full_answers.empty());
+  EXPECT_EQ(diff->updates.size(), expect_updates);
+
+  client.RollbackToCommitted();
+  client.ApplyUpdates(diff->updates);
+  client.CommitAll();
+
+  ASSERT_EQ(full->full_answers.size(), 2u);
+  for (const auto& [qid, answer] : full->full_answers) {
+    std::vector<ObjectId> sorted = answer;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(client.SortedAnswerOf(qid), sorted) << "query " << qid;
+  }
+  ASSERT_TRUE(recovered.Close().ok());
+  ASSERT_TRUE(oracle.Close().ok());
 }
 
 TEST_F(PersistentServerTest, CheckpointCompactsAndRecovers) {

@@ -109,11 +109,13 @@ TEST_F(StorageTest, WalAppendsAcrossReopen) {
     LogWriter writer;
     ASSERT_TRUE(writer.Open(path, true).ok());
     ASSERT_TRUE(writer.Append(1, "first").ok());
+    ASSERT_TRUE(writer.Close().ok());
   }
   {
     LogWriter writer;
     ASSERT_TRUE(writer.Open(path, false).ok());  // append mode
     ASSERT_TRUE(writer.Append(2, "second").ok());
+    ASSERT_TRUE(writer.Close().ok());
   }
   LogReader reader;
   ASSERT_TRUE(reader.Open(path).ok());
@@ -133,6 +135,7 @@ TEST_F(StorageTest, TornTailIsCleanEof) {
     ASSERT_TRUE(writer.Open(path, true).ok());
     ASSERT_TRUE(writer.Append(1, "complete record").ok());
     ASSERT_TRUE(writer.Append(2, "this one will be torn").ok());
+    ASSERT_TRUE(writer.Close().ok());
   }
   // Simulate a crash mid-append: truncate the last few bytes.
   FILE* f = std::fopen(path.c_str(), "rb+");
@@ -160,6 +163,7 @@ TEST_F(StorageTest, CorruptedPayloadIsSurfaced) {
     LogWriter writer;
     ASSERT_TRUE(writer.Open(path, true).ok());
     ASSERT_TRUE(writer.Append(1, "sensitive payload bytes").ok());
+    ASSERT_TRUE(writer.Close().ok());
   }
   // Flip one payload byte in the middle of the frame.
   FILE* f = std::fopen(path.c_str(), "rb+");
@@ -432,6 +436,108 @@ TEST_F(StorageTest, RestoreProcessorRebuildsAnswers) {
   ASSERT_TRUE(restore.ok());
   EXPECT_EQ(*restored.CurrentAnswer(1), *live.CurrentAnswer(1));
   EXPECT_TRUE(restored.CheckInvariants().ok());
+}
+
+TEST_F(StorageTest, MidLogCorruptionReportsOffsetAndIndex) {
+  {
+    Repository repo(dir_);
+    ASSERT_TRUE(repo.Open().ok());
+    for (ObjectId id = 1; id <= 3; ++id) {
+      PersistedObject o;
+      o.id = id;
+      ASSERT_TRUE(repo.LogObjectUpsert(o).ok());
+    }
+    ASSERT_TRUE(repo.Sync().ok());
+    ASSERT_TRUE(repo.Close().ok());
+  }
+  // Flip one byte inside the middle record (well past the epoch header
+  // and the first upsert, well before the tail).
+  const std::string wal = dir_ + "/WAL";
+  FILE* f = std::fopen(wal.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  const long target = size / 2;
+  std::fseek(f, target, SEEK_SET);
+  const int c = std::fgetc(f);
+  std::fseek(f, target, SEEK_SET);
+  std::fputc(c ^ 0xFF, f);
+  ASSERT_EQ(std::fclose(f), 0);
+
+  Repository repo(dir_);
+  const Status s = repo.Open();
+  ASSERT_TRUE(s.IsCorruption()) << s.ToString();
+  // The position of the bad frame must be in the message: record index
+  // and byte offset.
+  EXPECT_NE(s.message().find("record #"), std::string::npos) << s.ToString();
+  EXPECT_NE(s.message().find("offset"), std::string::npos) << s.ToString();
+}
+
+TEST_F(StorageTest, TornSnapshotIsCorruption) {
+  PersistedState state;
+  PersistedObject o;
+  o.id = 1;
+  o.loc = Point{0.5, 0.5};
+  state.objects.push_back(o);
+  state.last_tick = 3.0;
+  ASSERT_TRUE(WriteSnapshot(Path("SNAPSHOT"), state).ok());
+
+  // Tear off part of the terminal tick record; the WAL framing would
+  // read this as a clean EOF, but a snapshot must notice the loss.
+  FILE* f = std::fopen(Path("SNAPSHOT").c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  ASSERT_EQ(std::fclose(f), 0);
+  ASSERT_EQ(truncate(Path("SNAPSHOT").c_str(), size - 5), 0);
+
+  PersistedState loaded;
+  EXPECT_TRUE(ReadSnapshot(Path("SNAPSHOT"), &loaded).IsCorruption());
+}
+
+TEST_F(StorageTest, StaleWalFromCrashedCheckpointIsIgnored) {
+  std::string old_wal_bytes;
+  {
+    Repository repo(dir_);
+    ASSERT_TRUE(repo.Open().ok());
+    PersistedObject o;
+    o.id = 1;
+    o.loc = Point{0.1, 0.1};
+    ASSERT_TRUE(repo.LogObjectUpsert(o).ok());
+    ASSERT_TRUE(repo.Sync().ok());
+
+    // Capture the pre-checkpoint WAL (epoch 0 header + the upsert).
+    FILE* f = std::fopen((dir_ + "/WAL").c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    size_t got = 0;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      old_wal_bytes.append(buf, got);
+    }
+    ASSERT_EQ(std::fclose(f), 0);
+
+    PersistedState state;
+    o.loc = Point{0.9, 0.9};
+    state.objects.push_back(o);
+    state.last_tick = 5.0;
+    ASSERT_TRUE(repo.Checkpoint(state).ok());
+    ASSERT_TRUE(repo.Close().ok());
+  }
+  // Simulate the crash window where the new SNAPSHOT became durable but
+  // the WAL reset did not: put the old WAL bytes back.
+  FILE* f = std::fopen((dir_ + "/WAL").c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(old_wal_bytes.data(), 1, old_wal_bytes.size(), f),
+            old_wal_bytes.size());
+  ASSERT_EQ(std::fclose(f), 0);
+
+  Repository repo(dir_);
+  ASSERT_TRUE(repo.Open().ok());
+  // The stale epoch-0 WAL must not be replayed over the epoch-1 snapshot.
+  ASSERT_EQ(repo.recovered().objects.size(), 1u);
+  EXPECT_EQ(repo.recovered().objects[0].loc, (Point{0.9, 0.9}));
+  EXPECT_DOUBLE_EQ(repo.recovered().last_tick, 5.0);
+  EXPECT_EQ(repo.epoch(), 1u);
 }
 
 TEST_F(StorageTest, RepositoryDoubleOpenRejected) {

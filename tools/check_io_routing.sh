@@ -1,0 +1,39 @@
+#!/bin/sh
+# Durability gate: every byte the library writes must flow through the
+# stq::Env abstraction so fault injection and the crash-recovery torture
+# harness see it. Raw OS file I/O is confined to the Env implementation
+# (src/stq/storage/posix_env.cc); stderr logging in common/logging.cc may
+# keep its <cstdio> flush. Run from the repository root; exits non-zero
+# and prints the offending lines if the gate is violated.
+
+set -u
+cd "$(dirname "$0")/.."
+bad=0
+
+# OS-level I/O headers belong to the Env implementation only.
+if grep -rn -E '#include <(fcntl\.h|unistd\.h|sys/stat\.h|sys/uio\.h|dirent\.h)>' \
+    src/stq --include='*.cc' --include='*.h' | grep -v 'posix_env\.cc'; then
+  echo "error: OS I/O header included outside posix_env.cc" >&2
+  bad=1
+fi
+
+# stdio file handles and fd-level durability calls.
+if grep -rn -E '\b(fopen|fwrite|fread|fclose|fseeko?|ftello?|fsync|fdatasync|ftruncate|fileno)\s*\(' \
+    src/stq --include='*.cc' --include='*.h' \
+    | grep -vE 'posix_env\.cc|common/logging\.cc'; then
+  echo "error: raw stdio/fd file I/O outside posix_env.cc" >&2
+  bad=1
+fi
+
+# File metadata operations must route through Env::Rename / RemoveFile.
+if grep -rn -E '\bstd::(rename|tmpfile|fopen|freopen)\s*\(' \
+    src/stq --include='*.cc' --include='*.h' | grep -v 'posix_env\.cc'; then
+  echo "error: std:: file operation outside posix_env.cc" >&2
+  bad=1
+fi
+
+if [ "$bad" -ne 0 ]; then
+  echo "I/O routing gate FAILED: route file access through stq::Env" >&2
+  exit 1
+fi
+echo "I/O routing gate: clean"
