@@ -1,0 +1,119 @@
+// Ablation: spatially sharded shared-execution tick — shard scaling.
+//
+// The universe splits into S rectangular shards, each owning its own
+// grid and stores and ticking independently on a thread pool; a router
+// deduplicates cross-shard updates and merges the per-shard streams into
+// the canonical order. This binary sweeps shard counts over the paper's
+// fig-5a network workload (worker_threads == num_shards so every shard
+// can tick concurrently) and reports ticks/sec, speedup over the
+// single-grid engine, the per-shard busy/critical-path/merge wall-time
+// split from TickStats, and a CRC32 of the canonical update stream —
+// which must agree across all rows (the sharded engine is byte-identical
+// to the single grid by construction; the differential tests pin the
+// same property, this bench re-checks it at benchmark scale).
+//
+// Expected shape on a multi-core host: shard_busy spreads across the
+// pool so the tick's critical path drops toward shard_max + merge;
+// speedup > 2x at 4 shards on the fig-5a workload. On a single-core
+// host the shards serialize and the sweep degenerates to measuring
+// router overhead.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "stq/common/crc32.h"
+
+namespace {
+
+struct RunResult {
+  double seconds = 0.0;     // total EvaluateTick wall time
+  double shard_busy = 0.0;  // summed per-shard tick wall time
+  double shard_max = 0.0;   // summed slowest-shard (critical path) time
+  double merge = 0.0;       // refcount merge + canonicalization
+  double route = 0.0;       // router dispatch (clip + dedup bookkeeping)
+  uint32_t stream_crc = 0;  // CRC32 of all canonical update streams
+  size_t ticks = 0;
+};
+
+RunResult RunWorkload(const stq::Workload& workload, int shards) {
+  stq::QueryProcessorOptions options;
+  options.grid_cells_per_side = 64;
+  options.num_shards = shards;
+  options.worker_threads = std::max(1, shards);
+  stq::QueryProcessor qp(options);
+  workload.ApplyInitial(&qp);
+  qp.EvaluateTick(0.0);  // drain the initial load outside the timed region
+
+  RunResult result;
+  std::string stream;
+  for (size_t i = 0; i < workload.ticks().size(); ++i) {
+    workload.ApplyTick(&qp, i);
+    const auto start = std::chrono::steady_clock::now();
+    const stq::TickResult tick = qp.EvaluateTick(workload.ticks()[i].time);
+    result.seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    result.shard_busy += tick.stats.shard_tick_busy_seconds;
+    result.shard_max += tick.stats.shard_tick_max_seconds;
+    result.merge += tick.stats.shard_merge_seconds;
+    result.route += tick.stats.shard_route_seconds;
+    stream.clear();
+    for (const stq::Update& u : tick.updates) {
+      stream += u.DebugString();
+      stream += '\n';
+    }
+    result.stream_crc = stq::Crc32c(stream.data(), stream.size()) ^
+                        (result.stream_crc * 31);
+    ++result.ticks;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  stq_bench::BenchScale scale = stq_bench::BenchScale::FromEnv();
+  scale.num_queries = stq_bench::EnvSize("STQ_BENCH_QUERIES", 10000);
+
+  std::printf("Ablation: shard scaling of the shared-execution tick\n");
+  std::printf("objects=%zu queries=%zu T=5s ticks=%zu (fig-5a workload)\n\n",
+              scale.num_objects, scale.num_queries, scale.num_ticks);
+
+  const stq::Workload workload = stq::Workload::GenerateNetwork(
+      stq_bench::PaperWorkloadOptions(scale, /*query_side=*/0.02,
+                                      /*object_update_fraction=*/0.5,
+                                      /*seed=*/5150));
+
+  std::printf("%-8s %12s %10s %12s %12s %12s %12s %12s\n", "shards",
+              "ticks/sec", "speedup", "shard_busy", "shard_max", "merge_s",
+              "route_s", "stream_crc");
+
+  double single_seconds = 0.0;
+  uint32_t single_crc = 0;
+  bool crc_mismatch = false;
+  for (int shards : {1, 2, 4, 8}) {
+    const RunResult r = RunWorkload(workload, shards);
+    if (shards == 1) {
+      single_seconds = r.seconds;
+      single_crc = r.stream_crc;
+    } else if (r.stream_crc != single_crc) {
+      crc_mismatch = true;
+    }
+    std::printf("%-8d %12.2f %9.2fx %12.4f %12.4f %12.4f %12.4f   0x%08x\n",
+                shards,
+                r.seconds > 0 ? static_cast<double>(r.ticks) / r.seconds : 0.0,
+                r.seconds > 0 ? single_seconds / r.seconds : 0.0, r.shard_busy,
+                r.shard_max, r.merge, r.route, r.stream_crc);
+  }
+
+  if (crc_mismatch) {
+    std::printf("\nFAIL: update streams diverged across shard counts\n");
+    return 1;
+  }
+  std::printf("\nupdate streams byte-identical across all shard counts\n");
+  return 0;
+}

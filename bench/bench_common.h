@@ -73,8 +73,8 @@ inline stq::NetworkWorkloadOptions PaperWorkloadOptions(
 inline size_t CompleteAnswerBytes(const stq::QueryProcessor& qp) {
   size_t total = 0;
   const stq::WireCostModel& cost = qp.options().wire_cost;
-  qp.query_store().ForEach([&](const stq::QueryRecord& q) {
-    total += cost.CompleteAnswerBytes(q.answer.size());
+  qp.ForEachQueryInfo([&](const stq::QueryProcessor::QueryInfo& q) {
+    total += cost.CompleteAnswerBytes(q.answer_size);
   });
   return total;
 }

@@ -7,9 +7,9 @@ size_t FullAnswerResendBytes(const QueryProcessor& processor,
                              const WireCostModel& model) {
   size_t total = 0;
   for (QueryId qid : queries) {
-    const QueryRecord* q = processor.query_store().Find(qid);
-    if (q == nullptr) continue;
-    total += model.CompleteAnswerBytes(q->answer.size());
+    Result<std::vector<ObjectId>> answer = processor.CurrentAnswer(qid);
+    if (!answer.ok()) continue;
+    total += model.CompleteAnswerBytes(answer->size());
   }
   return total;
 }

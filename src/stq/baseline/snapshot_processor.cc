@@ -227,7 +227,9 @@ std::vector<ObjectId> SnapshotProcessor::EvaluateOne(
       for (ObjectId oid : candidates) {
         const ObjectRecord* o = objects_.Find(oid);
         STQ_DCHECK(o != nullptr);
-        if (CircleEvaluator::Satisfies(*o, q)) answer.push_back(oid);
+        if (CircleEvaluator::Satisfies(*o, q, options_.bounds)) {
+          answer.push_back(oid);
+        }
       }
       break;
     }

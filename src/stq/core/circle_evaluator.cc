@@ -16,7 +16,7 @@ void CircleEvaluator::OnCircleMoved(QueryRecord* q, std::vector<Update>* out) {
   for (ObjectId oid : q->answer) {
     const ObjectRecord* o = state_.objects->Find(oid);
     STQ_DCHECK(o != nullptr);
-    if (!Satisfies(*o, *q)) leavers.push_back(oid);
+    if (!Satisfies(*o, *q, state_.options->bounds)) leavers.push_back(oid);
   }
   for (ObjectId oid : leavers) {
     SetMembership(state_.objects->FindMutable(oid), q, false, out);
@@ -28,7 +28,7 @@ void CircleEvaluator::OnCircleMoved(QueryRecord* q, std::vector<Update>* out) {
       q->circle.BoundingBox(), [&](ObjectId oid) {
         ObjectRecord* o = state_.objects->FindMutable(oid);
         STQ_DCHECK(o != nullptr);
-        if (Satisfies(*o, *q)) {
+        if (Satisfies(*o, *q, state_.options->bounds)) {
           SetMembership(o, q, true, out);
         }
       });

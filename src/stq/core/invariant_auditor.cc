@@ -7,6 +7,7 @@
 
 #include "stq/core/query_processor.h"
 #include "stq/core/server.h"
+#include "stq/core/sharded_server.h"
 
 namespace stq {
 
@@ -204,6 +205,27 @@ AuditReport InvariantAuditor::AuditProcessor(const QueryProcessor& qp) const {
     sink.Add(os.str());
     return report;
   }
+  if (qp.sharded()) {
+    // Sharded mode: every per-shard engine is a full single-grid
+    // processor, so it gets the complete structural audit; the routing
+    // and answer-composition invariants live at the router and are
+    // checked by AuditCrossShard (OList union over the shards equals the
+    // committed answer, no object double-counted, routing consistent).
+    const ShardedEngine& engine = *qp.sharded_engine();
+    for (int s = 0; s < engine.num_shards() && !sink.full(); ++s) {
+      const AuditReport shard_report = AuditProcessor(engine.shard(s));
+      for (const std::string& v : shard_report.violations) {
+        if (sink.full()) break;
+        std::ostringstream os;
+        os << "shard " << s << ": " << v;
+        sink.Add(os.str());
+      }
+    }
+    if (!sink.full()) {
+      engine.AuditCrossShard(options_.max_violations, &report.violations);
+    }
+    return report;
+  }
   AuditAnswerSymmetry(qp, &sink);
   AuditGridAgreement(qp, &sink);
   if (options_.verify_answers_from_scratch && !sink.full()) {
@@ -225,7 +247,7 @@ AuditReport InvariantAuditor::AuditServer(const Server& server) const {
       });
   std::sort(committed_qids.begin(), committed_qids.end());
   for (QueryId qid : committed_qids) {
-    if (!server.processor().query_store().Contains(qid)) {
+    if (!server.processor().HasQuery(qid)) {
       std::ostringstream os;
       os << "committed store holds an answer for unregistered query " << qid;
       sink.Add(os.str());

@@ -22,6 +22,14 @@
 //      answer equals its from-scratch re-evaluation.
 //   5. k-NN sanity: a k-NN answer never exceeds k objects.
 //
+// On a sharded processor (options().num_shards > 1) checks 1-5 run on
+// every per-shard engine, and a cross-shard pass verifies the router's
+// composition: every object lives in exactly the shards the routing rule
+// assigns it (no double counting), every query is registered in exactly
+// the shards its region overlaps, the per-shard OList union (with
+// multiplicity) equals the router's committed answer, and every k-NN
+// answer equals its cross-shard from-scratch search.
+//
 // AuditServer additionally verifies the committed-answer repository only
 // references registered queries.
 //

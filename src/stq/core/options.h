@@ -39,9 +39,25 @@ struct QueryProcessorOptions {
   // "Threading model".
   int worker_threads = 1;
 
+  // Number of rectangular spatial shards the universe is partitioned
+  // into. 1 (the default) runs the classic single-grid engine; > 1
+  // routes objects and queries to per-shard engines that tick in
+  // parallel (on `worker_threads` workers) and merges their update
+  // streams into one canonical stream, byte-identical to the
+  // single-grid stream — see DESIGN.md, "Sharded execution".
+  int num_shards = 1;
+
+  // Internal (set by the sharded engine on its per-shard processors):
+  // clamp object locations into this rect instead of `bounds`. Shard
+  // processors own a sub-rect of the universe but must store exact
+  // universe-clamped positions for objects whose footprint merely
+  // crosses the shard. Empty means "use bounds".
+  Rect location_clamp_bounds = Rect::Empty();
+
   bool Validate() const {
     return !bounds.IsEmpty() && grid_cells_per_side >= 1 &&
-           prediction_horizon > 0.0 && worker_threads >= 0;
+           prediction_horizon > 0.0 && worker_threads >= 0 &&
+           num_shards >= 1;
   }
 };
 

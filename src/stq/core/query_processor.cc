@@ -9,6 +9,7 @@
 
 #include "stq/common/check.h"
 #include "stq/core/invariant_auditor.h"
+#include "stq/core/sharded_server.h"
 
 namespace stq {
 
@@ -36,20 +37,31 @@ class PhaseTimer {
 
 QueryProcessor::QueryProcessor(const QueryProcessorOptions& options)
     : options_(options),
-      history_(options.record_history ? std::make_unique<HistoryStore>()
-                                      : nullptr),
-      pool_(ThreadPool::ResolveWorkers(options.worker_threads) > 1
+      // In sharded mode the router (ShardedEngine) owns the history, the
+      // pool and all spatial state; the facade keeps only a 1-cell
+      // placeholder grid so the evaluator members stay valid.
+      history_(options.record_history && options.num_shards <= 1
+                   ? std::make_unique<HistoryStore>()
+                   : nullptr),
+      pool_(options.num_shards <= 1 &&
+                    ThreadPool::ResolveWorkers(options.worker_threads) > 1
                 ? std::make_unique<ThreadPool>(
                       ThreadPool::ResolveWorkers(options.worker_threads))
                 : nullptr),
-      grid_(std::make_unique<GridIndex>(options_.bounds,
-                                        options_.grid_cells_per_side)),
+      grid_(std::make_unique<GridIndex>(
+          options_.bounds,
+          options.num_shards > 1 ? 1 : options_.grid_cells_per_side)),
       range_(EngineState{grid_.get(), &objects_, &queries_, &options_}),
       knn_(EngineState{grid_.get(), &objects_, &queries_, &options_}),
       predictive_(EngineState{grid_.get(), &objects_, &queries_, &options_}),
       circle_(EngineState{grid_.get(), &objects_, &queries_, &options_}) {
   STQ_CHECK(options_.Validate()) << "invalid QueryProcessorOptions";
+  if (options_.num_shards > 1) {
+    sharded_ = std::make_unique<ShardedEngine>(options_);
+  }
 }
+
+QueryProcessor::~QueryProcessor() = default;
 
 EngineState QueryProcessor::state() {
   return EngineState{grid_.get(), &objects_, &queries_, &options_};
@@ -78,13 +90,19 @@ double QueryProcessor::LatestKnownReportTime(ObjectId id) const {
 }
 
 Point QueryProcessor::ClampLocation(const Point& loc) const {
-  return Point{std::clamp(loc.x, options_.bounds.min_x, options_.bounds.max_x),
-               std::clamp(loc.y, options_.bounds.min_y,
-                          options_.bounds.max_y)};
+  // A per-shard engine owns a sub-rect of the universe but must store
+  // exact universe-clamped positions (location_clamp_bounds); everyone
+  // else clamps into their own bounds.
+  const Rect& b = options_.location_clamp_bounds.IsEmpty()
+                      ? options_.bounds
+                      : options_.location_clamp_bounds;
+  return Point{std::clamp(loc.x, b.min_x, b.max_x),
+               std::clamp(loc.y, b.min_y, b.max_y)};
 }
 
 Status QueryProcessor::UpsertObject(ObjectId id, const Point& loc,
                                     Timestamp t) {
+  if (sharded_ != nullptr) return sharded_->UpsertObject(id, loc, t);
   if (t < LatestKnownReportTime(id)) {
     return Status::InvalidArgument("stale object report");
   }
@@ -97,6 +115,9 @@ Status QueryProcessor::UpsertObject(ObjectId id, const Point& loc,
 Status QueryProcessor::UpsertPredictiveObject(ObjectId id, const Point& loc,
                                               const Velocity& vel,
                                               Timestamp t) {
+  if (sharded_ != nullptr) {
+    return sharded_->UpsertPredictiveObject(id, loc, vel, t);
+  }
   if (t < LatestKnownReportTime(id)) {
     return Status::InvalidArgument("stale object report");
   }
@@ -106,6 +127,7 @@ Status QueryProcessor::UpsertPredictiveObject(ObjectId id, const Point& loc,
 }
 
 Status QueryProcessor::RemoveObject(ObjectId id) {
+  if (sharded_ != nullptr) return sharded_->RemoveObject(id);
   const bool exists_in_store = objects_.Contains(id);
   if (!exists_in_store && !buffer_.HasPendingUpsert(id)) {
     std::ostringstream os;
@@ -161,6 +183,7 @@ Rect QueryProcessor::ClampRegion(const Rect& region) const {
 }
 
 Status QueryProcessor::RegisterRangeQuery(QueryId id, const Rect& region) {
+  if (sharded_ != nullptr) return sharded_->RegisterRangeQuery(id, region);
   const Rect clamped = ClampRegion(region);
   if (clamped.IsEmpty()) {
     return Status::InvalidArgument(
@@ -176,6 +199,7 @@ Status QueryProcessor::RegisterRangeQuery(QueryId id, const Rect& region) {
 }
 
 Status QueryProcessor::MoveRangeQuery(QueryId id, const Rect& region) {
+  if (sharded_ != nullptr) return sharded_->MoveRangeQuery(id, region);
   const Rect clamped = ClampRegion(region);
   if (clamped.IsEmpty()) {
     return Status::InvalidArgument(
@@ -196,6 +220,7 @@ Status QueryProcessor::MoveRangeQuery(QueryId id, const Rect& region) {
 
 Status QueryProcessor::RegisterKnnQuery(QueryId id, const Point& center,
                                         int k) {
+  if (sharded_ != nullptr) return sharded_->RegisterKnnQuery(id, center, k);
   if (k < 1) return Status::InvalidArgument("k must be >= 1");
   STQ_RETURN_IF_ERROR(ValidateQueryRegistration(id));
   PendingQueryChange c;
@@ -208,6 +233,7 @@ Status QueryProcessor::RegisterKnnQuery(QueryId id, const Point& center,
 }
 
 Status QueryProcessor::MoveKnnQuery(QueryId id, const Point& center) {
+  if (sharded_ != nullptr) return sharded_->MoveKnnQuery(id, center);
   Result<QueryKind> kind = EffectiveQueryKind(id);
   if (!kind.ok()) return kind.status();
   if (*kind != QueryKind::kKnn) {
@@ -223,6 +249,9 @@ Status QueryProcessor::MoveKnnQuery(QueryId id, const Point& center) {
 
 Status QueryProcessor::RegisterCircleQuery(QueryId id, const Point& center,
                                            double radius) {
+  if (sharded_ != nullptr) {
+    return sharded_->RegisterCircleQuery(id, center, radius);
+  }
   if (radius <= 0.0) {
     return Status::InvalidArgument("circle radius must be positive");
   }
@@ -241,6 +270,7 @@ Status QueryProcessor::RegisterCircleQuery(QueryId id, const Point& center,
 }
 
 Status QueryProcessor::MoveCircleQuery(QueryId id, const Point& center) {
+  if (sharded_ != nullptr) return sharded_->MoveCircleQuery(id, center);
   Result<QueryKind> kind = EffectiveQueryKind(id);
   if (!kind.ok()) return kind.status();
   if (*kind != QueryKind::kCircleRange) {
@@ -270,6 +300,9 @@ Status QueryProcessor::MoveCircleQuery(QueryId id, const Point& center) {
 
 Status QueryProcessor::RegisterPredictiveQuery(QueryId id, const Rect& region,
                                                double t_from, double t_to) {
+  if (sharded_ != nullptr) {
+    return sharded_->RegisterPredictiveQuery(id, region, t_from, t_to);
+  }
   const Rect clamped = ClampRegion(region);
   if (clamped.IsEmpty()) {
     return Status::InvalidArgument(
@@ -290,6 +323,7 @@ Status QueryProcessor::RegisterPredictiveQuery(QueryId id, const Rect& region,
 }
 
 Status QueryProcessor::MovePredictiveQuery(QueryId id, const Rect& region) {
+  if (sharded_ != nullptr) return sharded_->MovePredictiveQuery(id, region);
   const Rect clamped = ClampRegion(region);
   if (clamped.IsEmpty()) {
     return Status::InvalidArgument(
@@ -309,6 +343,7 @@ Status QueryProcessor::MovePredictiveQuery(QueryId id, const Rect& region) {
 }
 
 Status QueryProcessor::UnregisterQuery(QueryId id) {
+  if (sharded_ != nullptr) return sharded_->UnregisterQuery(id);
   const bool live_in_store =
       queries_.Contains(id) && !buffer_.HasPendingQueryUnregister(id);
   if (!live_in_store && !buffer_.HasPendingQueryRegister(id)) {
@@ -568,7 +603,7 @@ void QueryProcessor::MatchObjectShard(const std::vector<ObjectId>& moved,
           }
           break;
         case QueryKind::kCircleRange:
-          if (!CircleEvaluator::Satisfies(*o, *q)) {
+          if (!CircleEvaluator::Satisfies(*o, *q, options_.bounds)) {
             out->deltas.push_back(MatchDelta{qid, oid, false});
           }
           break;
@@ -599,7 +634,7 @@ void QueryProcessor::MatchObjectShard(const std::vector<ObjectId>& moved,
           }
           break;
         case QueryKind::kCircleRange:
-          if (CircleEvaluator::Satisfies(*o, *q)) {
+          if (CircleEvaluator::Satisfies(*o, *q, options_.bounds)) {
             out->deltas.push_back(MatchDelta{qid, oid, true});
           }
           break;
@@ -655,6 +690,7 @@ void QueryProcessor::RunObjectPass(const std::vector<ObjectId>& moved,
 }
 
 TickResult QueryProcessor::EvaluateTick(Timestamp now) {
+  if (sharded_ != nullptr) return sharded_->EvaluateTick(now);
   if (now < last_tick_time_) {
     STQ_LOG(Warning) << "EvaluateTick time went backwards (" << now << " < "
                      << last_tick_time_ << ")";
@@ -739,6 +775,7 @@ TickResult QueryProcessor::EvaluateTick(Timestamp now) {
 
 Result<std::vector<ObjectId>> QueryProcessor::CurrentAnswer(
     QueryId id) const {
+  if (sharded_ != nullptr) return sharded_->CurrentAnswer(id);
   const QueryRecord* q = queries_.Find(id);
   if (q == nullptr) {
     std::ostringstream os;
@@ -750,6 +787,7 @@ Result<std::vector<ObjectId>> QueryProcessor::CurrentAnswer(
 
 Result<std::vector<ObjectId>> QueryProcessor::EvaluateFromScratch(
     QueryId id) const {
+  if (sharded_ != nullptr) return sharded_->EvaluateFromScratch(id);
   const QueryRecord* q = queries_.Find(id);
   if (q == nullptr) {
     std::ostringstream os;
@@ -772,7 +810,9 @@ Result<std::vector<ObjectId>> QueryProcessor::EvaluateFromScratch(
       break;
     case QueryKind::kCircleRange:
       objects_.ForEach([&](const ObjectRecord& o) {
-        if (CircleEvaluator::Satisfies(o, *q)) answer.push_back(o.id);
+        if (CircleEvaluator::Satisfies(o, *q, options_.bounds)) {
+          answer.push_back(o.id);
+        }
       });
       break;
     case QueryKind::kKnn: {
@@ -794,11 +834,130 @@ Result<std::vector<ObjectId>> QueryProcessor::EvaluateFromScratch(
 
 Result<std::vector<ObjectId>> QueryProcessor::EvaluatePastRangeQuery(
     const Rect& region, Timestamp t) const {
+  if (sharded_ != nullptr) {
+    return sharded_->EvaluatePastRangeQuery(region, t);
+  }
   if (history_ == nullptr) {
     return Status::FailedPrecondition(
         "past queries require QueryProcessorOptions::record_history");
   }
   return history_->RangeAt(ClampRegion(region), t);
+}
+
+int QueryProcessor::worker_threads() const {
+  if (sharded_ != nullptr) return sharded_->worker_threads();
+  return pool_ == nullptr ? 1 : pool_->num_workers();
+}
+
+size_t QueryProcessor::num_objects() const {
+  return sharded_ != nullptr ? sharded_->num_objects() : objects_.size();
+}
+
+size_t QueryProcessor::num_queries() const {
+  return sharded_ != nullptr ? sharded_->num_queries() : queries_.size();
+}
+
+size_t QueryProcessor::pending_reports() const {
+  if (sharded_ != nullptr) return sharded_->pending_reports();
+  return buffer_.pending_object_ops() + buffer_.pending_query_ops();
+}
+
+bool QueryProcessor::HasQuery(QueryId id) const {
+  return sharded_ != nullptr ? sharded_->HasQuery(id) : queries_.Contains(id);
+}
+
+const ObjectStore& QueryProcessor::object_store() const {
+  STQ_CHECK(sharded_ == nullptr)
+      << "object_store() is single-grid only; use sharded_engine()->shard(s)";
+  return objects_;
+}
+
+const QueryStore& QueryProcessor::query_store() const {
+  STQ_CHECK(sharded_ == nullptr)
+      << "query_store() is single-grid only; use sharded_engine()->shard(s)";
+  return queries_;
+}
+
+const GridIndex& QueryProcessor::grid() const {
+  STQ_CHECK(sharded_ == nullptr)
+      << "grid() is single-grid only; use sharded_engine()->shard(s)";
+  return *grid_;
+}
+
+ObjectStore& QueryProcessor::object_store_for_testing() {
+  STQ_CHECK(sharded_ == nullptr)
+      << "object_store_for_testing() is single-grid only";
+  return objects_;
+}
+
+QueryStore& QueryProcessor::query_store_for_testing() {
+  STQ_CHECK(sharded_ == nullptr)
+      << "query_store_for_testing() is single-grid only";
+  return queries_;
+}
+
+GridIndex& QueryProcessor::grid_for_testing() {
+  STQ_CHECK(sharded_ == nullptr) << "grid_for_testing() is single-grid only";
+  return *grid_;
+}
+
+const HistoryStore* QueryProcessor::history() const {
+  return sharded_ != nullptr ? sharded_->history() : history_.get();
+}
+
+bool QueryProcessor::GetAnswerSet(QueryId id,
+                                  std::unordered_set<ObjectId>* out) const {
+  if (sharded_ != nullptr) return sharded_->GetAnswerSet(id, out);
+  out->clear();
+  const QueryRecord* q = queries_.Find(id);
+  if (q == nullptr) return false;
+  *out = q->answer;
+  return true;
+}
+
+std::vector<KnnEvaluator::Neighbor> QueryProcessor::SearchKnn(
+    const Point& center, int k) const {
+  if (sharded_ != nullptr) return sharded_->SearchKnn(center, k);
+  if (k < 1) return {};
+  return knn_.Search(center, k);
+}
+
+void QueryProcessor::ForEachObjectInfo(
+    const std::function<void(const ObjectInfo&)>& fn) const {
+  if (sharded_ != nullptr) {
+    sharded_->ForEachObjectInfo(fn);
+    return;
+  }
+  objects_.ForEach([&](const ObjectRecord& o) {
+    ObjectInfo info;
+    info.id = o.id;
+    info.loc = o.loc;
+    info.vel = o.vel;
+    info.t = o.t;
+    info.predictive = o.predictive;
+    info.qlist_size = o.queries.size();
+    fn(info);
+  });
+}
+
+void QueryProcessor::ForEachQueryInfo(
+    const std::function<void(const QueryInfo&)>& fn) const {
+  if (sharded_ != nullptr) {
+    sharded_->ForEachQueryInfo(fn);
+    return;
+  }
+  queries_.ForEach([&](const QueryRecord& q) {
+    QueryInfo info;
+    info.id = q.id;
+    info.kind = q.kind;
+    info.region = q.region;
+    info.circle = q.circle;
+    info.k = q.k;
+    info.t_from = q.t_from;
+    info.t_to = q.t_to;
+    info.answer_size = q.answer.size();
+    fn(info);
+  });
 }
 
 Status QueryProcessor::CheckInvariants() const {

@@ -29,7 +29,9 @@
 #ifndef STQ_CORE_QUERY_PROCESSOR_H_
 #define STQ_CORE_QUERY_PROCESSOR_H_
 
+#include <functional>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "stq/common/result.h"
@@ -46,9 +48,16 @@
 
 namespace stq {
 
+class ShardedEngine;
+
 class QueryProcessor {
  public:
+  // When options.num_shards > 1 the processor becomes a facade over a
+  // ShardedEngine (see sharded_server.h): the same API, the same
+  // byte-identical update stream, but evaluation is partitioned across
+  // per-shard grids that tick in parallel.
   explicit QueryProcessor(const QueryProcessorOptions& options = {});
+  ~QueryProcessor();
 
   QueryProcessor(const QueryProcessor&) = delete;
   QueryProcessor& operator=(const QueryProcessor&) = delete;
@@ -111,22 +120,62 @@ class QueryProcessor {
   // --- Introspection --------------------------------------------------------
 
   const QueryProcessorOptions& options() const { return options_; }
+  // True when this processor delegates to the sharded engine
+  // (options().num_shards > 1).
+  bool sharded() const { return sharded_ != nullptr; }
+  // The underlying sharded engine, or nullptr in single-grid mode.
+  const ShardedEngine* sharded_engine() const { return sharded_.get(); }
   // Resolved worker count for the parallel tick phases (>= 1; equals
   // options().worker_threads unless that was 0 = auto).
-  int worker_threads() const {
-    return pool_ == nullptr ? 1 : pool_->num_workers();
-  }
-  size_t num_objects() const { return objects_.size(); }
-  size_t num_queries() const { return queries_.size(); }
-  size_t pending_reports() const {
-    return buffer_.pending_object_ops() + buffer_.pending_query_ops();
-  }
-  const ObjectStore& object_store() const { return objects_; }
-  const QueryStore& query_store() const { return queries_; }
-  const GridIndex& grid() const { return *grid_; }
+  int worker_threads() const;
+  size_t num_objects() const;
+  size_t num_queries() const;
+  size_t pending_reports() const;
+  bool HasQuery(QueryId id) const;
+
+  // Direct structure access — single-grid mode only (a sharded processor
+  // has one grid and one store pair *per shard*; reach them through
+  // sharded_engine()->shard(s)). STQ_CHECK-fails when sharded().
+  const ObjectStore& object_store() const;
+  const QueryStore& query_store() const;
+  const GridIndex& grid() const;
+
+  // Engine-independent views over the stored objects and queries, valid
+  // in both modes (iteration order is unspecified; sort by id for
+  // deterministic output). `answer_size` is the committed answer's
+  // cardinality; `qlist_size` is the object's QList length (0 in sharded
+  // mode, where QLists live inside the per-shard stores).
+  struct ObjectInfo {
+    ObjectId id = 0;
+    Point loc;
+    Velocity vel;
+    Timestamp t = 0.0;
+    bool predictive = false;
+    size_t qlist_size = 0;
+  };
+  struct QueryInfo {
+    QueryId id = 0;
+    QueryKind kind = QueryKind::kRange;
+    Rect region;
+    Circle circle;
+    int k = 0;
+    double t_from = 0.0;
+    double t_to = 0.0;
+    size_t answer_size = 0;
+  };
+  void ForEachObjectInfo(const std::function<void(const ObjectInfo&)>& fn) const;
+  void ForEachQueryInfo(const std::function<void(const QueryInfo&)>& fn) const;
 
   // The answer currently reported for `id` (sorted by object id).
   Result<std::vector<ObjectId>> CurrentAnswer(QueryId id) const;
+
+  // The committed answer as a set; false when the query is unknown.
+  bool GetAnswerSet(QueryId id, std::unordered_set<ObjectId>* out) const;
+
+  // Exact k nearest neighbours of `center` over the current object
+  // population, sorted by (distance^2, id). Empty when k < 1.
+  std::vector<KnnEvaluator::Neighbor> SearchKnn(const Point& center,
+                                                int k) const;
 
   // Recomputes the answer of `id` from first principles, bypassing all
   // incremental state (linear scan / brute-force k-NN). Ground truth for
@@ -142,16 +191,19 @@ class QueryProcessor {
   // --- Test support ---------------------------------------------------------
   // Mutable access to the engine's internal structures, for
   // corruption-injection tests that verify the InvariantAuditor catches
-  // seeded divergences. Never used by the engine itself.
-  ObjectStore& object_store_for_testing() { return objects_; }
-  QueryStore& query_store_for_testing() { return queries_; }
-  GridIndex& grid_for_testing() { return *grid_; }
+  // seeded divergences. Never used by the engine itself. The store/grid
+  // accessors are single-grid only (STQ_CHECK-fail when sharded());
+  // sharded tests corrupt a shard via sharded_engine_for_testing().
+  ObjectStore& object_store_for_testing();
+  QueryStore& query_store_for_testing();
+  GridIndex& grid_for_testing();
+  ShardedEngine* sharded_engine_for_testing() { return sharded_.get(); }
 
   // --- Querying the past (requires options().record_history) ---------------
 
   // The retained report history, or nullptr when history recording is
   // off.
-  const HistoryStore* history() const { return history_.get(); }
+  const HistoryStore* history() const;
 
   // Snapshot range query as of past instant `t` (sample-and-hold over the
   // recorded reports). Only reports already applied by a tick are
@@ -237,6 +289,9 @@ class QueryProcessor {
   PredictiveEvaluator predictive_;
   CircleEvaluator circle_;
   Timestamp last_tick_time_ = 0.0;
+  // Non-null iff options.num_shards > 1; every public entry point then
+  // delegates here and the single-grid members above stay empty.
+  std::unique_ptr<ShardedEngine> sharded_;
 };
 
 }  // namespace stq

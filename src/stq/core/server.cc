@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <unordered_set>
 
 #include "stq/common/check.h"
 #include "stq/core/invariant_auditor.h"
@@ -54,20 +55,21 @@ Result<Server::Delivery> Server::ReconnectClient(ClientId cid) {
   std::vector<QueryId> qids = it->second.queries;
   std::sort(qids.begin(), qids.end());
   const WireCostModel& cost = options_.processor.wire_cost;
+  std::unordered_set<ObjectId> answer_set;
   for (QueryId qid : qids) {
-    const QueryRecord* q = processor_.query_store().Find(qid);
-    if (q == nullptr) continue;
+    if (!processor_.GetAnswerSet(qid, &answer_set)) continue;
     switch (options_.recovery) {
       case RecoveryPolicy::kCommittedDiff: {
         std::vector<Update> diff =
-            committed_.DiffAgainstCommitted(qid, q->answer);
+            committed_.DiffAgainstCommitted(qid, answer_set);
         delivery.bytes += cost.UpdateBytes(diff.size());
         delivery.updates.insert(delivery.updates.end(), diff.begin(),
                                 diff.end());
         break;
       }
       case RecoveryPolicy::kFullAnswer: {
-        std::vector<ObjectId> answer = q->SortedAnswer();
+        std::vector<ObjectId> answer(answer_set.begin(), answer_set.end());
+        std::sort(answer.begin(), answer.end());
         delivery.bytes += cost.CompleteAnswerBytes(answer.size());
         delivery.full_answers.emplace_back(qid, std::move(answer));
         break;
@@ -75,7 +77,7 @@ Result<Server::Delivery> Server::ReconnectClient(ClientId cid) {
     }
     // The wakeup response is delivered by contract, so the recovered
     // answer is now guaranteed at the client.
-    committed_.Commit(qid, q->answer);
+    committed_.Commit(qid, answer_set);
   }
   total_bytes_shipped_ += delivery.bytes;
   total_recovery_bytes_ += delivery.bytes;
@@ -129,8 +131,8 @@ Status Server::RegisterPredictiveQuery(QueryId qid, ClientId cid,
 }
 
 void Server::CommitCurrent(QueryId qid) {
-  const QueryRecord* q = processor_.query_store().Find(qid);
-  if (q != nullptr) committed_.Commit(qid, q->answer);
+  std::unordered_set<ObjectId> answer;
+  if (processor_.GetAnswerSet(qid, &answer)) committed_.Commit(qid, answer);
 }
 
 void Server::OnHeardFromQuery(QueryId qid) {
@@ -194,7 +196,7 @@ Status Server::AdoptQuery(QueryId qid, ClientId cid) {
   if (!clients_.contains(cid)) {
     return Status::FailedPrecondition("client not attached");
   }
-  if (!processor_.query_store().Contains(qid)) {
+  if (!processor_.HasQuery(qid)) {
     return Status::NotFound("query not registered");
   }
   if (query_owner_.contains(qid)) {

@@ -1,0 +1,1233 @@
+#include "stq/core/sharded_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "stq/common/check.h"
+#include "stq/geo/geometry.h"
+
+namespace stq {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Accumulates the enclosing scope's wall time into a TickStats field.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(double* sink)
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  ~PhaseTimer() {
+    *sink_ += std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - start_)
+                  .count();
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  double* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Exact squared distance from `p` to the closed rect `r`; 0 when inside.
+// Uses the same subtract-then-square arithmetic as SquaredDistance so an
+// object sitting on the nearest rect corner produces bit-identical
+// distances — the k-NN shard-skip rule stays exact under FP rounding.
+double RectDistance2(const Rect& r, const Point& p) {
+  const double dx = std::max({0.0, r.min_x - p.x, p.x - r.max_x});
+  const double dy = std::max({0.0, r.min_y - p.y, p.y - r.max_y});
+  return dx * dx + dy * dy;
+}
+
+// One per-shard answer-stream delta during the merge: shard updates carry
+// +1/-1, move-away captures carry -1.
+struct MergeEntry {
+  QueryId q = 0;
+  ObjectId o = 0;
+  int d = 0;
+};
+
+// An (object-driven) k-NN dirtiness event: the locations an object report
+// touched this tick. Mirrors the single-grid engine, where a removal
+// re-tests the old location and an upsert both the old membership and the
+// new candidate probes against each answer circle.
+struct KnnEvent {
+  Point old_loc;
+  Point new_loc;
+  bool has_old = false;
+  bool has_new = false;
+};
+
+// Snapshot of a query that is unregistered (or unregistered and
+// re-registered) within this tick. The single-grid engine ships phase-1
+// removal negatives for the OLD incarnation and, on re-registration, a
+// fresh full-answer positive stream — neither follows the plain refcount
+// transition rule, so these queries are merged specially.
+struct Reset {
+  QueryId qid = 0;
+  std::vector<ObjectId> old_members;  // sorted committed answer at tick start
+};
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(const QueryProcessorOptions& options)
+    : options_(options),
+      map_(options.bounds, options.num_shards),
+      history_(options.record_history ? std::make_unique<HistoryStore>()
+                                      : nullptr),
+      pool_(ThreadPool::ResolveWorkers(options.worker_threads) > 1
+                ? std::make_unique<ThreadPool>(
+                      ThreadPool::ResolveWorkers(options.worker_threads))
+                : nullptr) {
+  STQ_CHECK(options_.Validate()) << "invalid QueryProcessorOptions";
+  STQ_CHECK(options_.num_shards >= 2)
+      << "ShardedEngine requires num_shards >= 2";
+  // Keep the global grid resolution roughly constant: each shard covers
+  // 1/sx x 1/sy of the universe, so it needs proportionally fewer cells.
+  const int max_dim = std::max(map_.sx(), map_.sy());
+  const int per_shard_cells =
+      std::max(1, (options_.grid_cells_per_side + max_dim - 1) / max_dim);
+  for (int s = 0; s < map_.num_shards(); ++s) {
+    QueryProcessorOptions so;
+    so.bounds = map_.shard_rect(s);
+    so.grid_cells_per_side = per_shard_cells;
+    so.prediction_horizon = options_.prediction_horizon;
+    so.record_history = false;  // history lives at the router
+    so.wire_cost = options_.wire_cost;
+    so.worker_threads = 1;  // shards tick in parallel, each serially
+    so.num_shards = 1;
+    // Replica positions must stay exact: clamp to the universe, never to
+    // the shard's sub-rect.
+    so.location_clamp_bounds = options_.bounds;
+    shards_.push_back(std::make_unique<QueryProcessor>(so));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Report ingestion (mirrors QueryProcessor bit for bit)
+// ---------------------------------------------------------------------------
+
+double ShardedEngine::LatestKnownReportTime(ObjectId id) const {
+  if (buffer_.HasPendingRemove(id)) return -kInf;
+  if (const PendingObjectUpsert* u = buffer_.FindPendingUpsert(id);
+      u != nullptr) {
+    return u->t;
+  }
+  if (auto it = objects_.find(id); it != objects_.end()) return it->second.t;
+  return -kInf;
+}
+
+Point ShardedEngine::ClampLocation(const Point& loc) const {
+  return Point{std::clamp(loc.x, options_.bounds.min_x, options_.bounds.max_x),
+               std::clamp(loc.y, options_.bounds.min_y,
+                          options_.bounds.max_y)};
+}
+
+Rect ShardedEngine::ClampRegion(const Rect& region) const {
+  return region.Intersection(options_.bounds);
+}
+
+Status ShardedEngine::UpsertObject(ObjectId id, const Point& loc,
+                                   Timestamp t) {
+  if (t < LatestKnownReportTime(id)) {
+    return Status::InvalidArgument("stale object report");
+  }
+  buffer_.AddObjectUpsert(PendingObjectUpsert{id, ClampLocation(loc),
+                                              Velocity{}, t,
+                                              /*predictive=*/false});
+  return Status::OK();
+}
+
+Status ShardedEngine::UpsertPredictiveObject(ObjectId id, const Point& loc,
+                                             const Velocity& vel,
+                                             Timestamp t) {
+  if (t < LatestKnownReportTime(id)) {
+    return Status::InvalidArgument("stale object report");
+  }
+  buffer_.AddObjectUpsert(PendingObjectUpsert{id, ClampLocation(loc), vel, t,
+                                              /*predictive=*/true});
+  return Status::OK();
+}
+
+Status ShardedEngine::RemoveObject(ObjectId id) {
+  const bool exists_in_store = objects_.contains(id);
+  if (!exists_in_store && !buffer_.HasPendingUpsert(id)) {
+    std::ostringstream os;
+    os << "object " << id << " unknown";
+    return Status::NotFound(os.str());
+  }
+  buffer_.AddObjectRemove(id, exists_in_store);
+  return Status::OK();
+}
+
+Status ShardedEngine::ValidateQueryRegistration(QueryId id) const {
+  const bool live_in_store =
+      queries_.contains(id) && !buffer_.HasPendingQueryUnregister(id);
+  if (live_in_store || buffer_.HasPendingQueryRegister(id)) {
+    std::ostringstream os;
+    os << "query " << id << " already registered";
+    return Status::AlreadyExists(os.str());
+  }
+  return Status::OK();
+}
+
+Result<QueryKind> ShardedEngine::EffectiveQueryKind(QueryId id) const {
+  if (const PendingQueryChange* pending = buffer_.FindPendingQueryChange(id);
+      pending != nullptr) {
+    switch (pending->kind) {
+      case QueryChangeKind::kRegisterRange:
+        return QueryKind::kRange;
+      case QueryChangeKind::kRegisterKnn:
+        return QueryKind::kKnn;
+      case QueryChangeKind::kRegisterPredictive:
+        return QueryKind::kPredictiveRange;
+      case QueryChangeKind::kRegisterCircle:
+        return QueryKind::kCircleRange;
+      case QueryChangeKind::kUnregister: {
+        std::ostringstream os;
+        os << "query " << id << " pending unregistration";
+        return Status::NotFound(os.str());
+      }
+      case QueryChangeKind::kMove:
+        break;  // fall through to the routed kind
+    }
+  }
+  if (auto it = queries_.find(id); it != queries_.end()) {
+    return it->second.kind;
+  }
+  std::ostringstream os;
+  os << "query " << id << " unknown";
+  return Status::NotFound(os.str());
+}
+
+Status ShardedEngine::RegisterRangeQuery(QueryId id, const Rect& region) {
+  const Rect clamped = ClampRegion(region);
+  if (clamped.IsEmpty()) {
+    return Status::InvalidArgument(
+        "range query region must overlap the space bounds");
+  }
+  STQ_RETURN_IF_ERROR(ValidateQueryRegistration(id));
+  PendingQueryChange c;
+  c.kind = QueryChangeKind::kRegisterRange;
+  c.id = id;
+  c.region = clamped;
+  buffer_.AddQueryChange(c, queries_.contains(id));
+  return Status::OK();
+}
+
+Status ShardedEngine::MoveRangeQuery(QueryId id, const Rect& region) {
+  const Rect clamped = ClampRegion(region);
+  if (clamped.IsEmpty()) {
+    return Status::InvalidArgument(
+        "range query region must overlap the space bounds");
+  }
+  Result<QueryKind> kind = EffectiveQueryKind(id);
+  if (!kind.ok()) return kind.status();
+  if (*kind != QueryKind::kRange) {
+    return Status::InvalidArgument("query is not a range query");
+  }
+  PendingQueryChange c;
+  c.kind = QueryChangeKind::kMove;
+  c.id = id;
+  c.region = clamped;
+  buffer_.AddQueryChange(c, queries_.contains(id));
+  return Status::OK();
+}
+
+Status ShardedEngine::RegisterKnnQuery(QueryId id, const Point& center,
+                                       int k) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  STQ_RETURN_IF_ERROR(ValidateQueryRegistration(id));
+  PendingQueryChange c;
+  c.kind = QueryChangeKind::kRegisterKnn;
+  c.id = id;
+  c.center = center;
+  c.k = k;
+  buffer_.AddQueryChange(c, queries_.contains(id));
+  return Status::OK();
+}
+
+Status ShardedEngine::MoveKnnQuery(QueryId id, const Point& center) {
+  Result<QueryKind> kind = EffectiveQueryKind(id);
+  if (!kind.ok()) return kind.status();
+  if (*kind != QueryKind::kKnn) {
+    return Status::InvalidArgument("query is not a k-NN query");
+  }
+  PendingQueryChange c;
+  c.kind = QueryChangeKind::kMove;
+  c.id = id;
+  c.center = center;
+  buffer_.AddQueryChange(c, queries_.contains(id));
+  return Status::OK();
+}
+
+Status ShardedEngine::RegisterCircleQuery(QueryId id, const Point& center,
+                                          double radius) {
+  if (radius <= 0.0) {
+    return Status::InvalidArgument("circle radius must be positive");
+  }
+  if (ClampRegion(Circle{center, radius}.BoundingBox()).IsEmpty()) {
+    return Status::InvalidArgument(
+        "circle query must overlap the space bounds");
+  }
+  STQ_RETURN_IF_ERROR(ValidateQueryRegistration(id));
+  PendingQueryChange c;
+  c.kind = QueryChangeKind::kRegisterCircle;
+  c.id = id;
+  c.center = center;
+  c.radius = radius;
+  buffer_.AddQueryChange(c, queries_.contains(id));
+  return Status::OK();
+}
+
+Status ShardedEngine::MoveCircleQuery(QueryId id, const Point& center) {
+  Result<QueryKind> kind = EffectiveQueryKind(id);
+  if (!kind.ok()) return kind.status();
+  if (*kind != QueryKind::kCircleRange) {
+    return Status::InvalidArgument("query is not a circular range query");
+  }
+  double radius = 0.0;
+  if (const PendingQueryChange* pending = buffer_.FindPendingQueryChange(id);
+      pending != nullptr &&
+      pending->kind == QueryChangeKind::kRegisterCircle) {
+    radius = pending->radius;
+  } else if (auto it = queries_.find(id); it != queries_.end()) {
+    radius = it->second.circle.radius;
+  }
+  if (ClampRegion(Circle{center, radius}.BoundingBox()).IsEmpty()) {
+    return Status::InvalidArgument(
+        "circle query must overlap the space bounds");
+  }
+  PendingQueryChange c;
+  c.kind = QueryChangeKind::kMove;
+  c.id = id;
+  c.center = center;
+  buffer_.AddQueryChange(c, queries_.contains(id));
+  return Status::OK();
+}
+
+Status ShardedEngine::RegisterPredictiveQuery(QueryId id, const Rect& region,
+                                              double t_from, double t_to) {
+  const Rect clamped = ClampRegion(region);
+  if (clamped.IsEmpty()) {
+    return Status::InvalidArgument(
+        "predictive query region must overlap the space bounds");
+  }
+  if (t_to < t_from) {
+    return Status::InvalidArgument("predictive window must have t_from <= t_to");
+  }
+  STQ_RETURN_IF_ERROR(ValidateQueryRegistration(id));
+  PendingQueryChange c;
+  c.kind = QueryChangeKind::kRegisterPredictive;
+  c.id = id;
+  c.region = clamped;
+  c.t_from = t_from;
+  c.t_to = t_to;
+  buffer_.AddQueryChange(c, queries_.contains(id));
+  return Status::OK();
+}
+
+Status ShardedEngine::MovePredictiveQuery(QueryId id, const Rect& region) {
+  const Rect clamped = ClampRegion(region);
+  if (clamped.IsEmpty()) {
+    return Status::InvalidArgument(
+        "predictive query region must overlap the space bounds");
+  }
+  Result<QueryKind> kind = EffectiveQueryKind(id);
+  if (!kind.ok()) return kind.status();
+  if (*kind != QueryKind::kPredictiveRange) {
+    return Status::InvalidArgument("query is not a predictive query");
+  }
+  PendingQueryChange c;
+  c.kind = QueryChangeKind::kMove;
+  c.id = id;
+  c.region = clamped;
+  buffer_.AddQueryChange(c, queries_.contains(id));
+  return Status::OK();
+}
+
+Status ShardedEngine::UnregisterQuery(QueryId id) {
+  const bool live_in_store =
+      queries_.contains(id) && !buffer_.HasPendingQueryUnregister(id);
+  if (!live_in_store && !buffer_.HasPendingQueryRegister(id)) {
+    std::ostringstream os;
+    os << "query " << id << " unknown";
+    return Status::NotFound(os.str());
+  }
+  PendingQueryChange c;
+  c.kind = QueryChangeKind::kUnregister;
+  c.id = id;
+  buffer_.AddQueryChange(c, queries_.contains(id));
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------------
+
+std::vector<int> ShardedEngine::RouteShardsOf(const RoutedQuery& rq) const {
+  switch (rq.kind) {
+    case QueryKind::kRange:
+    case QueryKind::kPredictiveRange:
+      return map_.ShardsOverlapping(rq.region);
+    case QueryKind::kCircleRange:
+      return map_.ShardsOverlapping(ClampRegion(rq.circle.BoundingBox()));
+    case QueryKind::kKnn:
+      return {};  // router-owned
+  }
+  return {};
+}
+
+std::vector<int> ShardedEngine::RouteShardsOfObject(
+    const PendingObjectUpsert& u) const {
+  if (!u.predictive) return {map_.HomeOf(u.loc)};
+  const Rect bbox = Trajectory{u.loc, u.vel, u.t}
+                        .FootprintBetween(u.t, u.t + options_.prediction_horizon)
+                        .BoundingBox();
+  return map_.ShardsOverlapping(bbox);
+}
+
+// ---------------------------------------------------------------------------
+// Tick
+// ---------------------------------------------------------------------------
+
+TickResult ShardedEngine::EvaluateTick(Timestamp now) {
+  if (now < last_tick_time_) {
+    STQ_LOG(Warning) << "EvaluateTick time went backwards (" << now << " < "
+                     << last_tick_time_ << ")";
+  }
+  last_tick_time_ = now;
+
+  TickResult result;
+  result.time = now;
+  TickStats* stats = &result.stats;
+  std::vector<Update>* out = &result.updates;
+
+  std::vector<PendingObjectUpsert> upserts;
+  std::vector<ObjectId> removals;
+  std::vector<PendingQueryChange> query_changes;
+  buffer_.Drain(&upserts, &removals, &query_changes);
+
+  // Deterministic processing order independent of hash-map iteration —
+  // the exact comparators the single-grid engine uses, so histories and
+  // shard-dispatch orders line up.
+  std::sort(upserts.begin(), upserts.end(),
+            [](const PendingObjectUpsert& a, const PendingObjectUpsert& b) {
+              return a.id < b.id;
+            });
+  std::sort(removals.begin(), removals.end());
+  std::sort(query_changes.begin(), query_changes.end(),
+            [](const PendingQueryChange& a, const PendingQueryChange& b) {
+              return a.id < b.id;
+            });
+
+  std::vector<char> touched(shards_.size(), 0);
+  std::vector<MergeEntry> entries;  // capture decrements + shard updates
+  std::vector<Reset> resets;        // ascending qid (change order)
+  std::unordered_set<QueryId> reset_qids;
+  std::unordered_set<ObjectId> global_removals;
+  // Objects shard s will emit its own phase-1 removal negatives for this
+  // tick; move-away captures must not decrement those pairs again.
+  std::vector<std::unordered_set<ObjectId>> removed_from(shards_.size());
+  std::vector<KnnEvent> events;
+
+  {
+    PhaseTimer route_timer(&stats->shard_route_seconds);
+
+    // --- Route removals ---------------------------------------------------
+    for (ObjectId id : removals) {
+      auto it = objects_.find(id);
+      STQ_CHECK(it != objects_.end())
+          << "buffered removal of unknown object " << id;
+      RoutedObject& ro = it->second;
+      if (history_ != nullptr) history_->RecordRemoval(id, now);
+      for (int s : ro.shards) {
+        Status st = shards_[s]->RemoveObject(id);
+        STQ_CHECK(st.ok()) << "shard " << s << " rejected removal of object "
+                           << id << ": " << st.ToString();
+        touched[s] = 1;
+        removed_from[s].insert(id);
+      }
+      global_removals.insert(id);
+      KnnEvent e;
+      e.old_loc = ro.loc;
+      e.has_old = true;
+      events.push_back(e);
+      objects_.erase(it);
+      ++stats->object_removals_applied;
+    }
+
+    // --- Route upserts ----------------------------------------------------
+    for (const PendingObjectUpsert& u : upserts) {
+      if (history_ != nullptr) history_->RecordReport(u.id, u.loc, u.t);
+      const std::vector<int> ns = RouteShardsOfObject(u);
+      auto dispatch_upsert = [&](int s) {
+        Status st =
+            u.predictive
+                ? shards_[s]->UpsertPredictiveObject(u.id, u.loc, u.vel, u.t)
+                : shards_[s]->UpsertObject(u.id, u.loc, u.t);
+        STQ_CHECK(st.ok()) << "shard " << s << " rejected upsert of object "
+                           << u.id << ": " << st.ToString();
+        touched[s] = 1;
+      };
+      KnnEvent e;
+      e.new_loc = u.loc;
+      e.has_new = true;
+      auto it = objects_.find(u.id);
+      if (it == objects_.end()) {
+        for (int s : ns) dispatch_upsert(s);
+        RoutedObject ro;
+        ro.loc = u.loc;
+        ro.vel = u.predictive ? u.vel : Velocity{};
+        ro.t = u.t;
+        ro.predictive = u.predictive;
+        ro.shards = ns;
+        objects_.emplace(u.id, std::move(ro));
+      } else {
+        RoutedObject& ro = it->second;
+        e.old_loc = ro.loc;
+        e.has_old = true;
+        for (int s : ns) dispatch_upsert(s);
+        // Departed shards: the object hands off; the shard ships its own
+        // phase-1 negatives for every answer it participated in there.
+        for (int s : ro.shards) {
+          if (!std::binary_search(ns.begin(), ns.end(), s)) {
+            Status st = shards_[s]->RemoveObject(u.id);
+            STQ_CHECK(st.ok())
+                << "shard " << s << " rejected re-route removal of object "
+                << u.id << ": " << st.ToString();
+            touched[s] = 1;
+            removed_from[s].insert(u.id);
+          }
+        }
+        ro.loc = u.loc;
+        ro.vel = u.predictive ? u.vel : Velocity{};
+        ro.t = u.t;
+        ro.predictive = u.predictive;
+        ro.shards = ns;
+      }
+      events.push_back(e);
+      ++stats->object_updates_applied;
+    }
+
+    // --- Route query changes ----------------------------------------------
+    auto snapshot_members = [&](QueryId qid, const RoutedQuery& rq,
+                                std::vector<ObjectId>* old_members) {
+      if (rq.kind == QueryKind::kKnn) {
+        *old_members = rq.knn_answer;  // already sorted by id
+        return;
+      }
+      if (auto mit = members_.find(qid); mit != members_.end()) {
+        old_members->reserve(mit->second.size());
+        for (const auto& [oid, cnt] : mit->second) old_members->push_back(oid);
+        std::sort(old_members->begin(), old_members->end());
+      }
+    };
+    auto drop_routed_query = [&](QueryId qid) {
+      auto it = queries_.find(qid);
+      STQ_CHECK(it != queries_.end()) << "dropping unknown query " << qid;
+      RoutedQuery& rq = it->second;
+      Reset r;
+      r.qid = qid;
+      snapshot_members(qid, rq, &r.old_members);
+      resets.push_back(std::move(r));
+      reset_qids.insert(qid);
+      for (int s : rq.shards) {
+        Status st = shards_[s]->UnregisterQuery(qid);
+        STQ_CHECK(st.ok()) << "shard " << s << " rejected unregister of query "
+                           << qid << ": " << st.ToString();
+        touched[s] = 1;
+      }
+      members_.erase(qid);
+      knn_dirty_.erase(qid);
+      queries_.erase(it);
+      ++stats->queries_unregistered;
+    };
+    auto capture_departed = [&](QueryId qid, int s) {
+      // The shard's committed answer becomes all-negative at the router:
+      // the query no longer watches this shard. Objects the shard is
+      // already removing this tick produce their own phase-1 negatives.
+      Result<std::vector<ObjectId>> ans = shards_[s]->CurrentAnswer(qid);
+      STQ_CHECK(ans.ok()) << "shard " << s << " lost query " << qid << ": "
+                          << ans.status().ToString();
+      for (ObjectId oid : *ans) {
+        if (!removed_from[s].contains(oid)) {
+          entries.push_back(MergeEntry{qid, oid, -1});
+        }
+      }
+      Status st = shards_[s]->UnregisterQuery(qid);
+      STQ_CHECK(st.ok()) << "shard " << s << " rejected move-away unregister "
+                         << "of query " << qid << ": " << st.ToString();
+      touched[s] = 1;
+    };
+
+    for (const PendingQueryChange& c : query_changes) {
+      switch (c.kind) {
+        case QueryChangeKind::kUnregister: {
+          drop_routed_query(c.id);
+          break;
+        }
+        case QueryChangeKind::kMove: {
+          auto it = queries_.find(c.id);
+          STQ_CHECK(it != queries_.end()) << "buffered move of unknown query";
+          RoutedQuery& rq = it->second;
+          if (rq.kind == QueryKind::kKnn) {
+            rq.circle.center = c.center;
+            knn_dirty_.insert(c.id);
+            ++stats->query_changes_applied;
+            break;
+          }
+          if (rq.kind == QueryKind::kCircleRange) {
+            rq.circle.center = c.center;
+          } else {
+            rq.region = c.region;
+          }
+          const std::vector<int> ns = RouteShardsOf(rq);
+          for (int s : ns) {
+            touched[s] = 1;
+            const bool retained =
+                std::binary_search(rq.shards.begin(), rq.shards.end(), s);
+            Status st;
+            if (retained) {
+              switch (rq.kind) {
+                case QueryKind::kRange:
+                  st = shards_[s]->MoveRangeQuery(c.id, rq.region);
+                  break;
+                case QueryKind::kPredictiveRange:
+                  st = shards_[s]->MovePredictiveQuery(c.id, rq.region);
+                  break;
+                case QueryKind::kCircleRange:
+                  st = shards_[s]->MoveCircleQuery(c.id, c.center);
+                  break;
+                case QueryKind::kKnn:
+                  break;
+              }
+            } else {
+              switch (rq.kind) {
+                case QueryKind::kRange:
+                  st = shards_[s]->RegisterRangeQuery(c.id, rq.region);
+                  break;
+                case QueryKind::kPredictiveRange:
+                  st = shards_[s]->RegisterPredictiveQuery(
+                      c.id, rq.region, rq.t_from, rq.t_to);
+                  break;
+                case QueryKind::kCircleRange:
+                  st = shards_[s]->RegisterCircleQuery(c.id, c.center,
+                                                       rq.circle.radius);
+                  break;
+                case QueryKind::kKnn:
+                  break;
+              }
+            }
+            STQ_CHECK(st.ok()) << "shard " << s << " rejected move of query "
+                               << c.id << ": " << st.ToString();
+          }
+          for (int s : rq.shards) {
+            if (!std::binary_search(ns.begin(), ns.end(), s)) {
+              capture_departed(c.id, s);
+            }
+          }
+          rq.shards = ns;
+          ++stats->query_changes_applied;
+          break;
+        }
+        default: {  // a Register*: re-registration drops the old incarnation
+          if (queries_.contains(c.id)) drop_routed_query(c.id);
+          RoutedQuery rq;
+          switch (c.kind) {
+            case QueryChangeKind::kRegisterRange:
+              rq.kind = QueryKind::kRange;
+              rq.region = c.region;
+              break;
+            case QueryChangeKind::kRegisterPredictive:
+              rq.kind = QueryKind::kPredictiveRange;
+              rq.region = c.region;
+              rq.t_from = c.t_from;
+              rq.t_to = c.t_to;
+              break;
+            case QueryChangeKind::kRegisterCircle:
+              rq.kind = QueryKind::kCircleRange;
+              rq.circle = Circle{c.center, c.radius};
+              break;
+            case QueryChangeKind::kRegisterKnn:
+              rq.kind = QueryKind::kKnn;
+              rq.circle = Circle{c.center, 0.0};
+              rq.k = c.k;
+              break;
+            case QueryChangeKind::kMove:
+            case QueryChangeKind::kUnregister:
+              STQ_CHECK(false) << "unreachable";
+              break;
+          }
+          rq.shards = RouteShardsOf(rq);
+          for (int s : rq.shards) {
+            touched[s] = 1;
+            Status st;
+            switch (rq.kind) {
+              case QueryKind::kRange:
+                st = shards_[s]->RegisterRangeQuery(c.id, rq.region);
+                break;
+              case QueryKind::kPredictiveRange:
+                st = shards_[s]->RegisterPredictiveQuery(c.id, rq.region,
+                                                         rq.t_from, rq.t_to);
+                break;
+              case QueryKind::kCircleRange:
+                st = shards_[s]->RegisterCircleQuery(c.id, rq.circle.center,
+                                                     rq.circle.radius);
+                break;
+              case QueryKind::kKnn:
+                break;
+            }
+            STQ_CHECK(st.ok())
+                << "shard " << s << " rejected registration of query " << c.id
+                << ": " << st.ToString();
+          }
+          if (rq.kind == QueryKind::kKnn) knn_dirty_.insert(c.id);
+          queries_.emplace(c.id, std::move(rq));
+          ++stats->query_changes_applied;
+          break;
+        }
+      }
+    }
+  }
+
+  // --- Parallel shard ticks -------------------------------------------------
+  std::vector<int> ticked;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (touched[s]) ticked.push_back(static_cast<int>(s));
+  }
+  std::vector<TickResult> shard_results(ticked.size());
+  {
+    PhaseTimer wall_timer(&stats->shard_tick_wall_seconds);
+    std::vector<double> shard_walls(ticked.size(), 0.0);
+    auto run_one = [&](size_t i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      shard_results[i] = shards_[ticked[i]]->EvaluateTick(now);
+      shard_walls[i] = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+    };
+    if (pool_ != nullptr && ticked.size() > 1) {
+      pool_->RunShards(ticked.size(), [&](int, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) run_one(i);
+      });
+    } else {
+      for (size_t i = 0; i < ticked.size(); ++i) run_one(i);
+    }
+    for (double w : shard_walls) {
+      stats->shard_tick_busy_seconds += w;
+      stats->shard_tick_max_seconds = std::max(stats->shard_tick_max_seconds, w);
+    }
+  }
+  stats->shards_ticked = ticked.size();
+  for (const TickResult& sr : shard_results) {
+    stats->removals_seconds += sr.stats.removals_seconds;
+    stats->upserts_seconds += sr.stats.upserts_seconds;
+    stats->query_changes_seconds += sr.stats.query_changes_seconds;
+    stats->query_pass_seconds += sr.stats.query_pass_seconds;
+    stats->object_match_seconds += sr.stats.object_match_seconds;
+    stats->object_apply_seconds += sr.stats.object_apply_seconds;
+    stats->knn_search_seconds += sr.stats.knn_search_seconds;
+    stats->knn_apply_seconds += sr.stats.knn_apply_seconds;
+  }
+
+  // --- Refcount merge -------------------------------------------------------
+  {
+    PhaseTimer merge_timer(&stats->shard_merge_seconds);
+    for (const TickResult& sr : shard_results) {
+      for (const Update& u : sr.updates) {
+        entries.push_back(MergeEntry{
+            u.query, u.object, u.sign == UpdateSign::kPositive ? 1 : -1});
+      }
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const MergeEntry& a, const MergeEntry& b) {
+                if (a.q != b.q) return a.q < b.q;
+                return a.o < b.o;
+              });
+    size_t i = 0;
+    const size_t n = entries.size();
+    while (i < n) {
+      const QueryId q = entries[i].q;
+      size_t q_end = i;
+      while (q_end < n && entries[q_end].q == q) ++q_end;
+      if (reset_qids.contains(q)) {
+        // The query was dropped (and possibly re-registered) this tick.
+        // The single-grid engine starts the new incarnation's answer
+        // stream from scratch: every shard-reported member of the NEW
+        // incarnation ships as a positive, regardless of old membership;
+        // the old incarnation's emissions are discarded (its removal
+        // negatives are reconstructed below from the removal batch).
+        const bool reregistered = queries_.contains(q);
+        while (i < q_end) {
+          const ObjectId o = entries[i].o;
+          int plus = 0;
+          while (i < q_end && entries[i].o == o) {
+            if (entries[i].d > 0) ++plus;
+            ++i;
+          }
+          if (reregistered && plus > 0) {
+            out->push_back(Update::Positive(q, o));
+            members_[q][o] = plus;
+          }
+        }
+      } else {
+        auto mit = members_.find(q);
+        if (mit == members_.end()) {
+          mit = members_.emplace(q, std::unordered_map<ObjectId, int>{}).first;
+        }
+        auto& counts = mit->second;
+        while (i < q_end) {
+          const ObjectId o = entries[i].o;
+          int delta = 0;
+          while (i < q_end && entries[i].o == o) {
+            delta += entries[i].d;
+            ++i;
+          }
+          auto cit = counts.find(o);
+          const int before = cit == counts.end() ? 0 : cit->second;
+          const int after = before + delta;
+          STQ_DCHECK(after >= 0) << "negative shard refcount for query " << q
+                                 << ", object " << o;
+          if (before == 0 && after > 0) {
+            out->push_back(Update::Positive(q, o));
+          } else if (before > 0 && after == 0) {
+            out->push_back(Update::Negative(q, o));
+          }
+          if (after == 0) {
+            if (cit != counts.end()) counts.erase(cit);
+          } else if (cit == counts.end()) {
+            counts.emplace(o, after);
+          } else {
+            cit->second = after;
+          }
+        }
+        if (counts.empty()) members_.erase(mit);
+      }
+    }
+    // Reset negatives: the single-grid engine's phase 1 ships a negative
+    // for every removed object that was a member of a query at tick
+    // start — even when the query itself is dropped later in the tick.
+    if (!global_removals.empty()) {
+      for (const Reset& r : resets) {
+        for (ObjectId o : r.old_members) {
+          if (global_removals.contains(o)) {
+            out->push_back(Update::Negative(r.qid, o));
+          }
+        }
+      }
+    }
+  }
+
+  // --- Router k-NN ----------------------------------------------------------
+  {
+    PhaseTimer knn_timer(&stats->shard_knn_seconds);
+    if (!events.empty()) {
+      for (const auto& [qid, rq] : queries_) {
+        if (rq.kind != QueryKind::kKnn || knn_dirty_.contains(qid)) continue;
+        for (const KnnEvent& e : events) {
+          double d2 = kInf;
+          if (e.has_old) {
+            d2 = std::min(d2, SquaredDistance(rq.circle.center, e.old_loc));
+          }
+          if (e.has_new) {
+            d2 = std::min(d2, SquaredDistance(rq.circle.center, e.new_loc));
+          }
+          // <= mirrors the single-grid candidate probe: exact threshold
+          // ties dirty the query too; an unfilled answer (infinite
+          // threshold) is dirtied by every event.
+          if (d2 <= rq.knn_dist2) {
+            knn_dirty_.insert(qid);
+            break;
+          }
+        }
+      }
+    }
+    std::vector<QueryId> dirty(knn_dirty_.begin(), knn_dirty_.end());
+    std::sort(dirty.begin(), dirty.end());
+    knn_dirty_.clear();
+    for (QueryId qid : dirty) {
+      auto it = queries_.find(qid);
+      if (it == queries_.end() || it->second.kind != QueryKind::kKnn) continue;
+      RoutedQuery& rq = it->second;
+      const std::vector<KnnEvaluator::Neighbor> neighbors =
+          SearchKnn(rq.circle.center, rq.k);
+      std::vector<ObjectId> fresh;
+      fresh.reserve(neighbors.size());
+      for (const auto& nb : neighbors) fresh.push_back(nb.id);
+      std::sort(fresh.begin(), fresh.end());
+      // Diff against the committed answer (both sorted by id).
+      size_t a = 0, b = 0;
+      while (a < rq.knn_answer.size() || b < fresh.size()) {
+        if (b == fresh.size() ||
+            (a < rq.knn_answer.size() && rq.knn_answer[a] < fresh[b])) {
+          out->push_back(Update::Negative(qid, rq.knn_answer[a]));
+          ++a;
+        } else if (a == rq.knn_answer.size() || fresh[b] < rq.knn_answer[a]) {
+          out->push_back(Update::Positive(qid, fresh[b]));
+          ++b;
+        } else {
+          ++a;
+          ++b;
+        }
+      }
+      rq.knn_answer = std::move(fresh);
+      rq.knn_dist2 = neighbors.size() == static_cast<size_t>(rq.k)
+                         ? neighbors.back().dist2
+                         : kInf;
+      ++stats->knn_reevaluations;
+    }
+  }
+
+  CanonicalizeUpdates(out);
+  for (const Update& u : *out) {
+    if (u.sign == UpdateSign::kPositive) {
+      ++stats->positive_updates;
+    } else {
+      ++stats->negative_updates;
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+std::vector<int> ShardedEngine::ObjectShards(ObjectId id) const {
+  auto it = objects_.find(id);
+  return it == objects_.end() ? std::vector<int>{} : it->second.shards;
+}
+
+std::vector<int> ShardedEngine::QueryShards(QueryId id) const {
+  auto it = queries_.find(id);
+  return it == queries_.end() ? std::vector<int>{} : it->second.shards;
+}
+
+Result<std::vector<ObjectId>> ShardedEngine::CurrentAnswer(QueryId id) const {
+  auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    std::ostringstream os;
+    os << "query " << id << " unknown";
+    return Status::NotFound(os.str());
+  }
+  if (it->second.kind == QueryKind::kKnn) return it->second.knn_answer;
+  std::vector<ObjectId> answer;
+  if (auto mit = members_.find(id); mit != members_.end()) {
+    answer.reserve(mit->second.size());
+    for (const auto& [oid, cnt] : mit->second) answer.push_back(oid);
+    std::sort(answer.begin(), answer.end());
+  }
+  return answer;
+}
+
+bool ShardedEngine::GetAnswerSet(QueryId id,
+                                 std::unordered_set<ObjectId>* out) const {
+  out->clear();
+  auto it = queries_.find(id);
+  if (it == queries_.end()) return false;
+  if (it->second.kind == QueryKind::kKnn) {
+    out->insert(it->second.knn_answer.begin(), it->second.knn_answer.end());
+    return true;
+  }
+  if (auto mit = members_.find(id); mit != members_.end()) {
+    for (const auto& [oid, cnt] : mit->second) out->insert(oid);
+  }
+  return true;
+}
+
+void ShardedEngine::ForEachObjectInfo(
+    const std::function<void(const QueryProcessor::ObjectInfo&)>& fn) const {
+  for (const auto& [oid, ro] : objects_) {
+    QueryProcessor::ObjectInfo info;
+    info.id = oid;
+    info.loc = ro.loc;
+    info.vel = ro.vel;
+    info.t = ro.t;
+    info.predictive = ro.predictive;
+    fn(info);
+  }
+}
+
+void ShardedEngine::ForEachQueryInfo(
+    const std::function<void(const QueryProcessor::QueryInfo&)>& fn) const {
+  for (const auto& [qid, rq] : queries_) {
+    QueryProcessor::QueryInfo info;
+    info.id = qid;
+    info.kind = rq.kind;
+    info.region = rq.region;
+    info.circle = rq.circle;
+    info.k = rq.k;
+    info.t_from = rq.t_from;
+    info.t_to = rq.t_to;
+    if (rq.kind == QueryKind::kKnn) {
+      info.answer_size = rq.knn_answer.size();
+    } else if (auto mit = members_.find(qid); mit != members_.end()) {
+      info.answer_size = mit->second.size();
+    }
+    fn(info);
+  }
+}
+
+Result<std::vector<ObjectId>> ShardedEngine::EvaluateFromScratch(
+    QueryId id) const {
+  auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    std::ostringstream os;
+    os << "query " << id << " unknown";
+    return Status::NotFound(os.str());
+  }
+  const RoutedQuery& rq = it->second;
+  std::vector<ObjectId> answer;
+  if (rq.kind == QueryKind::kKnn) {
+    for (const auto& nb : SearchKnn(rq.circle.center, rq.k)) {
+      answer.push_back(nb.id);
+    }
+  } else {
+    std::unordered_set<ObjectId> seen;
+    for (int s : rq.shards) {
+      Result<std::vector<ObjectId>> part = shards_[s]->EvaluateFromScratch(id);
+      STQ_CHECK(part.ok()) << "shard " << s << " lost query " << id << ": "
+                           << part.status().ToString();
+      seen.insert(part->begin(), part->end());
+    }
+    answer.assign(seen.begin(), seen.end());
+  }
+  std::sort(answer.begin(), answer.end());
+  return answer;
+}
+
+std::vector<KnnEvaluator::Neighbor> ShardedEngine::SearchKnn(
+    const Point& center, int k) const {
+  std::vector<KnnEvaluator::Neighbor> merged;
+  if (k < 1) return merged;
+  const int home = map_.HomeOf(center);
+  merged = shards_[home]->SearchKnn(center, k);
+  double r2 = merged.size() == static_cast<size_t>(k) ? merged.back().dist2
+                                                      : kInf;
+  for (int s = 0; s < map_.num_shards(); ++s) {
+    if (s == home) continue;
+    // Every object in shard s is at least RectDistance2 away; a shard
+    // strictly beyond the current k-th distance cannot contribute.
+    if (RectDistance2(map_.shard_rect(s), center) > r2) continue;
+    const std::vector<KnnEvaluator::Neighbor> part =
+        shards_[s]->SearchKnn(center, k);
+    merged.insert(merged.end(), part.begin(), part.end());
+    std::sort(merged.begin(), merged.end());
+    // Predictive replicas appear in several shards with identical stored
+    // positions; (dist2, id) duplicates are adjacent after the sort.
+    merged.erase(std::unique(merged.begin(), merged.end(),
+                             [](const KnnEvaluator::Neighbor& a,
+                                const KnnEvaluator::Neighbor& b) {
+                               return a.id == b.id && a.dist2 == b.dist2;
+                             }),
+                 merged.end());
+    if (merged.size() > static_cast<size_t>(k)) {
+      merged.resize(static_cast<size_t>(k));
+    }
+    if (merged.size() == static_cast<size_t>(k)) {
+      r2 = merged.back().dist2;
+    }
+  }
+  return merged;
+}
+
+Result<std::vector<ObjectId>> ShardedEngine::EvaluatePastRangeQuery(
+    const Rect& region, Timestamp t) const {
+  if (history_ == nullptr) {
+    return Status::FailedPrecondition(
+        "past queries require QueryProcessorOptions::record_history");
+  }
+  return history_->RangeAt(ClampRegion(region), t);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-shard audit
+// ---------------------------------------------------------------------------
+
+void ShardedEngine::AuditCrossShard(
+    size_t max_violations, std::vector<std::string>* violations) const {
+  auto full = [&]() { return violations->size() >= max_violations; };
+  auto add = [&](const std::string& msg) {
+    if (!full()) violations->push_back("cross-shard: " + msg);
+  };
+
+  // Objects: routing is consistent and every routed shard stores the
+  // exact same record.
+  std::vector<ObjectId> oids;
+  oids.reserve(objects_.size());
+  for (const auto& [oid, ro] : objects_) oids.push_back(oid);
+  std::sort(oids.begin(), oids.end());
+  for (ObjectId oid : oids) {
+    if (full()) return;
+    const RoutedObject& ro = objects_.at(oid);
+    PendingObjectUpsert u;
+    u.id = oid;
+    u.loc = ro.loc;
+    u.vel = ro.vel;
+    u.t = ro.t;
+    u.predictive = ro.predictive;
+    const std::vector<int> expected = RouteShardsOfObject(u);
+    if (expected != ro.shards) {
+      std::ostringstream os;
+      os << "object " << oid << " routed to " << ro.shards.size()
+         << " shard(s) but its location/footprint maps to "
+         << expected.size();
+      add(os.str());
+    }
+    if (!ro.predictive && ro.shards.size() != 1) {
+      std::ostringstream os;
+      os << "sampled object " << oid << " lives in " << ro.shards.size()
+         << " shards (double-counted); expected exactly its home shard";
+      add(os.str());
+    }
+    for (int s : ro.shards) {
+      const ObjectRecord* rec = shards_[s]->object_store().Find(oid);
+      if (rec == nullptr) {
+        std::ostringstream os;
+        os << "object " << oid << " routed to shard " << s
+           << " but missing from its store";
+        add(os.str());
+        continue;
+      }
+      if (!(rec->loc == ro.loc) || rec->t != ro.t ||
+          rec->predictive != ro.predictive || !(rec->vel == ro.vel)) {
+        std::ostringstream os;
+        os << "object " << oid << " state in shard " << s
+           << " diverges from the router's record";
+        add(os.str());
+      }
+    }
+  }
+
+  // Reverse direction: no shard stores an object the router did not
+  // route there.
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::vector<ObjectId> stored;
+    shards_[s]->object_store().ForEach(
+        [&](const ObjectRecord& rec) { stored.push_back(rec.id); });
+    std::sort(stored.begin(), stored.end());
+    for (ObjectId oid : stored) {
+      if (full()) return;
+      auto it = objects_.find(oid);
+      if (it == objects_.end() ||
+          !std::binary_search(it->second.shards.begin(),
+                              it->second.shards.end(),
+                              static_cast<int>(s))) {
+        std::ostringstream os;
+        os << "shard " << s << " stores object " << oid
+           << " the router never routed there";
+        add(os.str());
+      }
+    }
+  }
+
+  // Queries: shard registration matches routing, and the union of the
+  // per-shard answers (with multiplicity) is exactly the router's
+  // reference-counted committed answer.
+  std::vector<QueryId> qids;
+  qids.reserve(queries_.size());
+  for (const auto& [qid, rq] : queries_) qids.push_back(qid);
+  std::sort(qids.begin(), qids.end());
+  for (QueryId qid : qids) {
+    if (full()) return;
+    const RoutedQuery& rq = queries_.at(qid);
+    if (rq.kind == QueryKind::kKnn) {
+      if (!rq.shards.empty()) {
+        std::ostringstream os;
+        os << "k-NN query " << qid << " routed to shards; it is router-owned";
+        add(os.str());
+      }
+      std::vector<ObjectId> fresh;
+      for (const auto& nb : SearchKnn(rq.circle.center, rq.k)) {
+        fresh.push_back(nb.id);
+      }
+      std::sort(fresh.begin(), fresh.end());
+      if (fresh != rq.knn_answer) {
+        std::ostringstream os;
+        os << "k-NN query " << qid << " committed answer ("
+           << rq.knn_answer.size() << " ids) != cross-shard search ("
+           << fresh.size() << " ids)";
+        add(os.str());
+      }
+      continue;
+    }
+    const std::vector<int> expected = RouteShardsOf(rq);
+    if (expected != rq.shards) {
+      std::ostringstream os;
+      os << "query " << qid << " routed to " << rq.shards.size()
+         << " shard(s) but its region overlaps " << expected.size();
+      add(os.str());
+    }
+    std::unordered_map<ObjectId, int> counts;
+    for (int s : rq.shards) {
+      if (shards_[s]->query_store().Find(qid) == nullptr) {
+        std::ostringstream os;
+        os << "query " << qid << " routed to shard " << s
+           << " but missing from its store";
+        add(os.str());
+        continue;
+      }
+      Result<std::vector<ObjectId>> ans = shards_[s]->CurrentAnswer(qid);
+      if (!ans.ok()) continue;
+      for (ObjectId oid : *ans) ++counts[oid];
+    }
+    const auto mit = members_.find(qid);
+    static const std::unordered_map<ObjectId, int> kEmpty;
+    const auto& committed = mit == members_.end() ? kEmpty : mit->second;
+    std::vector<ObjectId> keys;
+    for (const auto& [oid, cnt] : counts) keys.push_back(oid);
+    for (const auto& [oid, cnt] : committed) keys.push_back(oid);
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    for (ObjectId oid : keys) {
+      if (full()) return;
+      const auto a = counts.find(oid);
+      const auto b = committed.find(oid);
+      const int shard_count = a == counts.end() ? 0 : a->second;
+      const int ref_count = b == committed.end() ? 0 : b->second;
+      if (shard_count != ref_count) {
+        std::ostringstream os;
+        os << "query " << qid << ", object " << oid << ": " << shard_count
+           << " shard(s) report the pair but the router's refcount is "
+           << ref_count;
+        add(os.str());
+      }
+    }
+  }
+
+  // Reverse direction: no shard hosts a query the router did not route
+  // there (or of a different kind).
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::vector<QueryId> stored;
+    shards_[s]->query_store().ForEach(
+        [&](const QueryRecord& rec) { stored.push_back(rec.id); });
+    std::sort(stored.begin(), stored.end());
+    for (QueryId qid : stored) {
+      if (full()) return;
+      auto it = queries_.find(qid);
+      if (it == queries_.end() ||
+          !std::binary_search(it->second.shards.begin(),
+                              it->second.shards.end(), static_cast<int>(s))) {
+        std::ostringstream os;
+        os << "shard " << s << " hosts query " << qid
+           << " the router never routed there";
+        add(os.str());
+        continue;
+      }
+      if (shards_[s]->query_store().Find(qid)->kind != it->second.kind) {
+        std::ostringstream os;
+        os << "shard " << s << " hosts query " << qid
+           << " with a different kind than the router's record";
+        add(os.str());
+      }
+    }
+  }
+}
+
+}  // namespace stq

@@ -1,0 +1,203 @@
+// ShardedEngine: the sharded shared-execution engine.
+//
+// The universe is partitioned into S rectangular shards (ShardMap). Each
+// shard owns a complete single-grid QueryProcessor — its own GridIndex,
+// object/query/answer stores — and runs its incremental tick
+// independently; shards with pending work tick in parallel on the
+// engine's ThreadPool. A router in front of the shards:
+//
+//   * clips incoming object updates and query regions to every
+//     overlapping shard (the paper's cell-clipping rule at shard
+//     granularity): a sampled object lives in exactly its home shard, a
+//     predictive object is replicated into every shard its trajectory
+//     footprint crosses, and a range/circle/predictive query registers
+//     in every shard its (clamped) region overlaps — each shard engine
+//     further clamps the region to its own bounds;
+//   * deduplicates the per-shard positive/negative update streams with a
+//     per-(query, object) reference count: a global update is emitted
+//     only when the count transitions 0 <-> positive, so an object
+//     handed from one shard to another (a cancelling -/+ pair) or
+//     matched by several replicas yields no spurious updates;
+//   * merges the result into one canonical, deterministically ordered
+//     stream (CanonicalizeUpdates), byte-identical to the single-grid
+//     QueryProcessor's stream — the property the sharded differential
+//     tests pin down.
+//
+// k-NN queries are evaluated at the router: the home shard (the one
+// containing the focal point) answers first, and the answer circle's
+// radius bounds an expanding-circle re-dispatch to every other shard
+// whose rect intersects the circle (the paper's k-NN-as-circle-range
+// trick, across shards). Per-shard engines therefore hold no k-NN state.
+//
+// See DESIGN.md, "Sharded execution", for the determinism argument.
+
+#ifndef STQ_CORE_SHARDED_SERVER_H_
+#define STQ_CORE_SHARDED_SERVER_H_
+
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "stq/common/result.h"
+#include "stq/common/status.h"
+#include "stq/common/thread_pool.h"
+#include "stq/core/history_store.h"
+#include "stq/core/knn_evaluator.h"
+#include "stq/core/options.h"
+#include "stq/core/query_processor.h"
+#include "stq/core/types.h"
+#include "stq/core/update_buffer.h"
+#include "stq/grid/shard_map.h"
+
+namespace stq {
+
+class ShardedEngine {
+ public:
+  // `options.num_shards` must be >= 2 (QueryProcessor handles 1 itself).
+  explicit ShardedEngine(const QueryProcessorOptions& options);
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  // --- Mirror of the QueryProcessor ingestion API ---------------------------
+  // Same buffering, coalescing, clamping and validation semantics; both
+  // engines accept/reject every call identically (the differential tests
+  // rely on this to keep workloads in lockstep).
+
+  Status UpsertObject(ObjectId id, const Point& loc, Timestamp t);
+  Status UpsertPredictiveObject(ObjectId id, const Point& loc,
+                                const Velocity& vel, Timestamp t);
+  Status RemoveObject(ObjectId id);
+
+  Status RegisterRangeQuery(QueryId id, const Rect& region);
+  Status MoveRangeQuery(QueryId id, const Rect& region);
+  Status RegisterKnnQuery(QueryId id, const Point& center, int k);
+  Status MoveKnnQuery(QueryId id, const Point& center);
+  Status RegisterCircleQuery(QueryId id, const Point& center, double radius);
+  Status MoveCircleQuery(QueryId id, const Point& center);
+  Status RegisterPredictiveQuery(QueryId id, const Rect& region, double t_from,
+                                 double t_to);
+  Status MovePredictiveQuery(QueryId id, const Rect& region);
+  Status UnregisterQuery(QueryId id);
+
+  TickResult EvaluateTick(Timestamp now);
+
+  // --- Introspection --------------------------------------------------------
+
+  const QueryProcessorOptions& options() const { return options_; }
+  const ShardMap& shard_map() const { return map_; }
+  int num_shards() const { return map_.num_shards(); }
+  int worker_threads() const {
+    return pool_ == nullptr ? 1 : pool_->num_workers();
+  }
+  size_t num_objects() const { return objects_.size(); }
+  size_t num_queries() const { return queries_.size(); }
+  size_t pending_reports() const {
+    return buffer_.pending_object_ops() + buffer_.pending_query_ops();
+  }
+  bool HasQuery(QueryId id) const { return queries_.contains(id); }
+
+  const QueryProcessor& shard(int s) const { return *shards_[s]; }
+  QueryProcessor& shard_for_testing(int s) { return *shards_[s]; }
+
+  // The shards an entity is currently routed to (ascending). Empty when
+  // the id is unknown; a k-NN query routes to no shard (router-owned).
+  std::vector<int> ObjectShards(ObjectId id) const;
+  std::vector<int> QueryShards(QueryId id) const;
+
+  Result<std::vector<ObjectId>> CurrentAnswer(QueryId id) const;
+  bool GetAnswerSet(QueryId id, std::unordered_set<ObjectId>* out) const;
+  Result<std::vector<ObjectId>> EvaluateFromScratch(QueryId id) const;
+
+  // Router-level views matching QueryProcessor::ForEach*Info (iteration
+  // order unspecified; qlist_size is 0 — QLists live in the shards).
+  void ForEachObjectInfo(
+      const std::function<void(const QueryProcessor::ObjectInfo&)>& fn) const;
+  void ForEachQueryInfo(
+      const std::function<void(const QueryProcessor::QueryInfo&)>& fn) const;
+
+  // Exact global k nearest neighbours of `center`: home-shard search,
+  // then expanding-circle re-dispatch to every shard whose rect lies
+  // within the current k-th distance. Sorted by (distance^2, id).
+  std::vector<KnnEvaluator::Neighbor> SearchKnn(const Point& center,
+                                                int k) const;
+
+  const HistoryStore* history() const { return history_.get(); }
+  Result<std::vector<ObjectId>> EvaluatePastRangeQuery(const Rect& region,
+                                                       Timestamp t) const;
+
+  // Cross-shard invariants, appended to `violations` (up to
+  // `max_violations` total). Used by InvariantAuditor on top of the
+  // per-shard audits:
+  //   * every non-k-NN query's answer (OList) union over its shards
+  //     equals the router's committed answer, with per-shard multiplicity
+  //     exactly matching the router's reference counts;
+  //   * no object is double-counted: each object is present in exactly
+  //     the shards the routing rule assigns it (one home shard for
+  //     sampled objects), with matching stored state;
+  //   * every shard-registered query is routed there and vice versa;
+  //   * every k-NN answer equals its from-scratch cross-shard search.
+  void AuditCrossShard(size_t max_violations,
+                       std::vector<std::string>* violations) const;
+
+ private:
+  struct RoutedObject {
+    Point loc;
+    Velocity vel;
+    Timestamp t = 0.0;
+    bool predictive = false;
+    std::vector<int> shards;  // ascending; a singleton unless predictive
+  };
+
+  struct RoutedQuery {
+    QueryKind kind = QueryKind::kRange;
+    Rect region;    // kRange / kPredictiveRange
+    Circle circle;  // kKnn (center; radius unused) / kCircleRange
+    int k = 0;
+    double t_from = 0.0;
+    double t_to = 0.0;
+    std::vector<int> shards;  // ascending; empty for kKnn
+    // kKnn only: the committed answer and the exact squared distance to
+    // the k-th neighbour (+inf while fewer than k objects exist).
+    std::vector<ObjectId> knn_answer;
+    double knn_dist2 = std::numeric_limits<double>::infinity();
+  };
+
+  // Ingestion mirrors (same semantics as QueryProcessor's privates).
+  double LatestKnownReportTime(ObjectId id) const;
+  Point ClampLocation(const Point& loc) const;
+  Rect ClampRegion(const Rect& region) const;
+  Status ValidateQueryRegistration(QueryId id) const;
+  Result<QueryKind> EffectiveQueryKind(QueryId id) const;
+
+  // The shards `rq` should route to given its current geometry.
+  std::vector<int> RouteShardsOf(const RoutedQuery& rq) const;
+  // The shards a (pending) object report routes to.
+  std::vector<int> RouteShardsOfObject(const PendingObjectUpsert& u) const;
+
+  QueryProcessorOptions options_;
+  ShardMap map_;
+  std::unique_ptr<HistoryStore> history_;  // null unless record_history
+  std::unique_ptr<ThreadPool> pool_;       // null when worker count is 1
+  std::vector<std::unique_ptr<QueryProcessor>> shards_;
+  UpdateBuffer buffer_;
+  std::unordered_map<ObjectId, RoutedObject> objects_;
+  std::unordered_map<QueryId, RoutedQuery> queries_;
+  // Per-(query, object) shard-membership reference counts for non-k-NN
+  // queries: how many shards currently report the pair. The committed
+  // global answer is exactly the keys with positive count.
+  std::unordered_map<QueryId, std::unordered_map<ObjectId, int>> members_;
+  // k-NN queries needing re-evaluation at the next tick (focal point
+  // moved or freshly registered; object-driven dirtiness is derived from
+  // the tick's report batch).
+  std::unordered_set<QueryId> knn_dirty_;
+  Timestamp last_tick_time_ = 0.0;
+};
+
+}  // namespace stq
+
+#endif  // STQ_CORE_SHARDED_SERVER_H_

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "stq/core/query_processor.h"
+#include "stq/core/sharded_server.h"
 
 namespace stq {
 
@@ -26,12 +27,12 @@ std::string EngineStats::DebugString() const {
 EngineStats ComputeEngineStats(const QueryProcessor& processor) {
   EngineStats stats;
 
-  processor.object_store().ForEach([&](const ObjectRecord& o) {
+  processor.ForEachObjectInfo([&](const QueryProcessor::ObjectInfo& o) {
     ++stats.num_objects;
     if (o.predictive) ++stats.num_predictive_objects;
-    stats.total_qlist_entries += o.queries.size();
+    stats.total_qlist_entries += o.qlist_size;
   });
-  processor.query_store().ForEach([&](const QueryRecord& q) {
+  processor.ForEachQueryInfo([&](const QueryProcessor::QueryInfo& q) {
     ++stats.num_queries;
     switch (q.kind) {
       case QueryKind::kRange:
@@ -47,15 +48,36 @@ EngineStats ComputeEngineStats(const QueryProcessor& processor) {
         ++stats.num_circle_queries;
         break;
     }
-    stats.total_answer_entries += q.answer.size();
-    stats.max_answer_size = std::max(stats.max_answer_size, q.answer.size());
+    stats.total_answer_entries += q.answer_size;
+    stats.max_answer_size = std::max(stats.max_answer_size, q.answer_size);
   });
   stats.mean_answer_size =
       stats.num_queries == 0
           ? 0.0
           : static_cast<double>(stats.total_answer_entries) /
                 static_cast<double>(stats.num_queries);
-  stats.grid = processor.grid().ComputeStats();
+  size_t cells = 0;
+  if (!processor.sharded()) {
+    stats.grid = processor.grid().ComputeStats();
+    cells = static_cast<size_t>(processor.grid().cells_per_side()) *
+            static_cast<size_t>(processor.grid().cells_per_side());
+  } else {
+    // Sum the per-shard grids; in sharded mode the QLists live inside
+    // the shard stores, so mirror them with the committed answer count.
+    const ShardedEngine& engine = *processor.sharded_engine();
+    stats.total_qlist_entries = stats.total_answer_entries;
+    for (int s = 0; s < engine.num_shards(); ++s) {
+      const GridStats gs = engine.shard(s).grid().ComputeStats();
+      stats.grid.num_object_entries += gs.num_object_entries;
+      stats.grid.num_query_entries += gs.num_query_entries;
+      stats.grid.max_objects_in_cell =
+          std::max(stats.grid.max_objects_in_cell, gs.max_objects_in_cell);
+      stats.grid.max_queries_in_cell =
+          std::max(stats.grid.max_queries_in_cell, gs.max_queries_in_cell);
+      cells += static_cast<size_t>(engine.shard(s).grid().cells_per_side()) *
+               static_cast<size_t>(engine.shard(s).grid().cells_per_side());
+    }
+  }
 
   // Rough per-entry footprints: object/query records, answer-set and
   // QList entries, grid id entries, and the cell array itself.
@@ -63,8 +85,6 @@ EngineStats ComputeEngineStats(const QueryProcessor& processor) {
   constexpr size_t kQueryRecordBytes = sizeof(QueryRecord) + 32;
   constexpr size_t kSetEntryBytes = 24;  // hash-set node estimate
   constexpr size_t kIdBytes = sizeof(ObjectId);
-  const size_t cells = static_cast<size_t>(processor.grid().cells_per_side()) *
-                       static_cast<size_t>(processor.grid().cells_per_side());
   stats.approx_memory_bytes =
       stats.num_objects * kObjectRecordBytes +
       stats.num_queries * kQueryRecordBytes +

@@ -68,6 +68,17 @@ struct TickStats {
   double knn_search_seconds = 0.0;
   double knn_apply_seconds = 0.0;
 
+  // Sharded-execution breakdown (zero unless num_shards > 1). The eight
+  // per-phase fields above then hold the *sums* over all shard ticks;
+  // the fields below attribute the sharded tick's own wall time.
+  size_t shards_ticked = 0;        // shards with pending work this tick
+  double shard_route_seconds = 0.0;   // serial routing/dispatch of reports
+  double shard_tick_wall_seconds = 0.0;  // fork/join of per-shard ticks
+  double shard_tick_busy_seconds = 0.0;  // sum of per-shard tick walls
+  double shard_tick_max_seconds = 0.0;   // slowest shard (critical path)
+  double shard_merge_seconds = 0.0;   // refcount merge + canonicalization
+  double shard_knn_seconds = 0.0;     // cross-shard k-NN re-dispatch
+
   // The parallelizable share of this tick (match + k-NN search time).
   double ParallelSeconds() const {
     return object_match_seconds + knn_search_seconds;

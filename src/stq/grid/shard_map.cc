@@ -1,0 +1,101 @@
+#include "stq/grid/shard_map.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stq/common/check.h"
+
+namespace stq {
+
+namespace {
+
+// Most-square factorization: the largest divisor of n that is <= sqrt(n).
+int SquarestDivisor(int n) {
+  int d = static_cast<int>(std::floor(std::sqrt(static_cast<double>(n))));
+  while (d > 1 && n % d != 0) --d;
+  return std::max(d, 1);
+}
+
+}  // namespace
+
+ShardMap::ShardMap(const Rect& universe, int num_shards)
+    : universe_(universe) {
+  STQ_CHECK(!universe.IsEmpty()) << "shard map universe must be non-empty";
+  STQ_CHECK(num_shards >= 1) << "num_shards must be >= 1";
+  sy_ = SquarestDivisor(num_shards);
+  sx_ = num_shards / sy_;
+  shard_w_ = universe_.Width() / sx_;
+  shard_h_ = universe_.Height() / sy_;
+}
+
+Rect ShardMap::shard_rect(int s) const {
+  STQ_CHECK(s >= 0 && s < num_shards()) << "shard index out of range";
+  const int ix = s % sx_;
+  const int iy = s / sx_;
+  // The outermost edges use the exact universe bounds so border shards
+  // never lose a sliver to rounding.
+  return Rect{ix == 0 ? universe_.min_x : universe_.min_x + ix * shard_w_,
+              iy == 0 ? universe_.min_y : universe_.min_y + iy * shard_h_,
+              ix == sx_ - 1 ? universe_.max_x
+                            : universe_.min_x + (ix + 1) * shard_w_,
+              iy == sy_ - 1 ? universe_.max_y
+                            : universe_.min_y + (iy + 1) * shard_h_};
+}
+
+int ShardMap::HomeOf(const Point& p) const {
+  int ix = 0;
+  int iy = 0;
+  if (shard_w_ > 0.0) {
+    ix = std::clamp(
+        static_cast<int>(std::floor((p.x - universe_.min_x) / shard_w_)), 0,
+        sx_ - 1);
+  }
+  if (shard_h_ > 0.0) {
+    iy = std::clamp(
+        static_cast<int>(std::floor((p.y - universe_.min_y) / shard_h_)), 0,
+        sy_ - 1);
+  }
+  return iy * sx_ + ix;
+}
+
+bool ShardMap::SlabSpan(double lo, double hi, double min, double max, double w,
+                        int n, int* i0, int* i1) {
+  if (hi < min || lo > max) return false;
+  if (n == 1 || w <= 0.0) {
+    // One slab, or a degenerate axis where every slab coincides with the
+    // full (zero-width) extent: all slabs touch.
+    *i0 = 0;
+    *i1 = n - 1;
+    return true;
+  }
+  int a = std::clamp(static_cast<int>(std::floor((lo - min) / w)), 0, n - 1);
+  int b = std::clamp(static_cast<int>(std::floor((hi - min) / w)), 0, n - 1);
+  // A lower neighbour also touches when `lo` sits exactly on its upper
+  // boundary (closed rects intersect on the shared seam line). The
+  // boundary is compared with the same expression shard_rect() uses.
+  if (a >= 1 && min + a * w == lo) --a;
+  *i0 = a;
+  *i1 = b;
+  return true;
+}
+
+void ShardMap::ShardsOverlapping(const Rect& r, std::vector<int>* out) const {
+  out->clear();
+  if (r.IsEmpty()) return;
+  int x0, x1, y0, y1;
+  if (!SlabSpan(r.min_x, r.max_x, universe_.min_x, universe_.max_x, shard_w_,
+                sx_, &x0, &x1)) {
+    return;
+  }
+  if (!SlabSpan(r.min_y, r.max_y, universe_.min_y, universe_.max_y, shard_h_,
+                sy_, &y0, &y1)) {
+    return;
+  }
+  for (int iy = y0; iy <= y1; ++iy) {
+    for (int ix = x0; ix <= x1; ++ix) {
+      out->push_back(iy * sx_ + ix);
+    }
+  }
+}
+
+}  // namespace stq

@@ -1,0 +1,77 @@
+// ShardMap: the paper's cell-clipping rule lifted to shard granularity.
+//
+// The universe is partitioned into sx x sy closed rectangular shard
+// rects (sx * sy == num_shards, chosen as the most-square factorization)
+// exactly like GridIndex partitions it into cells. Two routing
+// operations are exposed:
+//
+//   HomeOf(p)            the unique shard owning point p. Seam points
+//                        belong to the upper/right shard (the same
+//                        floor-and-clamp rule as GridIndex::CellOf), so
+//                        every point object lives in exactly one shard.
+//   ShardsOverlapping(r) every shard whose closed rect intersects the
+//                        closed rect r — including shards the rect only
+//                        touches on a seam. Used for query regions,
+//                        circle bounding boxes and predictive object
+//                        footprints, all of which may legitimately span
+//                        (or merely graze) several shards.
+//
+// The shard rect boundaries are computed with the same floating-point
+// expressions as shard_rect(), so "touches the seam" is decided
+// bit-consistently with the rects the router hands to per-shard engines.
+
+#ifndef STQ_GRID_SHARD_MAP_H_
+#define STQ_GRID_SHARD_MAP_H_
+
+#include <vector>
+
+#include "stq/geo/point.h"
+#include "stq/geo/rect.h"
+
+namespace stq {
+
+class ShardMap {
+ public:
+  // `universe` must be non-empty (degenerate zero-area rects allowed);
+  // `num_shards` >= 1.
+  ShardMap(const Rect& universe, int num_shards);
+
+  int num_shards() const { return sx_ * sy_; }
+  int sx() const { return sx_; }
+  int sy() const { return sy_; }
+  const Rect& universe() const { return universe_; }
+
+  // The closed rect of shard `s` (interior seams are shared between
+  // neighbouring shards).
+  Rect shard_rect(int s) const;
+
+  // The unique owner of `p` (which should already be clamped into the
+  // universe). Out-of-universe points clamp onto the border shards.
+  int HomeOf(const Point& p) const;
+
+  // All shards whose closed rect intersects the closed rect `r`,
+  // ascending. Empty when `r` is empty or misses the universe entirely.
+  void ShardsOverlapping(const Rect& r, std::vector<int>* out) const;
+  std::vector<int> ShardsOverlapping(const Rect& r) const {
+    std::vector<int> out;
+    ShardsOverlapping(r, &out);
+    return out;
+  }
+
+ private:
+  // Closed-overlap slab span of [lo, hi] along one axis: slab i covers
+  // [min + i*w, min + (i+1)*w]. Returns false when the interval misses
+  // [min, max] entirely.
+  static bool SlabSpan(double lo, double hi, double min, double max, double w,
+                       int n, int* i0, int* i1);
+
+  Rect universe_;
+  int sx_ = 1;
+  int sy_ = 1;
+  double shard_w_ = 0.0;
+  double shard_h_ = 0.0;
+};
+
+}  // namespace stq
+
+#endif  // STQ_GRID_SHARD_MAP_H_

@@ -10,7 +10,7 @@ namespace stq {
 PersistedState CapturePersistedState(const Server& server) {
   PersistedState state;
   const QueryProcessor& qp = server.processor();
-  qp.object_store().ForEach([&](const ObjectRecord& o) {
+  qp.ForEachObjectInfo([&](const QueryProcessor::ObjectInfo& o) {
     PersistedObject po;
     po.id = o.id;
     po.loc = o.loc;
@@ -19,7 +19,7 @@ PersistedState CapturePersistedState(const Server& server) {
     po.predictive = o.predictive;
     state.objects.push_back(po);
   });
-  qp.query_store().ForEach([&](const QueryRecord& q) {
+  qp.ForEachQueryInfo([&](const QueryProcessor::QueryInfo& q) {
     PersistedQuery pq;
     pq.id = q.id;
     pq.kind = q.kind;
@@ -129,9 +129,10 @@ Result<Server::Delivery> PersistentServer::ReconnectClient(ClientId cid) {
   // The wakeup response commits the recovered answers server-side; mirror
   // those commits in the log.
   std::vector<QueryId> owned;
-  server_->processor().query_store().ForEach([&](const QueryRecord& q) {
-    if (server_->OwnerOf(q.id) == cid) owned.push_back(q.id);
-  });
+  server_->processor().ForEachQueryInfo(
+      [&](const QueryProcessor::QueryInfo& q) {
+        if (server_->OwnerOf(q.id) == cid) owned.push_back(q.id);
+      });
   std::sort(owned.begin(), owned.end());
   for (QueryId qid : owned) {
     Status s = LogCommitOf(qid);
@@ -141,9 +142,10 @@ Result<Server::Delivery> PersistentServer::ReconnectClient(ClientId cid) {
 }
 
 Status PersistentServer::LogCommitOf(QueryId qid) {
-  const QueryRecord* q = server_->processor().query_store().Find(qid);
-  if (q == nullptr) return Status::OK();
-  return repository_.LogCommit(qid, q->SortedAnswer());
+  Result<std::vector<ObjectId>> answer =
+      server_->processor().CurrentAnswer(qid);
+  if (!answer.ok()) return Status::OK();
+  return repository_.LogCommit(qid, *answer);
 }
 
 Status PersistentServer::RegisterRangeQuery(QueryId qid, ClientId cid,

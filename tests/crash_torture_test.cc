@@ -310,9 +310,11 @@ PersistedState ShadowCapture(const Server& oracle, const Shadow& shadow) {
   return state;  // std::map iteration keeps both sorted by id
 }
 
-PersistentServer::Options TortureOptions(FaultInjectionEnv* env) {
+PersistentServer::Options TortureOptions(FaultInjectionEnv* env,
+                                         int num_shards = 1) {
   PersistentServer::Options options;
   options.server.processor.grid_cells_per_side = 8;
+  options.server.processor.num_shards = num_shards;
   options.dir = kDir;
   options.env = env;
   return options;
@@ -334,11 +336,12 @@ struct DriveResult {
 // driving stops at the first injected failure (the server is degraded and
 // refuses everything afterwards anyway). The PersistentServer is
 // destroyed without Close() — destruction models the process dying.
-DriveResult Drive(const std::vector<Op>& script, FaultInjectionEnv* env) {
+DriveResult Drive(const std::vector<Op>& script, FaultInjectionEnv* env,
+                  int num_shards = 1) {
   DriveResult result;
   result.captures.push_back(PersistedState{});
-  PersistentServer ps(TortureOptions(env));
-  Server oracle(TortureOptions(env).server);
+  PersistentServer ps(TortureOptions(env, num_shards));
+  Server oracle(TortureOptions(env, num_shards).server);
   Shadow shadow;
   if (!ps.Open().ok()) return result;
   for (ClientId cid = 1; cid <= 3; ++cid) {
@@ -382,8 +385,8 @@ std::string Describe(const PersistedState& s) {
 // Reopens the repository after a crash and checks strict equality with
 // the oracle capture plus a full invariant audit.
 void VerifyExactRecovery(FaultInjectionEnv* env, const PersistedState& expect,
-                         const std::string& what) {
-  PersistentServer recovered(TortureOptions(env));
+                         const std::string& what, int num_shards = 1) {
+  PersistentServer recovered(TortureOptions(env, num_shards));
   ASSERT_TRUE(recovered.Open().ok()) << what;
   const PersistedState got = CapturePersistedState(recovered.server());
   EXPECT_TRUE(got == expect) << what << ": recovered " << Describe(got)
@@ -413,9 +416,9 @@ void ExpectPrefixConsistent(const PersistedState& got, const DriveResult& r,
 
 // Runs the script fault-free to measure the total number of I/O calls the
 // workload makes (the size of the deterministic crash sweep).
-uint64_t CleanRunOps(const std::vector<Op>& script) {
+uint64_t CleanRunOps(const std::vector<Op>& script, int num_shards = 1) {
   FaultInjectionEnv env;
-  const DriveResult clean = Drive(script, &env);
+  const DriveResult clean = Drive(script, &env, num_shards);
   STQ_CHECK(clean.captures.size() == script.size() + 1)
       << "clean run did not acknowledge every op";
   return env.op_count();
@@ -488,6 +491,27 @@ TEST(CrashTortureTest, RandomizedTornCrashesRecoverToAckedPrefix) {
     EXPECT_TRUE(CapturePersistedState(reopened.server()) == got)
         << what << ": checkpoint+reopen did not round-trip";
     ASSERT_TRUE(reopened.Close().ok()) << what;
+  }
+}
+
+// The same deterministic sweep with the engine running 4 spatial
+// shards: recovery replays through the sharded facade, and the post-
+// recovery audit includes the per-shard and cross-shard checks. A stride
+// keeps this leg cheaper than the exhaustive single-grid sweep while
+// still covering crash points in every phase of the workload.
+TEST(CrashTortureTest, ShardedDeterministicSweepRecoversAtSyncBoundary) {
+  constexpr int kShards = 4;
+  const std::vector<Op> script = MakeScript(13, 6, 8, 3);
+  const uint64_t total_ops = CleanRunOps(script, kShards);
+  for (uint64_t k = 0; k < total_ops; k += 5) {
+    FaultInjectionEnv env;
+    env.CrashAfterOps(k);
+    const DriveResult r = Drive(script, &env, kShards);
+    env.SimulateCrash(UnsyncedLoss::kDropAll);
+    VerifyExactRecovery(&env, r.captures[r.last_synced],
+                        "sharded crash at I/O op " + std::to_string(k),
+                        kShards);
+    if (HasFatalFailure()) return;
   }
 }
 

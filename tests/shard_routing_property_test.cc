@@ -1,0 +1,205 @@
+// Property tests for shard routing: an entity is assigned to a shard if
+// and only if its region overlaps the shard's closed rect (checked
+// against brute-force Rect::Intersects over every shard_rect), no entity
+// is ever lost, point routing is a partition (exactly one home shard),
+// and the rules hold on seams and for degenerate zero-area rects.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stq/common/random.h"
+#include "stq/core/query_processor.h"
+#include "stq/core/sharded_server.h"
+#include "stq/grid/shard_map.h"
+
+namespace stq {
+namespace {
+
+constexpr int kShardCounts[] = {1, 2, 3, 4, 6, 9, 16};
+
+std::vector<int> BruteForceOverlaps(const ShardMap& map, const Rect& r) {
+  std::vector<int> out;
+  for (int s = 0; s < map.num_shards(); ++s) {
+    if (map.shard_rect(s).Intersects(r)) out.push_back(s);
+  }
+  return out;
+}
+
+TEST(ShardMapTest, FactorizationCoversUniverse) {
+  const Rect universe{0.0, 0.0, 1.0, 1.0};
+  for (int n : kShardCounts) {
+    const ShardMap map(universe, n);
+    ASSERT_EQ(map.num_shards(), n);
+    ASSERT_EQ(map.sx() * map.sy(), n);
+    // Most-square factorization: the aspect never exceeds what n forces.
+    EXPECT_LE(map.sy(), map.sx());
+    // Shard rects tile the universe: disjoint interiors, exact borders.
+    double area = 0.0;
+    for (int s = 0; s < n; ++s) {
+      const Rect r = map.shard_rect(s);
+      ASSERT_FALSE(r.IsEmpty());
+      area += r.Area();
+      EXPECT_GE(r.min_x, universe.min_x);
+      EXPECT_LE(r.max_x, universe.max_x);
+    }
+    EXPECT_NEAR(area, universe.Area(), 1e-9);
+  }
+}
+
+TEST(ShardMapTest, RandomRectsRouteIffOverlap) {
+  const Rect universe{0.0, 0.0, 1.0, 1.0};
+  Xorshift128Plus rng(31337);
+  for (int n : kShardCounts) {
+    const ShardMap map(universe, n);
+    for (int trial = 0; trial < 2000; ++trial) {
+      // Mix of spans: tiny, typical, universe-sized, and out-of-bounds.
+      const double cx = rng.NextDouble(-0.2, 1.2);
+      const double cy = rng.NextDouble(-0.2, 1.2);
+      const double w = rng.NextDouble(0.0, 0.8);
+      const double h = rng.NextDouble(0.0, 0.8);
+      const Rect r = Rect::FromCorners(Point{cx, cy}, Point{cx + w, cy + h});
+      EXPECT_EQ(map.ShardsOverlapping(r), BruteForceOverlaps(map, r))
+          << n << " shards, rect " << r.DebugString();
+    }
+  }
+}
+
+TEST(ShardMapTest, RandomCirclesRouteIffBoundingBoxOverlap) {
+  const Rect universe{0.0, 0.0, 1.0, 1.0};
+  Xorshift128Plus rng(5150);
+  for (int n : kShardCounts) {
+    const ShardMap map(universe, n);
+    for (int trial = 0; trial < 2000; ++trial) {
+      const Point c{rng.NextDouble(), rng.NextDouble()};
+      const double radius = rng.NextDouble(0.0, 0.5);
+      const Rect box = Rect::CenteredSquare(c, 2.0 * radius);
+      EXPECT_EQ(map.ShardsOverlapping(box), BruteForceOverlaps(map, box))
+          << n << " shards, circle at (" << c.x << ", " << c.y << ") r="
+          << radius;
+    }
+  }
+}
+
+TEST(ShardMapTest, PointsRouteToExactlyOneHomeShard) {
+  const Rect universe{0.0, 0.0, 1.0, 1.0};
+  Xorshift128Plus rng(8086);
+  for (int n : kShardCounts) {
+    const ShardMap map(universe, n);
+    for (int trial = 0; trial < 2000; ++trial) {
+      const Point p{rng.NextDouble(), rng.NextDouble()};
+      const int home = map.HomeOf(p);
+      ASSERT_GE(home, 0);
+      ASSERT_LT(home, n);
+      // The home shard contains the point, so the point is never lost...
+      EXPECT_TRUE(map.shard_rect(home).Contains(p))
+          << n << " shards, point (" << p.x << ", " << p.y << ")";
+      // ...and every shard containing the point is a seam neighbour of
+      // the home (closed rects share borders); HomeOf picks one of them.
+      const std::vector<int> holders =
+          BruteForceOverlaps(map, Rect{p.x, p.y, p.x, p.y});
+      EXPECT_TRUE(std::binary_search(holders.begin(), holders.end(), home));
+    }
+  }
+}
+
+TEST(ShardMapTest, SeamPointsBelongToUpperRightShard) {
+  const Rect universe{0.0, 0.0, 1.0, 1.0};
+  const ShardMap map(universe, 4);  // 2 x 2
+  ASSERT_EQ(map.sx(), 2);
+  ASSERT_EQ(map.sy(), 2);
+  // A point exactly on an interior seam lies in both closed rects but is
+  // owned by the upper/right one (same rule as GridIndex::CellOf).
+  EXPECT_EQ(map.HomeOf(Point{0.5, 0.25}), 1);
+  EXPECT_EQ(map.HomeOf(Point{0.25, 0.5}), 2);
+  EXPECT_EQ(map.HomeOf(Point{0.5, 0.5}), 3);
+  // Universe corners clamp onto border shards; nothing falls off.
+  EXPECT_EQ(map.HomeOf(Point{0.0, 0.0}), 0);
+  EXPECT_EQ(map.HomeOf(Point{1.0, 1.0}), 3);
+  EXPECT_EQ(map.HomeOf(Point{-5.0, 7.0}), 2);
+  // A zero-area rect on the seam routes to *all* closed rects it touches.
+  EXPECT_EQ(map.ShardsOverlapping(Rect{0.5, 0.5, 0.5, 0.5}),
+            (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(map.ShardsOverlapping(Rect{0.5, 0.25, 0.5, 0.25}),
+            (std::vector<int>{0, 1}));
+}
+
+TEST(ShardMapTest, DegenerateAndEmptyRects) {
+  const Rect universe{0.0, 0.0, 1.0, 1.0};
+  const ShardMap map(universe, 9);
+  // Zero-area rects route like points/segments.
+  EXPECT_EQ(map.ShardsOverlapping(Rect{0.1, 0.1, 0.1, 0.1}),
+            (std::vector<int>{0}));
+  // A horizontal segment crosses one row of shards...
+  EXPECT_EQ(map.ShardsOverlapping(Rect{0.0, 0.5, 1.0, 0.5}).size(), 3u);
+  // ...and two rows when it lies exactly on an interior seam.
+  EXPECT_EQ(map.ShardsOverlapping(Rect{0.0, 1.0 / 3.0, 1.0, 1.0 / 3.0}).size(),
+            6u);
+  // Empty and fully-disjoint rects route nowhere.
+  EXPECT_TRUE(map.ShardsOverlapping(Rect::Empty()).empty());
+  EXPECT_TRUE(map.ShardsOverlapping(Rect{2.0, 2.0, 3.0, 3.0}).empty());
+  // The universe itself routes everywhere.
+  EXPECT_EQ(map.ShardsOverlapping(universe).size(), 9u);
+}
+
+// End-to-end routing through the engine: after ingestion + tick, every
+// object and query lives in exactly the shards the rule assigns.
+TEST(ShardedRoutingTest, EngineRoutesEntitiesIffOverlap) {
+  QueryProcessorOptions options;
+  options.grid_cells_per_side = 12;
+  options.num_shards = 6;
+  QueryProcessor qp(options);
+  ASSERT_TRUE(qp.sharded());
+  const ShardedEngine& engine = *qp.sharded_engine();
+  const ShardMap& map = engine.shard_map();
+
+  Xorshift128Plus rng(2024);
+  for (ObjectId id = 1; id <= 120; ++id) {
+    const Point p{rng.NextDouble(), rng.NextDouble()};
+    if (id % 3 == 0) {
+      ASSERT_TRUE(qp.UpsertPredictiveObject(
+                        id, p,
+                        Velocity{rng.NextDouble(-0.1, 0.1),
+                                 rng.NextDouble(-0.1, 0.1)},
+                        0.0)
+                      .ok());
+    } else {
+      ASSERT_TRUE(qp.UpsertObject(id, p, 0.0).ok());
+    }
+  }
+  std::vector<Rect> regions;
+  for (QueryId qid = 1; qid <= 40; ++qid) {
+    const Point c{rng.NextDouble(), rng.NextDouble()};
+    const Rect region = Rect::CenteredSquare(c, rng.NextDouble(0.05, 0.6));
+    regions.push_back(region);
+    ASSERT_TRUE(qp.RegisterRangeQuery(qid, region).ok());
+  }
+  (void)qp.EvaluateTick(1.0);
+  ASSERT_TRUE(qp.CheckInvariants().ok());
+
+  size_t replicated = 0;
+  for (ObjectId id = 1; id <= 120; ++id) {
+    const std::vector<int> shards = engine.ObjectShards(id);
+    ASSERT_FALSE(shards.empty()) << "object " << id << " lost";
+    if (shards.size() > 1) ++replicated;
+    for (int s : shards) {
+      EXPECT_TRUE(engine.shard(s).object_store().Contains(id))
+          << "object " << id << " routed to shard " << s
+          << " but absent there";
+    }
+  }
+  for (QueryId qid = 1; qid <= 40; ++qid) {
+    const Rect clamped =
+        regions[qid - 1].Intersection(Rect{0.0, 0.0, 1.0, 1.0});
+    const std::vector<int> expected = map.ShardsOverlapping(clamped);
+    EXPECT_EQ(engine.QueryShards(qid), expected) << "query " << qid;
+    ASSERT_FALSE(expected.empty());
+  }
+  // The workload exercised replication (predictive footprints span seams).
+  EXPECT_GT(replicated, 0u);
+}
+
+}  // namespace
+}  // namespace stq

@@ -1,0 +1,263 @@
+// Differential oracle for the sharded shared-execution engine: for any
+// workload, the canonical update stream of the sharded engine (any shard
+// count, any worker count) is byte-identical, tick by tick, to the
+// single-grid QueryProcessor's stream, and both engines accept/reject
+// every ingestion call identically.
+//
+// The workloads mix range, k-NN, circle, and predictive queries (moving
+// and re-registering), sampled and predictive objects, removals and
+// unregistrations — every update kind the engine supports.
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stq/common/crc32.h"
+#include "stq/common/random.h"
+#include "stq/core/query_processor.h"
+#include "stq/gen/workload.h"
+
+namespace stq {
+namespace {
+
+QueryProcessorOptions ShardOptions(int shards, int workers, int grid = 16) {
+  QueryProcessorOptions options;
+  options.grid_cells_per_side = grid;
+  options.worker_threads = workers;
+  options.num_shards = shards;
+  return options;
+}
+
+// The literal bytes a tick's update stream puts on the wire.
+std::string StreamBytes(const TickResult& r) {
+  std::ostringstream os;
+  for (const Update& u : r.updates) os << u.DebugString() << '\n';
+  return os.str();
+}
+
+struct DriveResult {
+  std::vector<std::string> tick_streams;
+  std::vector<std::string> tick_statuses;  // concatenated ingestion statuses
+  uint32_t crc = 0;
+};
+
+// Drives one fixed pseudo-random mixed workload against `qp`. The call
+// sequence depends only on the seed, never on the processor's responses,
+// so two engines driven with the same seed see identical inputs; the
+// returned statuses prove they also *respond* identically.
+DriveResult DriveMixedWorkload(QueryProcessor* qp, uint64_t seed,
+                               size_t num_ticks) {
+  DriveResult result;
+  Xorshift128Plus rng(seed);
+  const ObjectId max_object = 50;
+  const QueryId max_query = 24;
+  double now = 0.0;
+  for (size_t tick = 0; tick < num_ticks; ++tick) {
+    std::ostringstream statuses;
+    auto note = [&statuses](const Status& s) {
+      statuses << (s.ok() ? "ok" : s.ToString()) << '\n';
+    };
+    for (int op = 0; op < 80; ++op) {
+      const ObjectId oid = 1 + rng.NextUint64(max_object);
+      const QueryId qid = 1 + rng.NextUint64(max_query);
+      const Point p{rng.NextDouble(), rng.NextDouble()};
+      const double t = now + rng.NextDouble(0.0, 1.0);
+      switch (rng.NextUint64(12)) {
+        case 0:
+        case 1:
+        case 2:
+          note(qp->UpsertObject(oid, p, t));
+          break;
+        case 3:
+          note(qp->UpsertPredictiveObject(
+              oid, p,
+              Velocity{rng.NextDouble(-0.05, 0.05),
+                       rng.NextDouble(-0.05, 0.05)},
+              t));
+          break;
+        case 4:
+          note(qp->RemoveObject(oid));
+          break;
+        case 5:
+          note(qp->RegisterRangeQuery(
+              qid, Rect::CenteredSquare(p, rng.NextDouble(0.05, 0.3))));
+          break;
+        case 6:
+          note(qp->RegisterKnnQuery(qid, p, rng.NextInt(1, 5)));
+          break;
+        case 7:
+          note(qp->RegisterCircleQuery(qid, p, rng.NextDouble(0.05, 0.2)));
+          break;
+        case 8:
+          note(qp->RegisterPredictiveQuery(
+              qid, Rect::CenteredSquare(p, rng.NextDouble(0.05, 0.3)), now,
+              now + rng.NextDouble(1.0, 20.0)));
+          break;
+        case 9:
+          // Move whatever kind the query currently is; at most one of
+          // these succeeds, and all are deterministic in (state, rng).
+          note(qp->MoveRangeQuery(
+              qid, Rect::CenteredSquare(p, rng.NextDouble(0.05, 0.3))));
+          note(qp->MoveKnnQuery(qid, p));
+          note(qp->MoveCircleQuery(qid, p));
+          note(qp->MovePredictiveQuery(
+              qid, Rect::CenteredSquare(p, rng.NextDouble(0.05, 0.3))));
+          break;
+        case 10:
+          note(qp->UnregisterQuery(qid));
+          break;
+        case 11:
+          // Unregister-then-re-register inside one tick: exercises the
+          // router's reset rule (the old incarnation's answer must drain
+          // as removals before the new incarnation reports).
+          note(qp->UnregisterQuery(qid));
+          note(qp->RegisterRangeQuery(
+              qid, Rect::CenteredSquare(p, rng.NextDouble(0.05, 0.3))));
+          break;
+      }
+    }
+    now += 1.0;
+    const TickResult r = qp->EvaluateTick(now);
+    result.tick_streams.push_back(StreamBytes(r));
+    result.tick_statuses.push_back(statuses.str());
+    const std::string& stream = result.tick_streams.back();
+    result.crc = Crc32c(stream.data(), stream.size()) ^ (result.crc * 31);
+    const Status invariants = qp->CheckInvariants();
+    EXPECT_TRUE(invariants.ok())
+        << "invariants violated after tick " << tick << " with "
+        << qp->options().num_shards << " shards: " << invariants.ToString();
+  }
+  return result;
+}
+
+void ExpectSameRun(const DriveResult& expected, const DriveResult& actual,
+                   int shards, int workers) {
+  ASSERT_EQ(expected.tick_streams.size(), actual.tick_streams.size());
+  for (size_t i = 0; i < expected.tick_streams.size(); ++i) {
+    ASSERT_EQ(expected.tick_statuses[i], actual.tick_statuses[i])
+        << "ingestion statuses diverged at tick " << i << " with " << shards
+        << " shards, " << workers << " workers";
+    ASSERT_EQ(expected.tick_streams[i], actual.tick_streams[i])
+        << "update stream diverged at tick " << i << " with " << shards
+        << " shards, " << workers << " workers";
+  }
+  EXPECT_EQ(expected.crc, actual.crc);
+}
+
+TEST(ShardedDiffTest, MixedWorkloadStreamsAreShardCountInvariant) {
+  constexpr size_t kTicks = 6;
+  constexpr int kSeeds = 20;
+  for (int i = 0; i < kSeeds; ++i) {
+    const uint64_t seed = 1000 + 77 * static_cast<uint64_t>(i);
+    QueryProcessor baseline(ShardOptions(/*shards=*/1, /*workers=*/1));
+    const DriveResult expected = DriveMixedWorkload(&baseline, seed, kTicks);
+    for (int shards : {1, 2, 4, 9}) {
+      for (int workers : {1, 4}) {
+        if (shards == 1 && workers == 1) continue;  // the baseline itself
+        QueryProcessor qp(ShardOptions(shards, workers));
+        EXPECT_EQ(qp.sharded(), shards > 1);
+        const DriveResult actual = DriveMixedWorkload(&qp, seed, kTicks);
+        ExpectSameRun(expected, actual, shards, workers);
+        if (testing::Test::HasFatalFailure()) {
+          FAIL() << "seed " << seed << " diverged";
+        }
+      }
+    }
+  }
+}
+
+// Stream identity implies answer identity, but pin the query-facing API
+// directly too: after a run, every query's committed answer (and every
+// unknown id's error) matches between the engines.
+TEST(ShardedDiffTest, CurrentAnswersMatchSingleGrid) {
+  const uint64_t seed = 90210;
+  QueryProcessor single(ShardOptions(1, 1));
+  QueryProcessor sharded(ShardOptions(4, 4));
+  (void)DriveMixedWorkload(&single, seed, /*num_ticks=*/8);
+  (void)DriveMixedWorkload(&sharded, seed, /*num_ticks=*/8);
+  for (QueryId qid = 0; qid <= 26; ++qid) {
+    const Result<std::vector<ObjectId>> a = single.CurrentAnswer(qid);
+    const Result<std::vector<ObjectId>> b = sharded.CurrentAnswer(qid);
+    ASSERT_EQ(a.ok(), b.ok()) << "query " << qid;
+    if (a.ok()) {
+      EXPECT_EQ(*a, *b) << "query " << qid;
+      const Result<std::vector<ObjectId>> scratch =
+          sharded.EvaluateFromScratch(qid);
+      ASSERT_TRUE(scratch.ok());
+      EXPECT_EQ(*b, *scratch) << "query " << qid;
+    } else {
+      EXPECT_EQ(a.status().ToString(), b.status().ToString());
+    }
+  }
+}
+
+TEST(ShardedDiffTest, NetworkWorkloadStreamsAreShardCountInvariant) {
+  NetworkWorkloadOptions options;
+  options.city.rows = 6;
+  options.city.cols = 6;
+  options.city.seed = 7;
+  options.num_objects = 400;
+  options.num_queries = 80;
+  options.query_side_length = 0.08;
+  options.num_ticks = 4;
+  options.object_update_fraction = 0.6;
+  options.query_update_fraction = 0.3;
+  options.seed = 7;
+  options.route = NetworkGenerator::RouteStrategy::kRandomWalk;
+  const Workload workload = Workload::GenerateNetwork(options);
+
+  auto run = [&](int shards, int workers) {
+    QueryProcessor qp(ShardOptions(shards, workers, /*grid=*/32));
+    workload.ApplyInitial(&qp);
+    std::vector<std::string> streams;
+    streams.push_back(StreamBytes(qp.EvaluateTick(0.0)));
+    for (size_t i = 0; i < workload.ticks().size(); ++i) {
+      workload.ApplyTick(&qp, i);
+      streams.push_back(StreamBytes(qp.EvaluateTick(workload.ticks()[i].time)));
+      EXPECT_TRUE(qp.CheckInvariants().ok());
+    }
+    return streams;
+  };
+
+  const std::vector<std::string> serial = run(1, 1);
+  size_t total_bytes = 0;
+  for (const std::string& s : serial) total_bytes += s.size();
+  EXPECT_GT(total_bytes, 0u);  // the workload produced traffic
+  for (int shards : {2, 4, 9}) {
+    const std::vector<std::string> sharded = run(shards, 4);
+    ASSERT_EQ(serial.size(), sharded.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i], sharded[i])
+          << "tick " << i << " diverged at " << shards << " shards";
+    }
+  }
+}
+
+// The sharded engine reports per-shard timing attribution in TickStats.
+TEST(ShardedDiffTest, ShardStatsAreAttributed) {
+  QueryProcessor qp(ShardOptions(4, 2));
+  for (ObjectId id = 1; id <= 200; ++id) {
+    ASSERT_TRUE(
+        qp.UpsertObject(id, Point{(id % 20) / 20.0, (id / 20) / 10.0}, 0.0)
+            .ok());
+  }
+  ASSERT_TRUE(qp.RegisterRangeQuery(1, Rect{0.1, 0.1, 0.7, 0.7}).ok());
+  ASSERT_TRUE(qp.RegisterKnnQuery(2, Point{0.5, 0.5}, 5).ok());
+  const TickResult r = qp.EvaluateTick(1.0);
+  EXPECT_GT(r.stats.shards_ticked, 0);
+  EXPECT_LE(r.stats.shards_ticked, 4);
+  EXPECT_GT(r.stats.shard_tick_wall_seconds, 0.0);
+  EXPECT_GT(r.stats.shard_tick_busy_seconds, 0.0);
+  EXPECT_GT(r.stats.shard_tick_max_seconds, 0.0);
+  EXPECT_LE(r.stats.shard_tick_max_seconds,
+            r.stats.shard_tick_busy_seconds + 1e-12);
+  EXPECT_GE(r.stats.shard_merge_seconds, 0.0);
+  EXPECT_GE(r.stats.shard_knn_seconds, 0.0);
+  EXPECT_EQ(r.stats.object_updates_applied, 200u);
+  EXPECT_EQ(r.stats.query_changes_applied, 2u);
+}
+
+}  // namespace
+}  // namespace stq
