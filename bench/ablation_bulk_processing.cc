@@ -14,6 +14,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench_main.h"
+
 #include <memory>
 
 #include "bench_common.h"
@@ -92,4 +94,4 @@ BENCHMARK(BM_IndividualProcessing)
     ->Arg(1000)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+STQ_BENCHMARK_MAIN()

@@ -11,6 +11,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench_main.h"
+
 #include <memory>
 
 #include "bench_common.h"
@@ -107,4 +109,4 @@ BENCHMARK(BM_TickByGridResolution)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(3);
 
-BENCHMARK_MAIN();
+STQ_BENCHMARK_MAIN()

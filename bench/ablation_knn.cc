@@ -26,11 +26,17 @@ double MillisSince(Clock::time_point start) {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const size_t num_objects = stq_bench::EnvSize("STQ_BENCH_OBJECTS", 20000);
   const size_t num_queries = stq_bench::EnvSize("STQ_BENCH_QUERIES", 2000);
   constexpr int kK = 5;
   constexpr int kTicks = 3;
+
+  stq_bench::BenchReport report("ablation_knn", argc, argv);
+  report.Param("num_objects", num_objects);
+  report.Param("num_queries", num_queries);
+  report.Param("k", kK);
+  report.Param("num_ticks", kTicks);
 
   std::printf("Ablation A4: incremental k-NN maintenance (k=%d)\n", kK);
   std::printf("objects=%zu knn_queries=%zu, mean per period over %d "
@@ -99,6 +105,13 @@ int main() {
     std::printf("%-11d%% %10zu %12zu %14.2f %14.2f\n", rate_pct,
                 updates / kTicks, reevals / kTicks, incr_ms / kTicks,
                 snap_ms / kTicks);
+
+    report.BeginRow();
+    report.Value("update_rate_pct", rate_pct);
+    report.Value("updates_per_tick", updates / kTicks);
+    report.Value("reevals_per_tick", reevals / kTicks);
+    report.Value("incremental_ms", incr_ms / kTicks);
+    report.Value("snapshot_ms", snap_ms / kTicks);
   }
-  return 0;
+  return report.Write() ? 0 : 1;
 }

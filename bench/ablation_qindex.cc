@@ -25,10 +25,17 @@ double MillisSince(Clock::time_point start) {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const size_t num_queries = stq_bench::EnvSize("STQ_BENCH_QUERIES", 10000);
   const size_t max_objects = stq_bench::EnvSize("STQ_BENCH_OBJECTS", 80000);
   constexpr int kTicks = 3;
+
+  stq_bench::BenchReport report("ablation_qindex", argc, argv);
+  report.Param("num_queries", num_queries);
+  report.Param("max_objects", max_objects);
+  report.Param("num_ticks", kTicks);
+  report.Param("query_side_length", 0.02);
+  report.Param("object_update_fraction", 0.3);
 
   std::printf("Ablation A6: Q-index and VCI vs. shared incremental grid "
               "(stationary queries)\n");
@@ -98,6 +105,14 @@ int main() {
                 incr_ms / kTicks, qindex_ms / kTicks, vci_ms / kTicks,
                 stq_bench::ToKb(incr_bytes / kTicks),
                 stq_bench::ToKb(qindex_bytes / kTicks));
+
+    report.BeginRow();
+    report.Value("num_objects", num_objects);
+    report.Value("incremental_ms", incr_ms / kTicks);
+    report.Value("qindex_ms", qindex_ms / kTicks);
+    report.Value("vci_ms", vci_ms / kTicks);
+    report.Value("incremental_kb", stq_bench::ToKb(incr_bytes / kTicks));
+    report.Value("qindex_kb", stq_bench::ToKb(qindex_bytes / kTicks));
   }
-  return 0;
+  return report.Write() ? 0 : 1;
 }

@@ -40,7 +40,8 @@ uint64_t SizeOrZero(stq::Env* env, const std::string& path) {
 void RunDurableRecovery(const stq::RoadNetwork& city,
                         const stq::NetworkGenerator::Options& object_options,
                         const stq::QueryGenerator::Options& query_options,
-                        size_t num_queries, int ticks, int checkpoint_every) {
+                        size_t num_queries, int ticks, int checkpoint_every,
+                        stq_bench::BenchReport* report) {
   stq::FaultInjectionEnv env;
   {
     stq::PersistentServer::Options options;
@@ -99,14 +100,25 @@ void RunDurableRecovery(const stq::RoadNetwork& city,
   std::printf("%-16d %14.1f %14.1f %9.1f\n", checkpoint_every,
               stq_bench::ToKb(wal_bytes), stq_bench::ToKb(snapshot_bytes),
               open_ms);
+  report->BeginRow();
+  report->Value("section", "durable_recovery");
+  report->Value("checkpoint_every", checkpoint_every);
+  report->Value("wal_kb", stq_bench::ToKb(wal_bytes));
+  report->Value("snapshot_kb", stq_bench::ToKb(snapshot_bytes));
+  report->Value("open_ms", open_ms);
   recovered.Close();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const size_t num_objects = stq_bench::EnvSize("STQ_BENCH_OBJECTS", 20000);
   const size_t num_queries = stq_bench::EnvSize("STQ_BENCH_QUERIES", 500);
+
+  stq_bench::BenchReport report("ablation_recovery", argc, argv);
+  report.Param("num_objects", num_objects);
+  report.Param("num_queries", num_queries);
+  report.Param("query_side_length", 0.03);
 
   std::printf("Ablation A5: recovery bytes vs. disconnect duration\n");
   std::printf("objects=%zu queries=%zu side=0.03, one client owns all "
@@ -174,6 +186,11 @@ int main() {
                 diff_bytes > 0 ? static_cast<double>(full_bytes) /
                                      static_cast<double>(diff_bytes)
                                : 0.0);
+    report.BeginRow();
+    report.Value("section", "out_of_sync");
+    report.Value("outage_periods", outage);
+    report.Value("diff_kb", stq_bench::ToKb(diff_bytes));
+    report.Value("full_kb", stq_bench::ToKb(full_bytes));
   }
 
   // --- Section 2: durable recovery (crash + WAL replay) --------------------
@@ -207,7 +224,7 @@ int main() {
 
   for (int checkpoint_every : {0, 8, 4, 2, 1}) {
     RunDurableRecovery(city, object_options, query_options, durable_queries,
-                       durable_ticks, checkpoint_every);
+                       durable_ticks, checkpoint_every, &report);
   }
-  return 0;
+  return report.Write() ? 0 : 1;
 }

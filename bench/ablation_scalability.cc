@@ -31,7 +31,7 @@ double MillisSince(Clock::time_point start) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   stq_bench::BenchScale scale = stq_bench::BenchScale::FromEnv();
   const size_t num_objects =
       stq_bench::EnvSize("STQ_BENCH_OBJECTS", 20000);
@@ -39,6 +39,13 @@ int main() {
       stq_bench::EnvSize("STQ_BENCH_QUERIES", 64000);
   scale.num_objects = num_objects;
   scale.num_ticks = 3;
+
+  stq_bench::BenchReport report("ablation_scalability", argc, argv);
+  report.Param("num_objects", num_objects);
+  report.Param("max_queries", max_queries);
+  report.Param("num_ticks", scale.num_ticks);
+  report.Param("query_side_length", 0.02);
+  report.Param("object_update_fraction", 0.3);
 
   std::printf("Ablation A1: shared incremental vs. per-query evaluation\n");
   std::printf("objects=%zu (30%% report/period), stationary queries, "
@@ -95,6 +102,12 @@ int main() {
     const double n = static_cast<double>(workload.ticks().size());
     std::printf("%-10zu %16.2f %16.2f %16.2f\n", num_queries,
                 incremental_ms / n, snapshot_ms / n, qindex_ms / n);
+
+    report.BeginRow();
+    report.Value("num_queries", num_queries);
+    report.Value("incremental_ms", incremental_ms / n);
+    report.Value("snapshot_ms", snapshot_ms / n);
+    report.Value("qindex_ms", qindex_ms / n);
   }
-  return 0;
+  return report.Write() ? 0 : 1;
 }

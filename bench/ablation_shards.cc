@@ -37,6 +37,7 @@ struct RunResult {
   double route = 0.0;       // router dispatch (clip + dedup bookkeeping)
   uint32_t stream_crc = 0;  // CRC32 of all canonical update streams
   size_t ticks = 0;
+  uint64_t allocs = 0;      // summed TickStats.heap_allocations
 };
 
 RunResult RunWorkload(const stq::Workload& workload, int shards) {
@@ -61,6 +62,7 @@ RunResult RunWorkload(const stq::Workload& workload, int shards) {
     result.shard_max += tick.stats.shard_tick_max_seconds;
     result.merge += tick.stats.shard_merge_seconds;
     result.route += tick.stats.shard_route_seconds;
+    result.allocs += tick.stats.heap_allocations;
     stream.clear();
     for (const stq::Update& u : tick.updates) {
       stream += u.DebugString();
@@ -75,9 +77,15 @@ RunResult RunWorkload(const stq::Workload& workload, int shards) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   stq_bench::BenchScale scale = stq_bench::BenchScale::FromEnv();
   scale.num_queries = stq_bench::EnvSize("STQ_BENCH_QUERIES", 10000);
+
+  stq_bench::BenchReport report("ablation_shards", argc, argv);
+  stq_bench::ReportScale(&report, scale);
+  report.Param("query_side_length", 0.02);
+  report.Param("object_update_fraction", 0.5);
+  report.Param("seed", 5150);
 
   std::printf("Ablation: shard scaling of the shared-execution tick\n");
   std::printf("objects=%zu queries=%zu T=5s ticks=%zu (fig-5a workload)\n\n",
@@ -88,9 +96,9 @@ int main() {
                                       /*object_update_fraction=*/0.5,
                                       /*seed=*/5150));
 
-  std::printf("%-8s %12s %10s %12s %12s %12s %12s %12s\n", "shards",
+  std::printf("%-8s %12s %10s %12s %12s %12s %12s %14s %12s\n", "shards",
               "ticks/sec", "speedup", "shard_busy", "shard_max", "merge_s",
-              "route_s", "stream_crc");
+              "route_s", "allocs/tick", "stream_crc");
 
   double single_seconds = 0.0;
   uint32_t single_crc = 0;
@@ -103,11 +111,26 @@ int main() {
     } else if (r.stream_crc != single_crc) {
       crc_mismatch = true;
     }
-    std::printf("%-8d %12.2f %9.2fx %12.4f %12.4f %12.4f %12.4f   0x%08x\n",
-                shards,
-                r.seconds > 0 ? static_cast<double>(r.ticks) / r.seconds : 0.0,
-                r.seconds > 0 ? single_seconds / r.seconds : 0.0, r.shard_busy,
-                r.shard_max, r.merge, r.route, r.stream_crc);
+    const double ticks_per_sec =
+        r.seconds > 0 ? static_cast<double>(r.ticks) / r.seconds : 0.0;
+    const double allocs_per_tick =
+        r.ticks > 0 ? static_cast<double>(r.allocs) / r.ticks : 0.0;
+    std::printf(
+        "%-8d %12.2f %9.2fx %12.4f %12.4f %12.4f %12.4f %14.1f   0x%08x\n",
+        shards, ticks_per_sec,
+        r.seconds > 0 ? single_seconds / r.seconds : 0.0, r.shard_busy,
+        r.shard_max, r.merge, r.route, allocs_per_tick, r.stream_crc);
+
+    report.BeginRow();
+    report.Value("shards", shards);
+    report.Value("ticks_per_sec", ticks_per_sec);
+    report.Value("speedup", r.seconds > 0 ? single_seconds / r.seconds : 0.0);
+    report.Value("shard_busy_seconds", r.shard_busy);
+    report.Value("shard_max_seconds", r.shard_max);
+    report.Value("merge_seconds", r.merge);
+    report.Value("route_seconds", r.route);
+    report.Value("allocs_per_tick", allocs_per_tick);
+    report.Value("stream_crc", r.stream_crc);
   }
 
   if (crc_mismatch) {
@@ -115,5 +138,5 @@ int main() {
     return 1;
   }
   std::printf("\nupdate streams byte-identical across all shard counts\n");
-  return 0;
+  return report.Write() ? 0 : 1;
 }

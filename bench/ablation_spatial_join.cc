@@ -11,6 +11,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench_main.h"
+
 #include <vector>
 
 #include "stq/common/random.h"
@@ -82,4 +84,4 @@ BENCHMARK(BM_NestedLoopJoin)
     ->Arg(10000)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+STQ_BENCHMARK_MAIN()

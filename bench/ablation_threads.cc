@@ -65,9 +65,15 @@ RunResult RunWorkload(const stq::Workload& workload, int workers) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   stq_bench::BenchScale scale = stq_bench::BenchScale::FromEnv();
   scale.num_queries = stq_bench::EnvSize("STQ_BENCH_QUERIES", 10000);
+
+  stq_bench::BenchReport report("ablation_threads", argc, argv);
+  stq_bench::ReportScale(&report, scale);
+  report.Param("query_side_length", 0.02);
+  report.Param("object_update_fraction", 0.5);
+  report.Param("seed", 5150);
 
   std::printf("Ablation: worker-thread scaling of the shared-execution tick\n");
   std::printf("objects=%zu queries=%zu T=5s ticks=%zu\n\n", scale.num_objects,
@@ -92,10 +98,20 @@ int main() {
     } else if (r.stream_crc != serial_crc) {
       crc_mismatch = true;
     }
+    const double ticks_per_sec =
+        r.seconds > 0 ? static_cast<double>(r.ticks) / r.seconds : 0.0;
     std::printf("%-8d %12.2f %9.2fx %12.4f %12.4f   0x%08x\n", workers,
-                r.seconds > 0 ? static_cast<double>(r.ticks) / r.seconds : 0.0,
+                ticks_per_sec,
                 r.seconds > 0 ? serial_seconds / r.seconds : 0.0,
                 r.parallel_seconds, r.apply_seconds, r.stream_crc);
+
+    report.BeginRow();
+    report.Value("workers", workers);
+    report.Value("ticks_per_sec", ticks_per_sec);
+    report.Value("speedup", r.seconds > 0 ? serial_seconds / r.seconds : 0.0);
+    report.Value("parallel_seconds", r.parallel_seconds);
+    report.Value("apply_seconds", r.apply_seconds);
+    report.Value("stream_crc", r.stream_crc);
   }
 
   if (crc_mismatch) {
@@ -103,5 +119,5 @@ int main() {
     return 1;
   }
   std::printf("\nupdate streams byte-identical across all worker counts\n");
-  return 0;
+  return report.Write() ? 0 : 1;
 }

@@ -9,9 +9,14 @@
 #ifndef STQ_BENCH_BENCH_COMMON_H_
 #define STQ_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 #include "stq/core/query_processor.h"
 #include "stq/gen/workload.h"
@@ -80,6 +85,147 @@ inline size_t CompleteAnswerBytes(const stq::QueryProcessor& qp) {
 }
 
 inline double ToKb(size_t bytes) { return static_cast<double>(bytes) / 1024.0; }
+
+// Machine-readable results: every benchmark binary accepts
+// `--json <path>` (or `--json=<path>`) and mirrors its printed series
+// into a JSON document of the form
+//
+//   {"bench": <name>, "params": {...}, "rows": [{...}, ...]}
+//
+// `params` holds the workload configuration, one `rows` entry per table
+// line (sweep point). Nothing is written unless the flag is present, so
+// the interactive table output stays the default.
+class BenchReport {
+ public:
+  BenchReport(const char* name, int argc, char** argv) : name_(name) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--json" && i + 1 < argc) {
+        path_ = argv[++i];
+      } else if (arg.rfind("--json=", 0) == 0) {
+        path_ = arg.substr(7);
+      }
+    }
+  }
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  ~BenchReport() { Write(); }
+
+  bool enabled() const { return !path_.empty(); }
+
+  template <typename T>
+  void Param(const char* key, T value) {
+    params_.emplace_back(key, Encode(value));
+  }
+  void Param(const char* key, const char* value) {
+    params_.emplace_back(key, Quoted(value));
+  }
+
+  void BeginRow() { rows_.emplace_back(); }
+  template <typename T>
+  void Value(const char* key, T value) {
+    rows_.back().emplace_back(key, Encode(value));
+  }
+  void Value(const char* key, const char* value) {
+    rows_.back().emplace_back(key, Quoted(value));
+  }
+
+  // Idempotent; also invoked by the destructor. Returns false (after
+  // printing the error) when the file cannot be written.
+  bool Write() {
+    if (!enabled() || written_) return true;
+    written_ = true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write bench JSON to %s\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": %s,\n  \"params\": ",
+                 Quoted(name_).c_str());
+    WriteFields(f, params_, "  ");
+    std::fprintf(f, ",\n  \"rows\": [");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "%s\n    ", i == 0 ? "" : ",");
+      WriteFields(f, rows_[i], "    ");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("bench JSON written to %s\n", path_.c_str());
+    return true;
+  }
+
+ private:
+  using Fields = std::vector<std::pair<std::string, std::string>>;
+
+  template <typename T>
+  static std::string Encode(T value) {
+    static_assert(std::is_arithmetic_v<T>, "use the const char* overload");
+    char buf[64];
+    if constexpr (std::is_floating_point_v<T>) {
+      // %.17g round-trips doubles; JSON has no Inf/NaN literals.
+      if (value != value || value == std::numeric_limits<T>::infinity() ||
+          value == -std::numeric_limits<T>::infinity()) {
+        return "null";
+      }
+      std::snprintf(buf, sizeof buf, "%.17g", static_cast<double>(value));
+    } else if constexpr (std::is_signed_v<T>) {
+      std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(value));
+    } else {
+      std::snprintf(buf, sizeof buf, "%llu",
+                    static_cast<unsigned long long>(value));
+    }
+    return buf;
+  }
+
+  static std::string Quoted(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  static void WriteFields(std::FILE* f, const Fields& fields,
+                          const char* indent) {
+    std::fprintf(f, "{");
+    for (size_t i = 0; i < fields.size(); ++i) {
+      std::fprintf(f, "%s\n%s  %s: %s", i == 0 ? "" : ",", indent,
+                   Quoted(fields[i].first).c_str(), fields[i].second.c_str());
+    }
+    std::fprintf(f, "\n%s}", indent);
+  }
+
+  std::string name_;
+  std::string path_;
+  Fields params_;
+  std::vector<Fields> rows_;
+  bool written_ = false;
+};
+
+// Adds the standard workload params to a report.
+inline void ReportScale(BenchReport* report, const BenchScale& scale) {
+  report->Param("num_objects", scale.num_objects);
+  report->Param("num_queries", scale.num_queries);
+  report->Param("num_ticks", scale.num_ticks);
+}
+
+// Mirrors the per-phase TickStats wall-time split (summed over a run)
+// and the allocation counter into the current row.
+inline void ReportTickStats(BenchReport* report, const stq::TickStats& stats) {
+  report->Value("removals_seconds", stats.removals_seconds);
+  report->Value("upserts_seconds", stats.upserts_seconds);
+  report->Value("query_changes_seconds", stats.query_changes_seconds);
+  report->Value("query_pass_seconds", stats.query_pass_seconds);
+  report->Value("object_match_seconds", stats.object_match_seconds);
+  report->Value("object_apply_seconds", stats.object_apply_seconds);
+  report->Value("knn_search_seconds", stats.knn_search_seconds);
+  report->Value("knn_apply_seconds", stats.knn_apply_seconds);
+  report->Value("heap_allocations", stats.heap_allocations);
+}
 
 }  // namespace stq_bench
 

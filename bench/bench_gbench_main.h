@@ -1,0 +1,55 @@
+// main() for the google-benchmark-based ablation binaries: translates
+// the repo-wide `--json <path>` flag (see BenchReport in bench_common.h)
+// into google-benchmark's JSON reporter so every bench binary shares one
+// machine-readable output convention. All other arguments pass through
+// to the framework untouched.
+//
+// Use STQ_BENCHMARK_MAIN() in place of BENCHMARK_MAIN().
+
+#ifndef STQ_BENCH_BENCH_GBENCH_MAIN_H_
+#define STQ_BENCH_BENCH_GBENCH_MAIN_H_
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+namespace stq_bench {
+
+inline int GBenchMainWithJson(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<size_t>(argc) + 2);
+  std::string json_path;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (i > 0 && arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (i > 0 && arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (!json_path.empty()) {
+    args.push_back("--benchmark_out=" + json_path);
+    args.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> argv2;
+  argv2.reserve(args.size());
+  for (std::string& a : args) argv2.push_back(a.data());
+  int argc2 = static_cast<int>(argv2.size());
+  benchmark::Initialize(&argc2, argv2.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace stq_bench
+
+#define STQ_BENCHMARK_MAIN()                         \
+  int main(int argc, char** argv) {                  \
+    return stq_bench::GBenchMainWithJson(argc, argv); \
+  }
+
+#endif  // STQ_BENCH_BENCH_GBENCH_MAIN_H_

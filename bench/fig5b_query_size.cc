@@ -14,9 +14,15 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   const stq_bench::BenchScale scale = stq_bench::BenchScale::FromEnv();
   constexpr double kUpdateRate = 0.5;
+
+  stq_bench::BenchReport report("fig5b_query_size", argc, argv);
+  stq_bench::ReportScale(&report, scale);
+  report.Param("object_update_fraction", kUpdateRate);
+  report.Param("tick_seconds", 5.0);
+  report.Param("seed", 909);
 
   std::printf("Figure 5(b): answer size vs. query side length\n");
   std::printf("objects=%zu queries=%zu update_rate=%.0f%% T=5s ticks=%zu\n\n",
@@ -37,17 +43,27 @@ int main() {
 
     double incremental_kb = 0.0;
     double complete_kb = 0.0;
+    stq::TickStats phase_sums;
     for (size_t i = 0; i < workload.ticks().size(); ++i) {
       workload.ApplyTick(&qp, i);
       const stq::TickResult tick = qp.EvaluateTick(workload.ticks()[i].time);
       incremental_kb += stq_bench::ToKb(tick.WireBytes(options.wire_cost));
       complete_kb += stq_bench::ToKb(stq_bench::CompleteAnswerBytes(qp));
+      phase_sums.heap_allocations += tick.stats.heap_allocations;
     }
     incremental_kb /= static_cast<double>(workload.ticks().size());
     complete_kb /= static_cast<double>(workload.ticks().size());
     std::printf("%-12.3f %18.1f %18.1f %9.1fx\n", side, incremental_kb,
                 complete_kb,
                 incremental_kb > 0 ? complete_kb / incremental_kb : 0.0);
+
+    report.BeginRow();
+    report.Value("side_length", side);
+    report.Value("incremental_kb", incremental_kb);
+    report.Value("complete_kb", complete_kb);
+    report.Value("allocs_per_tick",
+                 static_cast<double>(phase_sums.heap_allocations) /
+                     static_cast<double>(workload.ticks().size()));
   }
-  return 0;
+  return report.Write() ? 0 : 1;
 }

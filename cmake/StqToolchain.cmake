@@ -14,6 +14,9 @@ option(STQ_ENABLE_INVARIANT_CHECKS
        "Enable STQ_DCHECK and expensive invariant audits" OFF)
 option(STQ_LIBFUZZER
        "Build fuzz harnesses against libFuzzer (requires clang)" OFF)
+option(STQ_ALLOC_COUNTING
+       "Replace global operator new with a counting wrapper so TickStats \
+reports heap allocations per tick" ON)
 set(STQ_SANITIZE "" CACHE STRING
     "Comma/semicolon-separated sanitizers: address, undefined, thread, leak")
 
@@ -24,6 +27,18 @@ endif()
 
 if(STQ_ENABLE_INVARIANT_CHECKS)
   add_compile_definitions(STQ_ENABLE_INVARIANT_CHECKS)
+endif()
+
+if(STQ_ALLOC_COUNTING)
+  if(STQ_SANITIZE)
+    # The sanitizer runtimes interpose malloc themselves; stacking our
+    # operator-new replacement on top is legal but pointless there, and
+    # TSan in particular dislikes a second layer. Counting is a Release
+    # metric; sanitizer legs measure correctness, not allocations.
+    message(STATUS "stq: STQ_ALLOC_COUNTING disabled under sanitizers")
+  else()
+    add_compile_definitions(STQ_ALLOC_COUNTING)
+  endif()
 endif()
 
 if(STQ_SANITIZE)

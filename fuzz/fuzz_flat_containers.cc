@@ -1,0 +1,256 @@
+// Fuzzes FlatMap / FlatSet / SmallVector against their std counterparts.
+//
+// The input is interpreted as a little op program: each byte pair selects
+// an operation and a key drawn from a small universe (so inserts, erases,
+// probes and rehashes collide constantly — the regime where open
+// addressing with backward-shift deletion goes wrong if it can go wrong).
+// Every operation runs against both the flat container and a std oracle;
+// return values, sizes, membership and full contents must agree at every
+// step (via STQ_CHECK — a violation aborts the harness). Copy and move
+// round-trips are exercised in-program so clones are checked mid-history,
+// not just at quiescence.
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fuzz_harness.h"
+#include "stq/common/check.h"
+#include "stq/common/flat_hash.h"
+#include "stq/common/ids.h"
+#include "stq/common/small_vector.h"
+
+namespace {
+
+using stq::FlatMap;
+using stq::FlatSet;
+using stq::ObjectId;
+using stq::SmallVector;
+
+// Keys cluster in [1, 64] with an occasional far-away key so the id mixer
+// sees both dense and sparse patterns. Key 0 stays valid too.
+uint64_t KeyFromByte(uint8_t b) {
+  const uint64_t base = b & 63;
+  if ((b & 0xC0) == 0xC0) return base * 0x9E3779B97F4A7C15ull;  // sparse
+  return base;
+}
+
+void CheckMapAgainstOracle(const FlatMap<ObjectId, uint32_t>& map,
+                           const std::map<uint64_t, uint32_t>& oracle) {
+  STQ_CHECK(map.size() == oracle.size());
+  size_t visited = 0;
+  for (const auto& [key, value] : map) {
+    const auto it = oracle.find(static_cast<uint64_t>(key));
+    STQ_CHECK(it != oracle.end());
+    STQ_CHECK(it->second == value);
+    ++visited;
+  }
+  STQ_CHECK(visited == oracle.size());
+  for (const auto& [key, value] : oracle) {
+    const uint32_t* found = map.FindPtr(static_cast<ObjectId>(key));
+    STQ_CHECK(found != nullptr);
+    STQ_CHECK(*found == value);
+  }
+}
+
+void CheckSetAgainstOracle(const FlatSet<ObjectId>& set,
+                           const std::map<uint64_t, bool>& oracle) {
+  STQ_CHECK(set.size() == oracle.size());
+  size_t visited = 0;
+  for (ObjectId key : set) {
+    STQ_CHECK(oracle.count(static_cast<uint64_t>(key)) == 1);
+    ++visited;
+  }
+  STQ_CHECK(visited == oracle.size());
+  for (const auto& [key, unused] : oracle) {
+    STQ_CHECK(set.contains(static_cast<ObjectId>(key)));
+  }
+}
+
+void CheckVecAgainstOracle(const SmallVector<uint32_t, 4>& vec,
+                           const std::vector<uint32_t>& oracle) {
+  STQ_CHECK(vec.size() == oracle.size());
+  STQ_CHECK(std::equal(vec.begin(), vec.end(), oracle.begin()));
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  FlatMap<ObjectId, uint32_t> map;
+  std::map<uint64_t, uint32_t> map_oracle;
+  FlatSet<ObjectId> set;
+  std::map<uint64_t, bool> set_oracle;
+  SmallVector<uint32_t, 4> vec;
+  std::vector<uint32_t> vec_oracle;
+
+  uint32_t tick = 0;  // value payload; makes stale-slot reuse visible
+  for (size_t i = 0; i + 1 < size; i += 2) {
+    const uint8_t op = data[i];
+    const uint8_t arg = data[i + 1];
+    const uint64_t key = KeyFromByte(arg);
+    const ObjectId id = static_cast<ObjectId>(key);
+    ++tick;
+    switch (op % 16) {
+      case 0: {  // map try_emplace
+        const bool inserted = map.try_emplace(id, tick).second;
+        const bool want = map_oracle.emplace(key, tick).second;
+        STQ_CHECK(inserted == want);
+        break;
+      }
+      case 1: {  // map insert_or_assign
+        const bool inserted = map.insert_or_assign(id, tick).second;
+        const bool want = !map_oracle.count(key);
+        map_oracle[key] = tick;
+        STQ_CHECK(inserted == want);
+        break;
+      }
+      case 2: {  // map operator[] increment
+        map[id] += arg;
+        map_oracle[key] += arg;
+        break;
+      }
+      case 3: {  // map erase by key
+        STQ_CHECK(map.erase(id) == map_oracle.erase(key));
+        break;
+      }
+      case 4: {  // map point lookup
+        const uint32_t* found = map.FindPtr(id);
+        const auto it = map_oracle.find(key);
+        STQ_CHECK((found != nullptr) == (it != map_oracle.end()));
+        if (found != nullptr) STQ_CHECK(*found == it->second);
+        STQ_CHECK(map.contains(id) == (it != map_oracle.end()));
+        break;
+      }
+      case 5: {  // set insert
+        STQ_CHECK(set.insert(id).second == set_oracle.emplace(key, true).second);
+        break;
+      }
+      case 6: {  // set erase
+        STQ_CHECK(set.erase(id) == set_oracle.erase(key));
+        break;
+      }
+      case 7: {  // set membership
+        STQ_CHECK(set.contains(id) == (set_oracle.count(key) == 1));
+        STQ_CHECK(set.count(id) == set_oracle.count(key));
+        break;
+      }
+      case 8: {  // vector push_back
+        vec.push_back(tick);
+        vec_oracle.push_back(tick);
+        break;
+      }
+      case 9: {  // vector pop_back
+        if (!vec_oracle.empty()) {
+          STQ_CHECK(vec.back() == vec_oracle.back());
+          vec.pop_back();
+          vec_oracle.pop_back();
+        }
+        break;
+      }
+      case 10: {  // vector positional insert / erase
+        if (vec_oracle.empty() || (arg & 1)) {
+          const size_t pos = vec_oracle.empty() ? 0 : arg % (vec_oracle.size() + 1);
+          vec.insert(vec.begin() + pos, tick);
+          vec_oracle.insert(vec_oracle.begin() + pos, tick);
+        } else {
+          const size_t pos = arg % vec_oracle.size();
+          vec.erase(vec.begin() + pos);
+          vec_oracle.erase(vec_oracle.begin() + pos);
+        }
+        break;
+      }
+      case 11: {  // clear one container (scratch-reuse pattern)
+        switch (arg % 3) {
+          case 0: map.clear(); map_oracle.clear(); break;
+          case 1: set.clear(); set_oracle.clear(); break;
+          default: vec.clear(); vec_oracle.clear(); break;
+        }
+        break;
+      }
+      case 12: {  // reserve (must be content-neutral)
+        map.reserve(arg);
+        set.reserve(arg);
+        vec.reserve(arg % 128);
+        break;
+      }
+      case 13: {  // copy round-trip mid-history
+        FlatMap<ObjectId, uint32_t> map_copy = map;
+        CheckMapAgainstOracle(map_copy, map_oracle);
+        FlatSet<ObjectId> set_copy = set;
+        CheckSetAgainstOracle(set_copy, set_oracle);
+        SmallVector<uint32_t, 4> vec_copy = vec;
+        CheckVecAgainstOracle(vec_copy, vec_oracle);
+        break;
+      }
+      case 14: {  // move round-trip; moved-to must equal the original
+        FlatSet<ObjectId> moved = std::move(set);
+        CheckSetAgainstOracle(moved, set_oracle);
+        set = std::move(moved);
+        SmallVector<uint32_t, 4> vmoved = std::move(vec);
+        CheckVecAgainstOracle(vmoved, vec_oracle);
+        vec = std::move(vmoved);
+        break;
+      }
+      default: {  // vector resize
+        const size_t n = arg % 64;
+        vec.resize(n);
+        vec_oracle.resize(n);
+        break;
+      }
+    }
+    STQ_CHECK(map.size() == map_oracle.size());
+    STQ_CHECK(set.size() == set_oracle.size());
+    STQ_CHECK(vec.size() == vec_oracle.size());
+  }
+
+  CheckMapAgainstOracle(map, map_oracle);
+  CheckSetAgainstOracle(set, set_oracle);
+  CheckVecAgainstOracle(vec, vec_oracle);
+  return 0;
+}
+
+void StqFuzzSeedCorpus(std::vector<std::string>* seeds) {
+  // Insert/erase churn on a colliding key range: the backward-shift
+  // deletion stress test.
+  std::string churn;
+  for (int round = 0; round < 64; ++round) {
+    churn.push_back(static_cast<char>(round % 2 == 0 ? 0 : 3));  // map ins/del
+    churn.push_back(static_cast<char>(round * 7));
+    churn.push_back(static_cast<char>(round % 2 == 0 ? 5 : 6));  // set ins/del
+    churn.push_back(static_cast<char>(round * 11));
+  }
+  seeds->push_back(churn);
+
+  // Growth past every rehash boundary, then drain.
+  std::string grow;
+  for (int k = 0; k < 200; ++k) {
+    grow.push_back(0);
+    grow.push_back(static_cast<char>(k));
+  }
+  for (int k = 0; k < 200; ++k) {
+    grow.push_back(3);
+    grow.push_back(static_cast<char>(k));
+  }
+  seeds->push_back(grow);
+
+  // SmallVector inline->heap spill and positional churn.
+  std::string spill;
+  for (int k = 0; k < 32; ++k) {
+    spill.push_back(8);
+    spill.push_back(static_cast<char>(k));
+    spill.push_back(10);
+    spill.push_back(static_cast<char>(k * 3));
+  }
+  spill.push_back(13);
+  spill.push_back(0);
+  seeds->push_back(spill);
+
+  // Clones and moves interleaved with mutation.
+  seeds->push_back(std::string("\x00\x01\x0d\x00\x05\x02\x0e\x00\x02\x03"
+                               "\x0d\x00\x03\x01\x0e\x00\x0b\x00",
+                               18));
+  seeds->push_back(std::string());
+}

@@ -1,0 +1,128 @@
+// Global operator new/delete replacement counting heap allocations.
+//
+// The whole override set lives in this one translation unit, together
+// with AllocCount(): any object file that calls AllocCount() (the tick
+// loop does) pulls this archive member into the link, and with it the
+// replacement operators — so the counter can never silently read zero
+// because the overrides failed to link.
+//
+// The wrappers route through malloc/aligned_alloc and count with one
+// relaxed atomic increment; frees are not counted (the metric is
+// allocations, not live bytes). Sized and aligned delete forms all
+// funnel into the same free so new/delete pairing stays consistent under
+// ASan.
+
+#include "stq/common/alloc_stats.h"
+
+#ifdef STQ_ALLOC_COUNTING
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<uint64_t> g_alloc_count{0};
+
+void* CountedAlloc(size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  // malloc(0) may return null; operator new must not.
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void* CountedAlignedAlloc(size_t size, size_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  // aligned_alloc requires size to be a multiple of the alignment.
+  size_t rounded = (size + align - 1) & ~(align - 1);
+  if (rounded == 0) rounded = align;
+  return std::aligned_alloc(align, rounded);
+}
+
+}  // namespace
+
+namespace stq {
+
+uint64_t AllocCount() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+bool AllocCountingEnabled() { return true; }
+
+}  // namespace stq
+
+void* operator new(size_t size) {
+  void* p = CountedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](size_t size) {
+  void* p = CountedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+
+void* operator new[](size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+
+void* operator new(size_t size, std::align_val_t align) {
+  void* p = CountedAlignedAlloc(size, static_cast<size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](size_t size, std::align_val_t align) {
+  void* p = CountedAlignedAlloc(size, static_cast<size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return CountedAlignedAlloc(size, static_cast<size_t>(align));
+}
+
+void* operator new[](size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return CountedAlignedAlloc(size, static_cast<size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#else  // !STQ_ALLOC_COUNTING
+
+namespace stq {
+
+uint64_t AllocCount() { return 0; }
+bool AllocCountingEnabled() { return false; }
+
+}  // namespace stq
+
+#endif  // STQ_ALLOC_COUNTING

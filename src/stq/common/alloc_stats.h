@@ -1,0 +1,32 @@
+// Process-wide heap-allocation counter, the backing for TickStats'
+// `heap_allocations` metric ("allocations per tick").
+//
+// When the build enables STQ_ALLOC_COUNTING (cmake option, default ON),
+// alloc_stats.cc replaces the global operator new/delete family with
+// thin wrappers over malloc that bump one relaxed atomic per allocation.
+// The counter covers every thread in the process — including the tick's
+// worker pool — so EvaluateTick can report allocations per tick as
+// end-count minus start-count with no per-thread plumbing.
+//
+// When the option is OFF, AllocCountingEnabled() is false and
+// AllocCount() is frozen at zero; TickStats then reports 0 allocations
+// and the allocation-budget test skips itself.
+
+#ifndef STQ_COMMON_ALLOC_STATS_H_
+#define STQ_COMMON_ALLOC_STATS_H_
+
+#include <cstdint>
+
+namespace stq {
+
+// Total heap allocations (operator new calls, all sizes, all threads)
+// since process start. Monotone; relaxed ordering — intended for
+// before/after deltas around a phase, not for synchronization.
+uint64_t AllocCount();
+
+// True when the build replaces operator new and AllocCount() ticks.
+bool AllocCountingEnabled();
+
+}  // namespace stq
+
+#endif  // STQ_COMMON_ALLOC_STATS_H_

@@ -12,7 +12,8 @@ Rect CircleEvaluator::FootprintOf(const QueryRecord& q, const Rect& bounds) {
 
 void CircleEvaluator::OnCircleMoved(QueryRecord* q, std::vector<Update>* out) {
   // Negatives: members that fell outside the new disk.
-  std::vector<ObjectId> leavers;
+  std::vector<ObjectId>& leavers = leavers_scratch_;
+  leavers.clear();
   for (ObjectId oid : q->answer) {
     const ObjectRecord* o = state_.objects->Find(oid);
     STQ_DCHECK(o != nullptr);

@@ -42,6 +42,8 @@ class CircleEvaluator {
 
  private:
   EngineState state_;
+  // Tick-scoped scratch (the query pass is serial per engine).
+  std::vector<ObjectId> leavers_scratch_;
 };
 
 }  // namespace stq

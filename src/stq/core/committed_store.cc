@@ -3,28 +3,26 @@
 namespace stq {
 
 namespace {
-const std::unordered_set<ObjectId>& EmptySet() {
-  static const auto* kEmpty = new std::unordered_set<ObjectId>();
+const FlatSet<ObjectId>& EmptySet() {
+  static const auto* kEmpty = new FlatSet<ObjectId>();
   return *kEmpty;
 }
 }  // namespace
 
-void CommittedStore::Commit(QueryId qid,
-                            const std::unordered_set<ObjectId>& answer) {
+void CommittedStore::Commit(QueryId qid, const FlatSet<ObjectId>& answer) {
   map_[qid] = answer;
 }
 
 void CommittedStore::Erase(QueryId qid) { map_.erase(qid); }
 
-const std::unordered_set<ObjectId>& CommittedStore::Committed(
-    QueryId qid) const {
+const FlatSet<ObjectId>& CommittedStore::Committed(QueryId qid) const {
   auto it = map_.find(qid);
   return it == map_.end() ? EmptySet() : it->second;
 }
 
 std::vector<Update> CommittedStore::DiffAgainstCommitted(
-    QueryId qid, const std::unordered_set<ObjectId>& current) const {
-  const std::unordered_set<ObjectId>& committed = Committed(qid);
+    QueryId qid, const FlatSet<ObjectId>& current) const {
+  const FlatSet<ObjectId>& committed = Committed(qid);
   std::vector<Update> diff;
   for (ObjectId oid : committed) {
     if (!current.contains(oid)) diff.push_back(Update::Negative(qid, oid));

@@ -11,10 +11,9 @@
 #define STQ_CORE_COMMITTED_STORE_H_
 
 #include <cstddef>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "stq/common/flat_hash.h"
 #include "stq/common/ids.h"
 #include "stq/core/types.h"
 
@@ -28,7 +27,7 @@ class CommittedStore {
 
   // Records `answer` as the committed answer of `qid`, replacing any
   // previous commit.
-  void Commit(QueryId qid, const std::unordered_set<ObjectId>& answer);
+  void Commit(QueryId qid, const FlatSet<ObjectId>& answer);
 
   // Forgets the query entirely (on unregistration).
   void Erase(QueryId qid);
@@ -36,13 +35,13 @@ class CommittedStore {
   bool HasCommit(QueryId qid) const { return map_.contains(qid); }
 
   // The committed answer; empty when never committed.
-  const std::unordered_set<ObjectId>& Committed(QueryId qid) const;
+  const FlatSet<ObjectId>& Committed(QueryId qid) const;
 
   // The recovery delta: the updates that transform the committed answer
   // into `current` — negatives for committed-only objects, positives for
   // current-only objects. Canonically ordered.
-  std::vector<Update> DiffAgainstCommitted(
-      QueryId qid, const std::unordered_set<ObjectId>& current) const;
+  std::vector<Update> DiffAgainstCommitted(QueryId qid,
+                                           const FlatSet<ObjectId>& current) const;
 
   size_t size() const { return map_.size(); }
 
@@ -52,7 +51,7 @@ class CommittedStore {
   }
 
  private:
-  std::unordered_map<QueryId, std::unordered_set<ObjectId>> map_;
+  FlatMap<QueryId, FlatSet<ObjectId>> map_;
 };
 
 }  // namespace stq

@@ -242,7 +242,7 @@ AuditReport InvariantAuditor::AuditServer(const Server& server) const {
   // (unregistration erases the commit).
   std::vector<QueryId> committed_qids;
   server.committed().ForEach(
-      [&](QueryId qid, const std::unordered_set<ObjectId>&) {
+      [&](QueryId qid, const FlatSet<ObjectId>&) {
         committed_qids.push_back(qid);
       });
   std::sort(committed_qids.begin(), committed_qids.end());

@@ -20,7 +20,9 @@ std::vector<KnnEvaluator::Neighbor> KnnEvaluator::Search(const Point& center,
   // Max-heap of the k best candidates found so far (top = worst kept).
   std::priority_queue<Neighbor> best;
   // Predictive objects are clipped into several cells; visit each id once.
-  std::unordered_set<ObjectId> seen;
+  // Local (not member scratch): Search runs concurrently across pool
+  // workers, so per-call state is the thread-safe choice.
+  FlatSet<ObjectId> seen;
 
   const CellCoord cc = grid.CellOf(center);
   const Rect& bounds = grid.bounds();
@@ -84,12 +86,14 @@ std::vector<KnnEvaluator::Neighbor> KnnEvaluator::Search(const Point& center,
 void KnnEvaluator::ApplyAnswer(QueryRecord* q,
                                const std::vector<Neighbor>& neighbors,
                                std::vector<Update>* out) {
-  std::unordered_set<ObjectId> fresh;
+  FlatSet<ObjectId>& fresh = fresh_scratch_;
+  fresh.clear();
   fresh.reserve(neighbors.size());
   for (const Neighbor& n : neighbors) fresh.insert(n.id);
 
   // Negatives: previous members no longer among the k nearest.
-  std::vector<ObjectId> leavers;
+  std::vector<ObjectId>& leavers = leavers_scratch_;
+  leavers.clear();
   for (ObjectId oid : q->answer) {
     if (!fresh.contains(oid)) leavers.push_back(oid);
   }
@@ -144,7 +148,8 @@ size_t KnnEvaluator::ReevaluateDirty(std::vector<Update>* out,
 std::vector<KnnEvaluator::DirtyAnswer> KnnEvaluator::SearchDirty(
     ThreadPool* pool) {
   // Deterministic processing order regardless of hash iteration.
-  std::vector<QueryId> ids(dirty_.begin(), dirty_.end());
+  std::vector<QueryId>& ids = dirty_ids_scratch_;
+  ids.assign(dirty_.begin(), dirty_.end());
   std::sort(ids.begin(), ids.end());
   dirty_.clear();
 

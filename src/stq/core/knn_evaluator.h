@@ -14,9 +14,9 @@
 #define STQ_CORE_KNN_EVALUATOR_H_
 
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
+#include "stq/common/flat_hash.h"
 #include "stq/common/thread_pool.h"
 #include "stq/core/engine_state.h"
 
@@ -80,7 +80,14 @@ class KnnEvaluator {
                    std::vector<Update>* out);
 
   EngineState state_;
-  std::unordered_set<QueryId> dirty_;
+  FlatSet<QueryId> dirty_;
+
+  // Tick-scoped scratch, reused across ReevaluateDirty calls so the
+  // steady state stops allocating (see DESIGN.md, "Memory layout &
+  // allocation discipline").
+  std::vector<QueryId> dirty_ids_scratch_;
+  FlatSet<ObjectId> fresh_scratch_;
+  std::vector<ObjectId> leavers_scratch_;
 };
 
 }  // namespace stq

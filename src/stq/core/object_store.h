@@ -11,11 +11,11 @@
 #define STQ_CORE_OBJECT_STORE_H_
 
 #include <cstddef>
-#include <unordered_map>
-#include <vector>
 
 #include "stq/common/clock.h"
+#include "stq/common/flat_hash.h"
 #include "stq/common/ids.h"
+#include "stq/common/small_vector.h"
 #include "stq/geo/geometry.h"
 #include "stq/geo/point.h"
 #include "stq/geo/segment.h"
@@ -35,8 +35,9 @@ struct ObjectRecord {
   Segment footprint;
 
   // QList: ids of the queries whose answer currently contains this
-  // object. Kept sorted; small (answers overlap few queries per object).
-  std::vector<QueryId> queries;
+  // object. Kept sorted; small (answers overlap few queries per object),
+  // so the common case lives inline in the record.
+  SmallVector<QueryId, 4> queries;
 
   Trajectory trajectory() const { return Trajectory{loc, vel, t}; }
 };
@@ -74,7 +75,7 @@ class ObjectStore {
   static bool HasQuery(const ObjectRecord& rec, QueryId q);
 
  private:
-  std::unordered_map<ObjectId, ObjectRecord> map_;
+  FlatMap<ObjectId, ObjectRecord> map_;
 };
 
 }  // namespace stq

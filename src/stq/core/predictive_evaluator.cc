@@ -1,7 +1,6 @@
 #include "stq/core/predictive_evaluator.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "stq/common/check.h"
 #include "stq/geo/geometry.h"
@@ -23,7 +22,8 @@ void PredictiveEvaluator::OnQueryRegionChanged(QueryRecord* q,
                                                std::vector<Update>* out) {
   // Negatives: members whose trajectory no longer satisfies the new
   // region within the window.
-  std::vector<ObjectId> leavers;
+  std::vector<ObjectId>& leavers = leavers_scratch_;
+  leavers.clear();
   for (ObjectId oid : q->answer) {
     const ObjectRecord* o = state_.objects->Find(oid);
     STQ_DCHECK(o != nullptr);
@@ -38,8 +38,10 @@ void PredictiveEvaluator::OnQueryRegionChanged(QueryRecord* q,
   // footprint crosses a cell overlapping the difference — candidates from
   // those cells suffice. The admission test runs against the full new
   // region (the hit instant may lie inside A_new ∩ A_old).
-  std::unordered_set<ObjectId> tested;
-  for (const Rect& piece : RectDifference(q->region, old_region)) {
+  FlatSet<ObjectId>& tested = tested_scratch_;
+  tested.clear();
+  RectDifference(q->region, old_region, &pieces_scratch_);
+  for (const Rect& piece : pieces_scratch_) {
     state_.grid->ForEachObjectCandidate(piece, [&](ObjectId oid) {
       if (!tested.insert(oid).second) return;
       ObjectRecord* o = state_.objects->FindMutable(oid);

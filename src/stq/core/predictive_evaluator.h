@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "stq/common/flat_hash.h"
 #include "stq/core/engine_state.h"
 
 namespace stq {
@@ -35,6 +36,10 @@ class PredictiveEvaluator {
 
  private:
   EngineState state_;
+  // Tick-scoped scratch (the query pass is serial per engine).
+  std::vector<ObjectId> leavers_scratch_;
+  std::vector<Rect> pieces_scratch_;
+  FlatSet<ObjectId> tested_scratch_;
 };
 
 }  // namespace stq

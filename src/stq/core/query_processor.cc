@@ -7,6 +7,7 @@
 #include <sstream>
 #include <utility>
 
+#include "stq/common/alloc_stats.h"
 #include "stq/common/check.h"
 #include "stq/core/invariant_auditor.h"
 #include "stq/core/sharded_server.h"
@@ -370,9 +371,10 @@ void QueryProcessor::ApplyObjectRemovals(const std::vector<ObjectId>& removals,
     if (history_ != nullptr) history_->RecordRemoval(id, now);
     ObjectRecord* o = objects_.FindMutable(id);
     STQ_CHECK(o != nullptr) << "buffered removal of unknown object " << id;
-    // Ship negatives for every answer the object participated in; a k-NN
-    // query losing a member must refill from the grid.
-    const std::vector<QueryId> memberships = o->queries;
+    // Ship negatives for every answer the object participated in (copied:
+    // SetMembership edits the QList under our feet); a k-NN query losing
+    // a member must refill from the grid.
+    const auto memberships = o->queries;
     for (QueryId qid : memberships) {
       QueryRecord* q = queries_.FindMutable(qid);
       STQ_DCHECK(q != nullptr);
@@ -581,7 +583,7 @@ void QueryProcessor::MatchObjectShard(const std::vector<ObjectId>& moved,
   // Read-only over the grid and both stores: every decision is recorded
   // as a delta intent and replayed later by ApplyMatchDeltas. Other
   // shards run this concurrently against the same state.
-  std::vector<QueryId> candidates;
+  std::vector<QueryId>& candidates = out->candidates;
   for (size_t i = begin; i < end; ++i) {
     const ObjectId oid = moved[i];
     const ObjectRecord* o = objects_.Find(oid);
@@ -652,7 +654,7 @@ void QueryProcessor::MatchObjectShard(const std::vector<ObjectId>& moved,
   }
 }
 
-void QueryProcessor::ApplyMatchDeltas(const std::vector<MatchOutput>& outputs,
+void QueryProcessor::ApplyMatchDeltas(std::vector<MatchOutput>& outputs,
                                       std::vector<Update>* out) {
   // Shard order equals `moved` order, so this replay emits the same
   // update sequence the serial pass would have; SetMembership makes
@@ -672,7 +674,9 @@ void QueryProcessor::RunObjectPass(const std::vector<ObjectId>& moved,
                                    std::vector<Update>* out,
                                    TickStats* stats) {
   const int shards = pool_ == nullptr ? 1 : pool_->num_workers();
-  std::vector<MatchOutput> outputs(static_cast<size_t>(shards));
+  std::vector<MatchOutput>& outputs = scratch_.match_outputs;
+  outputs.resize(static_cast<size_t>(shards));
+  for (MatchOutput& m : outputs) m.clear();
   {
     PhaseTimer timer(&stats->object_match_seconds);
     if (pool_ != nullptr) {
@@ -697,12 +701,16 @@ TickResult QueryProcessor::EvaluateTick(Timestamp now) {
   }
   last_tick_time_ = now;
 
+  const uint64_t allocs_before = AllocCount();
+
   TickResult result;
   result.time = now;
 
-  std::vector<PendingObjectUpsert> upserts;
-  std::vector<ObjectId> removals;
-  std::vector<PendingQueryChange> query_changes;
+  // The tick's working vectors live in scratch_ and keep their capacity
+  // across ticks; Drain clears them before refilling.
+  std::vector<PendingObjectUpsert>& upserts = scratch_.upserts;
+  std::vector<ObjectId>& removals = scratch_.removals;
+  std::vector<PendingQueryChange>& query_changes = scratch_.query_changes;
   buffer_.Drain(&upserts, &removals, &query_changes);
 
   // Deterministic processing order independent of hash-map iteration.
@@ -717,9 +725,12 @@ TickResult QueryProcessor::EvaluateTick(Timestamp now) {
             });
 
   std::vector<Update>* out = &result.updates;
-  std::vector<ObjectId> moved;
-  std::vector<std::pair<QueryId, Rect>> changed_rects;
-  std::vector<QueryId> moved_circles;
+  std::vector<ObjectId>& moved = scratch_.moved;
+  std::vector<std::pair<QueryId, Rect>>& changed_rects = scratch_.changed_rects;
+  std::vector<QueryId>& moved_circles = scratch_.moved_circles;
+  moved.clear();
+  changed_rects.clear();
+  moved_circles.clear();
 
   // Phase 1: removals leave the engine (negatives for their memberships).
   {
@@ -766,6 +777,7 @@ TickResult QueryProcessor::EvaluateTick(Timestamp now) {
       ++result.stats.negative_updates;
     }
   }
+  result.stats.heap_allocations = AllocCount() - allocs_before;
   return result;
 }
 
@@ -905,8 +917,7 @@ const HistoryStore* QueryProcessor::history() const {
   return sharded_ != nullptr ? sharded_->history() : history_.get();
 }
 
-bool QueryProcessor::GetAnswerSet(QueryId id,
-                                  std::unordered_set<ObjectId>* out) const {
+bool QueryProcessor::GetAnswerSet(QueryId id, FlatSet<ObjectId>* out) const {
   if (sharded_ != nullptr) return sharded_->GetAnswerSet(id, out);
   out->clear();
   const QueryRecord* q = queries_.Find(id);

@@ -31,9 +31,9 @@
 
 #include <functional>
 #include <memory>
-#include <unordered_set>
 #include <vector>
 
+#include "stq/common/flat_hash.h"
 #include "stq/common/result.h"
 #include "stq/common/status.h"
 #include "stq/common/thread_pool.h"
@@ -170,7 +170,7 @@ class QueryProcessor {
   Result<std::vector<ObjectId>> CurrentAnswer(QueryId id) const;
 
   // The committed answer as a set; false when the query is unknown.
-  bool GetAnswerSet(QueryId id, std::unordered_set<ObjectId>* out) const;
+  bool GetAnswerSet(QueryId id, FlatSet<ObjectId>* out) const;
 
   // Exact k nearest neighbours of `center` over the current object
   // population, sorted by (distance^2, id). Empty when k < 1.
@@ -255,11 +255,36 @@ class QueryProcessor {
   struct MatchOutput {
     std::vector<MatchDelta> deltas;
     std::vector<QueryId> knn_dirty;
+    // Per-shard candidate scratch for CollectQueriesInRect; lives here so
+    // its capacity survives across ticks with the rest of the output.
+    std::vector<QueryId> candidates;
+
+    void clear() {
+      deltas.clear();
+      knn_dirty.clear();
+      candidates.clear();
+    }
   };
   void MatchObjectShard(const std::vector<ObjectId>& moved, size_t begin,
                         size_t end, MatchOutput* out) const;
-  void ApplyMatchDeltas(const std::vector<MatchOutput>& outputs,
+  void ApplyMatchDeltas(std::vector<MatchOutput>& outputs,
                         std::vector<Update>* out);
+
+  // Tick-scoped scratch buffers, owned by the processor and reused across
+  // EvaluateTick calls so a steady-state tick performs no per-element
+  // allocation (capacities converge to the workload's high-water mark;
+  // see DESIGN.md, "Memory layout & allocation discipline"). Cleared at
+  // the start of each use — no state carries across ticks.
+  struct TickScratch {
+    std::vector<PendingObjectUpsert> upserts;
+    std::vector<ObjectId> removals;
+    std::vector<PendingQueryChange> query_changes;
+    std::vector<ObjectId> moved;
+    std::vector<std::pair<QueryId, Rect>> changed_rects;
+    std::vector<QueryId> moved_circles;
+    // One MatchOutput per matching shard; each keeps its delta capacity.
+    std::vector<MatchOutput> match_outputs;
+  };
 
   // Highest report timestamp known (stored or pending) for the object, or
   // -infinity when unknown.
@@ -288,6 +313,7 @@ class QueryProcessor {
   KnnEvaluator knn_;
   PredictiveEvaluator predictive_;
   CircleEvaluator circle_;
+  TickScratch scratch_;
   Timestamp last_tick_time_ = 0.0;
   // Non-null iff options.num_shards > 1; every public entry point then
   // delegates here and the single-grid members above stay empty.

@@ -14,11 +14,10 @@
 
 #include <cstddef>
 #include <limits>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "stq/common/clock.h"
+#include "stq/common/flat_hash.h"
 #include "stq/common/ids.h"
 #include "stq/geo/circle.h"
 #include "stq/geo/point.h"
@@ -62,8 +61,10 @@ struct QueryRecord {
   // when the query has no grid stubs yet.
   Rect grid_footprint;
 
-  // The answer currently reported to the client.
-  std::unordered_set<ObjectId> answer;
+  // The answer currently reported to the client. Iteration order of the
+  // flat set is history-dependent; every externally visible consumer
+  // sorts (SortedAnswer, the update canonicalizer), so it never leaks.
+  FlatSet<ObjectId> answer;
 
   // Answer as a sorted vector (for deterministic output and tests).
   std::vector<ObjectId> SortedAnswer() const;
@@ -94,7 +95,7 @@ class QueryStore {
   }
 
  private:
-  std::unordered_map<QueryId, QueryRecord> map_;
+  FlatMap<QueryId, QueryRecord> map_;
 };
 
 }  // namespace stq

@@ -11,7 +11,8 @@ void RangeEvaluator::OnQueryRegionChanged(QueryRecord* q,
                                           std::vector<Update>* out) {
   // Negative updates: answer members that fell out of the new region
   // (i.e., lie in A_old - A_new; membership implies they were in A_old).
-  std::vector<ObjectId> leavers;
+  std::vector<ObjectId>& leavers = leavers_scratch_;
+  leavers.clear();
   for (ObjectId oid : q->answer) {
     const ObjectRecord* o = state_.objects->Find(oid);
     STQ_DCHECK(o != nullptr) << "answer references missing object " << oid;
@@ -23,7 +24,8 @@ void RangeEvaluator::OnQueryRegionChanged(QueryRecord* q,
 
   // Positive updates: only A_new - A_old must be evaluated against the
   // grid; anything inside A_new ∩ A_old was already reported.
-  for (const Rect& piece : RectDifference(q->region, old_region)) {
+  RectDifference(q->region, old_region, &pieces_scratch_);
+  for (const Rect& piece : pieces_scratch_) {
     state_.grid->ForEachObjectCandidate(piece, [&](ObjectId oid) {
       ObjectRecord* o = state_.objects->FindMutable(oid);
       STQ_DCHECK(o != nullptr);

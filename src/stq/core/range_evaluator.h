@@ -35,6 +35,11 @@ class RangeEvaluator {
 
  private:
   EngineState state_;
+  // Tick-scoped scratch (the query pass is serial per engine): reused
+  // across OnQueryRegionChanged calls so steady-state ticks do not
+  // allocate per moved query.
+  std::vector<ObjectId> leavers_scratch_;
+  std::vector<Rect> pieces_scratch_;
 };
 
 }  // namespace stq

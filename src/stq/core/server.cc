@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <sstream>
-#include <unordered_set>
 
 #include "stq/common/check.h"
+#include "stq/common/flat_hash.h"
 #include "stq/core/invariant_auditor.h"
 
 namespace stq {
@@ -55,7 +55,7 @@ Result<Server::Delivery> Server::ReconnectClient(ClientId cid) {
   std::vector<QueryId> qids = it->second.queries;
   std::sort(qids.begin(), qids.end());
   const WireCostModel& cost = options_.processor.wire_cost;
-  std::unordered_set<ObjectId> answer_set;
+  FlatSet<ObjectId> answer_set;
   for (QueryId qid : qids) {
     if (!processor_.GetAnswerSet(qid, &answer_set)) continue;
     switch (options_.recovery) {
@@ -131,7 +131,7 @@ Status Server::RegisterPredictiveQuery(QueryId qid, ClientId cid,
 }
 
 void Server::CommitCurrent(QueryId qid) {
-  std::unordered_set<ObjectId> answer;
+  FlatSet<ObjectId> answer;
   if (processor_.GetAnswerSet(qid, &answer)) committed_.Commit(qid, answer);
 }
 
@@ -209,8 +209,7 @@ Status Server::AdoptQuery(QueryId qid, ClientId cid) {
 
 void Server::RestoreCommitted(QueryId qid,
                               const std::vector<ObjectId>& answer) {
-  committed_.Commit(qid,
-                    std::unordered_set<ObjectId>(answer.begin(), answer.end()));
+  committed_.Commit(qid, FlatSet<ObjectId>(answer.begin(), answer.end()));
 }
 
 std::optional<ClientId> Server::OwnerOf(QueryId qid) const {

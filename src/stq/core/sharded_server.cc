@@ -7,6 +7,7 @@
 #include <sstream>
 #include <utility>
 
+#include "stq/common/alloc_stats.h"
 #include "stq/common/check.h"
 #include "stq/geo/geometry.h"
 
@@ -75,6 +76,31 @@ struct Reset {
 
 }  // namespace
 
+// Tick-scoped working buffers, reused across EvaluateTick calls. Every
+// container is cleared (never shrunk) before use, so the steady-state
+// tick allocates only when a buffer outgrows its previous high-water
+// mark. Defined here because MergeEntry/Reset/KnnEvent are local to this
+// translation unit.
+struct ShardedEngine::TickScratch {
+  std::vector<PendingObjectUpsert> upserts;
+  std::vector<ObjectId> removals;
+  std::vector<PendingQueryChange> query_changes;
+  std::vector<char> touched;
+  std::vector<MergeEntry> entries;
+  std::vector<Reset> resets;
+  FlatSet<QueryId> reset_qids;
+  FlatSet<ObjectId> global_removals;
+  std::vector<FlatSet<ObjectId>> removed_from;
+  std::vector<KnnEvent> events;
+  std::vector<int> ticked;
+  std::vector<TickResult> shard_results;
+  std::vector<double> shard_walls;
+  ShardList route_ns;  // routing fan-out of the report being dispatched
+  std::vector<QueryId> knn_dirty_ids;
+};
+
+ShardedEngine::~ShardedEngine() = default;
+
 ShardedEngine::ShardedEngine(const QueryProcessorOptions& options)
     : options_(options),
       map_(options.bounds, options.num_shards),
@@ -106,6 +132,7 @@ ShardedEngine::ShardedEngine(const QueryProcessorOptions& options)
     so.location_clamp_bounds = options_.bounds;
     shards_.push_back(std::make_unique<QueryProcessor>(so));
   }
+  scratch_ = std::make_unique<TickScratch>();
 }
 
 // ---------------------------------------------------------------------------
@@ -370,26 +397,33 @@ Status ShardedEngine::UnregisterQuery(QueryId id) {
 // Routing
 // ---------------------------------------------------------------------------
 
-std::vector<int> ShardedEngine::RouteShardsOf(const RoutedQuery& rq) const {
+void ShardedEngine::RouteShardsOf(const RoutedQuery& rq,
+                                  ShardList* out) const {
+  out->clear();
   switch (rq.kind) {
     case QueryKind::kRange:
     case QueryKind::kPredictiveRange:
-      return map_.ShardsOverlapping(rq.region);
+      map_.ShardsOverlapping(rq.region, out);
+      break;
     case QueryKind::kCircleRange:
-      return map_.ShardsOverlapping(ClampRegion(rq.circle.BoundingBox()));
+      map_.ShardsOverlapping(ClampRegion(rq.circle.BoundingBox()), out);
+      break;
     case QueryKind::kKnn:
-      return {};  // router-owned
+      break;  // router-owned
   }
-  return {};
 }
 
-std::vector<int> ShardedEngine::RouteShardsOfObject(
-    const PendingObjectUpsert& u) const {
-  if (!u.predictive) return {map_.HomeOf(u.loc)};
+void ShardedEngine::RouteShardsOfObject(const PendingObjectUpsert& u,
+                                        ShardList* out) const {
+  if (!u.predictive) {
+    out->clear();
+    out->push_back(map_.HomeOf(u.loc));
+    return;
+  }
   const Rect bbox = Trajectory{u.loc, u.vel, u.t}
                         .FootprintBetween(u.t, u.t + options_.prediction_horizon)
                         .BoundingBox();
-  return map_.ShardsOverlapping(bbox);
+  map_.ShardsOverlapping(bbox, out);
 }
 
 // ---------------------------------------------------------------------------
@@ -403,14 +437,17 @@ TickResult ShardedEngine::EvaluateTick(Timestamp now) {
   }
   last_tick_time_ = now;
 
+  const uint64_t allocs_before = AllocCount();
+
   TickResult result;
   result.time = now;
   TickStats* stats = &result.stats;
   std::vector<Update>* out = &result.updates;
 
-  std::vector<PendingObjectUpsert> upserts;
-  std::vector<ObjectId> removals;
-  std::vector<PendingQueryChange> query_changes;
+  TickScratch& scratch = *scratch_;
+  std::vector<PendingObjectUpsert>& upserts = scratch.upserts;
+  std::vector<ObjectId>& removals = scratch.removals;
+  std::vector<PendingQueryChange>& query_changes = scratch.query_changes;
   buffer_.Drain(&upserts, &removals, &query_changes);
 
   // Deterministic processing order independent of hash-map iteration —
@@ -426,15 +463,23 @@ TickResult ShardedEngine::EvaluateTick(Timestamp now) {
               return a.id < b.id;
             });
 
-  std::vector<char> touched(shards_.size(), 0);
-  std::vector<MergeEntry> entries;  // capture decrements + shard updates
-  std::vector<Reset> resets;        // ascending qid (change order)
-  std::unordered_set<QueryId> reset_qids;
-  std::unordered_set<ObjectId> global_removals;
+  std::vector<char>& touched = scratch.touched;
+  touched.assign(shards_.size(), 0);
+  std::vector<MergeEntry>& entries = scratch.entries;  // captures + updates
+  std::vector<Reset>& resets = scratch.resets;  // ascending qid (change order)
+  FlatSet<QueryId>& reset_qids = scratch.reset_qids;
+  FlatSet<ObjectId>& global_removals = scratch.global_removals;
+  entries.clear();
+  resets.clear();
+  reset_qids.clear();
+  global_removals.clear();
   // Objects shard s will emit its own phase-1 removal negatives for this
   // tick; move-away captures must not decrement those pairs again.
-  std::vector<std::unordered_set<ObjectId>> removed_from(shards_.size());
-  std::vector<KnnEvent> events;
+  std::vector<FlatSet<ObjectId>>& removed_from = scratch.removed_from;
+  removed_from.resize(shards_.size());
+  for (FlatSet<ObjectId>& s : removed_from) s.clear();
+  std::vector<KnnEvent>& events = scratch.events;
+  events.clear();
 
   {
     PhaseTimer route_timer(&stats->shard_route_seconds);
@@ -465,7 +510,8 @@ TickResult ShardedEngine::EvaluateTick(Timestamp now) {
     // --- Route upserts ----------------------------------------------------
     for (const PendingObjectUpsert& u : upserts) {
       if (history_ != nullptr) history_->RecordReport(u.id, u.loc, u.t);
-      const std::vector<int> ns = RouteShardsOfObject(u);
+      ShardList& ns = scratch.route_ns;
+      RouteShardsOfObject(u, &ns);
       auto dispatch_upsert = [&](int s) {
         Status st =
             u.predictive
@@ -587,7 +633,8 @@ TickResult ShardedEngine::EvaluateTick(Timestamp now) {
           } else {
             rq.region = c.region;
           }
-          const std::vector<int> ns = RouteShardsOf(rq);
+          ShardList& ns = scratch.route_ns;
+          RouteShardsOf(rq, &ns);
           for (int s : ns) {
             touched[s] = 1;
             const bool retained =
@@ -664,7 +711,7 @@ TickResult ShardedEngine::EvaluateTick(Timestamp now) {
               STQ_CHECK(false) << "unreachable";
               break;
           }
-          rq.shards = RouteShardsOf(rq);
+          RouteShardsOf(rq, &rq.shards);
           for (int s : rq.shards) {
             touched[s] = 1;
             Status st;
@@ -697,14 +744,17 @@ TickResult ShardedEngine::EvaluateTick(Timestamp now) {
   }
 
   // --- Parallel shard ticks -------------------------------------------------
-  std::vector<int> ticked;
+  std::vector<int>& ticked = scratch.ticked;
+  ticked.clear();
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (touched[s]) ticked.push_back(static_cast<int>(s));
   }
-  std::vector<TickResult> shard_results(ticked.size());
+  std::vector<TickResult>& shard_results = scratch.shard_results;
+  shard_results.resize(ticked.size());
   {
     PhaseTimer wall_timer(&stats->shard_tick_wall_seconds);
-    std::vector<double> shard_walls(ticked.size(), 0.0);
+    std::vector<double>& shard_walls = scratch.shard_walls;
+    shard_walls.assign(ticked.size(), 0.0);
     auto run_one = [&](size_t i) {
       const auto t0 = std::chrono::steady_clock::now();
       shard_results[i] = shards_[ticked[i]]->EvaluateTick(now);
@@ -779,7 +829,7 @@ TickResult ShardedEngine::EvaluateTick(Timestamp now) {
       } else {
         auto mit = members_.find(q);
         if (mit == members_.end()) {
-          mit = members_.emplace(q, std::unordered_map<ObjectId, int>{}).first;
+          mit = members_.try_emplace(q).first;
         }
         auto& counts = mit->second;
         while (i < q_end) {
@@ -848,7 +898,8 @@ TickResult ShardedEngine::EvaluateTick(Timestamp now) {
         }
       }
     }
-    std::vector<QueryId> dirty(knn_dirty_.begin(), knn_dirty_.end());
+    std::vector<QueryId>& dirty = scratch.knn_dirty_ids;
+    dirty.assign(knn_dirty_.begin(), knn_dirty_.end());
     std::sort(dirty.begin(), dirty.end());
     knn_dirty_.clear();
     for (QueryId qid : dirty) {
@@ -892,6 +943,10 @@ TickResult ShardedEngine::EvaluateTick(Timestamp now) {
       ++stats->negative_updates;
     }
   }
+  // The router's own delta — the counter is global (all threads), so this
+  // already covers the per-shard ticks; summing shard results would
+  // double-count.
+  stats->heap_allocations = AllocCount() - allocs_before;
   return result;
 }
 
@@ -901,12 +956,14 @@ TickResult ShardedEngine::EvaluateTick(Timestamp now) {
 
 std::vector<int> ShardedEngine::ObjectShards(ObjectId id) const {
   auto it = objects_.find(id);
-  return it == objects_.end() ? std::vector<int>{} : it->second.shards;
+  if (it == objects_.end()) return {};
+  return std::vector<int>(it->second.shards.begin(), it->second.shards.end());
 }
 
 std::vector<int> ShardedEngine::QueryShards(QueryId id) const {
   auto it = queries_.find(id);
-  return it == queries_.end() ? std::vector<int>{} : it->second.shards;
+  if (it == queries_.end()) return {};
+  return std::vector<int>(it->second.shards.begin(), it->second.shards.end());
 }
 
 Result<std::vector<ObjectId>> ShardedEngine::CurrentAnswer(QueryId id) const {
@@ -926,8 +983,7 @@ Result<std::vector<ObjectId>> ShardedEngine::CurrentAnswer(QueryId id) const {
   return answer;
 }
 
-bool ShardedEngine::GetAnswerSet(QueryId id,
-                                 std::unordered_set<ObjectId>* out) const {
+bool ShardedEngine::GetAnswerSet(QueryId id, FlatSet<ObjectId>* out) const {
   out->clear();
   auto it = queries_.find(id);
   if (it == queries_.end()) return false;
@@ -989,7 +1045,7 @@ Result<std::vector<ObjectId>> ShardedEngine::EvaluateFromScratch(
       answer.push_back(nb.id);
     }
   } else {
-    std::unordered_set<ObjectId> seen;
+    FlatSet<ObjectId> seen;
     for (int s : rq.shards) {
       Result<std::vector<ObjectId>> part = shards_[s]->EvaluateFromScratch(id);
       STQ_CHECK(part.ok()) << "shard " << s << " lost query " << id << ": "
@@ -1065,15 +1121,16 @@ void ShardedEngine::AuditCrossShard(
   std::sort(oids.begin(), oids.end());
   for (ObjectId oid : oids) {
     if (full()) return;
-    const RoutedObject& ro = objects_.at(oid);
+    const RoutedObject& ro = *objects_.FindPtr(oid);
     PendingObjectUpsert u;
     u.id = oid;
     u.loc = ro.loc;
     u.vel = ro.vel;
     u.t = ro.t;
     u.predictive = ro.predictive;
-    const std::vector<int> expected = RouteShardsOfObject(u);
-    if (expected != ro.shards) {
+    ShardList expected;
+    RouteShardsOfObject(u, &expected);
+    if (!(expected == ro.shards)) {
       std::ostringstream os;
       os << "object " << oid << " routed to " << ro.shards.size()
          << " shard(s) but its location/footprint maps to "
@@ -1136,7 +1193,7 @@ void ShardedEngine::AuditCrossShard(
   std::sort(qids.begin(), qids.end());
   for (QueryId qid : qids) {
     if (full()) return;
-    const RoutedQuery& rq = queries_.at(qid);
+    const RoutedQuery& rq = *queries_.FindPtr(qid);
     if (rq.kind == QueryKind::kKnn) {
       if (!rq.shards.empty()) {
         std::ostringstream os;
@@ -1157,14 +1214,15 @@ void ShardedEngine::AuditCrossShard(
       }
       continue;
     }
-    const std::vector<int> expected = RouteShardsOf(rq);
-    if (expected != rq.shards) {
+    ShardList expected;
+    RouteShardsOf(rq, &expected);
+    if (!(expected == rq.shards)) {
       std::ostringstream os;
       os << "query " << qid << " routed to " << rq.shards.size()
          << " shard(s) but its region overlaps " << expected.size();
       add(os.str());
     }
-    std::unordered_map<ObjectId, int> counts;
+    FlatMap<ObjectId, int> counts;
     for (int s : rq.shards) {
       if (shards_[s]->query_store().Find(qid) == nullptr) {
         std::ostringstream os;
@@ -1178,7 +1236,7 @@ void ShardedEngine::AuditCrossShard(
       for (ObjectId oid : *ans) ++counts[oid];
     }
     const auto mit = members_.find(qid);
-    static const std::unordered_map<ObjectId, int> kEmpty;
+    static const FlatMap<ObjectId, int> kEmpty;
     const auto& committed = mit == members_.end() ? kEmpty : mit->second;
     std::vector<ObjectId> keys;
     for (const auto& [oid, cnt] : counts) keys.push_back(oid);

@@ -38,11 +38,11 @@
 #include <limits>
 #include <memory>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "stq/common/flat_hash.h"
 #include "stq/common/result.h"
+#include "stq/common/small_vector.h"
 #include "stq/common/status.h"
 #include "stq/common/thread_pool.h"
 #include "stq/core/history_store.h"
@@ -59,6 +59,7 @@ class ShardedEngine {
  public:
   // `options.num_shards` must be >= 2 (QueryProcessor handles 1 itself).
   explicit ShardedEngine(const QueryProcessorOptions& options);
+  ~ShardedEngine();  // out of line: TickScratch is incomplete here
 
   ShardedEngine(const ShardedEngine&) = delete;
   ShardedEngine& operator=(const ShardedEngine&) = delete;
@@ -110,7 +111,7 @@ class ShardedEngine {
   std::vector<int> QueryShards(QueryId id) const;
 
   Result<std::vector<ObjectId>> CurrentAnswer(QueryId id) const;
-  bool GetAnswerSet(QueryId id, std::unordered_set<ObjectId>* out) const;
+  bool GetAnswerSet(QueryId id, FlatSet<ObjectId>* out) const;
   Result<std::vector<ObjectId>> EvaluateFromScratch(QueryId id) const;
 
   // Router-level views matching QueryProcessor::ForEach*Info (iteration
@@ -145,12 +146,16 @@ class ShardedEngine {
                        std::vector<std::string>* violations) const;
 
  private:
+  // The routing fan-out of one entity; a handful of shard indices at
+  // most, so it lives inline in the record.
+  using ShardList = SmallVector<int, 4>;
+
   struct RoutedObject {
     Point loc;
     Velocity vel;
     Timestamp t = 0.0;
     bool predictive = false;
-    std::vector<int> shards;  // ascending; a singleton unless predictive
+    ShardList shards;  // ascending; a singleton unless predictive
   };
 
   struct RoutedQuery {
@@ -160,7 +165,7 @@ class ShardedEngine {
     int k = 0;
     double t_from = 0.0;
     double t_to = 0.0;
-    std::vector<int> shards;  // ascending; empty for kKnn
+    ShardList shards;  // ascending; empty for kKnn
     // kKnn only: the committed answer and the exact squared distance to
     // the k-th neighbour (+inf while fewer than k objects exist).
     std::vector<ObjectId> knn_answer;
@@ -174,10 +179,11 @@ class ShardedEngine {
   Status ValidateQueryRegistration(QueryId id) const;
   Result<QueryKind> EffectiveQueryKind(QueryId id) const;
 
-  // The shards `rq` should route to given its current geometry.
-  std::vector<int> RouteShardsOf(const RoutedQuery& rq) const;
+  // The shards `rq` should route to given its current geometry (cleared
+  // and refilled; out-params so steady-state routing reuses capacity).
+  void RouteShardsOf(const RoutedQuery& rq, ShardList* out) const;
   // The shards a (pending) object report routes to.
-  std::vector<int> RouteShardsOfObject(const PendingObjectUpsert& u) const;
+  void RouteShardsOfObject(const PendingObjectUpsert& u, ShardList* out) const;
 
   QueryProcessorOptions options_;
   ShardMap map_;
@@ -185,17 +191,25 @@ class ShardedEngine {
   std::unique_ptr<ThreadPool> pool_;       // null when worker count is 1
   std::vector<std::unique_ptr<QueryProcessor>> shards_;
   UpdateBuffer buffer_;
-  std::unordered_map<ObjectId, RoutedObject> objects_;
-  std::unordered_map<QueryId, RoutedQuery> queries_;
+  FlatMap<ObjectId, RoutedObject> objects_;
+  FlatMap<QueryId, RoutedQuery> queries_;
   // Per-(query, object) shard-membership reference counts for non-k-NN
   // queries: how many shards currently report the pair. The committed
   // global answer is exactly the keys with positive count.
-  std::unordered_map<QueryId, std::unordered_map<ObjectId, int>> members_;
+  FlatMap<QueryId, FlatMap<ObjectId, int>> members_;
   // k-NN queries needing re-evaluation at the next tick (focal point
   // moved or freshly registered; object-driven dirtiness is derived from
   // the tick's report batch).
-  std::unordered_set<QueryId> knn_dirty_;
+  FlatSet<QueryId> knn_dirty_;
   Timestamp last_tick_time_ = 0.0;
+
+  // Tick-scoped scratch reused across EvaluateTick calls; every container
+  // is cleared before use, so no state carries over — only capacity does
+  // (see DESIGN.md, "Memory layout & allocation discipline"). The
+  // MergeEntry/Reset/KnnEvent element types are private to the .cc, so
+  // the buffers they need are declared there via this opaque holder.
+  struct TickScratch;
+  std::unique_ptr<TickScratch> scratch_;
 };
 
 }  // namespace stq

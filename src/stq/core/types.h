@@ -56,6 +56,12 @@ struct TickStats {
   size_t negative_updates = 0;
   size_t knn_reevaluations = 0;
 
+  // Heap allocations (global operator-new calls, all threads) during this
+  // tick's EvaluateTick. Zero when the build disables STQ_ALLOC_COUNTING
+  // (see stq/common/alloc_stats.h); under the sharded engine this is the
+  // whole tick's count, not a per-shard sum.
+  uint64_t heap_allocations = 0;
+
   // Wall-clock seconds spent in each tick phase (steady-clock). The
   // object pass is split into its parallel matching half and its serial
   // delta-replay half so the ablation bench can attribute speedup.

@@ -13,11 +13,10 @@
 #define STQ_CORE_UPDATE_BUFFER_H_
 
 #include <cstddef>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "stq/common/clock.h"
+#include "stq/common/flat_hash.h"
 #include "stq/common/ids.h"
 #include "stq/geo/point.h"
 #include "stq/geo/rect.h"
@@ -119,9 +118,9 @@ class UpdateBuffer {
   void Clear();
 
  private:
-  std::unordered_map<ObjectId, PendingObjectUpsert> object_upserts_;
-  std::unordered_set<ObjectId> object_removes_;
-  std::unordered_map<QueryId, PendingQueryChange> query_changes_;
+  FlatMap<ObjectId, PendingObjectUpsert> object_upserts_;
+  FlatSet<ObjectId> object_removes_;
+  FlatMap<QueryId, PendingQueryChange> query_changes_;
 };
 
 }  // namespace stq

@@ -45,31 +45,36 @@ std::string Rect::DebugString() const {
 
 std::vector<Rect> RectDifference(const Rect& a, const Rect& b) {
   std::vector<Rect> out;
-  if (a.IsEmpty()) return out;
+  RectDifference(a, b, &out);
+  return out;
+}
+
+void RectDifference(const Rect& a, const Rect& b, std::vector<Rect>* out) {
+  out->clear();
+  if (a.IsEmpty()) return;
   const Rect inter = a.Intersection(b);
   if (inter.IsEmpty()) {
-    out.push_back(a);
-    return out;
+    out->push_back(a);
+    return;
   }
-  if (inter == a) return out;  // a fully covered by b
+  if (inter == a) return;  // a fully covered by b
 
   // Split `a` into up to four bands around the intersection: bottom and
   // top spanning a's full width, left and right limited to the
   // intersection's vertical band. The bands are disjoint (they share only
   // boundary lines).
   if (inter.min_y > a.min_y) {
-    out.push_back(Rect{a.min_x, a.min_y, a.max_x, inter.min_y});
+    out->push_back(Rect{a.min_x, a.min_y, a.max_x, inter.min_y});
   }
   if (inter.max_y < a.max_y) {
-    out.push_back(Rect{a.min_x, inter.max_y, a.max_x, a.max_y});
+    out->push_back(Rect{a.min_x, inter.max_y, a.max_x, a.max_y});
   }
   if (inter.min_x > a.min_x) {
-    out.push_back(Rect{a.min_x, inter.min_y, inter.min_x, inter.max_y});
+    out->push_back(Rect{a.min_x, inter.min_y, inter.min_x, inter.max_y});
   }
   if (inter.max_x < a.max_x) {
-    out.push_back(Rect{inter.max_x, inter.min_y, a.max_x, inter.max_y});
+    out->push_back(Rect{inter.max_x, inter.min_y, a.max_x, inter.max_y});
   }
-  return out;
 }
 
 }  // namespace stq

@@ -96,6 +96,10 @@ struct Rect {
 // `A_old - A_new` produces negative updates.
 std::vector<Rect> RectDifference(const Rect& a, const Rect& b);
 
+// Allocation-free form for hot paths: clears `*out` and appends the
+// difference pieces, reusing the vector's capacity across calls.
+void RectDifference(const Rect& a, const Rect& b, std::vector<Rect>* out);
+
 }  // namespace stq
 
 #endif  // STQ_GEO_RECT_H_

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
 
 #include "stq/common/check.h"
 
@@ -12,8 +11,8 @@ namespace {
 
 // Removes one occurrence of `v` from `vec` (swap-with-back). Returns true
 // when found.
-template <typename T>
-bool EraseOne(std::vector<T>* vec, T v) {
+template <typename Vec, typename T>
+bool EraseOne(Vec* vec, T v) {
   for (size_t i = 0; i < vec->size(); ++i) {
     if ((*vec)[i] == v) {
       (*vec)[i] = vec->back();
@@ -78,32 +77,6 @@ void GridIndex::MoveObject(ObjectId id, const Point& from, const Point& to) {
   InsertObject(id, to);
 }
 
-void GridIndex::ForEachCellOnSegment(
-    const Segment& s, const std::function<void(const CellCoord&)>& fn) const {
-  // Conservative traversal: walk the cells of the segment's bounding box
-  // and keep those the segment actually passes through. Footprints are
-  // short (one evaluation period of movement), so the box is small; this
-  // trades a little work for simplicity and robustness over an
-  // error-prone DDA walk.
-  int x0, y0, x1, y1;
-  if (!CellRange(s.BoundingBox(), &x0, &y0, &x1, &y1)) {
-    // Segment fully outside: clamp both endpoints into the border cell(s).
-    const CellCoord ca = CellOf(s.a);
-    const CellCoord cb = CellOf(s.b);
-    fn(ca);
-    if (!(ca == cb)) fn(cb);
-    return;
-  }
-  for (int cy = y0; cy <= y1; ++cy) {
-    for (int cx = x0; cx <= x1; ++cx) {
-      const CellCoord c{cx, cy};
-      if ((x0 == x1 && y0 == y1) || SegmentIntersectsRect(s, CellBounds(c))) {
-        fn(c);
-      }
-    }
-  }
-}
-
 void GridIndex::InsertObjectFootprint(ObjectId id, const Segment& s) {
   ForEachCellOnSegment(
       s, [&](const CellCoord& c) { CellAt(c).objects.push_back(id); });
@@ -139,33 +112,6 @@ void GridIndex::RemoveQuery(QueryId id, const Rect& region) {
   }
 }
 
-void GridIndex::ForEachObjectCandidate(
-    const Rect& r, const std::function<void(ObjectId)>& fn) const {
-  int x0, y0, x1, y1;
-  if (!CellRange(r, &x0, &y0, &x1, &y1)) return;
-  for (int cy = y0; cy <= y1; ++cy) {
-    for (int cx = x0; cx <= x1; ++cx) {
-      for (ObjectId id : cells_[CellIndex(cx, cy)].objects) fn(id);
-    }
-  }
-}
-
-void GridIndex::ForEachQueryAt(const Point& p,
-                               const std::function<void(QueryId)>& fn) const {
-  for (QueryId id : CellAt(CellOf(p)).queries) fn(id);
-}
-
-void GridIndex::ForEachQueryCandidate(
-    const Rect& r, const std::function<void(QueryId)>& fn) const {
-  int x0, y0, x1, y1;
-  if (!CellRange(r, &x0, &y0, &x1, &y1)) return;
-  for (int cy = y0; cy <= y1; ++cy) {
-    for (int cx = x0; cx <= x1; ++cx) {
-      for (QueryId id : cells_[CellIndex(cx, cy)].queries) fn(id);
-    }
-  }
-}
-
 void GridIndex::CollectObjectsInRect(const Rect& r,
                                      std::vector<ObjectId>* out) const {
   out->clear();
@@ -180,47 +126,6 @@ void GridIndex::CollectQueriesInRect(const Rect& r,
   ForEachQueryCandidate(r, [&](QueryId id) { out->push_back(id); });
   std::sort(out->begin(), out->end());
   out->erase(std::unique(out->begin(), out->end()), out->end());
-}
-
-bool GridIndex::ForEachCellInRing(
-    const CellCoord& center, int ring,
-    const std::function<void(const CellCoord&)>& fn) const {
-  STQ_DCHECK(ring >= 0);
-  bool any = false;
-  auto visit = [&](int cx, int cy) {
-    if (cx < 0 || cy < 0 || cx >= n_ || cy >= n_) return;
-    any = true;
-    fn(CellCoord{cx, cy});
-  };
-  if (ring == 0) {
-    visit(center.x, center.y);
-    return any;
-  }
-  const int x0 = center.x - ring;
-  const int x1 = center.x + ring;
-  const int y0 = center.y - ring;
-  const int y1 = center.y + ring;
-  for (int cx = x0; cx <= x1; ++cx) {
-    visit(cx, y0);
-    visit(cx, y1);
-  }
-  for (int cy = y0 + 1; cy <= y1 - 1; ++cy) {
-    visit(x0, cy);
-    visit(x1, cy);
-  }
-  return any;
-}
-
-void GridIndex::ForEachObjectInCell(
-    const CellCoord& c, const std::function<void(ObjectId)>& fn) const {
-  STQ_DCHECK(c.x >= 0 && c.x < n_ && c.y >= 0 && c.y < n_);
-  for (ObjectId id : CellAt(c).objects) fn(id);
-}
-
-void GridIndex::ForEachQueryInCell(
-    const CellCoord& c, const std::function<void(QueryId)>& fn) const {
-  STQ_DCHECK(c.x >= 0 && c.x < n_ && c.y >= 0 && c.y < n_);
-  for (QueryId id : CellAt(c).queries) fn(id);
 }
 
 size_t GridIndex::ObjectCountInCell(const CellCoord& c) const {

@@ -26,10 +26,11 @@
 #define STQ_GRID_GRID_INDEX_H_
 
 #include <cstddef>
-#include <functional>
 #include <vector>
 
+#include "stq/common/check.h"
 #include "stq/common/ids.h"
+#include "stq/common/small_vector.h"
 #include "stq/geo/rect.h"
 #include "stq/geo/segment.h"
 
@@ -83,22 +84,42 @@ class GridIndex {
   void RemoveQuery(QueryId id, const Rect& region);
 
   // --- Visitation ---------------------------------------------------------
+  // The visitors are templates (not std::function) so hot-path lambdas
+  // inline without a per-call closure allocation.
 
   // Visits every object id stored in a cell overlapping `r`. Ids of
   // footprint objects clipped into several overlapping cells are visited
   // once per such cell; callers needing set semantics deduplicate (see
   // CollectObjectsInRect).
-  void ForEachObjectCandidate(const Rect& r,
-                              const std::function<void(ObjectId)>& fn) const;
+  template <typename Fn>
+  void ForEachObjectCandidate(const Rect& r, Fn&& fn) const {
+    int x0, y0, x1, y1;
+    if (!CellRange(r, &x0, &y0, &x1, &y1)) return;
+    for (int cy = y0; cy <= y1; ++cy) {
+      for (int cx = x0; cx <= x1; ++cx) {
+        for (ObjectId id : cells_[CellIndex(cx, cy)].objects) fn(id);
+      }
+    }
+  }
 
   // Visits every query id stubbed into the cell containing `p`.
-  void ForEachQueryAt(const Point& p,
-                      const std::function<void(QueryId)>& fn) const;
+  template <typename Fn>
+  void ForEachQueryAt(const Point& p, Fn&& fn) const {
+    for (QueryId id : CellAt(CellOf(p)).queries) fn(id);
+  }
 
   // Visits every query id stubbed into a cell overlapping `r` (with
   // per-cell duplicates, as above).
-  void ForEachQueryCandidate(const Rect& r,
-                             const std::function<void(QueryId)>& fn) const;
+  template <typename Fn>
+  void ForEachQueryCandidate(const Rect& r, Fn&& fn) const {
+    int x0, y0, x1, y1;
+    if (!CellRange(r, &x0, &y0, &x1, &y1)) return;
+    for (int cy = y0; cy <= y1; ++cy) {
+      for (int cx = x0; cx <= x1; ++cx) {
+        for (QueryId id : cells_[CellIndex(cx, cy)].queries) fn(id);
+      }
+    }
+  }
 
   // Deduplicated candidate collection. Output vectors are cleared first
   // and returned sorted.
@@ -115,17 +136,48 @@ class GridIndex {
   // Visits the cells at Chebyshev distance exactly `ring` from `center`
   // (ring 0 = the center cell itself), skipping cells outside the grid.
   // Returns false when the entire ring was out of bounds.
-  bool ForEachCellInRing(const CellCoord& center, int ring,
-                         const std::function<void(const CellCoord&)>& fn) const;
+  template <typename Fn>
+  bool ForEachCellInRing(const CellCoord& center, int ring, Fn&& fn) const {
+    STQ_DCHECK(ring >= 0);
+    bool any = false;
+    auto visit = [&](int cx, int cy) {
+      if (cx < 0 || cy < 0 || cx >= n_ || cy >= n_) return;
+      any = true;
+      fn(CellCoord{cx, cy});
+    };
+    if (ring == 0) {
+      visit(center.x, center.y);
+      return any;
+    }
+    const int x0 = center.x - ring;
+    const int x1 = center.x + ring;
+    const int y0 = center.y - ring;
+    const int y1 = center.y + ring;
+    for (int cx = x0; cx <= x1; ++cx) {
+      visit(cx, y0);
+      visit(cx, y1);
+    }
+    for (int cy = y0 + 1; cy <= y1 - 1; ++cy) {
+      visit(x0, cy);
+      visit(x1, cy);
+    }
+    return any;
+  }
 
   // Objects stored in one specific cell.
-  void ForEachObjectInCell(const CellCoord& c,
-                           const std::function<void(ObjectId)>& fn) const;
+  template <typename Fn>
+  void ForEachObjectInCell(const CellCoord& c, Fn&& fn) const {
+    STQ_DCHECK(c.x >= 0 && c.x < n_ && c.y >= 0 && c.y < n_);
+    for (ObjectId id : CellAt(c).objects) fn(id);
+  }
 
   // Query stubs in one specific cell (used by the InvariantAuditor to
   // compare the grid's per-cell state against the stores).
-  void ForEachQueryInCell(const CellCoord& c,
-                          const std::function<void(QueryId)>& fn) const;
+  template <typename Fn>
+  void ForEachQueryInCell(const CellCoord& c, Fn&& fn) const {
+    STQ_DCHECK(c.x >= 0 && c.x < n_ && c.y >= 0 && c.y < n_);
+    for (QueryId id : CellAt(c).queries) fn(id);
+  }
 
   // Number of object entries in one cell (predictive footprints count
   // once per cell they are clipped into).
@@ -139,15 +191,41 @@ class GridIndex {
 
   // Visits each cell the clipped segment passes through (exactly the
   // cells InsertObjectFootprint clips a footprint into).
-  void ForEachCellOnSegment(const Segment& s,
-                            const std::function<void(const CellCoord&)>& fn) const;
+  template <typename Fn>
+  void ForEachCellOnSegment(const Segment& s, Fn&& fn) const {
+    // Conservative traversal: walk the cells of the segment's bounding box
+    // and keep those the segment actually passes through. Footprints are
+    // short (one evaluation period of movement), so the box is small; this
+    // trades a little work for simplicity and robustness over an
+    // error-prone DDA walk.
+    int x0, y0, x1, y1;
+    if (!CellRange(s.BoundingBox(), &x0, &y0, &x1, &y1)) {
+      // Segment fully outside: clamp both endpoints into the border cell(s).
+      const CellCoord ca = CellOf(s.a);
+      const CellCoord cb = CellOf(s.b);
+      fn(ca);
+      if (!(ca == cb)) fn(cb);
+      return;
+    }
+    for (int cy = y0; cy <= y1; ++cy) {
+      for (int cx = x0; cx <= x1; ++cx) {
+        const CellCoord c{cx, cy};
+        if ((x0 == x1 && y0 == y1) || SegmentIntersectsRect(s, CellBounds(c))) {
+          fn(c);
+        }
+      }
+    }
+  }
 
   GridStats ComputeStats() const;
 
  private:
+  // Typical cells hold a handful of entries at paper-scale grids, so the
+  // lists start inline in the cell array; dense cells spill to the heap
+  // once and keep their capacity (EraseOne never shrinks).
   struct Cell {
-    std::vector<ObjectId> objects;
-    std::vector<QueryId> queries;
+    SmallVector<ObjectId, 4> objects;
+    SmallVector<QueryId, 4> queries;
   };
 
   size_t CellIndex(int cx, int cy) const {

@@ -79,23 +79,4 @@ bool ShardMap::SlabSpan(double lo, double hi, double min, double max, double w,
   return true;
 }
 
-void ShardMap::ShardsOverlapping(const Rect& r, std::vector<int>* out) const {
-  out->clear();
-  if (r.IsEmpty()) return;
-  int x0, x1, y0, y1;
-  if (!SlabSpan(r.min_x, r.max_x, universe_.min_x, universe_.max_x, shard_w_,
-                sx_, &x0, &x1)) {
-    return;
-  }
-  if (!SlabSpan(r.min_y, r.max_y, universe_.min_y, universe_.max_y, shard_h_,
-                sy_, &y0, &y1)) {
-    return;
-  }
-  for (int iy = y0; iy <= y1; ++iy) {
-    for (int ix = x0; ix <= x1; ++ix) {
-      out->push_back(iy * sx_ + ix);
-    }
-  }
-}
-
 }  // namespace stq

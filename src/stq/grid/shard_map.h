@@ -51,7 +51,27 @@ class ShardMap {
 
   // All shards whose closed rect intersects the closed rect `r`,
   // ascending. Empty when `r` is empty or misses the universe entirely.
-  void ShardsOverlapping(const Rect& r, std::vector<int>* out) const;
+  // `out` is cleared first; any vector-like container (std::vector,
+  // SmallVector) works, so hot routing paths can reuse inline storage.
+  template <typename Vec>
+  void ShardsOverlapping(const Rect& r, Vec* out) const {
+    out->clear();
+    if (r.IsEmpty()) return;
+    int x0, x1, y0, y1;
+    if (!SlabSpan(r.min_x, r.max_x, universe_.min_x, universe_.max_x,
+                  shard_w_, sx_, &x0, &x1)) {
+      return;
+    }
+    if (!SlabSpan(r.min_y, r.max_y, universe_.min_y, universe_.max_y,
+                  shard_h_, sy_, &y0, &y1)) {
+      return;
+    }
+    for (int iy = y0; iy <= y1; ++iy) {
+      for (int ix = x0; ix <= x1; ++ix) {
+        out->push_back(iy * sx_ + ix);
+      }
+    }
+  }
   std::vector<int> ShardsOverlapping(const Rect& r) const {
     std::vector<int> out;
     ShardsOverlapping(r, &out);

@@ -74,9 +74,21 @@ std::vector<JoinPair> GridPartitionJoin(const std::vector<JoinPoint>& points,
   } else {
     hash_range(0, points.size());
   }
-  std::vector<std::vector<size_t>> buckets(num_cells);
+  // Flat bucket layout (counting sort): bucket_start[c]..bucket_start[c+1]
+  // spans cell c's point indices in `bucketed`, in input order. One flat
+  // array instead of a heap vector per cell keeps the probe phase's reads
+  // contiguous.
+  std::vector<size_t> bucket_start(num_cells + 1, 0);
   for (size_t i = 0; i < points.size(); ++i) {
-    if (cell_of[i] != kOutside) buckets[cell_of[i]].push_back(i);
+    if (cell_of[i] != kOutside) ++bucket_start[cell_of[i] + 1];
+  }
+  for (size_t c = 0; c < num_cells; ++c) {
+    bucket_start[c + 1] += bucket_start[c];
+  }
+  std::vector<size_t> bucketed(bucket_start[num_cells]);
+  std::vector<size_t> cursor(bucket_start.begin(), bucket_start.end() - 1);
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (cell_of[i] != kOutside) bucketed[cursor[cell_of[i]]++] = i;
   }
 
   // Probe phase: clip each rectangle to its partitions and test only the
@@ -99,7 +111,9 @@ std::vector<JoinPair> GridPartitionJoin(const std::vector<JoinPoint>& points,
       y1 = std::clamp(y1, 0, n - 1);
       for (int cy = y0; cy <= y1; ++cy) {
         for (int cx = x0; cx <= x1; ++cx) {
-          for (size_t i : buckets[static_cast<size_t>(cy) * n + cx]) {
+          const size_t c = static_cast<size_t>(cy) * n + cx;
+          for (size_t bi = bucket_start[c]; bi < bucket_start[c + 1]; ++bi) {
+            const size_t i = bucketed[bi];
             if (region.Contains(points[i].loc)) {
               out->push_back(JoinPair{r.id, points[i].id});
             }

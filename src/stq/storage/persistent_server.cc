@@ -35,7 +35,7 @@ PersistedState CapturePersistedState(const Server& server) {
     state.queries.push_back(pq);
   });
   server.committed().ForEach(
-      [&](QueryId qid, const std::unordered_set<ObjectId>& answer) {
+      [&](QueryId qid, const FlatSet<ObjectId>& answer) {
         PersistedCommit pc;
         pc.id = qid;
         pc.answer.assign(answer.begin(), answer.end());

@@ -1,0 +1,380 @@
+// Differential and property tests for the flat container layer
+// (stq/common/flat_hash.h, stq/common/small_vector.h): every randomized
+// operation sequence is mirrored into the corresponding std container
+// and full state is compared, including across rehash boundaries and
+// erase-heavy churn that exercises backward-shift deletion.
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "stq/common/flat_hash.h"
+#include "stq/common/ids.h"
+#include "stq/common/random.h"
+#include "stq/common/small_vector.h"
+
+namespace stq {
+namespace {
+
+// --- FlatSet ---------------------------------------------------------------
+
+void ExpectSetsEqual(const FlatSet<uint64_t>& flat,
+                     const std::unordered_set<uint64_t>& ref) {
+  ASSERT_EQ(flat.size(), ref.size());
+  for (uint64_t k : ref) {
+    EXPECT_TRUE(flat.contains(k)) << "missing key " << k;
+  }
+  size_t visited = 0;
+  for (uint64_t k : flat) {
+    EXPECT_TRUE(ref.contains(k)) << "phantom key " << k;
+    ++visited;
+  }
+  EXPECT_EQ(visited, ref.size());
+}
+
+TEST(FlatSetTest, Empty) {
+  FlatSet<uint64_t> s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.contains(0));
+  EXPECT_EQ(s.erase(7), 0u);
+  EXPECT_EQ(s.begin(), s.end());
+  // A default-constructed set costs no heap: capacity stays zero.
+  EXPECT_EQ(s.capacity(), 0u);
+}
+
+TEST(FlatSetTest, ExtremeKeys) {
+  // Keys 0 and ~0 must be ordinary values (no sentinel scheme).
+  FlatSet<uint64_t> s;
+  EXPECT_TRUE(s.insert(0).second);
+  EXPECT_TRUE(s.insert(~uint64_t{0}).second);
+  EXPECT_FALSE(s.insert(0).second);
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_TRUE(s.contains(~uint64_t{0}));
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.erase(0), 1u);
+  EXPECT_FALSE(s.contains(0));
+  EXPECT_TRUE(s.contains(~uint64_t{0}));
+}
+
+TEST(FlatSetTest, DifferentialRandomOps) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Xorshift128Plus rng(seed);
+    FlatSet<uint64_t> flat;
+    std::unordered_set<uint64_t> ref;
+    // Small key universe => plenty of collisions, repeats, and erases of
+    // present keys; churn drives the table through many rehashes.
+    for (int op = 0; op < 20000; ++op) {
+      const uint64_t key = rng.NextUint64(512);
+      switch (rng.NextUint64(4)) {
+        case 0:
+        case 1: {
+          EXPECT_EQ(flat.insert(key).second, ref.insert(key).second);
+          break;
+        }
+        case 2: {
+          EXPECT_EQ(flat.erase(key), ref.erase(key));
+          break;
+        }
+        default: {
+          EXPECT_EQ(flat.contains(key), ref.contains(key));
+          break;
+        }
+      }
+    }
+    ExpectSetsEqual(flat, ref);
+    flat.clear();
+    ref.clear();
+    ExpectSetsEqual(flat, ref);
+  }
+}
+
+TEST(FlatSetTest, EraseDuringGrowthBoundary) {
+  // Drive size back and forth across the 3/4-load rehash boundary of
+  // each capacity tier; backward-shift deletion must keep every
+  // remaining key findable.
+  FlatSet<uint64_t> s;
+  std::set<uint64_t> ref;
+  Xorshift128Plus rng(99);
+  for (int round = 0; round < 200; ++round) {
+    const size_t target = 1 + rng.NextUint64(96);
+    while (ref.size() < target) {
+      const uint64_t k = rng.NextUint64(1024);
+      s.insert(k);
+      ref.insert(k);
+    }
+    while (ref.size() > target / 2) {
+      const uint64_t k = *ref.begin();
+      ASSERT_EQ(s.erase(k), 1u);
+      ref.erase(k);
+    }
+    for (uint64_t k : ref) ASSERT_TRUE(s.contains(k));
+    ASSERT_EQ(s.size(), ref.size());
+  }
+}
+
+TEST(FlatSetTest, ReserveAvoidsRehash) {
+  FlatSet<uint64_t> s;
+  s.reserve(1000);
+  const size_t cap = s.capacity();
+  for (uint64_t k = 0; k < 1000; ++k) s.insert(k);
+  EXPECT_EQ(s.capacity(), cap) << "reserve(1000) did not pre-size";
+  EXPECT_EQ(s.size(), 1000u);
+}
+
+// --- FlatMap ---------------------------------------------------------------
+
+void ExpectMapsEqual(const FlatMap<uint64_t, std::string>& flat,
+                     const std::unordered_map<uint64_t, std::string>& ref) {
+  ASSERT_EQ(flat.size(), ref.size());
+  for (const auto& [k, v] : ref) {
+    const std::string* got = flat.FindPtr(k);
+    ASSERT_NE(got, nullptr) << "missing key " << k;
+    EXPECT_EQ(*got, v);
+  }
+  size_t visited = 0;
+  for (const auto& [k, v] : flat) {
+    auto it = ref.find(k);
+    ASSERT_NE(it, ref.end()) << "phantom key " << k;
+    EXPECT_EQ(v, it->second);
+    ++visited;
+  }
+  EXPECT_EQ(visited, ref.size());
+}
+
+TEST(FlatMapTest, BasicApi) {
+  FlatMap<QueryId, int> m;
+  EXPECT_TRUE(m.empty());
+  m[QueryId{5}] = 50;
+  EXPECT_EQ(m[QueryId{5}], 50);
+  EXPECT_EQ(m[QueryId{6}], 0);  // operator[] default-constructs
+  EXPECT_EQ(m.size(), 2u);
+  auto [it, inserted] = m.try_emplace(QueryId{5}, 999);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(it->second, 50);
+  m.insert_or_assign(QueryId{5}, 7);
+  EXPECT_EQ(*m.FindPtr(QueryId{5}), 7);
+  EXPECT_EQ(m.erase(QueryId{5}), 1u);
+  EXPECT_EQ(m.erase(QueryId{5}), 0u);
+  EXPECT_EQ(m.FindPtr(QueryId{5}), nullptr);
+  auto found = m.find(QueryId{6});
+  ASSERT_NE(found, m.end());
+  m.erase(found);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(FlatMapTest, DifferentialRandomOps) {
+  for (uint64_t seed = 11; seed <= 16; ++seed) {
+    Xorshift128Plus rng(seed);
+    FlatMap<uint64_t, std::string> flat;
+    std::unordered_map<uint64_t, std::string> ref;
+    for (int op = 0; op < 12000; ++op) {
+      const uint64_t key = rng.NextUint64(384);
+      switch (rng.NextUint64(5)) {
+        case 0: {  // try_emplace
+          std::string value = "v" + std::to_string(op);
+          EXPECT_EQ(flat.try_emplace(key, value).second,
+                    ref.try_emplace(key, value).second);
+          break;
+        }
+        case 1: {  // insert_or_assign (non-trivial value, heap-backed)
+          std::string value(1 + key % 40, 'x');
+          flat.insert_or_assign(key, value);
+          ref[key] = value;
+          break;
+        }
+        case 2: {  // operator[] append
+          flat[key] += "+";
+          ref[key] += "+";
+          break;
+        }
+        case 3: {  // erase
+          EXPECT_EQ(flat.erase(key), ref.erase(key));
+          break;
+        }
+        default: {  // lookup
+          const std::string* got = flat.FindPtr(key);
+          auto it = ref.find(key);
+          ASSERT_EQ(got != nullptr, it != ref.end());
+          if (got != nullptr) {
+            EXPECT_EQ(*got, it->second);
+          }
+          break;
+        }
+      }
+    }
+    ExpectMapsEqual(flat, ref);
+  }
+}
+
+TEST(FlatMapTest, MoveOnlyValues) {
+  FlatMap<uint64_t, std::unique_ptr<int>> m;
+  for (uint64_t k = 0; k < 100; ++k) {
+    m.try_emplace(k, std::make_unique<int>(static_cast<int>(k)));
+  }
+  // Rehashes relocated the unique_ptrs; contents must have survived.
+  for (uint64_t k = 0; k < 100; ++k) {
+    auto* p = m.FindPtr(k);
+    ASSERT_NE(p, nullptr);
+    ASSERT_NE(p->get(), nullptr);
+    EXPECT_EQ(**p, static_cast<int>(k));
+  }
+  for (uint64_t k = 0; k < 100; k += 2) EXPECT_EQ(m.erase(k), 1u);
+  EXPECT_EQ(m.size(), 50u);
+  for (uint64_t k = 1; k < 100; k += 2) {
+    ASSERT_NE(m.FindPtr(k), nullptr);
+    EXPECT_EQ(**m.FindPtr(k), static_cast<int>(k));
+  }
+  // Move the whole map; source must be reusable.
+  FlatMap<uint64_t, std::unique_ptr<int>> other = std::move(m);
+  EXPECT_EQ(other.size(), 50u);
+  m.try_emplace(7, std::make_unique<int>(7));  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMapTest, CopySemantics) {
+  FlatMap<uint64_t, std::string> a;
+  for (uint64_t k = 0; k < 64; ++k) a[k] = std::string(k % 17, 'a');
+  FlatMap<uint64_t, std::string> b = a;
+  a.erase(3);
+  a[4] = "mutated";
+  EXPECT_EQ(b.size(), 64u);
+  EXPECT_EQ(*b.FindPtr(3), std::string(3, 'a'));
+  EXPECT_EQ(*b.FindPtr(4), std::string(4, 'a'));
+  b = a;  // copy-assign over live contents
+  EXPECT_EQ(b.FindPtr(3), nullptr);
+  EXPECT_EQ(*b.FindPtr(4), "mutated");
+}
+
+TEST(FlatMapTest, ClearKeepsCapacity) {
+  FlatMap<uint64_t, uint64_t> m;
+  for (uint64_t k = 0; k < 500; ++k) m[k] = k;
+  const size_t cap = m.capacity();
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.capacity(), cap) << "clear() must keep slots for reuse";
+  for (uint64_t k = 0; k < 500; ++k) m[k] = k * 2;
+  EXPECT_EQ(m.capacity(), cap);
+}
+
+// --- SmallVector -----------------------------------------------------------
+
+TEST(SmallVectorTest, InlineToHeapTransition) {
+  SmallVector<uint64_t, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), 4u);
+  for (uint64_t i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_EQ(v.capacity(), 4u);  // still inline
+  v.push_back(4);               // spills
+  EXPECT_GT(v.capacity(), 4u);
+  EXPECT_EQ(v.size(), 5u);
+  for (uint64_t i = 0; i < 5; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVectorTest, DifferentialRandomOps) {
+  for (uint64_t seed = 21; seed <= 26; ++seed) {
+    Xorshift128Plus rng(seed);
+    SmallVector<uint64_t, 8> small;
+    std::vector<uint64_t> ref;
+    for (int op = 0; op < 8000; ++op) {
+      switch (rng.NextUint64(6)) {
+        case 0:
+        case 1: {
+          const uint64_t x = rng.NextUint64();
+          small.push_back(x);
+          ref.push_back(x);
+          break;
+        }
+        case 2: {
+          if (!ref.empty()) {
+            small.pop_back();
+            ref.pop_back();
+          }
+          break;
+        }
+        case 3: {  // positional insert
+          const size_t pos = ref.empty() ? 0 : rng.NextUint64(ref.size() + 1);
+          const uint64_t x = rng.NextUint64();
+          small.insert(small.begin() + pos, x);
+          ref.insert(ref.begin() + pos, x);
+          break;
+        }
+        case 4: {  // positional erase (swap-with-back is the grid's idiom,
+                   // but ordered erase is the general contract)
+          if (!ref.empty()) {
+            const size_t pos = rng.NextUint64(ref.size());
+            small.erase(small.begin() + pos);
+            ref.erase(ref.begin() + pos);
+          }
+          break;
+        }
+        default: {
+          if (rng.NextUint64(50) == 0) {
+            small.clear();
+            ref.clear();
+          }
+          break;
+        }
+      }
+      ASSERT_EQ(small.size(), ref.size());
+    }
+    ASSERT_TRUE(std::equal(small.begin(), small.end(), ref.begin(), ref.end()));
+  }
+}
+
+TEST(SmallVectorTest, NonTrivialElements) {
+  SmallVector<std::string, 2> v;
+  v.push_back("alpha");
+  v.push_back(std::string(100, 'b'));  // heap-backed string
+  v.push_back("gamma");                // forces spill with live strings
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], "alpha");
+  EXPECT_EQ(v[1], std::string(100, 'b'));
+  EXPECT_EQ(v[2], "gamma");
+
+  SmallVector<std::string, 2> moved = std::move(v);
+  ASSERT_EQ(moved.size(), 3u);
+  EXPECT_EQ(moved[2], "gamma");
+
+  SmallVector<std::string, 2> copied = moved;
+  moved[0] = "changed";
+  EXPECT_EQ(copied[0], "alpha");
+}
+
+TEST(SmallVectorTest, MoveOnlyElements) {
+  SmallVector<std::unique_ptr<int>, 2> v;
+  for (int i = 0; i < 10; ++i) v.push_back(std::make_unique<int>(i));
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(*v[i], i);
+  v.erase(v.begin() + 4);
+  ASSERT_EQ(v.size(), 9u);
+  EXPECT_EQ(*v[4], 5);
+  SmallVector<std::unique_ptr<int>, 2> w = std::move(v);
+  EXPECT_EQ(*w[0], 0);
+}
+
+TEST(SmallVectorTest, SortedInsertIdiom) {
+  // The ObjectRecord QList pattern: lower_bound + insert keeps it sorted.
+  SmallVector<QueryId, 4> qlist;
+  Xorshift128Plus rng(7);
+  std::vector<QueryId> ref;
+  for (int i = 0; i < 200; ++i) {
+    const QueryId q = rng.NextUint64(64);
+    auto it = std::lower_bound(qlist.begin(), qlist.end(), q);
+    if (it == qlist.end() || *it != q) {
+      qlist.insert(it, q);
+      ref.insert(std::lower_bound(ref.begin(), ref.end(), q), q);
+    }
+    ASSERT_TRUE(std::is_sorted(qlist.begin(), qlist.end()));
+  }
+  ASSERT_TRUE(std::equal(qlist.begin(), qlist.end(), ref.begin(), ref.end()));
+}
+
+}  // namespace
+}  // namespace stq

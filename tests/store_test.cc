@@ -35,12 +35,14 @@ TEST(ObjectStoreTest, QListStaysSortedAndUnique) {
   EXPECT_TRUE(ObjectStore::AddQuery(&rec, 2));
   EXPECT_TRUE(ObjectStore::AddQuery(&rec, 9));
   EXPECT_FALSE(ObjectStore::AddQuery(&rec, 5));  // duplicate
-  EXPECT_EQ(rec.queries, (std::vector<QueryId>{2, 5, 9}));
+  EXPECT_EQ(std::vector<QueryId>(rec.queries.begin(), rec.queries.end()),
+            (std::vector<QueryId>{2, 5, 9}));
   EXPECT_TRUE(ObjectStore::HasQuery(rec, 5));
   EXPECT_FALSE(ObjectStore::HasQuery(rec, 3));
   EXPECT_TRUE(ObjectStore::RemoveQuery(&rec, 5));
   EXPECT_FALSE(ObjectStore::RemoveQuery(&rec, 5));
-  EXPECT_EQ(rec.queries, (std::vector<QueryId>{2, 9}));
+  EXPECT_EQ(std::vector<QueryId>(rec.queries.begin(), rec.queries.end()),
+            (std::vector<QueryId>{2, 9}));
 }
 
 TEST(ObjectStoreTest, ForEachVisitsAll) {
