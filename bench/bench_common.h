@@ -24,6 +24,7 @@
 namespace stq_bench {
 
 inline size_t EnvSize(const char* name, size_t fallback) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at bench startup
   const char* value = std::getenv(name);
   if (value == nullptr) return fallback;
   const long long parsed = std::atoll(value);

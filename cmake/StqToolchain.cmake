@@ -21,6 +21,12 @@ set(STQ_SANITIZE "" CACHE STRING
     "Comma/semicolon-separated sanitizers: address, undefined, thread, leak")
 
 add_compile_options(-Wall -Wextra)
+if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+  # Capability analysis over the stq::Mutex annotations (common/mutex.h,
+  # common/annotations.h). Clang-only; the dedicated CI leg builds with
+  # clang + STQ_WERROR so violations are hard errors.
+  add_compile_options(-Wthread-safety)
+endif()
 if(STQ_WERROR)
   add_compile_options(-Werror)
 endif()

@@ -44,7 +44,7 @@ SnapshotResult QIndexProcessor::EvaluateTick(Timestamp now) {
   SnapshotResult result;
   result.time = now;
 
-  std::unordered_map<QueryId, std::vector<ObjectId>> answers;
+  FlatMap<QueryId, std::vector<ObjectId>> answers;
   answers.reserve(query_regions_.size());
   for (const auto& [qid, region] : query_regions_) answers[qid];
 

@@ -13,9 +13,8 @@
 #ifndef STQ_BASELINE_QINDEX_PROCESSOR_H_
 #define STQ_BASELINE_QINDEX_PROCESSOR_H_
 
-#include <unordered_map>
-
 #include "stq/baseline/snapshot_processor.h"
+#include "stq/common/flat_hash.h"
 #include "stq/common/status.h"
 #include "stq/geo/point.h"
 #include "stq/geo/rect.h"
@@ -53,8 +52,8 @@ class QIndexProcessor {
 
   Rect bounds_;
   RTree rtree_;  // indexes query regions by query id
-  std::unordered_map<QueryId, Rect> query_regions_;
-  std::unordered_map<ObjectId, StoredObject> objects_;
+  FlatMap<QueryId, Rect> query_regions_;
+  FlatMap<ObjectId, StoredObject> objects_;
 };
 
 }  // namespace stq

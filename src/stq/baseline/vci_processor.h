@@ -15,9 +15,8 @@
 #ifndef STQ_BASELINE_VCI_PROCESSOR_H_
 #define STQ_BASELINE_VCI_PROCESSOR_H_
 
-#include <unordered_map>
-
 #include "stq/baseline/snapshot_processor.h"  // SnapshotResult
+#include "stq/common/flat_hash.h"
 #include "stq/common/status.h"
 #include "stq/rtree/rtree.h"
 
@@ -76,8 +75,8 @@ class VciProcessor {
 
   Options options_;
   RTree rtree_;  // object positions as degenerate rectangles
-  std::unordered_map<ObjectId, StoredObject> objects_;
-  std::unordered_map<QueryId, Rect> query_regions_;
+  FlatMap<ObjectId, StoredObject> objects_;
+  FlatMap<QueryId, Rect> query_regions_;
   // Oldest indexed_at among live objects' index entries (the staleness
   // anchor); refreshed on rebuild.
   Timestamp oldest_index_time_ = 0.0;

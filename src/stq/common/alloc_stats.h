@@ -11,6 +11,11 @@
 // When the option is OFF, AllocCountingEnabled() is false and
 // AllocCount() is frozen at zero; TickStats then reports 0 allocations
 // and the allocation-budget test skips itself.
+//
+// Concurrency contract: the counter is a single relaxed std::atomic —
+// there is no mutex-guarded state here, so there is deliberately no
+// stq::Mutex/STQ_GUARDED_BY surface (a capability would imply ordering
+// the counter does not provide; see the AllocCount() comment).
 
 #ifndef STQ_COMMON_ALLOC_STATS_H_
 #define STQ_COMMON_ALLOC_STATS_H_

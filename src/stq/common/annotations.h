@@ -1,0 +1,71 @@
+// Clang thread-safety capability annotations.
+//
+// These macros attach Clang's -Wthread-safety attributes to mutexes, the
+// state they guard, and the functions that require them, so the engine's
+// cross-thread ownership story is machine-checked at compile time instead
+// of only probed dynamically by the TSan CI leg. Under any compiler other
+// than Clang (and under Clang versions without the attributes) every
+// macro expands to nothing, so the annotations cost nothing on GCC.
+//
+// Vocabulary (see DESIGN.md, "Static analysis & concurrency contracts"):
+//
+//   STQ_CAPABILITY("mutex")   on a class: instances are lockable
+//                             capabilities (stq::Mutex carries this).
+//   STQ_SCOPED_CAPABILITY     on a RAII class whose constructor acquires
+//                             and destructor releases (stq::MutexLock).
+//   STQ_GUARDED_BY(mu)        on a data member: reads and writes require
+//                             holding `mu`.
+//   STQ_PT_GUARDED_BY(mu)     on a pointer/smart-pointer member: the
+//                             *pointee* is guarded by `mu` (the pointer
+//                             itself may be read freely).
+//   STQ_REQUIRES(mu)          on a function: callers must hold `mu`.
+//   STQ_EXCLUDES(mu)          on a function: callers must NOT hold `mu`
+//                             (the function acquires it itself).
+//   STQ_ACQUIRE(mu) /         on a function: it acquires / releases `mu`
+//   STQ_RELEASE(mu)           (no argument inside a scoped capability
+//                             means "this").
+//   STQ_ASSERT_CAPABILITY(mu) on a function: it dynamically verifies the
+//                             caller holds `mu` (AssertHeld).
+//   STQ_RETURN_CAPABILITY(mu) on a function returning a reference to the
+//                             capability `mu`.
+//   STQ_NO_THREAD_SAFETY_ANALYSIS  escape hatch for functions whose
+//                             locking is deliberately invisible to the
+//                             analysis. Use with a justification comment.
+
+#ifndef STQ_COMMON_ANNOTATIONS_H_
+#define STQ_COMMON_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define STQ_HAS_THREAD_ATTRIBUTE_(x) __has_attribute(x)
+#else
+#define STQ_HAS_THREAD_ATTRIBUTE_(x) 0
+#endif
+
+#if STQ_HAS_THREAD_ATTRIBUTE_(guarded_by)
+#define STQ_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define STQ_THREAD_ANNOTATION_(x)
+#endif
+
+#define STQ_CAPABILITY(x) STQ_THREAD_ANNOTATION_(capability(x))
+#define STQ_SCOPED_CAPABILITY STQ_THREAD_ANNOTATION_(scoped_lockable)
+#define STQ_GUARDED_BY(x) STQ_THREAD_ANNOTATION_(guarded_by(x))
+#define STQ_PT_GUARDED_BY(x) STQ_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define STQ_REQUIRES(...) \
+  STQ_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define STQ_REQUIRES_SHARED(...) \
+  STQ_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+#define STQ_ACQUIRE(...) \
+  STQ_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define STQ_RELEASE(...) \
+  STQ_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define STQ_TRY_ACQUIRE(...) \
+  STQ_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define STQ_EXCLUDES(...) STQ_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define STQ_ASSERT_CAPABILITY(x) \
+  STQ_THREAD_ANNOTATION_(assert_capability(x))
+#define STQ_RETURN_CAPABILITY(x) STQ_THREAD_ANNOTATION_(lock_returned(x))
+#define STQ_NO_THREAD_SAFETY_ANALYSIS \
+  STQ_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // STQ_COMMON_ANNOTATIONS_H_

@@ -1,0 +1,86 @@
+// Annotated synchronization primitives: the only place in the library
+// allowed to include <mutex>/<condition_variable> (enforced by the
+// stq-lint include-hygiene check).
+//
+// stq::Mutex is a std::mutex carrying Clang's capability attribute, so
+// every piece of state it protects can be declared STQ_GUARDED_BY(mu_)
+// and every function that assumes the lock STQ_REQUIRES(mu_) — making
+// unlocked accesses a compile error under -Wthread-safety instead of a
+// schedule-dependent TSan finding. stq::MutexLock is the RAII guard;
+// stq::CondVar pairs with stq::Mutex for fork/join handoff.
+//
+// CondVar deliberately has no predicate-taking Wait: a lambda predicate's
+// body is analyzed without knowledge that the mutex is held, so guarded
+// reads inside it would need an escape hatch. Callers write the standard
+//
+//   while (!condition_over_guarded_state) cv_.Wait(mu_);
+//
+// loop instead, which the analysis checks end to end.
+
+#ifndef STQ_COMMON_MUTEX_H_
+#define STQ_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "stq/common/annotations.h"
+
+namespace stq {
+
+class STQ_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() STQ_ACQUIRE() { mu_.lock(); }
+  void Unlock() STQ_RELEASE() { mu_.unlock(); }
+  bool TryLock() STQ_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// RAII guard over an stq::Mutex (the std::lock_guard of the annotated
+// world). Scoped-capability: the analysis treats the guarded region as
+// holding the mutex from construction to destruction.
+class STQ_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) STQ_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() STQ_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+// Condition variable bound to stq::Mutex. Wait atomically releases the
+// mutex while blocked and reacquires it before returning; the REQUIRES
+// annotation makes the caller's held-lock obligation explicit.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) STQ_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the duration of the wait;
+    // release() hands ownership back without unlocking.
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace stq
+
+#endif  // STQ_COMMON_MUTEX_H_

@@ -37,18 +37,21 @@ class Result {
   // Returns OK when a value is held.
   const Status& status() const { return status_; }
 
-  // Precondition: ok().
+  // Precondition: ok(). These accessors ARE the class's checked access:
+  // callers branch on ok(), which wraps has_value() behind a call the
+  // optional-access flow analysis cannot see through (and NDEBUG builds
+  // compile the assert away) — hence the targeted suppressions.
   const T& value() const& {
     assert(ok());
-    return *value_;
+    return *value_;  // NOLINT(bugprone-unchecked-optional-access)
   }
   T& value() & {
     assert(ok());
-    return *value_;
+    return *value_;  // NOLINT(bugprone-unchecked-optional-access)
   }
   T&& value() && {
     assert(ok());
-    return std::move(*value_);
+    return std::move(*value_);  // NOLINT(bugprone-unchecked-optional-access)
   }
 
   const T& operator*() const& { return value(); }
@@ -57,7 +60,10 @@ class Result {
   T* operator->() { return &value(); }
 
   // Returns the held value or `fallback` when in the error state.
-  T value_or(T fallback) const& { return ok() ? *value_ : fallback; }
+  T value_or(T fallback) const& {
+    // NOLINTNEXTLINE(bugprone-unchecked-optional-access): guarded by ok()
+    return ok() ? *value_ : fallback;
+  }
 
  private:
   Status status_;  // OK iff value_ holds a value.

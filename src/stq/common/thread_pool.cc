@@ -4,6 +4,8 @@
 
 #include "stq/common/check.h"
 
+// stq-lint: allow-file(alloc-discipline/function): see thread_pool.h.
+
 namespace stq {
 
 ThreadPool::ThreadPool(int num_workers) : num_workers_(num_workers) {
@@ -16,10 +18,10 @@ ThreadPool::ThreadPool(int num_workers) : num_workers_(num_workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutting_down_ = true;
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
@@ -48,21 +50,21 @@ void ThreadPool::RunShards(
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     STQ_CHECK(shards_outstanding_ == 0) << "RunShards is not reentrant";
     job_ = &fn;
     job_n_ = n;
     shards_outstanding_ = num_workers_ - 1;
     ++generation_;
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
 
   size_t begin = 0, end = 0;
   ShardBounds(n, /*shard=*/0, &begin, &end);
   if (begin < end) fn(0, begin, end);
 
-  std::unique_lock<std::mutex> lock(mu_);
-  work_done_.wait(lock, [this] { return shards_outstanding_ == 0; });
+  MutexLock lock(&mu_);
+  while (shards_outstanding_ != 0) work_done_.Wait(mu_);
   job_ = nullptr;
 }
 
@@ -72,10 +74,10 @@ void ThreadPool::WorkerLoop(int worker_index) {
     const std::function<void(int, size_t, size_t)>* job = nullptr;
     size_t n = 0;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock, [&] {
-        return shutting_down_ || generation_ != last_generation;
-      });
+      MutexLock lock(&mu_);
+      while (!shutting_down_ && generation_ == last_generation) {
+        work_ready_.Wait(mu_);
+      }
       if (shutting_down_) return;
       last_generation = generation_;
       job = job_;
@@ -85,8 +87,8 @@ void ThreadPool::WorkerLoop(int worker_index) {
     ShardBounds(n, worker_index, &begin, &end);
     if (begin < end) (*job)(worker_index, begin, end);
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--shards_outstanding_ == 0) work_done_.notify_one();
+      MutexLock lock(&mu_);
+      if (--shards_outstanding_ == 0) work_done_.NotifyOne();
     }
   }
 }

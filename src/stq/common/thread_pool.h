@@ -15,16 +15,22 @@
 //
 // One RunShards call may be in flight per pool at a time (the engine's
 // tick is itself serial); RunShards is not reentrant.
+//
+// stq-lint: allow-file(alloc-discipline/function): the job handed to the
+// persistent worker threads must be type-erased (a template cannot cross
+// the thread boundary), and the std::function is built once per RunShards
+// call — once per tick phase — never per element.
 
 #ifndef STQ_COMMON_THREAD_POOL_H_
 #define STQ_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "stq/common/annotations.h"
+#include "stq/common/mutex.h"
 
 namespace stq {
 
@@ -45,7 +51,8 @@ class ThreadPool {
   // completed. Shard boundaries depend only on (n, num_workers).
   void RunShards(size_t n,
                  const std::function<void(int shard, size_t begin,
-                                          size_t end)>& fn);
+                                          size_t end)>& fn)
+      STQ_EXCLUDES(mu_);
 
   // The shard [begin, end) that `shard` receives for a range of n items.
   // Exposed so callers can pre-size per-shard outputs.
@@ -61,16 +68,20 @@ class ThreadPool {
 
   const int num_workers_;
 
-  std::mutex mu_;
-  std::condition_variable work_ready_;
-  std::condition_variable work_done_;
+  // mu_ guards the fork/join handoff state below: the caller publishes a
+  // job under the lock, workers read it under the lock and run it outside
+  // (the job itself only touches per-shard state, per the class contract).
+  Mutex mu_;
+  CondVar work_ready_;
+  CondVar work_done_;
   // Generation counter: bumped once per RunShards call; workers run the
   // current job exactly once per generation.
-  uint64_t generation_ = 0;
-  const std::function<void(int, size_t, size_t)>* job_ = nullptr;
-  size_t job_n_ = 0;
-  int shards_outstanding_ = 0;
-  bool shutting_down_ = false;
+  uint64_t generation_ STQ_GUARDED_BY(mu_) = 0;
+  const std::function<void(int, size_t, size_t)>* job_ STQ_GUARDED_BY(mu_) =
+      nullptr;
+  size_t job_n_ STQ_GUARDED_BY(mu_) = 0;
+  int shards_outstanding_ STQ_GUARDED_BY(mu_) = 0;
+  bool shutting_down_ STQ_GUARDED_BY(mu_) = false;
 
   std::vector<std::thread> threads_;  // num_workers_ - 1 entries
 };

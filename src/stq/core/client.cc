@@ -5,8 +5,10 @@
 namespace stq {
 
 namespace {
-const std::unordered_set<ObjectId>& EmptySet() {
-  static const auto* kEmpty = new std::unordered_set<ObjectId>();
+const FlatSet<ObjectId>& EmptySet() {
+  // A static value would be destroyed at exit under other statics' feet.
+  // stq-lint: allow(alloc-discipline/new): intentionally leaked singleton
+  static const auto* kEmpty = new FlatSet<ObjectId>();
   return *kEmpty;
 }
 }  // namespace
@@ -45,7 +47,7 @@ void Client::RollbackToCommitted() {
   }
 }
 
-const std::unordered_set<ObjectId>& Client::AnswerOf(QueryId qid) const {
+const FlatSet<ObjectId>& Client::AnswerOf(QueryId qid) const {
   auto it = answers_.find(qid);
   return it == answers_.end() ? EmptySet() : it->second;
 }

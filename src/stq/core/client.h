@@ -20,10 +20,9 @@
 #define STQ_CORE_CLIENT_H_
 
 #include <cstddef>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "stq/common/flat_hash.h"
 #include "stq/common/ids.h"
 #include "stq/core/types.h"
 
@@ -51,7 +50,7 @@ class Client {
   void RollbackToCommitted();
 
   // Local answer for `qid`, empty when no update ever mentioned it.
-  const std::unordered_set<ObjectId>& AnswerOf(QueryId qid) const;
+  const FlatSet<ObjectId>& AnswerOf(QueryId qid) const;
 
   // Sorted copy for deterministic assertions.
   std::vector<ObjectId> SortedAnswerOf(QueryId qid) const;
@@ -61,8 +60,8 @@ class Client {
 
  private:
   ClientId id_;
-  std::unordered_map<QueryId, std::unordered_set<ObjectId>> answers_;
-  std::unordered_map<QueryId, std::unordered_set<ObjectId>> committed_;
+  FlatMap<QueryId, FlatSet<ObjectId>> answers_;
+  FlatMap<QueryId, FlatSet<ObjectId>> committed_;
   size_t updates_applied_ = 0;
 };
 

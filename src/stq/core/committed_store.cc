@@ -4,6 +4,7 @@ namespace stq {
 
 namespace {
 const FlatSet<ObjectId>& EmptySet() {
+  // stq-lint: allow(alloc-discipline/new): intentionally leaked singleton
   static const auto* kEmpty = new FlatSet<ObjectId>();
   return *kEmpty;
 }

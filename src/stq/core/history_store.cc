@@ -64,8 +64,10 @@ std::vector<ObjectId> HistoryStore::RangeAt(const Rect& region, Timestamp t,
 }
 
 void HistoryStore::PruneBefore(Timestamp horizon) {
-  for (auto it = timelines_.begin(); it != timelines_.end();) {
-    std::vector<Sample>& timeline = it->second;
+  // FlatMap::erase backward-shifts and would invalidate a live iterator,
+  // so dead timelines are collected first and erased after the sweep.
+  std::vector<ObjectId> dead;
+  for (auto& [id, timeline] : timelines_) {
     // Keep the latest sample at or before the horizon (sample-and-hold
     // needs it) plus everything after.
     auto keep_from = std::upper_bound(
@@ -76,11 +78,10 @@ void HistoryStore::PruneBefore(Timestamp horizon) {
     // A timeline reduced to a single tombstone is dead weight.
     if (timeline.size() == 1 && timeline[0].removed &&
         timeline[0].t <= horizon) {
-      it = timelines_.erase(it);
-    } else {
-      ++it;
+      dead.push_back(id);
     }
   }
+  for (ObjectId id : dead) timelines_.erase(id);
 }
 
 size_t HistoryStore::num_samples() const {

@@ -16,10 +16,10 @@
 
 #include <cstddef>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "stq/common/clock.h"
+#include "stq/common/flat_hash.h"
 #include "stq/common/ids.h"
 #include "stq/geo/point.h"
 #include "stq/geo/rect.h"
@@ -75,8 +75,9 @@ class HistoryStore {
     bool removed = false;  // tombstone: object absent from `t` onward
   };
 
-  // Time-ordered per-object samples.
-  std::unordered_map<ObjectId, std::vector<Sample>> timelines_;
+  // Time-ordered per-object samples. Hash iteration order never leaks:
+  // RangeAt sorts its ids before returning (see flat_hash.h).
+  FlatMap<ObjectId, std::vector<Sample>> timelines_;
 };
 
 }  // namespace stq

@@ -934,6 +934,7 @@ std::vector<KnnEvaluator::Neighbor> QueryProcessor::SearchKnn(
 }
 
 void QueryProcessor::ForEachObjectInfo(
+    // stq-lint: allow(alloc-discipline/function): cold introspection walk
     const std::function<void(const ObjectInfo&)>& fn) const {
   if (sharded_ != nullptr) {
     sharded_->ForEachObjectInfo(fn);
@@ -952,6 +953,7 @@ void QueryProcessor::ForEachObjectInfo(
 }
 
 void QueryProcessor::ForEachQueryInfo(
+    // stq-lint: allow(alloc-discipline/function): cold introspection walk
     const std::function<void(const QueryInfo&)>& fn) const {
   if (sharded_ != nullptr) {
     sharded_->ForEachQueryInfo(fn);

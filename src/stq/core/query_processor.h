@@ -163,7 +163,12 @@ class QueryProcessor {
     double t_to = 0.0;
     size_t answer_size = 0;
   };
+  // Cold introspection walks (persistence capture, invariant audits).
+  // Type erasure keeps the processor internals out of callers' headers,
+  // and the wrap cost is paid once per walk, never per element.
+  // stq-lint: allow(alloc-discipline/function): cold introspection walk
   void ForEachObjectInfo(const std::function<void(const ObjectInfo&)>& fn) const;
+  // stq-lint: allow(alloc-discipline/function): cold introspection walk
   void ForEachQueryInfo(const std::function<void(const QueryInfo&)>& fn) const;
 
   // The answer currently reported for `id` (sorted by object id).

@@ -221,8 +221,9 @@ std::optional<ClientId> Server::OwnerOf(QueryId qid) const {
 std::vector<Server::Delivery> Server::Tick(Timestamp now) {
   last_tick_ = processor_.EvaluateTick(now);
 
-  // Route the canonical update stream per owning client.
-  std::unordered_map<ClientId, Delivery> by_client;
+  // Route the canonical update stream per owning client. Hash iteration
+  // order never leaks: deliveries are sorted by client id below.
+  FlatMap<ClientId, Delivery> by_client;
   for (const Update& u : last_tick_.updates) {
     auto owner = query_owner_.find(u.query);
     if (owner == query_owner_.end()) continue;  // unbound query: no channel

@@ -18,9 +18,9 @@
 
 #include <cstddef>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "stq/common/flat_hash.h"
 #include "stq/common/result.h"
 #include "stq/common/status.h"
 #include "stq/core/committed_store.h"
@@ -157,8 +157,8 @@ class Server {
   Options options_;
   QueryProcessor processor_;
   CommittedStore committed_;
-  std::unordered_map<ClientId, ClientChannel> clients_;
-  std::unordered_map<QueryId, ClientId> query_owner_;
+  FlatMap<ClientId, ClientChannel> clients_;
+  FlatMap<QueryId, ClientId> query_owner_;
   TickResult last_tick_;
   size_t total_bytes_shipped_ = 0;
   size_t total_recovery_bytes_ = 0;

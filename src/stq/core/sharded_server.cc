@@ -998,6 +998,7 @@ bool ShardedEngine::GetAnswerSet(QueryId id, FlatSet<ObjectId>* out) const {
 }
 
 void ShardedEngine::ForEachObjectInfo(
+    // stq-lint: allow(alloc-discipline/function): cold introspection walk
     const std::function<void(const QueryProcessor::ObjectInfo&)>& fn) const {
   for (const auto& [oid, ro] : objects_) {
     QueryProcessor::ObjectInfo info;
@@ -1011,6 +1012,7 @@ void ShardedEngine::ForEachObjectInfo(
 }
 
 void ShardedEngine::ForEachQueryInfo(
+    // stq-lint: allow(alloc-discipline/function): cold introspection walk
     const std::function<void(const QueryProcessor::QueryInfo&)>& fn) const {
   for (const auto& [qid, rq] : queries_) {
     QueryProcessor::QueryInfo info;

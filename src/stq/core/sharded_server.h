@@ -30,6 +30,18 @@
 // trick, across shards). Per-shard engines therefore hold no k-NN state.
 //
 // See DESIGN.md, "Sharded execution", for the determinism argument.
+//
+// Concurrency contract: shard state carries no locks by design. During
+// a parallel tick each worker owns exactly the shards RunShards hands
+// it (a static partition of [0, S)), and no thread — including the
+// caller — touches another shard's QueryProcessor until the join. The
+// fork and join barriers inside ThreadPool::RunShards run under the
+// pool's annotated stq::Mutex, so every per-shard write made by a
+// worker happens-before the router's merge that follows the call.
+// Router state (dedup counts, update buffers, scratch) is touched only
+// by the caller thread between forks. The capability annotations live
+// where the sharing actually happens: common/thread_pool.h. See
+// DESIGN.md, "Static analysis & concurrency contracts".
 
 #ifndef STQ_CORE_SHARDED_SERVER_H_
 #define STQ_CORE_SHARDED_SERVER_H_
@@ -117,8 +129,10 @@ class ShardedEngine {
   // Router-level views matching QueryProcessor::ForEach*Info (iteration
   // order unspecified; qlist_size is 0 — QLists live in the shards).
   void ForEachObjectInfo(
+      // stq-lint: allow(alloc-discipline/function): cold introspection walk
       const std::function<void(const QueryProcessor::ObjectInfo&)>& fn) const;
   void ForEachQueryInfo(
+      // stq-lint: allow(alloc-discipline/function): cold introspection walk
       const std::function<void(const QueryProcessor::QueryInfo&)>& fn) const;
 
   // Exact global k nearest neighbours of `center`: home-shard search,

@@ -12,7 +12,9 @@ namespace stq {
 // A handle into the live view. Handles hold a shared_ptr to their node;
 // after SimulateCrash the live view is rebuilt, the node becomes
 // unreachable, and the handle is "stale" — its operations fail without
-// touching durable state (the process that owned it is dead).
+// touching durable state (the process that owned it is dead). The node's
+// contents are guarded by the env's mutex (see fault_env.h): every method
+// locks env_->mu_ before touching node_ or the env's views.
 class FaultWritableFile final : public WritableFile {
  public:
   FaultWritableFile(FaultInjectionEnv* env, std::string path,
@@ -20,7 +22,7 @@ class FaultWritableFile final : public WritableFile {
       : env_(env), path_(std::move(path)), node_(std::move(node)) {}
 
   Status Append(const char* data, size_t n) override {
-    std::lock_guard<std::mutex> lock(env_->mu_);
+    MutexLock lock(&env_->mu_);
     if (closed_) return Status::FailedPrecondition("file closed: " + path_);
     int64_t tear = -1;
     Status s = env_->Charge("append", path_, &tear);
@@ -40,13 +42,13 @@ class FaultWritableFile final : public WritableFile {
   }
 
   Status Flush() override {
-    std::lock_guard<std::mutex> lock(env_->mu_);
+    MutexLock lock(&env_->mu_);
     if (closed_) return Status::FailedPrecondition("file closed: " + path_);
     return env_->Charge("flush", path_);
   }
 
   Status Sync() override {
-    std::lock_guard<std::mutex> lock(env_->mu_);
+    MutexLock lock(&env_->mu_);
     if (closed_) return Status::FailedPrecondition("file closed: " + path_);
     STQ_RETURN_IF_ERROR(env_->Charge("sync", path_));
     if (!env_->IsLive(path_, node_)) {
@@ -61,7 +63,7 @@ class FaultWritableFile final : public WritableFile {
   }
 
   Status Close() override {
-    std::lock_guard<std::mutex> lock(env_->mu_);
+    MutexLock lock(&env_->mu_);
     if (closed_) return Status::OK();
     closed_ = true;
     return env_->Charge("close", path_);
@@ -70,7 +72,8 @@ class FaultWritableFile final : public WritableFile {
  private:
   FaultInjectionEnv* env_;
   std::string path_;
-  std::shared_ptr<FaultInjectionEnv::FileNode> node_;
+  std::shared_ptr<FaultInjectionEnv::FileNode> node_
+      STQ_PT_GUARDED_BY(env_->mu_);
   bool closed_ = false;
 };
 
@@ -83,7 +86,7 @@ class FaultSequentialFile final : public SequentialFile {
       : env_(env), path_(std::move(path)), contents_(std::move(contents)) {}
 
   Status Read(size_t n, std::string* out) override {
-    std::lock_guard<std::mutex> lock(env_->mu_);
+    MutexLock lock(&env_->mu_);
     STQ_RETURN_IF_ERROR(env_->Charge("read", path_));
     const size_t got = std::min(n, contents_.size() - pos_);
     out->assign(contents_, pos_, got);
@@ -99,33 +102,33 @@ class FaultSequentialFile final : public SequentialFile {
 };
 
 void FaultInjectionEnv::SetFailpoint(const std::string& op, Failpoint fp) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   failpoints_[op] = FailpointState{std::move(fp), 0, 0};
 }
 
 void FaultInjectionEnv::ClearFailpoint(const std::string& op) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   failpoints_.erase(op);
 }
 
 void FaultInjectionEnv::ClearFailpoints() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   failpoints_.clear();
 }
 
 void FaultInjectionEnv::CrashAfterOps(uint64_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   crash_after_ = ops_ + n + 1;
   crashed_ = false;
 }
 
 bool FaultInjectionEnv::crashed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return crashed_;
 }
 
 uint64_t FaultInjectionEnv::op_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return ops_;
 }
 
@@ -174,7 +177,7 @@ void FaultInjectionEnv::RecordMetaOp(MetaOp op) {
 Status FaultInjectionEnv::NewWritableFile(
     const std::string& path, bool truncate,
     std::unique_ptr<WritableFile>* file) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   STQ_RETURN_IF_ERROR(Charge("new_writable", path));
   if (!dirs_.contains(DirName(path))) {
     return Status::IOError("cannot open for writing (no such directory): " +
@@ -201,7 +204,7 @@ Status FaultInjectionEnv::NewWritableFile(
 
 Status FaultInjectionEnv::NewSequentialFile(
     const std::string& path, std::unique_ptr<SequentialFile>* file) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   STQ_RETURN_IF_ERROR(Charge("new_sequential", path));
   auto it = live_.find(path);
   if (it == live_.end()) {
@@ -213,7 +216,7 @@ Status FaultInjectionEnv::NewSequentialFile(
 
 Status FaultInjectionEnv::RenameFile(const std::string& from,
                                      const std::string& to) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   STQ_RETURN_IF_ERROR(Charge("rename", to));
   auto it = live_.find(from);
   if (it == live_.end()) return Status::IOError("rename: no such file: " + from);
@@ -224,7 +227,7 @@ Status FaultInjectionEnv::RenameFile(const std::string& from,
 }
 
 Status FaultInjectionEnv::RemoveFile(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   STQ_RETURN_IF_ERROR(Charge("remove", path));
   if (live_.erase(path) == 0) {
     return Status::IOError("remove: no such file: " + path);
@@ -235,7 +238,7 @@ Status FaultInjectionEnv::RemoveFile(const std::string& path) {
 
 Status FaultInjectionEnv::TruncateFile(const std::string& path,
                                        uint64_t size) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   STQ_RETURN_IF_ERROR(Charge("truncate", path));
   auto it = live_.find(path);
   if (it == live_.end()) {
@@ -251,7 +254,7 @@ Status FaultInjectionEnv::TruncateFile(const std::string& path,
 }
 
 Status FaultInjectionEnv::SyncDir(const std::string& dir) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   STQ_RETURN_IF_ERROR(Charge("syncdir", dir));
   if (!dirs_.contains(dir)) {
     return Status::IOError("cannot open dir: " + dir);
@@ -285,7 +288,7 @@ Status FaultInjectionEnv::SyncDir(const std::string& dir) {
 }
 
 Status FaultInjectionEnv::CreateDir(const std::string& dir) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   STQ_RETURN_IF_ERROR(Charge("mkdir", dir));
   dirs_.emplace(dir, true);
   return Status::OK();
@@ -293,7 +296,7 @@ Status FaultInjectionEnv::CreateDir(const std::string& dir) {
 
 Status FaultInjectionEnv::ListDir(const std::string& dir,
                                   std::vector<std::string>* names) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   STQ_RETURN_IF_ERROR(Charge("listdir", dir));
   if (!dirs_.contains(dir)) {
     return Status::IOError("cannot list dir: " + dir);
@@ -308,13 +311,13 @@ Status FaultInjectionEnv::ListDir(const std::string& dir,
 }
 
 bool FaultInjectionEnv::FileExists(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return live_.contains(path);
 }
 
 Status FaultInjectionEnv::GetFileSize(const std::string& path,
                                       uint64_t* size) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   STQ_RETURN_IF_ERROR(Charge("filesize", path));
   auto it = live_.find(path);
   if (it == live_.end()) return Status::IOError("stat: no such file: " + path);
@@ -323,7 +326,7 @@ Status FaultInjectionEnv::GetFileSize(const std::string& path,
 }
 
 void FaultInjectionEnv::SimulateCrash(UnsyncedLoss loss, uint64_t seed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Xorshift128Plus rng(seed);
 
   if (loss == UnsyncedLoss::kKeepAll) {
@@ -379,14 +382,14 @@ void FaultInjectionEnv::SimulateCrash(UnsyncedLoss loss, uint64_t seed) {
 
 std::string FaultInjectionEnv::FileContentsForTest(
     const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = live_.find(path);
   return it == live_.end() ? std::string() : it->second->data;
 }
 
 uint64_t FaultInjectionEnv::DurableBytesForTest(
     const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = durable_.find(path);
   return it == durable_.end() ? 0 : it->second.size();
 }

@@ -36,10 +36,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "stq/common/annotations.h"
+#include "stq/common/mutex.h"
 #include "stq/storage/env.h"
 
 namespace stq {
@@ -138,26 +139,32 @@ class FaultInjectionEnv final : public Env {
   // Returns non-OK if the call must fail; *tear_bytes (may be null)
   // receives the torn-write allowance for append ops.
   Status Charge(const std::string& op, const std::string& path,
-                int64_t* tear_bytes = nullptr)
-      /* requires mu_ */;
+                int64_t* tear_bytes = nullptr) STQ_REQUIRES(mu_);
 
   // True while `node` is still reachable in the live view (handles to
   // pre-crash nodes go stale and must not touch durable state).
   bool IsLive(const std::string& path,
-              const std::shared_ptr<FileNode>& node) const
-      /* requires mu_ */;
+              const std::shared_ptr<FileNode>& node) const STQ_REQUIRES(mu_);
 
-  void RecordMetaOp(MetaOp op) /* requires mu_ */;
+  void RecordMetaOp(MetaOp op) STQ_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<FileNode>> live_;
-  std::map<std::string, std::string> durable_;  // name-durable path -> content
-  std::map<std::string, std::vector<MetaOp>> pending_meta_;  // per parent dir
-  std::map<std::string, bool> dirs_;  // live dirs (value: durably exists)
-  std::map<std::string, FailpointState> failpoints_;
-  uint64_t ops_ = 0;
-  uint64_t crash_after_ = 0;  // 0 = disarmed
-  bool crashed_ = false;
+  // One mutex guards the whole in-memory filesystem: both views, the
+  // metadata journals, and the fault scripting state. File handles
+  // (FaultWritableFile / FaultSequentialFile) lock it through their env
+  // pointer before touching their FileNode — nodes are reached only via
+  // `live_` or a handle, so they are covered by mu_ too.
+  mutable Mutex mu_;
+  std::map<std::string, std::shared_ptr<FileNode>> live_ STQ_GUARDED_BY(mu_);
+  // Name-durable path -> content.
+  std::map<std::string, std::string> durable_ STQ_GUARDED_BY(mu_);
+  // Pending metadata ops per parent dir.
+  std::map<std::string, std::vector<MetaOp>> pending_meta_ STQ_GUARDED_BY(mu_);
+  // Live dirs (value: durably exists).
+  std::map<std::string, bool> dirs_ STQ_GUARDED_BY(mu_);
+  std::map<std::string, FailpointState> failpoints_ STQ_GUARDED_BY(mu_);
+  uint64_t ops_ STQ_GUARDED_BY(mu_) = 0;
+  uint64_t crash_after_ STQ_GUARDED_BY(mu_) = 0;  // 0 = disarmed
+  bool crashed_ STQ_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace stq

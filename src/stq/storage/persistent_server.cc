@@ -1,8 +1,8 @@
 #include "stq/storage/persistent_server.h"
 
 #include <algorithm>
-#include <unordered_set>
 
+#include "stq/common/flat_hash.h"
 #include "stq/common/logging.h"
 
 namespace stq {
@@ -66,7 +66,7 @@ Status PersistentServer::Open() {
 
   // Re-attach every known client channel in the disconnected state and
   // rebind their queries; clients resynchronize via ReconnectClient.
-  std::unordered_set<ClientId> seen;
+  FlatSet<ClientId> seen;
   for (const PersistedQuery& q : state.queries) {
     if (q.owner == 0) continue;
     if (seen.insert(q.owner).second) {

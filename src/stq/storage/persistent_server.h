@@ -18,6 +18,14 @@
 // durable, and Tick() stops delivering answers. The owner decides
 // whether to crash, alert, or fail over; the one thing a degraded server
 // never does is lie.
+//
+// Concurrency contract: externally synchronized. One thread drives the
+// ingest/tick/checkpoint API (the WAL append order IS the recovery
+// order, so interleaving callers would scramble the log); internal
+// parallelism stays behind ShardedEngine's fork/join (see
+// sharded_server.h). Hence no stq::Mutex members here — a concurrent
+// facade belongs in front of this class, not inside it. See DESIGN.md,
+// "Static analysis & concurrency contracts".
 
 #ifndef STQ_STORAGE_PERSISTENT_SERVER_H_
 #define STQ_STORAGE_PERSISTENT_SERVER_H_

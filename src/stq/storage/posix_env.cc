@@ -12,6 +12,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <system_error>
 
 #include "stq/storage/env.h"
 
@@ -20,7 +21,9 @@ namespace stq {
 namespace {
 
 Status PosixError(const std::string& context, int err) {
-  return Status::IOError(context + ": " + std::strerror(err));
+  // system_category().message() rather than strerror(): the latter
+  // returns a pointer into static storage (concurrency-mt-unsafe).
+  return Status::IOError(context + ": " + std::system_category().message(err));
 }
 
 class PosixWritableFile final : public WritableFile {

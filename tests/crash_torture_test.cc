@@ -458,6 +458,7 @@ TEST(CrashTortureTest, DeterministicSweepRecoversExactlyAtSyncBoundary) {
 // acknowledged prefix, pass the audit, and survive a checkpoint+reopen.
 TEST(CrashTortureTest, RandomizedTornCrashesRecoverToAckedPrefix) {
   int seeds = 24;
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once, single-threaded
   if (const char* from_env = std::getenv("STQ_TORTURE_SEEDS")) {
     seeds = std::max(1, std::atoi(from_env));
   }

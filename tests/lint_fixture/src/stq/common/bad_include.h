@@ -1,0 +1,9 @@
+// Positive cases for the include-hygiene check.
+#ifndef STQ_FIXTURE_BAD_INCLUDE_H_
+#define STQ_FIXTURE_BAD_INCLUDE_H_
+
+#include <iostream>  // include-hygiene/banned-header
+#include <random>    // include-hygiene/banned-header
+#include <mutex>     // include-hygiene/banned-header (outside common/mutex.h)
+
+#endif  // STQ_FIXTURE_BAD_INCLUDE_H_

@@ -1,0 +1,16 @@
+// stq-lint: allow-file(alloc-discipline): fixture for file-scoped waivers
+//
+// The allow-file above suppresses every alloc-discipline rule in this
+// file; other checks still apply (common/ is not stream-emitting, so
+// none fire here). This file must lint clean.
+#include <functional>
+
+namespace stq {
+
+struct Erased {
+  std::function<void()> fn;
+};
+
+Erased* MakeErased() { return new Erased(); }
+
+}  // namespace stq

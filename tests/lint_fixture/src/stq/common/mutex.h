@@ -1,0 +1,10 @@
+// The real common/mutex.h is the one place allowed to include the raw
+// synchronization headers; this fixture must lint clean.
+#ifndef STQ_FIXTURE_MUTEX_H_
+#define STQ_FIXTURE_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#endif  // STQ_FIXTURE_MUTEX_H_

@@ -1,0 +1,21 @@
+// Positive cases for the alloc-discipline check (core/ is hot-path).
+#include <functional>
+
+namespace stq {
+
+struct Widget {
+  int x = 0;
+};
+
+// A waiver naming the wrong check does not suppress the finding.
+std::function<void(int)> sink;  // stq-lint: allow(determinism): wrong check
+
+Widget* Leak() {
+  return new Widget();  // alloc-discipline/new
+}
+
+// A waiver naming the wrong rule does not suppress the finding either.
+// stq-lint: allow(alloc-discipline/container): wrong rule
+Widget* LeakAgain() { return new Widget(); }
+
+}  // namespace stq

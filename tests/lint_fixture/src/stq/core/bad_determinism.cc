@@ -1,0 +1,26 @@
+// Positive cases for the determinism check (core/ is stream-emitting).
+#include <chrono>
+#include <unordered_map>
+
+namespace stq {
+
+int AmbientRandomness() {
+  int a = rand();                       // determinism/random
+  srand(42);                            // determinism/random
+  std::random_device rd;                // determinism/random
+  return a + static_cast<int>(rd());
+}
+
+double WallClock() {
+  auto now = std::chrono::system_clock::now();  // determinism/clock
+  long t = time(nullptr);                       // determinism/clock
+  struct timeval tv;
+  gettimeofday(&tv, nullptr);                   // determinism/clock
+  return static_cast<double>(t) + now.time_since_epoch().count();
+}
+
+// Fires twice: determinism/unordered and alloc-discipline/container
+// (core/ is in both scopes).
+std::unordered_map<int, int> table;
+
+}  // namespace stq

@@ -1,0 +1,42 @@
+// Negative cases: everything here merely looks like a violation. The
+// driver must report nothing for this file.
+#include <chrono>
+#include <cstddef>
+
+namespace stq {
+
+struct MockClock;  // fixture-only: member bodies are never needed
+
+// steady_clock is monotonic and allowed (stats wall timing only).
+long StatsTiming() {
+  auto t0 = std::chrono::steady_clock::now();
+  return t0.time_since_epoch().count();
+}
+
+// Member calls named like banned functions are not ambient reads
+// (defining a function NAMED time/clock/rand would still fire — that
+// shadowing is exactly what the check wants surfaced).
+double MemberCalls(const MockClock& clock, MockClock* p);
+double UseMembers(const MockClock& clock, MockClock* p) {
+  return clock.time() + (p != nullptr ? p->time() : 0.0);
+}
+
+// Identifiers that merely contain a banned name.
+int playtime(int x) { return x; }
+int renew(int x) { return playtime(x); }
+
+// Mentions in comments and strings are stripped before matching:
+// calling fopen( or time( or new Widget here proves nothing.
+const char* kDoc = "uses fopen( and rand( and new Gadget internally";
+
+// operator new declarations and placement new are not naked
+// new-expressions.
+void* operator new(std::size_t size, void* where) noexcept;
+
+struct Slot {
+  unsigned char bytes[8];
+};
+
+void Construct(Slot* slot) { ::new (static_cast<void*>(slot)) Slot(); }
+
+}  // namespace stq

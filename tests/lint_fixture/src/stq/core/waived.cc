@@ -1,0 +1,30 @@
+// Every waiver form, each suppressing a real finding: this file must
+// lint clean.
+#include <functional>
+
+namespace stq {
+
+struct Gadget {
+  int x = 0;
+};
+
+// Same-line waiver with rule granularity.
+Gadget* a = new Gadget();  // stq-lint: allow(alloc-discipline/new): test
+
+// Waiver on a comment-only line applies to the line below it.
+// stq-lint: allow(alloc-discipline/new): next-line form
+Gadget* b = new Gadget();
+
+// For a statement that spans lines, the waiver goes directly above the
+// flagged line — inside the expression is fine.
+Gadget* e =
+    // stq-lint: allow(alloc-discipline/new): flagged line is below
+    new Gadget();
+
+// Check-level waiver (no rule) covers every rule of the check.
+int c = rand();  // stq-lint: allow(determinism): seeded upstream, test only
+
+// stq-lint: allow(alloc-discipline/function): type-erased test hook
+std::function<void()> d;
+
+}  // namespace stq

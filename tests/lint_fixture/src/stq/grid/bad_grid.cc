@@ -1,0 +1,12 @@
+// grid/ is both stream-emitting and hot-path: std::unordered_* fires
+// under determinism and alloc-discipline, PRNG engines under
+// determinism.
+#include <random>
+#include <unordered_set>
+
+namespace stq {
+
+std::mt19937 engine;              // determinism/random
+std::unordered_set<int> bucket;   // determinism/unordered + alloc/container
+
+}  // namespace stq

@@ -1,0 +1,21 @@
+// Positive cases for the io-routing check: raw OS I/O outside
+// posix_env.cc.
+#include <cstdio>
+#include <fcntl.h>   // io-routing/os-header
+#include <unistd.h>  // io-routing/os-header
+
+namespace stq {
+
+bool WriteDirectly(const char* path) {
+  FILE* f = fopen(path, "wb");  // io-routing/stdio
+  if (f == nullptr) return false;
+  fsync(fileno(f));  // io-routing/stdio (one finding per line per rule)
+  fclose(f);         // io-routing/stdio
+  return true;
+}
+
+bool Swap(const char* from, const char* to) {
+  return std::rename(from, to) == 0;  // io-routing/std-file
+}
+
+}  // namespace stq

@@ -1,0 +1,17 @@
+// The one file allowed to touch the OS: every io-routing rule is exempt
+// here by path. This fixture must lint clean.
+#include <cstdio>
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace stq {
+
+bool EnvWrite(const char* path) {
+  FILE* f = fopen(path, "wb");
+  if (f == nullptr) return false;
+  fsync(fileno(f));
+  fclose(f);
+  return std::rename(path, path) == 0;
+}
+
+}  // namespace stq

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Golden test for tools/stq_lint.py against tests/lint_fixture/.
+
+Proves every check fires where it should, stays quiet on the negative
+cases (path exemptions, comment/string mentions, placement new), and
+honors every waiver form. Run from anywhere; registered in ctest as
+`stq_lint_test`.
+"""
+
+import os
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DRIVER = os.path.join(REPO, "tools", "stq_lint.py")
+FIXTURE = os.path.join(REPO, "tests", "lint_fixture")
+
+
+def run(*extra):
+    return subprocess.run(
+        [sys.executable, DRIVER, "--root", FIXTURE, *extra],
+        capture_output=True, text=True)
+
+
+def fail(message):
+    print(f"FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def main():
+    failures = 0
+
+    # Full run matches the golden diagnostics exactly.
+    with open(os.path.join(FIXTURE, "expected.txt"), encoding="utf-8") as f:
+        expected = f.read()
+    proc = run()
+    if proc.returncode != 1:
+        failures += fail(f"full run: want exit 1, got {proc.returncode}")
+    if proc.stdout != expected:
+        import difflib
+        diff = "".join(difflib.unified_diff(
+            expected.splitlines(keepends=True),
+            proc.stdout.splitlines(keepends=True),
+            fromfile="expected.txt", tofile="stq_lint.py output"))
+        failures += fail("full run: output diverges from golden\n" + diff)
+
+    # A single --check runs only that check's rules.
+    proc = run("--check", "io-routing")
+    got = [l for l in proc.stdout.splitlines() if l]
+    want = [l for l in expected.splitlines() if "[io-routing/" in l]
+    if got != want:
+        failures += fail(f"--check io-routing: want {len(want)} findings, "
+                         f"got {len(got)}")
+
+    # --list-checks enumerates the registry and exits 0.
+    proc = run("--list-checks")
+    if proc.returncode != 0 or "io-routing" not in proc.stdout:
+        failures += fail("--list-checks: bad exit or missing check")
+
+    if failures:
+        print(f"{failures} failure(s)", file=sys.stderr)
+        return 1
+    print("OK: fixture diagnostics match golden")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
