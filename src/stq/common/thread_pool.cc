@@ -1,6 +1,7 @@
 #include "stq/common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "stq/common/check.h"
 
@@ -66,6 +67,27 @@ void ThreadPool::RunShards(
   MutexLock lock(&mu_);
   while (shards_outstanding_ != 0) work_done_.Wait(mu_);
   job_ = nullptr;
+}
+
+void ThreadPool::RunDynamic(size_t n,
+                            const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (num_workers_ == 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // One claiming loop per worker: RunShards hands each worker exactly one
+  // "slot" and the slots drain a shared atomic cursor. The fork/join
+  // barriers in RunShards give every write made inside fn a
+  // happens-before edge to the caller's code after this returns.
+  std::atomic<size_t> next{0};
+  RunShards(std::min(n, static_cast<size_t>(num_workers_)),
+            [&](int, size_t, size_t) {
+              for (size_t i = next.fetch_add(1, std::memory_order_relaxed);
+                   i < n; i = next.fetch_add(1, std::memory_order_relaxed)) {
+                fn(i);
+              }
+            });
 }
 
 void ThreadPool::WorkerLoop(int worker_index) {

@@ -54,6 +54,17 @@ class ThreadPool {
                                           size_t end)>& fn)
       STQ_EXCLUDES(mu_);
 
+  // Work-stealing variant: runs fn(i) exactly once for every i in
+  // [0, n), but items are claimed dynamically — each idle worker
+  // (including the caller) grabs the next unclaimed index, so one slow
+  // item never serializes the batch behind a static partition. Which
+  // worker runs which item is nondeterministic; callers keep results
+  // deterministic by writing only to per-item output slots (the same
+  // read-only/per-slot contract as RunShards). Blocks until all n items
+  // completed; not reentrant (it is built on RunShards).
+  void RunDynamic(size_t n, const std::function<void(size_t item)>& fn)
+      STQ_EXCLUDES(mu_);
+
   // The shard [begin, end) that `shard` receives for a range of n items.
   // Exposed so callers can pre-size per-shard outputs.
   void ShardBounds(size_t n, int shard, size_t* begin, size_t* end) const;

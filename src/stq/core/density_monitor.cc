@@ -12,10 +12,9 @@ DensityMonitor::DensityMonitor(const GridIndex* grid, size_t threshold)
 
 std::vector<DenseCellUpdate> DensityMonitor::Tick() {
   std::vector<DenseCellUpdate> updates;
-  const int n = grid_->cells_per_side();
   std::set<std::pair<int, int>> fresh;
-  for (int cy = 0; cy < n; ++cy) {
-    for (int cx = 0; cx < n; ++cx) {
+  for (int cy = 0; cy < grid_->cells_y(); ++cy) {
+    for (int cx = 0; cx < grid_->cells_x(); ++cx) {
       const CellCoord cell{cx, cy};
       const size_t count = grid_->ObjectCountInCell(cell);
       if (count < threshold_) continue;

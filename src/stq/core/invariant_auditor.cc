@@ -112,12 +112,11 @@ void AuditAnswerSymmetry(const QueryProcessor& qp, ViolationSink* sink) {
 
 void AuditGridAgreement(const QueryProcessor& qp, ViolationSink* sink) {
   const GridIndex& grid = qp.grid();
-  const int n = grid.cells_per_side();
 
   EntryCounts actual_objects;
   EntryCounts actual_queries;
-  for (int cy = 0; cy < n; ++cy) {
-    for (int cx = 0; cx < n; ++cx) {
+  for (int cy = 0; cy < grid.cells_y(); ++cy) {
+    for (int cx = 0; cx < grid.cells_x(); ++cx) {
       const CellCoord c{cx, cy};
       grid.ForEachObjectInCell(
           c, [&](ObjectId id) { ++actual_objects[{{cx, cy}, id}]; });

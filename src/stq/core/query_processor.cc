@@ -51,7 +51,12 @@ QueryProcessor::QueryProcessor(const QueryProcessorOptions& options)
                 : nullptr),
       grid_(std::make_unique<GridIndex>(
           options_.bounds,
-          options.num_shards > 1 ? 1 : options_.grid_cells_per_side)),
+          options.num_shards > 1 ? 1
+          : options_.grid_cells_x > 0 ? options_.grid_cells_x
+                                      : options_.grid_cells_per_side,
+          options.num_shards > 1 ? 1
+          : options_.grid_cells_y > 0 ? options_.grid_cells_y
+                                      : options_.grid_cells_per_side)),
       range_(EngineState{grid_.get(), &objects_, &queries_, &options_}),
       knn_(EngineState{grid_.get(), &objects_, &queries_, &options_}),
       predictive_(EngineState{grid_.get(), &objects_, &queries_, &options_}),
@@ -694,7 +699,16 @@ void QueryProcessor::RunObjectPass(const std::vector<ObjectId>& moved,
 }
 
 TickResult QueryProcessor::EvaluateTick(Timestamp now) {
-  if (sharded_ != nullptr) return sharded_->EvaluateTick(now);
+  TickResult result;
+  EvaluateTickInto(now, &result);
+  return result;
+}
+
+void QueryProcessor::EvaluateTickInto(Timestamp now, TickResult* result) {
+  if (sharded_ != nullptr) {
+    sharded_->EvaluateTickInto(now, result);
+    return;
+  }
   if (now < last_tick_time_) {
     STQ_LOG(Warning) << "EvaluateTick time went backwards (" << now << " < "
                      << last_tick_time_ << ")";
@@ -703,28 +717,35 @@ TickResult QueryProcessor::EvaluateTick(Timestamp now) {
 
   const uint64_t allocs_before = AllocCount();
 
-  TickResult result;
-  result.time = now;
+  result->time = now;
+  result->updates.clear();
+  result->stats = TickStats{};
 
   // The tick's working vectors live in scratch_ and keep their capacity
   // across ticks; Drain clears them before refilling.
   std::vector<PendingObjectUpsert>& upserts = scratch_.upserts;
   std::vector<ObjectId>& removals = scratch_.removals;
   std::vector<PendingQueryChange>& query_changes = scratch_.query_changes;
-  buffer_.Drain(&upserts, &removals, &query_changes);
+  {
+    // Report routing (drain + deterministic ordering) — the single-grid
+    // counterpart of the sharded router's route phase, so the ablation
+    // rows stay comparable across engine modes.
+    PhaseTimer route_timer(&result->stats.shard_route_seconds);
+    buffer_.Drain(&upserts, &removals, &query_changes);
 
-  // Deterministic processing order independent of hash-map iteration.
-  std::sort(upserts.begin(), upserts.end(),
-            [](const PendingObjectUpsert& a, const PendingObjectUpsert& b) {
-              return a.id < b.id;
-            });
-  std::sort(removals.begin(), removals.end());
-  std::sort(query_changes.begin(), query_changes.end(),
-            [](const PendingQueryChange& a, const PendingQueryChange& b) {
-              return a.id < b.id;
-            });
+    // Deterministic processing order independent of hash-map iteration.
+    std::sort(upserts.begin(), upserts.end(),
+              [](const PendingObjectUpsert& a, const PendingObjectUpsert& b) {
+                return a.id < b.id;
+              });
+    std::sort(removals.begin(), removals.end());
+    std::sort(query_changes.begin(), query_changes.end(),
+              [](const PendingQueryChange& a, const PendingQueryChange& b) {
+                return a.id < b.id;
+              });
+  }
 
-  std::vector<Update>* out = &result.updates;
+  std::vector<Update>* out = &result->updates;
   std::vector<ObjectId>& moved = scratch_.moved;
   std::vector<std::pair<QueryId, Rect>>& changed_rects = scratch_.changed_rects;
   std::vector<QueryId>& moved_circles = scratch_.moved_circles;
@@ -732,53 +753,69 @@ TickResult QueryProcessor::EvaluateTick(Timestamp now) {
   changed_rects.clear();
   moved_circles.clear();
 
+  const auto tick_start = std::chrono::steady_clock::now();
   // Phase 1: removals leave the engine (negatives for their memberships).
   {
-    PhaseTimer timer(&result.stats.removals_seconds);
-    ApplyObjectRemovals(removals, now, out, &result.stats);
+    PhaseTimer timer(&result->stats.removals_seconds);
+    ApplyObjectRemovals(removals, now, out, &result->stats);
   }
   // Phase 2: bring every object's state (store + grid) up to date.
   {
-    PhaseTimer timer(&result.stats.upserts_seconds);
-    ApplyObjectUpserts(upserts, &moved, &result.stats);
+    PhaseTimer timer(&result->stats.upserts_seconds);
+    ApplyObjectUpserts(upserts, &moved, &result->stats);
   }
   // Phase 3: bring every query's state up to date.
   {
-    PhaseTimer timer(&result.stats.query_changes_seconds);
+    PhaseTimer timer(&result->stats.query_changes_seconds);
     ApplyQueryChanges(query_changes, now, &changed_rects, &moved_circles,
-                      &result.stats);
+                      &result->stats);
   }
   // Phase 4: incremental evaluation of changed range/predictive/circle
   // regions.
   {
-    PhaseTimer timer(&result.stats.query_pass_seconds);
+    PhaseTimer timer(&result->stats.query_pass_seconds);
     RunQueryPass(changed_rects, moved_circles, out);
   }
   // Phase 5: incremental evaluation of moved/new objects (parallel match,
   // serial apply; times the halves into object_match/apply_seconds).
-  RunObjectPass(moved, out, &result.stats);
+  RunObjectPass(moved, out, &result->stats);
   // Phase 6: re-evaluate the k-NN queries dirtied by phases 1-5
   // (parallel searches, serial answer application).
   {
     std::vector<KnnEvaluator::DirtyAnswer> knn_answers;
     {
-      PhaseTimer timer(&result.stats.knn_search_seconds);
+      PhaseTimer timer(&result->stats.knn_search_seconds);
       knn_answers = knn_.SearchDirty(pool_.get());
     }
-    PhaseTimer timer(&result.stats.knn_apply_seconds);
-    result.stats.knn_reevaluations = knn_.ApplyDirty(knn_answers, out);
+    PhaseTimer timer(&result->stats.knn_apply_seconds);
+    result->stats.knn_reevaluations = knn_.ApplyDirty(knn_answers, out);
   }
+  // The single grid is one "shard": wall == busy == max over phases 1-6.
+  // Populated in every mode so the ablation's single-grid baseline row is
+  // directly comparable to the sharded rows.
+  const double tick_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    tick_start)
+          .count();
+  result->stats.shards_ticked = 1;
+  result->stats.shard_tick_wall_seconds += tick_wall;
+  result->stats.shard_tick_busy_seconds += tick_wall;
+  result->stats.shard_tick_max_seconds =
+      std::max(result->stats.shard_tick_max_seconds, tick_wall);
 
-  CanonicalizeUpdates(out);
+  {
+    // Canonicalization is the single-grid analogue of the sharded merge.
+    PhaseTimer merge_timer(&result->stats.shard_merge_seconds);
+    CanonicalizeUpdates(out);
+  }
   for (const Update& u : *out) {
     if (u.sign == UpdateSign::kPositive) {
-      ++result.stats.positive_updates;
+      ++result->stats.positive_updates;
     } else {
-      ++result.stats.negative_updates;
+      ++result->stats.negative_updates;
     }
   }
-  result.stats.heap_allocations = AllocCount() - allocs_before;
-  return result;
+  result->stats.heap_allocations = AllocCount() - allocs_before;
 }
 
 // ---------------------------------------------------------------------------
@@ -923,6 +960,17 @@ bool QueryProcessor::GetAnswerSet(QueryId id, FlatSet<ObjectId>* out) const {
   const QueryRecord* q = queries_.Find(id);
   if (q == nullptr) return false;
   *out = q->answer;
+  return true;
+}
+
+bool QueryProcessor::AppendAnswerIds(QueryId id,
+                                     std::vector<ObjectId>* out) const {
+  STQ_CHECK(sharded_ == nullptr)
+      << "AppendAnswerIds() is single-grid only; the router owns the "
+         "sharded committed answers";
+  const QueryRecord* q = queries_.Find(id);
+  if (q == nullptr) return false;
+  for (ObjectId oid : q->answer) out->push_back(oid);
   return true;
 }
 

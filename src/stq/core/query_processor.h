@@ -117,6 +117,12 @@ class QueryProcessor {
   // calls.
   TickResult EvaluateTick(Timestamp now);
 
+  // As EvaluateTick, but writes into `result`, whose buffers are cleared
+  // (capacity kept) and refilled. The sharded engine ticks every shard
+  // through this entry point so the per-shard update vectors stop
+  // allocating at steady state.
+  void EvaluateTickInto(Timestamp now, TickResult* result);
+
   // --- Introspection --------------------------------------------------------
 
   const QueryProcessorOptions& options() const { return options_; }
@@ -176,6 +182,12 @@ class QueryProcessor {
 
   // The committed answer as a set; false when the query is unknown.
   bool GetAnswerSet(QueryId id, FlatSet<ObjectId>* out) const;
+
+  // Appends the committed answer ids to `out` (unsorted, not cleared;
+  // no allocation beyond `out` growth); false when the query is unknown.
+  // Single-grid only — the sharded router captures departing shard
+  // answers through this without a per-query temporary vector.
+  bool AppendAnswerIds(QueryId id, std::vector<ObjectId>* out) const;
 
   // Exact k nearest neighbours of `center` over the current object
   // population, sorted by (distance^2, id). Empty when k < 1.

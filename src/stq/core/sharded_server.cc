@@ -10,6 +10,7 @@
 #include "stq/common/alloc_stats.h"
 #include "stq/common/check.h"
 #include "stq/geo/geometry.h"
+#include "stq/geo/segment.h"
 
 namespace stq {
 
@@ -45,12 +46,97 @@ double RectDistance2(const Rect& r, const Point& p) {
   return dx * dx + dy * dy;
 }
 
-// One per-shard answer-stream delta during the merge: shard updates carry
-// +1/-1, move-away captures carry -1.
+// One (query, object) answer-stream delta during the merge. `d` sums the
+// +1/-1 shard updates and the -1 move-away captures for the pair; `plus`
+// counts the positive shard updates alone (a reset query rebuilds its
+// refcount from the positives of its new incarnation). Leaf streams are
+// sorted by (q, o) with one entry per pair, so merging two streams just
+// adds the fields of equal keys.
 struct MergeEntry {
   QueryId q = 0;
   ObjectId o = 0;
   int d = 0;
+  int plus = 0;
+};
+
+bool MergeKeyLess(const MergeEntry& a, const MergeEntry& b) {
+  if (a.q != b.q) return a.q < b.q;
+  return a.o < b.o;
+}
+
+// Sorts one shard's raw delta stream and combines duplicate (q, o) keys
+// in place: the canonical leaf of the merge reduction tree.
+void BuildLeafStream(std::vector<MergeEntry>* v) {
+  std::sort(v->begin(), v->end(), MergeKeyLess);
+  size_t w = 0;
+  for (size_t i = 0; i < v->size();) {
+    MergeEntry e = (*v)[i++];
+    while (i < v->size() && (*v)[i].q == e.q && (*v)[i].o == e.o) {
+      e.d += (*v)[i].d;
+      e.plus += (*v)[i].plus;
+      ++i;
+    }
+    (*v)[w++] = e;
+  }
+  v->resize(w);
+}
+
+// Merges two sorted unique-key streams into `out` (cleared first), adding
+// the fields of equal keys. Per-key addition is associative and
+// commutative, so ANY reduction-tree pairing of the per-shard leaves
+// produces the same root stream — which is why the tree can run on the
+// worker pool without touching the byte-identity contract.
+void MergeStreams(const std::vector<MergeEntry>& a,
+                  const std::vector<MergeEntry>& b,
+                  std::vector<MergeEntry>* out) {
+  out->clear();
+  out->reserve(a.size() + b.size());
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (MergeKeyLess(a[i], b[j])) {
+      out->push_back(a[i++]);
+    } else if (MergeKeyLess(b[j], a[i])) {
+      out->push_back(b[j++]);
+    } else {
+      MergeEntry e = a[i++];
+      e.d += b[j].d;
+      e.plus += b[j].plus;
+      ++j;
+      out->push_back(e);
+    }
+  }
+  out->insert(out->end(), a.begin() + static_cast<ptrdiff_t>(i), a.end());
+  out->insert(out->end(), b.begin() + static_cast<ptrdiff_t>(j), b.end());
+}
+
+// One buffered operation for a shard, recorded during the serial route
+// phase and applied at the start of the shard's parallel tick task.
+// Per-shard op order reproduces the old serial dispatch order exactly
+// (removals, then upserts interleaved with their re-route removals, then
+// query changes), so each shard's ingestion buffer coalesces — and its
+// tick behaves — identically to the serial-route engine.
+struct ShardOp {
+  enum class Kind : uint8_t {
+    kRemoveObject,
+    kUpsert,  // sampled or predictive, per `predictive`
+    kRegisterRange,
+    kRegisterPredictive,
+    kRegisterCircle,
+    kMoveRange,
+    kMovePredictive,
+    kMoveCircle,
+    kCapture,  // snapshot the committed answer of a departing query
+    kUnregister,
+  };
+  Kind kind = Kind::kRemoveObject;
+  bool predictive = false;
+  uint64_t id = 0;  // ObjectId or QueryId
+  Point loc;        // kUpsert location / circle center
+  Velocity vel;     // kUpsert (predictive)
+  double t = 0.0;   // kUpsert report time
+  Rect region;      // rectangle register/move ops
+  double radius = 0.0;              // kRegisterCircle
+  double t_from = 0.0, t_to = 0.0;  // kRegisterPredictive
 };
 
 // An (object-driven) k-NN dirtiness event: the locations an object report
@@ -68,10 +154,13 @@ struct KnnEvent {
 // re-registered) within this tick. The single-grid engine ships phase-1
 // removal negatives for the OLD incarnation and, on re-registration, a
 // fresh full-answer positive stream — neither follows the plain refcount
-// transition rule, so these queries are merged specially.
+// transition rule, so these queries are merged specially. The membership
+// snapshot lives in TickScratch::reset_members as a [begin, end) slice,
+// so steady-state ticks do not allocate a vector per reset.
 struct Reset {
   QueryId qid = 0;
-  std::vector<ObjectId> old_members;  // sorted committed answer at tick start
+  size_t begin = 0;
+  size_t end = 0;
 };
 
 }  // namespace
@@ -86,15 +175,25 @@ struct ShardedEngine::TickScratch {
   std::vector<ObjectId> removals;
   std::vector<PendingQueryChange> query_changes;
   std::vector<char> touched;
-  std::vector<MergeEntry> entries;
+  // Indexed by shard id; written only by the worker that claimed the
+  // shard during the parallel phase (ops are read-only there).
+  std::vector<std::vector<ShardOp>> ops;
+  std::vector<std::vector<MergeEntry>> shard_entries;  // leaf delta streams
+  std::vector<std::vector<ObjectId>> capture_ids;      // kCapture scratch
+  std::vector<TickResult> shard_results;
+  // Reduction tree: ping-pong pointer lists over the leaves plus one
+  // reused buffer per internal tree node.
+  std::vector<std::vector<MergeEntry>> tree_bufs;
+  std::vector<std::vector<MergeEntry>*> tree_cur;
+  std::vector<std::vector<MergeEntry>*> tree_next;
   std::vector<Reset> resets;
+  std::vector<ObjectId> reset_members;  // flattened Reset snapshots
   FlatSet<QueryId> reset_qids;
   FlatSet<ObjectId> global_removals;
   std::vector<FlatSet<ObjectId>> removed_from;
   std::vector<KnnEvent> events;
   std::vector<int> ticked;
-  std::vector<TickResult> shard_results;
-  std::vector<double> shard_walls;
+  std::vector<double> shard_walls;  // indexed by position in `ticked`
   ShardList route_ns;  // routing fan-out of the report being dispatched
   std::vector<QueryId> knn_dirty_ids;
 };
@@ -113,15 +212,22 @@ ShardedEngine::ShardedEngine(const QueryProcessorOptions& options)
   STQ_CHECK(options_.Validate()) << "invalid QueryProcessorOptions";
   STQ_CHECK(options_.num_shards >= 2)
       << "ShardedEngine requires num_shards >= 2";
-  // Keep the global grid resolution roughly constant: each shard covers
-  // 1/sx x 1/sy of the universe, so it needs proportionally fewer cells.
-  const int max_dim = std::max(map_.sx(), map_.sy());
-  const int per_shard_cells =
-      std::max(1, (options_.grid_cells_per_side + max_dim - 1) / max_dim);
+  // Keep the global grid CELL GEOMETRY constant: a shard covers
+  // 1/sx x 1/sy of the universe, so it gets the matching 1/sx x 1/sy
+  // slice of the cell array — the same cell width and height as the
+  // single grid. (The old rule divided one square per-shard resolution
+  // by max(sx, sy); on non-square layouts that made per-shard cells up
+  // to max/min times larger in area, inflating per-cell candidate
+  // density — and total matching work — precisely as shards were added.)
+  const int cells_x =
+      std::max(1, (options_.grid_cells_per_side + map_.sx() - 1) / map_.sx());
+  const int cells_y =
+      std::max(1, (options_.grid_cells_per_side + map_.sy() - 1) / map_.sy());
   for (int s = 0; s < map_.num_shards(); ++s) {
     QueryProcessorOptions so;
     so.bounds = map_.shard_rect(s);
-    so.grid_cells_per_side = per_shard_cells;
+    so.grid_cells_x = cells_x;
+    so.grid_cells_y = cells_y;
     so.prediction_horizon = options_.prediction_horizon;
     so.record_history = false;  // history lives at the router
     so.wire_cost = options_.wire_cost;
@@ -405,9 +511,25 @@ void ShardedEngine::RouteShardsOf(const RoutedQuery& rq,
     case QueryKind::kPredictiveRange:
       map_.ShardsOverlapping(rq.region, out);
       break;
-    case QueryKind::kCircleRange:
+    case QueryKind::kCircleRange: {
+      // Seam-band tightening: the bounding box overlaps corner shards
+      // the disk itself never reaches. CircleEvaluator only matches a
+      // point inside both the closed disk and the shard bounds, so a
+      // shard whose rect lies farther than the radius can never emit for
+      // this query. RectDistance2 under-approximates the distance to
+      // every in-shard point monotonically under FP rounding, so the
+      // filter is exact at the boundary (same closed <= as the disk).
       map_.ShardsOverlapping(ClampRegion(rq.circle.BoundingBox()), out);
+      const double r2 = rq.circle.radius * rq.circle.radius;
+      size_t w = 0;
+      for (int s : *out) {
+        if (RectDistance2(map_.shard_rect(s), rq.circle.center) <= r2) {
+          (*out)[w++] = s;
+        }
+      }
+      out->resize(w);
       break;
+    }
     case QueryKind::kKnn:
       break;  // router-owned
   }
@@ -420,10 +542,25 @@ void ShardedEngine::RouteShardsOfObject(const PendingObjectUpsert& u,
     out->push_back(map_.HomeOf(u.loc));
     return;
   }
-  const Rect bbox = Trajectory{u.loc, u.vel, u.t}
-                        .FootprintBetween(u.t, u.t + options_.prediction_horizon)
-                        .BoundingBox();
-  map_.ShardsOverlapping(bbox, out);
+  // Seam-band tightening: replicate along the exact trajectory segment,
+  // not its bounding box — a diagonal mover's bbox drags in corner
+  // shards the segment never enters. Every evaluator a replica can feed
+  // clamps its geometry to the shard rect (ranges/circles test the
+  // stored location, predictive queries clip the footprint against the
+  // shard-clamped region), so a shard the closed segment misses can
+  // never emit an update for this object. `u.loc` is a segment endpoint,
+  // so the home shard always survives the filter.
+  const Segment footprint = Trajectory{u.loc, u.vel, u.t}.FootprintBetween(
+      u.t, u.t + options_.prediction_horizon);
+  map_.ShardsOverlapping(footprint.BoundingBox(), out);
+  size_t w = 0;
+  for (int s : *out) {
+    if (SegmentIntersectsRect(footprint, map_.shard_rect(s))) {
+      (*out)[w++] = s;
+    }
+  }
+  out->resize(w);
+  STQ_DCHECK(!out->empty()) << "predictive object routed to no shard";
 }
 
 // ---------------------------------------------------------------------------
@@ -431,6 +568,12 @@ void ShardedEngine::RouteShardsOfObject(const PendingObjectUpsert& u,
 // ---------------------------------------------------------------------------
 
 TickResult ShardedEngine::EvaluateTick(Timestamp now) {
+  TickResult result;
+  EvaluateTickInto(now, &result);
+  return result;
+}
+
+void ShardedEngine::EvaluateTickInto(Timestamp now, TickResult* result) {
   if (now < last_tick_time_) {
     STQ_LOG(Warning) << "EvaluateTick time went backwards (" << now << " < "
                      << last_tick_time_ << ")";
@@ -439,50 +582,65 @@ TickResult ShardedEngine::EvaluateTick(Timestamp now) {
 
   const uint64_t allocs_before = AllocCount();
 
-  TickResult result;
-  result.time = now;
-  TickStats* stats = &result.stats;
-  std::vector<Update>* out = &result.updates;
+  result->time = now;
+  result->updates.clear();
+  result->stats = TickStats{};
+  TickStats* stats = &result->stats;
+  std::vector<Update>* out = &result->updates;
 
   TickScratch& scratch = *scratch_;
+  const size_t num_shards = shards_.size();
   std::vector<PendingObjectUpsert>& upserts = scratch.upserts;
   std::vector<ObjectId>& removals = scratch.removals;
   std::vector<PendingQueryChange>& query_changes = scratch.query_changes;
-  buffer_.Drain(&upserts, &removals, &query_changes);
-
-  // Deterministic processing order independent of hash-map iteration —
-  // the exact comparators the single-grid engine uses, so histories and
-  // shard-dispatch orders line up.
-  std::sort(upserts.begin(), upserts.end(),
-            [](const PendingObjectUpsert& a, const PendingObjectUpsert& b) {
-              return a.id < b.id;
-            });
-  std::sort(removals.begin(), removals.end());
-  std::sort(query_changes.begin(), query_changes.end(),
-            [](const PendingQueryChange& a, const PendingQueryChange& b) {
-              return a.id < b.id;
-            });
 
   std::vector<char>& touched = scratch.touched;
-  touched.assign(shards_.size(), 0);
-  std::vector<MergeEntry>& entries = scratch.entries;  // captures + updates
+  touched.assign(num_shards, 0);
+  // Per-shard op batches recorded by the route phase and applied inside
+  // each shard's parallel tick task.
+  std::vector<std::vector<ShardOp>>& ops = scratch.ops;
+  ops.resize(num_shards);
+  for (std::vector<ShardOp>& v : ops) v.clear();
+  // Per-shard leaf delta streams (captures + shard updates), built by the
+  // parallel tasks and combined by the reduction tree below.
+  std::vector<std::vector<MergeEntry>>& shard_entries = scratch.shard_entries;
+  shard_entries.resize(num_shards);
+  for (std::vector<MergeEntry>& v : shard_entries) v.clear();
+  std::vector<std::vector<ObjectId>>& capture_ids = scratch.capture_ids;
+  capture_ids.resize(num_shards);
   std::vector<Reset>& resets = scratch.resets;  // ascending qid (change order)
+  std::vector<ObjectId>& reset_members = scratch.reset_members;
   FlatSet<QueryId>& reset_qids = scratch.reset_qids;
   FlatSet<ObjectId>& global_removals = scratch.global_removals;
-  entries.clear();
   resets.clear();
+  reset_members.clear();
   reset_qids.clear();
   global_removals.clear();
   // Objects shard s will emit its own phase-1 removal negatives for this
   // tick; move-away captures must not decrement those pairs again.
   std::vector<FlatSet<ObjectId>>& removed_from = scratch.removed_from;
-  removed_from.resize(shards_.size());
+  removed_from.resize(num_shards);
   for (FlatSet<ObjectId>& s : removed_from) s.clear();
   std::vector<KnnEvent>& events = scratch.events;
   events.clear();
 
   {
     PhaseTimer route_timer(&stats->shard_route_seconds);
+
+    buffer_.Drain(&upserts, &removals, &query_changes);
+
+    // Deterministic processing order independent of hash-map iteration —
+    // the exact comparators the single-grid engine uses, so histories and
+    // shard-dispatch orders line up.
+    std::sort(upserts.begin(), upserts.end(),
+              [](const PendingObjectUpsert& a, const PendingObjectUpsert& b) {
+                return a.id < b.id;
+              });
+    std::sort(removals.begin(), removals.end());
+    std::sort(query_changes.begin(), query_changes.end(),
+              [](const PendingQueryChange& a, const PendingQueryChange& b) {
+                return a.id < b.id;
+              });
 
     // --- Route removals ---------------------------------------------------
     for (ObjectId id : removals) {
@@ -492,9 +650,10 @@ TickResult ShardedEngine::EvaluateTick(Timestamp now) {
       RoutedObject& ro = it->second;
       if (history_ != nullptr) history_->RecordRemoval(id, now);
       for (int s : ro.shards) {
-        Status st = shards_[s]->RemoveObject(id);
-        STQ_CHECK(st.ok()) << "shard " << s << " rejected removal of object "
-                           << id << ": " << st.ToString();
+        ShardOp op;
+        op.kind = ShardOp::Kind::kRemoveObject;
+        op.id = id;
+        ops[s].push_back(op);
         touched[s] = 1;
         removed_from[s].insert(id);
       }
@@ -512,13 +671,15 @@ TickResult ShardedEngine::EvaluateTick(Timestamp now) {
       if (history_ != nullptr) history_->RecordReport(u.id, u.loc, u.t);
       ShardList& ns = scratch.route_ns;
       RouteShardsOfObject(u, &ns);
-      auto dispatch_upsert = [&](int s) {
-        Status st =
-            u.predictive
-                ? shards_[s]->UpsertPredictiveObject(u.id, u.loc, u.vel, u.t)
-                : shards_[s]->UpsertObject(u.id, u.loc, u.t);
-        STQ_CHECK(st.ok()) << "shard " << s << " rejected upsert of object "
-                           << u.id << ": " << st.ToString();
+      auto record_upsert = [&](int s) {
+        ShardOp op;
+        op.kind = ShardOp::Kind::kUpsert;
+        op.predictive = u.predictive;
+        op.id = u.id;
+        op.loc = u.loc;
+        op.vel = u.vel;
+        op.t = u.t;
+        ops[s].push_back(op);
         touched[s] = 1;
       };
       KnnEvent e;
@@ -526,7 +687,7 @@ TickResult ShardedEngine::EvaluateTick(Timestamp now) {
       e.has_new = true;
       auto it = objects_.find(u.id);
       if (it == objects_.end()) {
-        for (int s : ns) dispatch_upsert(s);
+        for (int s : ns) record_upsert(s);
         RoutedObject ro;
         ro.loc = u.loc;
         ro.vel = u.predictive ? u.vel : Velocity{};
@@ -538,15 +699,15 @@ TickResult ShardedEngine::EvaluateTick(Timestamp now) {
         RoutedObject& ro = it->second;
         e.old_loc = ro.loc;
         e.has_old = true;
-        for (int s : ns) dispatch_upsert(s);
+        for (int s : ns) record_upsert(s);
         // Departed shards: the object hands off; the shard ships its own
         // phase-1 negatives for every answer it participated in there.
         for (int s : ro.shards) {
           if (!std::binary_search(ns.begin(), ns.end(), s)) {
-            Status st = shards_[s]->RemoveObject(u.id);
-            STQ_CHECK(st.ok())
-                << "shard " << s << " rejected re-route removal of object "
-                << u.id << ": " << st.ToString();
+            ShardOp op;
+            op.kind = ShardOp::Kind::kRemoveObject;
+            op.id = u.id;
+            ops[s].push_back(op);
             touched[s] = 1;
             removed_from[s].insert(u.id);
           }
@@ -562,17 +723,19 @@ TickResult ShardedEngine::EvaluateTick(Timestamp now) {
     }
 
     // --- Route query changes ----------------------------------------------
-    auto snapshot_members = [&](QueryId qid, const RoutedQuery& rq,
-                                std::vector<ObjectId>* old_members) {
+    auto snapshot_members = [&](QueryId qid, const RoutedQuery& rq, Reset* r) {
+      r->begin = reset_members.size();
       if (rq.kind == QueryKind::kKnn) {
-        *old_members = rq.knn_answer;  // already sorted by id
-        return;
+        reset_members.insert(reset_members.end(), rq.knn_answer.begin(),
+                             rq.knn_answer.end());  // already sorted by id
+      } else if (auto mit = members_.find(qid); mit != members_.end()) {
+        for (const auto& [oid, cnt] : mit->second) {
+          reset_members.push_back(oid);
+        }
+        std::sort(reset_members.begin() + static_cast<ptrdiff_t>(r->begin),
+                  reset_members.end());
       }
-      if (auto mit = members_.find(qid); mit != members_.end()) {
-        old_members->reserve(mit->second.size());
-        for (const auto& [oid, cnt] : mit->second) old_members->push_back(oid);
-        std::sort(old_members->begin(), old_members->end());
-      }
+      r->end = reset_members.size();
     };
     auto drop_routed_query = [&](QueryId qid) {
       auto it = queries_.find(qid);
@@ -580,36 +743,20 @@ TickResult ShardedEngine::EvaluateTick(Timestamp now) {
       RoutedQuery& rq = it->second;
       Reset r;
       r.qid = qid;
-      snapshot_members(qid, rq, &r.old_members);
-      resets.push_back(std::move(r));
+      snapshot_members(qid, rq, &r);
+      resets.push_back(r);
       reset_qids.insert(qid);
       for (int s : rq.shards) {
-        Status st = shards_[s]->UnregisterQuery(qid);
-        STQ_CHECK(st.ok()) << "shard " << s << " rejected unregister of query "
-                           << qid << ": " << st.ToString();
+        ShardOp op;
+        op.kind = ShardOp::Kind::kUnregister;
+        op.id = qid;
+        ops[s].push_back(op);
         touched[s] = 1;
       }
       members_.erase(qid);
       knn_dirty_.erase(qid);
       queries_.erase(it);
       ++stats->queries_unregistered;
-    };
-    auto capture_departed = [&](QueryId qid, int s) {
-      // The shard's committed answer becomes all-negative at the router:
-      // the query no longer watches this shard. Objects the shard is
-      // already removing this tick produce their own phase-1 negatives.
-      Result<std::vector<ObjectId>> ans = shards_[s]->CurrentAnswer(qid);
-      STQ_CHECK(ans.ok()) << "shard " << s << " lost query " << qid << ": "
-                          << ans.status().ToString();
-      for (ObjectId oid : *ans) {
-        if (!removed_from[s].contains(oid)) {
-          entries.push_back(MergeEntry{qid, oid, -1});
-        }
-      }
-      Status st = shards_[s]->UnregisterQuery(qid);
-      STQ_CHECK(st.ok()) << "shard " << s << " rejected move-away unregister "
-                         << "of query " << qid << ": " << st.ToString();
-      touched[s] = 1;
     };
 
     for (const PendingQueryChange& c : query_changes) {
@@ -639,44 +786,46 @@ TickResult ShardedEngine::EvaluateTick(Timestamp now) {
             touched[s] = 1;
             const bool retained =
                 std::binary_search(rq.shards.begin(), rq.shards.end(), s);
-            Status st;
-            if (retained) {
-              switch (rq.kind) {
-                case QueryKind::kRange:
-                  st = shards_[s]->MoveRangeQuery(c.id, rq.region);
-                  break;
-                case QueryKind::kPredictiveRange:
-                  st = shards_[s]->MovePredictiveQuery(c.id, rq.region);
-                  break;
-                case QueryKind::kCircleRange:
-                  st = shards_[s]->MoveCircleQuery(c.id, c.center);
-                  break;
-                case QueryKind::kKnn:
-                  break;
-              }
-            } else {
-              switch (rq.kind) {
-                case QueryKind::kRange:
-                  st = shards_[s]->RegisterRangeQuery(c.id, rq.region);
-                  break;
-                case QueryKind::kPredictiveRange:
-                  st = shards_[s]->RegisterPredictiveQuery(
-                      c.id, rq.region, rq.t_from, rq.t_to);
-                  break;
-                case QueryKind::kCircleRange:
-                  st = shards_[s]->RegisterCircleQuery(c.id, c.center,
-                                                       rq.circle.radius);
-                  break;
-                case QueryKind::kKnn:
-                  break;
-              }
+            ShardOp op;
+            op.id = c.id;
+            switch (rq.kind) {
+              case QueryKind::kRange:
+                op.kind = retained ? ShardOp::Kind::kMoveRange
+                                   : ShardOp::Kind::kRegisterRange;
+                op.region = rq.region;
+                break;
+              case QueryKind::kPredictiveRange:
+                op.kind = retained ? ShardOp::Kind::kMovePredictive
+                                   : ShardOp::Kind::kRegisterPredictive;
+                op.region = rq.region;
+                op.t_from = rq.t_from;
+                op.t_to = rq.t_to;
+                break;
+              case QueryKind::kCircleRange:
+                op.kind = retained ? ShardOp::Kind::kMoveCircle
+                                   : ShardOp::Kind::kRegisterCircle;
+                op.loc = c.center;
+                op.radius = rq.circle.radius;
+                break;
+              case QueryKind::kKnn:
+                STQ_CHECK(false) << "unreachable: k-NN moves never route";
+                break;
             }
-            STQ_CHECK(st.ok()) << "shard " << s << " rejected move of query "
-                               << c.id << ": " << st.ToString();
+            ops[s].push_back(op);
           }
           for (int s : rq.shards) {
             if (!std::binary_search(ns.begin(), ns.end(), s)) {
-              capture_departed(c.id, s);
+              // Departing shard: capture its committed answer (it turns
+              // all-negative at the router), then unregister there.
+              ShardOp cap;
+              cap.kind = ShardOp::Kind::kCapture;
+              cap.id = c.id;
+              ops[s].push_back(cap);
+              ShardOp unreg;
+              unreg.kind = ShardOp::Kind::kUnregister;
+              unreg.id = c.id;
+              ops[s].push_back(unreg);
+              touched[s] = 1;
             }
           }
           rq.shards = ns;
@@ -714,25 +863,29 @@ TickResult ShardedEngine::EvaluateTick(Timestamp now) {
           RouteShardsOf(rq, &rq.shards);
           for (int s : rq.shards) {
             touched[s] = 1;
-            Status st;
+            ShardOp op;
+            op.id = c.id;
             switch (rq.kind) {
               case QueryKind::kRange:
-                st = shards_[s]->RegisterRangeQuery(c.id, rq.region);
+                op.kind = ShardOp::Kind::kRegisterRange;
+                op.region = rq.region;
                 break;
               case QueryKind::kPredictiveRange:
-                st = shards_[s]->RegisterPredictiveQuery(c.id, rq.region,
-                                                         rq.t_from, rq.t_to);
+                op.kind = ShardOp::Kind::kRegisterPredictive;
+                op.region = rq.region;
+                op.t_from = rq.t_from;
+                op.t_to = rq.t_to;
                 break;
               case QueryKind::kCircleRange:
-                st = shards_[s]->RegisterCircleQuery(c.id, rq.circle.center,
-                                                     rq.circle.radius);
+                op.kind = ShardOp::Kind::kRegisterCircle;
+                op.loc = rq.circle.center;
+                op.radius = rq.circle.radius;
                 break;
               case QueryKind::kKnn:
+                STQ_CHECK(false) << "unreachable: k-NN routes to no shard";
                 break;
             }
-            STQ_CHECK(st.ok())
-                << "shard " << s << " rejected registration of query " << c.id
-                << ": " << st.ToString();
+            ops[s].push_back(op);
           }
           if (rq.kind == QueryKind::kKnn) knn_dirty_.insert(c.id);
           queries_.emplace(c.id, std::move(rq));
@@ -743,29 +896,101 @@ TickResult ShardedEngine::EvaluateTick(Timestamp now) {
     }
   }
 
-  // --- Parallel shard ticks -------------------------------------------------
+  // --- Parallel shard phase -------------------------------------------------
+  // Each touched shard's task applies its buffered op batch (shard
+  // ingestion overlaps with other shards' ticks — the route phase above
+  // only computed the decisions), runs the shard tick, and builds its
+  // sorted leaf delta stream. Tasks are claimed via the pool's
+  // work-stealing dispatcher with the largest batches first, so one
+  // heavy shard cannot strand the rest of a static partition idle.
   std::vector<int>& ticked = scratch.ticked;
   ticked.clear();
-  for (size_t s = 0; s < shards_.size(); ++s) {
+  for (size_t s = 0; s < num_shards; ++s) {
     if (touched[s]) ticked.push_back(static_cast<int>(s));
   }
+  std::sort(ticked.begin(), ticked.end(), [&ops](int a, int b) {
+    if (ops[a].size() != ops[b].size()) return ops[a].size() > ops[b].size();
+    return a < b;  // deterministic tie-break
+  });
   std::vector<TickResult>& shard_results = scratch.shard_results;
-  shard_results.resize(ticked.size());
+  shard_results.resize(num_shards);
   {
     PhaseTimer wall_timer(&stats->shard_tick_wall_seconds);
     std::vector<double>& shard_walls = scratch.shard_walls;
     shard_walls.assign(ticked.size(), 0.0);
     auto run_one = [&](size_t i) {
       const auto t0 = std::chrono::steady_clock::now();
-      shard_results[i] = shards_[ticked[i]]->EvaluateTick(now);
+      const int s = ticked[i];
+      QueryProcessor& shard = *shards_[s];
+      std::vector<MergeEntry>& leaf = shard_entries[s];
+      for (const ShardOp& op : ops[s]) {
+        Status st;
+        switch (op.kind) {
+          case ShardOp::Kind::kRemoveObject:
+            st = shard.RemoveObject(op.id);
+            break;
+          case ShardOp::Kind::kUpsert:
+            st = op.predictive
+                     ? shard.UpsertPredictiveObject(op.id, op.loc, op.vel,
+                                                    op.t)
+                     : shard.UpsertObject(op.id, op.loc, op.t);
+            break;
+          case ShardOp::Kind::kRegisterRange:
+            st = shard.RegisterRangeQuery(op.id, op.region);
+            break;
+          case ShardOp::Kind::kRegisterPredictive:
+            st = shard.RegisterPredictiveQuery(op.id, op.region, op.t_from,
+                                               op.t_to);
+            break;
+          case ShardOp::Kind::kRegisterCircle:
+            st = shard.RegisterCircleQuery(op.id, op.loc, op.radius);
+            break;
+          case ShardOp::Kind::kMoveRange:
+            st = shard.MoveRangeQuery(op.id, op.region);
+            break;
+          case ShardOp::Kind::kMovePredictive:
+            st = shard.MovePredictiveQuery(op.id, op.region);
+            break;
+          case ShardOp::Kind::kMoveCircle:
+            st = shard.MoveCircleQuery(op.id, op.loc);
+            break;
+          case ShardOp::Kind::kCapture: {
+            // The departing query's committed answer in this shard turns
+            // all-negative at the router. Reading it here — before the
+            // shard tick — is exact: shard ingestion is buffered, so the
+            // ops above cannot have changed the committed answer.
+            // Objects this shard is removing this tick ship their own
+            // phase-1 negatives and are skipped.
+            std::vector<ObjectId>& captured = capture_ids[s];
+            captured.clear();
+            STQ_CHECK(shard.AppendAnswerIds(op.id, &captured))
+                << "shard " << s << " lost query " << op.id;
+            for (ObjectId oid : captured) {
+              if (!removed_from[s].contains(oid)) {
+                leaf.push_back(MergeEntry{op.id, oid, -1, 0});
+              }
+            }
+            continue;
+          }
+          case ShardOp::Kind::kUnregister:
+            st = shard.UnregisterQuery(op.id);
+            break;
+        }
+        STQ_CHECK(st.ok()) << "shard " << s << " rejected buffered op for id "
+                           << op.id << ": " << st.ToString();
+      }
+      shard.EvaluateTickInto(now, &shard_results[s]);
+      for (const Update& u : shard_results[s].updates) {
+        const int d = u.sign == UpdateSign::kPositive ? 1 : -1;
+        leaf.push_back(MergeEntry{u.query, u.object, d, d > 0 ? 1 : 0});
+      }
+      BuildLeafStream(&leaf);
       shard_walls[i] = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - t0)
                            .count();
     };
     if (pool_ != nullptr && ticked.size() > 1) {
-      pool_->RunShards(ticked.size(), [&](int, size_t begin, size_t end) {
-        for (size_t i = begin; i < end; ++i) run_one(i);
-      });
+      pool_->RunDynamic(ticked.size(), run_one);
     } else {
       for (size_t i = 0; i < ticked.size(); ++i) run_one(i);
     }
@@ -775,31 +1000,55 @@ TickResult ShardedEngine::EvaluateTick(Timestamp now) {
     }
   }
   stats->shards_ticked = ticked.size();
-  for (const TickResult& sr : shard_results) {
-    stats->removals_seconds += sr.stats.removals_seconds;
-    stats->upserts_seconds += sr.stats.upserts_seconds;
-    stats->query_changes_seconds += sr.stats.query_changes_seconds;
-    stats->query_pass_seconds += sr.stats.query_pass_seconds;
-    stats->object_match_seconds += sr.stats.object_match_seconds;
-    stats->object_apply_seconds += sr.stats.object_apply_seconds;
-    stats->knn_search_seconds += sr.stats.knn_search_seconds;
-    stats->knn_apply_seconds += sr.stats.knn_apply_seconds;
+  for (int s : ticked) {
+    const TickStats& ss = shard_results[s].stats;
+    stats->removals_seconds += ss.removals_seconds;
+    stats->upserts_seconds += ss.upserts_seconds;
+    stats->query_changes_seconds += ss.query_changes_seconds;
+    stats->query_pass_seconds += ss.query_pass_seconds;
+    stats->object_match_seconds += ss.object_match_seconds;
+    stats->object_apply_seconds += ss.object_apply_seconds;
+    stats->knn_search_seconds += ss.knn_search_seconds;
+    stats->knn_apply_seconds += ss.knn_apply_seconds;
   }
 
   // --- Refcount merge -------------------------------------------------------
+  // The sorted per-shard leaf streams are pairwise-combined on the worker
+  // pool by a reduction tree. Per-key (d, plus) addition is associative
+  // and commutative, so the root stream is independent of pairing and
+  // claim order; only the final application against the router's
+  // committed refcounts — which mutates members_ — stays serial.
   {
     PhaseTimer merge_timer(&stats->shard_merge_seconds);
-    for (const TickResult& sr : shard_results) {
-      for (const Update& u : sr.updates) {
-        entries.push_back(MergeEntry{
-            u.query, u.object, u.sign == UpdateSign::kPositive ? 1 : -1});
-      }
+    std::vector<std::vector<MergeEntry>*>& cur = scratch.tree_cur;
+    std::vector<std::vector<MergeEntry>*>& next = scratch.tree_next;
+    std::vector<std::vector<MergeEntry>>& bufs = scratch.tree_bufs;
+    cur.clear();
+    for (int s : ticked) cur.push_back(&shard_entries[s]);
+    if (cur.size() > 1 && bufs.size() < cur.size() - 1) {
+      bufs.resize(cur.size() - 1);  // one reused buffer per internal node
     }
-    std::sort(entries.begin(), entries.end(),
-              [](const MergeEntry& a, const MergeEntry& b) {
-                if (a.q != b.q) return a.q < b.q;
-                return a.o < b.o;
-              });
+    size_t buf_idx = 0;
+    while (cur.size() > 1) {
+      const size_t pairs = cur.size() / 2;
+      auto merge_pair = [&](size_t j) {
+        MergeStreams(*cur[2 * j], *cur[2 * j + 1], &bufs[buf_idx + j]);
+      };
+      if (pool_ != nullptr && pairs > 1) {
+        pool_->RunDynamic(pairs, merge_pair);
+      } else {
+        for (size_t j = 0; j < pairs; ++j) merge_pair(j);
+      }
+      next.clear();
+      for (size_t j = 0; j < pairs; ++j) next.push_back(&bufs[buf_idx + j]);
+      if (cur.size() % 2 == 1) next.push_back(cur.back());
+      buf_idx += pairs;
+      cur.swap(next);
+    }
+
+    static const std::vector<MergeEntry> kNoEntries;
+    const std::vector<MergeEntry>& entries =
+        cur.empty() ? kNoEntries : *cur[0];
     size_t i = 0;
     const size_t n = entries.size();
     while (i < n) {
@@ -814,16 +1063,10 @@ TickResult ShardedEngine::EvaluateTick(Timestamp now) {
         // the old incarnation's emissions are discarded (its removal
         // negatives are reconstructed below from the removal batch).
         const bool reregistered = queries_.contains(q);
-        while (i < q_end) {
-          const ObjectId o = entries[i].o;
-          int plus = 0;
-          while (i < q_end && entries[i].o == o) {
-            if (entries[i].d > 0) ++plus;
-            ++i;
-          }
-          if (reregistered && plus > 0) {
-            out->push_back(Update::Positive(q, o));
-            members_[q][o] = plus;
+        for (; i < q_end; ++i) {
+          if (reregistered && entries[i].plus > 0) {
+            out->push_back(Update::Positive(q, entries[i].o));
+            members_[q][entries[i].o] = entries[i].plus;
           }
         }
       } else {
@@ -832,13 +1075,10 @@ TickResult ShardedEngine::EvaluateTick(Timestamp now) {
           mit = members_.try_emplace(q).first;
         }
         auto& counts = mit->second;
-        while (i < q_end) {
+        for (; i < q_end; ++i) {
           const ObjectId o = entries[i].o;
-          int delta = 0;
-          while (i < q_end && entries[i].o == o) {
-            delta += entries[i].d;
-            ++i;
-          }
+          const int delta = entries[i].d;
+          if (delta == 0) continue;  // cancelled within or across shards
           auto cit = counts.find(o);
           const int before = cit == counts.end() ? 0 : cit->second;
           const int after = before + delta;
@@ -865,9 +1105,9 @@ TickResult ShardedEngine::EvaluateTick(Timestamp now) {
     // start — even when the query itself is dropped later in the tick.
     if (!global_removals.empty()) {
       for (const Reset& r : resets) {
-        for (ObjectId o : r.old_members) {
-          if (global_removals.contains(o)) {
-            out->push_back(Update::Negative(r.qid, o));
+        for (size_t m = r.begin; m < r.end; ++m) {
+          if (global_removals.contains(reset_members[m])) {
+            out->push_back(Update::Negative(r.qid, reset_members[m]));
           }
         }
       }
@@ -947,7 +1187,6 @@ TickResult ShardedEngine::EvaluateTick(Timestamp now) {
   // already covers the per-shard ticks; summing shard results would
   // double-count.
   stats->heap_allocations = AllocCount() - allocs_before;
-  return result;
 }
 
 // ---------------------------------------------------------------------------

@@ -6,18 +6,27 @@
 // independently; shards with pending work tick in parallel on the
 // engine's ThreadPool. A router in front of the shards:
 //
-//   * clips incoming object updates and query regions to every
-//     overlapping shard (the paper's cell-clipping rule at shard
-//     granularity): a sampled object lives in exactly its home shard, a
-//     predictive object is replicated into every shard its trajectory
-//     footprint crosses, and a range/circle/predictive query registers
-//     in every shard its (clamped) region overlaps — each shard engine
-//     further clamps the region to its own bounds;
+//   * routes incoming object updates and query regions to the minimal
+//     set of shards that can ever observe them (the paper's
+//     cell-clipping rule at shard granularity, tightened to seam-band
+//     replication): a sampled object lives in exactly its home shard; a
+//     predictive object is replicated only into shards its exact
+//     trajectory segment passes through (not the segment's bounding
+//     box, which over-replicates diagonal movers into corner shards); a
+//     range/predictive query registers in every shard its (clamped)
+//     region overlaps, and a circle query only in shards its disk
+//     actually reaches — each shard engine further clamps the region to
+//     its own bounds;
 //   * deduplicates the per-shard positive/negative update streams with a
 //     per-(query, object) reference count: a global update is emitted
 //     only when the count transitions 0 <-> positive, so an object
 //     handed from one shard to another (a cancelling -/+ pair) or
-//     matched by several replicas yields no spurious updates;
+//     matched by several replicas yields no spurious updates. The
+//     per-shard streams are pre-combined on the worker pool by a
+//     deterministic pairwise reduction tree (sorted delta streams with
+//     per-pair (delta, positive-count) sums — associative, so any
+//     pairing yields the same root stream); only the final refcount
+//     application against the router's committed answers runs serially;
 //   * merges the result into one canonical, deterministically ordered
 //     stream (CanonicalizeUpdates), byte-identical to the single-grid
 //     QueryProcessor's stream — the property the sharded differential
@@ -31,15 +40,23 @@
 //
 // See DESIGN.md, "Sharded execution", for the determinism argument.
 //
-// Concurrency contract: shard state carries no locks by design. During
-// a parallel tick each worker owns exactly the shards RunShards hands
-// it (a static partition of [0, S)), and no thread — including the
-// caller — touches another shard's QueryProcessor until the join. The
-// fork and join barriers inside ThreadPool::RunShards run under the
-// pool's annotated stq::Mutex, so every per-shard write made by a
-// worker happens-before the router's merge that follows the call.
-// Router state (dedup counts, update buffers, scratch) is touched only
-// by the caller thread between forks. The capability annotations live
+// Concurrency contract: shard state carries no locks by design. The
+// tick's serial route phase only computes routing decisions and records
+// per-shard operation batches; the expensive work — applying each
+// shard's batch (ingestion), the shard tick itself, and building the
+// shard's sorted merge-delta stream — runs inside the shard's pool
+// task, claimed via ThreadPool::RunDynamic (work-stealing over the
+// touched shards, largest batch first, so a straggler never serializes
+// the tick behind a static partition). Whichever worker claims a shard
+// owns that shard's QueryProcessor and output slots exclusively until
+// the join; router maps and scratch are written only by the caller
+// thread between forks, and the parallel tasks read them strictly
+// read-only. The fork and join barriers inside ThreadPool::RunShards
+// (which RunDynamic is built on) run under the pool's annotated
+// stq::Mutex, so every per-shard write made by a worker happens-before
+// the router's merge that follows the call. The reduction-tree merge
+// reuses the same contract: each tree node is merged by exactly one
+// worker into its own output buffer. The capability annotations live
 // where the sharing actually happens: common/thread_pool.h. See
 // DESIGN.md, "Static analysis & concurrency contracts".
 
@@ -98,6 +115,9 @@ class ShardedEngine {
   Status UnregisterQuery(QueryId id);
 
   TickResult EvaluateTick(Timestamp now);
+  // As EvaluateTick, but reuses `result`'s buffers (cleared, capacity
+  // kept) — the facade's steady-state entry point.
+  void EvaluateTickInto(Timestamp now, TickResult* result);
 
   // --- Introspection --------------------------------------------------------
 

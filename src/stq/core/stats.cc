@@ -59,8 +59,8 @@ EngineStats ComputeEngineStats(const QueryProcessor& processor) {
   size_t cells = 0;
   if (!processor.sharded()) {
     stats.grid = processor.grid().ComputeStats();
-    cells = static_cast<size_t>(processor.grid().cells_per_side()) *
-            static_cast<size_t>(processor.grid().cells_per_side());
+    cells = static_cast<size_t>(processor.grid().cells_x()) *
+            static_cast<size_t>(processor.grid().cells_y());
   } else {
     // Sum the per-shard grids; in sharded mode the QLists live inside
     // the shard stores, so mirror them with the committed answer count.
@@ -74,8 +74,8 @@ EngineStats ComputeEngineStats(const QueryProcessor& processor) {
           std::max(stats.grid.max_objects_in_cell, gs.max_objects_in_cell);
       stats.grid.max_queries_in_cell =
           std::max(stats.grid.max_queries_in_cell, gs.max_queries_in_cell);
-      cells += static_cast<size_t>(engine.shard(s).grid().cells_per_side()) *
-               static_cast<size_t>(engine.shard(s).grid().cells_per_side());
+      cells += static_cast<size_t>(engine.shard(s).grid().cells_x()) *
+               static_cast<size_t>(engine.shard(s).grid().cells_y());
     }
   }
 

@@ -21,8 +21,9 @@ void CanonicalizeUpdates(std::vector<Update>* updates) {
             });
   // Drop cancelling (-,+) pairs for the same (query, object). After the
   // sort above, such a pair is adjacent with the negative first.
-  std::vector<Update> out;
-  out.reserve(updates->size());
+  // Compacted in place: this runs once per shard per tick, so a
+  // temporary output vector would allocate on every tick.
+  size_t w = 0;
   for (size_t i = 0; i < updates->size(); ++i) {
     const Update& u = (*updates)[i];
     if (i + 1 < updates->size()) {
@@ -32,9 +33,9 @@ void CanonicalizeUpdates(std::vector<Update>* updates) {
         continue;
       }
     }
-    out.push_back(u);
+    (*updates)[w++] = u;
   }
-  *updates = std::move(out);
+  updates->resize(w);
 }
 
 }  // namespace stq

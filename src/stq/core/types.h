@@ -74,11 +74,13 @@ struct TickStats {
   double knn_search_seconds = 0.0;
   double knn_apply_seconds = 0.0;
 
-  // Sharded-execution breakdown (zero unless num_shards > 1). The eight
-  // per-phase fields above then hold the *sums* over all shard ticks;
-  // the fields below attribute the sharded tick's own wall time.
+  // Execution breakdown, populated in every mode so the single-grid
+  // baseline row is directly comparable to sharded rows (a single grid
+  // reports one "shard" whose busy time equals its wall time). With
+  // num_shards > 1 the eight per-phase fields above hold the *sums* over
+  // all shard ticks; the fields below attribute the tick's own wall time.
   size_t shards_ticked = 0;        // shards with pending work this tick
-  double shard_route_seconds = 0.0;   // serial routing/dispatch of reports
+  double shard_route_seconds = 0.0;   // serial routing decisions (drain+sort)
   double shard_tick_wall_seconds = 0.0;  // fork/join of per-shard ticks
   double shard_tick_busy_seconds = 0.0;  // sum of per-shard tick walls
   double shard_tick_max_seconds = 0.0;   // slowest shard (critical path)

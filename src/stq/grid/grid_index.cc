@@ -25,20 +25,20 @@ bool EraseOne(Vec* vec, T v) {
 
 }  // namespace
 
-GridIndex::GridIndex(const Rect& bounds, int cells_per_side)
-    : bounds_(bounds), n_(cells_per_side) {
+GridIndex::GridIndex(const Rect& bounds, int cells_x, int cells_y)
+    : bounds_(bounds), nx_(cells_x), ny_(cells_y) {
   STQ_CHECK(!bounds.IsEmpty()) << "grid bounds must be non-empty";
-  STQ_CHECK(cells_per_side >= 1) << "cells_per_side must be >= 1";
-  cell_w_ = bounds_.Width() / n_;
-  cell_h_ = bounds_.Height() / n_;
-  cells_.resize(static_cast<size_t>(n_) * static_cast<size_t>(n_));
+  STQ_CHECK(cells_x >= 1 && cells_y >= 1) << "cell counts must be >= 1";
+  cell_w_ = bounds_.Width() / nx_;
+  cell_h_ = bounds_.Height() / ny_;
+  cells_.resize(static_cast<size_t>(nx_) * static_cast<size_t>(ny_));
 }
 
 CellCoord GridIndex::CellOf(const Point& p) const {
   int cx = static_cast<int>(std::floor((p.x - bounds_.min_x) / cell_w_));
   int cy = static_cast<int>(std::floor((p.y - bounds_.min_y) / cell_h_));
-  cx = std::clamp(cx, 0, n_ - 1);
-  cy = std::clamp(cy, 0, n_ - 1);
+  cx = std::clamp(cx, 0, nx_ - 1);
+  cy = std::clamp(cy, 0, ny_ - 1);
   return CellCoord{cx, cy};
 }
 
@@ -129,12 +129,12 @@ void GridIndex::CollectQueriesInRect(const Rect& r,
 }
 
 size_t GridIndex::ObjectCountInCell(const CellCoord& c) const {
-  STQ_DCHECK(c.x >= 0 && c.x < n_ && c.y >= 0 && c.y < n_);
+  STQ_DCHECK(c.x >= 0 && c.x < nx_ && c.y >= 0 && c.y < ny_);
   return CellAt(c).objects.size();
 }
 
 size_t GridIndex::QueryCountInCell(const CellCoord& c) const {
-  STQ_DCHECK(c.x >= 0 && c.x < n_ && c.y >= 0 && c.y < n_);
+  STQ_DCHECK(c.x >= 0 && c.x < nx_ && c.y >= 0 && c.y < ny_);
   return CellAt(c).queries.size();
 }
 

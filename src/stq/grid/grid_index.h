@@ -36,7 +36,7 @@
 
 namespace stq {
 
-// Integer cell coordinates, 0 <= x, y < cells_per_side.
+// Integer cell coordinates, 0 <= x < cells_x, 0 <= y < cells_y.
 struct CellCoord {
   int x = 0;
   int y = 0;
@@ -57,12 +57,21 @@ class GridIndex {
  public:
   // `bounds` must be non-empty and `cells_per_side` >= 1. Locations
   // outside `bounds` are clamped into the nearest border cell.
-  GridIndex(const Rect& bounds, int cells_per_side);
+  GridIndex(const Rect& bounds, int cells_per_side)
+      : GridIndex(bounds, cells_per_side, cells_per_side) {}
+
+  // Anisotropic grid: `cells_x` columns by `cells_y` rows. A per-shard
+  // engine covering a non-square sub-rect of the universe uses this to
+  // keep its cell geometry identical to the global single-grid layout
+  // (same cell width AND height), so per-cell candidate density — and
+  // hence total matching work — does not inflate with the shard count.
+  GridIndex(const Rect& bounds, int cells_x, int cells_y);
 
   GridIndex(const GridIndex&) = delete;
   GridIndex& operator=(const GridIndex&) = delete;
 
-  int cells_per_side() const { return n_; }
+  int cells_x() const { return nx_; }
+  int cells_y() const { return ny_; }
   const Rect& bounds() const { return bounds_; }
 
   // --- Point objects -----------------------------------------------------
@@ -141,7 +150,7 @@ class GridIndex {
     STQ_DCHECK(ring >= 0);
     bool any = false;
     auto visit = [&](int cx, int cy) {
-      if (cx < 0 || cy < 0 || cx >= n_ || cy >= n_) return;
+      if (cx < 0 || cy < 0 || cx >= nx_ || cy >= ny_) return;
       any = true;
       fn(CellCoord{cx, cy});
     };
@@ -167,7 +176,7 @@ class GridIndex {
   // Objects stored in one specific cell.
   template <typename Fn>
   void ForEachObjectInCell(const CellCoord& c, Fn&& fn) const {
-    STQ_DCHECK(c.x >= 0 && c.x < n_ && c.y >= 0 && c.y < n_);
+    STQ_DCHECK(c.x >= 0 && c.x < nx_ && c.y >= 0 && c.y < ny_);
     for (ObjectId id : CellAt(c).objects) fn(id);
   }
 
@@ -175,7 +184,7 @@ class GridIndex {
   // compare the grid's per-cell state against the stores).
   template <typename Fn>
   void ForEachQueryInCell(const CellCoord& c, Fn&& fn) const {
-    STQ_DCHECK(c.x >= 0 && c.x < n_ && c.y >= 0 && c.y < n_);
+    STQ_DCHECK(c.x >= 0 && c.x < nx_ && c.y >= 0 && c.y < ny_);
     for (QueryId id : CellAt(c).queries) fn(id);
   }
 
@@ -229,7 +238,7 @@ class GridIndex {
   };
 
   size_t CellIndex(int cx, int cy) const {
-    return static_cast<size_t>(cy) * static_cast<size_t>(n_) +
+    return static_cast<size_t>(cy) * static_cast<size_t>(nx_) +
            static_cast<size_t>(cx);
   }
   Cell& CellAt(const CellCoord& c) { return cells_[CellIndex(c.x, c.y)]; }
@@ -242,7 +251,8 @@ class GridIndex {
   bool CellRange(const Rect& r, int* x0, int* y0, int* x1, int* y1) const;
 
   Rect bounds_;
-  int n_;
+  int nx_;
+  int ny_;
   double cell_w_;
   double cell_h_;
   std::vector<Cell> cells_;

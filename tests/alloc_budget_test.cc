@@ -85,11 +85,13 @@ TEST(AllocBudgetTest, ShardedSteadyStateTickStaysUnderBudget) {
                                                   /*workers=*/4);
   std::printf("steady-state worst allocs/tick (4 shards): %llu\n",
               static_cast<unsigned long long>(worst));
-  // The sharded router re-dispatches reports and merges per-shard
-  // streams; its steady state carries a few more allocations (std::function
-  // dispatch in the pool, per-shard result envelopes) but must stay far
-  // below per-element cost.
-  EXPECT_LE(worst, 4096u);
+  // With per-shard op batches, leaf streams, reduction-tree buffers and
+  // result envelopes all living in the router's TickScratch, the sharded
+  // steady state sits within a few dozen allocations of the single-grid
+  // engine's (the remainder is std::function dispatch in the pool). Keep
+  // it there: the old per-tick router buffers cost ~700 extra
+  // allocations per tick at this scale.
+  EXPECT_LE(worst, 256u);
 }
 
 }  // namespace

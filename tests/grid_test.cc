@@ -17,7 +17,8 @@ const Rect kUnit{0.0, 0.0, 1.0, 1.0};
 
 TEST(GridIndexTest, CellGeometry) {
   GridIndex grid(kUnit, 4);
-  EXPECT_EQ(grid.cells_per_side(), 4);
+  EXPECT_EQ(grid.cells_x(), 4);
+  EXPECT_EQ(grid.cells_y(), 4);
   EXPECT_DOUBLE_EQ(grid.cell_width(), 0.25);
   EXPECT_DOUBLE_EQ(grid.cell_height(), 0.25);
   EXPECT_EQ(grid.CellOf(Point{0.1, 0.1}), (CellCoord{0, 0}));
@@ -28,6 +29,32 @@ TEST(GridIndexTest, CellGeometry) {
   EXPECT_EQ(grid.CellOf(Point{-5.0, 2.0}), (CellCoord{0, 3}));
   EXPECT_EQ(grid.CellBounds(CellCoord{1, 2}),
             (Rect{0.25, 0.5, 0.5, 0.75}));
+}
+
+TEST(GridIndexTest, AnisotropicCellGeometry) {
+  // A half-universe shard keeping the global 4x4 cell size needs a 2x4
+  // layout: cells stay 0.25 x 0.25 even though the bounds are not square.
+  GridIndex grid(Rect{0.0, 0.0, 0.5, 1.0}, 2, 4);
+  EXPECT_EQ(grid.cells_x(), 2);
+  EXPECT_EQ(grid.cells_y(), 4);
+  EXPECT_DOUBLE_EQ(grid.cell_width(), 0.25);
+  EXPECT_DOUBLE_EQ(grid.cell_height(), 0.25);
+  EXPECT_EQ(grid.CellOf(Point{0.3, 0.9}), (CellCoord{1, 3}));
+  EXPECT_EQ(grid.CellOf(Point{0.5, 1.0}), (CellCoord{1, 3}));
+  EXPECT_EQ(grid.CellBounds(CellCoord{1, 2}), (Rect{0.25, 0.5, 0.5, 0.75}));
+
+  grid.InsertObject(1, Point{0.45, 0.95});
+  grid.InsertObject(2, Point{0.05, 0.05});
+  grid.InsertQuery(9, Rect{0.0, 0.6, 0.5, 1.0});
+  std::vector<ObjectId> found;
+  grid.CollectObjectsInRect(Rect{0.25, 0.75, 0.5, 1.0}, &found);
+  EXPECT_EQ(found, std::vector<ObjectId>{1});
+  std::vector<QueryId> queries;
+  grid.CollectQueriesInRect(Rect{0.0, 0.9, 0.1, 1.0}, &queries);
+  EXPECT_EQ(queries, std::vector<QueryId>{9});
+  const GridStats stats = grid.ComputeStats();
+  EXPECT_EQ(stats.num_object_entries, 2u);
+  EXPECT_EQ(stats.num_query_entries, 4u);  // 2 columns x 2 rows stubbed
 }
 
 TEST(GridIndexTest, InsertFindRemoveObject) {

@@ -132,6 +132,71 @@ DriveResult DriveMixedWorkload(QueryProcessor* qp, uint64_t seed,
   return result;
 }
 
+// Seam-stress driver: every tick, every object hops to the other side of
+// a shard seam (x or y in {1/3, 1/2, 2/3} — the boundaries of the 2x1,
+// 2x2, 3x1/3x2 and 3x3 layouts), so the router re-routes the whole
+// population each tick: home-shard handoffs for sampled objects, replica
+// churn for predictive ones whose segments cross the seams diagonally.
+// Queries straddle the same seams; one range query is dragged across a
+// seam every third tick to exercise the capture/unregister path.
+DriveResult DriveSeamOscillation(QueryProcessor* qp, size_t num_ticks) {
+  DriveResult result;
+  const double seams[] = {1.0 / 3.0, 0.5, 2.0 / 3.0};
+  double now = 0.0;
+  for (size_t tick = 0; tick < num_ticks; ++tick) {
+    std::ostringstream statuses;
+    auto note = [&statuses](const Status& s) {
+      statuses << (s.ok() ? "ok" : s.ToString()) << '\n';
+    };
+    const double side = (tick % 2 == 0) ? -0.01 : 0.01;
+    ObjectId oid = 1;
+    for (double seam : seams) {
+      for (int i = 0; i < 10; ++i, ++oid) {
+        const double along = 0.05 + 0.09 * i;
+        // One flock per vertical seam, one per horizontal seam.
+        note(qp->UpsertObject(oid, Point{seam + side, along}, now));
+        note(qp->UpsertObject(oid + 100, Point{along, seam + side}, now));
+      }
+    }
+    for (int i = 0; i < 6; ++i) {
+      // Predictive movers whose footprint segment crosses the central
+      // seam diagonally: the segment-exact replication filter must keep
+      // precisely the shards the segment enters.
+      const double x = 0.5 + (tick % 2 == 0 ? -0.02 : 0.02);
+      note(qp->UpsertPredictiveObject(
+          static_cast<ObjectId>(200 + i), Point{x, 0.1 + 0.12 * i},
+          Velocity{tick % 2 == 0 ? 0.05 : -0.05, 0.03}, now));
+    }
+    if (tick == 0) {
+      QueryId qid = 1;
+      for (double seam : seams) {
+        note(qp->RegisterRangeQuery(
+            qid++, Rect{seam - 0.03, 0.0, seam + 0.03, 1.0}));
+        note(qp->RegisterCircleQuery(qid++, Point{seam, seam}, 0.08));
+      }
+      note(qp->RegisterKnnQuery(qid++, Point{0.5, 0.5}, 8));
+      note(qp->RegisterPredictiveQuery(qid++, Rect{0.45, 0.0, 0.55, 1.0},
+                                       0.0, 50.0));
+    } else if (tick % 3 == 0) {
+      // Drag the first range query wholly across the central seam.
+      const Rect target = (tick % 2 == 0) ? Rect{0.1, 0.1, 0.3, 0.9}
+                                          : Rect{0.7, 0.1, 0.9, 0.9};
+      note(qp->MoveRangeQuery(1, target));
+    }
+    now += 1.0;
+    const TickResult r = qp->EvaluateTick(now);
+    result.tick_streams.push_back(StreamBytes(r));
+    result.tick_statuses.push_back(statuses.str());
+    const std::string& stream = result.tick_streams.back();
+    result.crc = Crc32c(stream.data(), stream.size()) ^ (result.crc * 31);
+    const Status invariants = qp->CheckInvariants();
+    EXPECT_TRUE(invariants.ok())
+        << "invariants violated after seam tick " << tick << " with "
+        << qp->options().num_shards << " shards: " << invariants.ToString();
+  }
+  return result;
+}
+
 void ExpectSameRun(const DriveResult& expected, const DriveResult& actual,
                    int shards, int workers) {
   ASSERT_EQ(expected.tick_streams.size(), actual.tick_streams.size());
@@ -154,7 +219,9 @@ TEST(ShardedDiffTest, MixedWorkloadStreamsAreShardCountInvariant) {
     QueryProcessor baseline(ShardOptions(/*shards=*/1, /*workers=*/1));
     const DriveResult expected = DriveMixedWorkload(&baseline, seed, kTicks);
     for (int shards : {1, 2, 4, 9}) {
-      for (int workers : {1, 4}) {
+      // Odd worker counts leave the work-stealing dispatch unbalanced on
+      // purpose: shard claim order varies, the byte stream must not.
+      for (int workers : {1, 3, 4, 5}) {
         if (shards == 1 && workers == 1) continue;  // the baseline itself
         QueryProcessor qp(ShardOptions(shards, workers));
         EXPECT_EQ(qp.sharded(), shards > 1);
@@ -163,6 +230,30 @@ TEST(ShardedDiffTest, MixedWorkloadStreamsAreShardCountInvariant) {
         if (testing::Test::HasFatalFailure()) {
           FAIL() << "seed " << seed << " diverged";
         }
+      }
+    }
+  }
+}
+
+// Seam-stress: the entire object population oscillates across shard
+// boundaries every tick. Layouts 2 (2x1), 3 (3x1), 4 (2x2), 6 (3x2) and
+// 9 (3x3) put seams exactly on the oscillation lines; odd worker counts
+// leave the claim order maximally unbalanced.
+TEST(ShardedDiffTest, SeamOscillationStreamsAreShardCountInvariant) {
+  constexpr size_t kTicks = 9;
+  QueryProcessor baseline(ShardOptions(/*shards=*/1, /*workers=*/1));
+  const DriveResult expected = DriveSeamOscillation(&baseline, kTicks);
+  size_t total_bytes = 0;
+  for (const std::string& s : expected.tick_streams) total_bytes += s.size();
+  EXPECT_GT(total_bytes, 0u);  // the oscillation produced traffic
+  for (int shards : {2, 3, 4, 6, 9}) {
+    for (int workers : {1, 3, 5}) {
+      QueryProcessor qp(ShardOptions(shards, workers));
+      const DriveResult actual = DriveSeamOscillation(&qp, kTicks);
+      ExpectSameRun(expected, actual, shards, workers);
+      if (testing::Test::HasFatalFailure()) {
+        FAIL() << "seam oscillation diverged at " << shards << " shards, "
+               << workers << " workers";
       }
     }
   }
@@ -257,6 +348,27 @@ TEST(ShardedDiffTest, ShardStatsAreAttributed) {
   EXPECT_GE(r.stats.shard_knn_seconds, 0.0);
   EXPECT_EQ(r.stats.object_updates_applied, 200u);
   EXPECT_EQ(r.stats.query_changes_applied, 2u);
+}
+
+// The single-grid engine now attributes the same fields, so the shards=1
+// ablation row is directly comparable (route covers drain+sort, busy ==
+// wall for the one implicit shard).
+TEST(ShardedDiffTest, SingleGridStatsAreAttributed) {
+  QueryProcessor qp(ShardOptions(/*shards=*/1, /*workers=*/1));
+  for (ObjectId id = 1; id <= 200; ++id) {
+    ASSERT_TRUE(
+        qp.UpsertObject(id, Point{(id % 20) / 20.0, (id / 20) / 10.0}, 0.0)
+            .ok());
+  }
+  ASSERT_TRUE(qp.RegisterRangeQuery(1, Rect{0.1, 0.1, 0.7, 0.7}).ok());
+  ASSERT_TRUE(qp.RegisterKnnQuery(2, Point{0.5, 0.5}, 5).ok());
+  const TickResult r = qp.EvaluateTick(1.0);
+  EXPECT_EQ(r.stats.shards_ticked, 1u);
+  EXPECT_GT(r.stats.shard_route_seconds, 0.0);
+  EXPECT_GT(r.stats.shard_tick_wall_seconds, 0.0);
+  EXPECT_GT(r.stats.shard_tick_busy_seconds, 0.0);
+  EXPECT_GT(r.stats.shard_tick_max_seconds, 0.0);
+  EXPECT_GE(r.stats.shard_merge_seconds, 0.0);
 }
 
 }  // namespace
