@@ -107,6 +107,7 @@ int main(int argc, char** argv) {
                 snap_ms / kTicks);
 
     report.BeginRow();
+    stq_bench::ReportResilienceCounters(&report);
     report.Value("update_rate_pct", rate_pct);
     report.Value("updates_per_tick", updates / kTicks);
     report.Value("reevals_per_tick", reevals / kTicks);

@@ -107,6 +107,7 @@ int main(int argc, char** argv) {
                 stq_bench::ToKb(qindex_bytes / kTicks));
 
     report.BeginRow();
+    stq_bench::ReportResilienceCounters(&report);
     report.Value("num_objects", num_objects);
     report.Value("incremental_ms", incr_ms / kTicks);
     report.Value("qindex_ms", qindex_ms / kTicks);

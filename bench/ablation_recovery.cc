@@ -101,6 +101,7 @@ void RunDurableRecovery(const stq::RoadNetwork& city,
               stq_bench::ToKb(wal_bytes), stq_bench::ToKb(snapshot_bytes),
               open_ms);
   report->BeginRow();
+  stq_bench::ReportResilienceCounters(report);
   report->Value("section", "durable_recovery");
   report->Value("checkpoint_every", checkpoint_every);
   report->Value("wal_kb", stq_bench::ToKb(wal_bytes));
@@ -187,6 +188,7 @@ int main(int argc, char** argv) {
                                      static_cast<double>(diff_bytes)
                                : 0.0);
     report.BeginRow();
+    stq_bench::ReportResilienceCounters(&report);
     report.Value("section", "out_of_sync");
     report.Value("outage_periods", outage);
     report.Value("diff_kb", stq_bench::ToKb(diff_bytes));

@@ -1,0 +1,180 @@
+// Ablation A9 — session resilience: delivery overhead and recovery
+// traffic vs. transport fault rate.
+//
+// The same network workload is driven through the session layer
+// (SessionManager + per-client ClientSession) over a fault-injected
+// transport whose drop/delay rates sweep from 0 (PerfectTransport
+// behavior) upward, once per recovery policy. Faults stop at the end of
+// the workload and the run then ticks a quiet world until every client
+// has converged back to the server's answers.
+//
+// Expected shape: bytes shipped and resync counts grow with the fault
+// rate; kCommittedDiff recovers with markedly fewer bytes than
+// kFullAnswer at every rate (the paper's Section 3.3 claim, now under
+// loss instead of explicit disconnects); settle time stays within a few
+// ticks of quiesce thanks to heartbeat gap detection.
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "stq/core/server.h"
+#include "stq/core/session.h"
+#include "stq/core/transport.h"
+#include "stq/gen/workload.h"
+
+namespace {
+
+struct RunResult {
+  stq_bench::ResilienceSample sample;
+  size_t bytes_shipped = 0;
+  uint64_t settle_ticks = 0;
+  int converged = 0;
+};
+
+RunResult RunOne(const stq::Workload& workload, size_t num_clients,
+                 double drop_rate, stq::RecoveryPolicy policy) {
+  stq::Server::Options server_options;
+  server_options.processor.grid_cells_per_side = 32;
+  server_options.recovery = policy;
+  stq::Server server(server_options);
+  stq::PlainSessionBackend backend(&server);
+  stq::FaultInjectionTransport transport(
+      7000 + static_cast<uint64_t>(drop_rate * 1000.0) +
+      (policy == stq::RecoveryPolicy::kFullAnswer ? 31 : 0));
+  const stq::SessionOptions session_options;
+  stq::SessionManager manager(&backend, &transport, session_options);
+
+  std::vector<std::unique_ptr<stq::ClientSession>> sessions;
+  for (stq::ClientId cid = 1; cid <= num_clients; ++cid) {
+    server.AttachClient(cid);
+    sessions.push_back(std::make_unique<stq::ClientSession>(
+        cid, &manager, &transport, session_options));
+    manager.AttachSession(sessions.back().get());
+  }
+  for (const stq::ObjectReport& r : workload.initial_objects()) {
+    server.ReportObject(r.id, r.loc, r.t);
+  }
+  // Generator query ids are 1..num_queries: query qid -> client qid.
+  for (const stq::QueryRegionReport& q : workload.initial_queries()) {
+    server.RegisterRangeQuery(q.id, q.id, q.region);
+  }
+
+  stq::ChaosProfile profile;
+  profile.drop = drop_rate;
+  profile.delay = drop_rate / 2.0;
+  profile.max_delay_ticks = 2;
+  transport.SetChaosProfile(profile);
+
+  double last_time = 0.0;
+  for (const stq::WorkloadTick& wt : workload.ticks()) {
+    for (const stq::ObjectReport& r : wt.object_reports) {
+      server.ReportObject(r.id, r.loc, r.t);
+    }
+    for (const stq::QueryRegionReport& q : wt.query_moves) {
+      server.MoveRangeQuery(q.id, q.region);
+    }
+    manager.Tick(wt.time);
+    last_time = wt.time;
+  }
+
+  // Quiesce, then settle a quiet world until everyone is converged.
+  transport.SetChaosProfile(stq::ChaosProfile{});
+  auto all_converged = [&]() {
+    for (stq::ClientId cid = 1; cid <= num_clients; ++cid) {
+      const stq::Result<std::vector<stq::ObjectId>> truth =
+          server.processor().CurrentAnswer(cid);
+      if (!truth.ok()) return false;
+      if (sessions[cid - 1]->client().SortedAnswerOf(cid) != *truth) {
+        return false;
+      }
+    }
+    return true;
+  };
+  RunResult result;
+  while (result.settle_ticks < 30 && !all_converged()) {
+    ++result.settle_ticks;
+    manager.Tick(last_time + static_cast<double>(result.settle_ticks));
+  }
+
+  for (stq::ClientId cid = 1; cid <= num_clients; ++cid) {
+    const stq::Result<std::vector<stq::ObjectId>> truth =
+        server.processor().CurrentAnswer(cid);
+    if (truth.ok() &&
+        sessions[cid - 1]->client().SortedAnswerOf(cid) == *truth) {
+      ++result.converged;
+    }
+  }
+  result.sample.transport = transport.counters();
+  result.sample.session = manager.counters();
+  std::vector<stq::ClientSession*> raw;
+  raw.reserve(sessions.size());
+  for (auto& s : sessions) raw.push_back(s.get());
+  result.sample.clients = stq::SumSessionCounters(raw);
+  result.bytes_shipped = server.total_bytes_shipped();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t num_objects = stq_bench::EnvSize("STQ_BENCH_OBJECTS", 4000);
+  const size_t num_clients = stq_bench::EnvSize("STQ_BENCH_QUERIES", 200);
+  const size_t num_ticks =
+      stq_bench::EnvSize("STQ_BENCH_RESILIENCE_TICKS", 40);
+
+  stq_bench::BenchReport report("ablation_resilience", argc, argv);
+  report.Param("num_objects", num_objects);
+  report.Param("num_clients", num_clients);
+  report.Param("num_ticks", num_ticks);
+
+  stq::NetworkWorkloadOptions wopts;
+  wopts.city.rows = 24;
+  wopts.city.cols = 24;
+  wopts.num_objects = num_objects;
+  wopts.num_queries = num_clients;
+  wopts.query_side_length = 0.04;
+  wopts.num_ticks = num_ticks;
+  wopts.object_update_fraction = 0.3;
+  wopts.query_update_fraction = 0.2;
+  wopts.seed = 71;
+  wopts.route = stq::NetworkGenerator::RouteStrategy::kRandomWalk;
+  const stq::Workload workload = stq::Workload::GenerateNetwork(wopts);
+
+  std::printf("Ablation A9: session resilience vs. transport fault rate\n");
+  std::printf("objects=%zu clients=%zu ticks=%zu, one range query per "
+              "client, delay rate = drop rate / 2\n\n",
+              num_objects, num_clients, num_ticks);
+  std::printf("%-10s %-6s %10s %10s %9s %12s %8s %10s\n", "drop_rate",
+              "policy", "dropped", "resyncs", "gaps", "shipped_KB", "settle",
+              "converged");
+
+  for (const double drop_rate : {0.0, 0.01, 0.02, 0.05, 0.1, 0.2}) {
+    for (const stq::RecoveryPolicy policy :
+         {stq::RecoveryPolicy::kCommittedDiff,
+          stq::RecoveryPolicy::kFullAnswer}) {
+      const bool diff = policy == stq::RecoveryPolicy::kCommittedDiff;
+      const RunResult r = RunOne(workload, num_clients, drop_rate, policy);
+      const uint64_t resyncs = r.sample.session.resyncs_served_diff +
+                               r.sample.session.resyncs_served_full;
+      std::printf("%-10.2f %-6s %10llu %10llu %9llu %12.1f %8llu %6d/%zu\n",
+                  drop_rate, diff ? "diff" : "full",
+                  static_cast<unsigned long long>(r.sample.transport.dropped),
+                  static_cast<unsigned long long>(resyncs),
+                  static_cast<unsigned long long>(r.sample.clients.gaps_detected),
+                  stq_bench::ToKb(r.bytes_shipped),
+                  static_cast<unsigned long long>(r.settle_ticks),
+                  r.converged, num_clients);
+      report.BeginRow();
+      report.Value("drop_rate", drop_rate);
+      report.Value("policy", diff ? "diff" : "full");
+      stq_bench::ReportResilienceCounters(&report, r.sample);
+      report.Value("shipped_kb", stq_bench::ToKb(r.bytes_shipped));
+      report.Value("settle_ticks", r.settle_ticks);
+      report.Value("converged_clients", r.converged);
+    }
+  }
+  return report.Write() ? 0 : 1;
+}

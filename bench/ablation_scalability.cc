@@ -104,6 +104,7 @@ int main(int argc, char** argv) {
                 incremental_ms / n, snapshot_ms / n, qindex_ms / n);
 
     report.BeginRow();
+    stq_bench::ReportResilienceCounters(&report);
     report.Value("num_queries", num_queries);
     report.Value("incremental_ms", incremental_ms / n);
     report.Value("snapshot_ms", snapshot_ms / n);

@@ -131,6 +131,7 @@ int main(int argc, char** argv) {
         r.shard_max, r.merge, r.route, allocs_per_tick, r.stream_crc);
 
     report.BeginRow();
+    stq_bench::ReportResilienceCounters(&report);
     report.Value("shards", shards);
     report.Value("ticks_per_sec", ticks_per_sec);
     report.Value("speedup", r.seconds > 0 ? single_seconds / r.seconds : 0.0);

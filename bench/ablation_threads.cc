@@ -106,6 +106,7 @@ int main(int argc, char** argv) {
                 r.parallel_seconds, r.apply_seconds, r.stream_crc);
 
     report.BeginRow();
+    stq_bench::ReportResilienceCounters(&report);
     report.Value("workers", workers);
     report.Value("ticks_per_sec", ticks_per_sec);
     report.Value("speedup", r.seconds > 0 ? serial_seconds / r.seconds : 0.0);

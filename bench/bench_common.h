@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "stq/core/query_processor.h"
+#include "stq/core/session.h"
+#include "stq/core/transport.h"
 #include "stq/gen/workload.h"
 
 namespace stq_bench {
@@ -226,6 +228,35 @@ inline void ReportTickStats(BenchReport* report, const stq::TickStats& stats) {
   report->Value("knn_search_seconds", stats.knn_search_seconds);
   report->Value("knn_apply_seconds", stats.knn_apply_seconds);
   report->Value("heap_allocations", stats.heap_allocations);
+}
+
+// One sample of the session/transport resilience counters (see
+// stq/core/session.h for the three vantage points). Default-constructed
+// = all zeros, for benches that drive the engine without a session
+// layer.
+struct ResilienceSample {
+  stq::TransportCounters transport;
+  stq::SessionCounters session;
+  stq::ClientSession::Counters clients;
+};
+
+// Mirrors the resilience counters into the current row. Every bench
+// emits the same keys so the JSON schema is uniform across binaries;
+// transports that never drop (or no transport at all) report zeros.
+inline void ReportResilienceCounters(BenchReport* report,
+                                     const ResilienceSample& s = {}) {
+  report->Value("envelopes_sent", s.session.envelopes_sent);
+  report->Value("heartbeats_sent", s.session.heartbeats_sent);
+  report->Value("envelopes_dropped", s.transport.dropped);
+  report->Value("envelopes_delayed", s.transport.delayed);
+  report->Value("partition_blocked", s.transport.partition_blocked);
+  report->Value("resyncs_served",
+                s.session.resyncs_served_diff + s.session.resyncs_served_full);
+  report->Value("resyncs_applied", s.clients.resyncs_applied);
+  report->Value("gaps_detected", s.clients.gaps_detected);
+  report->Value("queue_overflows", s.session.queue_overflows);
+  report->Value("flush_deferred", s.session.flush_deferred);
+  report->Value("commits_gated", s.session.commits_gated);
 }
 
 }  // namespace stq_bench

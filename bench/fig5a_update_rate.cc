@@ -85,6 +85,7 @@ int main(int argc, char** argv) {
                 ticks_per_sec, allocs_per_tick);
 
     report.BeginRow();
+    stq_bench::ReportResilienceCounters(&report);
     report.Value("update_rate_pct", rate_pct);
     report.Value("incremental_kb", incremental_kb);
     report.Value("complete_kb", complete_kb);

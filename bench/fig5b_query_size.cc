@@ -58,6 +58,7 @@ int main(int argc, char** argv) {
                 incremental_kb > 0 ? complete_kb / incremental_kb : 0.0);
 
     report.BeginRow();
+    stq_bench::ReportResilienceCounters(&report);
     report.Value("side_length", side);
     report.Value("incremental_kb", incremental_kb);
     report.Value("complete_kb", complete_kb);

@@ -1,0 +1,82 @@
+// Fuzzes the transport envelope decoder (stq/core/transport.h) — the
+// only decoder in the tree that parses bytes straight off the simulated
+// wire, where the fault-injection transport truncates and corrupts them
+// on purpose.
+//
+// Properties enforced (via STQ_CHECK — a violation aborts the harness):
+//   - DecodeEnvelope returns OK or Corruption for ANY input; it never
+//     crashes, and claimed element counts are rejected by bounds math
+//     before any allocation is attempted,
+//   - an accepted envelope is canonical: it re-encodes to the identical
+//     byte string and decodes again to the same value.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz_harness.h"
+#include "stq/common/check.h"
+#include "stq/core/transport.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string src(reinterpret_cast<const char*>(data), size);
+  stq::Envelope env;
+  const stq::Status status = stq::DecodeEnvelope(src, &env);
+  STQ_CHECK(status.ok() || status.IsCorruption());
+  if (!status.ok()) return 0;
+
+  std::string reencoded;
+  stq::EncodeEnvelope(env, &reencoded);
+  STQ_CHECK(reencoded == src);
+
+  stq::Envelope again;
+  STQ_CHECK(stq::DecodeEnvelope(reencoded, &again).ok());
+  STQ_CHECK(again.client == env.client);
+  STQ_CHECK(again.seq == env.seq);
+  STQ_CHECK(again.kind == env.kind);
+  STQ_CHECK(again.updates == env.updates);
+  STQ_CHECK(again.full_answers == env.full_answers);
+  return 0;
+}
+
+void StqFuzzSeedCorpus(std::vector<std::string>* seeds) {
+  {
+    // A tick envelope with a mixed update stream.
+    stq::Envelope env;
+    env.client = 7;
+    env.seq = 42;
+    env.kind = stq::EnvelopeKind::kTick;
+    env.tick_time = 3.5;
+    env.updates = {stq::Update::Positive(1, 10), stq::Update::Negative(2, 20),
+                   stq::Update::Positive(3, 30)};
+    env.wire_bytes = 1234;
+    std::string encoded;
+    stq::EncodeEnvelope(env, &encoded);
+    seeds->push_back(encoded);
+  }
+  {
+    // A resync envelope carrying full answers (kFullAnswer recovery).
+    stq::Envelope env;
+    env.client = 9;
+    env.seq = 100;
+    env.kind = stq::EnvelopeKind::kResync;
+    env.tick_time = 8.0;
+    env.updates = {stq::Update::Positive(5, 50)};
+    env.full_answers.emplace_back(4, std::vector<stq::ObjectId>{1, 2, 3});
+    env.full_answers.emplace_back(5, std::vector<stq::ObjectId>{});
+    env.wire_bytes = 99;
+    std::string encoded;
+    stq::EncodeEnvelope(env, &encoded);
+    seeds->push_back(encoded);
+  }
+  {
+    // An empty heartbeat — the smallest valid envelope on the wire.
+    stq::Envelope env;
+    env.client = 1;
+    env.seq = 1;
+    std::string encoded;
+    stq::EncodeEnvelope(env, &encoded);
+    seeds->push_back(encoded);
+  }
+}

@@ -25,6 +25,13 @@ void Client::ApplyUpdates(const std::vector<Update>& updates) {
   }
 }
 
+void Client::ApplyFullAnswer(QueryId qid, const std::vector<ObjectId>& answer) {
+  auto& local = answers_[qid];
+  local.clear();
+  for (ObjectId oid : answer) local.insert(oid);
+  ++updates_applied_;
+}
+
 void Client::DropQuery(QueryId qid) {
   answers_.erase(qid);
   committed_.erase(qid);

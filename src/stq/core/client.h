@@ -37,6 +37,9 @@ class Client {
   // Applies a batch of updates to the local answer sets.
   void ApplyUpdates(const std::vector<Update>& updates);
 
+  // Replaces the local answer of `qid` wholesale (kFullAnswer recovery).
+  void ApplyFullAnswer(QueryId qid, const std::vector<ObjectId>& answer);
+
   // Forgets a query's answer (the client cancelled it).
   void DropQuery(QueryId qid);
 

@@ -130,9 +130,16 @@ Status Server::RegisterPredictiveQuery(QueryId qid, ClientId cid,
   return Status::OK();
 }
 
-void Server::CommitCurrent(QueryId qid) {
+bool Server::CommitCurrent(QueryId qid, ClientId owner) {
+  if (commit_hooks_ != nullptr && !commit_hooks_->MayCommit(owner)) {
+    return false;
+  }
   FlatSet<ObjectId> answer;
-  if (processor_.GetAnswerSet(qid, &answer)) committed_.Commit(qid, answer);
+  if (!processor_.GetAnswerSet(qid, &answer)) return false;
+  committed_.Commit(qid, answer);
+  ++commit_serial_;
+  if (commit_hooks_ != nullptr) commit_hooks_->OnCommitted(owner, qid);
+  return true;
 }
 
 void Server::OnHeardFromQuery(QueryId qid) {
@@ -140,10 +147,12 @@ void Server::OnHeardFromQuery(QueryId qid) {
   // considers its latest answer as a committed one." We additionally
   // require the result channel to be up: a lone uplink message from a
   // client whose downlink has been dead since before the last tick proves
-  // nothing about what the client received.
+  // nothing about what the client received. Under a lossy transport even
+  // that is not enough, so the session layer's hooks (consulted inside
+  // CommitCurrent) further require the client to be fully caught up.
   auto owner = query_owner_.find(qid);
   if (owner == query_owner_.end()) return;
-  if (IsConnected(owner->second)) CommitCurrent(qid);
+  if (IsConnected(owner->second)) CommitCurrent(qid, owner->second);
 }
 
 Status Server::MoveRangeQuery(QueryId qid, const Rect& region) {
@@ -171,12 +180,13 @@ Status Server::MovePredictiveQuery(QueryId qid, const Rect& region) {
 }
 
 Status Server::CommitQuery(QueryId qid) {
-  if (!query_owner_.contains(qid)) {
+  auto owner = query_owner_.find(qid);
+  if (owner == query_owner_.end()) {
     std::ostringstream os;
     os << "query " << qid << " unknown";
     return Status::NotFound(os.str());
   }
-  CommitCurrent(qid);
+  CommitCurrent(qid, owner->second);
   return Status::OK();
 }
 
@@ -223,12 +233,35 @@ std::vector<Server::Delivery> Server::Tick(Timestamp now) {
 
   // Route the canonical update stream per owning client. Hash iteration
   // order never leaks: deliveries are sorted by client id below.
+  //
+  // Updates owned by disconnected clients are counted and dropped up
+  // front — materializing (and byte-accounting) a Delivery nobody will
+  // receive is wasted work; those clients recover the lost stream from
+  // the committed-answer repository at wakeup. The connectivity verdict
+  // is cached per client so the routing loop stays one hash probe per
+  // update.
   FlatMap<ClientId, Delivery> by_client;
+  FlatSet<ClientId> known_connected;
+  FlatSet<ClientId> known_disconnected;
   for (const Update& u : last_tick_.updates) {
     auto owner = query_owner_.find(u.query);
     if (owner == query_owner_.end()) continue;  // unbound query: no channel
-    Delivery& d = by_client[owner->second];
-    d.client = owner->second;
+    const ClientId cid = owner->second;
+    if (known_disconnected.contains(cid)) {
+      ++updates_suppressed_for_disconnected_;
+      continue;
+    }
+    if (!known_connected.contains(cid)) {
+      if (IsConnected(cid)) {
+        known_connected.insert(cid);
+      } else {
+        known_disconnected.insert(cid);
+        ++updates_suppressed_for_disconnected_;
+        continue;
+      }
+    }
+    Delivery& d = by_client[cid];
+    d.client = cid;
     d.updates.push_back(u);
   }
 
@@ -236,11 +269,9 @@ std::vector<Server::Delivery> Server::Tick(Timestamp now) {
   deliveries.reserve(by_client.size());
   const WireCostModel& cost = options_.processor.wire_cost;
   for (auto& [cid, d] : by_client) {
-    d.delivered = IsConnected(cid);
-    if (d.delivered) {
-      d.bytes = cost.UpdateBytes(d.updates.size());
-      total_bytes_shipped_ += d.bytes;
-    }
+    d.delivered = true;
+    d.bytes = cost.UpdateBytes(d.updates.size());
+    total_bytes_shipped_ += d.bytes;
     deliveries.push_back(std::move(d));
   }
   std::sort(deliveries.begin(), deliveries.end(),

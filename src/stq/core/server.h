@@ -17,6 +17,7 @@
 #define STQ_CORE_SERVER_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -45,6 +46,22 @@ class Server {
     bool audit_after_tick = false;
   };
 
+  // Commit-protocol extension point, installed by the session layer
+  // (stq::SessionManager). The simulation contract makes "client is
+  // connected" proof enough that the client holds the server's current
+  // answers; under a lossy transport that proof needs delivery state the
+  // server doesn't have, so commits consult the hooks instead. With no
+  // hooks installed behavior is exactly the historical contract.
+  class CommitHooks {
+   public:
+    virtual ~CommitHooks() = default;
+    // Whether a commit for a query owned by `cid` is sound right now
+    // (i.e. the client provably holds the answers being committed).
+    virtual bool MayCommit(ClientId cid) = 0;
+    // A commit for (cid, qid) just happened server-side; mirror it.
+    virtual void OnCommitted(ClientId cid, QueryId qid) = 0;
+  };
+
   // One client's share of a tick or wakeup response.
   struct Delivery {
     ClientId client = 0;
@@ -60,6 +77,12 @@ class Server {
 
   QueryProcessor& processor() { return processor_; }
   const QueryProcessor& processor() const { return processor_; }
+
+  // Installs (or clears, with nullptr) the commit-protocol hooks. Not
+  // owned; must outlive the server or be cleared first.
+  void set_commit_hooks(CommitHooks* hooks) { commit_hooks_ = hooks; }
+
+  RecoveryPolicy recovery_policy() const { return options_.recovery; }
 
   // --- Clients -------------------------------------------------------------
 
@@ -124,6 +147,18 @@ class Server {
   size_t total_recovery_bytes() const { return total_recovery_bytes_; }
   size_t num_clients() const { return clients_.size(); }
 
+  // Updates Tick() declined to materialize because the owning client was
+  // disconnected (the stream those clients will recover via wakeup).
+  size_t updates_suppressed_for_disconnected() const {
+    return updates_suppressed_for_disconnected_;
+  }
+
+  // Bumped by every commit that actually happens through the heard-from /
+  // explicit-commit path (not wakeup recovery). Lets a mirroring layer
+  // (storage's WAL) detect whether a call it just made really committed,
+  // instead of re-deriving the gating conditions.
+  uint64_t commit_serial() const { return commit_serial_; }
+
   // --- Recovery support (used by storage::PersistentServer) ------------------
 
   // Binds an already-registered (recovered) query to an attached client
@@ -148,8 +183,10 @@ class Server {
     std::vector<QueryId> queries;  // queries bound to this client
   };
 
-  // Commits the current answer of `qid` (no-op if the query vanished).
-  void CommitCurrent(QueryId qid);
+  // Commits the current answer of `qid`, consulting the commit hooks.
+  // Returns true when the commit actually happened (the query still
+  // exists and the hooks allowed it); fires OnCommitted only then.
+  bool CommitCurrent(QueryId qid, ClientId owner);
 
   // Auto-commit hook for movement reports.
   void OnHeardFromQuery(QueryId qid);
@@ -157,11 +194,14 @@ class Server {
   Options options_;
   QueryProcessor processor_;
   CommittedStore committed_;
+  CommitHooks* commit_hooks_ = nullptr;
   FlatMap<ClientId, ClientChannel> clients_;
   FlatMap<QueryId, ClientId> query_owner_;
   TickResult last_tick_;
   size_t total_bytes_shipped_ = 0;
   size_t total_recovery_bytes_ = 0;
+  size_t updates_suppressed_for_disconnected_ = 0;
+  uint64_t commit_serial_ = 0;
 };
 
 }  // namespace stq

@@ -1,0 +1,417 @@
+#include "stq/core/session.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace stq {
+
+// --- ClientSession ----------------------------------------------------------
+
+ClientSession::ClientSession(ClientId cid, SessionManager* manager,
+                             Transport* transport,
+                             const SessionOptions& options)
+    : id_(cid),
+      manager_(manager),
+      transport_(transport),
+      options_(options),
+      client_(cid),
+      backoff_ticks_(options.backoff_base_ticks) {}
+
+void ClientSession::Apply(const Envelope& env) {
+  client_.ApplyUpdates(env.updates);
+  for (const auto& [qid, answer] : env.full_answers) {
+    client_.ApplyFullAnswer(qid, answer);
+  }
+  expected_seq_ = env.seq + 1;
+  last_applied_time_ = env.tick_time;
+  ++counters_.envelopes_applied;
+}
+
+void ClientSession::ApplyResync(const Envelope& env) {
+  // The resync payload is authoritative: it is the delta (or the whole
+  // answer) between the committed snapshot both sides hold and the
+  // server's current answers, computed after every envelope it
+  // supersedes was sent. Roll back, apply, commit — the paper's wakeup
+  // protocol — then re-anchor the sequence.
+  client_.RollbackToCommitted();
+  client_.ApplyUpdates(env.updates);
+  for (const auto& [qid, answer] : env.full_answers) {
+    client_.ApplyFullAnswer(qid, answer);
+  }
+  client_.CommitAll();
+  expected_seq_ = env.seq + 1;
+  last_applied_time_ = env.tick_time;
+  parked_.clear();  // everything parked predates the resync: stale
+  state_ = State::kConnected;
+  backoff_ticks_ = options_.backoff_base_ticks;
+  next_retry_tick_ = 0;
+  ++counters_.resyncs_applied;
+}
+
+void ClientSession::DrainParked() {
+  while (true) {
+    auto it = parked_.find(expected_seq_);
+    if (it == parked_.end()) break;
+    Envelope env = std::move(it->second);
+    parked_.erase(expected_seq_);
+    Apply(env);
+  }
+  if (state_ == State::kLagging && parked_.empty()) {
+    state_ = State::kConnected;
+    ++counters_.gaps_repaired;
+  }
+}
+
+void ClientSession::GoOutOfSync(uint64_t /*now_tick*/) {
+  if (state_ == State::kOutOfSync || state_ == State::kResyncing) return;
+  state_ = State::kOutOfSync;
+  ++counters_.out_of_sync_transitions;
+  parked_.clear();
+  backoff_ticks_ = options_.backoff_base_ticks;
+  next_retry_tick_ = 0;  // eligible to request immediately
+}
+
+void ClientSession::TryRequestResync(uint64_t now_tick) {
+  if (now_tick < next_retry_tick_) return;
+  ++counters_.resync_requests;
+  if (transport_->UplinkUp(id_) && manager_->RequestResync(id_).ok()) {
+    state_ = State::kResyncing;
+    resync_deadline_pump_ = pump_count_ + options_.resync_timeout_pumps;
+    return;
+  }
+  // Request lost (partitioned away): capped exponential backoff.
+  ++counters_.backoff_retries;
+  next_retry_tick_ = now_tick + backoff_ticks_;
+  backoff_ticks_ = std::min(backoff_ticks_ * 2, options_.backoff_cap_ticks);
+}
+
+void ClientSession::OnEnvelope(const std::string& encoded) {
+  Envelope env;
+  if (!DecodeEnvelope(encoded, &env).ok()) {
+    // Truncation/corruption is detected by the CRC and treated exactly
+    // like a drop — the sequence gap does the rest.
+    ++counters_.corrupt_envelopes;
+    return;
+  }
+  if (env.kind == EnvelopeKind::kResync) {
+    ApplyResync(env);
+    return;
+  }
+  if (env.seq < expected_seq_) {
+    // Duplicate or stale (pre-resync) envelope. Set-apply would make it
+    // harmless even if applied; suppressing it keeps the counters honest.
+    ++counters_.duplicates_suppressed;
+    return;
+  }
+  if (state_ == State::kOutOfSync || state_ == State::kResyncing) {
+    // The stream is stale until a resync re-anchors it.
+    ++counters_.ignored_while_out_of_sync;
+    return;
+  }
+  if (env.seq == expected_seq_) {
+    Apply(env);
+    DrainParked();
+    return;
+  }
+  // Sequence gap: park and wait out the reorder grace window.
+  if (state_ == State::kConnected) {
+    ++counters_.gaps_detected;
+    state_ = State::kLagging;
+    gap_since_pump_ = pump_count_;
+  }
+  if (parked_.size() >= options_.reorder_window) {
+    GoOutOfSync(0);
+    return;
+  }
+  if (!parked_.try_emplace(env.seq, std::move(env)).second) {
+    ++counters_.duplicates_suppressed;
+  }
+}
+
+void ClientSession::Pump(uint64_t now_tick) {
+  ++pump_count_;
+  if (state_ == State::kLagging &&
+      pump_count_ - gap_since_pump_ >= options_.gap_grace_pumps) {
+    GoOutOfSync(now_tick);
+  }
+  if (state_ == State::kResyncing && pump_count_ >= resync_deadline_pump_) {
+    // The served response never arrived (partition started in between).
+    state_ = State::kOutOfSync;
+    ++counters_.backoff_retries;
+  }
+  if (transport_->UplinkUp(id_)) {
+    bool needs_resync = false;
+    manager_->OnAck(id_, expected_seq_ - 1, &needs_resync);
+    // The ack response is how a demoted client finds out the server
+    // stopped buffering for it.
+    if (needs_resync) GoOutOfSync(now_tick);
+  }
+  if (state_ == State::kOutOfSync) TryRequestResync(now_tick);
+}
+
+// --- SessionManager ---------------------------------------------------------
+
+SessionManager::SessionManager(SessionBackend* backend, Transport* transport,
+                               const SessionOptions& options)
+    : backend_(backend), transport_(transport), options_(options) {
+  backend_->server().set_commit_hooks(this);
+}
+
+SessionManager::~SessionManager() {
+  backend_->server().set_commit_hooks(nullptr);
+}
+
+Status SessionManager::AttachSession(ClientSession* session) {
+  const ClientId cid = session->id();
+  auto [it, inserted] = records_.emplace(cid, Record{});
+  if (!inserted) return Status::AlreadyExists("session already attached");
+  it->second.session = session;
+  transport_->Bind(cid, session);
+  sorted_cids_.push_back(cid);
+  std::sort(sorted_cids_.begin(), sorted_cids_.end());
+  return Status::OK();
+}
+
+void SessionManager::Demote(ClientId cid, Record* rec) {
+  if (rec->demoted) return;
+  rec->demoted = true;
+  counters_.stale_envelopes_dropped += rec->queue.size() - rec->queue_head;
+  rec->queue.clear();
+  rec->queue_head = 0;
+  // Disconnecting server-side stops Tick() from materializing deliveries
+  // for this client; the wakeup path will serve it whole later.
+  backend_->DisconnectClient(cid);
+}
+
+void SessionManager::ServeResync(ClientId cid, Record* rec) {
+  // Whatever is still queued is superseded by the diff computed below.
+  counters_.stale_envelopes_dropped += rec->queue.size() - rec->queue_head;
+  rec->queue.clear();
+  rec->queue_head = 0;
+
+  Result<Server::Delivery> recovered = backend_->ReconnectClient(cid);
+  rec->resync_pending = false;
+  if (!recovered.ok()) return;  // client vanished server-side
+  rec->demoted = false;
+
+  Envelope env;
+  env.client = cid;
+  env.seq = rec->next_seq++;
+  env.kind = EnvelopeKind::kResync;
+  env.tick_time = last_now_;
+  env.updates = std::move(recovered.value().updates);
+  env.full_answers = std::move(recovered.value().full_answers);
+  env.wire_bytes = recovered.value().bytes;
+  EncodeEnvelope(env, &encode_scratch_);
+  if (backend_->server().recovery_policy() == RecoveryPolicy::kCommittedDiff) {
+    ++counters_.resyncs_served_diff;
+  } else {
+    ++counters_.resyncs_served_full;
+  }
+  transport_->SendControl(cid, encode_scratch_);
+}
+
+void SessionManager::Tick(Timestamp now) {
+  ++tick_index_;
+  last_now_ = now;
+
+  // 1. Advance transport time first: delayed/reordered envelopes from
+  //    earlier ticks arrive before this tick's stream, and partition
+  //    windows align with tick_index_ for everything sent below.
+  transport_->Pump(tick_index_);
+
+  // 2. Evaluate. Evaluation work is never shed — only delivery is.
+  std::vector<Server::Delivery> deliveries = backend_->Tick(now);
+
+  // 3. Envelope each delivery into its client's bounded outbound queue.
+  for (Server::Delivery& d : deliveries) {
+    auto it = records_.find(d.client);
+    if (it == records_.end()) continue;  // client driven outside the layer
+    Record& rec = it->second;
+    if (rec.demoted) continue;
+    Envelope env;
+    env.client = d.client;
+    env.seq = rec.next_seq++;
+    env.kind = EnvelopeKind::kTick;
+    env.tick_time = now;
+    env.updates = std::move(d.updates);
+    env.wire_bytes = d.bytes;
+    EncodeEnvelope(env, &encode_scratch_);
+    rec.queue.push_back(encode_scratch_);
+    const size_t qlen = rec.queue.size() - rec.queue_head;
+    counters_.queue_high_water =
+        std::max<uint64_t>(counters_.queue_high_water, qlen);
+    if (qlen > options_.max_queue_envelopes) {
+      ++counters_.queue_overflows;
+      Demote(d.client, &rec);
+    }
+  }
+
+  // 3b. Keep the sequence stream dense: a client with nothing queued
+  //     gets an empty heartbeat, so losing the last real envelope before
+  //     a quiet spell is detected within a tick instead of whenever its
+  //     queries next produce updates. Only empty queues get one, which
+  //     keeps queue growth bounded by real traffic under backpressure.
+  if (options_.heartbeats) {
+    for (ClientId cid : sorted_cids_) {
+      auto it = records_.find(cid);
+      if (it == records_.end()) continue;
+      Record& rec = it->second;
+      if (rec.demoted || rec.session == nullptr) continue;
+      if (rec.queue.size() > rec.queue_head) continue;
+      Envelope hb;
+      hb.client = cid;
+      hb.seq = rec.next_seq++;
+      hb.kind = EnvelopeKind::kTick;
+      hb.tick_time = now;
+      EncodeEnvelope(hb, &encode_scratch_);
+      rec.queue.push_back(encode_scratch_);
+      ++counters_.heartbeats_sent;
+      counters_.queue_high_water =
+          std::max<uint64_t>(counters_.queue_high_water, 1);
+    }
+  }
+
+  // 4. Flush within the tick's admission budget; what doesn't fit stays
+  //    queued (backpressure) for a later tick. The starting client
+  //    rotates each tick so a budget smaller than the client count never
+  //    permanently starves the tail of the sorted order.
+  size_t budget = options_.max_flush_per_tick == 0
+                      ? std::numeric_limits<size_t>::max()
+                      : options_.max_flush_per_tick;
+  const size_t n_clients = sorted_cids_.size();
+  for (size_t k = 0; k < n_clients && budget > 0; ++k) {
+    const ClientId cid = sorted_cids_[(flush_start_ + k) % n_clients];
+    auto it = records_.find(cid);
+    if (it == records_.end()) continue;
+    Record& rec = it->second;
+    while (rec.queue_head < rec.queue.size() && budget > 0) {
+      transport_->Send(cid, rec.queue[rec.queue_head]);
+      ++rec.queue_head;
+      --budget;
+      ++counters_.envelopes_sent;
+    }
+  }
+  if (n_clients > 0) flush_start_ = (flush_start_ + 1) % n_clients;
+  for (auto& [cid, rec] : records_) {
+    if (rec.queue_head == rec.queue.size() && rec.queue_head > 0) {
+      rec.queue.clear();
+      rec.queue_head = 0;
+    }
+    counters_.flush_deferred += rec.queue.size() - rec.queue_head;
+  }
+
+  // 5. Pump every session (grace windows, backoff, acks), deterministic
+  //    order.
+  for (ClientId cid : sorted_cids_) {
+    auto it = records_.find(cid);
+    if (it != records_.end() && it->second.session != nullptr) {
+      it->second.session->Pump(tick_index_);
+    }
+  }
+
+  // 6. Serve pending resyncs FIFO within the admission budget. Serving is
+  //    deferred while the client is partitioned: SendControl is reliable
+  //    exactly when the uplink is up, and partition state is fixed for
+  //    the rest of this tick, so a served response is a delivered one —
+  //    the server never commits a recovery the client didn't get.
+  size_t rbudget = options_.max_resyncs_per_tick == 0
+                       ? std::numeric_limits<size_t>::max()
+                       : options_.max_resyncs_per_tick;
+  std::vector<ClientId> carry;
+  for (ClientId cid : resync_queue_) {
+    auto it = records_.find(cid);
+    if (it == records_.end()) continue;
+    if (rbudget == 0 || !transport_->UplinkUp(cid)) {
+      ++counters_.resyncs_deferred;
+      carry.push_back(cid);
+      continue;
+    }
+    --rbudget;
+    ServeResync(cid, &it->second);
+  }
+  resync_queue_.swap(carry);
+}
+
+void SessionManager::OnAck(ClientId cid, uint64_t acked_seq,
+                           bool* needs_resync) {
+  *needs_resync = false;
+  auto it = records_.find(cid);
+  if (it == records_.end()) return;
+  ++counters_.acks_received;
+  Record& rec = it->second;
+  if (acked_seq > rec.acked_seq) rec.acked_seq = acked_seq;
+  *needs_resync = rec.demoted;
+}
+
+Status SessionManager::RequestResync(ClientId cid) {
+  auto it = records_.find(cid);
+  if (it == records_.end()) return Status::NotFound("no session");
+  if (!it->second.resync_pending) {
+    it->second.resync_pending = true;
+    resync_queue_.push_back(cid);
+  }
+  return Status::OK();
+}
+
+bool SessionManager::MayCommit(ClientId cid) {
+  auto it = records_.find(cid);
+  // Clients driven outside the session layer keep the historical
+  // contract (connected == in sync).
+  if (it == records_.end()) return true;
+  const Record& rec = it->second;
+  const bool caught_up = !rec.demoted && !rec.resync_pending &&
+                         rec.queue_head == rec.queue.size() &&
+                         rec.acked_seq + 1 == rec.next_seq;
+  if (!caught_up) ++counters_.commits_gated;
+  return caught_up;
+}
+
+void SessionManager::OnCommitted(ClientId cid, QueryId qid) {
+  auto it = records_.find(cid);
+  if (it == records_.end() || it->second.session == nullptr) return;
+  // MayCommit passed, so the client's local answer provably equals the
+  // server answer being committed: snapshot it client-side too.
+  it->second.session->client().Commit(qid);
+}
+
+size_t SessionManager::QueueLength(ClientId cid) const {
+  auto it = records_.find(cid);
+  if (it == records_.end()) return 0;
+  return it->second.queue.size() - it->second.queue_head;
+}
+
+size_t SessionManager::TotalQueuedEnvelopes() const {
+  size_t total = 0;
+  for (const auto& [cid, rec] : records_) {
+    total += rec.queue.size() - rec.queue_head;
+  }
+  return total;
+}
+
+bool SessionManager::IsDemoted(ClientId cid) const {
+  auto it = records_.find(cid);
+  return it != records_.end() && it->second.demoted;
+}
+
+ClientSession::Counters SumSessionCounters(
+    const std::vector<ClientSession*>& sessions) {
+  ClientSession::Counters sum;
+  for (const ClientSession* s : sessions) {
+    const ClientSession::Counters& c = s->counters();
+    sum.envelopes_applied += c.envelopes_applied;
+    sum.duplicates_suppressed += c.duplicates_suppressed;
+    sum.gaps_detected += c.gaps_detected;
+    sum.gaps_repaired += c.gaps_repaired;
+    sum.corrupt_envelopes += c.corrupt_envelopes;
+    sum.out_of_sync_transitions += c.out_of_sync_transitions;
+    sum.resync_requests += c.resync_requests;
+    sum.backoff_retries += c.backoff_retries;
+    sum.resyncs_applied += c.resyncs_applied;
+    sum.ignored_while_out_of_sync += c.ignored_while_out_of_sync;
+  }
+  return sum;
+}
+
+}  // namespace stq

@@ -1,0 +1,297 @@
+// Session layer: sequenced, loss-tolerant client sessions over a
+// Transport, with bounded server-side buffering and overload shedding.
+//
+// Server side (SessionManager): wraps a Server (or PersistentServer, via
+// SessionBackend) and a Transport. Each tick it
+//   1. evaluates (backend Tick — evaluation work is never shed),
+//   2. wraps each client's delivery in a sequence-numbered envelope and
+//      appends it to that client's *bounded* outbound queue,
+//   3. flushes queues through the transport within the tick's admission
+//      budget (max_flush_per_tick) — unflushed envelopes stay queued,
+//      which is backpressure,
+//   4. pumps the transport and every client session,
+//   5. serves pending resync requests within max_resyncs_per_tick.
+// When a queue overflows its cap the server stops buffering for that
+// client: the queue is dropped, the client is demoted to needs-resync
+// (and disconnected server-side, so ticks stop materializing its
+// deliveries), and it is served later from the committed-answer
+// repository through the existing RecoveryPolicy. Degradation is
+// loss-free by construction — a demoted client's answers go stale, never
+// wrong.
+//
+// Client side (ClientSession): a state machine
+//
+//   connected --gap--> lagging --grace/overflow--> out-of-sync
+//       ^                 |gap filled                  | resync request
+//       |                 v                            v (capped exp.
+//       +------------- connected <---served--- resyncing   backoff)
+//
+// driven by per-envelope sequence numbers: duplicates (seq < expected)
+// are suppressed — idempotent set-apply makes them harmless anyway —
+// reordered envelopes park in a bounded buffer until the gap fills, and
+// a gap that outlives the grace window triggers a resync request over
+// the uplink with capped exponential backoff (requests are lost while
+// partitioned). A resync response rolls the client back to its committed
+// snapshot, applies the diff (or full answers), and re-anchors the
+// expected sequence.
+//
+// Commit soundness under loss: the paper's protocol commits when the
+// server "hears from" a query, which is only sound if the client really
+// received the preceding deliveries. The session layer therefore
+// installs Server::CommitHooks and gates every commit on the client
+// being *caught up* (no queued envelopes, everything sent has been
+// cumulatively acked). Client-side mirror commits happen through the
+// OnCommitted hook, so both sides always snapshot identical answers and
+// the resync diff baseline is trustworthy.
+//
+// Thread-compatible: one thread drives the manager and its sessions.
+
+#ifndef STQ_CORE_SESSION_H_
+#define STQ_CORE_SESSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stq/common/flat_hash.h"
+#include "stq/common/ids.h"
+#include "stq/common/result.h"
+#include "stq/common/status.h"
+#include "stq/core/client.h"
+#include "stq/core/server.h"
+#include "stq/core/transport.h"
+
+namespace stq {
+
+class SessionManager;
+
+// The server the session layer fronts. Implemented inline for the plain
+// in-memory Server (PlainSessionBackend) and by storage's
+// PersistentServer (PersistentServer::SessionBackendAdapter), whose
+// reconnect path additionally logs the recovered commits.
+class SessionBackend {
+ public:
+  virtual ~SessionBackend() = default;
+  virtual Server& server() = 0;
+  virtual std::vector<Server::Delivery> Tick(Timestamp now) = 0;
+  virtual Result<Server::Delivery> ReconnectClient(ClientId cid) = 0;
+  virtual Status DisconnectClient(ClientId cid) = 0;
+};
+
+class PlainSessionBackend final : public SessionBackend {
+ public:
+  explicit PlainSessionBackend(Server* server) : server_(server) {}
+  Server& server() override { return *server_; }
+  std::vector<Server::Delivery> Tick(Timestamp now) override {
+    return server_->Tick(now);
+  }
+  Result<Server::Delivery> ReconnectClient(ClientId cid) override {
+    return server_->ReconnectClient(cid);
+  }
+  Status DisconnectClient(ClientId cid) override {
+    return server_->DisconnectClient(cid);
+  }
+
+ private:
+  Server* server_;
+};
+
+struct SessionOptions {
+  // Per-client outbound queue cap (envelopes). Exceeding it demotes the
+  // client to needs-resync.
+  size_t max_queue_envelopes = 64;
+  // Admission control: envelopes flushed to the transport per tick,
+  // across all clients (0 = unlimited). The tick deadline sheds delivery
+  // work before it ever sheds evaluation work.
+  size_t max_flush_per_tick = 0;
+  // Admission control: resync responses served per tick (0 = unlimited).
+  size_t max_resyncs_per_tick = 0;
+  // Client: pumps a detected gap may wait for a reordered envelope
+  // before escalating to out-of-sync.
+  uint64_t gap_grace_pumps = 2;
+  // Client: max out-of-order envelopes parked while lagging.
+  size_t reorder_window = 8;
+  // Client: resync-request backoff, in ticks (capped exponential).
+  uint64_t backoff_base_ticks = 1;
+  uint64_t backoff_cap_ticks = 8;
+  // Client: pumps to wait for a requested resync before re-requesting.
+  uint64_t resync_timeout_pumps = 16;
+  // Server: enqueue an empty heartbeat envelope for every quiet client
+  // whose queue is empty. Heartbeats keep the sequence stream dense, so a
+  // dropped envelope is detected within one tick even if the client's
+  // queries go silent — without them, loss of the *last* envelope before
+  // a quiet spell goes unnoticed until the next real update.
+  bool heartbeats = true;
+};
+
+// Server-side counters (see also TransportCounters and
+// ClientSession::Counters for the other two vantage points).
+struct SessionCounters {
+  uint64_t envelopes_sent = 0;         // tick envelopes flushed
+  uint64_t heartbeats_sent = 0;        // empty continuity probes enqueued
+  uint64_t resyncs_served_diff = 0;    // kCommittedDiff responses
+  uint64_t resyncs_served_full = 0;    // kFullAnswer responses
+  uint64_t resyncs_deferred = 0;       // requests carried past their tick
+  uint64_t queue_high_water = 0;       // max per-client queue length seen
+  uint64_t queue_overflows = 0;        // cap exceeded -> demotion
+  uint64_t flush_deferred = 0;         // envelopes left queued by admission
+  uint64_t stale_envelopes_dropped = 0;  // queued ticks obsoleted by resync
+  uint64_t acks_received = 0;
+  uint64_t commits_gated = 0;  // commits refused: client not caught up
+};
+
+// The client-side endpoint: owns a Client, receives envelopes from the
+// transport, and runs the session state machine.
+class ClientSession final : public TransportSink {
+ public:
+  enum class State : uint8_t {
+    kConnected,  // stream contiguous, answers current
+    kLagging,    // sequence gap, waiting out the reorder grace window
+    kOutOfSync,  // gap confirmed (or server demoted us); requesting resync
+    kResyncing,  // request accepted, awaiting the response
+  };
+
+  struct Counters {
+    uint64_t envelopes_applied = 0;
+    uint64_t duplicates_suppressed = 0;
+    uint64_t gaps_detected = 0;
+    uint64_t gaps_repaired = 0;  // healed by a late envelope, no resync
+    uint64_t corrupt_envelopes = 0;
+    uint64_t out_of_sync_transitions = 0;
+    uint64_t resync_requests = 0;
+    uint64_t backoff_retries = 0;  // retries after a lost/failed request
+    uint64_t resyncs_applied = 0;
+    uint64_t ignored_while_out_of_sync = 0;
+  };
+
+  ClientSession(ClientId cid, SessionManager* manager, Transport* transport,
+                const SessionOptions& options);
+
+  ClientId id() const { return id_; }
+  Client& client() { return client_; }
+  const Client& client() const { return client_; }
+  State state() const { return state_; }
+  const Counters& counters() const { return counters_; }
+  // Simulation time of the last envelope applied (what the client's
+  // answers are current as of).
+  Timestamp last_applied_tick_time() const { return last_applied_time_; }
+
+  // TransportSink: decode, sequence-check, apply / park / escalate.
+  void OnEnvelope(const std::string& encoded) override;
+
+  // Drives grace windows, resync backoff, and the cumulative ack. Called
+  // once per server tick by SessionManager::Tick.
+  void Pump(uint64_t now_tick);
+
+ private:
+  friend class SessionManager;
+
+  void Apply(const Envelope& env);
+  void ApplyResync(const Envelope& env);
+  void DrainParked();
+  void GoOutOfSync(uint64_t now_tick);
+  void TryRequestResync(uint64_t now_tick);
+
+  ClientId id_;
+  SessionManager* manager_;
+  Transport* transport_;
+  SessionOptions options_;
+  Client client_;
+  State state_ = State::kConnected;
+  uint64_t expected_seq_ = 1;
+  FlatMap<uint64_t, Envelope> parked_;  // out-of-order, keyed by seq
+  uint64_t pump_count_ = 0;
+  uint64_t gap_since_pump_ = 0;
+  uint64_t backoff_ticks_ = 1;
+  uint64_t next_retry_tick_ = 0;
+  uint64_t resync_deadline_pump_ = 0;
+  Timestamp last_applied_time_ = 0.0;
+  Counters counters_;
+};
+
+// The server-side session layer.
+class SessionManager final : public Server::CommitHooks {
+ public:
+  SessionManager(SessionBackend* backend, Transport* transport,
+                 const SessionOptions& options);
+  ~SessionManager() override;
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  // Registers `session` (whose client must already be attached to the
+  // backend server) and binds it to the transport.
+  Status AttachSession(ClientSession* session);
+
+  // One full cycle: evaluate, envelope, flush within budget, pump
+  // transport + sessions, serve resyncs within budget.
+  void Tick(Timestamp now);
+
+  // --- Uplink (called by ClientSession; reliable unless partitioned) ------
+
+  // Cumulative ack: the client has contiguously applied [1, acked_seq].
+  // Sets *needs_resync when the server has demoted this client.
+  void OnAck(ClientId cid, uint64_t acked_seq, bool* needs_resync);
+
+  // Requests an out-of-sync recovery. Always accepted (the response is
+  // what admission control budgets); served at the end of the current or
+  // a later Tick.
+  Status RequestResync(ClientId cid);
+
+  // --- Commit protocol (Server::CommitHooks) ------------------------------
+
+  // True when every envelope ever sent to `cid` has been flushed and
+  // cumulatively acked — the one condition under which the server and
+  // client provably hold identical answers.
+  bool MayCommit(ClientId cid) override;
+  // Mirrors a server-side commit into the client's local snapshot.
+  void OnCommitted(ClientId cid, QueryId qid) override;
+
+  // Runtime admission-control knob: envelopes flushed per tick from now
+  // on (0 = unlimited). Overload response without a rebuild.
+  void set_max_flush_per_tick(size_t n) { options_.max_flush_per_tick = n; }
+
+  const SessionCounters& counters() const { return counters_; }
+  // Current queue length for `cid` (0 when unknown/demoted).
+  size_t QueueLength(ClientId cid) const;
+  // Sum of all queued envelopes (bounded-memory checks).
+  size_t TotalQueuedEnvelopes() const;
+  bool IsDemoted(ClientId cid) const;
+  uint64_t tick_index() const { return tick_index_; }
+
+ private:
+  struct Record {
+    ClientSession* session = nullptr;
+    uint64_t next_seq = 1;
+    uint64_t acked_seq = 0;
+    bool demoted = false;
+    bool resync_pending = false;
+    // FIFO via head index; compacted when drained.
+    std::vector<std::string> queue;
+    size_t queue_head = 0;
+  };
+
+  void Demote(ClientId cid, Record* rec);
+  void ServeResync(ClientId cid, Record* rec);
+
+  SessionBackend* backend_;
+  Transport* transport_;
+  SessionOptions options_;
+  FlatMap<ClientId, Record> records_;
+  std::vector<ClientId> sorted_cids_;  // deterministic flush/pump order
+  size_t flush_start_ = 0;  // rotating flush offset (starvation freedom)
+  std::vector<ClientId> resync_queue_;  // FIFO of pending resyncs
+  uint64_t tick_index_ = 0;
+  Timestamp last_now_ = 0.0;
+  std::string encode_scratch_;
+  SessionCounters counters_;
+};
+
+// Sums client-side counters across sessions (bench / test reporting).
+ClientSession::Counters SumSessionCounters(
+    const std::vector<ClientSession*>& sessions);
+
+}  // namespace stq
+
+#endif  // STQ_CORE_SESSION_H_

@@ -1,0 +1,344 @@
+#include "stq/core/transport.h"
+
+#include <algorithm>
+
+#include "stq/common/crc32.h"
+#include "stq/storage/coding.h"
+
+namespace stq {
+
+namespace {
+
+constexpr uint32_t kEnvelopeMagic = 0x53545145;  // "STQE"
+constexpr uint8_t kEnvelopeVersion = 1;
+
+// Encoded sizes used to bound count fields against the remaining bytes
+// before any allocation (a fuzzed count must not drive a huge reserve).
+constexpr size_t kUpdateWireSize = 8 + 8 + 1;
+constexpr size_t kAnswerHeaderWireSize = 8 + 4;
+
+}  // namespace
+
+void EncodeEnvelope(const Envelope& env, std::string* out) {
+  out->clear();
+  PutFixed32(out, kEnvelopeMagic);
+  PutByte(out, kEnvelopeVersion);
+  PutByte(out, static_cast<uint8_t>(env.kind));
+  PutFixed64(out, env.client);
+  PutFixed64(out, env.seq);
+  PutDouble(out, env.tick_time);
+  PutFixed64(out, env.wire_bytes);
+  PutFixed32(out, static_cast<uint32_t>(env.updates.size()));
+  for (const Update& u : env.updates) {
+    PutFixed64(out, u.query);
+    PutFixed64(out, u.object);
+    PutByte(out, static_cast<uint8_t>(u.sign));
+  }
+  PutFixed32(out, static_cast<uint32_t>(env.full_answers.size()));
+  for (const auto& [qid, answer] : env.full_answers) {
+    PutFixed64(out, qid);
+    PutFixed32(out, static_cast<uint32_t>(answer.size()));
+    for (ObjectId oid : answer) PutFixed64(out, oid);
+  }
+  PutFixed32(out, Crc32c(out->data(), out->size()));
+}
+
+Status DecodeEnvelope(const std::string& encoded, Envelope* env) {
+  size_t offset = 0;
+  uint32_t magic = 0;
+  uint8_t version = 0;
+  uint8_t kind = 0;
+  if (!GetFixed32(encoded, &offset, &magic) || magic != kEnvelopeMagic) {
+    return Status::Corruption("envelope: bad magic");
+  }
+  if (!GetByte(encoded, &offset, &version) || version != kEnvelopeVersion) {
+    return Status::Corruption("envelope: unknown version");
+  }
+  if (!GetByte(encoded, &offset, &kind) ||
+      kind > static_cast<uint8_t>(EnvelopeKind::kResync)) {
+    return Status::Corruption("envelope: unknown kind");
+  }
+  env->kind = static_cast<EnvelopeKind>(kind);
+  if (!GetFixed64(encoded, &offset, &env->client) ||
+      !GetFixed64(encoded, &offset, &env->seq) ||
+      !GetDouble(encoded, &offset, &env->tick_time) ||
+      !GetFixed64(encoded, &offset, &env->wire_bytes)) {
+    return Status::Corruption("envelope: truncated header");
+  }
+
+  uint32_t n_updates = 0;
+  if (!GetFixed32(encoded, &offset, &n_updates) ||
+      !DecodeRemaining(encoded, offset,
+                       static_cast<size_t>(n_updates) * kUpdateWireSize)) {
+    return Status::Corruption("envelope: update count overruns buffer");
+  }
+  env->updates.clear();
+  env->updates.reserve(n_updates);
+  for (uint32_t i = 0; i < n_updates; ++i) {
+    Update u;
+    uint8_t sign = 0;
+    if (!GetFixed64(encoded, &offset, &u.query) ||
+        !GetFixed64(encoded, &offset, &u.object) ||
+        !GetByte(encoded, &offset, &sign)) {
+      return Status::Corruption("envelope: truncated update");
+    }
+    if (sign != static_cast<uint8_t>(UpdateSign::kPositive) &&
+        sign != static_cast<uint8_t>(UpdateSign::kNegative)) {
+      return Status::Corruption("envelope: bad update sign");
+    }
+    u.sign = static_cast<UpdateSign>(sign);
+    env->updates.push_back(u);
+  }
+
+  uint32_t n_answers = 0;
+  if (!GetFixed32(encoded, &offset, &n_answers) ||
+      !DecodeRemaining(encoded, offset, static_cast<size_t>(n_answers) *
+                                            kAnswerHeaderWireSize)) {
+    return Status::Corruption("envelope: answer count overruns buffer");
+  }
+  env->full_answers.clear();
+  env->full_answers.reserve(n_answers);
+  for (uint32_t i = 0; i < n_answers; ++i) {
+    QueryId qid = 0;
+    uint32_t count = 0;
+    if (!GetFixed64(encoded, &offset, &qid) ||
+        !GetFixed32(encoded, &offset, &count) ||
+        !DecodeRemaining(encoded, offset, static_cast<size_t>(count) * 8)) {
+      return Status::Corruption("envelope: answer overruns buffer");
+    }
+    std::vector<ObjectId> answer;
+    answer.reserve(count);
+    for (uint32_t j = 0; j < count; ++j) {
+      ObjectId oid = 0;
+      if (!GetFixed64(encoded, &offset, &oid)) {
+        return Status::Corruption("envelope: truncated answer entry");
+      }
+      answer.push_back(oid);
+    }
+    env->full_answers.emplace_back(qid, std::move(answer));
+  }
+
+  uint32_t stored_crc = 0;
+  const size_t payload_end = offset;
+  if (!GetFixed32(encoded, &offset, &stored_crc)) {
+    return Status::Corruption("envelope: missing crc");
+  }
+  if (offset != encoded.size()) {
+    return Status::Corruption("envelope: trailing bytes");
+  }
+  if (Crc32c(encoded.data(), payload_end) != stored_crc) {
+    return Status::Corruption("envelope: crc mismatch");
+  }
+  return Status::OK();
+}
+
+// --- PerfectTransport -------------------------------------------------------
+
+void PerfectTransport::Bind(ClientId cid, TransportSink* sink) {
+  sinks_[cid] = sink;
+}
+
+void PerfectTransport::Unbind(ClientId cid) { sinks_.erase(cid); }
+
+void PerfectTransport::Send(ClientId cid, const std::string& encoded) {
+  ++counters_.sent;
+  auto it = sinks_.find(cid);
+  if (it == sinks_.end()) {
+    ++counters_.dropped;
+    return;
+  }
+  ++counters_.delivered;
+  it->second->OnEnvelope(encoded);
+}
+
+void PerfectTransport::SendControl(ClientId cid, const std::string& encoded) {
+  ++counters_.control_sent;
+  auto it = sinks_.find(cid);
+  if (it == sinks_.end()) {
+    ++counters_.dropped;
+    return;
+  }
+  ++counters_.delivered;
+  it->second->OnEnvelope(encoded);
+}
+
+// --- FaultInjectionTransport ------------------------------------------------
+
+void FaultInjectionTransport::AddFault(const TransportFault& fault) {
+  faults_.push_back(FaultState{fault, 0, 0});
+}
+
+void FaultInjectionTransport::ClearFaults() { faults_.clear(); }
+
+void FaultInjectionTransport::SetChaosProfile(const ChaosProfile& profile) {
+  chaos_ = profile;
+  chaos_enabled_ = profile.drop > 0.0 || profile.duplicate > 0.0 ||
+                   profile.reorder > 0.0 || profile.delay > 0.0 ||
+                   profile.truncate > 0.0;
+}
+
+void FaultInjectionTransport::AddPartition(uint64_t from_tick,
+                                           uint64_t to_tick,
+                                           std::vector<ClientId> clients) {
+  partitions_.push_back(Partition{from_tick, to_tick, std::move(clients)});
+}
+
+void FaultInjectionTransport::ClearPartitions() { partitions_.clear(); }
+
+void FaultInjectionTransport::Bind(ClientId cid, TransportSink* sink) {
+  sinks_[cid] = sink;
+}
+
+void FaultInjectionTransport::Unbind(ClientId cid) { sinks_.erase(cid); }
+
+bool FaultInjectionTransport::Partitioned(ClientId cid) const {
+  for (const Partition& p : partitions_) {
+    if (now_tick_ < p.from_tick || now_tick_ >= p.to_tick) continue;
+    if (std::find(p.clients.begin(), p.clients.end(), cid) !=
+        p.clients.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjectionTransport::UplinkUp(ClientId cid) const {
+  return !Partitioned(cid);
+}
+
+bool FaultInjectionTransport::PickFault(ClientId cid, TransportFault* out) {
+  for (FaultState& f : faults_) {
+    if (f.spec.client != 0 && f.spec.client != cid) continue;
+    const uint64_t n = f.matched++;
+    if (n < f.spec.skip) continue;
+    if (f.spec.count >= 0 && f.fired >= f.spec.count) continue;
+    ++f.fired;
+    *out = f.spec;
+    return true;
+  }
+  if (chaos_enabled_) {
+    // One roll decides among the profile's faults so their probabilities
+    // compose additively and at most one applies per send.
+    const double roll = rng_.NextDouble();
+    double edge = chaos_.drop;
+    if (roll < edge) {
+      out->kind = TransportFault::Kind::kDrop;
+      return true;
+    }
+    if (roll < (edge += chaos_.duplicate)) {
+      out->kind = TransportFault::Kind::kDuplicate;
+      return true;
+    }
+    if (roll < (edge += chaos_.reorder)) {
+      out->kind = TransportFault::Kind::kReorder;
+      return true;
+    }
+    if (roll < (edge += chaos_.delay)) {
+      out->kind = TransportFault::Kind::kDelay;
+      out->delay_ticks =
+          1 + static_cast<int>(rng_.NextUint64(
+                  static_cast<uint64_t>(std::max(1, chaos_.max_delay_ticks))));
+      return true;
+    }
+    if (roll < edge + chaos_.truncate) {
+      out->kind = TransportFault::Kind::kTruncate;
+      // Cut somewhere inside the envelope; the CRC makes any cut point a
+      // detected corruption at the receiver.
+      out->truncate_at = 0;  // resolved against the actual size in Send
+      return true;
+    }
+  }
+  return false;
+}
+
+void FaultInjectionTransport::Deliver(ClientId cid,
+                                      const std::string& encoded) {
+  auto it = sinks_.find(cid);
+  if (it == sinks_.end()) {
+    ++counters_.dropped;
+    return;
+  }
+  ++counters_.delivered;
+  it->second->OnEnvelope(encoded);
+}
+
+void FaultInjectionTransport::Send(ClientId cid, const std::string& encoded) {
+  ++counters_.sent;
+  if (Partitioned(cid)) {
+    ++counters_.partition_blocked;
+    return;
+  }
+  TransportFault fault;
+  if (!PickFault(cid, &fault)) {
+    Deliver(cid, encoded);
+    return;
+  }
+  switch (fault.kind) {
+    case TransportFault::Kind::kDrop:
+      ++counters_.dropped;
+      return;
+    case TransportFault::Kind::kDuplicate:
+      ++counters_.duplicated;
+      Deliver(cid, encoded);
+      Deliver(cid, encoded);
+      return;
+    case TransportFault::Kind::kReorder:
+      // Parked until Pump, i.e. behind every envelope sent synchronously
+      // later this tick — an in-flight overtake.
+      ++counters_.reordered;
+      pending_.push_back(Pending{now_tick_, cid, encoded});
+      return;
+    case TransportFault::Kind::kDelay:
+      ++counters_.delayed;
+      pending_.push_back(Pending{
+          now_tick_ + static_cast<uint64_t>(std::max(1, fault.delay_ticks)),
+          cid, encoded});
+      return;
+    case TransportFault::Kind::kTruncate: {
+      ++counters_.truncated;
+      size_t cut = fault.truncate_at;
+      if (cut == 0 || cut >= encoded.size()) {
+        cut = encoded.empty() ? 0 : rng_.NextUint64(encoded.size());
+      }
+      Deliver(cid, encoded.substr(0, cut));
+      return;
+    }
+  }
+}
+
+void FaultInjectionTransport::SendControl(ClientId cid,
+                                          const std::string& encoded) {
+  ++counters_.control_sent;
+  if (Partitioned(cid)) {
+    ++counters_.partition_blocked;
+    return;
+  }
+  Deliver(cid, encoded);
+}
+
+void FaultInjectionTransport::Pump(uint64_t now_tick) {
+  now_tick_ = now_tick;
+  // Drop expired partition windows so long chaos/soak runs that keep
+  // scheduling flaps don't scan (or hold) an ever-growing list.
+  partitions_.erase(
+      std::remove_if(partitions_.begin(), partitions_.end(),
+                     [&](const Partition& p) { return p.to_tick <= now_tick; }),
+      partitions_.end());
+  // Deliver matured envelopes in arrival order; re-park the rest. A
+  // delivered envelope may race a partition that started after it was
+  // sent — tough luck for the receiver, which is exactly the point.
+  std::vector<Pending> still_pending;
+  still_pending.reserve(pending_.size());
+  for (Pending& p : pending_) {
+    if (p.release_tick <= now_tick_ && !Partitioned(p.client)) {
+      Deliver(p.client, p.encoded);
+    } else if (p.release_tick <= now_tick_ && Partitioned(p.client)) {
+      ++counters_.partition_blocked;
+    } else {
+      still_pending.push_back(std::move(p));
+    }
+  }
+  pending_.swap(still_pending);
+}
+
+}  // namespace stq

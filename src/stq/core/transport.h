@@ -1,0 +1,254 @@
+// Transport: the delivery path between the server's tick/reconnect
+// output and the clients.
+//
+// The paper's out-of-sync recovery protocol (Section 3.3) exists because
+// real update delivery is unreliable, yet the original simulation
+// delivered every tick perfectly or dropped it wholesale on disconnect.
+// This layer makes delivery a first-class, faultable component:
+//
+//   - Every client-bound payload travels as an *envelope* — a
+//     sequence-numbered (per-client monotonic `seq`), CRC-protected
+//     binary message encoded with the storage/coding.h primitives. The
+//     sequence numbers are what lets a client *detect* loss instead of
+//     silently diverging, and the CRC turns truncation/corruption into a
+//     detected drop rather than a wrong answer.
+//
+//   - `Transport` is the delivery interface. Envelopes for the tick
+//     stream go through Send() — the lossy datagram path. Resync
+//     responses go through SendControl() — the request/response control
+//     channel, which (like the paper's wakeup message) is delivered
+//     reliably whenever the client is reachable at all; partitions sever
+//     both paths, which is what exercises the resync backoff.
+//
+//   - `PerfectTransport` reproduces the pre-transport contract
+//     byte-for-byte: synchronous in-order delivery inside Send().
+//
+//   - `FaultInjectionTransport` applies scripted and seeded fault
+//     schedules in the PR-3 failpoint style (match by op, skip count,
+//     fail count, client filter): drop, duplicate, reorder, delay-N-ticks,
+//     truncate-at-byte, and time-windowed client-set partitions, plus a
+//     seeded probabilistic chaos profile for randomized sweeps.
+//
+// Thread-compatible, like the Server it fronts: one thread drives
+// Send/Pump. See DESIGN.md, "Session resilience & overload control".
+
+#ifndef STQ_CORE_TRANSPORT_H_
+#define STQ_CORE_TRANSPORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stq/common/clock.h"
+#include "stq/common/flat_hash.h"
+#include "stq/common/ids.h"
+#include "stq/common/random.h"
+#include "stq/common/status.h"
+#include "stq/core/types.h"
+
+namespace stq {
+
+// --- Envelopes --------------------------------------------------------------
+
+enum class EnvelopeKind : uint8_t {
+  kTick = 0,    // one tick's update batch for this client
+  kResync = 1,  // a wakeup/resync response (diff or full answers)
+};
+
+// One client-bound delivery. `seq` is per-client and strictly monotonic
+// across both kinds; a resync envelope additionally re-anchors the
+// receiver's expected sequence at seq + 1 (everything older is stale by
+// construction, because the resync diff is computed after it was sent).
+struct Envelope {
+  ClientId client = 0;
+  uint64_t seq = 0;
+  EnvelopeKind kind = EnvelopeKind::kTick;
+  Timestamp tick_time = 0.0;
+  std::vector<Update> updates;
+  // Complete answers shipped instead of updates (kFullAnswer recovery).
+  std::vector<std::pair<QueryId, std::vector<ObjectId>>> full_answers;
+  // WireCostModel accounting carried alongside (not the encoded size).
+  uint64_t wire_bytes = 0;
+};
+
+// Binary encoding (little-endian, storage/coding.h):
+//   fixed32 magic  fixed8 version  fixed8 kind  fixed64 client
+//   fixed64 seq    double tick_time  fixed64 wire_bytes
+//   fixed32 n_updates  n x (fixed64 query, fixed64 object, fixed8 sign)
+//   fixed32 n_answers  n x (fixed64 query, fixed32 count, count x fixed64)
+//   fixed32 crc32c of everything before it
+void EncodeEnvelope(const Envelope& env, std::string* out);
+
+// Strict decode: OK or Corruption (bad magic/version/sign, counts that
+// overrun the buffer, trailing bytes, CRC mismatch) — never a crash or an
+// out-of-bounds read, for arbitrary input (fuzzed by
+// fuzz/fuzz_transport_envelope.cc).
+Status DecodeEnvelope(const std::string& encoded, Envelope* env);
+
+// --- The transport interface ------------------------------------------------
+
+// Client-side receiving endpoint (implemented by stq::ClientSession).
+class TransportSink {
+ public:
+  virtual ~TransportSink() = default;
+  virtual void OnEnvelope(const std::string& encoded) = 0;
+};
+
+struct TransportCounters {
+  uint64_t sent = 0;               // Send() calls (tick stream)
+  uint64_t control_sent = 0;       // SendControl() calls (resync channel)
+  uint64_t delivered = 0;          // envelopes handed to a sink
+  uint64_t dropped = 0;            // faulted away (drop + unbound sink)
+  uint64_t duplicated = 0;         // extra copies delivered
+  uint64_t reordered = 0;          // envelopes deferred past later sends
+  uint64_t delayed = 0;            // envelopes parked for N ticks
+  uint64_t truncated = 0;          // envelopes delivered with bytes cut
+  uint64_t partition_blocked = 0;  // sends (either channel) into a partition
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Registers / removes the receiving endpoint for `cid`. Sends to an
+  // unbound client count as drops.
+  virtual void Bind(ClientId cid, TransportSink* sink) = 0;
+  virtual void Unbind(ClientId cid) = 0;
+
+  // Queues `encoded` on the lossy tick-stream path. Delivery may happen
+  // synchronously or at a later Pump(), or never.
+  virtual void Send(ClientId cid, const std::string& encoded) = 0;
+
+  // The reliable control path (resync responses): delivered synchronously
+  // unless the client is partitioned away, in which case the message is
+  // lost and the caller's request/response protocol retries.
+  virtual void SendControl(ClientId cid, const std::string& encoded) = 0;
+
+  // Advances transport time to tick `now_tick` and delivers everything
+  // that matured (delays, reorders). Called once per server tick.
+  virtual void Pump(uint64_t now_tick) = 0;
+
+  // True when the client can currently reach the server (uplink: acks,
+  // resync requests). Partitions sever both directions.
+  virtual bool UplinkUp(ClientId /*cid*/) const { return true; }
+
+  const TransportCounters& counters() const { return counters_; }
+
+ protected:
+  TransportCounters counters_;
+};
+
+// Today's contract, byte-for-byte: every Send is a synchronous in-order
+// delivery, Pump is a no-op, the uplink is always up.
+class PerfectTransport final : public Transport {
+ public:
+  void Bind(ClientId cid, TransportSink* sink) override;
+  void Unbind(ClientId cid) override;
+  void Send(ClientId cid, const std::string& encoded) override;
+  void SendControl(ClientId cid, const std::string& encoded) override;
+  void Pump(uint64_t /*now_tick*/) override {}
+
+ private:
+  FlatMap<ClientId, TransportSink*> sinks_;
+};
+
+// --- Fault injection --------------------------------------------------------
+
+// One scripted fault, in the FaultInjectionEnv::Failpoint mold: matching
+// sends are let through `skip` times, then the fault fires `count` times
+// (-1 = forever). `client` filters the match (0 = any client).
+struct TransportFault {
+  enum class Kind : uint8_t {
+    kDrop,       // the envelope vanishes
+    kDuplicate,  // delivered, then delivered again
+    kReorder,    // deferred behind every later send of this tick
+    kDelay,      // parked for `delay_ticks` Pump()s
+    kTruncate,   // delivered with only the first `truncate_at` bytes
+  };
+  Kind kind = Kind::kDrop;
+  uint64_t skip = 0;
+  int count = 1;  // -1 fires forever
+  ClientId client = 0;
+  int delay_ticks = 1;     // kDelay
+  size_t truncate_at = 0;  // kTruncate
+};
+
+// Seeded probabilistic fault schedule for chaos sweeps. Probabilities
+// are evaluated per Send in this order; at most one fault applies.
+struct ChaosProfile {
+  double drop = 0.0;
+  double duplicate = 0.0;
+  double reorder = 0.0;
+  double delay = 0.0;
+  double truncate = 0.0;
+  int max_delay_ticks = 3;  // kDelay parks for 1..max ticks
+};
+
+class FaultInjectionTransport final : public Transport {
+ public:
+  explicit FaultInjectionTransport(uint64_t seed = 0) : rng_(seed + 1) {}
+
+  // --- Fault scripting -----------------------------------------------------
+
+  void AddFault(const TransportFault& fault);
+  void ClearFaults();
+
+  // Seeded randomized faults on every Send (scripted faults are checked
+  // first). Zero probabilities (the default) disable the profile.
+  void SetChaosProfile(const ChaosProfile& profile);
+
+  // Clients in `clients` are unreachable (both directions) for ticks
+  // [from_tick, to_tick).
+  void AddPartition(uint64_t from_tick, uint64_t to_tick,
+                    std::vector<ClientId> clients);
+  void ClearPartitions();
+
+  // --- Transport interface -------------------------------------------------
+
+  void Bind(ClientId cid, TransportSink* sink) override;
+  void Unbind(ClientId cid) override;
+  void Send(ClientId cid, const std::string& encoded) override;
+  void SendControl(ClientId cid, const std::string& encoded) override;
+  void Pump(uint64_t now_tick) override;
+  bool UplinkUp(ClientId cid) const override;
+
+  // Envelopes currently parked for a later Pump (bounded-memory checks).
+  size_t pending_envelopes() const { return pending_.size(); }
+
+ private:
+  struct FaultState {
+    TransportFault spec;
+    uint64_t matched = 0;  // matching sends seen
+    int fired = 0;         // times fired
+  };
+  struct Partition {
+    uint64_t from_tick = 0;
+    uint64_t to_tick = 0;
+    std::vector<ClientId> clients;
+  };
+  struct Pending {
+    uint64_t release_tick = 0;
+    ClientId client = 0;
+    std::string encoded;
+  };
+
+  bool Partitioned(ClientId cid) const;
+  // The scripted-or-chaos fault that applies to this send, if any.
+  bool PickFault(ClientId cid, TransportFault* out);
+  void Deliver(ClientId cid, const std::string& encoded);
+
+  Xorshift128Plus rng_;
+  FlatMap<ClientId, TransportSink*> sinks_;
+  std::vector<FaultState> faults_;
+  ChaosProfile chaos_;
+  bool chaos_enabled_ = false;
+  std::vector<Partition> partitions_;
+  std::vector<Pending> pending_;  // delivered in order at Pump
+  uint64_t now_tick_ = 0;
+};
+
+}  // namespace stq
+
+#endif  // STQ_CORE_TRANSPORT_H_

@@ -205,54 +205,50 @@ Status PersistentServer::RegisterPredictiveQuery(QueryId qid, ClientId cid,
 
 Status PersistentServer::MoveRangeQuery(QueryId qid, const Rect& region) {
   STQ_RETURN_IF_ERROR(GuardWritable());
+  // Hearing from a moving query may commit its latest answer (channel up
+  // and, when a session layer gates commits, client caught up). The
+  // commit serial says whether it actually did; mirror exactly those
+  // commits in the log.
+  const uint64_t serial = server_->commit_serial();
   STQ_RETURN_IF_ERROR(server_->MoveRangeQuery(qid, region));
   STQ_RETURN_IF_ERROR(repository_.LogQueryMoveRect(qid, region));
-  // Hearing from a moving query commits its latest answer (when the
-  // channel is up); mirror the server's auto-commit in the log.
-  std::optional<ClientId> owner = server_->OwnerOf(qid);
-  if (owner.has_value() && server_->IsConnected(*owner)) {
-    return LogCommitOf(qid);
-  }
+  if (server_->commit_serial() != serial) return LogCommitOf(qid);
   return Status::OK();
 }
 
 Status PersistentServer::MoveKnnQuery(QueryId qid, const Point& center) {
   STQ_RETURN_IF_ERROR(GuardWritable());
+  const uint64_t serial = server_->commit_serial();
   STQ_RETURN_IF_ERROR(server_->MoveKnnQuery(qid, center));
   STQ_RETURN_IF_ERROR(repository_.LogQueryMoveCenter(qid, center));
-  std::optional<ClientId> owner = server_->OwnerOf(qid);
-  if (owner.has_value() && server_->IsConnected(*owner)) {
-    return LogCommitOf(qid);
-  }
+  if (server_->commit_serial() != serial) return LogCommitOf(qid);
   return Status::OK();
 }
 
 Status PersistentServer::MoveCircleQuery(QueryId qid, const Point& center) {
   STQ_RETURN_IF_ERROR(GuardWritable());
+  const uint64_t serial = server_->commit_serial();
   STQ_RETURN_IF_ERROR(server_->MoveCircleQuery(qid, center));
   STQ_RETURN_IF_ERROR(repository_.LogQueryMoveCenter(qid, center));
-  std::optional<ClientId> owner = server_->OwnerOf(qid);
-  if (owner.has_value() && server_->IsConnected(*owner)) {
-    return LogCommitOf(qid);
-  }
+  if (server_->commit_serial() != serial) return LogCommitOf(qid);
   return Status::OK();
 }
 
 Status PersistentServer::MovePredictiveQuery(QueryId qid, const Rect& region) {
   STQ_RETURN_IF_ERROR(GuardWritable());
+  const uint64_t serial = server_->commit_serial();
   STQ_RETURN_IF_ERROR(server_->MovePredictiveQuery(qid, region));
   STQ_RETURN_IF_ERROR(repository_.LogQueryMoveRect(qid, region));
-  std::optional<ClientId> owner = server_->OwnerOf(qid);
-  if (owner.has_value() && server_->IsConnected(*owner)) {
-    return LogCommitOf(qid);
-  }
+  if (server_->commit_serial() != serial) return LogCommitOf(qid);
   return Status::OK();
 }
 
 Status PersistentServer::CommitQuery(QueryId qid) {
   STQ_RETURN_IF_ERROR(GuardWritable());
+  const uint64_t serial = server_->commit_serial();
   STQ_RETURN_IF_ERROR(server_->CommitQuery(qid));
-  return LogCommitOf(qid);
+  if (server_->commit_serial() != serial) return LogCommitOf(qid);
+  return Status::OK();
 }
 
 Status PersistentServer::UnregisterQuery(QueryId qid) {

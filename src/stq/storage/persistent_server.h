@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "stq/core/server.h"
+#include "stq/core/session.h"
 #include "stq/storage/env.h"
 #include "stq/storage/repository.h"
 
@@ -111,6 +112,28 @@ class PersistentServer {
   PersistedState CaptureState() const;
 
   Status Close();
+
+  // Fronts this server with the session layer (stq::SessionManager), so
+  // resyncs flow through the logged ReconnectClient path and demotions
+  // through the logged disconnect. The adapter holds no state: sessions
+  // survive whatever the repository survives.
+  class SessionBackendAdapter final : public SessionBackend {
+   public:
+    explicit SessionBackendAdapter(PersistentServer* ps) : ps_(ps) {}
+    Server& server() override { return ps_->server(); }
+    std::vector<Server::Delivery> Tick(Timestamp now) override {
+      return ps_->Tick(now);
+    }
+    Result<Server::Delivery> ReconnectClient(ClientId cid) override {
+      return ps_->ReconnectClient(cid);
+    }
+    Status DisconnectClient(ClientId cid) override {
+      return ps_->DisconnectClient(cid);
+    }
+
+   private:
+    PersistentServer* ps_;
+  };
 
  private:
   // Refuses mutations before the in-memory server is touched when the

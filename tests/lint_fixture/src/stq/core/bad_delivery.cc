@@ -1,0 +1,33 @@
+// Positive and negative cases for the delivery-routing check: client
+// answer state mutates only through the session layer (core/session.cc
+// is exempt; everything else delivering straight into a Client fires).
+#include <vector>
+
+namespace stq {
+
+struct FakeClient {
+  void ApplyUpdates(const std::vector<int>& updates);
+  void ApplyFullAnswer(int qid, const std::vector<int>& answer);
+};
+
+void DeliverDirectly(FakeClient& client, FakeClient* remote) {
+  client.ApplyUpdates({});      // delivery-routing/direct-apply
+  remote->ApplyFullAnswer(1, {});  // delivery-routing/direct-apply
+}
+
+// Negative: out-of-line definitions are `Client::Apply...`, not member
+// access, and must not fire.
+void FakeClient::ApplyUpdates(const std::vector<int>& updates) {
+  (void)updates;
+}
+
+// Negative: mentions in comments — calling client.ApplyUpdates( here —
+// are stripped before matching.
+
+// A waiver suppresses the finding like any other check.
+void DeliverWaived(FakeClient& client) {
+  // stq-lint: allow(delivery-routing/direct-apply): fixture replay path
+  client.ApplyFullAnswer(2, {});
+}
+
+}  // namespace stq

@@ -155,6 +155,50 @@ TEST(ServerTest, NoAutoCommitWhileDisconnected) {
   EXPECT_EQ(recovery->updates, std::vector<Update>{Update::Positive(1, 1)});
 }
 
+TEST(ServerTest, DisconnectedClientsShipNoBytesAndNoDeliveries) {
+  // Regression: Tick used to materialize (and byte-charge) Deliveries
+  // for disconnected clients and only mark them undelivered afterwards.
+  // Updates owned by a disconnected client must now be suppressed before
+  // materialization — recovery rebuilds them from the committed
+  // repository, so shipping them is pure waste.
+  Server server(DefaultOptions());
+  ASSERT_TRUE(server.AttachClient(1).ok());
+  ASSERT_TRUE(server.AttachClient(2).ok());
+  ASSERT_TRUE(server.RegisterRangeQuery(1, 1, Rect{0.0, 0.0, 0.3, 0.3}).ok());
+  ASSERT_TRUE(server.RegisterRangeQuery(2, 2, Rect{0.7, 0.7, 1.0, 1.0}).ok());
+  ASSERT_TRUE(server.DisconnectClient(2).ok());
+
+  // One update for each query; only client 1's may ship.
+  ASSERT_TRUE(server.ReportObject(1, Point{0.1, 0.1}, 0.0).ok());
+  ASSERT_TRUE(server.ReportObject(2, Point{0.9, 0.9}, 0.0).ok());
+  const std::vector<Server::Delivery> deliveries = server.Tick(1.0);
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(deliveries[0].client, 1u);
+  EXPECT_TRUE(deliveries[0].delivered);
+  const size_t one_update =
+      DefaultOptions().processor.wire_cost.UpdateBytes(1);
+  EXPECT_EQ(server.total_bytes_shipped(), one_update);
+  EXPECT_EQ(server.updates_suppressed_for_disconnected(), 1u);
+
+  // A disconnect-heavy stretch: client 2's query keeps churning, and not
+  // one byte ships for it.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        server.ReportObject(2, Point{0.9 - 0.3 * (i % 2), 0.9}, 2.0 + i).ok());
+    const std::vector<Server::Delivery> d =
+        server.Tick(3.0 + static_cast<double>(i));
+    EXPECT_TRUE(d.empty()) << "tick " << i;
+  }
+  EXPECT_EQ(server.total_bytes_shipped(), one_update);
+  EXPECT_GE(server.updates_suppressed_for_disconnected(), 5u);
+
+  // Reconnect pays exactly the recovery's own bytes, nothing retroactive.
+  const Result<Server::Delivery> recovery = server.ReconnectClient(2);
+  ASSERT_TRUE(recovery.ok());
+  EXPECT_TRUE(recovery->delivered);
+  EXPECT_EQ(server.total_bytes_shipped(), one_update + recovery->bytes);
+}
+
 TEST(ServerTest, ExplicitCommitForStationaryQueries) {
   Server server(DefaultOptions());
   ASSERT_TRUE(server.AttachClient(1).ok());

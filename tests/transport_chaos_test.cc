@@ -1,0 +1,332 @@
+// The chaos convergence gate (ctest label: chaos). Seeded fault
+// schedules — a randomized drop/duplicate/reorder/delay/truncate chaos
+// profile plus a scripted partition window — run against every engine
+// shape (single-grid, sharded-4, persistent) under both recovery
+// policies. The contract under test: within kSettleTicks of fault
+// quiesce every client is connected again and its answers are
+// byte-identical to the server's current answers (the kFullAnswer
+// oracle), with the invariant auditor clean. A dedicated drill proves
+// queue-overflow degradation is loss-free: a backpressured client's
+// answers are always *some* past tick's true answers — delayed, never
+// wrong. CI scales the seed count via STQ_CHAOS_SEEDS.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stq/common/random.h"
+#include "stq/core/invariant_auditor.h"
+#include "stq/core/server.h"
+#include "stq/core/session.h"
+#include "stq/core/transport.h"
+#include "stq/storage/persistent_server.h"
+
+namespace stq {
+namespace {
+
+int ChaosSeeds() {
+  int seeds = 6;
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once, single-threaded
+  if (const char* from_env = std::getenv("STQ_CHAOS_SEEDS")) {
+    seeds = std::max(1, std::atoi(from_env));
+  }
+  return seeds;
+}
+
+constexpr int kClients = 5;
+constexpr int kObjects = 40;
+// Faults are live in ticks [kFaultFrom, kFaultTo); the gate requires
+// convergence by kFaultTo + kSettleTicks (the "K ticks of quiesce").
+constexpr uint64_t kFaultFrom = 6;
+constexpr uint64_t kFaultTo = 26;
+constexpr uint64_t kSettleTicks = 16;
+
+// Client `cid` owns query `cid`; the kind cycles through kNN / range /
+// circle so resync is exercised for every evaluator family.
+template <typename Engine>
+void RegisterQueryFor(Engine& engine, ClientId cid, const Point& p) {
+  switch (cid % 3) {
+    case 0:
+      ASSERT_TRUE(engine.RegisterKnnQuery(cid, cid, p, 4).ok());
+      break;
+    case 1:
+      ASSERT_TRUE(
+          engine.RegisterRangeQuery(cid, cid, Rect::CenteredSquare(p, 0.4))
+              .ok());
+      break;
+    default:
+      ASSERT_TRUE(engine.RegisterCircleQuery(cid, cid, p, 0.25).ok());
+      break;
+  }
+}
+
+template <typename Engine>
+void MoveQuery(Engine& engine, ClientId cid, const Point& p) {
+  switch (cid % 3) {
+    case 0:
+      ASSERT_TRUE(engine.MoveKnnQuery(cid, p).ok());
+      break;
+    case 1:
+      ASSERT_TRUE(engine.MoveRangeQuery(cid, Rect::CenteredSquare(p, 0.4)).ok());
+      break;
+    default:
+      ASSERT_TRUE(engine.MoveCircleQuery(cid, p).ok());
+      break;
+  }
+}
+
+// One full seeded chaos schedule against `engine` (whose inner Server is
+// `server`, fronted by `backend`). Engine is Server or PersistentServer:
+// both expose the same mutation surface.
+template <typename Engine>
+void RunChaosSchedule(Engine& engine, Server& server, SessionBackend* backend,
+                      uint64_t seed) {
+  Xorshift128Plus rng(0xC4A05E7D1F3B2A09ull ^ seed);
+  FaultInjectionTransport transport(seed);
+  SessionOptions soptions;
+  soptions.resync_timeout_pumps = 8;
+  SessionManager manager(backend, &transport, soptions);
+
+  std::vector<std::unique_ptr<ClientSession>> sessions;
+  for (ClientId cid = 1; cid <= kClients; ++cid) {
+    ASSERT_TRUE(engine.AttachClient(cid).ok());
+    sessions.push_back(std::make_unique<ClientSession>(cid, &manager,
+                                                       &transport, soptions));
+    ASSERT_TRUE(manager.AttachSession(sessions.back().get()).ok());
+    RegisterQueryFor(engine, cid, Point{rng.NextDouble(), rng.NextDouble()});
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  for (ObjectId oid = 1; oid <= kObjects; ++oid) {
+    ASSERT_TRUE(
+        engine.ReportObject(oid, Point{rng.NextDouble(), rng.NextDouble()}, 0.0)
+            .ok());
+  }
+
+  // The seeded fault schedule: a chaos profile with randomized rates,
+  // plus (usually) one partition window cutting a random client subset.
+  ChaosProfile profile;
+  profile.drop = 0.05 + rng.NextDouble() * 0.20;
+  profile.duplicate = rng.NextDouble() * 0.15;
+  profile.reorder = rng.NextDouble() * 0.10;
+  profile.delay = rng.NextDouble() * 0.20;
+  profile.truncate = rng.NextDouble() * 0.10;
+  profile.max_delay_ticks = static_cast<int>(1 + rng.NextUint64(4));
+  if (rng.NextBool(0.7)) {
+    const uint64_t from = kFaultFrom + rng.NextUint64(10);
+    const uint64_t to = std::min<uint64_t>(from + 1 + rng.NextUint64(6),
+                                           kFaultTo);
+    std::vector<ClientId> cut;
+    for (ClientId cid = 1; cid <= kClients; ++cid) {
+      if (rng.NextBool(0.4)) cut.push_back(cid);
+    }
+    if (!cut.empty() && from < to) transport.AddPartition(from, to, cut);
+  }
+
+  const uint64_t kEnd = kFaultTo + kSettleTicks;
+  for (uint64_t tick = 1; tick <= kEnd; ++tick) {
+    if (tick == kFaultFrom) transport.SetChaosProfile(profile);
+    if (tick == kFaultTo) transport.SetChaosProfile(ChaosProfile{});
+    const double now = static_cast<double>(tick);
+    for (ObjectId oid = 1; oid <= kObjects; ++oid) {
+      if (rng.NextBool(0.35)) {
+        ASSERT_TRUE(
+            engine
+                .ReportObject(oid, Point{rng.NextDouble(), rng.NextDouble()},
+                              now)
+                .ok());
+      }
+    }
+    for (ClientId cid = 1; cid <= kClients; ++cid) {
+      if (rng.NextBool(0.4)) {
+        MoveQuery(engine, cid, Point{rng.NextDouble(), rng.NextDouble()});
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+    manager.Tick(now);
+  }
+
+  // The gate: everyone reconnected and byte-identical to the oracle.
+  for (ClientId cid = 1; cid <= kClients; ++cid) {
+    SCOPED_TRACE(::testing::Message() << "seed " << seed << " client " << cid);
+    EXPECT_EQ(sessions[cid - 1]->state(), ClientSession::State::kConnected);
+    EXPECT_FALSE(manager.IsDemoted(cid));
+    Result<std::vector<ObjectId>> truth = server.processor().CurrentAnswer(cid);
+    ASSERT_TRUE(truth.ok()) << truth.status().ToString();
+    EXPECT_EQ(sessions[cid - 1]->client().SortedAnswerOf(cid), *truth);
+  }
+  const AuditReport report = InvariantAuditor().AuditServer(server);
+  EXPECT_TRUE(report.ok()) << "seed " << seed << ": " << report.ToString();
+}
+
+TEST(TransportChaosTest, SingleGridConvergesAfterChaos) {
+  const int seeds = ChaosSeeds();
+  for (int s = 0; s < seeds; ++s) {
+    for (RecoveryPolicy policy :
+         {RecoveryPolicy::kCommittedDiff, RecoveryPolicy::kFullAnswer}) {
+      SCOPED_TRACE(::testing::Message()
+                   << "seed " << s << " policy " << static_cast<int>(policy));
+      Server::Options options;
+      options.processor.grid_cells_per_side = 8;
+      options.recovery = policy;
+      Server server(options);
+      PlainSessionBackend backend(&server);
+      RunChaosSchedule(server, server, &backend, 1000 + s);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(TransportChaosTest, Sharded4ConvergesAfterChaos) {
+  const int seeds = ChaosSeeds();
+  for (int s = 0; s < seeds; ++s) {
+    for (RecoveryPolicy policy :
+         {RecoveryPolicy::kCommittedDiff, RecoveryPolicy::kFullAnswer}) {
+      SCOPED_TRACE(::testing::Message()
+                   << "seed " << s << " policy " << static_cast<int>(policy));
+      Server::Options options;
+      options.processor.grid_cells_per_side = 8;
+      options.processor.num_shards = 4;
+      options.processor.worker_threads = 2;
+      options.recovery = policy;
+      Server server(options);
+      PlainSessionBackend backend(&server);
+      RunChaosSchedule(server, server, &backend, 2000 + s);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(TransportChaosTest, PersistentConvergesAfterChaos) {
+  // The persistent leg runs fewer seeds by default (WAL I/O per tick);
+  // STQ_CHAOS_SEEDS scales it with the rest.
+  const int seeds = std::max(2, ChaosSeeds() / 2);
+  for (int s = 0; s < seeds; ++s) {
+    for (RecoveryPolicy policy :
+         {RecoveryPolicy::kCommittedDiff, RecoveryPolicy::kFullAnswer}) {
+      SCOPED_TRACE(::testing::Message()
+                   << "seed " << s << " policy " << static_cast<int>(policy));
+      const std::string dir = ::testing::TempDir() + "stq_chaos_" +
+                              std::to_string(s) + "_" +
+                              std::to_string(static_cast<int>(policy));
+      const std::string cmd = "rm -rf '" + dir + "' && mkdir -p '" + dir + "'";
+      ASSERT_EQ(std::system(cmd.c_str()), 0);  // NOLINT(concurrency-mt-unsafe)
+      PersistentServer::Options options;
+      options.server.processor.grid_cells_per_side = 8;
+      options.server.recovery = policy;
+      options.dir = dir;
+      options.sync_every_tick = false;  // chaos targets delivery, not crashes
+      PersistentServer ps(options);
+      ASSERT_TRUE(ps.Open().ok());
+      PersistentServer::SessionBackendAdapter backend(&ps);
+      RunChaosSchedule(ps, ps.server(), &backend, 3000 + s);
+      EXPECT_FALSE(ps.degraded()) << ps.error().ToString();
+      ASSERT_TRUE(ps.Close().ok());
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+// The overflow drill: with an admission budget far below the per-tick
+// envelope load, queues overflow, clients demote, and answers go stale —
+// but at *every* tick, every client's answers must equal the server's
+// true answers at the client's own `last_applied_tick_time()`. Delayed,
+// never wrong. When the budget lifts, everyone converges.
+TEST(TransportChaosTest, QueueOverflowDegradationIsLossFreePerTick) {
+  constexpr int kDrillClients = 3;
+  constexpr int kDrillObjects = 24;
+  Xorshift128Plus rng(0xD1CEB00Cull);
+  Server::Options options;
+  options.processor.grid_cells_per_side = 8;
+  Server server(options);
+  PlainSessionBackend backend(&server);
+  PerfectTransport transport;
+  SessionOptions soptions;
+  soptions.max_queue_envelopes = 4;
+  soptions.max_flush_per_tick = 1;  // 3 clients' load through a 1-envelope pipe
+  SessionManager manager(&backend, &transport, soptions);
+
+  std::vector<std::unique_ptr<ClientSession>> sessions;
+  for (ClientId cid = 1; cid <= kDrillClients; ++cid) {
+    ASSERT_TRUE(server.AttachClient(cid).ok());
+    sessions.push_back(std::make_unique<ClientSession>(cid, &manager,
+                                                       &transport, soptions));
+    ASSERT_TRUE(manager.AttachSession(sessions.back().get()).ok());
+    ASSERT_TRUE(server
+                    .RegisterRangeQuery(
+                        cid, cid,
+                        Rect::CenteredSquare(
+                            Point{rng.NextDouble(), rng.NextDouble()}, 0.4))
+                    .ok());
+  }
+  for (ObjectId oid = 1; oid <= kDrillObjects; ++oid) {
+    ASSERT_TRUE(
+        server.ReportObject(oid, Point{rng.NextDouble(), rng.NextDouble()}, 0.0)
+            .ok());
+  }
+
+  // Per-tick history of the server's true answers, keyed by tick index.
+  std::map<uint64_t, std::vector<std::vector<ObjectId>>> history;
+  auto check_never_wrong = [&](uint64_t tick) {
+    for (ClientId cid = 1; cid <= kDrillClients; ++cid) {
+      const double applied = sessions[cid - 1]->last_applied_tick_time();
+      if (applied <= 0.0) continue;  // nothing applied yet
+      const auto at = history.find(static_cast<uint64_t>(applied + 0.5));
+      ASSERT_NE(at, history.end()) << "tick " << tick << " client " << cid;
+      EXPECT_EQ(sessions[cid - 1]->client().SortedAnswerOf(cid),
+                at->second[cid - 1])
+          << "tick " << tick << " client " << cid << ": answers are neither "
+          << "current nor any past truth - lossy degradation";
+    }
+  };
+
+  for (uint64_t tick = 1; tick <= 40; ++tick) {
+    const double now = static_cast<double>(tick);
+    for (ObjectId oid = 1; oid <= kDrillObjects; ++oid) {
+      if (rng.NextBool(0.5)) {
+        ASSERT_TRUE(
+            server
+                .ReportObject(oid, Point{rng.NextDouble(), rng.NextDouble()},
+                              now)
+                .ok());
+      }
+    }
+    manager.Tick(now);
+    auto& snapshot = history[tick];
+    for (ClientId cid = 1; cid <= kDrillClients; ++cid) {
+      Result<std::vector<ObjectId>> truth = server.processor().CurrentAnswer(cid);
+      ASSERT_TRUE(truth.ok());
+      snapshot.push_back(*truth);
+    }
+    check_never_wrong(tick);
+    if (::testing::Test::HasFatalFailure()) return;
+    // Bounded memory: queued envelopes never exceed clients x (cap + 1).
+    ASSERT_LE(manager.TotalQueuedEnvelopes(),
+              static_cast<size_t>(kDrillClients) *
+                  (soptions.max_queue_envelopes + 1));
+  }
+  EXPECT_GE(manager.counters().queue_overflows, 1u);
+  EXPECT_GE(manager.counters().flush_deferred, 1u);
+
+  // Lift the admission budget; a quiet world then drains and resyncs
+  // everyone back to byte-identical answers.
+  manager.set_max_flush_per_tick(0);
+  uint64_t tick = 40;
+  for (int i = 0; i < 12; ++i) manager.Tick(static_cast<double>(++tick));
+  for (ClientId cid = 1; cid <= kDrillClients; ++cid) {
+    SCOPED_TRACE(::testing::Message() << "client " << cid);
+    EXPECT_EQ(sessions[cid - 1]->state(), ClientSession::State::kConnected);
+    EXPECT_FALSE(manager.IsDemoted(cid));
+    Result<std::vector<ObjectId>> truth = server.processor().CurrentAnswer(cid);
+    ASSERT_TRUE(truth.ok());
+    EXPECT_EQ(sessions[cid - 1]->client().SortedAnswerOf(cid), *truth);
+  }
+}
+
+}  // namespace
+}  // namespace stq

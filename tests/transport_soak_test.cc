@@ -1,0 +1,177 @@
+// Session-resilience soak (ctest label: soak): many clients over a road-
+// network workload with Zipfian-distributed connection flapping and a
+// low-grade chaos profile. The whole fault phase must stay within the
+// layer's memory bounds (queues capped, transport in-flight bounded),
+// and once faults quiesce every client must reconnect and converge to
+// the server's answers with the invariant auditor clean. Scaled up in CI
+// via STQ_SOAK_CLIENTS / STQ_SOAK_TICKS (the nightly leg runs 1K clients
+// over 5K ticks).
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stq/common/random.h"
+#include "stq/core/invariant_auditor.h"
+#include "stq/core/server.h"
+#include "stq/core/session.h"
+#include "stq/core/transport.h"
+#include "stq/gen/workload.h"
+
+namespace stq {
+namespace {
+
+int EnvInt(const char* name, int fallback) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once, single-threaded
+  if (const char* from_env = std::getenv(name)) {
+    return std::max(1, std::atoi(from_env));
+  }
+  return fallback;
+}
+
+// Zipf(1.0) sampler over ranks 1..n via inverse CDF on precomputed
+// cumulative weights: rank r is ~1/r as likely as rank 1, so a few
+// clients flap constantly while the long tail flaps rarely — the classic
+// shape of a flaky fleet.
+class ZipfSampler {
+ public:
+  explicit ZipfSampler(int n) : cumulative_(static_cast<size_t>(n)) {
+    double total = 0.0;
+    for (int r = 1; r <= n; ++r) {
+      total += 1.0 / static_cast<double>(r);
+      cumulative_[static_cast<size_t>(r - 1)] = total;
+    }
+    for (double& c : cumulative_) c /= total;
+  }
+
+  // Returns a rank in [1, n].
+  int Sample(Xorshift128Plus& rng) const {
+    const double u = rng.NextDouble();
+    const auto it =
+        std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+    return static_cast<int>(it - cumulative_.begin()) + 1;
+  }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+void RunSoak(int num_shards) {
+  const int clients = EnvInt("STQ_SOAK_CLIENTS", 96);
+  const int ticks = std::max(60, EnvInt("STQ_SOAK_TICKS", 240));
+  // Faults stop at 80% of the run; the final 20% is the quiesce window.
+  const uint64_t fault_until = static_cast<uint64_t>(ticks) * 4 / 5;
+
+  NetworkWorkloadOptions wopts;
+  wopts.city.rows = 12;
+  wopts.city.cols = 12;
+  wopts.num_objects = static_cast<size_t>(clients) * 4;
+  wopts.num_queries = static_cast<size_t>(clients);
+  wopts.query_side_length = 0.05;
+  wopts.num_ticks = static_cast<size_t>(ticks);
+  wopts.object_update_fraction = 0.3;
+  wopts.query_update_fraction = 0.2;
+  wopts.seed = 4242 + static_cast<uint64_t>(num_shards);
+  const Workload workload = Workload::GenerateNetwork(wopts);
+
+  Server::Options options;
+  options.processor.grid_cells_per_side = 16;
+  options.processor.num_shards = num_shards;
+  if (num_shards > 1) options.processor.worker_threads = 2;
+  Server server(options);
+  PlainSessionBackend backend(&server);
+  FaultInjectionTransport transport(wopts.seed);
+  const SessionOptions soptions;
+  SessionManager manager(&backend, &transport, soptions);
+
+  std::vector<std::unique_ptr<ClientSession>> sessions;
+  for (ClientId cid = 1; cid <= static_cast<ClientId>(clients); ++cid) {
+    ASSERT_TRUE(server.AttachClient(cid).ok());
+    sessions.push_back(std::make_unique<ClientSession>(cid, &manager,
+                                                       &transport, soptions));
+    ASSERT_TRUE(manager.AttachSession(sessions.back().get()).ok());
+  }
+  for (const ObjectReport& r : workload.initial_objects()) {
+    ASSERT_TRUE(server.ReportObject(r.id, r.loc, r.t).ok());
+  }
+  // Query qid belongs to client qid (generator ids are 1..num_queries).
+  for (const QueryRegionReport& q : workload.initial_queries()) {
+    ASSERT_TRUE(server.RegisterRangeQuery(q.id, q.id, q.region).ok());
+  }
+
+  // Low-grade background chaos for the whole fault phase; flapping comes
+  // on top as per-client partition windows.
+  ChaosProfile profile;
+  profile.drop = 0.02;
+  profile.delay = 0.05;
+  profile.duplicate = 0.02;
+  profile.max_delay_ticks = 3;
+  transport.SetChaosProfile(profile);
+
+  Xorshift128Plus flap_rng(wopts.seed ^ 0xF1A9F1A9ull);
+  const ZipfSampler zipf(clients);
+  const int flaps_per_tick = std::max(1, clients / 32);
+
+  const size_t queue_bound = static_cast<size_t>(clients) *
+                             (soptions.max_queue_envelopes + 1);
+  const size_t inflight_bound = static_cast<size_t>(clients) * 8;
+
+  for (size_t i = 0; i < workload.ticks().size(); ++i) {
+    const WorkloadTick& wt = workload.ticks()[i];
+    const uint64_t tick_index = manager.tick_index() + 1;
+    if (tick_index <= fault_until) {
+      for (int f = 0; f < flaps_per_tick; ++f) {
+        if (!flap_rng.NextBool(0.5)) continue;
+        const ClientId cid = static_cast<ClientId>(zipf.Sample(flap_rng));
+        const uint64_t len = 1 + flap_rng.NextUint64(4);
+        transport.AddPartition(tick_index, tick_index + len, {cid});
+      }
+    } else if (tick_index == fault_until + 1) {
+      transport.SetChaosProfile(ChaosProfile{});
+    }
+    for (const ObjectReport& r : wt.object_reports) {
+      ASSERT_TRUE(server.ReportObject(r.id, r.loc, r.t).ok());
+    }
+    for (const QueryRegionReport& q : wt.query_moves) {
+      ASSERT_TRUE(server.MoveRangeQuery(q.id, q.region).ok());
+    }
+    manager.Tick(wt.time);
+    // Bounded memory throughout: server queues respect the cap and the
+    // transport never accumulates unbounded in-flight envelopes.
+    ASSERT_LE(manager.TotalQueuedEnvelopes(), queue_bound) << "tick " << i;
+    ASSERT_LE(transport.pending_envelopes(), inflight_bound) << "tick " << i;
+  }
+
+  // The fault phase must have actually bitten.
+  EXPECT_GE(transport.counters().partition_blocked, 1u);
+  EXPECT_GE(transport.counters().dropped, 1u);
+  std::vector<ClientSession*> raw;
+  raw.reserve(sessions.size());
+  for (auto& s : sessions) raw.push_back(s.get());
+  const ClientSession::Counters sum = SumSessionCounters(raw);
+  EXPECT_GE(sum.resyncs_applied, 1u);
+
+  // Convergence at quiesce: every client reconnected and byte-identical.
+  for (ClientId cid = 1; cid <= static_cast<ClientId>(clients); ++cid) {
+    SCOPED_TRACE(::testing::Message() << "client " << cid);
+    EXPECT_EQ(sessions[cid - 1]->state(), ClientSession::State::kConnected);
+    EXPECT_FALSE(manager.IsDemoted(cid));
+    Result<std::vector<ObjectId>> truth = server.processor().CurrentAnswer(cid);
+    ASSERT_TRUE(truth.ok()) << truth.status().ToString();
+    ASSERT_EQ(sessions[cid - 1]->client().SortedAnswerOf(cid), *truth);
+  }
+  const AuditReport report = InvariantAuditor().AuditServer(server);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(TransportSoakTest, FlappingFleetStaysBoundedAndConverges) { RunSoak(1); }
+
+TEST(TransportSoakTest, Sharded4FlappingFleetConverges) { RunSoak(4); }
+
+}  // namespace
+}  // namespace stq

@@ -1,0 +1,612 @@
+// Tests for the transport layer (envelope coding, PerfectTransport,
+// FaultInjectionTransport fault schedules) and the session layer's state
+// machine (gap detection, reorder healing, resync with backoff, queue
+// overflow demotion, commit gating).
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stq/common/random.h"
+#include "stq/core/server.h"
+#include "stq/core/session.h"
+#include "stq/core/transport.h"
+
+namespace stq {
+namespace {
+
+// --- Envelope coding --------------------------------------------------------
+
+Envelope MakeTickEnvelope() {
+  Envelope env;
+  env.client = 7;
+  env.seq = 42;
+  env.kind = EnvelopeKind::kTick;
+  env.tick_time = 3.5;
+  env.updates = {Update::Positive(1, 10), Update::Negative(2, 20)};
+  env.wire_bytes = 1234;
+  return env;
+}
+
+Envelope MakeResyncEnvelope() {
+  Envelope env;
+  env.client = 9;
+  env.seq = 100;
+  env.kind = EnvelopeKind::kResync;
+  env.tick_time = 8.0;
+  env.updates = {Update::Positive(3, 30)};
+  env.full_answers.emplace_back(4, std::vector<ObjectId>{1, 2, 3});
+  env.full_answers.emplace_back(5, std::vector<ObjectId>{});
+  env.wire_bytes = 99;
+  return env;
+}
+
+void ExpectEnvelopesEqual(const Envelope& a, const Envelope& b) {
+  EXPECT_EQ(a.client, b.client);
+  EXPECT_EQ(a.seq, b.seq);
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.tick_time, b.tick_time);
+  EXPECT_EQ(a.updates, b.updates);
+  EXPECT_EQ(a.full_answers, b.full_answers);
+  EXPECT_EQ(a.wire_bytes, b.wire_bytes);
+}
+
+TEST(EnvelopeTest, RoundTripTick) {
+  const Envelope env = MakeTickEnvelope();
+  std::string encoded;
+  EncodeEnvelope(env, &encoded);
+  Envelope decoded;
+  ASSERT_TRUE(DecodeEnvelope(encoded, &decoded).ok());
+  ExpectEnvelopesEqual(env, decoded);
+}
+
+TEST(EnvelopeTest, RoundTripResync) {
+  const Envelope env = MakeResyncEnvelope();
+  std::string encoded;
+  EncodeEnvelope(env, &encoded);
+  Envelope decoded;
+  ASSERT_TRUE(DecodeEnvelope(encoded, &decoded).ok());
+  ExpectEnvelopesEqual(env, decoded);
+}
+
+TEST(EnvelopeTest, EveryTruncationIsDetected) {
+  std::string encoded;
+  EncodeEnvelope(MakeResyncEnvelope(), &encoded);
+  Envelope decoded;
+  for (size_t cut = 0; cut < encoded.size(); ++cut) {
+    EXPECT_TRUE(DecodeEnvelope(encoded.substr(0, cut), &decoded).IsCorruption())
+        << "cut at " << cut;
+  }
+}
+
+TEST(EnvelopeTest, EveryBitFlipIsDetected) {
+  std::string encoded;
+  EncodeEnvelope(MakeTickEnvelope(), &encoded);
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = encoded;
+      corrupt[i] = static_cast<char>(corrupt[i] ^ (1 << bit));
+      Envelope decoded;
+      EXPECT_TRUE(DecodeEnvelope(corrupt, &decoded).IsCorruption())
+          << "byte " << i << " bit " << bit;
+    }
+  }
+}
+
+TEST(EnvelopeTest, TrailingBytesRejected) {
+  std::string encoded;
+  EncodeEnvelope(MakeTickEnvelope(), &encoded);
+  encoded.push_back('x');
+  Envelope decoded;
+  EXPECT_TRUE(DecodeEnvelope(encoded, &decoded).IsCorruption());
+}
+
+TEST(EnvelopeTest, HugeCountsRejectedBeforeAllocation) {
+  // A fuzzer-shaped input: valid header, then an update count that claims
+  // more entries than the buffer could possibly hold. Decode must reject
+  // it by bounds math, not by attempting a 4-billion-entry reserve.
+  Envelope env;
+  env.client = 1;
+  env.seq = 1;
+  std::string encoded;
+  EncodeEnvelope(env, &encoded);
+  // n_updates sits right after the fixed header (4+1+1+8+8+8+8 = 38).
+  const size_t count_offset = 38;
+  ASSERT_LT(count_offset + 4, encoded.size());
+  for (size_t i = 0; i < 4; ++i) {
+    encoded[count_offset + i] = static_cast<char>(0xFF);
+  }
+  Envelope decoded;
+  EXPECT_TRUE(DecodeEnvelope(encoded, &decoded).IsCorruption());
+}
+
+// --- Transports -------------------------------------------------------------
+
+class RecordingSink final : public TransportSink {
+ public:
+  void OnEnvelope(const std::string& encoded) override {
+    received.push_back(encoded);
+  }
+  std::vector<std::string> received;
+};
+
+TEST(PerfectTransportTest, DeliversSynchronouslyInOrder) {
+  PerfectTransport transport;
+  RecordingSink sink;
+  transport.Bind(1, &sink);
+  transport.Send(1, "a");
+  transport.SendControl(1, "b");
+  transport.Send(1, "c");
+  transport.Pump(5);  // no-op
+  EXPECT_EQ(sink.received, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(transport.counters().delivered, 3u);
+  EXPECT_EQ(transport.counters().dropped, 0u);
+  EXPECT_TRUE(transport.UplinkUp(1));
+}
+
+TEST(PerfectTransportTest, UnboundClientCountsAsDrop) {
+  PerfectTransport transport;
+  transport.Send(2, "a");
+  EXPECT_EQ(transport.counters().dropped, 1u);
+  EXPECT_EQ(transport.counters().delivered, 0u);
+}
+
+TEST(FaultTransportTest, ScriptedDropSkipAndCount) {
+  FaultInjectionTransport transport(1);
+  RecordingSink sink;
+  transport.Bind(1, &sink);
+  TransportFault fault;
+  fault.kind = TransportFault::Kind::kDrop;
+  fault.skip = 1;   // let the first send through
+  fault.count = 2;  // then drop exactly two
+  transport.AddFault(fault);
+  for (int i = 0; i < 5; ++i) transport.Send(1, std::string(1, 'a' + i));
+  EXPECT_EQ(sink.received, (std::vector<std::string>{"a", "d", "e"}));
+  EXPECT_EQ(transport.counters().dropped, 2u);
+}
+
+TEST(FaultTransportTest, ClientFilterScopesFault) {
+  FaultInjectionTransport transport(1);
+  RecordingSink sink1;
+  RecordingSink sink2;
+  transport.Bind(1, &sink1);
+  transport.Bind(2, &sink2);
+  TransportFault fault;
+  fault.kind = TransportFault::Kind::kDrop;
+  fault.count = -1;  // forever
+  fault.client = 1;
+  transport.AddFault(fault);
+  transport.Send(1, "x");
+  transport.Send(2, "y");
+  EXPECT_TRUE(sink1.received.empty());
+  EXPECT_EQ(sink2.received, std::vector<std::string>{"y"});
+}
+
+TEST(FaultTransportTest, DuplicateDeliversTwice) {
+  FaultInjectionTransport transport(1);
+  RecordingSink sink;
+  transport.Bind(1, &sink);
+  TransportFault fault;
+  fault.kind = TransportFault::Kind::kDuplicate;
+  transport.AddFault(fault);
+  transport.Send(1, "a");
+  EXPECT_EQ(sink.received, (std::vector<std::string>{"a", "a"}));
+  EXPECT_EQ(transport.counters().duplicated, 1u);
+}
+
+TEST(FaultTransportTest, DelayParksUntilMaturity) {
+  FaultInjectionTransport transport(1);
+  RecordingSink sink;
+  transport.Bind(1, &sink);
+  transport.Pump(10);
+  TransportFault fault;
+  fault.kind = TransportFault::Kind::kDelay;
+  fault.delay_ticks = 2;
+  transport.AddFault(fault);
+  transport.Send(1, "late");
+  transport.Send(1, "ontime");
+  EXPECT_EQ(sink.received, std::vector<std::string>{"ontime"});
+  transport.Pump(11);
+  EXPECT_EQ(sink.received, std::vector<std::string>{"ontime"});
+  transport.Pump(12);
+  EXPECT_EQ(sink.received, (std::vector<std::string>{"ontime", "late"}));
+  EXPECT_EQ(transport.pending_envelopes(), 0u);
+}
+
+TEST(FaultTransportTest, TruncateCutsBytes) {
+  FaultInjectionTransport transport(1);
+  RecordingSink sink;
+  transport.Bind(1, &sink);
+  TransportFault fault;
+  fault.kind = TransportFault::Kind::kTruncate;
+  fault.truncate_at = 3;
+  transport.AddFault(fault);
+  transport.Send(1, "abcdef");
+  ASSERT_EQ(sink.received.size(), 1u);
+  EXPECT_EQ(sink.received[0], "abc");
+  EXPECT_EQ(transport.counters().truncated, 1u);
+}
+
+TEST(FaultTransportTest, PartitionWindowSeversBothChannels) {
+  FaultInjectionTransport transport(1);
+  RecordingSink sink;
+  transport.Bind(1, &sink);
+  transport.AddPartition(5, 8, {1});
+  transport.Pump(5);
+  EXPECT_FALSE(transport.UplinkUp(1));
+  transport.Send(1, "lost");
+  transport.SendControl(1, "also lost");
+  EXPECT_TRUE(sink.received.empty());
+  EXPECT_EQ(transport.counters().partition_blocked, 2u);
+  transport.Pump(8);  // window is [5, 8): healed now
+  EXPECT_TRUE(transport.UplinkUp(1));
+  transport.Send(1, "through");
+  EXPECT_EQ(sink.received, std::vector<std::string>{"through"});
+}
+
+TEST(FaultTransportTest, ChaosProfileIsSeededAndDeterministic) {
+  std::vector<uint64_t> delivered_counts;
+  for (int run = 0; run < 2; ++run) {
+    FaultInjectionTransport transport(1234);
+    RecordingSink sink;
+    transport.Bind(1, &sink);
+    ChaosProfile profile;
+    profile.drop = 0.3;
+    profile.duplicate = 0.1;
+    transport.SetChaosProfile(profile);
+    for (int i = 0; i < 200; ++i) transport.Send(1, "x");
+    delivered_counts.push_back(transport.counters().delivered);
+    EXPECT_GT(transport.counters().dropped, 0u);
+    EXPECT_GT(transport.counters().duplicated, 0u);
+  }
+  EXPECT_EQ(delivered_counts[0], delivered_counts[1]);
+}
+
+// --- Session layer ----------------------------------------------------------
+
+// A tiny world driven through the session layer: `kClients` clients, one
+// moving range query each, a handful of objects shuffled every tick.
+class SessionHarness {
+ public:
+  static constexpr int kClients = 3;
+  static constexpr int kObjects = 24;
+
+  SessionHarness(Transport* transport, const SessionOptions& session_options,
+                 RecoveryPolicy policy = RecoveryPolicy::kCommittedDiff)
+      : rng_(99) {
+    Server::Options options;
+    options.processor.grid_cells_per_side = 8;
+    options.recovery = policy;
+    server_ = std::make_unique<Server>(options);
+    backend_ = std::make_unique<PlainSessionBackend>(server_.get());
+    manager_ = std::make_unique<SessionManager>(backend_.get(), transport,
+                                                session_options);
+    for (ClientId cid = 1; cid <= kClients; ++cid) {
+      EXPECT_TRUE(server_->AttachClient(cid).ok());
+      sessions_.push_back(std::make_unique<ClientSession>(
+          cid, manager_.get(), transport, session_options));
+      EXPECT_TRUE(manager_->AttachSession(sessions_.back().get()).ok());
+      EXPECT_TRUE(server_
+                      ->RegisterRangeQuery(
+                          cid, cid,
+                          Rect::CenteredSquare(
+                              Point{rng_.NextDouble(), rng_.NextDouble()}, 0.4))
+                      .ok());
+    }
+    for (ObjectId oid = 1; oid <= kObjects; ++oid) {
+      EXPECT_TRUE(server_
+                      ->ReportObject(
+                          oid, Point{rng_.NextDouble(), rng_.NextDouble()}, 0.0)
+                      .ok());
+    }
+  }
+
+  // One world step: move some objects and queries, then a manager tick.
+  // With move_world=false the tick runs on a quiet world (drain phases).
+  void Step(bool move_world = true) {
+    ++tick_;
+    const double now = static_cast<double>(tick_);
+    if (move_world) {
+      for (ObjectId oid = 1; oid <= kObjects; ++oid) {
+        if (rng_.NextBool(0.4)) {
+          ASSERT_TRUE(server_
+                          ->ReportObject(
+                              oid, Point{rng_.NextDouble(), rng_.NextDouble()},
+                              now)
+                          .ok());
+        }
+      }
+      for (QueryId qid = 1; qid <= kClients; ++qid) {
+        if (rng_.NextBool(0.3)) {
+          ASSERT_TRUE(server_
+                          ->MoveRangeQuery(
+                              qid, Rect::CenteredSquare(
+                                       Point{rng_.NextDouble(),
+                                             rng_.NextDouble()},
+                                       0.4))
+                          .ok());
+        }
+      }
+    }
+    manager_->Tick(now);
+  }
+
+  // Guarantees `qid` produces updates next tick: oscillate it between
+  // the whole world and a tiny corner, so every move swings its answer.
+  void ForceTraffic(QueryId qid) {
+    const Rect region = (tick_ % 2 == 0) ? Rect{0.0, 0.0, 1.0, 1.0}
+                                         : Rect{0.9, 0.9, 0.95, 0.95};
+    ASSERT_TRUE(server_->MoveRangeQuery(qid, region).ok());
+  }
+
+  // True when every client's local answers equal the server's current
+  // answers (the kFullAnswer oracle) for every query it owns.
+  ::testing::AssertionResult Converged() {
+    for (ClientId cid = 1; cid <= kClients; ++cid) {
+      Result<std::vector<ObjectId>> truth =
+          server_->processor().CurrentAnswer(cid);
+      if (!truth.ok()) {
+        return ::testing::AssertionFailure()
+               << "query " << cid << ": " << truth.status().ToString();
+      }
+      const std::vector<ObjectId> local =
+          sessions_[cid - 1]->client().SortedAnswerOf(cid);
+      if (local != *truth) {
+        return ::testing::AssertionFailure()
+               << "client " << cid << " diverged: has " << local.size()
+               << " objects, server has " << truth->size();
+      }
+    }
+    return ::testing::AssertionSuccess();
+  }
+
+  Server& server() { return *server_; }
+  SessionManager& manager() { return *manager_; }
+  ClientSession& session(ClientId cid) { return *sessions_[cid - 1]; }
+  uint64_t tick() const { return tick_; }
+
+ private:
+  Xorshift128Plus rng_;
+  std::unique_ptr<Server> server_;
+  std::unique_ptr<PlainSessionBackend> backend_;
+  std::unique_ptr<SessionManager> manager_;
+  std::vector<std::unique_ptr<ClientSession>> sessions_;
+  uint64_t tick_ = 0;
+};
+
+TEST(SessionTest, PerfectTransportStaysConnectedAndConverged) {
+  PerfectTransport transport;
+  SessionHarness harness(&transport, SessionOptions{});
+  for (int i = 0; i < 30; ++i) {
+    harness.Step();
+    ASSERT_TRUE(harness.Converged()) << "tick " << harness.tick();
+  }
+  for (ClientId cid = 1; cid <= SessionHarness::kClients; ++cid) {
+    EXPECT_EQ(harness.session(cid).state(), ClientSession::State::kConnected);
+    EXPECT_EQ(harness.session(cid).counters().gaps_detected, 0u);
+    EXPECT_EQ(harness.session(cid).counters().resync_requests, 0u);
+  }
+  EXPECT_EQ(harness.manager().counters().queue_overflows, 0u);
+  EXPECT_EQ(harness.manager().counters().commits_gated, 0u);
+}
+
+TEST(SessionTest, AutoCommitFlowsThroughHooksOnHappyPath) {
+  PerfectTransport transport;
+  SessionHarness harness(&transport, SessionOptions{});
+  harness.Step();
+  // The move above may or may not have fired; force a commit explicitly.
+  ASSERT_TRUE(harness.server().CommitQuery(1).ok());
+  // The session layer mirrored the commit client-side: rollback keeps the
+  // committed answer.
+  Client& client = harness.session(1).client();
+  const std::vector<ObjectId> before = client.SortedAnswerOf(1);
+  client.RollbackToCommitted();
+  EXPECT_EQ(client.SortedAnswerOf(1), before);
+}
+
+TEST(SessionTest, DroppedEnvelopeTriggersResyncAndConverges) {
+  FaultInjectionTransport transport(7);
+  SessionOptions options;
+  SessionHarness harness(&transport, options);
+  harness.Step();
+  ASSERT_TRUE(harness.Converged());
+
+  // Drop the next three tick envelopes to client 2.
+  TransportFault fault;
+  fault.kind = TransportFault::Kind::kDrop;
+  fault.client = 2;
+  fault.count = 3;
+  transport.AddFault(fault);
+  for (int i = 0; i < 3; ++i) {
+    harness.ForceTraffic(2);
+    harness.Step();
+  }
+
+  // Within grace + backoff + serve, the client must be whole again.
+  for (int i = 0; i < 8; ++i) {
+    harness.ForceTraffic(2);
+    harness.Step();
+  }
+  EXPECT_TRUE(harness.Converged());
+  EXPECT_EQ(harness.session(2).state(), ClientSession::State::kConnected);
+  EXPECT_GE(harness.session(2).counters().gaps_detected, 1u);
+  EXPECT_GE(harness.session(2).counters().resyncs_applied, 1u);
+  const SessionCounters& sc = harness.manager().counters();
+  EXPECT_GE(sc.resyncs_served_diff + sc.resyncs_served_full, 1u);
+}
+
+TEST(SessionTest, DuplicatesAreSuppressedWithoutResync) {
+  FaultInjectionTransport transport(7);
+  SessionHarness harness(&transport, SessionOptions{});
+  TransportFault fault;
+  fault.kind = TransportFault::Kind::kDuplicate;
+  fault.client = 1;
+  fault.count = 4;
+  transport.AddFault(fault);
+  for (int i = 0; i < 10; ++i) {
+    harness.ForceTraffic(1);
+    harness.Step();
+    ASSERT_TRUE(harness.Converged()) << "tick " << harness.tick();
+  }
+  EXPECT_GE(harness.session(1).counters().duplicates_suppressed, 4u);
+  EXPECT_EQ(harness.session(1).counters().resync_requests, 0u);
+}
+
+TEST(SessionTest, DelayedEnvelopeHealsViaReorderBufferWithoutResync) {
+  FaultInjectionTransport transport(7);
+  SessionOptions options;
+  options.gap_grace_pumps = 3;  // outlast the 2-tick delay
+  SessionHarness harness(&transport, options);
+  harness.Step();
+
+  TransportFault fault;
+  fault.kind = TransportFault::Kind::kDelay;
+  fault.client = 3;
+  fault.delay_ticks = 2;
+  fault.count = 1;
+  transport.AddFault(fault);
+  for (int i = 0; i < 6; ++i) {
+    harness.ForceTraffic(3);
+    harness.Step();
+  }
+
+  EXPECT_TRUE(harness.Converged());
+  EXPECT_GE(harness.session(3).counters().gaps_detected, 1u);
+  EXPECT_GE(harness.session(3).counters().gaps_repaired, 1u);
+  EXPECT_EQ(harness.session(3).counters().resyncs_applied, 0u);
+  EXPECT_EQ(harness.session(3).state(), ClientSession::State::kConnected);
+}
+
+TEST(SessionTest, TruncationActsAsDetectedDrop) {
+  FaultInjectionTransport transport(7);
+  SessionHarness harness(&transport, SessionOptions{});
+  TransportFault fault;
+  fault.kind = TransportFault::Kind::kTruncate;
+  fault.client = 1;
+  fault.count = 2;
+  transport.AddFault(fault);
+  for (int i = 0; i < 12; ++i) {
+    harness.ForceTraffic(1);
+    harness.Step();
+  }
+  EXPECT_TRUE(harness.Converged());
+  EXPECT_GE(harness.session(1).counters().corrupt_envelopes, 1u);
+}
+
+TEST(SessionTest, PartitionBacksOffThenRecovers) {
+  FaultInjectionTransport transport(7);
+  SessionHarness harness(&transport, SessionOptions{});
+  harness.Step();
+  const uint64_t t0 = harness.tick();
+
+  // Drop one envelope now; the next tick's envelope reveals the gap
+  // while the uplink is still up (lagging). The partition then starts
+  // exactly when the grace window expires, so every resync request the
+  // client makes during [t0+3, t0+10) is lost — that is what exercises
+  // the capped exponential backoff.
+  TransportFault fault;
+  fault.kind = TransportFault::Kind::kDrop;
+  fault.client = 2;
+  fault.count = 1;
+  transport.AddFault(fault);
+  transport.AddPartition(t0 + 3, t0 + 10, {2});
+  for (int i = 0; i < 4; ++i) {
+    harness.ForceTraffic(2);
+    harness.Step();
+  }
+  // Mid-partition: out of sync (or awaiting a response that cannot come).
+  EXPECT_NE(harness.session(2).state(), ClientSession::State::kConnected);
+  for (int i = 0; i < 14; ++i) {
+    harness.ForceTraffic(2);
+    harness.Step();
+  }
+  EXPECT_TRUE(harness.Converged());
+  EXPECT_EQ(harness.session(2).state(), ClientSession::State::kConnected);
+  EXPECT_GE(harness.session(2).counters().backoff_retries, 1u);
+  EXPECT_GE(harness.session(2).counters().resyncs_applied, 1u);
+}
+
+TEST(SessionTest, QueueOverflowDemotesAndRecoversLossFree) {
+  PerfectTransport transport;
+  SessionOptions options;
+  options.max_queue_envelopes = 2;
+  options.max_flush_per_tick = 1;  // 3 clients enqueue, only 1 flush/tick
+  SessionHarness harness(&transport, options);
+
+  for (int i = 0; i < 20; ++i) harness.Step();
+  // Queues overflowed and their backlog was dropped server-side — but a
+  // demoted client is never observable *between* ticks: the ack response
+  // tells it immediately, and its resync is served within the very same
+  // tick (the resync path is not flush-budgeted). Fast recovery is the
+  // point; the counters prove the demotion cycle ran.
+  EXPECT_GE(harness.manager().counters().queue_overflows, 1u);
+  EXPECT_GE(harness.manager().counters().stale_envelopes_dropped, 1u);
+  uint64_t resyncs = 0;
+  for (ClientId cid = 1; cid <= SessionHarness::kClients; ++cid) {
+    resyncs += harness.session(cid).counters().resyncs_applied;
+  }
+  EXPECT_GE(resyncs, 1u);
+
+  // Lift the pressure: unlimited flush on a quiet world drains every
+  // queue. "Loss-free" = everyone converges to the oracle; nobody ever
+  // applied a wrong stream (stale envelopes were dropped at the server,
+  // not delivered out of order).
+  harness.manager().set_max_flush_per_tick(0);
+  for (int i = 0; i < 12; ++i) harness.Step(/*move_world=*/false);
+  EXPECT_TRUE(harness.Converged());
+  for (ClientId cid = 1; cid <= SessionHarness::kClients; ++cid) {
+    EXPECT_FALSE(harness.manager().IsDemoted(cid));
+    EXPECT_EQ(harness.session(cid).state(),
+              ClientSession::State::kConnected);
+  }
+  EXPECT_GE(harness.manager().counters().stale_envelopes_dropped, 1u);
+}
+
+TEST(SessionTest, CommitsAreGatedWhileClientIsBehind) {
+  FaultInjectionTransport transport(7);
+  SessionHarness harness(&transport, SessionOptions{});
+  harness.Step();
+  // Sever client 1's downlink-and-uplink so it falls behind and its acks
+  // stop arriving.
+  transport.AddPartition(harness.tick() + 1, harness.tick() + 6, {1});
+  harness.ForceTraffic(1);
+  harness.Step();
+  harness.ForceTraffic(1);
+  harness.Step();
+  // The server hears from the query (uplink messages still reach it in
+  // this model — the move is an API call), but must refuse to commit: the
+  // client provably hasn't seen the last ticks.
+  const SessionCounters before = harness.manager().counters();
+  ASSERT_TRUE(harness.server().CommitQuery(1).ok());
+  EXPECT_GT(harness.manager().counters().commits_gated, before.commits_gated);
+  // After the partition heals and the resync lands, commits flow again.
+  for (int i = 0; i < 16; ++i) {
+    harness.ForceTraffic(1);
+    harness.Step();
+  }
+  EXPECT_TRUE(harness.Converged());
+  const SessionCounters mid = harness.manager().counters();
+  ASSERT_TRUE(harness.server().CommitQuery(1).ok());
+  EXPECT_EQ(harness.manager().counters().commits_gated, mid.commits_gated);
+}
+
+TEST(SessionTest, SumSessionCountersAggregates) {
+  PerfectTransport transport;
+  SessionHarness harness(&transport, SessionOptions{});
+  for (int i = 0; i < 5; ++i) harness.Step();
+  std::vector<ClientSession*> sessions;
+  for (ClientId cid = 1; cid <= SessionHarness::kClients; ++cid) {
+    sessions.push_back(&harness.session(cid));
+  }
+  const ClientSession::Counters sum = SumSessionCounters(sessions);
+  uint64_t applied = 0;
+  for (ClientSession* s : sessions) applied += s->counters().envelopes_applied;
+  EXPECT_EQ(sum.envelopes_applied, applied);
+  EXPECT_GT(sum.envelopes_applied, 0u);
+}
+
+}  // namespace
+}  // namespace stq

@@ -36,6 +36,12 @@ Checks
                     std::unordered_*, template visitors over
                     std::function, no naked new-expressions. Rules:
                     container, function, new.
+  delivery-routing  Client answer state mutates only through the session
+                    layer: direct calls to Client::ApplyUpdates /
+                    ApplyFullAnswer outside core/session.cc bypass the
+                    sequence/gap machinery, so a dropped envelope would
+                    go unnoticed and the convergence proof breaks.
+                    Rule: direct-apply.
   include-hygiene   Banned headers under src/stq: <iostream> (static-init
                     fiasco; use common/logging.h), <random> (use
                     common/random.h), <regex>, <filesystem> (bypasses
@@ -254,6 +260,14 @@ RULES = [
         r"(?<![\w:])new\s+[A-Za-z_(:]",
         "naked new-expression in a hot-path dir; use std::make_unique, a "
         "container, or SmallVector",
+    ),
+    # --- delivery-routing (answers mutate only via the session layer) -----
+    Rule(
+        "delivery-routing", "direct-apply", ALL_SRC,
+        r"(?:\.|->)Apply(?:Updates|FullAnswer)\s*\(",
+        "direct Client::Apply* call outside core/session.cc bypasses the "
+        "sequenced-envelope path; deliver through ClientSession",
+        exclude=("core/session.cc",),
     ),
     # --- include-hygiene --------------------------------------------------
     Rule(
