@@ -45,6 +45,10 @@ class DensityMonitor {
   size_t threshold() const { return threshold_; }
   size_t num_dense_cells() const { return dense_.size(); }
 
+  // Whether `c` was dense at the last Tick (the reported set, not a live
+  // recount). The GridRefiner keys its split decisions off this set.
+  bool IsDense(const CellCoord& c) const { return dense_.count(Key(c)) != 0; }
+
   // The currently reported dense cells, in (y, x) order.
   std::vector<CellCoord> DenseCells() const;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <sstream>
+#include <tuple>
 #include <utility>
 
 #include "stq/core/query_processor.h"
@@ -13,10 +14,11 @@ namespace stq {
 
 namespace {
 
-// (cell, id) -> number of grid entries. Ordered so diffs report in a
+// (cell, leaf, id) -> number of grid entries, at slot granularity so a
+// refined cell is audited leaf by leaf. Ordered so diffs report in a
 // deterministic order.
-using CellKey = std::pair<int, int>;
-using EntryCounts = std::map<std::pair<CellKey, uint64_t>, int>;
+using SlotKey = std::tuple<int, int, int>;  // (cy, cx, leaf)
+using EntryCounts = std::map<std::pair<SlotKey, uint64_t>, int>;
 
 class ViolationSink {
  public:
@@ -37,11 +39,12 @@ class ViolationSink {
 // disagreement.
 void DiffEntryCounts(const EntryCounts& expected, const EntryCounts& actual,
                      const char* what, ViolationSink* sink) {
-  auto describe = [&](const std::pair<CellKey, uint64_t>& key, int want,
+  auto describe = [&](const std::pair<SlotKey, uint64_t>& key, int want,
                       int got) {
     std::ostringstream os;
-    os << "grid cell (" << key.first.first << "," << key.first.second
-       << ") holds " << got << " entr" << (got == 1 ? "y" : "ies") << " for "
+    os << "grid cell (" << std::get<1>(key.first) << ","
+       << std::get<0>(key.first) << ") leaf " << std::get<2>(key.first)
+       << " holds " << got << " entr" << (got == 1 ? "y" : "ies") << " for "
        << what << " " << key.second << " but the stores imply " << want;
     sink->Add(os.str());
   };
@@ -113,39 +116,49 @@ void AuditAnswerSymmetry(const QueryProcessor& qp, ViolationSink* sink) {
 void AuditGridAgreement(const QueryProcessor& qp, ViolationSink* sink) {
   const GridIndex& grid = qp.grid();
 
-  EntryCounts actual_objects;
-  EntryCounts actual_queries;
-  for (int cy = 0; cy < grid.cells_y(); ++cy) {
-    for (int cx = 0; cx < grid.cells_x(); ++cx) {
-      const CellCoord c{cx, cy};
-      grid.ForEachObjectInCell(
-          c, [&](ObjectId id) { ++actual_objects[{{cx, cy}, id}]; });
-      grid.ForEachQueryInCell(
-          c, [&](QueryId id) { ++actual_queries[{{cx, cy}, id}]; });
-    }
+  // Structural refinement-tree invariants first: leaves tile parents,
+  // refined base cells hold no direct entries, slot bookkeeping is
+  // consistent. The entry diff below assumes this structure.
+  const Status refinement = grid.CheckRefinement();
+  if (!refinement.ok()) {
+    sink->Add(refinement.ToString());
+    if (sink->full()) return;
   }
 
+  EntryCounts actual_objects;
+  EntryCounts actual_queries;
+  grid.ForEachObjectEntry([&](const CellCoord& c, int leaf, ObjectId id) {
+    ++actual_objects[{{c.y, c.x, leaf}, id}];
+  });
+  grid.ForEachQueryEntry([&](const CellCoord& c, int leaf, QueryId id) {
+    ++actual_queries[{{c.y, c.x, leaf}, id}];
+  });
+
+  // Expected side, rebuilt from the stores through the same slot
+  // enumerators the insert paths use — grid state and audit model share
+  // one definition of where an id belongs.
   EntryCounts expected_objects;
   qp.object_store().ForEach([&](const ObjectRecord& o) {
     if (o.predictive) {
-      grid.ForEachCellOnSegment(o.footprint, [&](const CellCoord& c) {
-        ++expected_objects[{{c.x, c.y}, o.id}];
-      });
+      grid.ForEachLeafSlotOnSegment(o.footprint,
+                                    [&](const CellCoord& c, int leaf) {
+                                      ++expected_objects[{{c.y, c.x, leaf},
+                                                          o.id}];
+                                    });
     } else {
-      const CellCoord c = grid.CellOf(o.loc);
-      ++expected_objects[{{c.x, c.y}, o.id}];
+      CellCoord c;
+      int leaf;
+      grid.LeafSlotOfPoint(o.loc, &c, &leaf);
+      ++expected_objects[{{c.y, c.x, leaf}, o.id}];
     }
   });
 
   EntryCounts expected_queries;
   qp.query_store().ForEach([&](const QueryRecord& q) {
-    CellCoord lo, hi;
-    if (!grid.CellRangeOf(q.grid_footprint, &lo, &hi)) return;
-    for (int cy = lo.y; cy <= hi.y; ++cy) {
-      for (int cx = lo.x; cx <= hi.x; ++cx) {
-        ++expected_queries[{{cx, cy}, q.id}];
-      }
-    }
+    grid.ForEachLeafSlotInRect(q.grid_footprint,
+                               [&](const CellCoord& c, int leaf) {
+                                 ++expected_queries[{{c.y, c.x, leaf}, q.id}];
+                               });
   });
 
   DiffEntryCounts(expected_objects, actual_objects, "object", sink);

@@ -9,6 +9,7 @@
 
 #include "stq/common/alloc_stats.h"
 #include "stq/common/check.h"
+#include "stq/core/grid_refiner.h"
 #include "stq/core/invariant_auditor.h"
 #include "stq/core/sharded_server.h"
 
@@ -64,6 +65,8 @@ QueryProcessor::QueryProcessor(const QueryProcessorOptions& options)
   STQ_CHECK(options_.Validate()) << "invalid QueryProcessorOptions";
   if (options_.num_shards > 1) {
     sharded_ = std::make_unique<ShardedEngine>(options_);
+  } else if (options_.adaptive.enabled) {
+    refiner_ = std::make_unique<GridRefiner>(options_.adaptive, grid_.get());
   }
 }
 
@@ -814,6 +817,16 @@ void QueryProcessor::EvaluateTickInto(Timestamp now, TickResult* result) {
     } else {
       ++result->stats.negative_updates;
     }
+  }
+  // Phase 7 (adaptive mode only): resolution maintenance on the
+  // now-committed state. Pure index re-bucketing — the stream above is
+  // already sealed, and the next tick's exact-geometry matching is
+  // resolution-independent, so this is invisible in every future stream.
+  if (refiner_ != nullptr) {
+    PhaseTimer timer(&result->stats.adapt_seconds);
+    const GridRefiner::StepStats adapt = refiner_->Tick(objects_, queries_);
+    result->stats.cells_split = adapt.splits;
+    result->stats.cells_merged = adapt.merges;
   }
   result->stats.heap_allocations = AllocCount() - allocs_before;
 }

@@ -48,6 +48,7 @@
 
 namespace stq {
 
+class GridRefiner;
 class ShardedEngine;
 
 class QueryProcessor {
@@ -331,6 +332,10 @@ class QueryProcessor {
   PredictiveEvaluator predictive_;
   CircleEvaluator circle_;
   TickScratch scratch_;
+  // Non-null iff options.adaptive.enabled in single-grid mode: splits
+  // hot cells / merges cold ones on committed state at the end of each
+  // tick (stream-invisible; see core/grid_refiner.h).
+  std::unique_ptr<GridRefiner> refiner_;
   Timestamp last_tick_time_ = 0.0;
   // Non-null iff options.num_shards > 1; every public entry point then
   // delegates here and the single-grid members above stay empty.

@@ -212,33 +212,270 @@ ShardedEngine::ShardedEngine(const QueryProcessorOptions& options)
   STQ_CHECK(options_.Validate()) << "invalid QueryProcessorOptions";
   STQ_CHECK(options_.num_shards >= 2)
       << "ShardedEngine requires num_shards >= 2";
-  // Keep the global grid CELL GEOMETRY constant: a shard covers
-  // 1/sx x 1/sy of the universe, so it gets the matching 1/sx x 1/sy
-  // slice of the cell array — the same cell width and height as the
-  // single grid. (The old rule divided one square per-shard resolution
-  // by max(sx, sy); on non-square layouts that made per-shard cells up
-  // to max/min times larger in area, inflating per-cell candidate
-  // density — and total matching work — precisely as shards were added.)
-  const int cells_x =
-      std::max(1, (options_.grid_cells_per_side + map_.sx() - 1) / map_.sx());
-  const int cells_y =
-      std::max(1, (options_.grid_cells_per_side + map_.sy() - 1) / map_.sy());
   for (int s = 0; s < map_.num_shards(); ++s) {
-    QueryProcessorOptions so;
-    so.bounds = map_.shard_rect(s);
-    so.grid_cells_x = cells_x;
-    so.grid_cells_y = cells_y;
-    so.prediction_horizon = options_.prediction_horizon;
-    so.record_history = false;  // history lives at the router
-    so.wire_cost = options_.wire_cost;
-    so.worker_threads = 1;  // shards tick in parallel, each serially
-    so.num_shards = 1;
-    // Replica positions must stay exact: clamp to the universe, never to
-    // the shard's sub-rect.
-    so.location_clamp_bounds = options_.bounds;
-    shards_.push_back(std::make_unique<QueryProcessor>(so));
+    shards_.push_back(std::make_unique<QueryProcessor>(BuildShardOptions(s)));
   }
   scratch_ = std::make_unique<TickScratch>();
+}
+
+QueryProcessorOptions ShardedEngine::BuildShardOptions(int s) const {
+  QueryProcessorOptions so;
+  so.bounds = map_.shard_rect(s);
+  if (x_cell_cuts_.empty()) {
+    // Uniform map. Keep the global grid CELL GEOMETRY constant: a shard
+    // covers 1/sx x 1/sy of the universe, so it gets the matching
+    // 1/sx x 1/sy slice of the cell array — the same cell width and
+    // height as the single grid. (The old rule divided one square
+    // per-shard resolution by max(sx, sy); on non-square layouts that
+    // made per-shard cells up to max/min times larger in area, inflating
+    // per-cell candidate density — and total matching work — precisely
+    // as shards were added.)
+    so.grid_cells_x =
+        std::max(1, (options_.grid_cells_per_side + map_.sx() - 1) / map_.sx());
+    so.grid_cells_y =
+        std::max(1, (options_.grid_cells_per_side + map_.sy() - 1) / map_.sy());
+  } else {
+    // Rebalanced map: slab boundaries sit on global-grid cell edges, so
+    // each shard takes exactly the global cell columns/rows its slab
+    // spans — cell geometry again matches the single grid.
+    const int ix = s % map_.sx();
+    const int iy = s / map_.sx();
+    so.grid_cells_x = std::max(1, x_cell_cuts_[ix + 1] - x_cell_cuts_[ix]);
+    so.grid_cells_y = std::max(1, y_cell_cuts_[iy + 1] - y_cell_cuts_[iy]);
+  }
+  so.prediction_horizon = options_.prediction_horizon;
+  so.record_history = false;  // history lives at the router
+  so.wire_cost = options_.wire_cost;
+  so.worker_threads = 1;  // shards tick in parallel, each serially
+  so.num_shards = 1;
+  // Per-shard grids adapt independently; boundary moves are the
+  // engine's job, so the shard-level flag is inert inside a shard.
+  so.adaptive = options_.adaptive;
+  so.adaptive.rebalance = false;
+  // Replica positions must stay exact: clamp to the universe, never to
+  // the shard's sub-rect.
+  so.location_clamp_bounds = options_.bounds;
+  return so;
+}
+
+namespace {
+
+// Quantile cuts of `hist` into `slabs` contiguous runs: slabs+1 edge
+// indices (0 .. n), strictly increasing, each interior cut at the
+// smallest prefix reaching its load quantile. Requires n >= slabs.
+std::vector<int> QuantileCuts(const std::vector<size_t>& hist, int slabs) {
+  const int n = static_cast<int>(hist.size());
+  std::vector<int> cuts(static_cast<size_t>(slabs) + 1);
+  cuts[0] = 0;
+  cuts[slabs] = n;
+  size_t total = 0;
+  for (size_t v : hist) total += v;
+  size_t cum = 0;
+  int j = 0;
+  for (int s = 1; s < slabs; ++s) {
+    const double target =
+        static_cast<double>(total) * static_cast<double>(s) / slabs;
+    while (j < n && static_cast<double>(cum) < target) {
+      cum += hist[j];
+      ++j;
+    }
+    // Keep every slab at least one column wide and leave room for the
+    // remaining cuts.
+    cuts[s] = std::clamp(j, cuts[s - 1] + 1, n - (slabs - s));
+  }
+  return cuts;
+}
+
+}  // namespace
+
+void ShardedEngine::MaybeRebalance(Timestamp now, TickStats* stats) {
+  const AdaptiveGridOptions& opt = options_.adaptive;
+  if (tick_index_ - last_rebalance_tick_ < opt.rebalance_cooldown_ticks) {
+    return;
+  }
+  if (objects_.size() < opt.rebalance_min_objects) return;
+  const int sx = map_.sx();
+  const int sy = map_.sy();
+  const int nx = options_.grid_cells_x > 0 ? options_.grid_cells_x
+                                           : options_.grid_cells_per_side;
+  const int ny = options_.grid_cells_y > 0 ? options_.grid_cells_y
+                                           : options_.grid_cells_per_side;
+  const Rect& uni = map_.universe();
+  const double width = uni.Width();
+  const double height = uni.Height();
+  // Cell-aligned cuts need at least one global cell column/row per slab
+  // and a non-degenerate universe.
+  if (nx < sx || ny < sy || !(width > 0.0) || !(height > 0.0)) return;
+
+  // Imbalance gate: committed home-shard object loads under the current
+  // map. (Replicas are ignored — the home distribution is what the cuts
+  // can actually move.)
+  std::vector<size_t> load(shards_.size(), 0);
+  for (const auto& [oid, ro] : objects_) ++load[map_.HomeOf(ro.loc)];
+  size_t max_load = 0;
+  for (size_t l : load) max_load = std::max(max_load, l);
+  const double mean_load =
+      static_cast<double>(objects_.size()) / static_cast<double>(load.size());
+  if (static_cast<double>(max_load) < mean_load * opt.rebalance_imbalance) {
+    return;
+  }
+
+  // The decision ran; anchor the cooldown here so an already-optimal
+  // partition is not recomputed every tick while skew persists.
+  last_rebalance_tick_ = tick_index_;
+
+  // Marginal load histograms at global-grid cell granularity, then
+  // quantile cuts per axis (the sx x sy factorization is fixed).
+  const double cell_w = width / nx;
+  const double cell_h = height / ny;
+  std::vector<size_t> hist_x(static_cast<size_t>(nx), 0);
+  std::vector<size_t> hist_y(static_cast<size_t>(ny), 0);
+  for (const auto& [oid, ro] : objects_) {
+    const int cx = std::clamp(
+        static_cast<int>(std::floor((ro.loc.x - uni.min_x) / cell_w)), 0,
+        nx - 1);
+    const int cy = std::clamp(
+        static_cast<int>(std::floor((ro.loc.y - uni.min_y) / cell_h)), 0,
+        ny - 1);
+    ++hist_x[cx];
+    ++hist_y[cy];
+  }
+  std::vector<int> cuts_x = QuantileCuts(hist_x, sx);
+  std::vector<int> cuts_y = QuantileCuts(hist_y, sy);
+  if (cuts_x == x_cell_cuts_ && cuts_y == y_cell_cuts_) return;
+
+  auto edges_of = [](const std::vector<int>& cuts, double min, double max,
+                     double cell, int n) {
+    std::vector<double> edges;
+    edges.reserve(cuts.size());
+    for (int j : cuts) {
+      edges.push_back(j == 0 ? min : (j == n ? max : min + j * cell));
+    }
+    return edges;
+  };
+  std::vector<double> x_edges = edges_of(cuts_x, uni.min_x, uni.max_x, cell_w,
+                                         nx);
+  std::vector<double> y_edges = edges_of(cuts_y, uni.min_y, uni.max_y, cell_h,
+                                         ny);
+
+  // --- Commit the new map and hand the routed state off ---------------------
+  map_.SetBoundaries(x_edges, y_edges);
+  x_cell_cuts_ = std::move(cuts_x);
+  y_cell_cuts_ = std::move(cuts_y);
+
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s] = std::make_unique<QueryProcessor>(
+        BuildShardOptions(static_cast<int>(s)));
+  }
+
+  // Re-route and re-ingest every object, ascending id so per-shard
+  // ingestion order is canonical.
+  std::vector<ObjectId> oids;
+  oids.reserve(objects_.size());
+  for (const auto& [oid, ro] : objects_) oids.push_back(oid);
+  std::sort(oids.begin(), oids.end());
+  size_t moved_objects = 0;
+  for (ObjectId oid : oids) {
+    RoutedObject& ro = *objects_.FindPtr(oid);
+    PendingObjectUpsert u;
+    u.id = oid;
+    u.loc = ro.loc;
+    u.vel = ro.vel;
+    u.t = ro.t;
+    u.predictive = ro.predictive;
+    ShardList old_shards = ro.shards;
+    RouteShardsOfObject(u, &ro.shards);
+    if (!(ro.shards == old_shards)) ++moved_objects;
+    for (int s : ro.shards) {
+      const Status st =
+          ro.predictive
+              ? shards_[s]->UpsertPredictiveObject(oid, ro.loc, ro.vel, ro.t)
+              : shards_[s]->UpsertObject(oid, ro.loc, ro.t);
+      STQ_CHECK(st.ok()) << "rebalance re-ingest of object " << oid
+                         << " failed: " << st.ToString();
+    }
+  }
+
+  // Re-route and re-register every non-k-NN query (k-NN state is
+  // router-owned and untouched by partitioning).
+  std::vector<QueryId> qids;
+  qids.reserve(queries_.size());
+  for (const auto& [qid, rq] : queries_) qids.push_back(qid);
+  std::sort(qids.begin(), qids.end());
+  for (QueryId qid : qids) {
+    RoutedQuery& rq = *queries_.FindPtr(qid);
+    if (rq.kind == QueryKind::kKnn) continue;
+    RouteShardsOf(rq, &rq.shards);
+    for (int s : rq.shards) {
+      Status st;
+      switch (rq.kind) {
+        case QueryKind::kRange:
+          st = shards_[s]->RegisterRangeQuery(qid, rq.region);
+          break;
+        case QueryKind::kPredictiveRange:
+          st = shards_[s]->RegisterPredictiveQuery(qid, rq.region, rq.t_from,
+                                                   rq.t_to);
+          break;
+        case QueryKind::kCircleRange:
+          st = shards_[s]->RegisterCircleQuery(qid, rq.circle.center,
+                                               rq.circle.radius);
+          break;
+        case QueryKind::kKnn:
+          break;
+      }
+      STQ_CHECK(st.ok()) << "rebalance re-register of query " << qid
+                         << " failed: " << st.ToString();
+    }
+  }
+
+  // Priming tick at the previous tick time: commits the re-ingested
+  // state inside every shard, reproducing each shard's answer store as
+  // of the last committed tick. The stream it produces is the handoff's
+  // internal bookkeeping, never surfaced.
+  TickResult discard;
+  for (const std::unique_ptr<QueryProcessor>& shard : shards_) {
+    shard->EvaluateTickInto(last_tick_time_, &discard);
+  }
+
+  // Rebuild the per-(query, object) shard refcounts from the new shard
+  // answers, and check the handoff invariant: membership is decided by
+  // exact geometry, so the committed answer KEYSET of every query must
+  // be unchanged — only multiplicities may differ.
+  FlatMap<QueryId, FlatMap<ObjectId, int>> new_members;
+  std::vector<ObjectId> answer_ids;
+  for (QueryId qid : qids) {
+    const RoutedQuery& rq = *queries_.FindPtr(qid);
+    if (rq.kind == QueryKind::kKnn) continue;
+    FlatMap<ObjectId, int>& counts = new_members[qid];
+    for (int s : rq.shards) {
+      answer_ids.clear();
+      STQ_CHECK(shards_[s]->AppendAnswerIds(qid, &answer_ids))
+          << "shard " << s << " lost query " << qid << " across rebalance";
+      for (ObjectId oid : answer_ids) ++counts[oid];
+    }
+    size_t old_size = 0;
+    if (const FlatMap<ObjectId, int>* old = members_.FindPtr(qid);
+        old != nullptr) {
+      for (const auto& [oid, c] : *old) {
+        if (c <= 0) continue;
+        ++old_size;
+        STQ_CHECK(counts.contains(oid))
+            << "rebalance dropped object " << oid << " from query " << qid;
+      }
+    }
+    STQ_CHECK(counts.size() == old_size)
+        << "rebalance changed the answer keyset of query " << qid;
+  }
+  members_ = std::move(new_members);
+
+  ShardRebalanceEvent event;
+  event.tick_index = tick_index_;
+  event.time = now;
+  event.x_edges = std::move(x_edges);
+  event.y_edges = std::move(y_edges);
+  event.moved_objects = moved_objects;
+  rebalance_history_.push_back(std::move(event));
+  ++stats->shard_rebalances;
 }
 
 // ---------------------------------------------------------------------------
@@ -578,7 +815,7 @@ void ShardedEngine::EvaluateTickInto(Timestamp now, TickResult* result) {
     STQ_LOG(Warning) << "EvaluateTick time went backwards (" << now << " < "
                      << last_tick_time_ << ")";
   }
-  last_tick_time_ = now;
+  ++tick_index_;
 
   const uint64_t allocs_before = AllocCount();
 
@@ -587,6 +824,19 @@ void ShardedEngine::EvaluateTickInto(Timestamp now, TickResult* result) {
   result->stats = TickStats{};
   TickStats* stats = &result->stats;
   std::vector<Update>* out = &result->updates;
+
+  // Adaptive shard rebalancing runs first, on fully committed state: the
+  // shard engines are quiescent between ticks (their report buffers were
+  // drained by the previous tick), and this tick's pending reports still
+  // sit in the router's buffer, untouched — they route against the new
+  // map below like any other batch. last_tick_time_ still holds the
+  // previous tick's time here; the handoff's priming tick re-commits the
+  // moved state at that time, so answers are reproduced exactly.
+  if (options_.adaptive.enabled && options_.adaptive.rebalance) {
+    PhaseTimer rebalance_timer(&stats->rebalance_seconds);
+    MaybeRebalance(now, stats);
+  }
+  last_tick_time_ = now;
 
   TickScratch& scratch = *scratch_;
   const size_t num_shards = shards_.size();
@@ -1010,6 +1260,9 @@ void ShardedEngine::EvaluateTickInto(Timestamp now, TickResult* result) {
     stats->object_apply_seconds += ss.object_apply_seconds;
     stats->knn_search_seconds += ss.knn_search_seconds;
     stats->knn_apply_seconds += ss.knn_apply_seconds;
+    stats->cells_split += ss.cells_split;
+    stats->cells_merged += ss.cells_merged;
+    stats->adapt_seconds += ss.adapt_seconds;
   }
 
   // --- Refcount merge -------------------------------------------------------
@@ -1353,6 +1606,23 @@ void ShardedEngine::AuditCrossShard(
   auto add = [&](const std::string& msg) {
     if (!full()) violations->push_back("cross-shard: " + msg);
   };
+
+  // The partition map itself: uniform or explicit boundaries, it must be
+  // structurally sound and every shard engine must cover exactly its
+  // slab (rebalances rebuild both together; this catches drift).
+  if (const Status st = map_.Validate(); !st.ok()) {
+    add("shard map invalid: " + st.ToString());
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Rect want = map_.shard_rect(static_cast<int>(s));
+    const Rect& got = shards_[s]->options().bounds;
+    if (want.min_x != got.min_x || want.min_y != got.min_y ||
+        want.max_x != got.max_x || want.max_y != got.max_y) {
+      std::ostringstream os;
+      os << "shard " << s << " bounds disagree with the shard map";
+      add(os.str());
+    }
+  }
 
   // Objects: routing is consistent and every routed shard stores the
   // exact same record.

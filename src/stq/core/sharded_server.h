@@ -165,6 +165,21 @@ class ShardedEngine {
   Result<std::vector<ObjectId>> EvaluatePastRangeQuery(const Rect& region,
                                                        Timestamp t) const;
 
+  // One committed shard-boundary move (adaptive rebalancing). Decisions
+  // are a pure function of committed router state at a tick boundary, so
+  // every worker count replays the same history — the rebalance
+  // differential tests pin this down.
+  struct ShardRebalanceEvent {
+    int64_t tick_index = 0;  // EvaluateTick ordinal (1-based) it ran in
+    Timestamp time = 0.0;    // the tick's `now`
+    std::vector<double> x_edges;
+    std::vector<double> y_edges;
+    size_t moved_objects = 0;  // objects whose shard set changed
+  };
+  const std::vector<ShardRebalanceEvent>& rebalance_history() const {
+    return rebalance_history_;
+  }
+
   // Cross-shard invariants, appended to `violations` (up to
   // `max_violations` total). Used by InvariantAuditor on top of the
   // per-shard audits:
@@ -219,6 +234,17 @@ class ShardedEngine {
   // The shards a (pending) object report routes to.
   void RouteShardsOfObject(const PendingObjectUpsert& u, ShardList* out) const;
 
+  // The per-shard QueryProcessor options for shard `s` under the current
+  // ShardMap (uniform or post-rebalance explicit boundaries).
+  QueryProcessorOptions BuildShardOptions(int s) const;
+  // Adaptive shard rebalancing: when the committed home-shard load is
+  // imbalanced past options_.adaptive.rebalance_imbalance, recompute
+  // cell-aligned slab boundaries from the marginal load histograms,
+  // rebuild the shard engines and deterministically hand every routed
+  // entity off to its new owners. Runs at the top of the tick, before
+  // the pending report batch is drained, so shard engines are quiescent.
+  void MaybeRebalance(Timestamp now, TickStats* stats);
+
   QueryProcessorOptions options_;
   ShardMap map_;
   std::unique_ptr<HistoryStore> history_;  // null unless record_history
@@ -236,6 +262,15 @@ class ShardedEngine {
   // the tick's report batch).
   FlatSet<QueryId> knn_dirty_;
   Timestamp last_tick_time_ = 0.0;
+
+  // Adaptive rebalancing state. The cell-cut vectors mirror the
+  // ShardMap's explicit boundaries in global-grid cell-edge indices
+  // (size sx+1 / sy+1); empty while the map is uniform.
+  std::vector<int> x_cell_cuts_;
+  std::vector<int> y_cell_cuts_;
+  std::vector<ShardRebalanceEvent> rebalance_history_;
+  int64_t tick_index_ = 0;           // EvaluateTick calls so far
+  int64_t last_rebalance_tick_ = 0;  // 0 = never; cooldown anchor
 
   // Tick-scoped scratch reused across EvaluateTick calls; every container
   // is cleared before use, so no state carries over — only capacity does

@@ -56,6 +56,15 @@ struct TickStats {
   size_t negative_updates = 0;
   size_t knn_reevaluations = 0;
 
+  // Adaptive-partitioning activity this tick (0 unless
+  // AdaptiveGridOptions::enabled): grid cells split one level finer /
+  // merged one level coarser, and (sharded engine only) shard-boundary
+  // rebalances performed. Under the sharded engine the split/merge
+  // counts sum over the per-shard grids.
+  size_t cells_split = 0;
+  size_t cells_merged = 0;
+  size_t shard_rebalances = 0;
+
   // Heap allocations (global operator-new calls, all threads) during this
   // tick's EvaluateTick. Zero when the build disables STQ_ALLOC_COUNTING
   // (see stq/common/alloc_stats.h); under the sharded engine this is the
@@ -73,6 +82,10 @@ struct TickStats {
   double object_apply_seconds = 0.0;
   double knn_search_seconds = 0.0;
   double knn_apply_seconds = 0.0;
+  // Post-commit adaptive maintenance: grid refinement (summed over
+  // shards) and, under the sharded engine, shard-boundary rebalancing.
+  double adapt_seconds = 0.0;
+  double rebalance_seconds = 0.0;
 
   // Execution breakdown, populated in every mode so the single-grid
   // baseline row is directly comparable to sharded rows (a single grid

@@ -1,0 +1,270 @@
+#include "stq/gen/skewed_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stq/common/check.h"
+
+namespace stq {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+}  // namespace
+
+SkewedGenerator::SkewedGenerator(const Options& options)
+    : options_(options), rng_(options.seed) {
+  STQ_CHECK(options_.num_objects >= 1) << "need at least one object";
+  STQ_CHECK(!options_.bounds.IsEmpty()) << "bounds must be non-empty";
+  const Rect& b = options_.bounds;
+  const double side = SmallerSide();
+  anchors_.reserve(options_.num_objects);
+  locs_.reserve(options_.num_objects);
+
+  switch (options_.scenario) {
+    case Scenario::kZipfHotspot: {
+      STQ_CHECK(options_.num_hotspots >= 1) << "need at least one hotspot";
+      STQ_CHECK(options_.zipf_s > 0.0) << "zipf_s must be positive";
+      // Hotspot centers and drift directions.
+      hotspots_.reserve(options_.num_hotspots);
+      hotspot_vel_.reserve(options_.num_hotspots);
+      for (size_t k = 0; k < options_.num_hotspots; ++k) {
+        hotspots_.push_back(Point{rng_.NextDouble(b.min_x, b.max_x),
+                                  rng_.NextDouble(b.min_y, b.max_y)});
+        const double theta = rng_.NextDouble(0.0, 2.0 * kPi);
+        const double drift = options_.hotspot_drift * side;
+        hotspot_vel_.push_back(
+            Velocity{drift * std::cos(theta), drift * std::sin(theta)});
+      }
+      // Zipf CDF over hotspots: hotspot k gets mass ~ (k+1)^-s.
+      std::vector<double> cdf(options_.num_hotspots, 0.0);
+      double total = 0.0;
+      for (size_t k = 0; k < options_.num_hotspots; ++k) {
+        total += std::pow(static_cast<double>(k + 1), -options_.zipf_s);
+        cdf[k] = total;
+      }
+      home_.reserve(options_.num_objects);
+      const double sigma = options_.hotspot_sigma * side;
+      for (size_t i = 0; i < options_.num_objects; ++i) {
+        const double u = rng_.NextDouble(0.0, total);
+        const size_t k = static_cast<size_t>(
+            std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+        home_.push_back(std::min(k, options_.num_hotspots - 1));
+        // The anchor is the object's fixed offset from its (moving)
+        // hotspot, so the cluster shape rides along with the drift.
+        anchors_.push_back(
+            Point{sigma * rng_.NextGaussian(), sigma * rng_.NextGaussian()});
+        locs_.push_back(TargetOf(i, 0.0));
+      }
+      break;
+    }
+    case Scenario::kFlashCrowd: {
+      STQ_CHECK(options_.ramp_seconds > 0.0) << "ramp_seconds must be > 0";
+      // The crowd converges on a point in the central half of the
+      // bounds, away from the clamping border.
+      focus_ = Point{rng_.NextDouble(b.min_x + 0.25 * b.Width(),
+                                     b.min_x + 0.75 * b.Width()),
+                     rng_.NextDouble(b.min_y + 0.25 * b.Height(),
+                                     b.min_y + 0.75 * b.Height())};
+      in_crowd_.reserve(options_.num_objects);
+      for (size_t i = 0; i < options_.num_objects; ++i) {
+        anchors_.push_back(Point{rng_.NextDouble(b.min_x, b.max_x),
+                                 rng_.NextDouble(b.min_y, b.max_y)});
+        in_crowd_.push_back(rng_.NextBool(options_.crowd_fraction) ? 1 : 0);
+        locs_.push_back(anchors_.back());
+      }
+      break;
+    }
+    case Scenario::kRushHour: {
+      STQ_CHECK(options_.period_seconds > 0.0) << "period must be > 0";
+      // Downtown core at the exact center; homes spread everywhere.
+      focus_ = Point{b.min_x + 0.5 * b.Width(), b.min_y + 0.5 * b.Height()};
+      const double sigma = options_.core_sigma * side;
+      work_.reserve(options_.num_objects);
+      for (size_t i = 0; i < options_.num_objects; ++i) {
+        anchors_.push_back(Point{rng_.NextDouble(b.min_x, b.max_x),
+                                 rng_.NextDouble(b.min_y, b.max_y)});
+        work_.push_back(
+            ClampToBounds(Point{focus_.x + sigma * rng_.NextGaussian(),
+                                focus_.y + sigma * rng_.NextGaussian()}));
+        locs_.push_back(anchors_.back());
+      }
+      break;
+    }
+  }
+}
+
+double SkewedGenerator::SmallerSide() const {
+  return std::min(options_.bounds.Width(), options_.bounds.Height());
+}
+
+Point SkewedGenerator::ClampToBounds(Point p) const {
+  const Rect& b = options_.bounds;
+  return Point{std::clamp(p.x, b.min_x, b.max_x),
+               std::clamp(p.y, b.min_y, b.max_y)};
+}
+
+size_t SkewedGenerator::IndexOf(ObjectId id) const {
+  STQ_CHECK(id >= options_.first_id &&
+            id < options_.first_id + static_cast<ObjectId>(anchors_.size()))
+      << "object id " << id << " outside generator range";
+  return static_cast<size_t>(id - options_.first_id);
+}
+
+size_t SkewedGenerator::HotspotOf(ObjectId id) const {
+  STQ_CHECK(options_.scenario == Scenario::kZipfHotspot)
+      << "HotspotOf is a zipf-scenario accessor";
+  return home_[IndexOf(id)];
+}
+
+size_t SkewedGenerator::HotspotPopulation(size_t k) const {
+  STQ_CHECK(options_.scenario == Scenario::kZipfHotspot)
+      << "HotspotPopulation is a zipf-scenario accessor";
+  size_t n = 0;
+  for (size_t h : home_) n += (h == k) ? 1 : 0;
+  return n;
+}
+
+double SkewedGenerator::CrowdPhase(Timestamp t) const {
+  const double ramp = options_.ramp_seconds;
+  const double hold = options_.hold_seconds;
+  if (t <= 0.0) return 0.0;
+  if (t < ramp) return t / ramp;                          // converge
+  if (t < ramp + hold) return 1.0;                        // dwell
+  if (t < 2.0 * ramp + hold) {
+    return (2.0 * ramp + hold - t) / ramp;                // disperse
+  }
+  return 0.0;
+}
+
+Point SkewedGenerator::TargetOf(size_t i, Timestamp t) const {
+  switch (options_.scenario) {
+    case Scenario::kZipfHotspot: {
+      const Point& h = hotspots_[home_[i]];
+      return ClampToBounds(
+          Point{h.x + anchors_[i].x, h.y + anchors_[i].y});
+    }
+    case Scenario::kFlashCrowd: {
+      if (in_crowd_[i] == 0) return anchors_[i];
+      const double a = CrowdPhase(t);
+      return Point{anchors_[i].x + a * (focus_.x - anchors_[i].x),
+                   anchors_[i].y + a * (focus_.y - anchors_[i].y)};
+    }
+    case Scenario::kRushHour: {
+      const double a =
+          0.5 - 0.5 * std::cos(2.0 * kPi * t / options_.period_seconds);
+      return Point{anchors_[i].x + a * (work_[i].x - anchors_[i].x),
+                   anchors_[i].y + a * (work_[i].y - anchors_[i].y)};
+    }
+  }
+  return anchors_[i];  // unreachable
+}
+
+std::vector<ObjectReport> SkewedGenerator::InitialReports(Timestamp t) const {
+  std::vector<ObjectReport> reports;
+  reports.reserve(locs_.size());
+  for (size_t i = 0; i < locs_.size(); ++i) {
+    reports.push_back(ObjectReport{
+        options_.first_id + static_cast<ObjectId>(i), locs_[i], Velocity{}, t});
+  }
+  return reports;
+}
+
+std::vector<ObjectReport> SkewedGenerator::Step(Timestamp now, double dt,
+                                                double update_fraction) {
+  // Advance the hotspot drift first (bouncing off the bounds) so every
+  // reporter below sees the same scenario clock.
+  if (options_.scenario == Scenario::kZipfHotspot) {
+    const Rect& b = options_.bounds;
+    for (size_t k = 0; k < hotspots_.size(); ++k) {
+      Point& h = hotspots_[k];
+      Velocity& v = hotspot_vel_[k];
+      h.x += v.vx * dt;
+      h.y += v.vy * dt;
+      if (h.x < b.min_x || h.x > b.max_x) {
+        v.vx = -v.vx;
+        h.x = std::clamp(h.x, b.min_x, b.max_x);
+      }
+      if (h.y < b.min_y || h.y > b.max_y) {
+        v.vy = -v.vy;
+        h.y = std::clamp(h.y, b.min_y, b.max_y);
+      }
+    }
+  }
+
+  const double jitter = options_.speed * SmallerSide() * dt;
+  std::vector<ObjectReport> reports;
+  for (size_t i = 0; i < locs_.size(); ++i) {
+    if (!rng_.NextBool(update_fraction)) continue;
+    const Point target = TargetOf(i, now);
+    locs_[i] = ClampToBounds(Point{target.x + jitter * rng_.NextGaussian(),
+                                   target.y + jitter * rng_.NextGaussian()});
+    reports.push_back(ObjectReport{options_.first_id +
+                                       static_cast<ObjectId>(i),
+                                   locs_[i], Velocity{}, now});
+  }
+  return reports;
+}
+
+Point SkewedGenerator::LocationOf(ObjectId id) const {
+  return locs_[IndexOf(id)];
+}
+
+Workload MakeSkewedWorkload(const SkewedWorkloadOptions& options) {
+  SkewedGenerator gen(options.gen);
+  std::vector<ObjectReport> initial_objects = gen.InitialReports(0.0);
+
+  // Query stream: its own generator, decorrelated from the object seed
+  // so changing one does not silently reshuffle the other.
+  Xorshift128Plus qrng(options.gen.seed ^ 0xC2B2AE3D27D4EB4Full);
+  const Rect& b = options.gen.bounds;
+  const double half = 0.5 * options.query_side_length;
+  const size_t num_moving = static_cast<size_t>(
+      std::llround(static_cast<double>(options.num_queries) *
+                   std::clamp(options.moving_query_fraction, 0.0, 1.0)));
+  std::vector<Point> centers;
+  centers.reserve(options.num_queries);
+  std::vector<QueryRegionReport> initial_queries;
+  initial_queries.reserve(options.num_queries);
+  auto region_at = [&](const Point& c) {
+    return Rect{c.x - half, c.y - half, c.x + half, c.y + half};
+  };
+  for (size_t i = 0; i < options.num_queries; ++i) {
+    centers.push_back(Point{qrng.NextDouble(b.min_x, b.max_x),
+                            qrng.NextDouble(b.min_y, b.max_y)});
+    initial_queries.push_back(QueryRegionReport{
+        options.first_query_id + static_cast<QueryId>(i),
+        region_at(centers.back()), 0.0});
+  }
+
+  const double walk =
+      options.query_speed * std::min(b.Width(), b.Height()) *
+      options.tick_seconds;
+  std::vector<WorkloadTick> ticks;
+  ticks.reserve(options.num_ticks);
+  for (size_t k = 1; k <= options.num_ticks; ++k) {
+    WorkloadTick tick;
+    tick.time = static_cast<double>(k) * options.tick_seconds;
+    tick.object_reports =
+        gen.Step(tick.time, options.tick_seconds,
+                 options.object_update_fraction);
+    // The first num_moving query ids random-walk their centers.
+    for (size_t i = 0; i < num_moving; ++i) {
+      if (!qrng.NextBool(options.query_update_fraction)) continue;
+      Point& c = centers[i];
+      c.x = std::clamp(c.x + walk * qrng.NextGaussian(), b.min_x, b.max_x);
+      c.y = std::clamp(c.y + walk * qrng.NextGaussian(), b.min_y, b.max_y);
+      tick.query_moves.push_back(QueryRegionReport{
+          options.first_query_id + static_cast<QueryId>(i), region_at(c),
+          tick.time});
+    }
+    ticks.push_back(std::move(tick));
+  }
+
+  return Workload::FromParts(std::move(initial_objects),
+                             std::move(initial_queries), std::move(ticks),
+                             options.tick_seconds);
+}
+
+}  // namespace stq

@@ -1,0 +1,158 @@
+// SkewedGenerator: adversarially skewed free-space movers — the
+// workloads the adaptive partitioning layer exists for. Three scenarios:
+//
+//   kZipfHotspot  objects pile onto a handful of drifting hotspots with
+//                 Zipf-distributed mass: hotspot k draws a fraction
+//                 proportional to (k+1)^-zipf_s of the population, so a
+//                 couple of grid cells carry most of the load while the
+//                 hotspot drift slowly relocates the hot set.
+//   kFlashCrowd   a fraction of the population converges on one random
+//                 point over ramp_seconds, holds for hold_seconds, then
+//                 disperses home — a transient hotspot that forces the
+//                 adaptive grid to split on the way in and merge on the
+//                 way out.
+//   kRushHour     every object commutes between a suburban home ring and
+//                 a tight downtown core on a shared sinusoidal schedule:
+//                 the central cells pulse between empty and packed once
+//                 per period_seconds.
+//
+// Deterministic in (Options, call sequence): all randomness flows
+// through one Xorshift128Plus, so equal seeds reproduce reports
+// bit-for-bit — the reproducibility tests and the differential battery
+// rely on it. MakeSkewedWorkload pre-rolls a full Workload (objects plus
+// square range queries) so skewed runs replay through the same
+// byte-identical Workload path as the paper benchmarks.
+
+#ifndef STQ_GEN_SKEWED_GENERATOR_H_
+#define STQ_GEN_SKEWED_GENERATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "stq/common/clock.h"
+#include "stq/common/ids.h"
+#include "stq/common/random.h"
+#include "stq/gen/network_generator.h"  // for ObjectReport
+#include "stq/gen/query_generator.h"    // for QueryRegionReport
+#include "stq/gen/workload.h"
+#include "stq/geo/rect.h"
+
+namespace stq {
+
+class SkewedGenerator {
+ public:
+  enum class Scenario {
+    kZipfHotspot,
+    kFlashCrowd,
+    kRushHour,
+  };
+
+  struct Options {
+    Scenario scenario = Scenario::kZipfHotspot;
+    size_t num_objects = 1000;
+    ObjectId first_id = 1;
+    uint64_t seed = 1;
+    Rect bounds = Rect{0.0, 0.0, 1.0, 1.0};
+    // Per-second random-jitter speed, as a fraction of the bounds'
+    // smaller side.
+    double speed = 0.005;
+
+    // --- kZipfHotspot ---
+    size_t num_hotspots = 8;
+    // Zipf exponent: hotspot k (0-based) gets mass ~ (k+1)^-zipf_s.
+    double zipf_s = 1.2;
+    // Std dev of placement around a hotspot (fraction of smaller side).
+    double hotspot_sigma = 0.03;
+    // Hotspot center drift speed per second (fraction of smaller side).
+    double hotspot_drift = 0.002;
+
+    // --- kFlashCrowd ---
+    double crowd_fraction = 0.5;  // objects that join the crowd
+    double ramp_seconds = 30.0;   // converge / disperse phase length
+    double hold_seconds = 20.0;   // dwell at the crowd point
+
+    // --- kRushHour ---
+    double period_seconds = 120.0;  // full home->work->home cycle
+    // Std dev of the downtown core (fraction of smaller side). Homes
+    // spread over the whole bounds.
+    double core_sigma = 0.04;
+  };
+
+  explicit SkewedGenerator(const Options& options);
+
+  size_t num_objects() const { return anchors_.size(); }
+  const Options& options() const { return options_; }
+
+  // kZipfHotspot introspection (empty / asserts otherwise).
+  const std::vector<Point>& hotspots() const { return hotspots_; }
+  // The hotspot index object `id` is pinned to.
+  size_t HotspotOf(ObjectId id) const;
+  // Objects pinned to hotspot `k`.
+  size_t HotspotPopulation(size_t k) const;
+
+  // The crowd's focal point (kFlashCrowd) / downtown core center
+  // (kRushHour).
+  const Point& focus() const { return focus_; }
+
+  std::vector<ObjectReport> InitialReports(Timestamp t) const;
+
+  // Advances the scenario clock to `now` (moving hotspots, crowd phase,
+  // commute phase by `dt` seconds) and reports ~update_fraction of the
+  // objects.
+  std::vector<ObjectReport> Step(Timestamp now, double dt,
+                                 double update_fraction);
+
+  Point LocationOf(ObjectId id) const;
+
+ private:
+  size_t IndexOf(ObjectId id) const;
+  Point ClampToBounds(Point p) const;
+  double SmallerSide() const;
+  // Where object `i` wants to be at scenario time `t`.
+  Point TargetOf(size_t i, Timestamp t) const;
+  // Flash-crowd attraction in [0, 1] at scenario time `t`.
+  double CrowdPhase(Timestamp t) const;
+
+  Options options_;
+  Xorshift128Plus rng_;
+  // Per-object scenario anchor: home hotspot offset (zipf), home
+  // location (flash crowd, rush hour).
+  std::vector<Point> anchors_;
+  std::vector<Point> locs_;
+  // kZipfHotspot: centers, per-hotspot drift velocity, per-object
+  // hotspot index.
+  std::vector<Point> hotspots_;
+  std::vector<Velocity> hotspot_vel_;
+  std::vector<size_t> home_;
+  // kFlashCrowd: crowd membership per object; kRushHour: per-object work
+  // seat in the core.
+  std::vector<char> in_crowd_;
+  std::vector<Point> work_;
+  Point focus_;
+};
+
+// A pre-rolled skewed workload: SkewedGenerator objects plus square
+// range queries (a stationary fraction placed uniformly, a moving
+// fraction random-walking) — the input of the skew differential battery
+// and the ablation_skew benchmark.
+struct SkewedWorkloadOptions {
+  SkewedGenerator::Options gen;
+  size_t num_queries = 100;
+  QueryId first_query_id = 1;
+  double query_side_length = 0.05;
+  double moving_query_fraction = 0.5;
+  // Moving-query center random-walk speed per second (fraction of the
+  // bounds' smaller side).
+  double query_speed = 0.01;
+  double tick_seconds = 5.0;
+  size_t num_ticks = 10;
+  double object_update_fraction = 1.0;
+  double query_update_fraction = 1.0;
+};
+
+Workload MakeSkewedWorkload(const SkewedWorkloadOptions& options);
+
+}  // namespace stq
+
+#endif  // STQ_GEN_SKEWED_GENERATOR_H_

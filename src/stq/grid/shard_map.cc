@@ -28,10 +28,65 @@ ShardMap::ShardMap(const Rect& universe, int num_shards)
   shard_h_ = universe_.Height() / sy_;
 }
 
+void ShardMap::SetBoundaries(std::vector<double> x_edges,
+                             std::vector<double> y_edges) {
+  STQ_CHECK(static_cast<int>(x_edges.size()) == sx_ + 1)
+      << "need sx+1 x edges";
+  STQ_CHECK(static_cast<int>(y_edges.size()) == sy_ + 1)
+      << "need sy+1 y edges";
+  STQ_CHECK(x_edges.front() == universe_.min_x &&
+            x_edges.back() == universe_.max_x)
+      << "x edges must cover the universe exactly";
+  STQ_CHECK(y_edges.front() == universe_.min_y &&
+            y_edges.back() == universe_.max_y)
+      << "y edges must cover the universe exactly";
+  for (size_t i = 1; i < x_edges.size(); ++i) {
+    STQ_CHECK(x_edges[i - 1] < x_edges[i]) << "x edges must be ascending";
+  }
+  for (size_t i = 1; i < y_edges.size(); ++i) {
+    STQ_CHECK(y_edges[i - 1] < y_edges[i]) << "y edges must be ascending";
+  }
+  x_edges_ = std::move(x_edges);
+  y_edges_ = std::move(y_edges);
+}
+
+Status ShardMap::Validate() const {
+  if (sx_ < 1 || sy_ < 1) return Status::Corruption("shard grid degenerate");
+  if (x_edges_.empty() != y_edges_.empty()) {
+    return Status::Corruption("shard map mixes uniform and explicit axes");
+  }
+  if (x_edges_.empty()) return Status::OK();
+  if (static_cast<int>(x_edges_.size()) != sx_ + 1 ||
+      static_cast<int>(y_edges_.size()) != sy_ + 1) {
+    return Status::Corruption("shard boundary edge count mismatch");
+  }
+  if (x_edges_.front() != universe_.min_x ||
+      x_edges_.back() != universe_.max_x ||
+      y_edges_.front() != universe_.min_y ||
+      y_edges_.back() != universe_.max_y) {
+    return Status::Corruption("shard boundaries do not cover the universe");
+  }
+  for (size_t i = 1; i < x_edges_.size(); ++i) {
+    if (!(x_edges_[i - 1] < x_edges_[i])) {
+      return Status::Corruption("shard x boundaries not ascending");
+    }
+  }
+  for (size_t i = 1; i < y_edges_.size(); ++i) {
+    if (!(y_edges_[i - 1] < y_edges_[i])) {
+      return Status::Corruption("shard y boundaries not ascending");
+    }
+  }
+  return Status::OK();
+}
+
 Rect ShardMap::shard_rect(int s) const {
   STQ_CHECK(s >= 0 && s < num_shards()) << "shard index out of range";
   const int ix = s % sx_;
   const int iy = s / sx_;
+  if (has_explicit_boundaries()) {
+    return Rect{x_edges_[ix], y_edges_[iy], x_edges_[ix + 1],
+                y_edges_[iy + 1]};
+  }
   // The outermost edges use the exact universe bounds so border shards
   // never lose a sliver to rounding.
   return Rect{ix == 0 ? universe_.min_x : universe_.min_x + ix * shard_w_,
@@ -42,7 +97,26 @@ Rect ShardMap::shard_rect(int s) const {
                             : universe_.min_y + (iy + 1) * shard_h_};
 }
 
+namespace {
+
+// The slab owning coordinate v under explicit edges: the last slab
+// whose low edge is <= v, so interior seam points go to the upper
+// neighbour — the same rule uniform floor-and-clamp produces.
+int EdgeHome(const std::vector<double>& edges, double v) {
+  const int n = static_cast<int>(edges.size()) - 1;
+  const int i = static_cast<int>(std::upper_bound(edges.begin(), edges.end(),
+                                                  v) -
+                                 edges.begin()) -
+                1;
+  return std::clamp(i, 0, n - 1);
+}
+
+}  // namespace
+
 int ShardMap::HomeOf(const Point& p) const {
+  if (has_explicit_boundaries()) {
+    return EdgeHome(y_edges_, p.y) * sx_ + EdgeHome(x_edges_, p.x);
+  }
   int ix = 0;
   int iy = 0;
   if (shard_w_ > 0.0) {
@@ -77,6 +151,37 @@ bool ShardMap::SlabSpan(double lo, double hi, double min, double max, double w,
   *i0 = a;
   *i1 = b;
   return true;
+}
+
+bool ShardMap::EdgeSpan(double lo, double hi, const std::vector<double>& edges,
+                        int* i0, int* i1) {
+  const int n = static_cast<int>(edges.size()) - 1;
+  if (hi < edges.front() || lo > edges.back()) return false;
+  // First slab whose high edge reaches lo (closed overlap keeps the
+  // lower neighbour when lo sits exactly on a seam).
+  const int a = static_cast<int>(std::lower_bound(edges.begin() + 1,
+                                                  edges.end(), lo) -
+                                 (edges.begin() + 1));
+  // Last slab whose low edge is <= hi.
+  const int b = static_cast<int>(std::upper_bound(edges.begin(),
+                                                  edges.end() - 1, hi) -
+                                 edges.begin()) -
+                1;
+  *i0 = std::clamp(a, 0, n - 1);
+  *i1 = std::clamp(b, 0, n - 1);
+  return true;
+}
+
+bool ShardMap::SpanX(double lo, double hi, int* i0, int* i1) const {
+  if (has_explicit_boundaries()) return EdgeSpan(lo, hi, x_edges_, i0, i1);
+  return SlabSpan(lo, hi, universe_.min_x, universe_.max_x, shard_w_, sx_, i0,
+                  i1);
+}
+
+bool ShardMap::SpanY(double lo, double hi, int* i0, int* i1) const {
+  if (has_explicit_boundaries()) return EdgeSpan(lo, hi, y_edges_, i0, i1);
+  return SlabSpan(lo, hi, universe_.min_y, universe_.max_y, shard_h_, sy_, i0,
+                  i1);
 }
 
 }  // namespace stq

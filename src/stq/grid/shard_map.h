@@ -19,12 +19,19 @@
 // The shard rect boundaries are computed with the same floating-point
 // expressions as shard_rect(), so "touches the seam" is decided
 // bit-consistently with the rects the router hands to per-shard engines.
+//
+// A map starts in uniform mode (equal-width slabs). SetBoundaries()
+// switches it to explicit mode, where the sx x sy slab edges are given
+// per axis — the adaptive rebalancer uses this to move load-balancing
+// cuts without changing the shard count. Routing semantics (seam
+// ownership, closed overlap) are identical in both modes.
 
 #ifndef STQ_GRID_SHARD_MAP_H_
 #define STQ_GRID_SHARD_MAP_H_
 
 #include <vector>
 
+#include "stq/common/status.h"
 #include "stq/geo/point.h"
 #include "stq/geo/rect.h"
 
@@ -40,6 +47,21 @@ class ShardMap {
   int sx() const { return sx_; }
   int sy() const { return sy_; }
   const Rect& universe() const { return universe_; }
+
+  // Switches to explicit mode. `x_edges` must hold sx()+1 strictly
+  // increasing values with front == universe min_x and back == universe
+  // max_x (likewise `y_edges` for sy()+1 / the y extent). Slab i then
+  // covers [edges[i], edges[i+1]] closed.
+  void SetBoundaries(std::vector<double> x_edges, std::vector<double> y_edges);
+
+  bool has_explicit_boundaries() const { return !x_edges_.empty(); }
+  // Empty in uniform mode.
+  const std::vector<double>& x_edges() const { return x_edges_; }
+  const std::vector<double>& y_edges() const { return y_edges_; }
+
+  // Structural self-check (edge counts, monotonicity, universe
+  // coverage); the invariant auditor calls this after rebalances.
+  Status Validate() const;
 
   // The closed rect of shard `s` (interior seams are shared between
   // neighbouring shards).
@@ -58,14 +80,8 @@ class ShardMap {
     out->clear();
     if (r.IsEmpty()) return;
     int x0, x1, y0, y1;
-    if (!SlabSpan(r.min_x, r.max_x, universe_.min_x, universe_.max_x,
-                  shard_w_, sx_, &x0, &x1)) {
-      return;
-    }
-    if (!SlabSpan(r.min_y, r.max_y, universe_.min_y, universe_.max_y,
-                  shard_h_, sy_, &y0, &y1)) {
-      return;
-    }
+    if (!SpanX(r.min_x, r.max_x, &x0, &x1)) return;
+    if (!SpanY(r.min_y, r.max_y, &y0, &y1)) return;
     for (int iy = y0; iy <= y1; ++iy) {
       for (int ix = x0; ix <= x1; ++ix) {
         out->push_back(iy * sx_ + ix);
@@ -84,12 +100,22 @@ class ShardMap {
   // [min, max] entirely.
   static bool SlabSpan(double lo, double hi, double min, double max, double w,
                        int n, int* i0, int* i1);
+  // Explicit-mode equivalent over an edge array of n+1 values.
+  static bool EdgeSpan(double lo, double hi, const std::vector<double>& edges,
+                       int* i0, int* i1);
+  // Mode-dispatching per-axis spans used by ShardsOverlapping.
+  bool SpanX(double lo, double hi, int* i0, int* i1) const;
+  bool SpanY(double lo, double hi, int* i0, int* i1) const;
 
   Rect universe_;
   int sx_ = 1;
   int sy_ = 1;
   double shard_w_ = 0.0;
   double shard_h_ = 0.0;
+  // Explicit mode: sx_+1 / sy_+1 ascending slab edges; empty in
+  // uniform mode.
+  std::vector<double> x_edges_;
+  std::vector<double> y_edges_;
 };
 
 }  // namespace stq

@@ -1,6 +1,7 @@
 // Tests for the DensityMonitor: incremental dense-cell discovery over the
 // shared grid.
 
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -113,6 +114,113 @@ TEST(DensityMonitorTest, MultipleDenseCellsOrdered) {
   EXPECT_EQ(updates[0].cell, (CellCoord{0, 0}));
   EXPECT_EQ(updates[1].cell, (CellCoord{2, 0}));
   EXPECT_EQ(updates[2].cell, (CellCoord{0, 2}));
+}
+
+// --- Predictive footprints across split cells ------------------------------
+//
+// Count-attribution semantics under adaptive refinement: a predictive
+// object whose trajectory footprint is clipped into several *leaves* of
+// one split base cell still counts as ONE object in that cell, so
+// splitting a cell never changes what the DensityMonitor sees. Across
+// distinct *base* cells the footprint keeps contributing one entry per
+// cell (expected presence), split or not.
+
+// A geometry oracle for SetCellLevel: the test's own record of every
+// object's placement, the same role ObjectStore plays for the refiner.
+struct PlacementBook {
+  std::vector<std::pair<ObjectId, GridIndex::ObjectPlacement>> entries;
+
+  GridIndex::ObjectPlacement Of(ObjectId id) const {
+    for (const auto& [oid, placement] : entries) {
+      if (oid == id) return placement;
+    }
+    ADD_FAILURE() << "no placement recorded for object " << id;
+    return GridIndex::ObjectPlacement{};
+  }
+  void AddPredictive(GridIndex* grid, ObjectId id, const Segment& s) {
+    GridIndex::ObjectPlacement p;
+    p.predictive = true;
+    p.footprint = s;
+    entries.emplace_back(id, p);
+    grid->InsertObjectFootprint(id, s);
+  }
+};
+
+void SplitCell(GridIndex* grid, const PlacementBook& book, const CellCoord& c,
+               int level) {
+  grid->SetCellLevel(
+      c, level, [&](ObjectId id) { return book.Of(id); },
+      [](QueryId) { return Rect{}; });
+  ASSERT_TRUE(grid->CheckRefinement().ok());
+}
+
+TEST(DensityMonitorTest, PredictiveFootprintAcrossSplitCellCountsOnce) {
+  GridIndex grid(kUnit, 4);
+  DensityMonitor monitor(&grid, 3);
+  PlacementBook book;
+
+  // Three predictive objects whose footprints cross cell (0,0)
+  // diagonally: at level 2 each is clipped into several of the 16
+  // leaves, so slot entries outnumber objects.
+  book.AddPredictive(&grid, 1, Segment{Point{0.01, 0.01}, Point{0.24, 0.24}});
+  book.AddPredictive(&grid, 2, Segment{Point{0.01, 0.24}, Point{0.24, 0.01}});
+  book.AddPredictive(&grid, 3, Segment{Point{0.01, 0.12}, Point{0.24, 0.12}});
+
+  std::vector<DenseCellUpdate> updates = monitor.Tick();
+  ASSERT_EQ(updates.size(), 1u);
+  EXPECT_EQ(updates[0].cell, (CellCoord{0, 0}));
+  EXPECT_EQ(updates[0].count, 3u);
+
+  SplitCell(&grid, book, CellCoord{0, 0}, 2);
+  // The clipped slot entries multiplied, the distinct count did not.
+  EXPECT_GT(grid.MaxLeafObjectEntries(CellCoord{0, 0}), 0u);
+  EXPECT_EQ(grid.ObjectCountInCell(CellCoord{0, 0}), 3u);
+
+  // The monitor is oblivious to the split: no delta, same dense set.
+  updates = monitor.Tick();
+  EXPECT_TRUE(updates.empty());
+  EXPECT_TRUE(monitor.IsDense(CellCoord{0, 0}));
+
+  // Merging back is equally invisible.
+  SplitCell(&grid, book, CellCoord{0, 0}, 0);
+  updates = monitor.Tick();
+  EXPECT_TRUE(updates.empty());
+  EXPECT_EQ(grid.ObjectCountInCell(CellCoord{0, 0}), 3u);
+}
+
+TEST(DensityMonitorTest, FootprintSpanningBaseCellsCountsPerCellUnderSplit) {
+  GridIndex grid(kUnit, 4);
+  DensityMonitor monitor(&grid, 2);
+  PlacementBook book;
+
+  // Two footprints running horizontally through base cells (0,0) and
+  // (1,0): one entry in each base cell per object.
+  book.AddPredictive(&grid, 7, Segment{Point{0.05, 0.1}, Point{0.45, 0.1}});
+  book.AddPredictive(&grid, 8, Segment{Point{0.05, 0.15}, Point{0.45, 0.15}});
+  EXPECT_EQ(grid.ObjectCountInCell(CellCoord{0, 0}), 2u);
+  EXPECT_EQ(grid.ObjectCountInCell(CellCoord{1, 0}), 2u);
+
+  std::vector<DenseCellUpdate> updates = monitor.Tick();
+  ASSERT_EQ(updates.size(), 2u);  // both cells dense
+
+  // Splitting ONE of the two spanned cells affects neither cell's count:
+  // redistribution is local to the split cell by construction.
+  SplitCell(&grid, book, CellCoord{0, 0}, 1);
+  EXPECT_EQ(grid.ObjectCountInCell(CellCoord{0, 0}), 2u);
+  EXPECT_EQ(grid.ObjectCountInCell(CellCoord{1, 0}), 2u);
+  EXPECT_TRUE(monitor.Tick().empty());
+
+  // Removal while split leaves no stale entries behind in either cell.
+  grid.RemoveObjectFootprint(7, book.Of(7).footprint);
+  EXPECT_EQ(grid.ObjectCountInCell(CellCoord{0, 0}), 1u);
+  EXPECT_EQ(grid.ObjectCountInCell(CellCoord{1, 0}), 1u);
+  ASSERT_TRUE(grid.CheckRefinement().ok());
+
+  updates = monitor.Tick();
+  ASSERT_EQ(updates.size(), 2u);  // both cells drop below the threshold
+  EXPECT_EQ(updates[0].sign, UpdateSign::kNegative);
+  EXPECT_EQ(updates[1].sign, UpdateSign::kNegative);
+  EXPECT_EQ(monitor.num_dense_cells(), 0u);
 }
 
 }  // namespace

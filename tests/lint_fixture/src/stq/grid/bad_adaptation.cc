@@ -1,0 +1,27 @@
+// Positive and negative cases for the grid-adaptation check: cell
+// refinement levels change only through GridRefiner (core/grid_refiner.cc
+// is exempt; any other caller of SetCellLevel fires).
+
+namespace stq {
+
+struct FakeGrid {
+  template <typename O, typename Q>
+  void SetCellLevel(int cell, int level, O&& objects, Q&& queries);
+};
+
+void MutateResolutionDirectly(FakeGrid& grid, FakeGrid* shard) {
+  grid.SetCellLevel(0, 2, 0, 0);      // grid-adaptation/set-cell-level
+  shard->SetCellLevel(1, 0, 0, 0);    // grid-adaptation/set-cell-level
+}
+
+// Negative: the declaration above is not a member access and must not
+// fire; neither do mentions in comments — grid.SetCellLevel( here — which
+// are stripped before matching.
+
+// A waiver suppresses the finding like any other check.
+void MutateWaived(FakeGrid& grid) {
+  // stq-lint: allow(grid-adaptation/set-cell-level): fixture repair path
+  grid.SetCellLevel(2, 1, 0, 0);
+}
+
+}  // namespace stq

@@ -1,0 +1,306 @@
+// Deterministic-handoff tests for adaptive shard rebalancing:
+//
+//   * seeded skewed workloads produce the exact same rebalance schedule
+//     (tick indices, boundary edges, moved-object counts) and the exact
+//     same final shard assignments at every worker count — and the
+//     update streams stay byte-identical to the uniform single-grid
+//     engine throughout;
+//   * crashing mid-run around a rebalancing tick (the PR's torture-
+//     harness mold: FaultInjectionEnv + PersistentServer + oracle) still
+//     recovers exactly to the last sync boundary, passes the full
+//     invariant audit — including the partition-map checks — and leaves
+//     a consistent, operational engine.
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stq/common/check.h"
+#include "stq/core/invariant_auditor.h"
+#include "stq/core/query_processor.h"
+#include "stq/core/sharded_server.h"
+#include "stq/gen/skewed_generator.h"
+#include "stq/gen/workload.h"
+#include "stq/storage/fault_env.h"
+#include "stq/storage/persistent_server.h"
+
+namespace stq {
+namespace {
+
+QueryProcessorOptions RebalanceOptions(int shards, int workers) {
+  QueryProcessorOptions options;
+  options.grid_cells_per_side = 8;
+  options.worker_threads = workers;
+  options.num_shards = shards;
+  options.adaptive.enabled = true;
+  options.adaptive.split_threshold = 10;
+  options.adaptive.merge_threshold = 3;
+  options.adaptive.max_level = 2;
+  options.adaptive.cooldown_ticks = 2;
+  options.adaptive.rebalance = true;
+  options.adaptive.rebalance_cooldown_ticks = 3;
+  options.adaptive.rebalance_min_objects = 64;
+  options.adaptive.rebalance_imbalance = 1.2;
+  return options;
+}
+
+std::string StreamBytes(const TickResult& r) {
+  std::ostringstream os;
+  for (const Update& u : r.updates) os << u.DebugString() << '\n';
+  return os.str();
+}
+
+Workload SkewedWorkload(uint64_t seed) {
+  SkewedWorkloadOptions options;
+  options.gen.scenario = SkewedGenerator::Scenario::kZipfHotspot;
+  options.gen.num_objects = 250;
+  options.gen.seed = seed;
+  options.gen.num_hotspots = 5;
+  options.gen.zipf_s = 1.4;
+  options.gen.hotspot_sigma = 0.04;
+  options.gen.hotspot_drift = 0.005;
+  options.num_queries = 30;
+  options.query_side_length = 0.12;
+  options.tick_seconds = 5.0;
+  options.num_ticks = 12;
+  return MakeSkewedWorkload(options);
+}
+
+struct RunRecord {
+  std::vector<std::string> tick_streams;
+  // Flattened rebalance schedule: one line per event.
+  std::vector<std::string> schedule;
+  // Final shard assignment of every object, ascending id.
+  std::vector<std::string> assignments;
+};
+
+RunRecord DriveRun(const Workload& workload, int shards, int workers) {
+  QueryProcessor qp(RebalanceOptions(shards, workers));
+  RunRecord record;
+  workload.ApplyInitial(&qp);
+  record.tick_streams.push_back(StreamBytes(qp.EvaluateTick(0.0)));
+  for (size_t i = 0; i < workload.ticks().size(); ++i) {
+    workload.ApplyTick(&qp, i);
+    record.tick_streams.push_back(
+        StreamBytes(qp.EvaluateTick(workload.ticks()[i].time)));
+    const Status invariants = qp.CheckInvariants();
+    EXPECT_TRUE(invariants.ok())
+        << shards << " shards, " << workers << " workers, tick " << i << ": "
+        << invariants.ToString();
+  }
+  const ShardedEngine* engine = qp.sharded_engine();
+  if (engine != nullptr) {
+    for (const ShardedEngine::ShardRebalanceEvent& e :
+         engine->rebalance_history()) {
+      std::ostringstream os;
+      os << "tick=" << e.tick_index << " t=" << e.time
+         << " moved=" << e.moved_objects << " x=[";
+      for (double x : e.x_edges) os << x << ',';
+      os << "] y=[";
+      for (double y : e.y_edges) os << y << ',';
+      os << ']';
+      record.schedule.push_back(os.str());
+    }
+    for (const ObjectReport& r : workload.initial_objects()) {
+      std::ostringstream os;
+      os << r.id << ':';
+      for (int s : engine->ObjectShards(r.id)) os << s << ',';
+      record.assignments.push_back(os.str());
+    }
+  }
+  return record;
+}
+
+// Worker count never changes the rebalance schedule, the shard
+// assignment history, or the bytes on the wire.
+TEST(RebalanceTest, HandoffIsDeterministicAcrossWorkerCounts) {
+  for (const uint64_t seed : {11u, 12u, 13u}) {
+    const Workload workload = SkewedWorkload(seed);
+    for (int shards : {2, 4}) {
+      const RunRecord serial = DriveRun(workload, shards, /*workers=*/1);
+      const RunRecord parallel = DriveRun(workload, shards, /*workers=*/4);
+      ASSERT_EQ(serial.tick_streams.size(), parallel.tick_streams.size());
+      for (size_t i = 0; i < serial.tick_streams.size(); ++i) {
+        ASSERT_EQ(serial.tick_streams[i], parallel.tick_streams[i])
+            << "seed " << seed << ", " << shards
+            << " shards: stream diverged at tick " << i;
+      }
+      EXPECT_EQ(serial.schedule, parallel.schedule)
+          << "seed " << seed << ", " << shards
+          << " shards: rebalance schedules diverged";
+      EXPECT_EQ(serial.assignments, parallel.assignments)
+          << "seed " << seed << ", " << shards
+          << " shards: final shard assignments diverged";
+    }
+  }
+}
+
+// The rebalanced engine's streams match the uniform single-grid engine
+// byte for byte, and rebalances actually happen on this workload.
+TEST(RebalanceTest, RebalancedStreamsMatchSingleGrid) {
+  const Workload workload = SkewedWorkload(11);
+  QueryProcessorOptions baseline_options;
+  baseline_options.grid_cells_per_side = 8;
+  QueryProcessor baseline(baseline_options);
+  workload.ApplyInitial(&baseline);
+  std::vector<std::string> expected;
+  expected.push_back(StreamBytes(baseline.EvaluateTick(0.0)));
+  for (size_t i = 0; i < workload.ticks().size(); ++i) {
+    workload.ApplyTick(&baseline, i);
+    expected.push_back(
+        StreamBytes(baseline.EvaluateTick(workload.ticks()[i].time)));
+  }
+
+  size_t total_rebalances = 0;
+  for (int shards : {2, 4}) {
+    const RunRecord actual = DriveRun(workload, shards, /*workers=*/4);
+    ASSERT_EQ(expected.size(), actual.tick_streams.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(expected[i], actual.tick_streams[i])
+          << shards << " shards: diverged from single grid at tick " << i;
+    }
+    total_rebalances += actual.schedule.size();
+  }
+  EXPECT_GE(total_rebalances, 1u) << "the skewed workload never rebalanced";
+}
+
+// --- Mid-handoff crash leg (torture-harness mold) --------------------------
+
+constexpr char kDir[] = "/db";
+
+PersistentServer::Options CrashOptions(FaultInjectionEnv* env) {
+  PersistentServer::Options options;
+  options.server.processor = RebalanceOptions(/*shards=*/2, /*workers=*/1);
+  // Small enough that the corner pile-up below clears it.
+  options.server.processor.adaptive.rebalance_min_objects = 32;
+  options.dir = kDir;
+  options.env = env;
+  return options;
+}
+
+// A short skew-heavy script: most objects pile into one corner so the
+// home-shard imbalance trips the rebalancer within a few ticks.
+struct ScriptOp {
+  bool is_tick = false;
+  ObjectId oid = 0;
+  Point p;
+  double t = 0.0;
+};
+
+std::vector<ScriptOp> CrashScript() {
+  std::vector<ScriptOp> script;
+  for (int tick = 1; tick <= 6; ++tick) {
+    for (ObjectId id = 1; id <= 48; ++id) {
+      ScriptOp op;
+      op.oid = id;
+      // Four fifths of the population crowds the lower-left corner; the
+      // rest spreads out so every shard stays non-empty.
+      op.p = id % 5 == 0
+                 ? Point{0.1 + 0.8 * ((id % 7) / 7.0), 0.85}
+                 : Point{0.05 + 0.002 * static_cast<double>(id),
+                         0.05 + 0.01 * (tick % 3)};
+      op.t = tick - 0.5;
+      script.push_back(op);
+    }
+    ScriptOp tick_op;
+    tick_op.is_tick = true;
+    tick_op.t = tick;
+    script.push_back(tick_op);
+  }
+  return script;
+}
+
+// Crash at a stride of I/O points across the whole script (the sweep
+// necessarily crosses the rebalancing ticks), drop all unsynced data,
+// and require exact recovery plus a clean audit — the partition map that
+// recovery rebuilds is consistent by construction, and the audit's
+// cross-shard checks (routing, bounds, map validity) prove it.
+TEST(RebalanceTest, MidHandoffCrashRecoversConsistently) {
+  const std::vector<ScriptOp> script = CrashScript();
+
+  // Clean run: count I/O ops, capture per-tick oracle states, and prove
+  // the script actually rebalances.
+  uint64_t total_ops = 0;
+  std::vector<PersistedState> boundaries;  // state at each sync boundary
+  {
+    FaultInjectionEnv env;
+    PersistentServer ps(CrashOptions(&env));
+    Server oracle(CrashOptions(&env).server);
+    ASSERT_TRUE(ps.Open().ok());
+    ASSERT_TRUE(ps.AttachClient(1).ok());
+    ASSERT_TRUE(oracle.AttachClient(1).ok());
+    ASSERT_TRUE(ps.RegisterRangeQuery(1, 1, Rect{0.0, 0.0, 0.3, 0.3}).ok());
+    ASSERT_TRUE(
+        oracle.RegisterRangeQuery(1, 1, Rect{0.0, 0.0, 0.3, 0.3}).ok());
+    for (const ScriptOp& op : script) {
+      if (op.is_tick) {
+        ps.Tick(op.t);
+        oracle.Tick(op.t);
+        boundaries.push_back(CapturePersistedState(oracle));
+      } else {
+        ASSERT_TRUE(ps.ReportObject(op.oid, op.p, op.t).ok());
+        ASSERT_TRUE(oracle.ReportObject(op.oid, op.p, op.t).ok());
+      }
+    }
+    const ShardedEngine* engine = oracle.processor().sharded_engine();
+    ASSERT_NE(engine, nullptr);
+    ASSERT_GE(engine->rebalance_history().size(), 1u)
+        << "crash script never rebalanced; the sweep would prove nothing";
+    total_ops = env.op_count();
+    ASSERT_TRUE(ps.Close().ok());
+  }
+
+  // The sweep. Replays stop at the eventual injected failure; recovery
+  // must land exactly on the last completed tick's state.
+  for (uint64_t k = 1; k < total_ops; k += 7) {
+    FaultInjectionEnv env;
+    env.CrashAfterOps(k);
+    size_t last_synced_tick = 0;  // 0 = nothing synced yet
+    {
+      PersistentServer ps(CrashOptions(&env));
+      if (!ps.Open().ok()) continue;
+      if (!ps.AttachClient(1).ok() ||
+          !ps.RegisterRangeQuery(1, 1, Rect{0.0, 0.0, 0.3, 0.3}).ok()) {
+        // The crash hit setup; nothing synced beyond the empty state.
+      } else {
+        size_t ticks_done = 0;
+        for (const ScriptOp& op : script) {
+          if (ps.degraded()) break;
+          if (op.is_tick) {
+            ps.Tick(op.t);
+            if (!ps.degraded()) last_synced_tick = ++ticks_done;
+          } else {
+            (void)ps.ReportObject(op.oid, op.p, op.t);
+          }
+        }
+      }
+      // Destruction without Close() models the process dying.
+    }
+    env.SimulateCrash(FaultInjectionEnv::UnsyncedLoss::kDropAll);
+
+    PersistentServer recovered(CrashOptions(&env));
+    const std::string what = "crash at I/O op " + std::to_string(k);
+    ASSERT_TRUE(recovered.Open().ok()) << what;
+    if (last_synced_tick > 0) {
+      const PersistedState got = CapturePersistedState(recovered.server());
+      EXPECT_TRUE(got == boundaries[last_synced_tick - 1])
+          << what << ": recovery missed the sync boundary (tick "
+          << last_synced_tick << ")";
+    }
+    const AuditReport report =
+        InvariantAuditor().AuditServer(recovered.server());
+    EXPECT_TRUE(report.ok()) << what << ": " << report.ToString();
+    // The recovered engine is operational and still partition-
+    // consistent after another tick.
+    recovered.Tick(100.0);
+    const Status invariants = recovered.server().processor().CheckInvariants();
+    EXPECT_TRUE(invariants.ok()) << what << ": " << invariants.ToString();
+    ASSERT_TRUE(recovered.Close().ok()) << what;
+    if (HasFatalFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace stq

@@ -1,0 +1,239 @@
+// Tests for the SkewedGenerator: the statistical shape of each scenario
+// (Zipf hotspot mass, flash-crowd convergence/dispersal, rush-hour
+// commute cycle), seeded bit-exact reproducibility, and WorkloadIo
+// round-tripping of pre-rolled skewed workloads.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stq/gen/skewed_generator.h"
+#include "stq/gen/workload.h"
+#include "stq/storage/workload_io.h"
+
+namespace stq {
+namespace {
+
+double Dist(const Point& a, const Point& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+// Hotspot populations follow the configured Zipf law: hotspot k's share
+// of a large population is within a small relative tolerance of
+// (k+1)^-s / H, where H normalizes over all hotspots.
+TEST(SkewedGeneratorTest, ZipfHotspotMassMatchesExponent) {
+  SkewedGenerator::Options options;
+  options.scenario = SkewedGenerator::Scenario::kZipfHotspot;
+  options.num_objects = 20000;
+  options.num_hotspots = 6;
+  options.zipf_s = 1.2;
+  options.seed = 7;
+  SkewedGenerator gen(options);
+
+  double norm = 0.0;
+  for (size_t k = 0; k < options.num_hotspots; ++k) {
+    norm += std::pow(static_cast<double>(k + 1), -options.zipf_s);
+  }
+  size_t total = 0;
+  for (size_t k = 0; k < options.num_hotspots; ++k) {
+    const double expected =
+        std::pow(static_cast<double>(k + 1), -options.zipf_s) / norm;
+    const double observed =
+        static_cast<double>(gen.HotspotPopulation(k)) /
+        static_cast<double>(options.num_objects);
+    // 20k draws put the standard error well under 0.01; 0.02 absolute
+    // tolerance keeps the test seed-robust without losing the law.
+    EXPECT_NEAR(observed, expected, 0.02) << "hotspot " << k;
+    total += gen.HotspotPopulation(k);
+  }
+  EXPECT_EQ(total, options.num_objects);  // every object has one home
+
+  // The law is monotone: earlier hotspots dominate later ones.
+  EXPECT_GT(gen.HotspotPopulation(0), gen.HotspotPopulation(5));
+
+  // Objects actually sit near their hotspot (within a few sigma).
+  const std::vector<ObjectReport> reports = gen.InitialReports(0.0);
+  size_t near = 0;
+  for (const ObjectReport& r : reports) {
+    const Point& h = gen.hotspots()[gen.HotspotOf(r.id)];
+    if (Dist(r.loc, h) <= 4.0 * options.hotspot_sigma) ++near;
+  }
+  EXPECT_GT(near, reports.size() * 9 / 10);
+}
+
+// Equal seeds reproduce the full report sequence bit for bit; different
+// seeds diverge. (The differential battery's replays depend on this.)
+TEST(SkewedGeneratorTest, SeededRunsAreBitExact) {
+  for (const SkewedGenerator::Scenario scenario :
+       {SkewedGenerator::Scenario::kZipfHotspot,
+        SkewedGenerator::Scenario::kFlashCrowd,
+        SkewedGenerator::Scenario::kRushHour}) {
+    SkewedGenerator::Options options;
+    options.scenario = scenario;
+    options.num_objects = 200;
+    options.seed = 99;
+    SkewedGenerator a(options);
+    SkewedGenerator b(options);
+    options.seed = 100;
+    SkewedGenerator c(options);
+
+    const std::vector<ObjectReport> ia = a.InitialReports(0.0);
+    const std::vector<ObjectReport> ib = b.InitialReports(0.0);
+    ASSERT_EQ(ia.size(), ib.size());
+    bool c_diverged = false;
+    const std::vector<ObjectReport> ic = c.InitialReports(0.0);
+    for (size_t i = 0; i < ia.size(); ++i) {
+      ASSERT_EQ(ia[i].id, ib[i].id);
+      ASSERT_EQ(ia[i].loc, ib[i].loc);
+      c_diverged = c_diverged || !(ic[i].loc == ia[i].loc);
+    }
+
+    double now = 0.0;
+    for (int tick = 0; tick < 5; ++tick) {
+      now += 5.0;
+      const std::vector<ObjectReport> sa = a.Step(now, 5.0, 0.8);
+      const std::vector<ObjectReport> sb = b.Step(now, 5.0, 0.8);
+      const std::vector<ObjectReport> sc = c.Step(now, 5.0, 0.8);
+      ASSERT_EQ(sa.size(), sb.size()) << "tick " << tick;
+      for (size_t i = 0; i < sa.size(); ++i) {
+        ASSERT_EQ(sa[i].id, sb[i].id) << "tick " << tick;
+        ASSERT_EQ(sa[i].loc, sb[i].loc) << "tick " << tick;
+        ASSERT_EQ(sa[i].t, sb[i].t) << "tick " << tick;
+      }
+      c_diverged = c_diverged || sa.size() != sc.size();
+    }
+    EXPECT_TRUE(c_diverged)
+        << "seeds 99 and 100 produced identical streams";
+  }
+}
+
+// The flash crowd converges on the focus during the hold phase and goes
+// home after the cycle completes.
+TEST(SkewedGeneratorTest, FlashCrowdConvergesAndDisperses) {
+  SkewedGenerator::Options options;
+  options.scenario = SkewedGenerator::Scenario::kFlashCrowd;
+  options.num_objects = 400;
+  options.seed = 5;
+  options.crowd_fraction = 1.0;  // everyone joins; homes are uniform
+  options.ramp_seconds = 10.0;
+  options.hold_seconds = 10.0;
+  options.speed = 0.0005;  // tiny jitter so geometry dominates
+  SkewedGenerator gen(options);
+
+  auto mean_focus_dist = [&gen] {
+    double sum = 0.0;
+    for (size_t i = 0; i < gen.num_objects(); ++i) {
+      sum += Dist(gen.LocationOf(static_cast<ObjectId>(i + 1)),
+                  gen.focus());
+    }
+    return sum / static_cast<double>(gen.num_objects());
+  };
+
+  const double spread_before = mean_focus_dist();
+  // Step to the middle of the hold phase (t = 15).
+  for (double t = 1.0; t <= 15.0; t += 1.0) gen.Step(t, 1.0, 1.0);
+  const double spread_held = mean_focus_dist();
+  // Step past the full cycle (ramp + hold + ramp = 30).
+  for (double t = 16.0; t <= 40.0; t += 1.0) gen.Step(t, 1.0, 1.0);
+  const double spread_after = mean_focus_dist();
+
+  // Uniform homes in the unit square sit ~0.3-0.4 from an interior
+  // focus; the converged crowd sits at jitter distance.
+  EXPECT_GT(spread_before, 0.15);
+  EXPECT_LT(spread_held, 0.05);
+  EXPECT_GT(spread_after, 0.15);
+  EXPECT_LT(spread_held, 0.25 * spread_before);
+  EXPECT_LT(spread_held, 0.25 * spread_after);
+}
+
+// Rush hour: the population oscillates between dispersed homes and the
+// downtown core with the configured period.
+TEST(SkewedGeneratorTest, RushHourCommutesWithThePeriod) {
+  SkewedGenerator::Options options;
+  options.scenario = SkewedGenerator::Scenario::kRushHour;
+  options.num_objects = 400;
+  options.seed = 6;
+  options.period_seconds = 40.0;
+  options.core_sigma = 0.02;
+  options.speed = 0.0005;
+  SkewedGenerator gen(options);
+
+  auto mean_core_dist = [&gen] {
+    double sum = 0.0;
+    for (size_t i = 0; i < gen.num_objects(); ++i) {
+      sum += Dist(gen.LocationOf(static_cast<ObjectId>(i + 1)),
+                  gen.focus());
+    }
+    return sum / static_cast<double>(gen.num_objects());
+  };
+
+  // Mid-period (t = 20): everyone is at work downtown.
+  for (double t = 2.0; t <= 20.0; t += 2.0) gen.Step(t, 2.0, 1.0);
+  const double at_work = mean_core_dist();
+  // Full period (t = 40): everyone is back home.
+  for (double t = 22.0; t <= 40.0; t += 2.0) gen.Step(t, 2.0, 1.0);
+  const double back_home = mean_core_dist();
+
+  EXPECT_LT(at_work, 0.08);
+  EXPECT_GT(back_home, 0.15);
+  EXPECT_LT(at_work, 0.5 * back_home);
+}
+
+// Pre-rolled skewed workloads survive SaveWorkload/LoadWorkload bit for
+// bit — so a skew benchmark input can be archived and replayed.
+TEST(SkewedGeneratorTest, WorkloadRoundTripsThroughWorkloadIo) {
+  SkewedWorkloadOptions options;
+  options.gen.scenario = SkewedGenerator::Scenario::kFlashCrowd;
+  options.gen.num_objects = 80;
+  options.gen.seed = 21;
+  options.num_queries = 12;
+  options.num_ticks = 4;
+  const Workload original = MakeSkewedWorkload(options);
+  ASSERT_GT(original.initial_objects().size(), 0u);
+  ASSERT_EQ(original.ticks().size(), options.num_ticks);
+
+  const std::string path = ::testing::TempDir() + "stq_skew_workload.bin";
+  std::remove(path.c_str());
+  ASSERT_TRUE(SaveWorkload(path, original).ok());
+  Result<Workload> loaded = LoadWorkload(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->tick_seconds(), original.tick_seconds());
+  ASSERT_EQ(loaded->initial_objects().size(),
+            original.initial_objects().size());
+  for (size_t i = 0; i < original.initial_objects().size(); ++i) {
+    EXPECT_EQ(loaded->initial_objects()[i].id,
+              original.initial_objects()[i].id);
+    EXPECT_EQ(loaded->initial_objects()[i].loc,
+              original.initial_objects()[i].loc);
+  }
+  ASSERT_EQ(loaded->initial_queries().size(),
+            original.initial_queries().size());
+  for (size_t i = 0; i < original.initial_queries().size(); ++i) {
+    EXPECT_EQ(loaded->initial_queries()[i].region,
+              original.initial_queries()[i].region);
+  }
+  ASSERT_EQ(loaded->ticks().size(), original.ticks().size());
+  for (size_t i = 0; i < original.ticks().size(); ++i) {
+    EXPECT_EQ(loaded->ticks()[i].time, original.ticks()[i].time);
+    ASSERT_EQ(loaded->ticks()[i].object_reports.size(),
+              original.ticks()[i].object_reports.size());
+    for (size_t j = 0; j < original.ticks()[i].object_reports.size(); ++j) {
+      EXPECT_EQ(loaded->ticks()[i].object_reports[j].loc,
+                original.ticks()[i].object_reports[j].loc);
+    }
+    ASSERT_EQ(loaded->ticks()[i].query_moves.size(),
+              original.ticks()[i].query_moves.size());
+    for (size_t j = 0; j < original.ticks()[i].query_moves.size(); ++j) {
+      EXPECT_EQ(loaded->ticks()[i].query_moves[j].region,
+                original.ticks()[i].query_moves[j].region);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace stq

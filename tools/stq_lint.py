@@ -36,6 +36,13 @@ Checks
                     std::unordered_*, template visitors over
                     std::function, no naked new-expressions. Rules:
                     container, function, new.
+  grid-adaptation   Cell refinement levels mutate only through the
+                    adaptive layer: GridIndex::SetCellLevel re-buckets a
+                    cell's entries, so an ad-hoc caller that skips the
+                    refiner's hysteresis/cooldown policy (or passes the
+                    wrong geometry oracle) silently corrupts slot
+                    bookkeeping. Calls are confined to
+                    core/grid_refiner.cc. Rule: set-cell-level.
   delivery-routing  Client answer state mutates only through the session
                     layer: direct calls to Client::ApplyUpdates /
                     ApplyFullAnswer outside core/session.cc bypass the
@@ -260,6 +267,14 @@ RULES = [
         r"(?<![\w:])new\s+[A-Za-z_(:]",
         "naked new-expression in a hot-path dir; use std::make_unique, a "
         "container, or SmallVector",
+    ),
+    # --- grid-adaptation (cell resolution mutates only via the refiner) ---
+    Rule(
+        "grid-adaptation", "set-cell-level", ALL_SRC,
+        r"(?:\.|->)\s*SetCellLevel\s*\(",
+        "direct cell-resolution mutation outside the adaptive layer; "
+        "splits/merges go through GridRefiner (core/grid_refiner.cc)",
+        exclude=("core/grid_refiner.cc",),
     ),
     # --- delivery-routing (answers mutate only via the session layer) -----
     Rule(
