@@ -30,6 +30,7 @@ namespace {
 struct RunResult {
   stq_bench::ResilienceSample sample;
   size_t bytes_shipped = 0;
+  size_t bytes_resident = 0;  // resident answer bytes at quiesce
   uint64_t settle_ticks = 0;
   int converged = 0;
 };
@@ -114,6 +115,7 @@ RunResult RunOne(const stq::Workload& workload, size_t num_clients,
   for (auto& s : sessions) raw.push_back(s.get());
   result.sample.clients = stq::SumSessionCounters(raw);
   result.bytes_shipped = server.total_bytes_shipped();
+  result.bytes_resident = server.processor().AnswerBytesResident();
   return result;
 }
 
@@ -172,6 +174,7 @@ int main(int argc, char** argv) {
       report.Value("policy", diff ? "diff" : "full");
       stq_bench::ReportResilienceCounters(&report, r.sample);
       report.Value("shipped_kb", stq_bench::ToKb(r.bytes_shipped));
+      report.Value("bytes_resident", r.bytes_resident);
       report.Value("settle_ticks", r.settle_ticks);
       report.Value("converged_clients", r.converged);
     }

@@ -41,6 +41,7 @@ struct RunResult {
   uint32_t stream_crc = 0;  // CRC32 of all canonical update streams
   size_t ticks = 0;
   uint64_t allocs = 0;      // summed TickStats.heap_allocations
+  size_t bytes_resident = 0;  // last tick's resident answer bytes
 };
 
 RunResult RunWorkload(const stq::Workload& workload, int shards) {
@@ -66,6 +67,7 @@ RunResult RunWorkload(const stq::Workload& workload, int shards) {
     result.merge += tick.stats.shard_merge_seconds;
     result.route += tick.stats.shard_route_seconds;
     result.allocs += tick.stats.heap_allocations;
+    result.bytes_resident = tick.stats.bytes_resident;
     stream.clear();
     for (const stq::Update& u : tick.updates) {
       stream += u.DebugString();
@@ -140,6 +142,7 @@ int main(int argc, char** argv) {
     report.Value("merge_seconds", r.merge);
     report.Value("route_seconds", r.route);
     report.Value("allocs_per_tick", allocs_per_tick);
+    report.Value("bytes_resident", r.bytes_resident);
     report.Value("stream_crc", r.stream_crc);
   }
 

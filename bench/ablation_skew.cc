@@ -39,6 +39,7 @@ struct EngineConfig {
   const char* name;
   bool adaptive = false;
   int shards = 1;
+  bool rebalance = false;
 };
 
 struct RunResult {
@@ -56,6 +57,7 @@ struct RunResult {
   uint32_t stream_crc = 0;
   size_t ticks = 0;
   uint64_t allocs = 0;
+  size_t bytes_resident = 0;  // last tick's resident answer bytes
 };
 
 RunResult RunWorkload(const stq::Workload& workload,
@@ -66,13 +68,21 @@ RunResult RunWorkload(const stq::Workload& workload,
   options.grid_cells_per_side = 8;
   options.num_shards = config.shards;
   options.worker_threads = 1;
+  // Pin the legacy per-candidate match loop on every row: this ablation
+  // isolates grid refinement's candidate filtering, and the batch path
+  // flattens the same hot-cell stub scan (it lifted the *uniform* row
+  // ~2x when it became the default, compressing the measured adaptive
+  // payoff to ~1.2x without changing what refinement does). The batch
+  // restructuring has its own ablation (ablation_batch); streams are
+  // byte-identical either way.
+  options.batch_evaluation = false;
   if (config.adaptive) {
     options.adaptive.enabled = true;
     options.adaptive.split_threshold = 32;
     options.adaptive.merge_threshold = 12;
     options.adaptive.max_level = 4;
     options.adaptive.cooldown_ticks = 2;
-    options.adaptive.rebalance = config.shards > 1;
+    options.adaptive.rebalance = config.rebalance && config.shards > 1;
     options.adaptive.rebalance_cooldown_ticks = 3;
     options.adaptive.rebalance_imbalance = 1.2;
   }
@@ -108,6 +118,7 @@ RunResult RunWorkload(const stq::Workload& workload,
     result.cells_merged += tick.stats.cells_merged;
     result.rebalances += tick.stats.shard_rebalances;
     result.allocs += tick.stats.heap_allocations;
+    result.bytes_resident = tick.stats.bytes_resident;
     stream.clear();
     for (const stq::Update& u : tick.updates) {
       stream += u.DebugString();
@@ -187,6 +198,51 @@ stq::Workload MakeSkewWorkload(const stq_bench::BenchScale& scale,
                                   std::move(ticks), 5.0);
 }
 
+// Hot-cold migration workload: the whole population piles onto ONE
+// drifting hotspot, so whichever shard owns the hotspot carries ~all of
+// the home-shard load (max/mean approaches the shard count — far past
+// any sane rebalance_imbalance gate), and the drift keeps relocating
+// the mass so the quantile cuts have to chase it. This is the scenario
+// that actually trips the online rebalancer at bench scale; the Zipf
+// table above stays balanced enough that it never fires.
+stq::Workload MakeHotColdWorkload(const stq_bench::BenchScale& scale,
+                                  uint64_t seed) {
+  stq::SkewedGenerator::Options gen_options;
+  gen_options.scenario = stq::SkewedGenerator::Scenario::kZipfHotspot;
+  gen_options.num_objects = scale.num_objects;
+  gen_options.seed = seed;
+  gen_options.num_hotspots = 1;
+  gen_options.hotspot_sigma = 0.02;
+  gen_options.hotspot_drift = 0.01;  // 0.05/tick at T=5s: cuts must chase
+  gen_options.speed = 0.001;
+  stq::SkewedGenerator gen(gen_options);
+
+  std::vector<stq::ObjectReport> initial_objects = gen.InitialReports(0.0);
+
+  stq::Xorshift128Plus qrng(seed ^ 0xD1B54A32D192ED03ull);
+  const double half = 0.01;  // query side 0.02
+  std::vector<stq::QueryRegionReport> initial_queries;
+  initial_queries.reserve(scale.num_queries);
+  for (size_t i = 0; i < scale.num_queries; ++i) {
+    stq::Point c{qrng.NextDouble(), qrng.NextDouble()};
+    initial_queries.push_back(stq::QueryRegionReport{
+        static_cast<stq::QueryId>(i + 1),
+        stq::Rect{c.x - half, c.y - half, c.x + half, c.y + half}, 0.0});
+  }
+
+  std::vector<stq::WorkloadTick> ticks;
+  ticks.reserve(scale.num_ticks);
+  for (size_t k = 1; k <= scale.num_ticks; ++k) {
+    stq::WorkloadTick tick;
+    tick.time = static_cast<double>(k) * 5.0;
+    tick.object_reports = gen.Step(tick.time, 5.0, /*update_fraction=*/0.5);
+    ticks.push_back(std::move(tick));
+  }
+  return stq::Workload::FromParts(std::move(initial_objects),
+                                  std::move(initial_queries),
+                                  std::move(ticks), 5.0);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -215,7 +271,8 @@ int main(int argc, char** argv) {
   const EngineConfig kConfigs[] = {
       {"uniform", /*adaptive=*/false, /*shards=*/1},
       {"adaptive", /*adaptive=*/true, /*shards=*/1},
-      {"adaptive+2shards", /*adaptive=*/true, /*shards=*/2},
+      {"adaptive+2shards", /*adaptive=*/true, /*shards=*/2,
+       /*rebalance=*/true},
   };
 
   std::printf("%-18s %12s %10s %8s %8s %6s %10s %12s %12s\n", "engine",
@@ -262,6 +319,7 @@ int main(int argc, char** argv) {
     report.Value("adapt_seconds", r.adapt_seconds);
     report.Value("rebalance_seconds", r.rebalance_seconds);
     report.Value("allocs_per_tick", allocs_per_tick);
+    report.Value("bytes_resident", r.bytes_resident);
     report.Value("stream_crc", r.stream_crc);
   }
 
@@ -270,6 +328,66 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("\nupdate streams byte-identical across all engines\n");
+
+  // --- Hot-cold migration: the rebalancer-gate scenario -------------------
+  std::printf(
+      "\nHot-cold migration (1 drifting hotspot, whole population): "
+      "static 2-shard split vs online rebalance\n");
+  const stq::Workload hotcold = MakeHotColdWorkload(scale, /*seed=*/808);
+  const EngineConfig kHotColdConfigs[] = {
+      {"hotcold-static", /*adaptive=*/true, /*shards=*/2,
+       /*rebalance=*/false},
+      {"hotcold-rebalance", /*adaptive=*/true, /*shards=*/2,
+       /*rebalance=*/true},
+  };
+  double static_seconds = 0.0;
+  uint32_t static_crc = 0;
+  size_t hotcold_rebalances = 0;
+  for (const EngineConfig& config : kHotColdConfigs) {
+    const RunResult r = RunWorkload(hotcold, config);
+    if (std::strcmp(config.name, "hotcold-static") == 0) {
+      static_seconds = r.seconds;
+      static_crc = r.stream_crc;
+    } else {
+      hotcold_rebalances = r.rebalances;
+      if (r.stream_crc != static_crc) {
+        std::printf("FAIL: hot-cold streams diverged across engines\n");
+        return 1;
+      }
+    }
+    const double ticks_per_sec =
+        r.seconds > 0 ? static_cast<double>(r.ticks) / r.seconds : 0.0;
+    const double speedup = r.seconds > 0 ? static_seconds / r.seconds : 0.0;
+    const double allocs_per_tick =
+        r.ticks > 0 ? static_cast<double>(r.allocs) / r.ticks : 0.0;
+    std::printf(
+        "%-18s %12.2f %9.2fx %8zu %8zu %6zu %10.4f %12.1f   0x%08x\n",
+        config.name, ticks_per_sec, speedup, r.cells_split, r.cells_merged,
+        r.rebalances, r.adapt_seconds, allocs_per_tick, r.stream_crc);
+
+    report.BeginRow();
+    report.Value("engine", config.name);
+    report.Value("shards", config.shards);
+    report.Value("ticks_per_sec", ticks_per_sec);
+    report.Value("speedup", speedup);
+    report.Value("cells_split", r.cells_split);
+    report.Value("cells_merged", r.cells_merged);
+    report.Value("rebalances", r.rebalances);
+    report.Value("adapt_seconds", r.adapt_seconds);
+    report.Value("rebalance_seconds", r.rebalance_seconds);
+    report.Value("allocs_per_tick", allocs_per_tick);
+    report.Value("bytes_resident", r.bytes_resident);
+    report.Value("stream_crc", r.stream_crc);
+  }
+  // The point of the scenario: the imbalance gate must actually fire.
+  // Deterministic (fixed seed, no timing dependence), so checked
+  // unconditionally.
+  if (hotcold_rebalances == 0) {
+    std::printf("FAIL: hot-cold migration tripped zero shard rebalances\n");
+    return 1;
+  }
+  std::printf("hot-cold migration tripped %zu shard rebalances\n",
+              hotcold_rebalances);
 
   // --assert-speedup: the CI gate for the adaptive layer's payoff. The
   // 1.3x floor sits well under the typical margin on this workload so

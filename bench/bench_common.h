@@ -228,6 +228,7 @@ inline void ReportTickStats(BenchReport* report, const stq::TickStats& stats) {
   report->Value("knn_search_seconds", stats.knn_search_seconds);
   report->Value("knn_apply_seconds", stats.knn_apply_seconds);
   report->Value("heap_allocations", stats.heap_allocations);
+  report->Value("bytes_resident", stats.bytes_resident);
 }
 
 // One sample of the session/transport resilience counters (see

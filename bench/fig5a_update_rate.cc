@@ -72,6 +72,8 @@ int main(int argc, char** argv) {
       phase_sums.knn_search_seconds += tick.stats.knn_search_seconds;
       phase_sums.knn_apply_seconds += tick.stats.knn_apply_seconds;
       phase_sums.heap_allocations += tick.stats.heap_allocations;
+      // Footprint, not churn: the last tick's resident answer bytes.
+      phase_sums.bytes_resident = tick.stats.bytes_resident;
     }
     const double ticks = static_cast<double>(workload.ticks().size());
     incremental_kb /= ticks;

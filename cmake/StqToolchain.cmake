@@ -17,6 +17,9 @@ option(STQ_LIBFUZZER
 option(STQ_ALLOC_COUNTING
        "Replace global operator new with a counting wrapper so TickStats \
 reports heap allocations per tick" ON)
+option(STQ_SIMD
+       "Compile the AVX2/NEON batch predicate kernels (runtime-detected; \
+scalar fallback is always present and byte-identical)" ON)
 set(STQ_SANITIZE "" CACHE STRING
     "Comma/semicolon-separated sanitizers: address, undefined, thread, leak")
 

@@ -1,0 +1,134 @@
+// Fuzzes the compressed answer set (AnswerSet) against a std::set oracle.
+//
+// The input is a little op program: each byte pair selects an operation
+// and an id. Ids cluster so blocks cross the sparse<->dense hysteresis
+// band constantly, and the program length pushes sets across the
+// small<->blocked band in both directions — the regimes where a
+// representation switch loses or duplicates members if it can. Every
+// operation runs against both the codec and the oracle; return values,
+// sizes, membership, full ascending contents and resident-byte sanity
+// must agree at every step (via STQ_CHECK — a violation aborts).
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fuzz_harness.h"
+#include "stq/common/check.h"
+#include "stq/core/answer_set.h"
+
+namespace {
+
+using stq::AnswerSet;
+using stq::ObjectId;
+
+// Ids span [0, 2047] (four 512-id blocks, dense regime) with occasional
+// far-away ids putting one member per block. The op byte's unused high
+// bits widen the universe past the small->blocked promote threshold so
+// both whole-set hysteresis directions are reachable.
+ObjectId IdFromBytes(uint8_t op, uint8_t b) {
+  const ObjectId base =
+      static_cast<ObjectId>(b & 63) |
+      (static_cast<ObjectId>(op >> 3) << 6);  // 11 bits: 0..2047
+  if ((b & 0xC0) == 0xC0) return base * 100003;  // sparse block per id
+  return base;
+}
+
+void CheckAgainstOracle(const AnswerSet& set,
+                        const std::set<ObjectId>& oracle) {
+  STQ_CHECK(set.size() == oracle.size());
+  auto it = oracle.begin();
+  size_t visited = 0;
+  for (ObjectId id : set) {
+    STQ_CHECK(it != oracle.end());
+    STQ_CHECK(id == *it);  // ascending iteration, exact contents
+    ++it;
+    ++visited;
+  }
+  STQ_CHECK(visited == oracle.size());
+  // Resident-byte accounting stays callable and sane mid-history (the
+  // tight compression bounds live in answer_set_test; capacity
+  // high-water after a drain makes a hard upper bound here flaky).
+  STQ_CHECK(set.bytes_resident() >= sizeof(AnswerSet));
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  AnswerSet set;
+  std::set<ObjectId> oracle;
+
+  for (size_t i = 0; i + 1 < size; i += 2) {
+    const uint8_t op = data[i];
+    const ObjectId id = IdFromBytes(op, data[i + 1]);
+    switch (op % 8) {
+      case 0:
+      case 1:
+      case 2: {  // insert (weighted up so sets actually grow)
+        STQ_CHECK(set.insert(id) == oracle.insert(id).second);
+        break;
+      }
+      case 3:
+      case 4: {  // erase
+        STQ_CHECK(set.erase(id) == (oracle.erase(id) > 0));
+        break;
+      }
+      case 5: {  // membership probe
+        STQ_CHECK(set.contains(id) == (oracle.count(id) == 1));
+        break;
+      }
+      case 6: {  // copy round-trip mid-history; copy must not alias
+        AnswerSet copy = set;
+        CheckAgainstOracle(copy, oracle);
+        copy.insert(id);
+        copy.clear();
+        CheckAgainstOracle(set, oracle);  // original untouched
+        break;
+      }
+      default: {  // move round-trip; moved-to must equal the original
+        AnswerSet moved = std::move(set);
+        CheckAgainstOracle(moved, oracle);
+        set = std::move(moved);
+        break;
+      }
+    }
+    STQ_CHECK(set.size() == oracle.size());
+  }
+
+  CheckAgainstOracle(set, oracle);
+  return 0;
+}
+
+void StqFuzzSeedCorpus(std::vector<std::string>* seeds) {
+  // Grow past the small->blocked promote line, then drain back through
+  // the demote line: the whole-set hysteresis stress test.
+  std::string churn;
+  for (int k = 0; k < 600; ++k) {
+    // op%8 == 0 (insert) with high bits spreading ids over 0..2047.
+    churn.push_back(static_cast<char>(((k / 64) % 32) << 3));
+    churn.push_back(static_cast<char>(k));
+  }
+  for (int k = 0; k < 600; ++k) {
+    // op%8 == 3 (erase) over the same id sequence.
+    churn.push_back(static_cast<char>((((k / 64) % 32) << 3) | 3));
+    churn.push_back(static_cast<char>(k));
+  }
+  seeds->push_back(churn);
+
+  // Dense-block churn: hammer one 64-id cluster so a single block
+  // oscillates across the sparse<->dense band.
+  std::string dense;
+  for (int round = 0; round < 128; ++round) {
+    dense.push_back(static_cast<char>(round % 3 == 2 ? 3 : 0));
+    dense.push_back(static_cast<char>(round % 64));
+  }
+  seeds->push_back(dense);
+
+  // Clones and moves interleaved with mutation.
+  seeds->push_back(std::string("\x00\x01\x06\x00\x00\xc5\x07\x00\x03\x01"
+                               "\x06\xff\x00\x85\x07\x02",
+                               16));
+  seeds->push_back(std::string());
+}

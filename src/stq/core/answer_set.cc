@@ -1,0 +1,271 @@
+#include "stq/core/answer_set.h"
+
+#include <bit>
+
+namespace stq {
+
+namespace {
+
+inline uint64_t BaseOf(ObjectId id) { return id >> AnswerSet::kBlockShift; }
+inline uint32_t OffsetOf(ObjectId id) {
+  return static_cast<uint32_t>(id & (AnswerSet::kBlockSpan - 1));
+}
+
+}  // namespace
+
+bool AnswerSet::insert(ObjectId id) {
+  if (blocked_) return BlockedInsert(id);
+  auto it = std::lower_bound(small_.begin(), small_.end(), id);
+  if (it != small_.end() && *it == id) return false;
+  small_.insert(it, id);
+  ++size_;
+  if (size_ > kBlockedPromote) PromoteToBlocks();
+  return true;
+}
+
+bool AnswerSet::erase(ObjectId id) {
+  if (blocked_) {
+    if (!BlockedErase(id)) return false;
+    --size_;
+    if (size_ < kBlockedDemote) DemoteToSmall();
+    return true;
+  }
+  auto it = std::lower_bound(small_.begin(), small_.end(), id);
+  if (it == small_.end() || *it != id) return false;
+  small_.erase(it);
+  --size_;
+  return true;
+}
+
+bool AnswerSet::contains(ObjectId id) const {
+  if (!blocked_) {
+    auto it = std::lower_bound(small_.begin(), small_.end(), id);
+    return it != small_.end() && *it == id;
+  }
+  const uint64_t base = BaseOf(id);
+  auto it = FindBlock(base);
+  if (it == blocks_.end() || it->base != base) return false;
+  const uint32_t off = OffsetOf(id);
+  if (it->bits != nullptr) {
+    return ((*it->bits)[off >> 6] >> (off & 63)) & 1u;
+  }
+  const uint16_t off16 = static_cast<uint16_t>(off);
+  auto sit = std::lower_bound(it->sparse.begin(), it->sparse.end(), off16);
+  return sit != it->sparse.end() && *sit == off16;
+}
+
+bool AnswerSet::BlockedInsert(ObjectId id) {
+  const uint64_t base = BaseOf(id);
+  const uint32_t off = OffsetOf(id);
+  auto it = FindBlock(base);
+  if (it == blocks_.end() || it->base != base) {
+    Block b;
+    b.base = base;
+    b.count = 1;
+    b.sparse.push_back(static_cast<uint16_t>(off));
+    blocks_.insert(it, std::move(b));
+    ++size_;
+    return true;
+  }
+  if (it->bits != nullptr) {
+    uint64_t& word = (*it->bits)[off >> 6];
+    const uint64_t mask = uint64_t{1} << (off & 63);
+    if (word & mask) return false;
+    word |= mask;
+    ++it->count;
+    ++size_;
+    return true;
+  }
+  const uint16_t off16 = static_cast<uint16_t>(off);
+  auto sit = std::lower_bound(it->sparse.begin(), it->sparse.end(), off16);
+  if (sit != it->sparse.end() && *sit == off16) return false;
+  it->sparse.insert(sit, off16);
+  ++it->count;
+  ++size_;
+  if (it->count > kDensePromote) ToDense(&*it);
+  return true;
+}
+
+bool AnswerSet::BlockedErase(ObjectId id) {
+  const uint64_t base = BaseOf(id);
+  const uint32_t off = OffsetOf(id);
+  auto it = FindBlock(base);
+  if (it == blocks_.end() || it->base != base) return false;
+  if (it->bits != nullptr) {
+    uint64_t& word = (*it->bits)[off >> 6];
+    const uint64_t mask = uint64_t{1} << (off & 63);
+    if (!(word & mask)) return false;
+    word &= ~mask;
+    --it->count;
+    if (it->count < kDenseDemote) ToSparse(&*it);
+    return true;
+  }
+  const uint16_t off16 = static_cast<uint16_t>(off);
+  auto sit = std::lower_bound(it->sparse.begin(), it->sparse.end(), off16);
+  if (sit == it->sparse.end() || *sit != off16) return false;
+  it->sparse.erase(sit);
+  --it->count;
+  if (it->count == 0) blocks_.erase(it);
+  return true;
+}
+
+void AnswerSet::PromoteToBlocks() {
+  STQ_DCHECK(!blocked_);
+  blocks_.clear();
+  for (ObjectId id : small_) {
+    const uint64_t base = BaseOf(id);
+    if (blocks_.empty() || blocks_.back().base != base) {
+      Block b;
+      b.base = base;
+      blocks_.push_back(std::move(b));
+    }
+    Block& blk = blocks_.back();
+    const uint32_t off = OffsetOf(id);
+    if (blk.bits != nullptr) {
+      (*blk.bits)[off >> 6] |= uint64_t{1} << (off & 63);
+    } else {
+      blk.sparse.push_back(static_cast<uint16_t>(off));  // already sorted
+    }
+    ++blk.count;
+    if (blk.bits == nullptr && blk.count > kDensePromote) ToDense(&blk);
+  }
+  small_.clear();
+  small_.shrink_to_fit();
+  blocked_ = true;
+}
+
+void AnswerSet::DemoteToSmall() {
+  STQ_DCHECK(blocked_);
+  small_.clear();
+  small_.reserve(size_);
+  for (const Block& blk : blocks_) {
+    const uint64_t hi = blk.base << kBlockShift;
+    if (blk.bits != nullptr) {
+      for (size_t w = 0; w < kWordsPerBlock; ++w) {
+        uint64_t word = (*blk.bits)[w];
+        while (word != 0) {
+          const int bit = std::countr_zero(word);
+          small_.push_back(hi + w * 64 + static_cast<uint64_t>(bit));
+          word &= word - 1;
+        }
+      }
+    } else {
+      for (uint16_t off : blk.sparse) small_.push_back(hi + off);
+    }
+  }
+  blocks_.clear();
+  blocks_.shrink_to_fit();
+  blocked_ = false;
+}
+
+void AnswerSet::ToDense(Block* b) {
+  STQ_DCHECK(b->bits == nullptr);
+  b->bits = std::make_unique<std::array<uint64_t, kWordsPerBlock>>();
+  b->bits->fill(0);
+  for (uint16_t off : b->sparse) {
+    (*b->bits)[off >> 6] |= uint64_t{1} << (off & 63);
+  }
+  b->sparse.clear();
+}
+
+void AnswerSet::ToSparse(Block* b) {
+  STQ_DCHECK(b->bits != nullptr);
+  b->sparse.clear();
+  for (size_t w = 0; w < kWordsPerBlock; ++w) {
+    uint64_t word = (*b->bits)[w];
+    while (word != 0) {
+      const int bit = std::countr_zero(word);
+      b->sparse.push_back(static_cast<uint16_t>(w * 64 + bit));
+      word &= word - 1;
+    }
+  }
+  b->bits.reset();
+}
+
+size_t AnswerSet::bytes_resident() const {
+  size_t bytes = sizeof(*this);
+  bytes += small_.capacity() * sizeof(ObjectId);
+  bytes += blocks_.capacity() * sizeof(Block);
+  for (const Block& blk : blocks_) {
+    if (blk.bits != nullptr) bytes += sizeof(*blk.bits);
+    // The SmallVector's inline lanes are already inside sizeof(Block);
+    // only a spilled heap buffer adds resident bytes.
+    if (blk.sparse.capacity() > 8) {
+      bytes += blk.sparse.capacity() * sizeof(uint16_t);
+    }
+  }
+  return bytes;
+}
+
+AnswerSet::const_iterator AnswerSet::begin() const {
+  if (!blocked_) return const_iterator(this, 0, 0);
+  if (blocks_.empty()) return end();
+  return const_iterator(this, 0, FirstPos(0));
+}
+
+size_t AnswerSet::FirstPos(size_t block) const {
+  const Block& blk = blocks_[block];
+  if (blk.bits == nullptr) return 0;
+  for (size_t w = 0; w < kWordsPerBlock; ++w) {
+    const uint64_t word = (*blk.bits)[w];
+    if (word != 0) {
+      return w * 64 + static_cast<size_t>(std::countr_zero(word));
+    }
+  }
+  STQ_CHECK(false) << "dense answer block with no set bits";
+  return 0;
+}
+
+ObjectId AnswerSet::Deref(size_t block, size_t pos) const {
+  if (!blocked_) return small_[pos];
+  const Block& blk = blocks_[block];
+  const uint64_t hi = blk.base << kBlockShift;
+  if (blk.bits == nullptr) return hi + blk.sparse[pos];
+  return hi + pos;
+}
+
+void AnswerSet::Advance(size_t* block, size_t* pos) const {
+  if (!blocked_) {
+    ++*pos;
+    return;
+  }
+  const Block& blk = blocks_[*block];
+  if (blk.bits == nullptr) {
+    if (++*pos < blk.sparse.size()) return;
+  } else {
+    // Next set bit strictly after *pos.
+    size_t bit = *pos + 1;
+    size_t w = bit >> 6;
+    while (w < kWordsPerBlock) {
+      uint64_t word = (*blk.bits)[w] & (~uint64_t{0} << (bit & 63));
+      if (word != 0) {
+        *pos = w * 64 + static_cast<size_t>(std::countr_zero(word));
+        return;
+      }
+      ++w;
+      bit = w * 64;
+    }
+  }
+  ++*block;
+  *pos = *block < blocks_.size() ? FirstPos(*block) : 0;
+}
+
+void AnswerSet::CopyFrom(const AnswerSet& other) {
+  small_ = other.small_;
+  size_ = other.size_;
+  blocked_ = other.blocked_;
+  blocks_.clear();
+  blocks_.reserve(other.blocks_.size());
+  for (const Block& src : other.blocks_) {
+    Block b;
+    b.base = src.base;
+    b.count = src.count;
+    b.sparse = src.sparse;
+    if (src.bits != nullptr) {
+      b.bits = std::make_unique<std::array<uint64_t, kWordsPerBlock>>(*src.bits);
+    }
+    blocks_.push_back(std::move(b));
+  }
+}
+
+}  // namespace stq

@@ -44,6 +44,7 @@ class CircleEvaluator {
   EngineState state_;
   // Tick-scoped scratch (the query pass is serial per engine).
   std::vector<ObjectId> leavers_scratch_;
+  CandidateBatch batch_scratch_;
 };
 
 }  // namespace stq

@@ -3,27 +3,31 @@
 namespace stq {
 
 namespace {
-const FlatSet<ObjectId>& EmptySet() {
+const AnswerSet& EmptySet() {
   // stq-lint: allow(alloc-discipline/new): intentionally leaked singleton
-  static const auto* kEmpty = new FlatSet<ObjectId>();
+  static const auto* kEmpty = new AnswerSet();
   return *kEmpty;
 }
 }  // namespace
 
-void CommittedStore::Commit(QueryId qid, const FlatSet<ObjectId>& answer) {
+void CommittedStore::Commit(QueryId qid, const AnswerSet& answer) {
   map_[qid] = answer;
+}
+
+void CommittedStore::Commit(QueryId qid, AnswerSet&& answer) {
+  map_[qid] = std::move(answer);
 }
 
 void CommittedStore::Erase(QueryId qid) { map_.erase(qid); }
 
-const FlatSet<ObjectId>& CommittedStore::Committed(QueryId qid) const {
+const AnswerSet& CommittedStore::Committed(QueryId qid) const {
   auto it = map_.find(qid);
   return it == map_.end() ? EmptySet() : it->second;
 }
 
 std::vector<Update> CommittedStore::DiffAgainstCommitted(
-    QueryId qid, const FlatSet<ObjectId>& current) const {
-  const FlatSet<ObjectId>& committed = Committed(qid);
+    QueryId qid, const AnswerSet& current) const {
+  const AnswerSet& committed = Committed(qid);
   std::vector<Update> diff;
   for (ObjectId oid : committed) {
     if (!current.contains(oid)) diff.push_back(Update::Negative(qid, oid));
@@ -33,6 +37,12 @@ std::vector<Update> CommittedStore::DiffAgainstCommitted(
   }
   CanonicalizeUpdates(&diff);
   return diff;
+}
+
+size_t CommittedStore::bytes_resident() const {
+  size_t bytes = 0;
+  for (const auto& [qid, answer] : map_) bytes += answer.bytes_resident();
+  return bytes;
 }
 
 }  // namespace stq

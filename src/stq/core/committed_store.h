@@ -15,6 +15,7 @@
 
 #include "stq/common/flat_hash.h"
 #include "stq/common/ids.h"
+#include "stq/core/answer_set.h"
 #include "stq/core/types.h"
 
 namespace stq {
@@ -27,7 +28,8 @@ class CommittedStore {
 
   // Records `answer` as the committed answer of `qid`, replacing any
   // previous commit.
-  void Commit(QueryId qid, const FlatSet<ObjectId>& answer);
+  void Commit(QueryId qid, const AnswerSet& answer);
+  void Commit(QueryId qid, AnswerSet&& answer);
 
   // Forgets the query entirely (on unregistration).
   void Erase(QueryId qid);
@@ -35,15 +37,19 @@ class CommittedStore {
   bool HasCommit(QueryId qid) const { return map_.contains(qid); }
 
   // The committed answer; empty when never committed.
-  const FlatSet<ObjectId>& Committed(QueryId qid) const;
+  const AnswerSet& Committed(QueryId qid) const;
 
   // The recovery delta: the updates that transform the committed answer
   // into `current` — negatives for committed-only objects, positives for
   // current-only objects. Canonically ordered.
   std::vector<Update> DiffAgainstCommitted(QueryId qid,
-                                           const FlatSet<ObjectId>& current) const;
+                                           const AnswerSet& current) const;
 
   size_t size() const { return map_.size(); }
+
+  // Resident bytes of every committed answer (compressed representation),
+  // for the bytes_resident budget accounting.
+  size_t bytes_resident() const;
 
   template <typename Fn>
   void ForEach(Fn&& fn) const {
@@ -51,7 +57,7 @@ class CommittedStore {
   }
 
  private:
-  FlatMap<QueryId, FlatSet<ObjectId>> map_;
+  FlatMap<QueryId, AnswerSet> map_;
 };
 
 }  // namespace stq

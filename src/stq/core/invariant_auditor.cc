@@ -254,7 +254,7 @@ AuditReport InvariantAuditor::AuditServer(const Server& server) const {
   // (unregistration erases the commit).
   std::vector<QueryId> committed_qids;
   server.committed().ForEach(
-      [&](QueryId qid, const FlatSet<ObjectId>&) {
+      [&](QueryId qid, const AnswerSet&) {
         committed_qids.push_back(qid);
       });
   std::sort(committed_qids.begin(), committed_qids.end());

@@ -1,0 +1,250 @@
+// AVX2 / NEON builds of the batch predicate kernels. This is the ONLY
+// translation unit allowed to include intrinsics headers or spell raw
+// intrinsics (stq-lint: simd-confinement); it is compiled only when the
+// build enables STQ_SIMD, and on x86-64 it is compiled with -mavx2 while
+// the call sites gate on SimdRuntimeSupported() before dispatching here.
+//
+// Bit-exactness with the scalar kernels is a hard contract: only IEEE
+// mul/add/sub/min/max/compare — never FMA, never reassociation — so both
+// paths produce identical match bitmaps and hence byte-identical update
+// streams (pinned by tests/match_kernel_test and the batch_diff battery).
+
+#include "stq/core/match_kernels.h"
+
+#if STQ_SIMD
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define STQ_SIMD_AVX2 1
+#elif defined(__aarch64__)
+#include <arm_neon.h>
+#define STQ_SIMD_NEON 1
+#endif
+
+namespace stq {
+
+namespace {
+
+inline void ZeroBitsSimd(uint64_t* bits, size_t n) {
+  const size_t words = MatchBitmapWords(n);
+  for (size_t w = 0; w < words; ++w) bits[w] = 0;
+}
+
+}  // namespace
+
+bool SimdRuntimeSupported() {
+#if defined(STQ_SIMD_AVX2)
+  return __builtin_cpu_supports("avx2");
+#elif defined(STQ_SIMD_NEON)
+  return true;  // NEON is baseline on aarch64
+#else
+  return false;
+#endif
+}
+
+#if defined(STQ_SIMD_AVX2)
+
+void PointsInRectSimd(const double* x, const double* y, size_t n,
+                      const Rect& r, uint64_t* bits) {
+  ZeroBitsSimd(bits, n);
+  if (r.IsEmpty()) return;
+  const __m256d min_x = _mm256_set1_pd(r.min_x);
+  const __m256d max_x = _mm256_set1_pd(r.max_x);
+  const __m256d min_y = _mm256_set1_pd(r.min_y);
+  const __m256d max_y = _mm256_set1_pd(r.max_y);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d xs = _mm256_loadu_pd(x + i);
+    const __m256d ys = _mm256_loadu_pd(y + i);
+    const __m256d m = _mm256_and_pd(
+        _mm256_and_pd(_mm256_cmp_pd(xs, min_x, _CMP_GE_OQ),
+                      _mm256_cmp_pd(xs, max_x, _CMP_LE_OQ)),
+        _mm256_and_pd(_mm256_cmp_pd(ys, min_y, _CMP_GE_OQ),
+                      _mm256_cmp_pd(ys, max_y, _CMP_LE_OQ)));
+    const uint64_t mask = static_cast<uint64_t>(_mm256_movemask_pd(m));
+    bits[i >> 6] |= mask << (i & 63);
+  }
+  for (; i < n; ++i) {
+    const bool ok = (x[i] >= r.min_x) & (x[i] <= r.max_x) &
+                    (y[i] >= r.min_y) & (y[i] <= r.max_y);
+    bits[i >> 6] |= static_cast<uint64_t>(ok) << (i & 63);
+  }
+}
+
+void PointsInCircleSimd(const double* x, const double* y, size_t n,
+                        const Point& c, double r2, uint64_t* bits) {
+  ZeroBitsSimd(bits, n);
+  const __m256d cx = _mm256_set1_pd(c.x);
+  const __m256d cy = _mm256_set1_pd(c.y);
+  const __m256d vr2 = _mm256_set1_pd(r2);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d dx = _mm256_sub_pd(cx, _mm256_loadu_pd(x + i));
+    const __m256d dy = _mm256_sub_pd(cy, _mm256_loadu_pd(y + i));
+    // mul + add, NOT fmadd: contraction would round differently from the
+    // scalar evaluator and break stream byte-identity.
+    const __m256d d2 =
+        _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy));
+    const __m256d m = _mm256_cmp_pd(d2, vr2, _CMP_LE_OQ);
+    const uint64_t mask = static_cast<uint64_t>(_mm256_movemask_pd(m));
+    bits[i >> 6] |= mask << (i & 63);
+  }
+  for (; i < n; ++i) {
+    const double dx = c.x - x[i];
+    const double dy = c.y - y[i];
+    const bool ok = dx * dx + dy * dy <= r2;
+    bits[i >> 6] |= static_cast<uint64_t>(ok) << (i & 63);
+  }
+}
+
+void PointsInRectWindowSimd(const double* x, const double* y, const double* t,
+                            size_t n, const Rect& r, double t_from,
+                            double t_to, double horizon, uint64_t* bits) {
+  ZeroBitsSimd(bits, n);
+  if (r.IsEmpty()) return;
+  const __m256d min_x = _mm256_set1_pd(r.min_x);
+  const __m256d max_x = _mm256_set1_pd(r.max_x);
+  const __m256d min_y = _mm256_set1_pd(r.min_y);
+  const __m256d max_y = _mm256_set1_pd(r.max_y);
+  const __m256d vtf = _mm256_set1_pd(t_from);
+  const __m256d vtt = _mm256_set1_pd(t_to);
+  const __m256d vh = _mm256_set1_pd(horizon);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d xs = _mm256_loadu_pd(x + i);
+    const __m256d ys = _mm256_loadu_pd(y + i);
+    const __m256d ts = _mm256_loadu_pd(t + i);
+    const __m256d wf = _mm256_max_pd(vtf, ts);
+    const __m256d wt = _mm256_min_pd(vtt, _mm256_add_pd(ts, vh));
+    __m256d m = _mm256_cmp_pd(wt, wf, _CMP_GE_OQ);
+    m = _mm256_and_pd(
+        m, _mm256_and_pd(_mm256_cmp_pd(xs, min_x, _CMP_GE_OQ),
+                         _mm256_cmp_pd(xs, max_x, _CMP_LE_OQ)));
+    m = _mm256_and_pd(
+        m, _mm256_and_pd(_mm256_cmp_pd(ys, min_y, _CMP_GE_OQ),
+                         _mm256_cmp_pd(ys, max_y, _CMP_LE_OQ)));
+    const uint64_t mask = static_cast<uint64_t>(_mm256_movemask_pd(m));
+    bits[i >> 6] |= mask << (i & 63);
+  }
+  for (; i < n; ++i) {
+    const double wf = t[i] > t_from ? t[i] : t_from;
+    const double reach = t[i] + horizon;
+    const double wt = reach < t_to ? reach : t_to;
+    const bool ok = (wt >= wf) & (x[i] >= r.min_x) & (x[i] <= r.max_x) &
+                    (y[i] >= r.min_y) & (y[i] <= r.max_y);
+    bits[i >> 6] |= static_cast<uint64_t>(ok) << (i & 63);
+  }
+}
+
+#elif defined(STQ_SIMD_NEON)
+
+namespace {
+
+inline uint64_t Mask2(uint64x2_t m) {
+  return (vgetq_lane_u64(m, 0) & 1u) | ((vgetq_lane_u64(m, 1) & 1u) << 1);
+}
+
+}  // namespace
+
+void PointsInRectSimd(const double* x, const double* y, size_t n,
+                      const Rect& r, uint64_t* bits) {
+  ZeroBitsSimd(bits, n);
+  if (r.IsEmpty()) return;
+  const float64x2_t min_x = vdupq_n_f64(r.min_x);
+  const float64x2_t max_x = vdupq_n_f64(r.max_x);
+  const float64x2_t min_y = vdupq_n_f64(r.min_y);
+  const float64x2_t max_y = vdupq_n_f64(r.max_y);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t xs = vld1q_f64(x + i);
+    const float64x2_t ys = vld1q_f64(y + i);
+    const uint64x2_t m = vandq_u64(
+        vandq_u64(vcgeq_f64(xs, min_x), vcleq_f64(xs, max_x)),
+        vandq_u64(vcgeq_f64(ys, min_y), vcleq_f64(ys, max_y)));
+    bits[i >> 6] |= Mask2(m) << (i & 63);
+  }
+  for (; i < n; ++i) {
+    const bool ok = (x[i] >= r.min_x) & (x[i] <= r.max_x) &
+                    (y[i] >= r.min_y) & (y[i] <= r.max_y);
+    bits[i >> 6] |= static_cast<uint64_t>(ok) << (i & 63);
+  }
+}
+
+void PointsInCircleSimd(const double* x, const double* y, size_t n,
+                        const Point& c, double r2, uint64_t* bits) {
+  ZeroBitsSimd(bits, n);
+  const float64x2_t cx = vdupq_n_f64(c.x);
+  const float64x2_t cy = vdupq_n_f64(c.y);
+  const float64x2_t vr2 = vdupq_n_f64(r2);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t dx = vsubq_f64(cx, vld1q_f64(x + i));
+    const float64x2_t dy = vsubq_f64(cy, vld1q_f64(y + i));
+    // mul + add, NOT vfmaq: contraction would break byte-identity.
+    const float64x2_t d2 =
+        vaddq_f64(vmulq_f64(dx, dx), vmulq_f64(dy, dy));
+    bits[i >> 6] |= Mask2(vcleq_f64(d2, vr2)) << (i & 63);
+  }
+  for (; i < n; ++i) {
+    const double dx = c.x - x[i];
+    const double dy = c.y - y[i];
+    const bool ok = dx * dx + dy * dy <= r2;
+    bits[i >> 6] |= static_cast<uint64_t>(ok) << (i & 63);
+  }
+}
+
+void PointsInRectWindowSimd(const double* x, const double* y, const double* t,
+                            size_t n, const Rect& r, double t_from,
+                            double t_to, double horizon, uint64_t* bits) {
+  ZeroBitsSimd(bits, n);
+  if (r.IsEmpty()) return;
+  const float64x2_t min_x = vdupq_n_f64(r.min_x);
+  const float64x2_t max_x = vdupq_n_f64(r.max_x);
+  const float64x2_t min_y = vdupq_n_f64(r.min_y);
+  const float64x2_t max_y = vdupq_n_f64(r.max_y);
+  const float64x2_t vtf = vdupq_n_f64(t_from);
+  const float64x2_t vtt = vdupq_n_f64(t_to);
+  const float64x2_t vh = vdupq_n_f64(horizon);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t xs = vld1q_f64(x + i);
+    const float64x2_t ys = vld1q_f64(y + i);
+    const float64x2_t ts = vld1q_f64(t + i);
+    const float64x2_t wf = vmaxq_f64(vtf, ts);
+    const float64x2_t wt = vminq_f64(vtt, vaddq_f64(ts, vh));
+    uint64x2_t m = vcgeq_f64(wt, wf);
+    m = vandq_u64(m, vandq_u64(vcgeq_f64(xs, min_x), vcleq_f64(xs, max_x)));
+    m = vandq_u64(m, vandq_u64(vcgeq_f64(ys, min_y), vcleq_f64(ys, max_y)));
+    bits[i >> 6] |= Mask2(m) << (i & 63);
+  }
+  for (; i < n; ++i) {
+    const double wf = t[i] > t_from ? t[i] : t_from;
+    const double reach = t[i] + horizon;
+    const double wt = reach < t_to ? reach : t_to;
+    const bool ok = (wt >= wf) & (x[i] >= r.min_x) & (x[i] <= r.max_x) &
+                    (y[i] >= r.min_y) & (y[i] <= r.max_y);
+    bits[i >> 6] |= static_cast<uint64_t>(ok) << (i & 63);
+  }
+}
+
+#else  // neither AVX2 nor NEON: STQ_SIMD on an unknown arch
+
+void PointsInRectSimd(const double* x, const double* y, size_t n,
+                      const Rect& r, uint64_t* bits) {
+  PointsInRectScalar(x, y, n, r, bits);
+}
+void PointsInCircleSimd(const double* x, const double* y, size_t n,
+                        const Point& c, double r2, uint64_t* bits) {
+  PointsInCircleScalar(x, y, n, c, r2, bits);
+}
+void PointsInRectWindowSimd(const double* x, const double* y, const double* t,
+                            size_t n, const Rect& r, double t_from,
+                            double t_to, double horizon, uint64_t* bits) {
+  PointsInRectWindowScalar(x, y, t, n, r, t_from, t_to, horizon, bits);
+}
+
+#endif
+
+}  // namespace stq
+
+#endif  // STQ_SIMD

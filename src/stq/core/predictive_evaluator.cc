@@ -41,6 +41,31 @@ void PredictiveEvaluator::OnQueryRegionChanged(QueryRecord* q,
   FlatSet<ObjectId>& tested = tested_scratch_;
   tested.clear();
   RectDifference(q->region, old_region, &pieces_scratch_);
+  if (state_.options->batch_evaluation) {
+    // Batch path: gather all pieces' candidates (deduplicated, first-visit
+    // order — the same order the legacy loop tests them in) with their
+    // velocity lanes, then run the trajectory-window kernel once against
+    // the full new region.
+    CandidateBatch& b = batch_scratch_;
+    b.clear();
+    for (const Rect& piece : pieces_scratch_) {
+      state_.grid->ForEachObjectCandidate(piece, [&](ObjectId oid) {
+        if (!tested.insert(oid).second) return;
+        const ObjectRecord* o = state_.objects->Find(oid);
+        STQ_DCHECK(o != nullptr);
+        b.GatherWithVelocity(*o);
+      });
+    }
+    const size_t n = b.size();
+    if (n == 0) return;
+    b.bits.resize(MatchBitmapWords(n));
+    MatchKernels::TrajectoriesIntersectRectWindow(
+        b.x.data(), b.y.data(), b.vx.data(), b.vy.data(), b.t.data(), n,
+        q->region, q->t_from, q->t_to, state_.options->prediction_horizon,
+        b.bits.data());
+    EmitBatchPositives(b, state_.objects, q, out);
+    return;
+  }
   for (const Rect& piece : pieces_scratch_) {
     state_.grid->ForEachObjectCandidate(piece, [&](ObjectId oid) {
       if (!tested.insert(oid).second) return;

@@ -40,6 +40,7 @@ class PredictiveEvaluator {
   std::vector<ObjectId> leavers_scratch_;
   std::vector<Rect> pieces_scratch_;
   FlatSet<ObjectId> tested_scratch_;
+  CandidateBatch batch_scratch_;
 };
 
 }  // namespace stq

@@ -1,6 +1,7 @@
 #include "stq/core/query_processor.h"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cmath>
 #include <limits>
@@ -591,6 +592,7 @@ void QueryProcessor::MatchObjectShard(const std::vector<ObjectId>& moved,
   // Read-only over the grid and both stores: every decision is recorded
   // as a delta intent and replayed later by ApplyMatchDeltas. Other
   // shards run this concurrently against the same state.
+  const bool batch = options_.batch_evaluation;
   std::vector<QueryId>& candidates = out->candidates;
   for (size_t i = begin; i < end; ++i) {
     const ObjectId oid = moved[i];
@@ -624,7 +626,16 @@ void QueryProcessor::MatchObjectShard(const std::vector<ObjectId>& moved,
     }
 
     // Positive side: candidate queries are those stubbed into the cells
-    // the object's (new) footprint touches.
+    // the object's (new) footprint touches. In batch mode a sampled
+    // mover's candidates come from exactly one grid slot, so it is
+    // deferred into the per-slot SoA batches (MatchProbeBatches below);
+    // predictive movers keep the scalar multi-slot footprint probe.
+    if (batch && !o->predictive) {
+      out->probes.push_back(
+          SlotProbe{grid_->SlotKeyOfPoint(o->loc), oid, o->loc.x, o->loc.y,
+                    o->t});
+      continue;
+    }
     const Rect probe = o->predictive
                            ? o->footprint.BoundingBox()
                            : Rect{o->loc.x, o->loc.y, o->loc.x, o->loc.y};
@@ -659,6 +670,94 @@ void QueryProcessor::MatchObjectShard(const std::vector<ObjectId>& moved,
           break;
       }
     }
+  }
+  if (batch) MatchProbeBatches(out);
+}
+
+void QueryProcessor::MatchProbeBatches(MatchOutput* out) const {
+  // The deferred positive side of the batch object pass. Per (query,
+  // object) pair this evaluates the exact same predicate the scalar loop
+  // would have (the predictive case reduces to the rect+window kernel
+  // because every sampled object has zero velocity), and delta signs are
+  // decided on the same pre-pass state — so after canonicalization the
+  // tick's update stream is byte-identical to the pre-batch path.
+  std::vector<SlotProbe>& probes = out->probes;
+  if (probes.empty()) return;
+  std::sort(probes.begin(), probes.end(),
+            [](const SlotProbe& a, const SlotProbe& b) {
+              return a.slot != b.slot ? a.slot < b.slot : a.oid < b.oid;
+            });
+  CandidateBatch& b = out->batch;
+  for (size_t g0 = 0; g0 < probes.size();) {
+    size_t g1 = g0 + 1;
+    while (g1 < probes.size() && probes[g1].slot == probes[g0].slot) ++g1;
+    const size_t n = g1 - g0;
+    b.clear();
+    b.ids.reserve(n);
+    for (size_t i = g0; i < g1; ++i) {
+      const SlotProbe& p = probes[i];
+      b.ids.push_back(p.oid);
+      b.x.push_back(p.x);
+      b.y.push_back(p.y);
+      b.t.push_back(p.t);
+    }
+    const size_t words = MatchBitmapWords(n);
+    b.bits.resize(words);
+    b.bits2.resize(words);
+    // All group members share one grid slot; its stub list (unique qids)
+    // is the exact candidate set the degenerate point-rect walk produces
+    // for each of them.
+    grid_->ForEachQueryAt(Point{probes[g0].x, probes[g0].y}, [&](QueryId qid) {
+      const QueryRecord* q = queries_.Find(qid);
+      STQ_DCHECK(q != nullptr) << "grid stub references missing query " << qid;
+      switch (q->kind) {
+        case QueryKind::kRange:
+          MatchKernels::PointsInRect(b.x.data(), b.y.data(), n, q->region,
+                                     b.bits.data());
+          break;
+        case QueryKind::kPredictiveRange:
+          // Sampled movers have zero velocity, so the full trajectory
+          // test reduces to rect containment AND a non-empty effective
+          // window — the vectorizable kernel.
+          MatchKernels::PointsInRectWindow(b.x.data(), b.y.data(), b.t.data(),
+                                           n, q->region, q->t_from, q->t_to,
+                                           options_.prediction_horizon,
+                                           b.bits.data());
+          break;
+        case QueryKind::kCircleRange:
+          MatchKernels::PointsInCircle(b.x.data(), b.y.data(), n,
+                                       q->circle.center,
+                                       q->circle.radius * q->circle.radius,
+                                       b.bits.data());
+          MatchKernels::PointsInRect(b.x.data(), b.y.data(), n,
+                                     options_.bounds, b.bits2.data());
+          for (size_t w = 0; w < words; ++w) b.bits[w] &= b.bits2[w];
+          break;
+        case QueryKind::kKnn: {
+          MatchKernels::PointsInCircle(b.x.data(), b.y.data(), n,
+                                       q->circle.center, q->knn_dist2,
+                                       b.bits.data());
+          for (size_t w = 0; w < words; ++w) {
+            if (b.bits[w] != 0) {
+              // One mark suffices: the dirty set deduplicates.
+              out->knn_dirty.push_back(qid);
+              break;
+            }
+          }
+          return;
+        }
+      }
+      for (size_t w = 0; w < words; ++w) {
+        uint64_t word = b.bits[w];
+        while (word != 0) {
+          const size_t i =
+              w * 64 + static_cast<size_t>(std::countr_zero(word));
+          word &= word - 1;
+          out->deltas.push_back(MatchDelta{qid, b.ids[i], true});
+        }
+      }
+    });
+    g0 = g1;
   }
 }
 
@@ -828,6 +927,7 @@ void QueryProcessor::EvaluateTickInto(Timestamp now, TickResult* result) {
     result->stats.cells_split = adapt.splits;
     result->stats.cells_merged = adapt.merges;
   }
+  result->stats.bytes_resident = AnswerBytesResident();
   result->stats.heap_allocations = AllocCount() - allocs_before;
 }
 
@@ -967,13 +1067,21 @@ const HistoryStore* QueryProcessor::history() const {
   return sharded_ != nullptr ? sharded_->history() : history_.get();
 }
 
-bool QueryProcessor::GetAnswerSet(QueryId id, FlatSet<ObjectId>* out) const {
+bool QueryProcessor::GetAnswerSet(QueryId id, AnswerSet* out) const {
   if (sharded_ != nullptr) return sharded_->GetAnswerSet(id, out);
   out->clear();
   const QueryRecord* q = queries_.Find(id);
   if (q == nullptr) return false;
   *out = q->answer;
   return true;
+}
+
+size_t QueryProcessor::AnswerBytesResident() const {
+  if (sharded_ != nullptr) return sharded_->AnswerBytesResident();
+  size_t bytes = 0;
+  queries_.ForEach(
+      [&](const QueryRecord& q) { bytes += q.answer.bytes_resident(); });
+  return bytes;
 }
 
 bool QueryProcessor::AppendAnswerIds(QueryId id,

@@ -182,7 +182,12 @@ class QueryProcessor {
   Result<std::vector<ObjectId>> CurrentAnswer(QueryId id) const;
 
   // The committed answer as a set; false when the query is unknown.
-  bool GetAnswerSet(QueryId id, FlatSet<ObjectId>* out) const;
+  bool GetAnswerSet(QueryId id, AnswerSet* out) const;
+
+  // Summed bytes_resident of every live per-query answer set (see
+  // core/answer_set.h). Valid in both engine modes; also published as
+  // TickStats::bytes_resident at the end of every tick.
+  size_t AnswerBytesResident() const;
 
   // Appends the committed answer ids to `out` (unsorted, not cleared;
   // no allocation beyond `out` growth); false when the query is unknown.
@@ -270,21 +275,40 @@ class QueryProcessor {
     ObjectId oid = 0;
     bool add = false;
   };
+  // One sampled mover's positive-side probe in the batch object pass:
+  // its grid slot key plus the gathered state, so the slot-grouped kernel
+  // loop never re-touches the object store.
+  struct SlotProbe {
+    uint64_t slot = 0;
+    ObjectId oid = 0;
+    double x = 0.0;
+    double y = 0.0;
+    double t = 0.0;
+  };
   struct MatchOutput {
     std::vector<MatchDelta> deltas;
     std::vector<QueryId> knn_dirty;
     // Per-shard candidate scratch for CollectQueriesInRect; lives here so
     // its capacity survives across ticks with the rest of the output.
     std::vector<QueryId> candidates;
+    // Batch-mode scratch: per-slot probe list and the SoA kernel batch.
+    std::vector<SlotProbe> probes;
+    CandidateBatch batch;
 
     void clear() {
       deltas.clear();
       knn_dirty.clear();
       candidates.clear();
+      probes.clear();
+      batch.clear();
     }
   };
   void MatchObjectShard(const std::vector<ObjectId>& moved, size_t begin,
                         size_t end, MatchOutput* out) const;
+  // The batch positive side of MatchObjectShard: sorts the shard's probes
+  // by (slot, id) and runs one predicate kernel per (slot, candidate
+  // query) pair over the slot's SoA batch.
+  void MatchProbeBatches(MatchOutput* out) const;
   void ApplyMatchDeltas(std::vector<MatchOutput>& outputs,
                         std::vector<Update>* out);
 

@@ -19,6 +19,7 @@
 #include "stq/common/clock.h"
 #include "stq/common/flat_hash.h"
 #include "stq/common/ids.h"
+#include "stq/core/answer_set.h"
 #include "stq/geo/circle.h"
 #include "stq/geo/point.h"
 #include "stq/geo/rect.h"
@@ -61,10 +62,11 @@ struct QueryRecord {
   // when the query has no grid stubs yet.
   Rect grid_footprint;
 
-  // The answer currently reported to the client. Iteration order of the
-  // flat set is history-dependent; every externally visible consumer
-  // sorts (SortedAnswer, the update canonicalizer), so it never leaks.
-  FlatSet<ObjectId> answer;
+  // The answer currently reported to the client, in the density-adaptive
+  // compressed representation (see core/answer_set.h). Iterates ascending
+  // by id in every mode, so consumers that sorted a FlatSet's unordered
+  // walk still see the same order with less work.
+  AnswerSet answer;
 
   // Answer as a sorted vector (for deterministic output and tests).
   std::vector<ObjectId> SortedAnswer() const;

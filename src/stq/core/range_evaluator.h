@@ -40,6 +40,7 @@ class RangeEvaluator {
   // allocate per moved query.
   std::vector<ObjectId> leavers_scratch_;
   std::vector<Rect> pieces_scratch_;
+  CandidateBatch batch_scratch_;
 };
 
 }  // namespace stq

@@ -55,7 +55,7 @@ Result<Server::Delivery> Server::ReconnectClient(ClientId cid) {
   std::vector<QueryId> qids = it->second.queries;
   std::sort(qids.begin(), qids.end());
   const WireCostModel& cost = options_.processor.wire_cost;
-  FlatSet<ObjectId> answer_set;
+  AnswerSet answer_set;
   for (QueryId qid : qids) {
     if (!processor_.GetAnswerSet(qid, &answer_set)) continue;
     switch (options_.recovery) {
@@ -68,8 +68,8 @@ Result<Server::Delivery> Server::ReconnectClient(ClientId cid) {
         break;
       }
       case RecoveryPolicy::kFullAnswer: {
+        // AnswerSet iterates ascending by id; no sort needed.
         std::vector<ObjectId> answer(answer_set.begin(), answer_set.end());
-        std::sort(answer.begin(), answer.end());
         delivery.bytes += cost.CompleteAnswerBytes(answer.size());
         delivery.full_answers.emplace_back(qid, std::move(answer));
         break;
@@ -134,9 +134,9 @@ bool Server::CommitCurrent(QueryId qid, ClientId owner) {
   if (commit_hooks_ != nullptr && !commit_hooks_->MayCommit(owner)) {
     return false;
   }
-  FlatSet<ObjectId> answer;
+  AnswerSet answer;
   if (!processor_.GetAnswerSet(qid, &answer)) return false;
-  committed_.Commit(qid, answer);
+  committed_.Commit(qid, std::move(answer));
   ++commit_serial_;
   if (commit_hooks_ != nullptr) commit_hooks_->OnCommitted(owner, qid);
   return true;
@@ -219,7 +219,7 @@ Status Server::AdoptQuery(QueryId qid, ClientId cid) {
 
 void Server::RestoreCommitted(QueryId qid,
                               const std::vector<ObjectId>& answer) {
-  committed_.Commit(qid, FlatSet<ObjectId>(answer.begin(), answer.end()));
+  committed_.Commit(qid, AnswerSet(answer.begin(), answer.end()));
 }
 
 std::optional<ClientId> Server::OwnerOf(QueryId qid) const {

@@ -248,6 +248,7 @@ QueryProcessorOptions ShardedEngine::BuildShardOptions(int s) const {
   so.wire_cost = options_.wire_cost;
   so.worker_threads = 1;  // shards tick in parallel, each serially
   so.num_shards = 1;
+  so.batch_evaluation = options_.batch_evaluation;
   // Per-shard grids adapt independently; boundary moves are the
   // engine's job, so the shard-level flag is inert inside a shard.
   so.adaptive = options_.adaptive;
@@ -1436,6 +1437,9 @@ void ShardedEngine::EvaluateTickInto(Timestamp now, TickResult* result) {
       ++stats->negative_updates;
     }
   }
+  // Answer footprint over every shard (not just the ticked ones), so the
+  // metric tracks the whole engine's resident answer bytes.
+  stats->bytes_resident = AnswerBytesResident();
   // The router's own delta — the counter is global (all threads), so this
   // already covers the per-shard ticks; summing shard results would
   // double-count.
@@ -1445,6 +1449,12 @@ void ShardedEngine::EvaluateTickInto(Timestamp now, TickResult* result) {
 // ---------------------------------------------------------------------------
 // Introspection
 // ---------------------------------------------------------------------------
+
+size_t ShardedEngine::AnswerBytesResident() const {
+  size_t bytes = 0;
+  for (const auto& shard : shards_) bytes += shard->AnswerBytesResident();
+  return bytes;
+}
 
 std::vector<int> ShardedEngine::ObjectShards(ObjectId id) const {
   auto it = objects_.find(id);
@@ -1475,7 +1485,7 @@ Result<std::vector<ObjectId>> ShardedEngine::CurrentAnswer(QueryId id) const {
   return answer;
 }
 
-bool ShardedEngine::GetAnswerSet(QueryId id, FlatSet<ObjectId>* out) const {
+bool ShardedEngine::GetAnswerSet(QueryId id, AnswerSet* out) const {
   out->clear();
   auto it = queries_.find(id);
   if (it == queries_.end()) return false;

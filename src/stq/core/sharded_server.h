@@ -143,7 +143,10 @@ class ShardedEngine {
   std::vector<int> QueryShards(QueryId id) const;
 
   Result<std::vector<ObjectId>> CurrentAnswer(QueryId id) const;
-  bool GetAnswerSet(QueryId id, FlatSet<ObjectId>* out) const;
+  bool GetAnswerSet(QueryId id, AnswerSet* out) const;
+  // Summed bytes_resident over every shard's live answer sets — covers
+  // all shards, ticked or not, so the metric never under-reports.
+  size_t AnswerBytesResident() const;
   Result<std::vector<ObjectId>> EvaluateFromScratch(QueryId id) const;
 
   // Router-level views matching QueryProcessor::ForEach*Info (iteration

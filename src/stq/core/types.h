@@ -71,6 +71,12 @@ struct TickStats {
   // whole tick's count, not a per-shard sum.
   uint64_t heap_allocations = 0;
 
+  // Resident bytes of every live answer set (per-query incremental
+  // answers, compressed representation — see core/answer_set.h) at the
+  // end of this tick. Complements heap_allocations: churn is counted
+  // there, footprint here, and per-tick byte budgets pin both.
+  size_t bytes_resident = 0;
+
   // Wall-clock seconds spent in each tick phase (steady-clock). The
   // object pass is split into its parallel matching half and its serial
   // delta-replay half so the ablation bench can attribute speedup.

@@ -349,6 +349,19 @@ class GridIndex {
     *leaf = CellResolver(CellBounds(*c), rc.level).LeafOf(p);
   }
 
+  // Dense key of the slot containing `p`: (base-cell index << 16) | leaf.
+  // Two points share a key iff LeafSlotOfPoint maps them into the same
+  // slot (a cell has at most 4^kMaxRefinementLevel = 4096 leaves, well
+  // under 2^16). The batch object pass groups sampled movers by this key
+  // so one kernel invocation serves every candidate query of the slot.
+  uint64_t SlotKeyOfPoint(const Point& p) const {
+    CellCoord c;
+    int leaf;
+    LeafSlotOfPoint(p, &c, &leaf);
+    return (static_cast<uint64_t>(CellIndex(c.x, c.y)) << 16) |
+           static_cast<uint64_t>(leaf);
+  }
+
   // Every slot a footprint segment is clipped into.
   template <typename Fn>
   void ForEachLeafSlotOnSegment(const Segment& s, Fn&& fn) const {

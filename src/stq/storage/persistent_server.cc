@@ -35,11 +35,11 @@ PersistedState CapturePersistedState(const Server& server) {
     state.queries.push_back(pq);
   });
   server.committed().ForEach(
-      [&](QueryId qid, const FlatSet<ObjectId>& answer) {
+      [&](QueryId qid, const AnswerSet& answer) {
         PersistedCommit pc;
         pc.id = qid;
+        // AnswerSet iterates ascending by id; already sorted.
         pc.answer.assign(answer.begin(), answer.end());
-        std::sort(pc.answer.begin(), pc.answer.end());
         state.commits.push_back(pc);
       });
   auto by_id = [](const auto& a, const auto& b) { return a.id < b.id; };

@@ -49,6 +49,13 @@ Checks
                     sequence/gap machinery, so a dropped envelope would
                     go unnoticed and the convergence proof breaks.
                     Rule: direct-apply.
+  simd-confinement  Raw SIMD intrinsics (x86 <immintrin.h>/_mm*, NEON
+                    <arm_neon.h>/vector types) compile on one ISA only
+                    and sidestep the scalar-oracle differential tests,
+                    so they are confined to core/match_kernels_simd.cc;
+                    everything else goes through the MatchKernels
+                    dispatch table. Rules: intrinsics-header,
+                    intrinsics.
   include-hygiene   Banned headers under src/stq: <iostream> (static-init
                     fiasco; use common/logging.h), <random> (use
                     common/random.h), <regex>, <filesystem> (bypasses
@@ -283,6 +290,23 @@ RULES = [
         "direct Client::Apply* call outside core/session.cc bypasses the "
         "sequenced-envelope path; deliver through ClientSession",
         exclude=("core/session.cc",),
+    ),
+    # --- simd-confinement (raw intrinsics live in the kernel TU only) -----
+    Rule(
+        "simd-confinement", "intrinsics-header", ALL_SRC,
+        r"#\s*include\s*<(immintrin\.h|x86intrin\.h|emmintrin\.h"
+        r"|xmmintrin\.h|smmintrin\.h|arm_neon\.h)>",
+        "SIMD intrinsics header outside core/match_kernels_simd.cc; add a "
+        "kernel entry point to MatchKernels (core/match_kernels.h) instead",
+        exclude=("core/match_kernels_simd.cc",),
+    ),
+    Rule(
+        "simd-confinement", "intrinsics", ALL_SRC,
+        r"(?<![\w])_mm\d*_\w+\s*\(|\b__m(?:128|256|512)[di]?\b"
+        r"|\b(?:float|int|uint)(?:32|64)x[24]_t\b",
+        "raw SIMD intrinsic outside core/match_kernels_simd.cc; the scalar "
+        "kernels are the oracle, widen via the MatchKernels dispatch table",
+        exclude=("core/match_kernels_simd.cc",),
     ),
     # --- include-hygiene --------------------------------------------------
     Rule(
